@@ -1,0 +1,26 @@
+"""Regenerate the SVIII extension experiment and the ablations."""
+
+from repro.experiments import ablations, ext_phylip
+
+
+def bench_ext_phylip(benchmark):
+    result = benchmark.pedantic(ext_phylip.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.data["hand_isel"] > 0.3
+    assert abs(result.data["hand_max"]) < 0.02
+
+
+def bench_ablations(benchmark):
+    result = benchmark.pedantic(ablations.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+
+
+def bench_ext_cmp_llc(benchmark):
+    from repro.experiments import ext_cmp_llc
+
+    result = benchmark.pedantic(ext_cmp_llc.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert result.data["ratio"] > 2.0

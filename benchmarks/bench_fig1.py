@@ -1,0 +1,15 @@
+"""Regenerate Figure 1 (function-wise runtime breakout)."""
+
+from repro.experiments import fig1
+from repro.perf.apps import KERNEL_REFERENCE_FUNCTIONS
+
+
+def bench_fig1(benchmark):
+    result = benchmark.pedantic(fig1.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for app, payload in result.data.items():
+        top_names = [name for name, _share in payload["top"]]
+        assert KERNEL_REFERENCE_FUNCTIONS[app] in top_names, app
+        # The hot kernel carries a substantial share everywhere.
+        assert payload["kernel_share"] > 0.2, app

@@ -1,0 +1,13 @@
+"""Regenerate Figure 2 (Clustalw IPC vs branch mispredictions)."""
+
+from repro.experiments import fig2
+
+
+def bench_fig2(benchmark):
+    result = benchmark.pedantic(fig2.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    correlation = fig2.ipc_tracks_mispredicts(result.data["series"])
+    print(f"\nIPC/misprediction correlation: {correlation:+.2f} "
+          "(paper: strongly anti-correlated)")
+    assert correlation < -0.3

@@ -1,0 +1,17 @@
+"""Regenerate Figure 3 (IPC with max and isel instructions)."""
+
+from repro.experiments import fig3
+
+
+def bench_fig3(benchmark):
+    result = benchmark.pedantic(fig3.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    improvements = result.data["improvements"]
+    # Headline shapes from the paper.
+    assert all(
+        improvements[app]["hand_max"] >= improvements[app]["hand_isel"]
+        for app in improvements
+    )
+    hand_max = {a: improvements[a]["hand_max"] for a in improvements}
+    assert hand_max["clustalw"] == max(hand_max.values())

@@ -1,0 +1,12 @@
+"""Regenerate Figure 4 (eight-entry BTAC)."""
+
+from repro.experiments import fig4
+
+
+def bench_fig4(benchmark):
+    result = benchmark.pedantic(fig4.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    for app, payload in result.data.items():
+        assert payload["base_gain"] > 0, app
+        assert payload["base_gain"] > payload["combo_gain"], app

@@ -1,0 +1,14 @@
+"""Regenerate Figure 5 (additional fixed-point units)."""
+
+from repro.experiments import fig5
+
+
+def bench_fig5(benchmark):
+    result = benchmark.pedantic(fig5.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    combo_gains = {
+        app: payload["combination"][4]
+        for app, payload in result.data.items()
+    }
+    assert combo_gains["hmmer"] == max(combo_gains.values())

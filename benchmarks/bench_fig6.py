@@ -1,0 +1,15 @@
+"""Regenerate Figure 6 (combined gains and residual)."""
+
+from repro.experiments import fig6
+
+
+def bench_fig6(benchmark):
+    result = benchmark.pedantic(fig6.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert 0.35 < result.data["average"] < 0.85
+    totals = {
+        app: payload["total"]
+        for app, payload in result.data["per_app"].items()
+    }
+    assert totals["clustalw"] == max(totals.values())

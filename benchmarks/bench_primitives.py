@@ -1,0 +1,87 @@
+"""Micro-benchmarks of the substrate layers.
+
+These time the primitives every experiment is built from — alignment
+kernels, the mini-ISA interpreter, the core timing model, and the
+application pipelines — with pytest-benchmark's normal statistics.
+"""
+
+import pytest
+
+from repro.bio.blast import BlastDatabase, blastp
+from repro.bio.hmm import build_hmm, viterbi_score
+from repro.bio.msa import clustalw
+from repro.bio.pairwise import needleman_wunsch_score, smith_waterman_score
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.workloads import blast_input, make_family
+from repro.kernels import smith_waterman
+from repro.uarch.config import power5
+from repro.uarch.core import Core
+from repro.uarch.synthetic import generate_trace
+
+GAPS = GapPenalties(10, 2)
+
+
+@pytest.fixture(scope="module")
+def pair():
+    family = make_family("bench", 2, 120, 0.3, seed=77)
+    return family[0], family[1]
+
+
+def bench_smith_waterman_reference(benchmark, pair):
+    a, b = pair
+    score = benchmark(smith_waterman_score, a, b, BLOSUM62, GAPS)
+    assert score > 0
+
+
+def bench_needleman_wunsch_reference(benchmark, pair):
+    a, b = pair
+    benchmark(needleman_wunsch_score, a, b, BLOSUM62, GAPS)
+
+
+def bench_kernel_interpreter(benchmark):
+    """Functional execution of the mini-ISA dropgsw kernel."""
+    family = make_family("bench", 2, 48, 0.3, seed=78)
+
+    def run():
+        return smith_waterman.run(
+            "baseline", family[0], family[1], BLOSUM62, GAPS
+        )
+
+    score = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert score == smith_waterman_score(
+        family[0], family[1], BLOSUM62, GAPS
+    )
+
+
+def bench_core_timing_model(benchmark):
+    """Timing-model throughput over a 50k-event synthetic trace."""
+    trace = generate_trace(50_000, seed=79)
+
+    def run():
+        return Core(power5()).simulate(trace)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.instructions == 50_000
+
+
+def bench_blastp_pipeline(benchmark):
+    data = blast_input("A", seed=80)
+    database = BlastDatabase(data.database)
+    hits = benchmark.pedantic(
+        blastp, args=(data.query, database), rounds=3, iterations=1
+    )
+    assert hits
+
+
+def bench_clustalw_pipeline(benchmark):
+    family = make_family("bench", 6, 50, 0.25, seed=81)
+    msa = benchmark.pedantic(clustalw, args=(family,), rounds=3, iterations=1)
+    assert msa.width >= 50
+
+
+def bench_viterbi_reference(benchmark):
+    family = make_family("bench", 5, 32, 0.2, seed=82)
+    msa = clustalw(family)
+    model = build_hmm("bench", list(msa.rows), msa.sequences[0].alphabet)
+    score = benchmark(viterbi_score, model, family[0])
+    assert score > 0

@@ -1,0 +1,13 @@
+"""Regenerate Table I (baseline hardware-counter characterisation)."""
+
+from repro.experiments import table1
+
+
+def bench_table1(benchmark):
+    result = benchmark.pedantic(table1.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    data = result.data
+    assert all(0.5 < data[app]["ipc"] < 2.5 for app in data)
+    rates = {app: data[app]["l1d_miss_rate"] for app in data}
+    assert rates["blast"] == max(rates.values())

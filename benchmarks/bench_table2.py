@@ -1,0 +1,15 @@
+"""Regenerate Table II (branch statistics per code variant)."""
+
+from repro.experiments import table2
+
+
+def bench_table2(benchmark):
+    result = benchmark.pedantic(table2.run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    data = result.data
+    for app in data:
+        assert (
+            data[app]["hand_max"]["branches"]
+            < data[app]["baseline"]["branches"]
+        )

@@ -1,0 +1,8 @@
+"""Benchmark-suite configuration.
+
+The experiment benchmarks regenerate the paper's tables/figures; each
+prints its table so ``pytest benchmarks/ --benchmark-only -s`` doubles
+as the full results report. Simulations are memoised across benchmarks
+(the same cache the experiment drivers share), so the first benchmark
+touching a configuration pays its cost.
+"""

@@ -1,0 +1,28 @@
+"""Architectural design-space exploration for one workload.
+
+Sweeps the paper's three knobs on a chosen application — code variant
+(predication), BTAC, and FXU count — and prints a ranked design-space
+table: exactly the study §VI performs, as one library call
+(:func:`repro.perf.sweep.paper_design_space`).
+
+Run:  python examples/design_space.py  [app]
+"""
+
+import sys
+
+from repro.perf.sweep import paper_design_space, sweep_table
+
+
+def main() -> None:
+    app = sys.argv[1] if len(sys.argv) > 1 else "clustalw"
+    points = paper_design_space(app)
+    print(sweep_table(app, points).render())
+    best = points[0]
+    print(
+        f"\nBest point: {best.label} with {best.variant} code "
+        f"({best.improvement:+.1%} over the stock POWER5)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,35 @@
+"""Regenerate every paper table/figure into a results directory.
+
+Runs all registered experiments and writes one text file per
+table/figure under ``results/`` (created next to the working
+directory), plus a combined report. Equivalent to
+``python -m repro.experiments all`` with files instead of stdout.
+
+Run:  python examples/paper_figures.py [results_dir]
+"""
+
+import sys
+import time
+from pathlib import Path
+
+from repro.experiments import EXPERIMENTS
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+    out_dir.mkdir(parents=True, exist_ok=True)
+    combined: list[str] = []
+    for name, runner in EXPERIMENTS.items():
+        started = time.perf_counter()
+        result = runner()
+        elapsed = time.perf_counter() - started
+        text = result.render()
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+        combined.append(text)
+        print(f"{name:12s} written ({elapsed:5.1f}s)")
+    (out_dir / "all.txt").write_text("\n\n".join(combined) + "\n")
+    print(f"\nAll experiments written to {out_dir}/")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Package entry point: delegates to :mod:`repro.cli`."""
+
+import sys
+
+from repro.cli import main
+
+sys.exit(main())

@@ -1,0 +1,132 @@
+"""Biological alphabets.
+
+An :class:`Alphabet` maps symbols (single characters) to small integer
+codes. Integer-coded sequences are what the alignment kernels and the
+mini-ISA interpreter operate on, so encoding/decoding lives here, in one
+place.
+
+Two standard alphabets are provided as module-level singletons:
+
+``DNA``
+    The four nucleotides plus the ambiguity symbol ``N``.
+``PROTEIN``
+    The twenty standard amino acids plus ``X`` (unknown) and ``*`` (stop).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import AlphabetError
+
+
+class Alphabet:
+    """An ordered set of symbols with a stable symbol <-> code mapping.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name used in error messages and ``repr``.
+    symbols:
+        The symbols in code order: ``symbols[i]`` has code ``i``.
+    wildcard:
+        Symbol substituted for unknown characters when encoding with
+        ``strict=False``. Must be a member of ``symbols``.
+    """
+
+    def __init__(self, name: str, symbols: str, wildcard: str) -> None:
+        if len(set(symbols)) != len(symbols):
+            raise AlphabetError(f"alphabet {name!r} has duplicate symbols")
+        if wildcard not in symbols:
+            raise AlphabetError(
+                f"wildcard {wildcard!r} is not a symbol of alphabet {name!r}"
+            )
+        self.name = name
+        self.symbols = symbols
+        self.wildcard = wildcard
+        self._codes = {symbol: code for code, symbol in enumerate(symbols)}
+
+    def __len__(self) -> int:
+        return len(self.symbols)
+
+    def __contains__(self, symbol: str) -> bool:
+        return symbol in self._codes
+
+    def __repr__(self) -> str:
+        return f"Alphabet({self.name!r}, size={len(self)})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alphabet):
+            return NotImplemented
+        return self.symbols == other.symbols and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((self.name, self.symbols))
+
+    @property
+    def wildcard_code(self) -> int:
+        """Integer code of the wildcard symbol."""
+        return self._codes[self.wildcard]
+
+    def code(self, symbol: str) -> int:
+        """Return the integer code for ``symbol``.
+
+        Raises :class:`AlphabetError` for symbols outside the alphabet.
+        """
+        try:
+            return self._codes[symbol]
+        except KeyError:
+            raise AlphabetError(
+                f"symbol {symbol!r} is not in alphabet {self.name!r}"
+            ) from None
+
+    def symbol(self, code: int) -> str:
+        """Return the symbol for integer ``code``."""
+        if not 0 <= code < len(self.symbols):
+            raise AlphabetError(
+                f"code {code} out of range for alphabet {self.name!r}"
+            )
+        return self.symbols[code]
+
+    def encode(self, text: str, strict: bool = True) -> list[int]:
+        """Encode ``text`` into a list of integer codes.
+
+        Lower-case input is accepted and upper-cased first. With
+        ``strict=False`` unknown symbols become the wildcard instead of
+        raising.
+        """
+        codes = []
+        wildcard_code = self.wildcard_code
+        for symbol in text.upper():
+            found = self._codes.get(symbol)
+            if found is None:
+                if strict:
+                    raise AlphabetError(
+                        f"symbol {symbol!r} is not in alphabet {self.name!r}"
+                    )
+                found = wildcard_code
+            codes.append(found)
+        return codes
+
+    def decode(self, codes: Iterable[int]) -> str:
+        """Decode integer ``codes`` back into a string."""
+        return "".join(self.symbol(code) for code in codes)
+
+
+DNA = Alphabet("dna", "ACGTN", wildcard="N")
+PROTEIN = Alphabet("protein", "ACDEFGHIKLMNPQRSTVWYX*", wildcard="X")
+
+
+def guess_alphabet(text: str) -> Alphabet:
+    """Guess whether ``text`` is DNA or protein.
+
+    A sequence consisting only of ``ACGTN`` (case-insensitive) is treated
+    as DNA; anything else that encodes as protein is protein.
+    """
+    stripped = set(text.upper()) - {"-", "."}
+    if stripped <= set(DNA.symbols):
+        return DNA
+    if stripped <= set(PROTEIN.symbols):
+        return PROTEIN
+    unknown = sorted(stripped - set(PROTEIN.symbols))
+    raise AlphabetError(f"symbols {unknown!r} fit neither DNA nor protein")

@@ -1,0 +1,198 @@
+"""Banded and X-drop dynamic programming.
+
+Two restricted-DP routines used by the heuristic search tools:
+
+* :func:`xdrop_extend` / :func:`gapped_extension` — the gapped extension
+  step of Blast (the paper's ``SEMI_G_ALIGN_EX`` kernel): starting from a
+  seed pair, dynamic programming is pushed outward in both directions and
+  rows are pruned once they fall more than ``x_drop`` below the best score
+  seen so far.
+* :func:`banded_local_score` — Smith–Waterman restricted to a diagonal
+  band, used by Fasta to rescore its best initial diagonal region.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from collections.abc import Sequence as SequenceABC
+
+from repro.bio.pairwise import NEG_INF
+from repro.bio.scoring import GapPenalties, SubstitutionMatrix
+from repro.bio.sequence import Sequence
+from repro.errors import AlignmentError
+
+
+@dataclass(frozen=True)
+class ExtensionResult:
+    """Result of a two-sided gapped extension around a seed.
+
+    Offsets are 0-based and half-open in the respective sequence.
+    """
+
+    score: int
+    query_start: int
+    query_end: int
+    subject_start: int
+    subject_end: int
+
+    @property
+    def query_length(self) -> int:
+        return self.query_end - self.query_start
+
+    @property
+    def subject_length(self) -> int:
+        return self.subject_end - self.subject_start
+
+
+def xdrop_extend(
+    codes_a: SequenceABC[int],
+    codes_b: SequenceABC[int],
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalties,
+    x_drop: int,
+) -> tuple[int, int, int]:
+    """One-sided gapped X-drop extension from ``(0, 0)``.
+
+    Runs semi-global affine DP over prefixes of ``codes_a``/``codes_b``,
+    dropping any cell whose value falls more than ``x_drop`` below the
+    best score found so far. Returns ``(best_score, end_a, end_b)`` where
+    the ends are the lengths of the best-scoring aligned prefixes (both 0
+    when even the first pair scores negatively).
+    """
+    if x_drop <= 0:
+        raise AlignmentError(f"x_drop must be positive, got {x_drop}")
+    m, n = len(codes_a), len(codes_b)
+    if m == 0 or n == 0:
+        return 0, 0, 0
+    open_cost = gaps.open_ + gaps.extend
+    extend_cost = gaps.extend
+    scores = matrix.scores
+
+    best, best_i, best_j = 0, 0, 0
+    # Sparse rows: value maps only live columns to (v, e, f).
+    prev: dict[int, tuple[int, int, int]] = {0: (0, NEG_INF, NEG_INF)}
+    # Border of row 0: pure gap, pruned by x_drop against score 0.
+    j = 1
+    while j <= n and gaps.cost(j) <= x_drop:
+        prev[j] = (-gaps.cost(j), -gaps.cost(j), NEG_INF)
+        j += 1
+
+    for i in range(1, m + 1):
+        matrix_row = scores[codes_a[i - 1]]
+        current: dict[int, tuple[int, int, int]] = {}
+        if gaps.cost(i) <= best + x_drop:
+            border = -gaps.cost(i)
+            current[0] = (border, NEG_INF, border)
+        live = sorted(set(prev) | {j + 1 for j in prev})
+        for j in live:
+            if j == 0 or j > n:
+                continue
+            v_diag = prev.get(j - 1, (NEG_INF, NEG_INF, NEG_INF))[0]
+            v_up, _, f_up = prev.get(j, (NEG_INF, NEG_INF, NEG_INF))
+            v_left, e_left, _ = current.get(j - 1, (NEG_INF, NEG_INF, NEG_INF))
+            e = max(e_left - extend_cost, v_left - open_cost)
+            f = max(f_up - extend_cost, v_up - open_cost)
+            g = (
+                v_diag + matrix_row[codes_b[j - 1]]
+                if v_diag > NEG_INF // 2
+                else NEG_INF
+            )
+            value = max(e, f, g)
+            if value < best - x_drop:
+                continue
+            current[j] = (value, e, f)
+            if value > best:
+                best, best_i, best_j = value, i, j
+        if not current:
+            break
+        prev = current
+    return int(best), best_i, best_j
+
+
+def gapped_extension(
+    query: Sequence,
+    subject: Sequence,
+    seed_query: int,
+    seed_subject: int,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalties = GapPenalties(),
+    x_drop: int = 25,
+) -> ExtensionResult:
+    """Two-sided gapped extension around a seed pair (Blast's kernel).
+
+    The seed residues ``query[seed_query]`` / ``subject[seed_subject]``
+    anchor the extension: DP runs leftward over the reversed prefixes and
+    rightward over the suffixes, and the two best scores are combined with
+    the seed pair's own substitution score.
+    """
+    if not 0 <= seed_query < len(query):
+        raise AlignmentError(f"seed_query {seed_query} out of range")
+    if not 0 <= seed_subject < len(subject):
+        raise AlignmentError(f"seed_subject {seed_subject} out of range")
+    codes_q, codes_s = query.codes, subject.codes
+    seed_score = matrix.score(codes_q[seed_query], codes_s[seed_subject])
+
+    left_q = codes_q[:seed_query][::-1]
+    left_s = codes_s[:seed_subject][::-1]
+    left_score, left_i, left_j = xdrop_extend(left_q, left_s, matrix, gaps, x_drop)
+
+    right_q = codes_q[seed_query + 1 :]
+    right_s = codes_s[seed_subject + 1 :]
+    right_score, right_i, right_j = xdrop_extend(
+        right_q, right_s, matrix, gaps, x_drop
+    )
+    return ExtensionResult(
+        score=seed_score + left_score + right_score,
+        query_start=seed_query - left_i,
+        query_end=seed_query + 1 + right_i,
+        subject_start=seed_subject - left_j,
+        subject_end=seed_subject + 1 + right_j,
+    )
+
+
+def banded_local_score(
+    seq_a: Sequence,
+    seq_b: Sequence,
+    center_diagonal: int,
+    bandwidth: int,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalties = GapPenalties(),
+) -> int:
+    """Smith–Waterman score restricted to a diagonal band.
+
+    Cells ``(i, j)`` participate only when
+    ``|(j - i) - center_diagonal| <= bandwidth``. Fasta uses this to
+    rescore the neighbourhood of its best initial diagonal cheaply.
+    """
+    if bandwidth < 0:
+        raise AlignmentError(f"bandwidth must be >= 0, got {bandwidth}")
+    codes_a, codes_b = seq_a.codes, seq_b.codes
+    m, n = len(codes_a), len(codes_b)
+    open_cost = gaps.open_ + gaps.extend
+    extend_cost = gaps.extend
+    scores = matrix.scores
+
+    best = 0
+    prev_v = [0] * (n + 1)
+    prev_f = [NEG_INF] * (n + 1)
+    for i in range(1, m + 1):
+        lo = max(1, i + center_diagonal - bandwidth)
+        hi = min(n, i + center_diagonal + bandwidth)
+        row_v = [0] * (n + 1)
+        row_f = [NEG_INF] * (n + 1)
+        if lo > hi:
+            prev_v, prev_f = row_v, row_f
+            continue
+        matrix_row = scores[codes_a[i - 1]]
+        e = NEG_INF
+        for j in range(lo, hi + 1):
+            e = max(e - extend_cost, row_v[j - 1] - open_cost)
+            f = max(prev_f[j] - extend_cost, prev_v[j] - open_cost)
+            g = prev_v[j - 1] + matrix_row[codes_b[j - 1]]
+            value = max(e, f, g, 0)
+            row_v[j] = value
+            row_f[j] = f
+            if value > best:
+                best = value
+        prev_v, prev_f = row_v, row_f
+    return int(best)

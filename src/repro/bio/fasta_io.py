@@ -1,0 +1,98 @@
+"""FASTA reading and writing.
+
+Only the classic ``>`` header format is supported — that is all BioPerf's
+inputs use. Parsing is streaming and tolerant of blank lines; writing
+wraps residues at a configurable width.
+"""
+
+from __future__ import annotations
+
+import io
+from collections.abc import Iterable, Iterator
+from pathlib import Path
+
+from repro.bio.alphabet import Alphabet
+from repro.bio.sequence import Sequence
+from repro.errors import FastaParseError
+
+
+def parse_fasta(
+    stream: io.TextIOBase | Iterable[str],
+    alphabet: Alphabet | None = None,
+) -> Iterator[Sequence]:
+    """Yield :class:`Sequence` records from an open text stream.
+
+    Parameters
+    ----------
+    stream:
+        Any iterable of lines (open file, list of strings, ...).
+    alphabet:
+        Forced alphabet for every record; guessed per-record when omitted.
+    """
+    header: str | None = None
+    chunks: list[str] = []
+    line_no = 0
+    for line_no, raw in enumerate(stream, start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield _make_record(header, chunks, alphabet)
+            header = line[1:].strip()
+            if not header:
+                raise FastaParseError(f"empty FASTA header at line {line_no}")
+            chunks = []
+        else:
+            if header is None:
+                raise FastaParseError(
+                    f"sequence data before any header at line {line_no}"
+                )
+            chunks.append(line)
+    if header is not None:
+        yield _make_record(header, chunks, alphabet)
+
+
+def _make_record(
+    header: str, chunks: list[str], alphabet: Alphabet | None
+) -> Sequence:
+    residues = "".join(chunks)
+    if not residues:
+        raise FastaParseError(f"record {header!r} has no sequence data")
+    seq_id, _, description = header.partition(" ")
+    return Sequence(seq_id, residues, alphabet, description.strip())
+
+
+def read_fasta(path: str | Path, alphabet: Alphabet | None = None) -> list[Sequence]:
+    """Read every record of the FASTA file at ``path``."""
+    with open(path, encoding="ascii") as handle:
+        return list(parse_fasta(handle, alphabet))
+
+
+def parse_fasta_text(text: str, alphabet: Alphabet | None = None) -> list[Sequence]:
+    """Parse FASTA records from an in-memory string."""
+    return list(parse_fasta(io.StringIO(text), alphabet))
+
+
+def format_fasta(records: Iterable[Sequence], width: int = 60) -> str:
+    """Render ``records`` as FASTA text with lines wrapped at ``width``."""
+    if width < 1:
+        raise FastaParseError(f"wrap width must be >= 1, got {width}")
+    parts: list[str] = []
+    for record in records:
+        header = record.id
+        if record.description:
+            header = f"{header} {record.description}"
+        parts.append(f">{header}")
+        residues = record.residues
+        for start in range(0, len(residues), width):
+            parts.append(residues[start : start + width])
+    return "\n".join(parts) + "\n"
+
+
+def write_fasta(
+    path: str | Path, records: Iterable[Sequence], width: int = 60
+) -> None:
+    """Write ``records`` to ``path`` in FASTA format."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(format_fasta(records, width))

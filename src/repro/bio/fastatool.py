@@ -1,0 +1,190 @@
+"""Fasta-style search: the ktup heuristic and full ssearch.
+
+Two search modes mirror the FASTA package the paper profiles:
+
+* :func:`fasta_search` — the classic ktup pipeline: identical-word hits
+  are binned per diagonal (``init1``), compatible diagonal runs are
+  chained (``initn``), and the best candidates are rescored with banded
+  Smith–Waterman (``opt`` score).
+* :func:`ssearch` — exhaustive Smith–Waterman of the query against every
+  database sequence. Its inner loop is the ``dropgsw`` kernel that takes
+  ~99% of ssearch runtime in the paper's Figure 1.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.bio.banded import banded_local_score
+from repro.bio.pairwise import smith_waterman_score
+from repro.bio.scoring import GapPenalties, SubstitutionMatrix, default_matrix
+from repro.bio.sequence import Sequence
+from repro.errors import AlignmentError
+
+
+@dataclass(frozen=True)
+class DiagonalRun:
+    """A maximal run of word hits on one diagonal."""
+
+    diagonal: int
+    query_start: int
+    query_end: int
+    score: int
+
+
+@dataclass(frozen=True)
+class FastaHit:
+    """Scores for one database sequence, FASTA-style.
+
+    ``init1`` is the best single diagonal-run score, ``initn`` the best
+    chained score, ``opt`` the banded Smith–Waterman rescore.
+    """
+
+    subject: Sequence
+    init1: int
+    initn: int
+    opt: int
+
+
+@dataclass(frozen=True)
+class SsearchHit:
+    """Full Smith–Waterman score for one database sequence."""
+
+    subject: Sequence
+    score: int
+
+
+def _diagonal_runs(
+    query: Sequence,
+    subject: Sequence,
+    ktup: int,
+    matrix: SubstitutionMatrix,
+    max_gap: int = 16,
+) -> list[DiagonalRun]:
+    """Find maximal scored word-hit runs per diagonal.
+
+    Word hits closer than ``max_gap`` on the same diagonal join one run;
+    each hit contributes its substitution-matrix self-score.
+    """
+    words: dict[str, list[int]] = defaultdict(list)
+    for offset, word in subject.kmers(ktup):
+        words[word].append(offset)
+    per_diag: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    scores = matrix.scores
+    codes_q = query.codes
+    for q_offset, word in query.kmers(ktup):
+        hit_score = sum(
+            int(scores[codes_q[q_offset + k], codes_q[q_offset + k]])
+            for k in range(ktup)
+        )
+        for s_offset in words.get(word, ()):
+            per_diag[s_offset - q_offset].append((q_offset, hit_score))
+
+    runs: list[DiagonalRun] = []
+    for diagonal, hits in per_diag.items():
+        hits.sort()
+        run_start = hits[0][0]
+        run_end = run_start + ktup
+        run_score = hits[0][1]
+        for q_offset, hit_score in hits[1:]:
+            if q_offset - run_end <= max_gap:
+                run_score += hit_score
+                run_end = max(run_end, q_offset + ktup)
+            else:
+                runs.append(
+                    DiagonalRun(diagonal, run_start, run_end, run_score)
+                )
+                run_start, run_end, run_score = (
+                    q_offset,
+                    q_offset + ktup,
+                    hit_score,
+                )
+        runs.append(DiagonalRun(diagonal, run_start, run_end, run_score))
+    return runs
+
+
+def _chain_runs(runs: list[DiagonalRun], join_penalty: int) -> int:
+    """Best chained score over compatible runs (FASTA's ``initn``).
+
+    Runs are chainable when the second starts after the first ends in
+    query coordinates; each join costs ``join_penalty``. Solved by a
+    simple DP over runs sorted by query start.
+    """
+    if not runs:
+        return 0
+    ordered = sorted(runs, key=lambda run: run.query_start)
+    best_ending = [run.score for run in ordered]
+    for i, run in enumerate(ordered):
+        for j in range(i):
+            if ordered[j].query_end <= run.query_start:
+                candidate = best_ending[j] + run.score - join_penalty
+                if candidate > best_ending[i]:
+                    best_ending[i] = candidate
+    return max(best_ending)
+
+
+def fasta_search(
+    query: Sequence,
+    database: list[Sequence],
+    ktup: int = 2,
+    matrix: SubstitutionMatrix | None = None,
+    gaps: GapPenalties = GapPenalties(12, 2),
+    join_penalty: int = 20,
+    bandwidth: int = 16,
+    top_n: int = 20,
+) -> list[FastaHit]:
+    """Run the ktup heuristic against ``database``.
+
+    The ``top_n`` candidates by ``initn`` are rescored with banded
+    Smith–Waterman around their best diagonal (``opt`` score); hits are
+    returned sorted by ``opt`` descending.
+    """
+    if not database:
+        raise AlignmentError("database must contain sequences")
+    if matrix is None:
+        matrix = default_matrix(query.alphabet)
+    scored: list[tuple[int, int, int, Sequence]] = []
+    for subject in database:
+        runs = _diagonal_runs(query, subject, ktup, matrix)
+        init1 = max((run.score for run in runs), default=0)
+        initn = _chain_runs(runs, join_penalty)
+        best_diag = 0
+        if runs:
+            best_diag = max(runs, key=lambda run: run.score).diagonal
+        scored.append((initn, init1, best_diag, subject))
+
+    scored.sort(key=lambda item: -item[0])
+    hits: list[FastaHit] = []
+    for initn, init1, best_diag, subject in scored[:top_n]:
+        if initn <= 0:
+            continue
+        opt = banded_local_score(
+            query, subject, best_diag, bandwidth, matrix, gaps
+        )
+        hits.append(FastaHit(subject, init1=init1, initn=initn, opt=opt))
+    hits.sort(key=lambda hit: -hit.opt)
+    return hits
+
+
+def ssearch(
+    query: Sequence,
+    database: list[Sequence],
+    matrix: SubstitutionMatrix | None = None,
+    gaps: GapPenalties = GapPenalties(12, 2),
+) -> list[SsearchHit]:
+    """Exhaustive Smith–Waterman search (FASTA's ``ssearch34_t``).
+
+    Every database sequence is scored with the full ``dropgsw`` kernel;
+    results are sorted by score descending.
+    """
+    if not database:
+        raise AlignmentError("database must contain sequences")
+    if matrix is None:
+        matrix = default_matrix(query.alphabet)
+    hits = [
+        SsearchHit(subject, smith_waterman_score(query, subject, matrix, gaps))
+        for subject in database
+    ]
+    hits.sort(key=lambda hit: -hit.score)
+    return hits

@@ -1,0 +1,176 @@
+"""Guide trees for progressive multiple alignment.
+
+Clustalw's second stage clusters the pairwise distance matrix into a
+binary guide tree that orders the progressive alignment. Both classic
+agglomerative methods are provided: UPGMA and neighbour joining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import AlignmentError
+
+
+@dataclass
+class TreeNode:
+    """A node of a rooted binary guide tree.
+
+    Leaves carry the index of a sequence; internal nodes carry their two
+    children and the height/branch bookkeeping of the clustering method.
+    """
+
+    index: int | None = None
+    left: "TreeNode | None" = None
+    right: "TreeNode | None" = None
+    height: float = 0.0
+    size: int = 1
+    leaves: tuple[int, ...] = field(default_factory=tuple)
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.index is not None
+
+    def __post_init__(self) -> None:
+        if self.index is not None and not self.leaves:
+            self.leaves = (self.index,)
+
+    def newick(self) -> str:
+        """Serialise to Newick (leaf labels are sequence indices)."""
+        if self.is_leaf:
+            return str(self.index)
+        assert self.left is not None and self.right is not None
+        return f"({self.left.newick()},{self.right.newick()})"
+
+    def postorder(self):
+        """Yield nodes children-first (the progressive-alignment order)."""
+        if self.left is not None:
+            yield from self.left.postorder()
+        if self.right is not None:
+            yield from self.right.postorder()
+        yield self
+
+
+def _check_distances(distances: np.ndarray) -> np.ndarray:
+    distances = np.asarray(distances, dtype=float)
+    if distances.ndim != 2 or distances.shape[0] != distances.shape[1]:
+        raise AlignmentError("distance matrix must be square")
+    if distances.shape[0] < 2:
+        raise AlignmentError("need at least two sequences to build a tree")
+    if not np.allclose(distances, distances.T):
+        raise AlignmentError("distance matrix must be symmetric")
+    return distances
+
+
+def upgma(distances: np.ndarray) -> TreeNode:
+    """Build a UPGMA tree from a symmetric distance matrix.
+
+    Repeatedly merges the closest pair of clusters; the inter-cluster
+    distance is the size-weighted average of member distances.
+    """
+    distances = _check_distances(distances)
+    n = distances.shape[0]
+    nodes: dict[int, TreeNode] = {i: TreeNode(index=i) for i in range(n)}
+    work = distances.copy()
+    active = list(range(n))
+    next_id = n
+    matrix: dict[tuple[int, int], float] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[(i, j)] = float(work[i, j])
+
+    def get(a: int, b: int) -> float:
+        return matrix[(a, b) if a < b else (b, a)]
+
+    while len(active) > 1:
+        best_pair = min(
+            (
+                (get(a, b), (a, b))
+                for idx, a in enumerate(active)
+                for b in active[idx + 1 :]
+            ),
+            key=lambda item: item[0],
+        )[1]
+        a, b = best_pair
+        node_a, node_b = nodes[a], nodes[b]
+        merged = TreeNode(
+            left=node_a,
+            right=node_b,
+            height=get(a, b) / 2.0,
+            size=node_a.size + node_b.size,
+            leaves=node_a.leaves + node_b.leaves,
+        )
+        for other in active:
+            if other in (a, b):
+                continue
+            new_distance = (
+                get(a, other) * node_a.size + get(b, other) * node_b.size
+            ) / merged.size
+            matrix[(min(other, next_id), max(other, next_id))] = new_distance
+        active = [x for x in active if x not in (a, b)] + [next_id]
+        nodes[next_id] = merged
+        next_id += 1
+    return nodes[active[0]]
+
+
+def neighbour_joining(distances: np.ndarray) -> TreeNode:
+    """Build a (rooted-at-last-join) neighbour-joining tree.
+
+    Classic Saitou–Nei NJ; the final three-way join is resolved by
+    merging the last two nodes under a root, which is all the progressive
+    aligner needs (it only consumes the merge order).
+    """
+    distances = _check_distances(distances)
+    n = distances.shape[0]
+    nodes: dict[int, TreeNode] = {i: TreeNode(index=i) for i in range(n)}
+    matrix: dict[tuple[int, int], float] = {}
+    for i in range(n):
+        for j in range(i + 1, n):
+            matrix[(i, j)] = float(distances[i, j])
+    active = list(range(n))
+    next_id = n
+
+    def get(a: int, b: int) -> float:
+        if a == b:
+            return 0.0
+        return matrix[(a, b) if a < b else (b, a)]
+
+    while len(active) > 2:
+        count = len(active)
+        totals = {a: sum(get(a, b) for b in active) for a in active}
+        best_q, best_pair = None, None
+        for idx, a in enumerate(active):
+            for b in active[idx + 1 :]:
+                q = (count - 2) * get(a, b) - totals[a] - totals[b]
+                if best_q is None or q < best_q:
+                    best_q, best_pair = q, (a, b)
+        assert best_pair is not None
+        a, b = best_pair
+        node_a, node_b = nodes[a], nodes[b]
+        merged = TreeNode(
+            left=node_a,
+            right=node_b,
+            height=max(node_a.height, node_b.height) + get(a, b) / 2.0,
+            size=node_a.size + node_b.size,
+            leaves=node_a.leaves + node_b.leaves,
+        )
+        for other in active:
+            if other in (a, b):
+                continue
+            new_distance = (get(a, other) + get(b, other) - get(a, b)) / 2.0
+            matrix[(min(other, next_id), max(other, next_id))] = new_distance
+        active = [x for x in active if x not in (a, b)] + [next_id]
+        nodes[next_id] = merged
+        next_id += 1
+
+    a, b = active
+    node_a, node_b = nodes[a], nodes[b]
+    return TreeNode(
+        left=node_a,
+        right=node_b,
+        height=max(node_a.height, node_b.height) + get(a, b) / 2.0,
+        size=node_a.size + node_b.size,
+        leaves=node_a.leaves + node_b.leaves,
+    )

@@ -1,0 +1,502 @@
+"""Plan7-lite profile hidden Markov models.
+
+A trimmed-down version of HMMER2's Plan7 architecture: match, insert and
+delete states per model position, with local entry (begin -> any match)
+and local exit (any match -> end). All scores are integer-scaled
+log-odds (:data:`SCALE` units per nat) so that the mini-ISA ``p7_viterbi``
+kernel — which runs in integer arithmetic exactly like HMMER2's — can be
+validated bit-for-bit against :func:`viterbi_score`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bio.alphabet import Alphabet
+from repro.bio.sequence import Sequence
+from repro.bio.statistics import background_frequencies
+from repro.errors import HmmError
+
+#: Fixed-point scale: score units per nat of log-odds.
+SCALE = 1000
+
+#: "Minus infinity" for integer Viterbi; safe under repeated addition.
+NEG_INF_SCORE = -(1 << 30)
+
+
+def log_odds(probability: float, background: float) -> int:
+    """Integer-scaled log-odds score of ``probability`` vs ``background``."""
+    if probability <= 0.0:
+        return NEG_INF_SCORE
+    return int(round(SCALE * math.log(probability / background)))
+
+
+def log_prob(probability: float) -> int:
+    """Integer-scaled log of a transition probability."""
+    if probability <= 0.0:
+        return NEG_INF_SCORE
+    return int(round(SCALE * math.log(probability)))
+
+
+@dataclass
+class ProfileHmm:
+    """A profile HMM with integer log-odds scores.
+
+    Arrays are indexed by model position ``k`` (0-based over ``length``
+    match states). Transition arrays hold the score of leaving position
+    ``k``; entries that would leave the model are minus infinity.
+    """
+
+    name: str
+    alphabet: Alphabet
+    match_scores: np.ndarray  # (length, |alphabet|) int32
+    insert_scores: np.ndarray  # (length, |alphabet|) int32
+    t_mm: np.ndarray
+    t_mi: np.ndarray
+    t_md: np.ndarray
+    t_im: np.ndarray
+    t_ii: np.ndarray
+    t_dm: np.ndarray
+    t_dd: np.ndarray
+    begin_to_match: np.ndarray  # (length,) local entry scores
+    match_to_end: np.ndarray  # (length,) local exit scores
+
+    def __post_init__(self) -> None:
+        length = self.length
+        expected_2d = (length, len(self.alphabet))
+        if self.match_scores.shape != expected_2d:
+            raise HmmError(
+                f"match_scores shape {self.match_scores.shape} != {expected_2d}"
+            )
+        for name in ("t_mm", "t_mi", "t_md", "t_im", "t_ii", "t_dm", "t_dd",
+                     "begin_to_match", "match_to_end"):
+            array = getattr(self, name)
+            if array.shape != (length,):
+                raise HmmError(f"{name} must have shape ({length},)")
+
+    @property
+    def length(self) -> int:
+        """Number of match states."""
+        return self.match_scores.shape[0]
+
+    def __repr__(self) -> str:
+        return f"ProfileHmm({self.name!r}, length={self.length})"
+
+
+def build_hmm(
+    name: str,
+    aligned: list[str],
+    alphabet: Alphabet,
+    match_threshold: float = 0.5,
+    pseudocount: float = 1.0,
+) -> ProfileHmm:
+    """Estimate a profile HMM from an aligned sequence family.
+
+    ``aligned`` holds equal-length rows with ``-`` for gaps. Columns where
+    at least ``match_threshold`` of rows have a residue become match
+    states (the HMMER2 default rule). Emissions and transitions are
+    maximum-likelihood estimates with Laplace ``pseudocount`` smoothing,
+    converted to integer log-odds against the background distribution.
+    """
+    if not aligned:
+        raise HmmError("need at least one aligned sequence")
+    width = len(aligned[0])
+    if width == 0 or any(len(row) != width for row in aligned):
+        raise HmmError("aligned rows must be non-empty and equal length")
+
+    rows = [row.upper() for row in aligned]
+    n_rows = len(rows)
+    match_columns = [
+        col
+        for col in range(width)
+        if sum(1 for row in rows if row[col] != "-") >= match_threshold * n_rows
+    ]
+    if not match_columns:
+        raise HmmError("alignment has no match columns")
+    length = len(match_columns)
+    size = len(alphabet)
+    background = background_frequencies(alphabet)
+    background = np.maximum(background, 1e-9)
+
+    match_counts = np.full((length, size), pseudocount)
+    insert_counts = np.full((length, size), pseudocount)
+    # Transition counts out of (match, insert, delete) at position k.
+    transitions = {
+        key: np.full(length, pseudocount)
+        for key in ("mm", "mi", "md", "im", "ii", "dm", "dd")
+    }
+
+    column_kind = ["insert"] * width
+    for position, col in enumerate(match_columns):
+        column_kind[col] = position  # type: ignore[call-overload]
+
+    for row in rows:
+        state = "m"  # virtual begin behaves like a match state
+        position = -1
+        for col in range(width):
+            kind = column_kind[col]
+            symbol = row[col]
+            if kind == "insert":
+                if symbol == "-":
+                    continue
+                insert_at = max(position, 0)
+                insert_counts[insert_at, alphabet.code(symbol)] += 1
+                if state == "m":
+                    if position >= 0:
+                        transitions["mi"][position] += 1
+                    state = "i"
+                elif state == "i":
+                    transitions["ii"][insert_at] += 1
+                continue
+            # Match column.
+            next_position = kind
+            if symbol == "-":
+                new_state = "d"
+            else:
+                match_counts[next_position, alphabet.code(symbol)] += 1
+                new_state = "m"
+            if position >= 0:
+                key = state + new_state
+                if key == "id":
+                    # Plan7 has no I->D edge; attribute the exit to I->M.
+                    key = "im"
+                transitions[key][position] += 1
+            elif state == "i":
+                transitions["im"][0] += 1
+            state = new_state
+            position = next_position
+
+    def normalise(counts: np.ndarray) -> np.ndarray:
+        return counts / counts.sum(axis=1, keepdims=True)
+
+    match_probs = normalise(match_counts)
+    insert_probs = normalise(insert_counts)
+    match_scores = np.array(
+        [
+            [log_odds(match_probs[k, c], background[c]) for c in range(size)]
+            for k in range(length)
+        ],
+        dtype=np.int64,
+    )
+    insert_scores = np.array(
+        [
+            [log_odds(insert_probs[k, c], background[c]) for c in range(size)]
+            for k in range(length)
+        ],
+        dtype=np.int64,
+    )
+
+    def transition_scores(kind_out: tuple[str, str, str]) -> dict[str, np.ndarray]:
+        """Normalise each state's out-transitions and convert to scores."""
+        out: dict[str, np.ndarray] = {}
+        totals = sum(transitions[key] for key in kind_out)
+        for key in kind_out:
+            probs = transitions[key] / totals
+            out[key] = np.array(
+                [log_prob(p) for p in probs], dtype=np.int64
+            )
+        return out
+
+    m_out = transition_scores(("mm", "mi", "md"))
+    # Insert and delete states have two out-transitions each.
+    i_totals = transitions["im"] + transitions["ii"]
+    i_out = {
+        "im": np.array(
+            [log_prob(p) for p in transitions["im"] / i_totals], dtype=np.int64
+        ),
+        "ii": np.array(
+            [log_prob(p) for p in transitions["ii"] / i_totals], dtype=np.int64
+        ),
+    }
+    d_totals = transitions["dm"] + transitions["dd"]
+    d_out = {
+        "dm": np.array(
+            [log_prob(p) for p in transitions["dm"] / d_totals], dtype=np.int64
+        ),
+        "dd": np.array(
+            [log_prob(p) for p in transitions["dd"] / d_totals], dtype=np.int64
+        ),
+    }
+
+    # Local entry/exit: uniform over positions (Plan7 "fs" style).
+    entry = log_prob(1.0 / length)
+    begin_to_match = np.full(length, entry, dtype=np.int64)
+    match_to_end = np.full(length, log_prob(1.0 / length), dtype=np.int64)
+
+    # Last position cannot continue inside the model.
+    m_out["mm"][length - 1] = NEG_INF_SCORE
+    m_out["md"][length - 1] = NEG_INF_SCORE
+    d_out["dm"][length - 1] = NEG_INF_SCORE
+    d_out["dd"][length - 1] = NEG_INF_SCORE
+    i_out["im"][length - 1] = NEG_INF_SCORE
+
+    return ProfileHmm(
+        name=name,
+        alphabet=alphabet,
+        match_scores=match_scores,
+        insert_scores=insert_scores,
+        t_mm=m_out["mm"],
+        t_mi=m_out["mi"],
+        t_md=m_out["md"],
+        t_im=i_out["im"],
+        t_ii=i_out["ii"],
+        t_dm=d_out["dm"],
+        t_dd=d_out["dd"],
+        begin_to_match=begin_to_match,
+        match_to_end=match_to_end,
+    )
+
+
+def viterbi_score(hmm: ProfileHmm, seq: Sequence) -> int:
+    """Integer Viterbi score of ``seq`` against ``hmm`` (local mode).
+
+    This is the reference implementation of the ``P7Viterbi`` kernel the
+    paper identifies as >50% of Hmmer runtime; the mini-ISA version in
+    :mod:`repro.kernels.viterbi` must produce the identical score.
+    """
+    if seq.alphabet != hmm.alphabet:
+        raise HmmError("sequence alphabet does not match the model")
+    codes = seq.codes
+    n = len(codes)
+    if n == 0:
+        raise HmmError("cannot score an empty sequence")
+    length = hmm.length
+    neg = NEG_INF_SCORE
+
+    m_prev = [neg] * length
+    i_prev = [neg] * length
+    d_prev = [neg] * length
+    best = neg
+    for i in range(n):
+        emit_m = hmm.match_scores[:, codes[i]]
+        emit_i = hmm.insert_scores[:, codes[i]]
+        m_cur = [neg] * length
+        i_cur = [neg] * length
+        d_cur = [neg] * length
+        for k in range(length):
+            # Match state: from begin (local entry) or position k-1.
+            score = int(hmm.begin_to_match[k])
+            if k > 0:
+                via_m = m_prev[k - 1] + int(hmm.t_mm[k - 1])
+                via_i = i_prev[k - 1] + int(hmm.t_im[k - 1])
+                via_d = d_prev[k - 1] + int(hmm.t_dm[k - 1])
+                if via_m > score:
+                    score = via_m
+                if via_i > score:
+                    score = via_i
+                if via_d > score:
+                    score = via_d
+            m_cur[k] = score + int(emit_m[k])
+            # Insert state: stay at position k.
+            via_m = m_prev[k] + int(hmm.t_mi[k])
+            via_i = i_prev[k] + int(hmm.t_ii[k])
+            i_cur[k] = max(via_m, via_i) + int(emit_i[k])
+            # Delete state: within the current row.
+            if k > 0:
+                via_m = m_cur[k - 1] + int(hmm.t_md[k - 1])
+                via_d = d_cur[k - 1] + int(hmm.t_dd[k - 1])
+                d_cur[k] = max(via_m, via_d)
+        for k in range(length):
+            exit_score = m_cur[k] + int(hmm.match_to_end[k])
+            if exit_score > best:
+                best = exit_score
+        m_prev, i_prev, d_prev = m_cur, i_cur, d_cur
+    return best
+
+
+@dataclass(frozen=True)
+class ViterbiAlignment:
+    """The best state path through the model.
+
+    ``path`` lists ``(state, position, residue_index)`` triples in
+    order: state is ``"M"``/``"I"``/``"D"``, position is the model
+    position (0-based), and residue_index is the 0-based sequence index
+    consumed (None for delete states).
+    """
+
+    score: int
+    path: tuple[tuple[str, int, int | None], ...]
+
+    @property
+    def matched_positions(self) -> int:
+        return sum(1 for state, _k, _i in self.path if state == "M")
+
+
+def viterbi_align(hmm: ProfileHmm, seq: Sequence) -> ViterbiAlignment:
+    """Viterbi with traceback; the score equals :func:`viterbi_score`.
+
+    Local on both the model (uniform entry/exit) and the sequence (the
+    alignment may start and end at any residue).
+    """
+    if seq.alphabet != hmm.alphabet:
+        raise HmmError("sequence alphabet does not match the model")
+    codes = seq.codes
+    n = len(codes)
+    if n == 0:
+        raise HmmError("cannot align an empty sequence")
+    length = hmm.length
+    neg = NEG_INF_SCORE
+
+    # Full matrices with backpointers: (prev_state, prev_i, prev_k).
+    m = [[neg] * length for _ in range(n)]
+    i_mat = [[neg] * length for _ in range(n)]
+    d = [[neg] * length for _ in range(n)]
+    back: dict[tuple[str, int, int], tuple[str, int, int] | None] = {}
+
+    best = neg
+    best_cell: tuple[int, int] | None = None
+    for i in range(n):
+        emit_m = hmm.match_scores[:, codes[i]]
+        emit_i = hmm.insert_scores[:, codes[i]]
+        for k in range(length):
+            # Match.
+            score, origin = int(hmm.begin_to_match[k]), None
+            if i > 0 and k > 0:
+                candidates = (
+                    (m[i - 1][k - 1] + int(hmm.t_mm[k - 1]),
+                     ("M", i - 1, k - 1)),
+                    (i_mat[i - 1][k - 1] + int(hmm.t_im[k - 1]),
+                     ("I", i - 1, k - 1)),
+                    (d[i - 1][k - 1] + int(hmm.t_dm[k - 1]),
+                     ("D", i - 1, k - 1)),
+                )
+                for value, source in candidates:
+                    if value > score:
+                        score, origin = value, source
+            m[i][k] = score + int(emit_m[k])
+            back[("M", i, k)] = origin
+            # Insert.
+            if i > 0:
+                via_m = m[i - 1][k] + int(hmm.t_mi[k])
+                via_i = i_mat[i - 1][k] + int(hmm.t_ii[k])
+                if via_m >= via_i:
+                    i_mat[i][k] = via_m + int(emit_i[k])
+                    back[("I", i, k)] = ("M", i - 1, k)
+                else:
+                    i_mat[i][k] = via_i + int(emit_i[k])
+                    back[("I", i, k)] = ("I", i - 1, k)
+            # Delete.
+            if k > 0:
+                via_m = m[i][k - 1] + int(hmm.t_md[k - 1])
+                via_d = d[i][k - 1] + int(hmm.t_dd[k - 1])
+                if via_m >= via_d:
+                    d[i][k] = via_m
+                    back[("D", i, k)] = ("M", i, k - 1)
+                else:
+                    d[i][k] = via_d
+                    back[("D", i, k)] = ("D", i, k - 1)
+        for k in range(length):
+            exit_score = m[i][k] + int(hmm.match_to_end[k])
+            if exit_score > best:
+                best = exit_score
+                best_cell = (i, k)
+
+    assert best_cell is not None
+    path: list[tuple[str, int, int | None]] = []
+    cursor: tuple[str, int, int] | None = ("M", *best_cell)
+    while cursor is not None:
+        state, i, k = cursor
+        path.append((state, k, None if state == "D" else i))
+        cursor = back.get(cursor)
+    path.reverse()
+    return ViterbiAlignment(score=int(best), path=tuple(path))
+
+
+def path_score(
+    hmm: ProfileHmm, seq: Sequence, path: tuple[tuple[str, int, int | None], ...]
+) -> int:
+    """Recompute the score of an explicit state path (for validation)."""
+    if not path:
+        raise HmmError("empty path")
+    codes = seq.codes
+    first_state, first_k, _ = path[0]
+    if first_state != "M":
+        raise HmmError("paths must start in a match state")
+    total = int(hmm.begin_to_match[first_k])
+    for index, (state, k, residue) in enumerate(path):
+        if state == "M":
+            total += int(hmm.match_scores[k, codes[residue]])
+        elif state == "I":
+            total += int(hmm.insert_scores[k, codes[residue]])
+        if index + 1 < len(path):
+            next_state, next_k, _ = path[index + 1]
+            key = (state, next_state)
+            if key == ("M", "M"):
+                total += int(hmm.t_mm[k])
+            elif key == ("M", "I"):
+                total += int(hmm.t_mi[k])
+            elif key == ("M", "D"):
+                total += int(hmm.t_md[k])
+            elif key == ("I", "M"):
+                total += int(hmm.t_im[k])
+            elif key == ("I", "I"):
+                total += int(hmm.t_ii[k])
+            elif key == ("D", "M"):
+                total += int(hmm.t_dm[k])
+            elif key == ("D", "D"):
+                total += int(hmm.t_dd[k])
+            else:
+                raise HmmError(f"illegal transition {key}")
+            del next_k
+    last_state, last_k, _ = path[-1]
+    if last_state != "M":
+        raise HmmError("paths must end in a match state")
+    total += int(hmm.match_to_end[last_k])
+    return total
+
+
+def forward_score(hmm: ProfileHmm, seq: Sequence) -> float:
+    """Log-space Forward score (nats) of ``seq`` against ``hmm``.
+
+    The Forward algorithm sums over paths instead of maximising; Hmmer
+    uses it as the alternative scorer mentioned in §II. Computed in
+    floating point from the integer score tables.
+    """
+    if seq.alphabet != hmm.alphabet:
+        raise HmmError("sequence alphabet does not match the model")
+    codes = seq.codes
+    if not codes:
+        raise HmmError("cannot score an empty sequence")
+    length = hmm.length
+    scale = float(SCALE)
+
+    def logaddexp(a: float, b: float) -> float:
+        return float(np.logaddexp(a, b))
+
+    neg = -math.inf
+    m_prev = [neg] * length
+    i_prev = [neg] * length
+    d_prev = [neg] * length
+    total = neg
+
+    def to_nats(value: int) -> float:
+        return neg if value <= NEG_INF_SCORE // 2 else value / scale
+
+    for code in codes:
+        m_cur = [neg] * length
+        i_cur = [neg] * length
+        d_cur = [neg] * length
+        for k in range(length):
+            acc = to_nats(int(hmm.begin_to_match[k]))
+            if k > 0:
+                acc = logaddexp(acc, m_prev[k - 1] + to_nats(int(hmm.t_mm[k - 1])))
+                acc = logaddexp(acc, i_prev[k - 1] + to_nats(int(hmm.t_im[k - 1])))
+                acc = logaddexp(acc, d_prev[k - 1] + to_nats(int(hmm.t_dm[k - 1])))
+            m_cur[k] = acc + to_nats(int(hmm.match_scores[k, code]))
+            acc_i = logaddexp(
+                m_prev[k] + to_nats(int(hmm.t_mi[k])),
+                i_prev[k] + to_nats(int(hmm.t_ii[k])),
+            )
+            i_cur[k] = acc_i + to_nats(int(hmm.insert_scores[k, code]))
+            if k > 0:
+                d_cur[k] = logaddexp(
+                    m_cur[k - 1] + to_nats(int(hmm.t_md[k - 1])),
+                    d_cur[k - 1] + to_nats(int(hmm.t_dd[k - 1])),
+                )
+        for k in range(length):
+            total = logaddexp(total, m_cur[k] + to_nats(int(hmm.match_to_end[k])))
+        m_prev, i_prev, d_prev = m_cur, i_cur, d_cur
+    return total

@@ -1,0 +1,184 @@
+"""K-mer indexing and neighbourhood word generation.
+
+Blast-style seeding needs two pieces of machinery:
+
+* a :class:`KmerIndex` over the database sequences, mapping each word to
+  its ``(sequence index, offset)`` occurrences;
+* :func:`neighbourhood` — for protein search, the set of words scoring at
+  least ``threshold`` against a query word under a substitution matrix
+  (the "T parameter" of blastp).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from collections.abc import Iterable, Iterator
+
+import numpy as np
+
+from repro.bio.alphabet import Alphabet
+from repro.bio.scoring import SubstitutionMatrix
+from repro.bio.sequence import Sequence
+from repro.errors import AlignmentError
+
+
+class KmerIndex:
+    """Exact-word inverted index over a sequence database.
+
+    Parameters
+    ----------
+    sequences:
+        Database records; their order defines the sequence indices
+        reported by :meth:`lookup`.
+    k:
+        Word length (blastp uses 3, blastn 11; Fasta's ``ktup`` is 1-2
+        for protein and 4-6 for DNA).
+    """
+
+    def __init__(self, sequences: Iterable[Sequence], k: int) -> None:
+        if k < 1:
+            raise AlignmentError(f"word length k must be >= 1, got {k}")
+        self.k = k
+        self.sequences = list(sequences)
+        self._table: dict[str, list[tuple[int, int]]] = defaultdict(list)
+        for seq_index, record in enumerate(self.sequences):
+            for offset, word in record.kmers(k):
+                self._table[word].append((seq_index, offset))
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, word: str) -> bool:
+        return word in self._table
+
+    def lookup(self, word: str) -> list[tuple[int, int]]:
+        """All ``(sequence index, offset)`` occurrences of ``word``."""
+        if len(word) != self.k:
+            raise AlignmentError(
+                f"word {word!r} has length {len(word)}, index k={self.k}"
+            )
+        return self._table.get(word, [])
+
+    def words(self) -> Iterator[str]:
+        """Iterate over the distinct words present in the database."""
+        return iter(self._table)
+
+
+def _word_score(
+    word_a: str, word_b: str, matrix: SubstitutionMatrix
+) -> int:
+    return sum(
+        matrix.score_symbols(x, y) for x, y in zip(word_a, word_b)
+    )
+
+
+def neighbourhood(
+    word: str,
+    matrix: SubstitutionMatrix,
+    threshold: int,
+    alphabet: Alphabet | None = None,
+) -> list[str]:
+    """All words scoring >= ``threshold`` against ``word`` under ``matrix``.
+
+    This is blastp's neighbourhood-word expansion. The search walks a
+    per-position branch-and-bound: a partial word is abandoned as soon as
+    even best-case completion cannot reach the threshold.
+    """
+    if alphabet is None:
+        alphabet = matrix.alphabet
+    k = len(word)
+    if k == 0:
+        raise AlignmentError("cannot expand an empty word")
+    word_codes = [alphabet.code(symbol) for symbol in word]
+    # residues to try at each position, excluding wildcard/stop which
+    # never help seeding
+    candidate_codes = [
+        code
+        for code in range(len(alphabet))
+        if alphabet.symbol(code) not in (alphabet.wildcard, "*")
+    ]
+    # best achievable score for the remaining suffix starting at position i
+    suffix_best = [0] * (k + 1)
+    for i in range(k - 1, -1, -1):
+        best_here = max(
+            matrix.score(word_codes[i], code) for code in candidate_codes
+        )
+        suffix_best[i] = suffix_best[i + 1] + best_here
+
+    results: list[str] = []
+    chosen: list[int] = []
+
+    def expand(position: int, score_so_far: int) -> None:
+        if position == k:
+            results.append(alphabet.decode(chosen))
+            return
+        for code in candidate_codes:
+            score = score_so_far + matrix.score(word_codes[position], code)
+            if score + suffix_best[position + 1] < threshold:
+                continue
+            chosen.append(code)
+            expand(position + 1, score)
+            chosen.pop()
+
+    expand(0, 0)
+    return results
+
+
+def diagonal_hits(
+    query: Sequence, index: KmerIndex, words_per_offset: dict[int, list[str]]
+) -> dict[tuple[int, int], list[tuple[int, int]]]:
+    """Group seed hits by ``(sequence index, diagonal)``.
+
+    ``words_per_offset`` maps each query offset to the words to look up
+    there (for blastp, the neighbourhood of the query word at that
+    offset). The diagonal of a hit pairing query offset ``q`` with subject
+    offset ``s`` is ``s - q``. Returns, per (sequence, diagonal), the list
+    of ``(query offset, subject offset)`` hits sorted by query offset.
+    """
+    grouped: dict[tuple[int, int], list[tuple[int, int]]] = defaultdict(list)
+    for q_offset, words in words_per_offset.items():
+        for word in words:
+            for seq_index, s_offset in index.lookup(word):
+                key = (seq_index, s_offset - q_offset)
+                grouped[key].append((q_offset, s_offset))
+    for hits in grouped.values():
+        hits.sort()
+    return grouped
+
+
+def shared_kmer_count(seq_a: Sequence, seq_b: Sequence, k: int) -> int:
+    """Number of k-mer occurrences shared between two sequences.
+
+    Used by Clustalw's quick (k-tuple) distance measure. Counts, over the
+    distinct words of ``seq_a``, the matched occurrences in ``seq_b``
+    (capped at the occurrence count in ``seq_a`` per word).
+    """
+    counts_a: dict[str, int] = defaultdict(int)
+    for _, word in seq_a.kmers(k):
+        counts_a[word] += 1
+    counts_b: dict[str, int] = defaultdict(int)
+    for _, word in seq_b.kmers(k):
+        counts_b[word] += 1
+    return sum(
+        min(count, counts_b.get(word, 0)) for word, count in counts_a.items()
+    )
+
+
+def kmer_profile(sequences: Iterable[Sequence], k: int) -> np.ndarray:
+    """Dense per-sequence k-mer count matrix (for workload statistics)."""
+    sequences = list(sequences)
+    if not sequences:
+        raise AlignmentError("need at least one sequence")
+    vocabulary: dict[str, int] = {}
+    rows = []
+    for record in sequences:
+        counts: dict[int, int] = defaultdict(int)
+        for _, word in record.kmers(k):
+            column = vocabulary.setdefault(word, len(vocabulary))
+            counts[column] += 1
+        rows.append(counts)
+    profile = np.zeros((len(sequences), len(vocabulary)), dtype=np.int64)
+    for row_index, counts in enumerate(rows):
+        for column, count in counts.items():
+            profile[row_index, column] = count
+    return profile

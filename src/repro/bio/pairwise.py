@@ -1,0 +1,328 @@
+"""Affine-gap pairwise alignment (Gotoh's algorithm).
+
+Implements the two dynamic-programming kernels the paper identifies as the
+hot spots of the BioPerf sequence codes:
+
+* :func:`smith_waterman` — local alignment, the ``dropgsw`` kernel of
+  Fasta's ``ssearch``;
+* :func:`needleman_wunsch` — global alignment, the ``forward_pass``
+  kernel of Clustalw's pairwise stage.
+
+Both follow the recurrence of the paper's pseudo-code (Algorithm in
+§III), with the standard Gotoh fix that ``F`` reads row ``i-1``:
+
+.. code-block:: text
+
+    G(i,j) = V(i-1,j-1) + W_ij
+    E(i,j) = max(E(i,j-1), V(i,j-1) - Wg) - Ws
+    F(i,j) = max(F(i-1,j), V(i-1,j) - Wg) - Ws
+    V(i,j) = max(E(i,j), F(i,j), G(i,j)[, 0])
+
+The ``max`` selections here are exactly the value-dependent conditional
+branches whose mispredictions the paper attacks with ``max``/``isel``
+instructions; the mini-ISA kernels in :mod:`repro.kernels` implement the
+same recurrence and are cross-checked against these references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bio.scoring import GapPenalties, SubstitutionMatrix
+from repro.bio.sequence import Sequence
+from repro.errors import AlignmentError
+
+#: Sentinel "minus infinity" that survives repeated additions of gap costs.
+NEG_INF = -(1 << 40)
+
+_DIAG, _LEFT, _UP = 0, 1, 2
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """The result of a pairwise alignment.
+
+    ``aligned_a``/``aligned_b`` are equal-length strings with ``-`` for
+    gaps; ``start_a``/``start_b`` are 0-based offsets of the first aligned
+    residue in each input (always 0 for global alignments).
+    """
+
+    score: int
+    aligned_a: str
+    aligned_b: str
+    start_a: int = 0
+    start_b: int = 0
+
+    def __post_init__(self) -> None:
+        if len(self.aligned_a) != len(self.aligned_b):
+            raise AlignmentError("aligned strings must have equal length")
+
+    @property
+    def end_a(self) -> int:
+        """End offset (exclusive) of the aligned region in sequence A."""
+        return self.start_a + len(self.aligned_a.replace("-", ""))
+
+    @property
+    def end_b(self) -> int:
+        """End offset (exclusive) of the aligned region in sequence B."""
+        return self.start_b + len(self.aligned_b.replace("-", ""))
+
+    @property
+    def length(self) -> int:
+        """Number of alignment columns."""
+        return len(self.aligned_a)
+
+    @property
+    def identities(self) -> int:
+        """Number of columns with identical residues."""
+        return sum(
+            1
+            for x, y in zip(self.aligned_a, self.aligned_b)
+            if x == y and x != "-"
+        )
+
+    @property
+    def identity(self) -> float:
+        """Fraction of identical columns (0.0 for an empty alignment)."""
+        if not self.aligned_a:
+            return 0.0
+        return self.identities / self.length
+
+    def pretty(self, width: int = 60) -> str:
+        """Human-readable three-line rendering wrapped at ``width``."""
+        lines: list[str] = []
+        for start in range(0, self.length, width):
+            top = self.aligned_a[start : start + width]
+            bottom = self.aligned_b[start : start + width]
+            middle = "".join(
+                "|" if x == y and x != "-" else " " for x, y in zip(top, bottom)
+            )
+            lines.extend((top, middle, bottom, ""))
+        return "\n".join(lines).rstrip("\n")
+
+
+def _check_inputs(
+    seq_a: Sequence, seq_b: Sequence, matrix: SubstitutionMatrix
+) -> None:
+    if seq_a.alphabet != matrix.alphabet or seq_b.alphabet != matrix.alphabet:
+        raise AlignmentError(
+            f"sequences ({seq_a.alphabet.name}, {seq_b.alphabet.name}) do not "
+            f"match matrix alphabet {matrix.alphabet.name}"
+        )
+    if len(seq_a) == 0 or len(seq_b) == 0:
+        raise AlignmentError("cannot align empty sequences")
+
+
+def smith_waterman_score(
+    seq_a: Sequence,
+    seq_b: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalties = GapPenalties(),
+) -> int:
+    """Best local alignment score, without traceback (fast path).
+
+    This is the score-only form of the kernel that dominates ``ssearch``
+    runtime; the mini-ISA Smith–Waterman kernel is validated against it.
+    """
+    _check_inputs(seq_a, seq_b, matrix)
+    codes_a, codes_b = seq_a.codes, seq_b.codes
+    n = len(codes_b)
+    open_cost = gaps.open_ + gaps.extend
+    extend_cost = gaps.extend
+    row_v = [0] * (n + 1)
+    row_f = [NEG_INF] * (n + 1)
+    best = 0
+    scores = matrix.scores
+    for code_a in codes_a:
+        matrix_row = scores[code_a]
+        diag = 0
+        e = NEG_INF
+        v_left = 0
+        for j in range(1, n + 1):
+            e = max(e - extend_cost, v_left - open_cost)
+            f = max(row_f[j] - extend_cost, row_v[j] - open_cost)
+            g = diag + matrix_row[codes_b[j - 1]]
+            v = max(e, f, g, 0)
+            diag = row_v[j]
+            row_v[j] = v
+            row_f[j] = f
+            v_left = v
+            if v > best:
+                best = v
+    return int(best)
+
+
+def smith_waterman(
+    seq_a: Sequence,
+    seq_b: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalties = GapPenalties(),
+) -> Alignment:
+    """Best local alignment with full traceback."""
+    _check_inputs(seq_a, seq_b, matrix)
+    codes_a, codes_b = seq_a.codes, seq_b.codes
+    m, n = len(codes_a), len(codes_b)
+    open_cost = gaps.open_ + gaps.extend
+    extend_cost = gaps.extend
+
+    v = [[0] * (n + 1) for _ in range(m + 1)]
+    e = [[NEG_INF] * (n + 1) for _ in range(m + 1)]
+    f = [[NEG_INF] * (n + 1) for _ in range(m + 1)]
+    best, best_i, best_j = 0, 0, 0
+    scores = matrix.scores
+    for i in range(1, m + 1):
+        matrix_row = scores[codes_a[i - 1]]
+        row_v, prev_v = v[i], v[i - 1]
+        row_e, row_f, prev_f = e[i], f[i], f[i - 1]
+        for j in range(1, n + 1):
+            row_e[j] = max(row_e[j - 1] - extend_cost, row_v[j - 1] - open_cost)
+            row_f[j] = max(prev_f[j] - extend_cost, prev_v[j] - open_cost)
+            g = prev_v[j - 1] + matrix_row[codes_b[j - 1]]
+            value = max(row_e[j], row_f[j], g, 0)
+            row_v[j] = value
+            if value > best:
+                best, best_i, best_j = value, i, j
+    aligned_a, aligned_b, start_i, start_j = _traceback_local(
+        codes_a, codes_b, seq_a.residues, seq_b.residues,
+        v, e, f, best_i, best_j, matrix, open_cost, extend_cost,
+    )
+    return Alignment(int(best), aligned_a, aligned_b, start_i, start_j)
+
+
+def _traceback_local(
+    codes_a, codes_b, res_a, res_b, v, e, f,
+    i, j, matrix, open_cost, extend_cost,
+):
+    """Walk back from the best local cell until a zero cell is reached."""
+    out_a: list[str] = []
+    out_b: list[str] = []
+    state = "v"
+    while i > 0 and j > 0:
+        if state == "v":
+            value = v[i][j]
+            if value == 0:
+                break
+            if value == e[i][j]:
+                state = "e"
+            elif value == f[i][j]:
+                state = "f"
+            else:
+                out_a.append(res_a[i - 1])
+                out_b.append(res_b[j - 1])
+                i -= 1
+                j -= 1
+        elif state == "e":
+            out_a.append("-")
+            out_b.append(res_b[j - 1])
+            if e[i][j] != e[i][j - 1] - extend_cost:
+                state = "v"
+            j -= 1
+        else:
+            out_a.append(res_a[i - 1])
+            out_b.append("-")
+            if f[i][j] != f[i - 1][j] - extend_cost:
+                state = "v"
+            i -= 1
+    return "".join(reversed(out_a)), "".join(reversed(out_b)), i, j
+
+
+def needleman_wunsch_score(
+    seq_a: Sequence,
+    seq_b: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalties = GapPenalties(),
+) -> int:
+    """Global alignment score without traceback.
+
+    This is the ``forward_pass`` kernel of Clustalw's pairwise stage.
+    """
+    _check_inputs(seq_a, seq_b, matrix)
+    codes_a, codes_b = seq_a.codes, seq_b.codes
+    n = len(codes_b)
+    open_cost = gaps.open_ + gaps.extend
+    extend_cost = gaps.extend
+    row_v = [0] + [-gaps.cost(j) for j in range(1, n + 1)]
+    row_f = [NEG_INF] * (n + 1)
+    scores = matrix.scores
+    for i, code_a in enumerate(codes_a, start=1):
+        matrix_row = scores[code_a]
+        diag = row_v[0]
+        row_v[0] = -gaps.cost(i)
+        e = NEG_INF
+        v_left = row_v[0]
+        for j in range(1, n + 1):
+            e = max(e - extend_cost, v_left - open_cost)
+            f = max(row_f[j] - extend_cost, row_v[j] - open_cost)
+            g = diag + matrix_row[codes_b[j - 1]]
+            value = max(e, f, g)
+            diag = row_v[j]
+            row_v[j] = value
+            row_f[j] = f
+            v_left = value
+    return int(row_v[n])
+
+
+def needleman_wunsch(
+    seq_a: Sequence,
+    seq_b: Sequence,
+    matrix: SubstitutionMatrix,
+    gaps: GapPenalties = GapPenalties(),
+) -> Alignment:
+    """Global alignment with full traceback."""
+    _check_inputs(seq_a, seq_b, matrix)
+    codes_a, codes_b = seq_a.codes, seq_b.codes
+    m, n = len(codes_a), len(codes_b)
+    open_cost = gaps.open_ + gaps.extend
+    extend_cost = gaps.extend
+
+    v = [[NEG_INF] * (n + 1) for _ in range(m + 1)]
+    e = [[NEG_INF] * (n + 1) for _ in range(m + 1)]
+    f = [[NEG_INF] * (n + 1) for _ in range(m + 1)]
+    v[0][0] = 0
+    for j in range(1, n + 1):
+        e[0][j] = -gaps.cost(j)
+        v[0][j] = e[0][j]
+    for i in range(1, m + 1):
+        f[i][0] = -gaps.cost(i)
+        v[i][0] = f[i][0]
+    scores = matrix.scores
+    for i in range(1, m + 1):
+        matrix_row = scores[codes_a[i - 1]]
+        row_v, prev_v = v[i], v[i - 1]
+        row_e, row_f, prev_f = e[i], f[i], f[i - 1]
+        for j in range(1, n + 1):
+            row_e[j] = max(row_e[j - 1] - extend_cost, row_v[j - 1] - open_cost)
+            row_f[j] = max(prev_f[j] - extend_cost, prev_v[j] - open_cost)
+            g = prev_v[j - 1] + matrix_row[codes_b[j - 1]]
+            row_v[j] = max(row_e[j], row_f[j], g)
+
+    out_a: list[str] = []
+    out_b: list[str] = []
+    i, j, state = m, n, "v"
+    res_a, res_b = seq_a.residues, seq_b.residues
+    while i > 0 or j > 0:
+        if state == "v":
+            if j > 0 and v[i][j] == e[i][j]:
+                state = "e"
+            elif i > 0 and v[i][j] == f[i][j]:
+                state = "f"
+            else:
+                out_a.append(res_a[i - 1])
+                out_b.append(res_b[j - 1])
+                i -= 1
+                j -= 1
+        elif state == "e":
+            out_a.append("-")
+            out_b.append(res_b[j - 1])
+            if j == 1 or e[i][j] != e[i][j - 1] - extend_cost:
+                state = "v"
+            j -= 1
+        else:
+            out_a.append(res_a[i - 1])
+            out_b.append("-")
+            if i == 1 or f[i][j] != f[i - 1][j] - extend_cost:
+                state = "v"
+            i -= 1
+    return Alignment(
+        int(v[m][n]), "".join(reversed(out_a)), "".join(reversed(out_b))
+    )

@@ -1,0 +1,205 @@
+"""Phylip-style phylogeny reconstruction (the paper's §VIII extension).
+
+The paper's conclusions "can be extended to ... the phylogeny
+reconstruction application Phylip"; this module provides that
+workload: Fitch small parsimony over a tree (the dynamic-programming
+kernel — per site, per node, set intersections with a conditional
+cost increment, the same value-dependent-branch structure as the
+alignment kernels), parsimony-based tree search by nearest-neighbour
+interchange, and a convenience pipeline from raw sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bio.guidetree import TreeNode, upgma
+from repro.bio.msa import clustalw, pairwise_distance_matrix
+from repro.bio.sequence import Sequence
+from repro.errors import AlignmentError
+
+
+def _site_masks(column: str, alphabet_symbols: str) -> list[int]:
+    """Bitmask per row of one alignment column (gap = full ambiguity)."""
+    masks = []
+    for symbol in column:
+        if symbol == "-":
+            masks.append((1 << len(alphabet_symbols)) - 1)
+        else:
+            masks.append(1 << alphabet_symbols.index(symbol))
+    return masks
+
+
+def fitch_site_score(tree: TreeNode, masks: list[int]) -> int:
+    """Fitch parsimony cost of one site under ``tree``.
+
+    Post-order pass: a node's state set is the intersection of its
+    children's sets when non-empty, else their union at the cost of one
+    mutation — the ``if (intersection == 0)`` conditional that makes
+    this kernel branch-heavy.
+    """
+    cost = 0
+    states: dict[int, int] = {}
+    for node in tree.postorder():
+        if node.is_leaf:
+            assert node.index is not None
+            states[id(node)] = masks[node.index]
+            continue
+        left = states[id(node.left)]
+        right = states[id(node.right)]
+        intersection = left & right
+        if intersection:
+            states[id(node)] = intersection
+        else:
+            states[id(node)] = left | right
+            cost += 1
+    return cost
+
+
+def fitch_score(tree: TreeNode, rows: list[str], symbols: str) -> int:
+    """Total Fitch parsimony cost of an alignment under ``tree``."""
+    if not rows:
+        raise AlignmentError("need aligned rows to score")
+    width = len(rows[0])
+    if any(len(row) != width for row in rows):
+        raise AlignmentError("aligned rows must have equal length")
+    leaf_count = max(tree.leaves) + 1
+    if leaf_count > len(rows):
+        raise AlignmentError(
+            f"tree references {leaf_count} rows, alignment has {len(rows)}"
+        )
+    total = 0
+    for col in range(width):
+        column = "".join(row[col] for row in rows)
+        total += fitch_site_score(tree, _site_masks(column, symbols))
+    return total
+
+
+def _internal_edges(tree: TreeNode) -> list[TreeNode]:
+    """Internal nodes whose both children are internal-or-leaf pairs
+    suitable for NNI (the node's two children plus a sibling swap)."""
+    return [
+        node
+        for node in tree.postorder()
+        if not node.is_leaf
+        and node.left is not None
+        and node.right is not None
+        and not (node.left.is_leaf and node.right.is_leaf)
+    ]
+
+
+def _clone(node: TreeNode) -> TreeNode:
+    if node.is_leaf:
+        return TreeNode(index=node.index)
+    left = _clone(node.left)
+    right = _clone(node.right)
+    return TreeNode(
+        left=left, right=right, height=node.height,
+        size=left.size + right.size, leaves=left.leaves + right.leaves,
+    )
+
+
+def _refresh(node: TreeNode) -> None:
+    """Recompute leaves/size bottom-up after a rearrangement."""
+    if node.is_leaf:
+        node.leaves = (node.index,)
+        node.size = 1
+        return
+    _refresh(node.left)
+    _refresh(node.right)
+    node.leaves = node.left.leaves + node.right.leaves
+    node.size = node.left.size + node.right.size
+
+
+def nni_neighbours(tree: TreeNode) -> list[TreeNode]:
+    """All trees one nearest-neighbour interchange away from ``tree``."""
+    neighbours = []
+    nodes = [n for n in tree.postorder() if not n.is_leaf]
+    for position, node in enumerate(nodes):
+        for child_name, sibling_name in (("left", "right"), ("right", "left")):
+            child = getattr(node, child_name)
+            if child.is_leaf:
+                continue
+            # Swap one grandchild with the child's sibling.
+            for grandchild_name in ("left", "right"):
+                clone = _clone(tree)
+                clone_nodes = [
+                    n for n in clone.postorder() if not n.is_leaf
+                ]
+                clone_node = clone_nodes[position]
+                clone_child = getattr(clone_node, child_name)
+                sibling = getattr(clone_node, sibling_name)
+                grandchild = getattr(clone_child, grandchild_name)
+                setattr(clone_child, grandchild_name, sibling)
+                setattr(clone_node, sibling_name, grandchild)
+                _refresh(clone)
+                neighbours.append(clone)
+        # Cross swaps around this node's own edge: when both children
+        # are internal, exchange a grandchild of each (the rearrangement
+        # that turns ((0,2),(1,3)) into ((0,1),(2,3)) in one move).
+        if not node.left.is_leaf and not node.right.is_leaf:
+            for left_gc in ("left", "right"):
+                for right_gc in ("left", "right"):
+                    clone = _clone(tree)
+                    clone_nodes = [
+                        n for n in clone.postorder() if not n.is_leaf
+                    ]
+                    clone_node = clone_nodes[position]
+                    a = getattr(clone_node.left, left_gc)
+                    b = getattr(clone_node.right, right_gc)
+                    setattr(clone_node.left, left_gc, b)
+                    setattr(clone_node.right, right_gc, a)
+                    _refresh(clone)
+                    neighbours.append(clone)
+    return neighbours
+
+
+@dataclass(frozen=True)
+class ParsimonyResult:
+    """Outcome of a parsimony tree search."""
+
+    tree: TreeNode
+    score: int
+    evaluated: int  # trees scored during the search
+
+
+def parsimony_search(
+    rows: list[str],
+    symbols: str,
+    start: TreeNode,
+    max_rounds: int = 10,
+) -> ParsimonyResult:
+    """Hill-climb over NNI moves from ``start`` (Phylip-style search)."""
+    best_tree = _clone(start)
+    _refresh(best_tree)
+    best_score = fitch_score(best_tree, rows, symbols)
+    evaluated = 1
+    for _ in range(max_rounds):
+        improved = False
+        for candidate in nni_neighbours(best_tree):
+            score = fitch_score(candidate, rows, symbols)
+            evaluated += 1
+            if score < best_score:
+                best_tree, best_score = candidate, score
+                improved = True
+        if not improved:
+            break
+    return ParsimonyResult(best_tree, best_score, evaluated)
+
+
+def phylip(
+    sequences: list[Sequence],
+    max_rounds: int = 10,
+) -> ParsimonyResult:
+    """Full pipeline: align, build a starting tree, search by parsimony."""
+    if len(sequences) < 3:
+        raise AlignmentError("need at least three sequences for a tree")
+    msa = clustalw(sequences)
+    distances = pairwise_distance_matrix(sequences, method="ktuple")
+    start = upgma(np.asarray(distances))
+    symbols = sequences[0].alphabet.symbols
+    return parsimony_search(
+        list(msa.rows), symbols, start, max_rounds=max_rounds
+    )

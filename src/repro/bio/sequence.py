@@ -1,0 +1,97 @@
+"""Sequence records.
+
+A :class:`Sequence` couples an identifier, an optional description, the
+raw residue string, and the :class:`~repro.bio.alphabet.Alphabet` it is
+drawn from. The integer encoding used by all alignment kernels is computed
+once and cached.
+"""
+
+from __future__ import annotations
+
+from repro.bio.alphabet import Alphabet, guess_alphabet
+from repro.errors import AlphabetError
+
+
+class Sequence:
+    """An immutable biological sequence record.
+
+    Parameters
+    ----------
+    seq_id:
+        Identifier (the FASTA header token before the first whitespace).
+    residues:
+        Residue string; upper-cased on construction.
+    alphabet:
+        Alphabet the residues are drawn from. Guessed when omitted.
+    description:
+        Free-text remainder of the FASTA header.
+    """
+
+    __slots__ = ("id", "residues", "alphabet", "description", "_codes")
+
+    def __init__(
+        self,
+        seq_id: str,
+        residues: str,
+        alphabet: Alphabet | None = None,
+        description: str = "",
+    ) -> None:
+        if not seq_id:
+            raise AlphabetError("sequence id must be non-empty")
+        residues = residues.upper()
+        if alphabet is None:
+            alphabet = guess_alphabet(residues)
+        self.id = seq_id
+        self.residues = residues
+        self.alphabet = alphabet
+        self.description = description
+        self._codes: tuple[int, ...] | None = None
+
+    def __len__(self) -> int:
+        return len(self.residues)
+
+    def __iter__(self):
+        return iter(self.residues)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Sequence(
+                self.id, self.residues[index], self.alphabet, self.description
+            )
+        return self.residues[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Sequence):
+            return NotImplemented
+        return (
+            self.id == other.id
+            and self.residues == other.residues
+            and self.alphabet == other.alphabet
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.id, self.residues, self.alphabet))
+
+    def __repr__(self) -> str:
+        shown = self.residues if len(self) <= 12 else self.residues[:12] + "..."
+        return f"Sequence({self.id!r}, {shown!r}, len={len(self)})"
+
+    @property
+    def codes(self) -> tuple[int, ...]:
+        """Integer encoding of the residues (cached)."""
+        if self._codes is None:
+            self._codes = tuple(self.alphabet.encode(self.residues))
+        return self._codes
+
+    def reverse(self) -> "Sequence":
+        """Return a new record with the residues reversed."""
+        return Sequence(
+            self.id, self.residues[::-1], self.alphabet, self.description
+        )
+
+    def kmers(self, k: int):
+        """Yield ``(offset, kmer_string)`` for every length-``k`` window."""
+        if k < 1:
+            raise AlphabetError(f"k must be >= 1, got {k}")
+        for offset in range(len(self.residues) - k + 1):
+            yield offset, self.residues[offset : offset + k]

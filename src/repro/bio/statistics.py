@@ -1,0 +1,150 @@
+"""Karlin–Altschul statistics for local-alignment scores.
+
+Blast converts raw alignment scores into bit scores and E-values using
+the Karlin–Altschul parameters ``lambda`` and ``K``. ``lambda`` is the
+unique positive root of ``sum_ij p_i p_j exp(lambda * s_ij) = 1`` over
+the background residue frequencies; we solve it by bisection. ``K`` is
+approximated with the first term of Karlin–Altschul's series — adequate
+here because only score *ranking* matters to the workload study, not
+database-calibrated significance.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.bio.alphabet import PROTEIN, Alphabet
+from repro.bio.scoring import SubstitutionMatrix
+from repro.errors import ScoringError
+
+#: Robinson & Robinson (1991) background amino-acid frequencies.
+ROBINSON_FREQUENCIES = {
+    "A": 0.07805, "R": 0.05129, "N": 0.04487, "D": 0.05364, "C": 0.01925,
+    "Q": 0.04264, "E": 0.06295, "G": 0.07377, "H": 0.02199, "I": 0.05142,
+    "L": 0.09019, "K": 0.05744, "M": 0.02243, "F": 0.03856, "P": 0.05203,
+    "S": 0.07120, "T": 0.05841, "W": 0.01330, "Y": 0.03216, "V": 0.06441,
+}
+
+
+def background_frequencies(alphabet: Alphabet) -> np.ndarray:
+    """Background frequency vector aligned with the alphabet's codes.
+
+    Protein uses the Robinson–Robinson table; any other alphabet gets a
+    uniform distribution over its non-wildcard symbols.
+    """
+    freqs = np.zeros(len(alphabet))
+    if alphabet == PROTEIN:
+        for symbol, value in ROBINSON_FREQUENCIES.items():
+            freqs[alphabet.code(symbol)] = value
+    else:
+        real = [
+            code
+            for code in range(len(alphabet))
+            if alphabet.symbol(code) not in (alphabet.wildcard, "*")
+        ]
+        freqs[real] = 1.0 / len(real)
+    return freqs / freqs.sum()
+
+
+@dataclass(frozen=True)
+class KarlinAltschulParams:
+    """The (lambda, K, H) triple used for E-value computation."""
+
+    lambda_: float
+    k: float
+    h: float
+
+    def bit_score(self, raw_score: int) -> float:
+        """Normalised bit score of a raw alignment score."""
+        return (self.lambda_ * raw_score - math.log(self.k)) / math.log(2.0)
+
+    def evalue(self, raw_score: int, query_length: int, db_length: int) -> float:
+        """Expected number of chance HSPs with at least ``raw_score``."""
+        if query_length <= 0 or db_length <= 0:
+            raise ScoringError("search space dimensions must be positive")
+        return (
+            self.k
+            * query_length
+            * db_length
+            * math.exp(-self.lambda_ * raw_score)
+        )
+
+
+def _score_moment(
+    matrix: SubstitutionMatrix, freqs: np.ndarray, lambda_: float
+) -> float:
+    """E[exp(lambda * S)] - 1 over the background pair distribution."""
+    weights = np.outer(freqs, freqs)
+    return float(
+        (weights * np.exp(lambda_ * matrix.scores.astype(float))).sum() - 1.0
+    )
+
+
+def expected_score(matrix: SubstitutionMatrix, freqs: np.ndarray) -> float:
+    """Expected per-pair score under the background distribution."""
+    weights = np.outer(freqs, freqs)
+    return float((weights * matrix.scores).sum())
+
+
+def solve_lambda(
+    matrix: SubstitutionMatrix,
+    freqs: np.ndarray | None = None,
+    tolerance: float = 1e-9,
+) -> float:
+    """Solve for the Karlin–Altschul ``lambda`` by bisection.
+
+    Requires the matrix to have a negative expected score and at least
+    one positive entry — the standard admissibility conditions for local
+    alignment statistics.
+    """
+    if freqs is None:
+        freqs = background_frequencies(matrix.alphabet)
+    if expected_score(matrix, freqs) >= 0:
+        raise ScoringError(
+            f"matrix {matrix.name!r} has non-negative expected score; "
+            "Karlin-Altschul statistics are undefined"
+        )
+    if matrix.max_score <= 0:
+        raise ScoringError(
+            f"matrix {matrix.name!r} has no positive scores"
+        )
+    # f(lambda) = E[exp(lambda S)] - 1 is convex with f(0) = 0, f'(0) < 0
+    # and f -> +inf, so the positive root is bracketed by doubling.
+    hi = 0.5
+    while _score_moment(matrix, freqs, hi) < 0:
+        hi *= 2.0
+        if hi > 1e6:
+            raise ScoringError("failed to bracket lambda")
+    lo = 0.0
+    while hi - lo > tolerance:
+        mid = (lo + hi) / 2.0
+        if _score_moment(matrix, freqs, mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+    return (lo + hi) / 2.0
+
+
+def karlin_altschul_params(
+    matrix: SubstitutionMatrix, freqs: np.ndarray | None = None
+) -> KarlinAltschulParams:
+    """Compute (lambda, K, H) for ``matrix`` over background ``freqs``.
+
+    ``K`` uses the leading-term approximation
+    ``K ~= H / lambda * exp(-lambda * s_max)``, clamped to a sane floor;
+    ``H`` is the relative entropy of the implied target distribution.
+    """
+    if freqs is None:
+        freqs = background_frequencies(matrix.alphabet)
+    lambda_ = solve_lambda(matrix, freqs)
+    weights = np.outer(freqs, freqs)
+    scores = matrix.scores.astype(float)
+    target = weights * np.exp(lambda_ * scores)
+    total = target.sum()
+    target = target / total
+    h = float((target * lambda_ * scores).sum())
+    k = max(1e-4, (h / lambda_) * math.exp(-lambda_ * matrix.max_score))
+    return KarlinAltschulParams(lambda_=lambda_, k=k, h=h)

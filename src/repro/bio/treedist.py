@@ -1,0 +1,55 @@
+"""Tree-comparison metrics.
+
+Phylogeny methods (UPGMA, neighbour joining, parsimony search) produce
+competing topologies for the same taxa; the standard way to compare
+them is the Robinson–Foulds distance — the number of bipartitions
+(splits) present in one tree but not the other.
+"""
+
+from __future__ import annotations
+
+from repro.bio.guidetree import TreeNode
+from repro.errors import AlignmentError
+
+
+def bipartitions(tree: TreeNode) -> set[frozenset[int]]:
+    """Non-trivial splits of ``tree``.
+
+    Each internal edge splits the taxa in two; the split is recorded
+    canonically as the side containing the smallest taxon, so a
+    bipartition and its complement map to the same frozenset. Trivial
+    splits (single leaves, the full set) are excluded.
+    """
+    taxa = frozenset(tree.leaves)
+    if len(taxa) < 4:
+        return set()
+    anchor = min(taxa)
+    splits: set[frozenset[int]] = set()
+    for node in tree.postorder():
+        if node.is_leaf or node is tree:
+            continue
+        side = frozenset(node.leaves)
+        other = taxa - side
+        if len(side) < 2 or len(other) < 2:
+            continue
+        splits.add(side if anchor in side else other)
+    return splits
+
+
+def robinson_foulds(first: TreeNode, second: TreeNode) -> int:
+    """Symmetric-difference (Robinson–Foulds) distance."""
+    if frozenset(first.leaves) != frozenset(second.leaves):
+        raise AlignmentError("trees are over different taxa")
+    first_splits = bipartitions(first)
+    second_splits = bipartitions(second)
+    return len(first_splits ^ second_splits)
+
+
+def normalised_robinson_foulds(first: TreeNode, second: TreeNode) -> float:
+    """RF distance scaled to [0, 1] by the maximum possible distance."""
+    distance = robinson_foulds(first, second)
+    n = len(first.leaves)
+    maximum = 2 * max(0, n - 3)
+    if maximum == 0:
+        return 0.0
+    return distance / maximum

@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Small, scriptable entry points over the library — the shapes a
+downstream user expects from the original tools:
+
+========== ====================================================
+command    does
+========== ====================================================
+align      pairwise alignment of the first two FASTA records
+search     query vs database (blastp, fasta, or ssearch modes)
+msa        Clustalw-style multiple alignment of a FASTA file
+phylogeny  parsimony tree for a FASTA file (Newick output)
+orfs       ORF scan / Glimmer gene prediction on DNA
+simulate   run an application kernel on the POWER5 core model
+asm        print a kernel's mini-ISA assembly per variant
+trace      dump a kernel trace / re-simulate a saved one
+========== ====================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bio.blast import BlastDatabase, blastp
+from repro.bio.fasta_io import read_fasta
+from repro.bio.fastatool import fasta_search, ssearch
+from repro.bio.genefind import find_orfs, glimmer
+from repro.bio.msa import clustalw
+from repro.bio.pairwise import needleman_wunsch, smith_waterman
+from repro.bio.phylo import phylip
+from repro.bio.scoring import BLOSUM62, PAM250, GapPenalties, default_matrix
+from repro.errors import ReproError
+from repro.perf.characterize import VARIANTS, characterize
+from repro.perf.report import Table, percent
+from repro.uarch.config import power5
+
+_MATRICES = {"blosum62": BLOSUM62, "pam250": PAM250}
+
+
+def _load(path: str, minimum: int = 1):
+    records = read_fasta(path)
+    if len(records) < minimum:
+        raise ReproError(
+            f"{path}: need at least {minimum} FASTA records, "
+            f"found {len(records)}"
+        )
+    return records
+
+
+def _matrix_for(args, records):
+    if args.matrix == "auto":
+        return default_matrix(records[0].alphabet)
+    return _MATRICES[args.matrix]
+
+
+def cmd_align(args) -> int:
+    records = _load(args.fasta, minimum=2)
+    a, b = records[0], records[1]
+    matrix = _matrix_for(args, records)
+    gaps = GapPenalties(args.gap_open, args.gap_extend)
+    if args.mode == "global":
+        alignment = needleman_wunsch(a, b, matrix, gaps)
+    else:
+        alignment = smith_waterman(a, b, matrix, gaps)
+    print(f"# {a.id} vs {b.id} ({args.mode}, {matrix.name})")
+    print(f"# score {alignment.score}, identity {alignment.identity:.1%}")
+    print(alignment.pretty())
+    return 0
+
+
+def cmd_search(args) -> int:
+    query = _load(args.query)[0]
+    database = _load(args.database)
+    if args.mode == "blast":
+        hits = blastp(query, BlastDatabase(database))
+        print(f"# blastp: {len(hits)} hits")
+        for hit in hits[: args.top]:
+            best = hit.best
+            print(
+                f"{hit.subject.id}\tbits={best.bit_score:.1f}\t"
+                f"evalue={best.evalue:.2e}\t"
+                f"q={best.query_start}-{best.query_end}"
+            )
+    elif args.mode == "fasta":
+        hits = fasta_search(query, database)
+        print(f"# fasta (ktup): {len(hits)} hits")
+        for hit in hits[: args.top]:
+            print(
+                f"{hit.subject.id}\tinit1={hit.init1}\t"
+                f"initn={hit.initn}\topt={hit.opt}"
+            )
+    else:
+        hits = ssearch(query, database)
+        print(f"# ssearch (full Smith-Waterman): {len(hits)} hits")
+        for hit in hits[: args.top]:
+            print(f"{hit.subject.id}\tscore={hit.score}")
+    return 0
+
+
+def cmd_msa(args) -> int:
+    records = _load(args.fasta, minimum=2)
+    msa = clustalw(records, tree_method=args.tree)
+    print(f"# {len(records)} sequences, {msa.width} columns")
+    print(f"# guide tree: {msa.tree.newick()}")
+    print(msa.pretty())
+    return 0
+
+
+def cmd_phylogeny(args) -> int:
+    records = _load(args.fasta, minimum=3)
+    result = phylip(records, max_rounds=args.rounds)
+    newick = result.tree.newick()
+    for index in sorted(range(len(records)), reverse=True):
+        newick = newick.replace(str(index), records[index].id)
+    print(f"# parsimony score {result.score} "
+          f"({result.evaluated} trees evaluated)")
+    print(newick + ";")
+    return 0
+
+
+def cmd_orfs(args) -> int:
+    genome = _load(args.fasta)[0]
+    if args.train:
+        training = [record.residues for record in _load(args.train)]
+        predictions = glimmer(
+            genome, training, min_length=args.min_length,
+            max_order=args.order,
+        )
+        print(f"# glimmer: {len(predictions)} predicted genes")
+        for prediction in predictions:
+            orf = prediction.orf
+            print(
+                f"{orf.start}\t{orf.end}\t{'+' if orf.strand > 0 else '-'}"
+                f"\tscore={prediction.score:.3f}"
+            )
+    else:
+        orfs = find_orfs(genome, min_length=args.min_length)
+        print(f"# {len(orfs)} ORFs >= {args.min_length} bp")
+        for orf in orfs:
+            print(
+                f"{orf.start}\t{orf.end}\t"
+                f"{'+' if orf.strand > 0 else '-'}\tlen={orf.length}"
+            )
+    return 0
+
+
+def cmd_asm(args) -> int:
+    from repro.kernels import listing_for
+
+    print(f"# {args.app} kernel, {args.variant} variant")
+    print(listing_for(args.app, args.variant))
+    return 0
+
+
+def cmd_trace(args) -> int:
+    from repro.isa.tracestore import load_trace, save_trace
+    from repro.perf.characterize import kernel_trace
+    from repro.uarch.core import simulate_trace
+
+    if args.load:
+        trace = load_trace(args.load)
+        result = simulate_trace(trace, power5())
+        print(f"# {args.load}: {result.instructions} instructions")
+        print(f"cycles={result.cycles} ipc={result.ipc:.2f}")
+        print(f"branch_mispredict={result.branch_mispredict_rate:.1%} "
+              f"l1d_miss={result.cache.miss_rate:.2%}")
+        return 0
+    trace = kernel_trace(args.app, args.variant)
+    save_trace(args.output, trace)
+    print(f"# wrote {len(trace)} events to {args.output}")
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    config = power5().with_fxus(args.fxus)
+    if args.btac:
+        config = config.with_btac()
+    table = Table(
+        f"{args.app} on the POWER5 model "
+        f"({args.fxus} FXUs{', BTAC' if args.btac else ''})",
+        ["Variant", "work IPC", "Branch mispredict", "L1D miss"],
+    )
+    baseline = characterize(args.app, "baseline", config)
+    variants = VARIANTS if args.variant == "all" else (args.variant,)
+    for variant in variants:
+        result = characterize(args.app, variant, config)
+        table.add_row(
+            variant,
+            f"{result.work_ipc:.2f}",
+            percent(result.merged.branch_mispredict_rate),
+            percent(result.merged.cache.miss_rate, 2),
+        )
+    del baseline
+    print(table.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Bioinformatics workloads + POWER5-like simulation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_align = sub.add_parser("align", help="pairwise alignment")
+    p_align.add_argument("fasta", help="FASTA with >= 2 records")
+    p_align.add_argument("--mode", choices=["local", "global"],
+                         default="local")
+    p_align.add_argument("--matrix", choices=["auto", "blosum62", "pam250"],
+                         default="auto")
+    p_align.add_argument("--gap-open", type=int, default=10)
+    p_align.add_argument("--gap-extend", type=int, default=2)
+    p_align.set_defaults(func=cmd_align)
+
+    p_search = sub.add_parser("search", help="query vs database")
+    p_search.add_argument("query")
+    p_search.add_argument("database")
+    p_search.add_argument("--mode", choices=["blast", "fasta", "ssearch"],
+                          default="blast")
+    p_search.add_argument("--top", type=int, default=10)
+    p_search.set_defaults(func=cmd_search)
+
+    p_msa = sub.add_parser("msa", help="multiple sequence alignment")
+    p_msa.add_argument("fasta")
+    p_msa.add_argument("--tree", choices=["upgma", "nj"], default="upgma")
+    p_msa.set_defaults(func=cmd_msa)
+
+    p_phy = sub.add_parser("phylogeny", help="parsimony tree")
+    p_phy.add_argument("fasta")
+    p_phy.add_argument("--rounds", type=int, default=5)
+    p_phy.set_defaults(func=cmd_phylogeny)
+
+    p_orf = sub.add_parser("orfs", help="ORF scan / gene prediction")
+    p_orf.add_argument("fasta", help="DNA FASTA (first record scanned)")
+    p_orf.add_argument("--train", help="FASTA of known coding sequences")
+    p_orf.add_argument("--min-length", type=int, default=90)
+    p_orf.add_argument("--order", type=int, default=3)
+    p_orf.set_defaults(func=cmd_orfs)
+
+    p_asm = sub.add_parser(
+        "asm", help="print a kernel's assembly listing"
+    )
+    p_asm.add_argument("app", choices=["blast", "clustalw", "fasta",
+                                       "hmmer", "phylip"])
+    p_asm.add_argument("variant", nargs="?", default="baseline")
+    p_asm.set_defaults(func=cmd_asm)
+
+    p_trace = sub.add_parser(
+        "trace", help="dump a kernel trace / re-simulate a saved one"
+    )
+    p_trace.add_argument("app", nargs="?",
+                         choices=["blast", "clustalw", "fasta", "hmmer"])
+    p_trace.add_argument("variant", nargs="?", default="baseline")
+    p_trace.add_argument("output", nargs="?", default="kernel.trace")
+    p_trace.add_argument("--load", help="re-simulate a saved trace file")
+    p_trace.set_defaults(func=cmd_trace)
+
+    p_sim = sub.add_parser("simulate", help="core-model characterisation")
+    p_sim.add_argument("app", choices=["blast", "clustalw", "fasta",
+                                       "hmmer"])
+    p_sim.add_argument("--variant", default="all",
+                       choices=list(VARIANTS) + ["all"])
+    p_sim.add_argument("--fxus", type=int, default=2)
+    p_sim.add_argument("--btac", action="store_true")
+    p_sim.set_defaults(func=cmd_simulate)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except FileNotFoundError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,65 @@
+"""IR, if-conversion, and code generation for the mini-ISA.
+
+This package models the compiler half of the paper: kernels are written
+once in a small CFG IR; :func:`~repro.compiler.ifconversion.if_convert`
+reproduces the modified-gcc pass (including its safety-driven refusals);
+:func:`~repro.compiler.codegen.compile_function` lowers IR to runnable
+mini-ISA programs.
+"""
+
+from repro.compiler.codegen import CompiledKernel, compile_function
+from repro.compiler.ifconversion import (
+    ConversionResult,
+    Decision,
+    if_convert,
+)
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Branch,
+    Const,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    MaxSel,
+    Reg,
+    Select,
+    Store,
+)
+from repro.compiler.optimize import (
+    eliminate_dead_assignments,
+    fold_constants,
+    optimize,
+    propagate_copies,
+)
+from repro.compiler.safety import SafetyAnalysis, analyse, dominators
+
+__all__ = [
+    "CompiledKernel",
+    "compile_function",
+    "ConversionResult",
+    "Decision",
+    "if_convert",
+    "Assign",
+    "BinOp",
+    "Block",
+    "Branch",
+    "Const",
+    "Function",
+    "Halt",
+    "Jump",
+    "Load",
+    "MaxSel",
+    "Reg",
+    "Select",
+    "Store",
+    "SafetyAnalysis",
+    "analyse",
+    "dominators",
+    "eliminate_dead_assignments",
+    "fold_constants",
+    "optimize",
+    "propagate_copies",
+]

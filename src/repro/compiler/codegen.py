@@ -1,0 +1,249 @@
+"""Backend: lower IR functions to mini-ISA programs.
+
+A straightforward one-virtual-register-per-GPR allocator (the kernels
+are small, register-rich loops — exactly the regime the paper's inline
+assembly lived in). Parameters are assigned first so drivers can bind
+them; two GPRs are reserved as materialisation scratch.
+
+Lowering rules:
+
+* ``Assign`` — ``li``/``mr``/``add``/``addi``/``sub``/``subi``/``mul``;
+* ``Load``/``Store`` — ``ld``/``ldx``/``st``/``stx`` picking the
+  immediate form for constant offsets;
+* ``Select`` — ``cmp``/``cmpi`` followed by ``isel`` on the right CR
+  bit (negated comparisons swap the isel operands);
+* ``MaxSel`` — the single ``max`` instruction;
+* ``Branch`` — ``cmp`` + ``bc``, inverting the condition when the
+  then-block is the fall-through so loops keep one branch per
+  iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Branch,
+    Const,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    MaxSel,
+    Operand,
+    Reg,
+    Select,
+    Store,
+)
+from repro.errors import CompilerError
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import CR_EQ, CR_GT, CR_LT
+
+#: First GPR handed to virtual registers (r0-r2 stay free for drivers).
+FIRST_GPR = 3
+#: Scratch GPRs used to materialise constants mid-lowering.
+SCRATCH_A, SCRATCH_B = 30, 31
+LAST_GPR = SCRATCH_A - 1
+
+#: cmp result bit and expected value per IR comparison.
+_CMP_BITS = {
+    "lt": (CR_LT, True),
+    "ge": (CR_LT, False),
+    "gt": (CR_GT, True),
+    "le": (CR_GT, False),
+    "eq": (CR_EQ, True),
+    "ne": (CR_EQ, False),
+}
+
+
+@dataclass
+class CompiledKernel:
+    """A lowered kernel: the program plus the register binding map."""
+
+    program: Program
+    register_map: dict[str, int]
+    function_name: str
+
+    def gpr(self, name: str) -> int:
+        """GPR index assigned to virtual register ``name``."""
+        try:
+            return self.register_map[name]
+        except KeyError:
+            raise CompilerError(
+                f"{self.function_name}: no register named {name!r}"
+            ) from None
+
+
+class _Lowering:
+    def __init__(self, function: Function) -> None:
+        self.function = function
+        self.builder = ProgramBuilder()
+        self.register_map: dict[str, int] = {}
+        next_gpr = FIRST_GPR
+        names = list(function.params) + sorted(
+            function.registers() - set(function.params)
+        )
+        for name in names:
+            if next_gpr > LAST_GPR:
+                raise CompilerError(
+                    f"{function.name}: out of registers "
+                    f"({len(names)} virtuals, {LAST_GPR - FIRST_GPR + 1} GPRs)"
+                )
+            self.register_map[name] = next_gpr
+            next_gpr += 1
+
+    # -- operand helpers ------------------------------------------------
+
+    def _gpr(self, reg: Reg) -> int:
+        return self.register_map[reg.name]
+
+    def _force_reg(self, operand: Operand, scratch: int) -> int:
+        """Return a GPR holding ``operand``, materialising constants."""
+        if isinstance(operand, Reg):
+            return self._gpr(operand)
+        self.builder.li(scratch, operand.value)
+        return scratch
+
+    # -- statement lowering ---------------------------------------------
+
+    def _lower_assign(self, statement: Assign) -> None:
+        dst = self.register_map[statement.dst]
+        expr = statement.expr
+        builder = self.builder
+        if isinstance(expr, Const):
+            builder.li(dst, expr.value)
+            return
+        if isinstance(expr, Reg):
+            builder.mr(dst, self._gpr(expr))
+            return
+        left, right = expr.left, expr.right
+        if expr.op == "add":
+            if isinstance(right, Const):
+                builder.addi(dst, self._force_reg(left, SCRATCH_A), right.value)
+            elif isinstance(left, Const):
+                builder.addi(dst, self._force_reg(right, SCRATCH_A), left.value)
+            else:
+                builder.add(dst, self._gpr(left), self._gpr(right))
+        elif expr.op == "sub":
+            if isinstance(right, Const):
+                builder.subi(dst, self._force_reg(left, SCRATCH_A), right.value)
+            else:
+                a = self._force_reg(left, SCRATCH_A)
+                b = self._force_reg(right, SCRATCH_B)
+                builder.sub(dst, a, b)
+        elif expr.op == "mul":
+            if isinstance(right, Const):
+                builder.muli(dst, self._force_reg(left, SCRATCH_A), right.value)
+            elif isinstance(left, Const):
+                builder.muli(dst, self._force_reg(right, SCRATCH_A), left.value)
+            else:
+                builder.mul(dst, self._gpr(left), self._gpr(right))
+        elif expr.op in ("and", "or"):
+            a = self._force_reg(left, SCRATCH_A)
+            b = self._force_reg(right, SCRATCH_B)
+            if expr.op == "and":
+                builder.and_(dst, a, b)
+            else:
+                builder.or_(dst, a, b)
+        else:  # pragma: no cover - BinOp validates
+            raise CompilerError(f"unknown binary op {expr.op!r}")
+
+    def _lower_load(self, statement: Load) -> None:
+        dst = self.register_map[statement.dst]
+        base = self.register_map[statement.base]
+        if isinstance(statement.offset, Const):
+            self.builder.ld(dst, base, statement.offset.value)
+        else:
+            self.builder.ldx(dst, base, self._gpr(statement.offset))
+
+    def _lower_store(self, statement: Store) -> None:
+        base = self.register_map[statement.base]
+        value = self._force_reg(statement.value, SCRATCH_A)
+        if isinstance(statement.offset, Const):
+            self.builder.st(value, base, statement.offset.value)
+        else:
+            self.builder.stx(value, base, self._gpr(statement.offset))
+
+    def _emit_compare(self, cmp: str, left: Operand, right: Operand) -> None:
+        """cmp/cmpi cr0 with ``left`` forced into a register."""
+        left_reg = self._force_reg(left, SCRATCH_A)
+        if isinstance(right, Const):
+            self.builder.cmpi(0, left_reg, right.value)
+        else:
+            self.builder.cmp(0, left_reg, self._gpr(right))
+
+    def _lower_select(self, statement: Select) -> None:
+        dst = self.register_map[statement.dst]
+        self._emit_compare(statement.cmp, statement.left, statement.right)
+        bit, want = _CMP_BITS[statement.cmp]
+        true_reg = self._force_reg(statement.if_true, SCRATCH_A)
+        false_reg = self._force_reg(statement.if_false, SCRATCH_B)
+        if want:
+            self.builder.isel(dst, true_reg, false_reg, 0, bit)
+        else:
+            # isel picks ra when the bit is SET; a negated comparison
+            # swaps the operands instead of needing an extra instruction.
+            self.builder.isel(dst, false_reg, true_reg, 0, bit)
+
+    def _lower_max(self, statement: MaxSel) -> None:
+        dst = self.register_map[statement.dst]
+        a = self._force_reg(statement.a, SCRATCH_A)
+        b = self._force_reg(statement.b, SCRATCH_B)
+        self.builder.max(dst, a, b)
+
+    # -- block / terminator lowering --------------------------------------
+
+    def _lower_branch(self, branch: Branch, next_label: str | None) -> None:
+        self._emit_compare(branch.cmp, branch.left, branch.right)
+        bit, want = _CMP_BITS[branch.cmp]
+        if branch.then_label == next_label:
+            # Fall through to the then-block: branch on the *negated*
+            # condition to the else-block.
+            self.builder.bc(0, bit, branch.else_label, want=not want)
+        else:
+            self.builder.bc(0, bit, branch.then_label, want=want)
+            if branch.else_label != next_label:
+                self.builder.b(branch.else_label)
+
+    def run(self) -> CompiledKernel:
+        blocks = self.function.blocks
+        for index, block in enumerate(blocks):
+            next_label = (
+                blocks[index + 1].label if index + 1 < len(blocks) else None
+            )
+            self.builder.label(block.label)
+            for statement in block.statements:
+                if isinstance(statement, Assign):
+                    self._lower_assign(statement)
+                elif isinstance(statement, Load):
+                    self._lower_load(statement)
+                elif isinstance(statement, Store):
+                    self._lower_store(statement)
+                elif isinstance(statement, Select):
+                    self._lower_select(statement)
+                elif isinstance(statement, MaxSel):
+                    self._lower_max(statement)
+                else:  # pragma: no cover - Statement is closed
+                    raise CompilerError(
+                        f"cannot lower statement {statement!r}"
+                    )
+            terminator = block.terminator
+            if isinstance(terminator, Branch):
+                self._lower_branch(terminator, next_label)
+            elif isinstance(terminator, Jump):
+                if terminator.target != next_label:
+                    self.builder.b(terminator.target)
+            elif isinstance(terminator, Halt):
+                self.builder.halt()
+        return CompiledKernel(
+            program=self.builder.build(),
+            register_map=self.register_map,
+            function_name=self.function.name,
+        )
+
+
+def compile_function(function: Function) -> CompiledKernel:
+    """Lower ``function`` to a :class:`CompiledKernel`."""
+    return _Lowering(function).run()

@@ -1,0 +1,421 @@
+"""If-conversion: turning control-flow hammocks into predicated code.
+
+Reimplements the gcc pass the paper modified (§IV-B). Two hammock shapes
+are recognised:
+
+* **if-then** — ``B: if (c) goto T; else goto F`` with ``T`` ending in a
+  jump to ``F`` and having ``B`` as its only predecessor;
+* **if-then-else** (diamond) — both arms single-predecessor, joining at
+  the same label.
+
+A hammock converts only when every arm statement can be *speculated*:
+plain assignments always can; loads only when
+:class:`~repro.compiler.safety.SafetyAnalysis` proves them non-faulting;
+stores never (speculating a store changes memory on the wrong path).
+Converted arms are renamed into fresh temporaries and merged with
+:class:`~repro.compiler.ir.Select` (isel style) — except that hammocks
+matching the ``if (a < b) a = b`` shape collapse to a single
+:class:`~repro.compiler.ir.MaxSel` (max style), with no compare needed.
+
+Every decision is recorded as a :class:`Decision` so experiments (and
+tests) can see exactly which sites converted and why others did not —
+the paper's hand-vs-compiler gap in data form.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Branch,
+    Const,
+    Expr,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    MaxSel,
+    Operand,
+    Reg,
+    Select,
+    Statement,
+    Store,
+)
+from repro.compiler.safety import SafetyAnalysis, analyse
+from repro.errors import CompilerError
+
+#: Conversion styles matching the paper's compiler variants.
+STYLES = ("isel", "max")
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One if-conversion decision for reporting."""
+
+    block: str
+    site: str | None
+    converted: bool
+    how: str  # "max", "isel", or the refusal reason
+
+
+@dataclass
+class ConversionResult:
+    """The transformed function plus the decision log."""
+
+    function: Function
+    decisions: list[Decision]
+
+    @property
+    def converted_sites(self) -> list[str | None]:
+        return [d.site for d in self.decisions if d.converted]
+
+
+def _rename_operand(operand: Operand, renames: dict[str, str]) -> Operand:
+    if isinstance(operand, Reg) and operand.name in renames:
+        return Reg(renames[operand.name])
+    return operand
+
+
+def _rename_expr(expr: Expr, renames: dict[str, str]) -> Expr:
+    if isinstance(expr, BinOp):
+        return BinOp(
+            expr.op,
+            _rename_operand(expr.left, renames),
+            _rename_operand(expr.right, renames),
+        )
+    return _rename_operand(expr, renames)
+
+
+def _statement_inputs(statement: Statement) -> tuple[Operand, ...]:
+    """Operands read by a statement (for dead-copy elimination)."""
+    if isinstance(statement, Assign):
+        expr = statement.expr
+        if isinstance(expr, BinOp):
+            return (expr.left, expr.right)
+        return (expr,)
+    if isinstance(statement, Load):
+        return (Reg(statement.base), statement.offset)
+    if isinstance(statement, Store):
+        return (Reg(statement.base), statement.offset, statement.value)
+    if isinstance(statement, Select):
+        return (
+            statement.left, statement.right,
+            statement.if_true, statement.if_false,
+        )
+    if isinstance(statement, MaxSel):
+        return (statement.a, statement.b)
+    return ()
+
+
+class _Converter:
+    """Stateful worker for one function."""
+
+    def __init__(self, function: Function, style: str) -> None:
+        if style not in STYLES:
+            raise CompilerError(f"unknown if-conversion style {style!r}")
+        self.function = function.copy()
+        self.style = style
+        self.safety: SafetyAnalysis = analyse(self.function)
+        self.decisions: list[Decision] = []
+        self._temp_counter = 0
+
+    def _fresh(self, name: str) -> str:
+        self._temp_counter += 1
+        return f"{name}.ic{self._temp_counter}"
+
+    def _arm_speculatable(self, label: str) -> str | None:
+        """None when the arm can be speculated, else the refusal reason."""
+        block = self.function.block(label)
+        for statement in block.statements:
+            if isinstance(statement, Store):
+                return "conditional store cannot be speculated"
+            if isinstance(statement, Load):
+                if not self.safety.load_provably_safe(label, statement):
+                    return (
+                        f"load {statement.base}[...] not provably safe"
+                    )
+            elif not isinstance(statement, (Assign, Select, MaxSel)):
+                return "unsupported statement in arm"
+        return None
+
+    def _speculate_arm(
+        self, label: str
+    ) -> tuple[list[Statement], dict[str, str]]:
+        """Copy arm statements with all definitions renamed to temps."""
+        block = self.function.block(label)
+        renames: dict[str, str] = {}
+        speculated: list[Statement] = []
+        for statement in block.statements:
+            if isinstance(statement, Assign):
+                expr = _rename_expr(statement.expr, renames)
+                renames[statement.dst] = self._fresh(statement.dst)
+                speculated.append(Assign(renames[statement.dst], expr))
+            elif isinstance(statement, Load):
+                offset = _rename_operand(statement.offset, renames)
+                base = renames.get(statement.base, statement.base)
+                renames[statement.dst] = self._fresh(statement.dst)
+                speculated.append(
+                    Load(
+                        renames[statement.dst], base, offset,
+                        alias=statement.alias,
+                        safe_region=statement.safe_region,
+                    )
+                )
+            elif isinstance(statement, Select):
+                new = Select(
+                    statement.dst,
+                    statement.cmp,
+                    _rename_operand(statement.left, renames),
+                    _rename_operand(statement.right, renames),
+                    _rename_operand(statement.if_true, renames),
+                    _rename_operand(statement.if_false, renames),
+                )
+                renames[statement.dst] = self._fresh(statement.dst)
+                new.dst = renames[statement.dst]
+                speculated.append(new)
+            elif isinstance(statement, MaxSel):
+                a = _rename_operand(statement.a, renames)
+                b = _rename_operand(statement.b, renames)
+                renames[statement.dst] = self._fresh(statement.dst)
+                speculated.append(MaxSel(renames[statement.dst], a, b))
+            else:  # pragma: no cover - guarded by _arm_speculatable
+                raise CompilerError("unexpected statement kind")
+        return speculated, renames
+
+    @staticmethod
+    def _max_pattern(
+        branch: Branch, selects: list[Select]
+    ) -> MaxSel | None:
+        """Recognise ``if (a < b) a = b`` shapes -> ``a = max(a, b)``."""
+        if len(selects) != 1:
+            return None
+        select = selects[0]
+        operands = (select.left, select.right)
+        picks = (select.if_true, select.if_false)
+        # dst = (l cmp r) ? t : f  is a max when the pick on each side is
+        # the larger operand under that comparison outcome.
+        l, r = operands
+        t, f = picks
+        if select.cmp == "lt" and t == r and f == l:
+            return MaxSel(select.dst, l, r)
+        if select.cmp == "gt" and t == l and f == r:
+            return MaxSel(select.dst, l, r)
+        if select.cmp == "le" and t == r and f == l:
+            return MaxSel(select.dst, l, r)
+        if select.cmp == "ge" and t == l and f == r:
+            return MaxSel(select.dst, l, r)
+        return None
+
+    def _convert_site(self, block: Block, log_refusals: bool = False) -> bool:
+        """Try to if-convert the hammock rooted at ``block``.
+
+        Refusals are only logged when ``log_refusals`` is set (the final
+        pass), so repeated scans do not duplicate them.
+        """
+        branch = block.terminator
+        assert isinstance(branch, Branch)
+        preds = self.function.predecessors()
+        then_label, else_label = branch.then_label, branch.else_label
+        then_block = self.function.block(then_label)
+
+        # --- Shape detection -------------------------------------------
+        diamond = False
+        join_label: str | None = None
+        if (
+            isinstance(then_block.terminator, Jump)
+            and preds[then_label] == [block.label]
+            and then_block.terminator.target == else_label
+        ):
+            join_label = else_label  # if-then
+        else:
+            else_block = self.function.block(else_label)
+            if (
+                isinstance(then_block.terminator, Jump)
+                and isinstance(else_block.terminator, Jump)
+                and preds[then_label] == [block.label]
+                and preds[else_label] == [block.label]
+                and then_block.terminator.target
+                == else_block.terminator.target
+            ):
+                diamond = True
+                join_label = then_block.terminator.target
+        if join_label is None:
+            if log_refusals:
+                self.decisions.append(
+                    Decision(block.label, branch.site, False, "not a hammock")
+                )
+            return False
+
+        # --- Speculation legality --------------------------------------
+        reason = self._arm_speculatable(then_label)
+        if reason is None and diamond:
+            reason = self._arm_speculatable(else_label)
+        if reason is not None:
+            if log_refusals:
+                self.decisions.append(
+                    Decision(block.label, branch.site, False, reason)
+                )
+            return False
+
+        # --- Build the predicated replacement ---------------------------
+        then_stmts, then_renames = self._speculate_arm(then_label)
+        else_stmts: list[Statement] = []
+        else_renames: dict[str, str] = {}
+        if diamond:
+            else_stmts, else_renames = self._speculate_arm(else_label)
+
+        # Copy-propagate trivial speculated copies (``t = b``) so the
+        # selects reference original registers and dead ``mr``s drop out.
+        copies: dict[str, Operand] = {}
+        for statement in then_stmts + else_stmts:
+            if isinstance(statement, Assign) and isinstance(
+                statement.expr, (Reg, Const)
+            ):
+                copies[statement.dst] = statement.expr
+
+        def resolve(operand: Operand) -> Operand:
+            seen = set()
+            while (
+                isinstance(operand, Reg)
+                and operand.name in copies
+                and operand.name not in seen
+            ):
+                seen.add(operand.name)
+                operand = copies[operand.name]
+            return operand
+
+        merged_names = sorted(set(then_renames) | set(else_renames))
+        # A select writing a register that the branch condition reads
+        # would corrupt the condition for the selects after it; snapshot
+        # such operands into fresh temporaries first.
+        cond_left, cond_right = branch.left, branch.right
+        snapshots: list[Statement] = []
+        if len(merged_names) > 1:
+            for operand_name in ("left", "right"):
+                operand = cond_left if operand_name == "left" else cond_right
+                if (
+                    isinstance(operand, Reg)
+                    and operand.name in merged_names
+                ):
+                    temp = self._fresh(f"{operand.name}.cond")
+                    snapshots.append(Assign(temp, operand))
+                    if operand_name == "left":
+                        cond_left = Reg(temp)
+                    else:
+                        cond_right = Reg(temp)
+
+        merged: list[Select] = []
+        for name in merged_names:
+            if_true = resolve(Reg(then_renames.get(name, name)))
+            if_false = resolve(Reg(else_renames.get(name, name)))
+            merged.append(
+                Select(
+                    name, branch.cmp, cond_left, cond_right,
+                    if_true, if_false,
+                )
+            )
+
+        # Drop speculated statements whose results became unreferenced.
+        referenced: set[str] = set()
+        for select in merged:
+            for operand in (select.if_true, select.if_false):
+                if isinstance(operand, Reg):
+                    referenced.add(operand.name)
+        for statement in then_stmts + else_stmts:
+            for operand in _statement_inputs(statement):
+                if isinstance(operand, Reg):
+                    referenced.add(operand.name)
+        then_stmts = [
+            s for s in then_stmts
+            if not (
+                isinstance(s, Assign)
+                and isinstance(s.expr, (Reg, Const))
+                and s.dst not in referenced
+            )
+        ]
+        else_stmts = [
+            s for s in else_stmts
+            if not (
+                isinstance(s, Assign)
+                and isinstance(s.expr, (Reg, Const))
+                and s.dst not in referenced
+            )
+        ]
+
+        max_form = self._max_pattern(branch, merged)
+        if self.style == "max":
+            if max_form is None:
+                # The max pattern-matcher only handles max shapes; other
+                # hammocks keep their branches (paper's "comp. max").
+                if log_refusals:
+                    self.decisions.append(
+                        Decision(
+                            block.label, branch.site, False,
+                            "no max pattern (max style converts max shapes "
+                            "only)",
+                        )
+                    )
+                return False
+            # A matched max references original registers, so the trivial
+            # speculated copies were already dropped above.
+            tail: list[Statement] = [max_form]
+            how = "max"
+        else:
+            tail = list(merged)
+            how = "isel"
+
+        block.statements.extend(then_stmts)
+        block.statements.extend(else_stmts)
+        if self.style != "max" or max_form is None:
+            block.statements.extend(snapshots)
+        block.statements.extend(tail)
+        block.terminator = Jump(join_label)
+        self.decisions.append(
+            Decision(block.label, branch.site, True, how)
+        )
+        return True
+
+    def run(self) -> ConversionResult:
+        changed = True
+        while changed:
+            changed = False
+            for block in self.function.blocks:
+                if isinstance(block.terminator, Branch):
+                    if self._convert_site(block):
+                        # CFG changed: refresh analyses, restart scan.
+                        self.safety = analyse(self.function)
+                        changed = True
+                        break
+        # Final pass: record why the surviving branches did not convert.
+        for block in self.function.blocks:
+            if isinstance(block.terminator, Branch):
+                self._convert_site(block, log_refusals=True)
+        cleaned = _remove_unreachable(self.function)
+        return ConversionResult(cleaned, self.decisions)
+
+
+def _remove_unreachable(function: Function) -> Function:
+    """Drop blocks no longer reachable from the entry."""
+    reachable: set[str] = set()
+    stack = [function.entry.label]
+    while stack:
+        label = stack.pop()
+        if label in reachable:
+            continue
+        reachable.add(label)
+        stack.extend(function.block(label).successors())
+    blocks = [block for block in function.blocks if block.label in reachable]
+    return Function(function.name, function.params, blocks)
+
+
+def if_convert(function: Function, style: str = "isel") -> ConversionResult:
+    """If-convert ``function``; returns the new function and decisions.
+
+    ``style="isel"`` converts every provably-safe hammock using
+    compare+select pairs; ``style="max"`` converts only hammocks matching
+    the max pattern, using the single ``max`` instruction.
+    """
+    return _Converter(function, style).run()

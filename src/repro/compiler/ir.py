@@ -1,0 +1,294 @@
+"""A small CFG-based intermediate representation.
+
+The hot kernels are authored in this IR once; the backend lowers it to
+the mini-ISA. The paper's code variants are produced from the same IR:
+
+* **baseline** — straight lowering; every ``if`` becomes a compare and a
+  conditional branch;
+* **hand-max / hand-isel** — the author-marked conditional-assignment
+  sites are replaced by :class:`MaxSel` / :class:`Select` nodes
+  (modelling hand-inserted inline assembly, §IV-A);
+* **compiler** — the if-conversion pass of
+  :mod:`repro.compiler.ifconversion` transforms whatever it can *prove*
+  safe (§IV-B).
+
+Operands are virtual registers (:class:`Reg`) or :class:`Const`;
+statements are simple three-address forms plus loads/stores carrying the
+annotations the safety analysis consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import CompilerError
+
+# --------------------------------------------------------------------------
+# Operands and expressions
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Const:
+    """An integer literal operand."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Reg:
+    """A virtual register operand."""
+
+    name: str
+
+
+Operand = Const | Reg
+
+#: Binary ALU operations supported by :class:`BinOp`.
+BIN_OPS = ("add", "sub", "mul", "and", "or")
+
+#: Comparison operators for branches and selects.
+CMP_OPS = ("lt", "le", "gt", "ge", "eq", "ne")
+
+
+@dataclass(frozen=True)
+class BinOp:
+    """``left <op> right`` where op is one of :data:`BIN_OPS`."""
+
+    op: str
+    left: Operand
+    right: Operand
+
+    def __post_init__(self) -> None:
+        if self.op not in BIN_OPS:
+            raise CompilerError(f"unknown binary op {self.op!r}")
+
+
+Expr = Operand | BinOp
+
+# --------------------------------------------------------------------------
+# Statements
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Assign:
+    """``dst = expr``."""
+
+    dst: str
+    expr: Expr
+
+
+@dataclass
+class Load:
+    """``dst = memory[base + offset]``.
+
+    ``safe_region`` is an author annotation: the access is known in-bounds
+    on *both* branch outcomes (what a programmer knows but the compiler
+    may not). ``alias`` names the points-to class of the accessed array.
+    """
+
+    dst: str
+    base: str
+    offset: Operand
+    alias: str = "mem"
+    safe_region: bool = False
+
+
+@dataclass
+class Store:
+    """``memory[base + offset] = value``."""
+
+    base: str
+    offset: Operand
+    value: Operand
+    alias: str = "mem"
+
+
+@dataclass
+class Select:
+    """``dst = (left <cmp> right) ? if_true : if_false`` (isel form)."""
+
+    dst: str
+    cmp: str
+    left: Operand
+    right: Operand
+    if_true: Operand
+    if_false: Operand
+
+    def __post_init__(self) -> None:
+        if self.cmp not in CMP_OPS:
+            raise CompilerError(f"unknown comparison {self.cmp!r}")
+
+
+@dataclass
+class MaxSel:
+    """``dst = max(a, b)`` (the proposed single-cycle max instruction)."""
+
+    dst: str
+    a: Operand
+    b: Operand
+
+
+Statement = Assign | Load | Store | Select | MaxSel
+
+# --------------------------------------------------------------------------
+# Terminators
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Branch:
+    """Conditional terminator: ``if (left <cmp> right) goto then_label``.
+
+    ``site`` optionally names the conditional-assignment site this branch
+    implements; hand variants key off it.
+    """
+
+    cmp: str
+    left: Operand
+    right: Operand
+    then_label: str
+    else_label: str
+    site: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.cmp not in CMP_OPS:
+            raise CompilerError(f"unknown comparison {self.cmp!r}")
+
+
+@dataclass
+class Jump:
+    """Unconditional terminator."""
+
+    target: str
+
+
+@dataclass
+class Halt:
+    """Stop execution."""
+
+
+Terminator = Branch | Jump | Halt
+
+# --------------------------------------------------------------------------
+# Blocks and functions
+# --------------------------------------------------------------------------
+
+
+@dataclass
+class Block:
+    """A basic block: label, straight-line statements, one terminator."""
+
+    label: str
+    statements: list[Statement] = field(default_factory=list)
+    terminator: Terminator = field(default_factory=Halt)
+
+    def successors(self) -> tuple[str, ...]:
+        if isinstance(self.terminator, Branch):
+            return (self.terminator.then_label, self.terminator.else_label)
+        if isinstance(self.terminator, Jump):
+            return (self.terminator.target,)
+        return ()
+
+
+class Function:
+    """An IR function: ordered blocks plus named parameters.
+
+    Parameters are virtual registers bound by the driver before entry
+    (array base addresses, lengths, cost constants, ...).
+    """
+
+    def __init__(
+        self, name: str, params: list[str], blocks: list[Block]
+    ) -> None:
+        if not blocks:
+            raise CompilerError(f"function {name!r} has no blocks")
+        labels = [block.label for block in blocks]
+        if len(set(labels)) != len(labels):
+            raise CompilerError(f"function {name!r} has duplicate labels")
+        self.name = name
+        self.params = params
+        self.blocks = blocks
+        self._by_label = {block.label: block for block in blocks}
+        for block in blocks:
+            for successor in block.successors():
+                if successor not in self._by_label:
+                    raise CompilerError(
+                        f"block {block.label!r} jumps to undefined "
+                        f"label {successor!r}"
+                    )
+
+    @property
+    def entry(self) -> Block:
+        return self.blocks[0]
+
+    def block(self, label: str) -> Block:
+        try:
+            return self._by_label[label]
+        except KeyError:
+            raise CompilerError(f"no block labelled {label!r}") from None
+
+    def predecessors(self) -> dict[str, list[str]]:
+        """Label -> predecessor labels map."""
+        preds: dict[str, list[str]] = {block.label: [] for block in self.blocks}
+        for block in self.blocks:
+            for successor in block.successors():
+                preds[successor].append(block.label)
+        return preds
+
+    def copy(self) -> "Function":
+        """Deep-enough copy: fresh blocks/statement lists, shared operands."""
+        new_blocks = []
+        for block in self.blocks:
+            statements = [replace(statement) for statement in block.statements]
+            terminator = replace(block.terminator) if not isinstance(
+                block.terminator, Halt
+            ) else Halt()
+            new_blocks.append(Block(block.label, statements, terminator))
+        return Function(self.name, list(self.params), new_blocks)
+
+    def registers(self) -> set[str]:
+        """Every virtual register mentioned anywhere in the function."""
+        regs: set[str] = set(self.params)
+
+        def scan_operand(operand: Operand) -> None:
+            if isinstance(operand, Reg):
+                regs.add(operand.name)
+
+        def scan_expr(expr: Expr) -> None:
+            if isinstance(expr, BinOp):
+                scan_operand(expr.left)
+                scan_operand(expr.right)
+            else:
+                scan_operand(expr)
+
+        for block in self.blocks:
+            for statement in block.statements:
+                if isinstance(statement, Assign):
+                    regs.add(statement.dst)
+                    scan_expr(statement.expr)
+                elif isinstance(statement, Load):
+                    regs.add(statement.dst)
+                    regs.add(statement.base)
+                    scan_operand(statement.offset)
+                elif isinstance(statement, Store):
+                    regs.add(statement.base)
+                    scan_operand(statement.offset)
+                    scan_operand(statement.value)
+                elif isinstance(statement, Select):
+                    regs.add(statement.dst)
+                    for operand in (
+                        statement.left, statement.right,
+                        statement.if_true, statement.if_false,
+                    ):
+                        scan_operand(operand)
+                elif isinstance(statement, MaxSel):
+                    regs.add(statement.dst)
+                    scan_operand(statement.a)
+                    scan_operand(statement.b)
+            terminator = block.terminator
+            if isinstance(terminator, Branch):
+                scan_operand(terminator.left)
+                scan_operand(terminator.right)
+        return regs

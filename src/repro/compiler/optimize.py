@@ -1,0 +1,261 @@
+"""Scalar optimisation passes over the IR.
+
+The lightweight cleanups a ``-O3`` compiler performs before
+if-conversion, each a standalone function over a
+:class:`~repro.compiler.ir.Function`:
+
+* :func:`fold_constants` — evaluate ``BinOp`` with constant operands
+  and comparisons with constant sides (turning decidable branches into
+  jumps);
+* :func:`propagate_copies` — within each block, replace reads of a
+  register that currently holds a copy or constant with the source;
+* :func:`eliminate_dead_assignments` — remove assignments and loads
+  whose destination is overwritten before any use (per-block, with a
+  conservative live-out assumption at block ends);
+* :func:`optimize` — run the passes to a fixpoint.
+
+All passes preserve semantics; the differential fuzzer in the test
+suite checks them against execution just like if-conversion.
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Branch,
+    Const,
+    Expr,
+    Function,
+    Jump,
+    Load,
+    MaxSel,
+    Operand,
+    Reg,
+    Select,
+    Statement,
+    Store,
+)
+
+_FOLDERS = {
+    "add": lambda a, b: a + b,
+    "sub": lambda a, b: a - b,
+    "mul": lambda a, b: a * b,
+    "and": lambda a, b: a & b,
+    "or": lambda a, b: a | b,
+}
+
+_COMPARATORS = {
+    "lt": lambda a, b: a < b,
+    "le": lambda a, b: a <= b,
+    "gt": lambda a, b: a > b,
+    "ge": lambda a, b: a >= b,
+    "eq": lambda a, b: a == b,
+    "ne": lambda a, b: a != b,
+}
+
+
+def _fold_expr(expr: Expr) -> Expr:
+    if (
+        isinstance(expr, BinOp)
+        and isinstance(expr.left, Const)
+        and isinstance(expr.right, Const)
+    ):
+        return Const(_FOLDERS[expr.op](expr.left.value, expr.right.value))
+    if isinstance(expr, BinOp):
+        # Identity simplifications: x+0, x-0, x*1, x|0.
+        if expr.op in ("add", "or") and expr.right == Const(0):
+            return expr.left
+        if expr.op == "add" and expr.left == Const(0):
+            return expr.right
+        if expr.op == "sub" and expr.right == Const(0):
+            return expr.left
+        if expr.op == "mul" and expr.right == Const(1):
+            return expr.left
+        if expr.op == "mul" and expr.left == Const(1):
+            return expr.right
+    return expr
+
+
+def fold_constants(function: Function) -> tuple[Function, int]:
+    """Fold constant expressions; returns (new function, fold count)."""
+    function = function.copy()
+    folds = 0
+    for block in function.blocks:
+        for statement in block.statements:
+            if isinstance(statement, Assign):
+                folded = _fold_expr(statement.expr)
+                if folded is not statement.expr:
+                    statement.expr = folded
+                    folds += 1
+        terminator = block.terminator
+        if (
+            isinstance(terminator, Branch)
+            and isinstance(terminator.left, Const)
+            and isinstance(terminator.right, Const)
+        ):
+            outcome = _COMPARATORS[terminator.cmp](
+                terminator.left.value, terminator.right.value
+            )
+            target = (
+                terminator.then_label if outcome else terminator.else_label
+            )
+            block.terminator = Jump(target)
+            folds += 1
+    return function, folds
+
+
+def _substitute(operand: Operand, env: dict[str, Operand]) -> Operand:
+    if isinstance(operand, Reg) and operand.name in env:
+        return env[operand.name]
+    return operand
+
+
+def propagate_copies(function: Function) -> tuple[Function, int]:
+    """Forward-propagate copies/constants within each block."""
+    function = function.copy()
+    changes = 0
+
+    def invalidate(env: dict[str, Operand], name: str) -> None:
+        env.pop(name, None)
+        for key in [k for k, v in env.items()
+                    if isinstance(v, Reg) and v.name == name]:
+            env.pop(key)
+
+    for block in function.blocks:
+        env: dict[str, Operand] = {}
+        for statement in block.statements:
+            if isinstance(statement, Assign):
+                expr = statement.expr
+                if isinstance(expr, BinOp):
+                    new_left = _substitute(expr.left, env)
+                    new_right = _substitute(expr.right, env)
+                    if new_left != expr.left or new_right != expr.right:
+                        statement.expr = BinOp(expr.op, new_left, new_right)
+                        changes += 1
+                elif isinstance(expr, Reg):
+                    replacement = _substitute(expr, env)
+                    if replacement != expr:
+                        statement.expr = replacement
+                        changes += 1
+                invalidate(env, statement.dst)
+                final = statement.expr
+                if isinstance(final, (Reg, Const)) and not (
+                    isinstance(final, Reg) and final.name == statement.dst
+                ):
+                    env[statement.dst] = final
+            elif isinstance(statement, Load):
+                new_offset = _substitute(statement.offset, env)
+                if new_offset != statement.offset:
+                    statement.offset = new_offset
+                    changes += 1
+                invalidate(env, statement.dst)
+            elif isinstance(statement, Store):
+                new_offset = _substitute(statement.offset, env)
+                new_value = _substitute(statement.value, env)
+                if (new_offset != statement.offset
+                        or new_value != statement.value):
+                    statement.offset = new_offset
+                    statement.value = new_value
+                    changes += 1
+            elif isinstance(statement, Select):
+                for attr in ("left", "right", "if_true", "if_false"):
+                    current = getattr(statement, attr)
+                    replacement = _substitute(current, env)
+                    if replacement != current:
+                        setattr(statement, attr, replacement)
+                        changes += 1
+                invalidate(env, statement.dst)
+            elif isinstance(statement, MaxSel):
+                for attr in ("a", "b"):
+                    current = getattr(statement, attr)
+                    replacement = _substitute(current, env)
+                    if replacement != current:
+                        setattr(statement, attr, replacement)
+                        changes += 1
+                invalidate(env, statement.dst)
+        terminator = block.terminator
+        if isinstance(terminator, Branch):
+            new_left = _substitute(terminator.left, env)
+            new_right = _substitute(terminator.right, env)
+            if new_left != terminator.left or new_right != terminator.right:
+                terminator.left = new_left
+                terminator.right = new_right
+                changes += 1
+    return function, changes
+
+
+def _statement_reads(statement: Statement) -> set[str]:
+    names: set[str] = set()
+
+    def operand(value) -> None:
+        if isinstance(value, Reg):
+            names.add(value.name)
+
+    if isinstance(statement, Assign):
+        if isinstance(statement.expr, BinOp):
+            operand(statement.expr.left)
+            operand(statement.expr.right)
+        else:
+            operand(statement.expr)
+    elif isinstance(statement, Load):
+        names.add(statement.base)
+        operand(statement.offset)
+    elif isinstance(statement, Store):
+        names.add(statement.base)
+        operand(statement.offset)
+        operand(statement.value)
+    elif isinstance(statement, Select):
+        operand(statement.left)
+        operand(statement.right)
+        operand(statement.if_true)
+        operand(statement.if_false)
+    elif isinstance(statement, MaxSel):
+        operand(statement.a)
+        operand(statement.b)
+    return names
+
+
+def eliminate_dead_assignments(function: Function) -> tuple[Function, int]:
+    """Drop assignments/loads overwritten before any read (per block).
+
+    Registers are conservatively treated as live at block exits, so
+    only intra-block shadowed writes are removed. Stores are never
+    touched.
+    """
+    function = function.copy()
+    removed = 0
+    for block in function.blocks:
+        keep: list[Statement] = []
+        # Walk backwards: a write is dead if the register is overwritten
+        # later in the block with no intervening read.
+        overwritten: set[str] = set()
+        for statement in reversed(block.statements):
+            dst = getattr(statement, "dst", None)
+            is_pure_def = isinstance(statement, (Assign, Load, Select,
+                                                 MaxSel))
+            if is_pure_def and dst in overwritten:
+                removed += 1
+                continue
+            keep.append(statement)
+            if is_pure_def and dst is not None:
+                overwritten.add(dst)
+            # A read between two writes keeps the earlier write live —
+            # including a self-read like ``d = b * d``, so reads are
+            # subtracted after the destination is added.
+            overwritten -= _statement_reads(statement)
+        block.statements = list(reversed(keep))
+    return function, removed
+
+
+def optimize(function: Function, max_rounds: int = 8) -> Function:
+    """Run folding, propagation and DCE to a fixpoint."""
+    current = function
+    for _ in range(max_rounds):
+        current, folds = fold_constants(current)
+        current, copies = propagate_copies(current)
+        current, dead = eliminate_dead_assignments(current)
+        if folds + copies + dead == 0:
+            break
+    return current

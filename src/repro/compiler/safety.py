@@ -1,0 +1,126 @@
+"""Static analyses backing if-conversion.
+
+Models the "utility that can determine whether a memory access is safe"
+the paper added to gcc (§IV-B). A load inside a branch arm may be
+speculated (executed unconditionally) only if the compiler can prove it
+cannot fault. The proof rule implemented here is the classic redundancy
+argument: the *same* ``base + offset`` location was already accessed on
+every path reaching the hammock, so touching it again is safe.
+
+This rule deliberately fails on the paper's counter-examples — e.g.
+``if (x[i-1] > C) c = x[i]`` — because ``x[i]`` and ``x[i-1]`` are
+different locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.compiler.ir import (
+    Assign,
+    Block,
+    Const,
+    Function,
+    Load,
+    Operand,
+    Reg,
+    Store,
+)
+
+
+def dominators(function: Function) -> dict[str, set[str]]:
+    """Classic iterative dominator sets per block label."""
+    labels = [block.label for block in function.blocks]
+    preds = function.predecessors()
+    entry = function.entry.label
+    dom: dict[str, set[str]] = {label: set(labels) for label in labels}
+    dom[entry] = {entry}
+    changed = True
+    while changed:
+        changed = False
+        for label in labels:
+            if label == entry:
+                continue
+            pred_doms = [dom[p] for p in preds[label]]
+            if pred_doms:
+                new = set.intersection(*pred_doms) | {label}
+            else:
+                new = {label}  # unreachable block dominates only itself
+            if new != dom[label]:
+                dom[label] = new
+                changed = True
+    return dom
+
+
+def _offset_key(offset: Operand) -> str:
+    if isinstance(offset, Const):
+        return f"#{offset.value}"
+    return offset.name
+
+
+def _access_key(base: str, offset: Operand) -> tuple[str, str]:
+    return (base, _offset_key(offset))
+
+
+def _block_accesses(block: Block) -> set[tuple[str, str]]:
+    """All (base, offset) locations touched by loads/stores in a block."""
+    accesses: set[tuple[str, str]] = set()
+    for statement in block.statements:
+        if isinstance(statement, (Load, Store)):
+            accesses.add(_access_key(statement.base, statement.offset))
+    return accesses
+
+
+@dataclass
+class SafetyAnalysis:
+    """Per-function safety facts consumed by if-conversion."""
+
+    function: Function
+    dom: dict[str, set[str]]
+    available: dict[str, set[tuple[str, str]]]
+
+    def load_provably_safe(self, arm_label: str, load: Load) -> bool:
+        """Can the compiler prove speculating ``load`` cannot fault?
+
+        True when the same location is available (already accessed) at
+        entry to the hammock arm. The author-side ``safe_region``
+        annotation is *ignored* here on purpose: it models knowledge
+        only the programmer has.
+        """
+        key = _access_key(load.base, load.offset)
+        return key in self.available.get(arm_label, set())
+
+    def arm_has_aliased_store_hazard(self, arm_label: str) -> bool:
+        """True when speculation would reorder a load past a store it may
+        alias with (conservative: any store in the arm is a hazard)."""
+        block = self.function.block(arm_label)
+        return any(isinstance(s, Store) for s in block.statements)
+
+
+def analyse(function: Function) -> SafetyAnalysis:
+    """Run the dominator-based availability analysis."""
+    dom = dominators(function)
+    per_block = {
+        block.label: _block_accesses(block) for block in function.blocks
+    }
+    available: dict[str, set[tuple[str, str]]] = {}
+    for block in function.blocks:
+        # Locations accessed in every strict dominator are available on
+        # all paths into this block.
+        facts: set[tuple[str, str]] = set()
+        for dominator in dom[block.label]:
+            if dominator != block.label:
+                facts |= per_block[dominator]
+        available[block.label] = facts
+    return SafetyAnalysis(function=function, dom=dom, available=available)
+
+
+def defined_names(block: Block) -> set[str]:
+    """Virtual registers written by a block's statements."""
+    names: set[str] = set()
+    for statement in block.statements:
+        if isinstance(statement, (Assign, Load)):
+            names.add(statement.dst)
+        elif hasattr(statement, "dst"):
+            names.add(statement.dst)  # Select / MaxSel
+    return names

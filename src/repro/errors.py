@@ -1,0 +1,52 @@
+"""Exception hierarchy for the ``repro`` package.
+
+Every error raised intentionally by this library derives from
+:class:`ReproError`, so callers can catch library failures without also
+swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class AlphabetError(ReproError):
+    """A sequence contains symbols outside its declared alphabet."""
+
+
+class FastaParseError(ReproError):
+    """A FASTA stream is malformed (missing header, empty record, ...)."""
+
+
+class ScoringError(ReproError):
+    """A substitution matrix or gap-penalty configuration is invalid."""
+
+
+class AlignmentError(ReproError):
+    """An alignment routine was asked to do something impossible."""
+
+
+class HmmError(ReproError):
+    """A profile HMM is structurally invalid or was misused."""
+
+
+class AssemblyError(ReproError):
+    """Mini-ISA assembly text could not be parsed or resolved."""
+
+
+class InterpreterError(ReproError):
+    """The mini-ISA interpreter hit an illegal state (bad address, ...)."""
+
+
+class CompilerError(ReproError):
+    """The IR is malformed or a compiler pass was misconfigured."""
+
+
+class SimulationError(ReproError):
+    """The micro-architectural core model was misconfigured or misused."""
+
+
+class WorkloadError(ReproError):
+    """A workload/characterization harness was misconfigured."""

@@ -1,0 +1,72 @@
+"""One driver per paper table/figure.
+
+================ ==============================================
+module           reproduces
+================ ==============================================
+``table1``       Table I — baseline counter characterisation
+``fig1``         Figure 1 — function-wise runtime breakout
+``fig2``         Figure 2 — Clustalw IPC/misprediction vs time
+``fig3``         Figure 3 — IPC with max/isel variants
+``table2``       Table II — branch statistics per variant
+``fig4``         Figure 4 — eight-entry BTAC
+``fig5``         Figure 5 — additional fixed-point units
+``fig6``         Figure 6 — combined gains + residual
+``ext_phylip``   §VIII extension — parsimony kernel predication
+``ext_cmp_llc``  §VII extension — shared vs private LLC (ref. [26])
+``ablations``    design-decision sweeps (BTAC size/threshold, ...)
+================ ==============================================
+
+Run from the command line: ``python -m repro.experiments fig3``.
+"""
+
+from repro.experiments import (
+    ablations,
+    ext_cmp_llc,
+    ext_phylip,
+    fig1,
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    table1,
+    table2,
+)
+from repro.experiments.common import (
+    ExperimentResult,
+    cached_characterize,
+    clear_cache,
+)
+
+#: Experiment id -> runner, in the paper's presentation order.
+EXPERIMENTS = {
+    "table1": table1.run,
+    "fig1": fig1.run,
+    "fig2": fig2.run,
+    "fig3": fig3.run,
+    "table2": table2.run,
+    "fig4": fig4.run,
+    "fig5": fig5.run,
+    "fig6": fig6.run,
+    "ext_phylip": ext_phylip.run,
+    "ext_cmp_llc": ext_cmp_llc.run,
+    "ablations": ablations.run,
+}
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "cached_characterize",
+    "clear_cache",
+    "table1",
+    "fig1",
+    "fig2",
+    "fig3",
+    "table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "ext_phylip",
+    "ext_cmp_llc",
+    "ablations",
+]

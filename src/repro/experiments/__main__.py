@@ -1,0 +1,42 @@
+"""Command-line entry point: ``python -m repro.experiments <id> ...``.
+
+Runs the named experiments (or ``all``) and prints their tables.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description=(
+            "Reproduce the paper's tables and figures on the simulated "
+            "POWER5."
+        ),
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="experiment ids to run ('all' runs every one)",
+    )
+    args = parser.parse_args(argv)
+    names = (
+        list(EXPERIMENTS)
+        if "all" in args.experiments
+        else args.experiments
+    )
+    for name in names:
+        result = EXPERIMENTS[name]()
+        print(result.render())
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,60 @@
+"""Shared plumbing for the experiment drivers.
+
+Each ``repro.experiments.<id>`` module reproduces one table or figure
+from the paper's evaluation and returns an :class:`ExperimentResult`
+(text tables plus the raw numbers). ``cached_characterize`` memoises
+whole-app simulations so experiments that share configurations (for
+instance fig6 reusing fig3/fig4 points) do not re-simulate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.perf.characterize import AppCharacterisation, characterize
+from repro.perf.report import Table
+from repro.uarch.config import CoreConfig, power5
+
+#: The four applications in the paper's order.
+APPS = ("blast", "clustalw", "fasta", "hmmer")
+
+#: Figure 3 / Table II variant order.
+FIG3_VARIANTS = (
+    "baseline", "hand_isel", "hand_max", "comp_isel", "comp_max",
+    "combination",
+)
+
+_cache: dict[tuple[str, str, CoreConfig], AppCharacterisation] = {}
+
+
+def cached_characterize(
+    app: str, variant: str, config: CoreConfig | None = None
+) -> AppCharacterisation:
+    """Memoised :func:`repro.perf.characterize.characterize`."""
+    config = config or power5()
+    key = (app, variant, config)
+    if key not in _cache:
+        _cache[key] = characterize(app, variant, config)
+    return _cache[key]
+
+
+def clear_cache() -> None:
+    """Drop memoised simulations (tests use this for isolation)."""
+    _cache.clear()
+
+
+@dataclass
+class ExperimentResult:
+    """One reproduced table/figure: rendered tables + raw numbers."""
+
+    experiment: str
+    description: str
+    tables: list[Table] = field(default_factory=list)
+    data: dict = field(default_factory=dict)
+
+    def render(self) -> str:
+        header = f"== {self.experiment}: {self.description} =="
+        return "\n\n".join([header] + [t.render() for t in self.tables])
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,50 @@
+"""Figure 5: effect of additional fixed-point units.
+
+Performance with 2 -> 3 -> 4 FXUs, for the original code and for the
+"Combination" code (whose max/isel instructions put extra pressure on
+the fixed-point pipeline, §V). Shape targets: Hmmer benefits the most
+(its Viterbi kernel is dense in address arithmetic including
+multiplies), Fasta the least, and 3 -> 4 adds little for most
+applications.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import APPS, ExperimentResult, cached_characterize
+from repro.perf.report import Table, signed_percent
+from repro.uarch.config import power5
+
+FXU_COUNTS = (2, 3, 4)
+
+
+def run() -> ExperimentResult:
+    """Sweep the FXU count for both code variants."""
+    base = power5()
+    table = Table(
+        "Figure 5 - Effect of additional fixed-point units",
+        ["App", "Code", "3 FXUs vs 2", "4 FXUs vs 2"],
+    )
+    data: dict[str, dict[str, dict[int, float]]] = {}
+    for app in APPS:
+        data[app] = {}
+        for code in ("baseline", "combination"):
+            reference = cached_characterize(app, code, base.with_fxus(2))
+            gains = {}
+            for count in FXU_COUNTS[1:]:
+                result = cached_characterize(
+                    app, code, base.with_fxus(count)
+                )
+                gains[count] = result.speedup_over(reference)
+            data[app][code] = gains
+            table.add_row(
+                app if code == "baseline" else "",
+                code,
+                signed_percent(gains[3]),
+                signed_percent(gains[4]),
+            )
+    return ExperimentResult(
+        experiment="fig5",
+        description="fixed-point unit scaling per code variant",
+        tables=[table],
+        data=data,
+    )

@@ -1,0 +1,82 @@
+"""Figure 6: combined gains of predication + BTAC + 4 FXUs.
+
+For each application: the baseline IPC, the individual deltas from
+adding predication (the Combination code), the BTAC, and two extra
+FXUs, the total when all are applied together, and the *residual* —
+how much the combination exceeds the sum of the parts. The paper
+reports an average improvement of 64%, Clustalw's IPC nearly doubling,
+and positive residuals for all applications except Fasta.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.common import APPS, ExperimentResult, cached_characterize
+from repro.perf.report import Table, signed_percent
+from repro.uarch.config import power5
+
+#: The paper's combined improvements per application.
+PAPER_TOTAL_GAINS = {
+    "blast": 0.53, "clustalw": 0.89, "fasta": 0.69, "hmmer": 0.51,
+}
+PAPER_AVERAGE = 0.64
+
+
+def run() -> ExperimentResult:
+    """Stack the three enhancements individually and together."""
+    base = power5()
+    btac_cfg = base.with_btac()
+    fxu_cfg = base.with_fxus(4)
+    all_cfg = base.with_btac().with_fxus(4)
+
+    table = Table(
+        "Figure 6 - Combined effect on IPC "
+        "(+predication, +BTAC, +4 FXUs, residual)",
+        ["App", "base IPC", "+pred", "+BTAC", "+FXUs", "residual",
+         "total", "final IPC", "paper total"],
+    )
+    data: dict[str, dict[str, float]] = {}
+    totals = []
+    for app in APPS:
+        baseline = cached_characterize(app, "baseline", base)
+        predication = cached_characterize(app, "combination", base)
+        btac = cached_characterize(app, "baseline", btac_cfg)
+        fxus = cached_characterize(app, "baseline", fxu_cfg)
+        combined = cached_characterize(app, "combination", all_cfg)
+
+        delta_pred = predication.speedup_over(baseline)
+        delta_btac = btac.speedup_over(baseline)
+        delta_fxu = fxus.speedup_over(baseline)
+        total = combined.speedup_over(baseline)
+        residual = total - (delta_pred + delta_btac + delta_fxu)
+        totals.append(total)
+        data[app] = {
+            "base_ipc": baseline.work_ipc,
+            "final_ipc": combined.work_ipc,
+            "predication": delta_pred,
+            "btac": delta_btac,
+            "fxus": delta_fxu,
+            "residual": residual,
+            "total": total,
+        }
+        table.add_row(
+            app,
+            f"{baseline.work_ipc:.2f}",
+            signed_percent(delta_pred),
+            signed_percent(delta_btac),
+            signed_percent(delta_fxu),
+            signed_percent(residual),
+            signed_percent(total),
+            f"{combined.work_ipc:.2f}",
+            signed_percent(PAPER_TOTAL_GAINS[app]),
+        )
+    average = sum(totals) / len(totals)
+    summary = Table(
+        "Average combined improvement (paper: +64%)",
+        ["Average total gain"],
+    ).add_row(signed_percent(average))
+    return ExperimentResult(
+        experiment="fig6",
+        description="combining predication, BTAC and extra FXUs",
+        tables=[table, summary],
+        data={"per_app": data, "average": average},
+    )

@@ -1,0 +1,43 @@
+"""A PowerPC-like mini-ISA with the paper's ``max``/``isel`` extensions.
+
+Provides the instruction set, a program builder and text assembler, a
+word-addressed memory, a functional interpreter, and dynamic-trace
+records consumed by :mod:`repro.uarch`.
+"""
+
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Instruction, Op, Unit, validate
+from repro.isa.interpreter import Machine, run_program
+from repro.isa.memory import Memory
+from repro.isa.program import Program, ProgramBuilder
+from repro.isa.registers import CR_EQ, CR_GT, CR_LT, RegisterFile
+from repro.isa.tracestore import load_trace, save_trace
+from repro.isa.trace import (
+    TraceEvent,
+    TraceStats,
+    opcode_histogram,
+    trace_statistics,
+)
+
+__all__ = [
+    "assemble",
+    "Instruction",
+    "Op",
+    "Unit",
+    "validate",
+    "Machine",
+    "run_program",
+    "Memory",
+    "Program",
+    "ProgramBuilder",
+    "CR_EQ",
+    "CR_GT",
+    "CR_LT",
+    "RegisterFile",
+    "load_trace",
+    "save_trace",
+    "TraceEvent",
+    "TraceStats",
+    "opcode_histogram",
+    "trace_statistics",
+]

@@ -1,0 +1,158 @@
+"""A small text assembler for the mini-ISA.
+
+Accepts the same syntax :meth:`Instruction.render` produces, so
+``assemble(program.listing())`` round-trips. Supported forms::
+
+    loop:
+        li r3, 5
+        addi r4, r3, -1
+        cmp cr0, r3, r4
+        bt cr0[0], loop        # branch if bit 0 (lt) set
+        bf cr0[2], done        # branch if bit 2 (eq) clear
+        ld r5, 4(r6)
+        ldx r5, r6, r7
+        st r5, 0(r6)
+        stx r5, r6, r7
+        max r3, r4, r5
+        isel r3, r4, r5, cr0, 1
+        b loop
+        halt
+
+Comments start with ``#``; blank lines are ignored.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction, Op
+from repro.isa.program import Program, ProgramBuilder
+
+_LABEL_RE = re.compile(r"^([A-Za-z_][\w.]*):$")
+_REG_RE = re.compile(r"^r(\d+)$")
+_CRF_RE = re.compile(r"^cr(\d+)$")
+_CRBIT_RE = re.compile(r"^cr(\d+)\[(\d)\]$")
+_MEM_RE = re.compile(r"^(-?\d+)\(r(\d+)\)$")
+
+
+def _reg(token: str) -> int:
+    match = _REG_RE.match(token)
+    if not match:
+        raise AssemblyError(f"expected register, got {token!r}")
+    index = int(match.group(1))
+    if index > 31:
+        raise AssemblyError(f"register {token!r} out of range")
+    return index
+
+
+def _crf(token: str) -> int:
+    match = _CRF_RE.match(token)
+    if not match:
+        raise AssemblyError(f"expected CR field, got {token!r}")
+    return int(match.group(1))
+
+
+def _imm(token: str) -> int:
+    try:
+        return int(token, 0)
+    except ValueError:
+        raise AssemblyError(f"expected immediate, got {token!r}") from None
+
+
+def _parse_line(mnemonic: str, operands: list[str]) -> Instruction:
+    if mnemonic == "li":
+        return Instruction(Op.LI, rd=_reg(operands[0]), imm=_imm(operands[1]))
+    if mnemonic in ("mr", "neg"):
+        op = Op.MR if mnemonic == "mr" else Op.NEG
+        return Instruction(op, rd=_reg(operands[0]), ra=_reg(operands[1]))
+    if mnemonic in ("add", "sub", "mul", "and", "or", "max", "ldx"):
+        op = Op[mnemonic.upper()]
+        return Instruction(
+            op, rd=_reg(operands[0]), ra=_reg(operands[1]),
+            rb=_reg(operands[2]),
+        )
+    if mnemonic == "stx":
+        return Instruction(
+            Op.STX, rd=_reg(operands[0]), ra=_reg(operands[1]),
+            rb=_reg(operands[2]),
+        )
+    if mnemonic in ("addi", "subi", "muli"):
+        op = Op[mnemonic.upper()]
+        return Instruction(
+            op, rd=_reg(operands[0]), ra=_reg(operands[1]),
+            imm=_imm(operands[2]),
+        )
+    if mnemonic == "isel":
+        return Instruction(
+            Op.ISEL, rd=_reg(operands[0]), ra=_reg(operands[1]),
+            rb=_reg(operands[2]), crf=_crf(operands[3]),
+            crbit=_imm(operands[4]),
+        )
+    if mnemonic == "cmp":
+        return Instruction(
+            Op.CMP, crf=_crf(operands[0]), ra=_reg(operands[1]),
+            rb=_reg(operands[2]),
+        )
+    if mnemonic == "cmpi":
+        return Instruction(
+            Op.CMPI, crf=_crf(operands[0]), ra=_reg(operands[1]),
+            imm=_imm(operands[2]),
+        )
+    if mnemonic in ("ld", "st"):
+        match = _MEM_RE.match(operands[1])
+        if not match:
+            raise AssemblyError(
+                f"expected imm(reg) operand, got {operands[1]!r}"
+            )
+        op = Op.LD if mnemonic == "ld" else Op.ST
+        return Instruction(
+            op, rd=_reg(operands[0]), ra=int(match.group(2)),
+            imm=int(match.group(1)),
+        )
+    if mnemonic == "b":
+        return Instruction(Op.B, label=operands[0])
+    if mnemonic in ("bt", "bf"):
+        match = _CRBIT_RE.match(operands[0])
+        if not match:
+            raise AssemblyError(
+                f"expected crN[bit] operand, got {operands[0]!r}"
+            )
+        return Instruction(
+            Op.BC, crf=int(match.group(1)), crbit=int(match.group(2)),
+            want=(mnemonic == "bt"), label=operands[1],
+        )
+    if mnemonic == "nop":
+        return Instruction(Op.NOP)
+    if mnemonic == "halt":
+        return Instruction(Op.HALT)
+    raise AssemblyError(f"unknown mnemonic {mnemonic!r}")
+
+
+def assemble(text: str) -> Program:
+    """Assemble ``text`` into a :class:`Program`."""
+    builder = ProgramBuilder()
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        label_match = _LABEL_RE.match(line)
+        if label_match:
+            builder.label(label_match.group(1))
+            continue
+        parts = line.split(None, 1)
+        mnemonic = parts[0].lower()
+        operands = (
+            [token.strip() for token in parts[1].split(",")]
+            if len(parts) > 1
+            else []
+        )
+        try:
+            builder.emit(_parse_line(mnemonic, operands))
+        except IndexError:
+            raise AssemblyError(
+                f"line {line_no}: too few operands for {mnemonic!r}"
+            ) from None
+        except AssemblyError as error:
+            raise AssemblyError(f"line {line_no}: {error}") from None
+    return builder.build()

@@ -1,0 +1,236 @@
+"""The mini-ISA instruction set.
+
+A deliberately small PowerPC-flavoured integer ISA: enough to express
+the dynamic-programming kernels, plus the paper's two proposed
+predicated instructions:
+
+``max``
+    ``max rd, ra, rb`` — write the larger of two source registers to the
+    target in one cycle (the hypothetical instruction of §IV-A).
+``isel``
+    ``isel rd, ra, rb, crf, bit`` — select ``ra`` when the given CR bit
+    is set, else ``rb`` (the POWER embedded-core instruction the paper
+    borrows). It needs a preceding ``cmp`` to set the CR field.
+
+Each opcode carries its execution-unit class so the core model can
+schedule it: ``FXU`` (fixed point), ``LSU`` (load/store), ``BRU``
+(branch).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.errors import AssemblyError
+
+
+class Unit(enum.Enum):
+    """Execution-unit class of an instruction."""
+
+    FXU = "fxu"
+    LSU = "lsu"
+    BRU = "bru"
+    NONE = "none"  # nop/halt
+
+
+class Op(enum.Enum):
+    """Opcodes of the mini-ISA."""
+
+    LI = "li"        # li rd, imm
+    MR = "mr"        # mr rd, ra
+    ADD = "add"      # add rd, ra, rb
+    ADDI = "addi"    # addi rd, ra, imm
+    SUB = "sub"      # sub rd, ra, rb
+    SUBI = "subi"    # subi rd, ra, imm
+    MUL = "mul"      # mul rd, ra, rb
+    MULI = "muli"    # muli rd, ra, imm
+    NEG = "neg"      # neg rd, ra
+    AND = "and"      # and rd, ra, rb
+    OR = "or"        # or rd, ra, rb
+    MAX = "max"      # max rd, ra, rb          (proposed)
+    ISEL = "isel"    # isel rd, ra, rb, crf, bit (POWER embedded)
+    CMP = "cmp"      # cmp crf, ra, rb
+    CMPI = "cmpi"    # cmpi crf, ra, imm
+    LD = "ld"        # ld rd, ra, imm          (load from R[ra]+imm)
+    LDX = "ldx"      # ldx rd, ra, rb          (load from R[ra]+R[rb])
+    ST = "st"        # st rs, ra, imm          (store to R[ra]+imm)
+    STX = "stx"      # stx rs, ra, rb
+    B = "b"          # b label
+    BC = "bc"        # bc crf, bit, taken?, label (branch if bit == want)
+    NOP = "nop"
+    HALT = "halt"
+
+
+#: Execution unit per opcode.
+OP_UNIT = {
+    Op.LI: Unit.FXU, Op.MR: Unit.FXU, Op.ADD: Unit.FXU, Op.ADDI: Unit.FXU,
+    Op.SUB: Unit.FXU, Op.SUBI: Unit.FXU, Op.MUL: Unit.FXU, Op.MULI: Unit.FXU,
+    Op.NEG: Unit.FXU, Op.AND: Unit.FXU, Op.OR: Unit.FXU,
+    Op.MAX: Unit.FXU, Op.ISEL: Unit.FXU,
+    Op.CMP: Unit.FXU, Op.CMPI: Unit.FXU,
+    Op.LD: Unit.LSU, Op.LDX: Unit.LSU, Op.ST: Unit.LSU, Op.STX: Unit.LSU,
+    Op.B: Unit.BRU, Op.BC: Unit.BRU,
+    Op.NOP: Unit.NONE, Op.HALT: Unit.NONE,
+}
+
+#: Execution latency in cycles (L1-hit latency for loads; POWER5-like).
+OP_LATENCY = {
+    Op.MUL: 5, Op.MULI: 5,
+    Op.LD: 2, Op.LDX: 2,
+}
+
+#: Cycles an instruction occupies its unit's issue pipe. POWER5's
+#: fixed-point multiply is not fully pipelined, so it blocks an FXU for
+#: its full latency — a major source of the FXU pressure the paper's
+#: §VI-C experiment relieves (DP kernels multiply for row addressing).
+OP_OCCUPANCY = {
+    Op.MUL: 5, Op.MULI: 5,
+}
+
+BRANCH_OPS = frozenset({Op.B, Op.BC})
+LOAD_OPS = frozenset({Op.LD, Op.LDX})
+STORE_OPS = frozenset({Op.ST, Op.STX})
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One static instruction.
+
+    Register operands are GPR indices; ``crf``/``crbit`` identify a
+    condition-register bit for ``cmp``/``isel``/``bc``; ``imm`` holds an
+    immediate; ``label`` is a symbolic branch target resolved by the
+    program container into ``target`` (an instruction index).
+    """
+
+    op: Op
+    rd: int | None = None
+    ra: int | None = None
+    rb: int | None = None
+    imm: int | None = None
+    crf: int | None = None
+    crbit: int | None = None
+    want: bool = True  # for BC: branch when bit == want
+    label: str | None = None
+    comment: str = ""
+
+    @property
+    def unit(self) -> Unit:
+        return OP_UNIT[self.op]
+
+    @property
+    def latency(self) -> int:
+        return OP_LATENCY.get(self.op, 1)
+
+    @property
+    def occupancy(self) -> int:
+        """Cycles this instruction blocks its execution unit."""
+        return OP_OCCUPANCY.get(self.op, 1)
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCH_OPS
+
+    @property
+    def is_conditional_branch(self) -> bool:
+        return self.op is Op.BC
+
+    @property
+    def is_load(self) -> bool:
+        return self.op in LOAD_OPS
+
+    @property
+    def is_store(self) -> bool:
+        return self.op in STORE_OPS
+
+    def source_registers(self) -> tuple[int, ...]:
+        """GPRs read by this instruction (for dependence tracking)."""
+        op = self.op
+        if op in (Op.MR, Op.NEG, Op.ADDI, Op.SUBI, Op.MULI, Op.CMPI, Op.LD):
+            return (self.ra,)  # type: ignore[return-value]
+        if op in (
+            Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.MAX, Op.CMP,
+            Op.LDX, Op.ISEL,
+        ):
+            return tuple(
+                r for r in (self.ra, self.rb) if r is not None
+            )
+        if op is Op.ST:
+            return tuple(r for r in (self.rd, self.ra) if r is not None)
+        if op is Op.STX:
+            return tuple(
+                r for r in (self.rd, self.ra, self.rb) if r is not None
+            )
+        return ()
+
+    def destination_register(self) -> int | None:
+        """GPR written by this instruction, if any."""
+        if self.op in STORE_OPS or self.op in BRANCH_OPS:
+            return None
+        if self.op in (Op.NOP, Op.HALT, Op.CMP, Op.CMPI):
+            return None
+        return self.rd
+
+    def render(self) -> str:
+        """Assembly-like text rendering."""
+        op = self.op
+        if op is Op.LI:
+            body = f"li r{self.rd}, {self.imm}"
+        elif op is Op.MR:
+            body = f"mr r{self.rd}, r{self.ra}"
+        elif op is Op.NEG:
+            body = f"neg r{self.rd}, r{self.ra}"
+        elif op in (Op.ADD, Op.SUB, Op.MUL, Op.AND, Op.OR, Op.MAX):
+            body = f"{op.value} r{self.rd}, r{self.ra}, r{self.rb}"
+        elif op in (Op.ADDI, Op.SUBI, Op.MULI):
+            body = f"{op.value} r{self.rd}, r{self.ra}, {self.imm}"
+        elif op is Op.ISEL:
+            body = (
+                f"isel r{self.rd}, r{self.ra}, r{self.rb}, "
+                f"cr{self.crf}, {self.crbit}"
+            )
+        elif op is Op.CMP:
+            body = f"cmp cr{self.crf}, r{self.ra}, r{self.rb}"
+        elif op is Op.CMPI:
+            body = f"cmpi cr{self.crf}, r{self.ra}, {self.imm}"
+        elif op is Op.LD:
+            body = f"ld r{self.rd}, {self.imm}(r{self.ra})"
+        elif op is Op.LDX:
+            body = f"ldx r{self.rd}, r{self.ra}, r{self.rb}"
+        elif op is Op.ST:
+            body = f"st r{self.rd}, {self.imm}(r{self.ra})"
+        elif op is Op.STX:
+            body = f"stx r{self.rd}, r{self.ra}, r{self.rb}"
+        elif op is Op.B:
+            body = f"b {self.label}"
+        elif op is Op.BC:
+            kind = "bt" if self.want else "bf"
+            body = f"{kind} cr{self.crf}[{self.crbit}], {self.label}"
+        else:
+            body = op.value
+        if self.comment:
+            return f"{body:<40}# {self.comment}"
+        return body
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def validate(instruction: Instruction) -> None:
+    """Raise :class:`AssemblyError` if operands are malformed."""
+    op = instruction.op
+    need_rd = op not in (
+        Op.CMP, Op.CMPI, Op.B, Op.BC, Op.NOP, Op.HALT,
+    )
+    if need_rd and instruction.rd is None:
+        raise AssemblyError(f"{op.value} needs a target register")
+    if op in (Op.BC,) and (
+        instruction.crf is None or instruction.crbit is None
+    ):
+        raise AssemblyError("bc needs a CR field and bit")
+    if instruction.is_branch and instruction.label is None:
+        raise AssemblyError(f"{op.value} needs a label")
+    if op is Op.ISEL and (
+        instruction.crf is None or instruction.crbit is None
+    ):
+        raise AssemblyError("isel needs a CR field and bit")

@@ -1,0 +1,170 @@
+"""Functional interpreter for the mini-ISA.
+
+The :class:`Machine` executes a :class:`~repro.isa.program.Program`
+against a :class:`~repro.isa.memory.Memory`, producing architecturally
+correct results *and* (optionally) a dynamic trace for the core model —
+the same role SystemSim plays in the paper: functional execution first,
+timing layered on top.
+"""
+
+from __future__ import annotations
+
+from repro.errors import InterpreterError
+from repro.isa.instructions import Op
+from repro.isa.memory import Memory
+from repro.isa.program import Program
+from repro.isa.registers import RegisterFile
+from repro.isa.trace import TraceEvent
+
+#: Default step budget; kernels here are far smaller.
+DEFAULT_MAX_STEPS = 50_000_000
+
+
+class Machine:
+    """Architected state + fetch/execute loop.
+
+    Parameters
+    ----------
+    program:
+        The sealed program to run.
+    memory:
+        Data memory (shared with the driver that set up inputs).
+    """
+
+    def __init__(self, program: Program, memory: Memory) -> None:
+        self.program = program
+        self.memory = memory
+        self.registers = RegisterFile()
+        self.pc = 0
+        self.steps = 0
+        self.halted = False
+
+    def run(
+        self,
+        trace: list[TraceEvent] | None = None,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ) -> int:
+        """Execute until ``halt`` or the step budget expires.
+
+        When ``trace`` is a list, one :class:`TraceEvent` per committed
+        instruction is appended to it. Returns the number of dynamic
+        instructions executed by this call.
+        """
+        if self.halted:
+            raise InterpreterError("machine already halted")
+        instructions = self.program.instructions
+        targets = self.program.targets
+        registers = self.registers
+        gpr = registers.gpr
+        memory = self.memory
+        executed = 0
+        pc = self.pc
+        program_length = len(instructions)
+        collect = trace is not None
+
+        while executed < max_steps:
+            if not 0 <= pc < program_length:
+                raise InterpreterError(f"PC {pc} out of program range")
+            instruction = instructions[pc]
+            op = instruction.op
+            taken = False
+            address: int | None = None
+            next_pc = pc + 1
+
+            if op is Op.ADD:
+                gpr[instruction.rd] = gpr[instruction.ra] + gpr[instruction.rb]
+            elif op is Op.ADDI:
+                gpr[instruction.rd] = gpr[instruction.ra] + instruction.imm
+            elif op is Op.SUB:
+                gpr[instruction.rd] = gpr[instruction.ra] - gpr[instruction.rb]
+            elif op is Op.SUBI:
+                gpr[instruction.rd] = gpr[instruction.ra] - instruction.imm
+            elif op is Op.LD:
+                address = gpr[instruction.ra] + instruction.imm
+                gpr[instruction.rd] = memory.load(address)
+            elif op is Op.LDX:
+                address = gpr[instruction.ra] + gpr[instruction.rb]
+                gpr[instruction.rd] = memory.load(address)
+            elif op is Op.ST:
+                address = gpr[instruction.ra] + instruction.imm
+                memory.store(address, gpr[instruction.rd])
+            elif op is Op.STX:
+                address = gpr[instruction.ra] + gpr[instruction.rb]
+                memory.store(address, gpr[instruction.rd])
+            elif op is Op.CMP:
+                registers.set_compare(
+                    instruction.crf, gpr[instruction.ra], gpr[instruction.rb]
+                )
+            elif op is Op.CMPI:
+                registers.set_compare(
+                    instruction.crf, gpr[instruction.ra], instruction.imm
+                )
+            elif op is Op.BC:
+                bit = registers.cr_bit(instruction.crf, instruction.crbit)
+                taken = bit == instruction.want
+                if taken:
+                    next_pc = targets[pc]
+            elif op is Op.B:
+                taken = True
+                next_pc = targets[pc]
+            elif op is Op.AND:
+                gpr[instruction.rd] = gpr[instruction.ra] & gpr[instruction.rb]
+            elif op is Op.OR:
+                gpr[instruction.rd] = gpr[instruction.ra] | gpr[instruction.rb]
+            elif op is Op.MAX:
+                a, b = gpr[instruction.ra], gpr[instruction.rb]
+                gpr[instruction.rd] = a if a > b else b
+            elif op is Op.ISEL:
+                bit = registers.cr_bit(instruction.crf, instruction.crbit)
+                gpr[instruction.rd] = (
+                    gpr[instruction.ra] if bit else gpr[instruction.rb]
+                )
+            elif op is Op.LI:
+                gpr[instruction.rd] = instruction.imm
+            elif op is Op.MR:
+                gpr[instruction.rd] = gpr[instruction.ra]
+            elif op is Op.MUL:
+                gpr[instruction.rd] = gpr[instruction.ra] * gpr[instruction.rb]
+            elif op is Op.MULI:
+                gpr[instruction.rd] = gpr[instruction.ra] * instruction.imm
+            elif op is Op.NEG:
+                gpr[instruction.rd] = -gpr[instruction.ra]
+            elif op is Op.NOP:
+                pass
+            elif op is Op.HALT:
+                self.halted = True
+                next_pc = pc
+            else:  # pragma: no cover - exhaustive over Op
+                raise InterpreterError(f"unimplemented opcode {op!r}")
+
+            executed += 1
+            if collect:
+                trace.append(
+                    TraceEvent(pc, instruction, taken, next_pc, address)
+                )
+            if self.halted:
+                break
+            pc = next_pc
+
+        self.pc = pc
+        self.steps += executed
+        if not self.halted and executed >= max_steps:
+            raise InterpreterError(
+                f"step budget of {max_steps} exhausted at PC {pc}"
+            )
+        return executed
+
+
+def run_program(
+    program: Program,
+    memory: Memory,
+    initial_registers: dict[int, int] | None = None,
+    trace: list[TraceEvent] | None = None,
+    max_steps: int = DEFAULT_MAX_STEPS,
+) -> Machine:
+    """Convenience wrapper: build a machine, preset registers, run it."""
+    machine = Machine(program, memory)
+    for index, value in (initial_registers or {}).items():
+        machine.registers.write(index, value)
+    machine.run(trace=trace, max_steps=max_steps)
+    return machine

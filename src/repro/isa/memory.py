@@ -1,0 +1,80 @@
+"""Flat data memory with named segments.
+
+Kernels address memory as word-granular offsets into one flat integer
+array. Drivers allocate named segments (sequence codes, the flattened
+substitution matrix, DP rows, ...) and pass the returned base addresses
+to the kernel through registers.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import InterpreterError
+
+
+class Memory:
+    """Word-addressed integer memory.
+
+    Addresses are word indices (one "word" per int), which keeps the
+    cache model simple: the L1D model converts word addresses to byte
+    addresses with a fixed word size.
+    """
+
+    def __init__(self, size: int = 1 << 20) -> None:
+        if size <= 0:
+            raise InterpreterError(f"memory size must be positive, got {size}")
+        self._words = [0] * size
+        self._next_free = 0
+        self._segments: dict[str, tuple[int, int]] = {}
+
+    def __len__(self) -> int:
+        return len(self._words)
+
+    def alloc(self, name: str, data: Iterable[int] | int) -> int:
+        """Allocate a named segment; returns its base address.
+
+        ``data`` is either an iterable of initial words or an integer
+        word count (zero-initialised).
+        """
+        if name in self._segments:
+            raise InterpreterError(f"segment {name!r} already allocated")
+        if isinstance(data, int):
+            words = [0] * data
+        else:
+            words = [int(v) for v in data]
+        base = self._next_free
+        end = base + len(words)
+        if end > len(self._words):
+            raise InterpreterError(
+                f"out of memory allocating {name!r} "
+                f"({len(words)} words at {base})"
+            )
+        self._words[base:end] = words
+        self._segments[name] = (base, len(words))
+        self._next_free = end
+        return base
+
+    def segment(self, name: str) -> tuple[int, int]:
+        """``(base, length)`` of a named segment."""
+        try:
+            return self._segments[name]
+        except KeyError:
+            raise InterpreterError(f"no segment named {name!r}") from None
+
+    def segment_words(self, name: str) -> list[int]:
+        """Copy of a named segment's current contents."""
+        base, length = self.segment(name)
+        return self._words[base : base + length]
+
+    def load(self, address: int) -> int:
+        """Read one word."""
+        if not 0 <= address < len(self._words):
+            raise InterpreterError(f"load address {address} out of range")
+        return self._words[address]
+
+    def store(self, address: int, value: int) -> None:
+        """Write one word."""
+        if not 0 <= address < len(self._words):
+            raise InterpreterError(f"store address {address} out of range")
+        self._words[address] = int(value)

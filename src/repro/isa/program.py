@@ -1,0 +1,164 @@
+"""Program container and builder for the mini-ISA.
+
+A :class:`Program` is a flat instruction list with a label table; labels
+are resolved to instruction indices at seal time. :class:`ProgramBuilder`
+offers one emit method per opcode so kernels (and the compiler backend)
+can be written fluently.
+"""
+
+from __future__ import annotations
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction, Op, validate
+
+
+class Program:
+    """A sealed instruction sequence with resolved branch targets."""
+
+    def __init__(
+        self, instructions: list[Instruction], labels: dict[str, int]
+    ) -> None:
+        self.instructions = instructions
+        self.labels = labels
+        self.targets: list[int | None] = []
+        for instruction in instructions:
+            if instruction.label is None:
+                self.targets.append(None)
+            else:
+                if instruction.label not in labels:
+                    raise AssemblyError(
+                        f"undefined label {instruction.label!r}"
+                    )
+                self.targets.append(labels[instruction.label])
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def __getitem__(self, index: int) -> Instruction:
+        return self.instructions[index]
+
+    def listing(self) -> str:
+        """Readable assembly listing with label annotations."""
+        by_index: dict[int, list[str]] = {}
+        for label, index in self.labels.items():
+            by_index.setdefault(index, []).append(label)
+        lines: list[str] = []
+        for index, instruction in enumerate(self.instructions):
+            for label in by_index.get(index, ()):
+                lines.append(f"{label}:")
+            lines.append(f"    {instruction.render()}")
+        return "\n".join(lines)
+
+
+class ProgramBuilder:
+    """Fluent builder producing a :class:`Program`."""
+
+    def __init__(self) -> None:
+        self._instructions: list[Instruction] = []
+        self._labels: dict[str, int] = {}
+
+    def label(self, name: str) -> "ProgramBuilder":
+        """Define ``name`` at the current position."""
+        if name in self._labels:
+            raise AssemblyError(f"label {name!r} defined twice")
+        self._labels[name] = len(self._instructions)
+        return self
+
+    def emit(self, instruction: Instruction) -> "ProgramBuilder":
+        """Append a pre-built instruction."""
+        validate(instruction)
+        self._instructions.append(instruction)
+        return self
+
+    # -- convenience emitters ------------------------------------------
+
+    def li(self, rd: int, imm: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.LI, rd=rd, imm=imm, comment=comment))
+
+    def mr(self, rd: int, ra: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.MR, rd=rd, ra=ra, comment=comment))
+
+    def add(self, rd: int, ra: int, rb: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.ADD, rd=rd, ra=ra, rb=rb, comment=comment))
+
+    def addi(self, rd: int, ra: int, imm: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.ADDI, rd=rd, ra=ra, imm=imm, comment=comment))
+
+    def sub(self, rd: int, ra: int, rb: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.SUB, rd=rd, ra=ra, rb=rb, comment=comment))
+
+    def subi(self, rd: int, ra: int, imm: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.SUBI, rd=rd, ra=ra, imm=imm, comment=comment))
+
+    def mul(self, rd: int, ra: int, rb: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.MUL, rd=rd, ra=ra, rb=rb, comment=comment))
+
+    def muli(self, rd: int, ra: int, imm: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.MULI, rd=rd, ra=ra, imm=imm, comment=comment))
+
+    def neg(self, rd: int, ra: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.NEG, rd=rd, ra=ra, comment=comment))
+
+    def and_(self, rd: int, ra: int, rb: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.AND, rd=rd, ra=ra, rb=rb, comment=comment))
+
+    def or_(self, rd: int, ra: int, rb: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.OR, rd=rd, ra=ra, rb=rb, comment=comment))
+
+    def max(self, rd: int, ra: int, rb: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.MAX, rd=rd, ra=ra, rb=rb, comment=comment))
+
+    def isel(
+        self, rd: int, ra: int, rb: int, crf: int, crbit: int,
+        comment: str = "",
+    ) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(
+                Op.ISEL, rd=rd, ra=ra, rb=rb, crf=crf, crbit=crbit,
+                comment=comment,
+            )
+        )
+
+    def cmp(self, crf: int, ra: int, rb: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.CMP, crf=crf, ra=ra, rb=rb, comment=comment))
+
+    def cmpi(self, crf: int, ra: int, imm: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.CMPI, crf=crf, ra=ra, imm=imm, comment=comment))
+
+    def ld(self, rd: int, ra: int, imm: int = 0, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.LD, rd=rd, ra=ra, imm=imm, comment=comment))
+
+    def ldx(self, rd: int, ra: int, rb: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.LDX, rd=rd, ra=ra, rb=rb, comment=comment))
+
+    def st(self, rs: int, ra: int, imm: int = 0, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.ST, rd=rs, ra=ra, imm=imm, comment=comment))
+
+    def stx(self, rs: int, ra: int, rb: int, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.STX, rd=rs, ra=ra, rb=rb, comment=comment))
+
+    def b(self, label: str, comment: str = "") -> "ProgramBuilder":
+        return self.emit(Instruction(Op.B, label=label, comment=comment))
+
+    def bc(
+        self, crf: int, crbit: int, label: str, want: bool = True,
+        comment: str = "",
+    ) -> "ProgramBuilder":
+        return self.emit(
+            Instruction(
+                Op.BC, crf=crf, crbit=crbit, want=want, label=label,
+                comment=comment,
+            )
+        )
+
+    def nop(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.NOP))
+
+    def halt(self) -> "ProgramBuilder":
+        return self.emit(Instruction(Op.HALT))
+
+    def build(self) -> Program:
+        """Seal the builder into a :class:`Program`."""
+        if not self._instructions:
+            raise AssemblyError("cannot build an empty program")
+        return Program(list(self._instructions), dict(self._labels))

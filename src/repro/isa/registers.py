@@ -1,0 +1,70 @@
+"""Architected register state for the mini-ISA.
+
+The register file mirrors the PowerPC user-level integer state the
+kernels need: 32 general-purpose registers and the 32-bit condition
+register, viewed as eight 4-bit fields (``cr0`` ... ``cr7``) each holding
+``lt``/``gt``/``eq`` bits, exactly the encoding ``cmp``/``isel`` use
+(§V of the paper).
+"""
+
+from __future__ import annotations
+
+from repro.errors import InterpreterError
+
+#: Number of general-purpose registers.
+NUM_GPRS = 32
+#: Number of condition-register fields.
+NUM_CR_FIELDS = 8
+
+#: Bit indices within a CR field.
+CR_LT, CR_GT, CR_EQ = 0, 1, 2
+
+
+class RegisterFile:
+    """GPRs plus condition-register fields.
+
+    Values are Python ints (the interpreter is width-agnostic; kernels
+    stay far inside 64-bit range). ``r0`` is an ordinary register here —
+    the special PowerPC r0-as-zero addressing quirk is not modelled.
+    """
+
+    __slots__ = ("gpr", "cr")
+
+    def __init__(self) -> None:
+        self.gpr = [0] * NUM_GPRS
+        self.cr = [[False, False, False] for _ in range(NUM_CR_FIELDS)]
+
+    def read(self, index: int) -> int:
+        """Read GPR ``index``."""
+        if not 0 <= index < NUM_GPRS:
+            raise InterpreterError(f"GPR index {index} out of range")
+        return self.gpr[index]
+
+    def write(self, index: int, value: int) -> None:
+        """Write GPR ``index``."""
+        if not 0 <= index < NUM_GPRS:
+            raise InterpreterError(f"GPR index {index} out of range")
+        self.gpr[index] = value
+
+    def set_compare(self, field: int, a: int, b: int) -> None:
+        """Set CR ``field`` from comparing ``a`` with ``b`` (like cmp)."""
+        if not 0 <= field < NUM_CR_FIELDS:
+            raise InterpreterError(f"CR field {field} out of range")
+        self.cr[field][CR_LT] = a < b
+        self.cr[field][CR_GT] = a > b
+        self.cr[field][CR_EQ] = a == b
+
+    def cr_bit(self, field: int, bit: int) -> bool:
+        """Read one bit of a CR field (CR_LT / CR_GT / CR_EQ)."""
+        if not 0 <= field < NUM_CR_FIELDS:
+            raise InterpreterError(f"CR field {field} out of range")
+        if not 0 <= bit <= 2:
+            raise InterpreterError(f"CR bit {bit} out of range")
+        return self.cr[field][bit]
+
+    def reset(self) -> None:
+        """Zero all architected state."""
+        for i in range(NUM_GPRS):
+            self.gpr[i] = 0
+        for field in self.cr:
+            field[0] = field[1] = field[2] = False

@@ -1,0 +1,134 @@
+"""Dynamic instruction traces.
+
+The interpreter emits one :class:`TraceEvent` per committed instruction;
+the micro-architectural core model consumes the stream. Events are
+deliberately small (``__slots__``) because kernel traces run to hundreds
+of thousands of entries.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction, Op, Unit
+
+
+class TraceEvent:
+    """One dynamically-executed instruction.
+
+    Attributes
+    ----------
+    pc:
+        Static instruction index.
+    op / unit / latency:
+        Copied from the static instruction for fast access.
+    dst / srcs:
+        Destination GPR (or None) and tuple of source GPRs.
+    is_branch / is_conditional / taken / next_pc:
+        Control-flow facts; ``next_pc`` is the actual successor.
+    address:
+        Word address for loads/stores, else None.
+    """
+
+    __slots__ = (
+        "pc", "op", "unit", "latency", "occupancy", "dst", "srcs",
+        "is_branch", "is_conditional", "taken", "next_pc",
+        "is_load", "is_store", "address",
+    )
+
+    def __init__(
+        self,
+        pc: int,
+        instruction: Instruction,
+        taken: bool,
+        next_pc: int,
+        address: int | None,
+    ) -> None:
+        self.pc = pc
+        self.op = instruction.op
+        self.unit = instruction.unit
+        self.latency = instruction.latency
+        self.occupancy = instruction.occupancy
+        self.dst = instruction.destination_register()
+        self.srcs = instruction.source_registers()
+        self.is_branch = instruction.is_branch
+        self.is_conditional = instruction.is_conditional_branch
+        self.taken = taken
+        self.next_pc = next_pc
+        self.is_load = instruction.is_load
+        self.is_store = instruction.is_store
+        self.address = address
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceEvent(pc={self.pc}, op={self.op.value}, "
+            f"taken={self.taken}, next={self.next_pc})"
+        )
+
+
+@dataclass
+class TraceStats:
+    """Aggregate statistics of a trace (instruction mix, branches)."""
+
+    instructions: int = 0
+    branches: int = 0
+    conditional_branches: int = 0
+    taken_branches: int = 0
+    loads: int = 0
+    stores: int = 0
+    fxu_ops: int = 0
+    max_ops: int = 0
+    isel_ops: int = 0
+    cmp_ops: int = 0
+
+    @property
+    def branch_fraction(self) -> float:
+        """Branches as a fraction of all instructions."""
+        if self.instructions == 0:
+            return 0.0
+        return self.branches / self.instructions
+
+    @property
+    def taken_fraction(self) -> float:
+        """Taken branches as a fraction of branches."""
+        if self.branches == 0:
+            return 0.0
+        return self.taken_branches / self.branches
+
+    @property
+    def load_store_fraction(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return (self.loads + self.stores) / self.instructions
+
+
+def trace_statistics(events: list[TraceEvent]) -> TraceStats:
+    """Compute :class:`TraceStats` over ``events``."""
+    stats = TraceStats()
+    for event in events:
+        stats.instructions += 1
+        if event.is_branch:
+            stats.branches += 1
+            if event.is_conditional:
+                stats.conditional_branches += 1
+            if event.taken:
+                stats.taken_branches += 1
+        if event.is_load:
+            stats.loads += 1
+        if event.is_store:
+            stats.stores += 1
+        if event.unit is Unit.FXU:
+            stats.fxu_ops += 1
+        if event.op is Op.MAX:
+            stats.max_ops += 1
+        elif event.op is Op.ISEL:
+            stats.isel_ops += 1
+        elif event.op in (Op.CMP, Op.CMPI):
+            stats.cmp_ops += 1
+    return stats
+
+
+def opcode_histogram(events: list[TraceEvent]) -> Counter:
+    """Dynamic opcode counts (useful for §VI path-length arguments)."""
+    return Counter(event.op for event in events)

@@ -1,0 +1,112 @@
+"""Trace serialisation.
+
+Dynamic traces are expensive to regenerate (interpreting a kernel run)
+but cheap to re-simulate under many core configurations, so persisting
+them pays off for design-space sweeps. The format is a line-oriented
+text file: a header line, then one record per event::
+
+    pc op taken next_pc address dst src1,src2,...
+
+with ``-`` for absent fields. The loader reconstructs
+:class:`~repro.isa.trace.TraceEvent` objects directly (no program or
+interpreter needed).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import InterpreterError
+from repro.isa.instructions import OP_LATENCY, OP_OCCUPANCY, OP_UNIT, Op
+from repro.isa.trace import TraceEvent
+
+_MAGIC = "repro-trace v1"
+
+_BRANCH_OPS = {Op.B, Op.BC}
+_LOAD_OPS = {Op.LD, Op.LDX}
+_STORE_OPS = {Op.ST, Op.STX}
+
+
+def _restore_event(
+    pc: int, op: Op, taken: bool, next_pc: int,
+    address: int | None, dst: int | None, srcs: tuple[int, ...],
+) -> TraceEvent:
+    """Rebuild a TraceEvent without an Instruction object."""
+    event = TraceEvent.__new__(TraceEvent)
+    event.pc = pc
+    event.op = op
+    event.unit = OP_UNIT[op]
+    event.latency = OP_LATENCY.get(op, 1)
+    event.occupancy = OP_OCCUPANCY.get(op, 1)
+    event.dst = dst
+    event.srcs = srcs
+    event.is_branch = op in _BRANCH_OPS
+    event.is_conditional = op is Op.BC
+    event.taken = taken
+    event.next_pc = next_pc
+    event.is_load = op in _LOAD_OPS
+    event.is_store = op in _STORE_OPS
+    event.address = address
+    return event
+
+
+def save_trace(path: str | Path, events: list[TraceEvent]) -> None:
+    """Write ``events`` to ``path``."""
+    with open(path, "w", encoding="ascii") as handle:
+        handle.write(f"{_MAGIC} {len(events)}\n")
+        for event in events:
+            address = "-" if event.address is None else str(event.address)
+            dst = "-" if event.dst is None else str(event.dst)
+            srcs = ",".join(map(str, event.srcs)) if event.srcs else "-"
+            handle.write(
+                f"{event.pc} {event.op.value} {int(event.taken)} "
+                f"{event.next_pc} {address} {dst} {srcs}\n"
+            )
+
+
+def load_trace(path: str | Path) -> list[TraceEvent]:
+    """Read a trace written by :func:`save_trace`."""
+    with open(path, encoding="ascii") as handle:
+        header = handle.readline().rstrip("\n")
+        parts = header.rsplit(" ", 1)
+        if len(parts) != 2 or parts[0] != _MAGIC:
+            raise InterpreterError(f"{path}: not a repro trace file")
+        try:
+            expected = int(parts[1])
+        except ValueError:
+            raise InterpreterError(f"{path}: bad trace header") from None
+        events: list[TraceEvent] = []
+        for line_no, line in enumerate(handle, start=2):
+            fields = line.split()
+            if len(fields) != 7:
+                raise InterpreterError(
+                    f"{path}:{line_no}: malformed record"
+                )
+            pc_s, op_s, taken_s, next_s, address_s, dst_s, srcs_s = fields
+            try:
+                op = Op(op_s)
+            except ValueError:
+                raise InterpreterError(
+                    f"{path}:{line_no}: unknown opcode {op_s!r}"
+                ) from None
+            events.append(
+                _restore_event(
+                    pc=int(pc_s),
+                    op=op,
+                    taken=taken_s == "1",
+                    next_pc=int(next_s),
+                    address=None if address_s == "-" else int(address_s),
+                    dst=None if dst_s == "-" else int(dst_s),
+                    srcs=(
+                        ()
+                        if srcs_s == "-"
+                        else tuple(int(s) for s in srcs_s.split(","))
+                    ),
+                )
+            )
+    if len(events) != expected:
+        raise InterpreterError(
+            f"{path}: header promised {expected} events, found "
+            f"{len(events)}"
+        )
+    return events

@@ -1,0 +1,231 @@
+"""Helpers for authoring kernels in IR.
+
+The :class:`Emitter` removes the boilerplate of building explicit basic
+blocks, and centralises the *conditional-assignment site* idioms the
+paper studies:
+
+* :meth:`Emitter.max_site` — ``if (dst < other) dst = other`` with the
+  operands in registers;
+* :meth:`Emitter.cond_store_max_site` — ``if (mem[i] < value) mem[i] =
+  value``, the array-reference form found in real HMMER/Clustalw C code
+  that defeats compiler if-conversion (a conditional store cannot be
+  speculated) but that a human rewrites as load/max/unconditional-store.
+
+Each site emits one of three shapes depending on ``variant``:
+``baseline`` (compare + conditional branch), ``hand_max`` (the proposed
+``max`` instruction), or ``hand_isel`` (compare + ``isel``).
+"""
+
+from __future__ import annotations
+
+from repro.compiler.ir import (
+    Assign,
+    Block,
+    Branch,
+    Const,
+    Expr,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    MaxSel,
+    Operand,
+    Reg,
+    Select,
+    Statement,
+    Store,
+)
+from repro.errors import CompilerError
+
+#: Code-generation variants for author-controlled sites.
+VARIANTS = ("baseline", "hand_max", "hand_isel")
+
+
+class Emitter:
+    """Sequentially build the blocks of one IR function.
+
+    ``hand_sites`` restricts which sites the ``hand_*`` variants convert:
+    sites outside the set keep their baseline branchy shape, modelling
+    the "less obvious places" a human missed by inspection (§VI-A). When
+    ``hand_sites`` is None the hand variants convert every site.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        params: list[str],
+        variant: str,
+        hand_sites: set[str] | None = None,
+    ) -> None:
+        if variant not in VARIANTS:
+            raise CompilerError(
+                f"unknown kernel variant {variant!r}; expected {VARIANTS}"
+            )
+        self.name = name
+        self.params = params
+        self.variant = variant
+        self.hand_sites = hand_sites
+        self.blocks: list[Block] = []
+        self._current: Block | None = Block("entry")
+        self._label_counter = 0
+
+    def _site_variant(self, site: str) -> str:
+        """Effective variant for one site (hand may have missed it)."""
+        if self.variant == "baseline":
+            return "baseline"
+        if self.hand_sites is not None and site not in self.hand_sites:
+            return "baseline"
+        return self.variant
+
+    # -- low-level plumbing ------------------------------------------------
+
+    def fresh_label(self, stem: str) -> str:
+        self._label_counter += 1
+        return f"{stem}.{self._label_counter}"
+
+    def _require_block(self) -> Block:
+        if self._current is None:
+            raise CompilerError("no open block; call start() first")
+        return self._current
+
+    def _close(self, terminator) -> None:
+        block = self._require_block()
+        block.terminator = terminator
+        self.blocks.append(block)
+        self._current = None
+
+    def start(self, label: str) -> None:
+        """Open a new block; implicitly fall through from the open one."""
+        if self._current is not None:
+            self._close(Jump(label))
+        self._current = Block(label)
+
+    def emit(self, statement: Statement) -> None:
+        self._require_block().statements.append(statement)
+
+    # -- statement sugar -----------------------------------------------------
+
+    def assign(self, dst: str, expr: Expr) -> None:
+        self.emit(Assign(dst, expr))
+
+    def load(
+        self, dst: str, base: str, offset: Operand, alias: str = "mem"
+    ) -> None:
+        self.emit(Load(dst, base, offset, alias=alias))
+
+    def store(
+        self, base: str, offset: Operand, value: Operand, alias: str = "mem"
+    ) -> None:
+        self.emit(Store(base, offset, value, alias=alias))
+
+    def jump(self, label: str) -> None:
+        self._close(Jump(label))
+
+    def halt(self) -> None:
+        self._close(Halt())
+
+    def branch(
+        self,
+        cmp: str,
+        left: Operand,
+        right: Operand,
+        then_label: str,
+        else_label: str,
+        site: str | None = None,
+    ) -> None:
+        self._close(Branch(cmp, left, right, then_label, else_label, site))
+
+    # -- the paper's conditional-assignment sites -----------------------------
+
+    def max_site(self, site: str, dst: str, other: Operand) -> None:
+        """``if (dst < other) dst = other`` in the selected variant."""
+        variant = self._site_variant(site)
+        if variant == "hand_max":
+            self.emit(MaxSel(dst, Reg(dst), other))
+            return
+        if variant == "hand_isel":
+            self.emit(
+                Select(dst, "lt", Reg(dst), other, other, Reg(dst))
+            )
+            return
+        then_label = self.fresh_label(f"{site}.then")
+        cont_label = self.fresh_label(f"{site}.cont")
+        self.branch("lt", Reg(dst), other, then_label, cont_label, site=site)
+        self.start(then_label)
+        self.assign(dst, other)
+        self.start(cont_label)
+
+    def cond_store_max_site(
+        self,
+        site: str,
+        base: str,
+        offset: Operand,
+        value: Operand,
+        scratch: str,
+        alias: str = "mem",
+    ) -> None:
+        """``if (mem[base+offset] < value) mem[base+offset] = value``.
+
+        The baseline shape is the HMMER2-style conditional store, which
+        if-conversion must refuse. The hand variants are the human
+        rewrite: load once, ``max``/``isel``, store unconditionally —
+        legal only because the author knows an always-store of the
+        maximum is equivalent.
+        """
+        variant = self._site_variant(site)
+        self.load(scratch, base, offset, alias=alias)
+        if variant == "baseline":
+            then_label = self.fresh_label(f"{site}.then")
+            cont_label = self.fresh_label(f"{site}.cont")
+            self.branch(
+                "lt", Reg(scratch), value, then_label, cont_label, site=site
+            )
+            self.start(then_label)
+            self.store(base, offset, value, alias=alias)
+            self.start(cont_label)
+            return
+        if variant == "hand_max":
+            self.emit(MaxSel(scratch, Reg(scratch), value))
+        else:
+            self.emit(
+                Select(
+                    scratch, "lt", Reg(scratch), value, value, Reg(scratch)
+                )
+            )
+        self.store(base, offset, Reg(scratch), alias=alias)
+
+    # -- loop helpers ----------------------------------------------------------
+
+    def counted_loop_head(
+        self,
+        label_stem: str,
+        counter: str,
+        limit: Operand,
+        body_label: str,
+        exit_label: str,
+    ) -> str:
+        """Close the current block into a ``while counter < limit`` head.
+
+        Returns the head label so the body can jump back to it.
+        """
+        head_label = f"{label_stem}.head"
+        self.start(head_label)
+        self.branch("lt", Reg(counter), limit, body_label, exit_label)
+        return head_label
+
+    # -- finalisation -----------------------------------------------------------
+
+    def build(self) -> Function:
+        if self._current is not None:
+            self._close(Halt())
+        return Function(self.name, self.params, self.blocks)
+
+
+def const(value: int) -> Const:
+    """Shorthand for :class:`Const`."""
+    return Const(value)
+
+
+def reg(name: str) -> Reg:
+    """Shorthand for :class:`Reg`."""
+    return Reg(name)

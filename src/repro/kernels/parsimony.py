@@ -1,0 +1,180 @@
+"""Fitch-parsimony kernel: the paper's §VIII extension to Phylip.
+
+The paper closes by claiming its results "can be extended to ... the
+phylogeny reconstruction application Phylip". This kernel tests that
+claim: the small-parsimony inner loop walks the tree bottom-up per
+alignment site, intersecting child state sets and paying one mutation
+when the intersection is empty::
+
+    inter = left & right;
+    if (inter == 0) { inter = left | right; cost++; }
+
+The conditional is value-dependent (it fires exactly at the mutation
+sites of the data) but is *not* a max idiom — the hypothetical ``max``
+instruction cannot express it, while ``isel`` can. The variants behave
+accordingly:
+
+* ``baseline`` / ``hand_max`` — compare + branch (max has no handle);
+* ``hand_isel`` — two isel selections on the raw intersection;
+* ``comp_isel`` / ``combination`` — if-conversion converts the hammock;
+* ``comp_max`` — the max-style pattern matcher finds nothing.
+
+Scores are validated against :func:`repro.bio.phylo.fitch_score`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bio.guidetree import TreeNode
+from repro.bio.phylo import _site_masks
+from repro.compiler.ir import BinOp, Function, Select
+from repro.errors import WorkloadError
+from repro.isa.trace import TraceEvent
+from repro.kernels.builder import Emitter, const, reg
+from repro.kernels.runtime import KernelHarness
+
+#: The only conditional-assignment site; it has no max shape.
+ALL_SITES = frozenset({"fitch"})
+
+PARAMS = [
+    "nsites", "nleaves", "nintern", "masks", "ileft", "iright", "state",
+    "out",
+]
+
+
+@dataclass(frozen=True)
+class ParsimonyConfig:
+    """No compile-time constants are needed; kept for harness symmetry."""
+
+
+def build(variant: str, config: ParsimonyConfig) -> Function:
+    """Build the kernel IR for an author variant."""
+    e = Emitter("fitch_parsimony", PARAMS, variant)
+
+    e.assign("cost", const(0))
+    e.assign("site", const(0))
+
+    e.start("site.head")
+    e.branch("lt", reg("site"), reg("nsites"), "site.body", "done")
+
+    e.start("site.body")
+    e.assign("mbase", BinOp("mul", reg("site"), reg("nleaves")))
+    e.assign("j", const(0))
+
+    e.start("leaf.head")
+    e.branch("lt", reg("j"), reg("nleaves"), "leaf.body", "intern.init")
+
+    e.start("leaf.body")
+    e.assign("t1", BinOp("add", reg("mbase"), reg("j")))
+    e.load("m", "masks", reg("t1"))
+    e.store("state", reg("j"), reg("m"), alias="state")
+    e.assign("j", BinOp("add", reg("j"), const(1)))
+    e.jump("leaf.head")
+
+    e.start("intern.init")
+    e.assign("k", const(0))
+
+    e.start("intern.head")
+    e.branch("lt", reg("k"), reg("nintern"), "intern.body", "site.next")
+
+    e.start("intern.body")
+    e.load("t1", "ileft", reg("k"))
+    e.load("l", "state", reg("t1"), alias="state")
+    e.load("t2", "iright", reg("k"))
+    e.load("r", "state", reg("t2"), alias="state")
+    e.assign("raw", BinOp("and", reg("l"), reg("r")))
+    if e.variant == "hand_isel":
+        # Hand-inserted isel: both outcomes computed, selected on the
+        # raw intersection; no branch remains.
+        e.assign("u", BinOp("or", reg("l"), reg("r")))
+        e.assign("c1", BinOp("add", reg("cost"), const(1)))
+        e.emit(Select("res", "eq", reg("raw"), const(0), reg("u"),
+                      reg("raw")))
+        e.emit(Select("cost", "eq", reg("raw"), const(0), reg("c1"),
+                      reg("cost")))
+    else:
+        # Branchy form (baseline and hand_max: max cannot express it).
+        e.assign("res", reg("raw"))
+        then_label = e.fresh_label("fitch.then")
+        cont_label = e.fresh_label("fitch.cont")
+        e.branch("eq", reg("raw"), const(0), then_label, cont_label,
+                 site="fitch")
+        e.start(then_label)
+        e.assign("res", BinOp("or", reg("l"), reg("r")))
+        e.assign("cost", BinOp("add", reg("cost"), const(1)))
+        e.start(cont_label)
+    e.assign("pos", BinOp("add", reg("nleaves"), reg("k")))
+    e.store("state", reg("pos"), reg("res"), alias="state")
+    e.assign("k", BinOp("add", reg("k"), const(1)))
+    e.jump("intern.head")
+
+    e.start("site.next")
+    e.assign("site", BinOp("add", reg("site"), const(1)))
+    e.jump("site.head")
+
+    e.start("done")
+    e.store("out", const(0), reg("cost"))
+    e.halt()
+    return e.build()
+
+
+HARNESS = KernelHarness("fitch_parsimony", build)
+
+
+def _tree_arrays(tree: TreeNode, n_leaves: int):
+    """Postorder child-index arrays; leaves map to their row indices."""
+    ileft: list[int] = []
+    iright: list[int] = []
+    internal_index: dict[int, int] = {}
+
+    def node_position(node: TreeNode) -> int:
+        if node.is_leaf:
+            assert node.index is not None
+            return node.index
+        return n_leaves + internal_index[id(node)]
+
+    for node in tree.postorder():
+        if node.is_leaf:
+            continue
+        left_position = node_position(node.left)
+        right_position = node_position(node.right)
+        internal_index[id(node)] = len(ileft)
+        ileft.append(left_position)
+        iright.append(right_position)
+    return ileft, iright
+
+
+def run(
+    variant: str,
+    tree: TreeNode,
+    rows: list[str],
+    symbols: str,
+    trace: list[TraceEvent] | None = None,
+) -> int:
+    """Execute the kernel; must equal :func:`repro.bio.phylo.fitch_score`."""
+    if not rows:
+        raise WorkloadError("need aligned rows")
+    n_leaves = len(rows)
+    width = len(rows[0])
+    masks: list[int] = []
+    for col in range(width):
+        column = "".join(row[col] for row in rows)
+        masks.extend(_site_masks(column, symbols))
+    ileft, iright = _tree_arrays(tree, n_leaves)
+    n_intern = len(ileft)
+    segments = {
+        "masks": masks,
+        "ileft": ileft,
+        "iright": iright,
+        "state": [0] * (n_leaves + n_intern),
+        "out": [0],
+    }
+    params = {
+        "nsites": width,
+        "nleaves": n_leaves,
+        "nintern": n_intern,
+    }
+    return HARNESS.run(
+        variant, ParsimonyConfig(), segments, params, trace=trace
+    )

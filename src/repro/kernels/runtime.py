@@ -1,0 +1,134 @@
+"""Shared harness for building, compiling, caching and running kernels.
+
+Each kernel module supplies a ``build(variant, config)`` function
+producing IR for the three author-controlled variants; ``config`` is a
+hashable tuple of compile-time constants (gap costs, alphabet size,
+band width, ...) that are inlined as immediates — exactly what a C
+compiler does to ``-O3`` kernels, and what keeps the virtual register
+count inside the GPR file.
+
+The harness derives the two compiler variants by running if-conversion
+on the baseline IR, caches compiled programs per ``(variant, config)``,
+and executes them against named memory segments.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable
+
+from repro.compiler.codegen import CompiledKernel, compile_function
+from repro.compiler.ifconversion import Decision, if_convert
+from repro.compiler.ir import Function
+from repro.errors import WorkloadError
+from repro.isa.interpreter import run_program
+from repro.isa.memory import Memory
+from repro.isa.trace import TraceEvent
+
+#: "Minus infinity" used inside kernels. Small enough that thousands of
+#: gap subtractions stay easily representable, large enough (in
+#: magnitude) to never win a max against a real score.
+KERNEL_NEG_INF = -10_000_000
+
+#: The six code variants of Figure 3. "combination" is the paper's best
+#: mix: hand-inserted max instructions plus the modified compiler
+#: additionally emitting isel wherever it can prove a hammock safe.
+ALL_VARIANTS = (
+    "baseline", "hand_max", "hand_isel", "comp_max", "comp_isel",
+    "combination",
+)
+
+#: Variants that carry an if-conversion decision log.
+COMPILER_VARIANTS = ("comp_max", "comp_isel", "combination")
+
+
+class KernelHarness:
+    """Compile-and-run manager for one kernel.
+
+    Parameters
+    ----------
+    name:
+        Kernel name (for error messages).
+    build:
+        Callable ``build(variant, config)`` mapping an author variant
+        (``baseline`` / ``hand_max`` / ``hand_isel``) and a config tuple
+        to an IR :class:`Function`.
+    """
+
+    def __init__(
+        self, name: str, build: Callable[[str, Hashable], Function]
+    ) -> None:
+        self.name = name
+        self._build = build
+        self._functions: dict[tuple[str, Hashable], Function] = {}
+        self._compiled: dict[tuple[str, Hashable], CompiledKernel] = {}
+        self._decisions: dict[tuple[str, Hashable], list[Decision]] = {}
+
+    def function(self, variant: str, config: Hashable) -> Function:
+        """The IR for ``variant`` (compiler variants run if-conversion)."""
+        if variant not in ALL_VARIANTS:
+            raise WorkloadError(
+                f"{self.name}: unknown variant {variant!r}; "
+                f"expected one of {ALL_VARIANTS}"
+            )
+        key = (variant, config)
+        if key not in self._functions:
+            if variant == "combination":
+                # Hand-inserted max first, then the compiler's isel pass
+                # over whatever branches remain (§VI-A "Combination").
+                result = if_convert(self._build("hand_max", config), "isel")
+                self._functions[key] = result.function
+                self._decisions[key] = result.decisions
+            elif variant in COMPILER_VARIANTS:
+                style = variant.removeprefix("comp_")
+                result = if_convert(self._build("baseline", config), style)
+                self._functions[key] = result.function
+                self._decisions[key] = result.decisions
+            else:
+                self._functions[key] = self._build(variant, config)
+        return self._functions[key]
+
+    def decisions(self, variant: str, config: Hashable) -> list[Decision]:
+        """If-conversion decision log (compiler variants only)."""
+        self.function(variant, config)
+        key = (variant, config)
+        if key not in self._decisions:
+            raise WorkloadError(
+                f"{self.name}: variant {variant!r} has no compiler decisions"
+            )
+        return self._decisions[key]
+
+    def compiled(self, variant: str, config: Hashable) -> CompiledKernel:
+        """Lowered program for ``variant`` (cached)."""
+        key = (variant, config)
+        if key not in self._compiled:
+            self._compiled[key] = compile_function(
+                self.function(variant, config)
+            )
+        return self._compiled[key]
+
+    def run(
+        self,
+        variant: str,
+        config: Hashable,
+        segments: dict[str, list[int]],
+        params: dict[str, int],
+        out_segment: str = "out",
+        trace: list[TraceEvent] | None = None,
+    ) -> int:
+        """Execute ``variant`` and return ``out_segment[0]``.
+
+        ``segments`` maps parameter names to initial memory contents;
+        ``params`` binds scalar parameters.
+        """
+        kernel = self.compiled(variant, config)
+        total = sum(len(words) for words in segments.values()) + 64
+        memory = Memory(total)
+        initial: dict[int, int] = {}
+        for seg_name, words in segments.items():
+            base = memory.alloc(seg_name, words)
+            initial[kernel.gpr(seg_name)] = base
+        for param_name, value in params.items():
+            initial[kernel.gpr(param_name)] = value
+        run_program(kernel.program, memory, initial, trace=trace)
+        out_base, _ = memory.segment(out_segment)
+        return memory.load(out_base)

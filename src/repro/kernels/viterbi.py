@@ -1,0 +1,255 @@
+"""The ``P7Viterbi`` kernel: Hmmer's profile-HMM scorer.
+
+Integer Viterbi over a Plan7-lite model, written the way HMMER2's C
+code actually writes it — three-way maxima expressed as *conditional
+stores into the row arrays*::
+
+    mc[k] = begin[k];
+    if ((sc = mpp[k-1] + tpmm[k-1]) > mc[k]) mc[k] = sc;
+    if ((sc = ip[k-1]  + tpim[k-1]) > mc[k]) mc[k] = sc;
+    ...
+
+Six conditional-assignment sites per model position:
+
+========= ==============================================  ================
+site      meaning                                         shape
+========= ==============================================  ================
+m_mm      match from match (k-1)                          conditional store
+m_im      match from insert (k-1)                         conditional store
+m_dm      match from delete (k-1)                         conditional store
+i_ii      insert self-loop vs match entry                 conditional store
+d_dd      delete chain vs match exit                      conditional store
+exit_max  local exit ``best = max(best, mc + end[k])``    register
+========= ==============================================  ================
+
+Because five of the six sites are array references, compiler
+if-conversion only captures ``exit_max`` — the paper's "the compiler is
+severely limited by the abundant array memory references" for Hmmer —
+while the hand variants convert everything.
+
+The model tables live in one flat ``hmm`` segment (layout computed from
+the compile-time model length/alphabet size); the kernel's score must
+equal :func:`repro.bio.hmm.viterbi_score` exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bio.hmm import NEG_INF_SCORE, ProfileHmm
+from repro.bio.sequence import Sequence
+from repro.compiler.ir import BinOp, Function
+from repro.errors import HmmError
+from repro.isa.trace import TraceEvent
+from repro.kernels.builder import Emitter, const, reg
+from repro.kernels.runtime import KernelHarness
+
+#: The hand pass converts every site (they are all textbook max idioms).
+HAND_SITES = None
+
+ALL_SITES = frozenset({"m_mm", "m_im", "m_dm", "i_ii", "d_dd", "exit_max"})
+
+PARAMS = [
+    "n", "seq", "hmm", "mprev", "iprev", "dprev", "mcur", "icur", "dcur",
+    "out",
+]
+
+
+@dataclass(frozen=True)
+class ViterbiConfig:
+    """Compile-time constants: model length and alphabet size."""
+
+    length: int
+    alphabet_size: int
+
+    @property
+    def off_insert(self) -> int:
+        return self.length * self.alphabet_size
+
+    @property
+    def off_tables(self) -> int:
+        return 2 * self.length * self.alphabet_size
+
+    def table_offset(self, index: int) -> int:
+        """Offset of per-position table ``index`` (tmm=0 ... end=8)."""
+        return self.off_tables + index * self.length
+
+
+# Table indices within the flat hmm segment.
+_TMM, _TMI, _TMD, _TIM, _TII, _TDM, _TDD, _BEGIN, _END = range(9)
+
+
+def pack_hmm(hmm: ProfileHmm) -> list[int]:
+    """Flatten a :class:`ProfileHmm` into the kernel's memory layout."""
+    words: list[int] = []
+    words.extend(int(x) for x in hmm.match_scores.reshape(-1))
+    words.extend(int(x) for x in hmm.insert_scores.reshape(-1))
+    for table in (
+        hmm.t_mm, hmm.t_mi, hmm.t_md, hmm.t_im, hmm.t_ii,
+        hmm.t_dm, hmm.t_dd, hmm.begin_to_match, hmm.match_to_end,
+    ):
+        words.extend(int(x) for x in table)
+    return words
+
+
+def build(variant: str, config: ViterbiConfig) -> Function:
+    """Build the kernel IR for an author variant."""
+    e = Emitter("p7_viterbi", PARAMS, variant, hand_sites=HAND_SITES)
+    length = config.length
+    size = config.alphabet_size
+
+    def table(index: int, position) -> None:
+        """t2 = hmm[table_offset(index) + position]."""
+        e.assign("t2", BinOp("add", position, const(config.table_offset(index))))
+        e.load("t2", "hmm", reg("t2"))
+
+    e.assign("best", const(NEG_INF_SCORE))
+    e.assign("i", const(0))
+
+    e.start("outer.head")
+    e.branch("lt", reg("i"), reg("n"), "outer.body", "done")
+
+    e.start("outer.body")
+    e.load("code", "seq", reg("i"))
+    # ---- k = 0 (peeled: no k-1 terms) --------------------------------
+    # mc = begin[0] + match[0, code]
+    e.load("t1", "hmm", const(config.table_offset(_BEGIN)))
+    e.load("w", "hmm", reg("code"))  # match[0*size + code]
+    e.assign("mc", BinOp("add", reg("t1"), reg("w")))
+    e.store("mcur", const(0), reg("mc"), alias="mrow")
+    # ic[0] = max(mprev[0] + tmi[0], iprev[0] + tii[0]) + ins[0, code]
+    e.load("t1", "mprev", const(0), alias="mrow")
+    e.load("t2", "hmm", const(config.table_offset(_TMI)))
+    e.assign("s", BinOp("add", reg("t1"), reg("t2")))
+    e.store("icur", const(0), reg("s"), alias="irow")
+    e.load("t1", "iprev", const(0), alias="irow")
+    e.load("t2", "hmm", const(config.table_offset(_TII)))
+    e.assign("s", BinOp("add", reg("t1"), reg("t2")))
+    e.cond_store_max_site("i_ii", "icur", const(0), reg("s"), "csc",
+                          alias="irow")
+    e.load("t1", "icur", const(0), alias="irow")
+    e.assign("t2", BinOp("add", reg("code"), const(config.off_insert)))
+    e.load("w", "hmm", reg("t2"))
+    e.assign("t1", BinOp("add", reg("t1"), reg("w")))
+    e.store("icur", const(0), reg("t1"), alias="irow")
+    # dc[0] = -inf
+    e.assign("t1", const(NEG_INF_SCORE))
+    e.store("dcur", const(0), reg("t1"), alias="drow")
+    # exit for k = 0
+    e.load("t2", "hmm", const(config.table_offset(_END)))
+    e.assign("s", BinOp("add", reg("mc"), reg("t2")))
+    e.max_site("exit_max", "best", reg("s"))
+    e.assign("k", const(1))
+
+    e.start("inner.head")
+    e.branch("lt", reg("k"), const(length), "inner.body", "inner.end")
+
+    e.start("inner.body")
+    e.assign("km1", BinOp("sub", reg("k"), const(1)))
+    # ---- match state --------------------------------------------------
+    e.assign("t2", BinOp("add", reg("k"), const(config.table_offset(_BEGIN))))
+    e.load("t1", "hmm", reg("t2"))
+    e.store("mcur", reg("k"), reg("t1"), alias="mrow")
+    e.load("t1", "mprev", reg("km1"), alias="mrow")
+    table(_TMM, reg("km1"))
+    e.assign("s", BinOp("add", reg("t1"), reg("t2")))
+    e.cond_store_max_site("m_mm", "mcur", reg("k"), reg("s"), "csc",
+                          alias="mrow")
+    e.load("t1", "iprev", reg("km1"), alias="irow")
+    table(_TIM, reg("km1"))
+    e.assign("s", BinOp("add", reg("t1"), reg("t2")))
+    e.cond_store_max_site("m_im", "mcur", reg("k"), reg("s"), "csc",
+                          alias="mrow")
+    e.load("t1", "dprev", reg("km1"), alias="drow")
+    table(_TDM, reg("km1"))
+    e.assign("s", BinOp("add", reg("t1"), reg("t2")))
+    e.cond_store_max_site("m_dm", "mcur", reg("k"), reg("s"), "csc",
+                          alias="mrow")
+    # add match emission: mc = mcur[k] + match[k*size + code]
+    e.assign("t2", BinOp("mul", reg("k"), const(size)))
+    e.assign("t2", BinOp("add", reg("t2"), reg("code")))
+    e.load("w", "hmm", reg("t2"))
+    e.load("mc", "mcur", reg("k"), alias="mrow")
+    e.assign("mc", BinOp("add", reg("mc"), reg("w")))
+    e.store("mcur", reg("k"), reg("mc"), alias="mrow")
+    # ---- insert state --------------------------------------------------
+    e.load("t1", "mprev", reg("k"), alias="mrow")
+    table(_TMI, reg("k"))
+    e.assign("s", BinOp("add", reg("t1"), reg("t2")))
+    e.store("icur", reg("k"), reg("s"), alias="irow")
+    e.load("t1", "iprev", reg("k"), alias="irow")
+    table(_TII, reg("k"))
+    e.assign("s", BinOp("add", reg("t1"), reg("t2")))
+    e.cond_store_max_site("i_ii", "icur", reg("k"), reg("s"), "csc",
+                          alias="irow")
+    e.assign("t2", BinOp("mul", reg("k"), const(size)))
+    e.assign("t2", BinOp("add", reg("t2"), reg("code")))
+    e.assign("t2", BinOp("add", reg("t2"), const(config.off_insert)))
+    e.load("w", "hmm", reg("t2"))
+    e.load("t1", "icur", reg("k"), alias="irow")
+    e.assign("t1", BinOp("add", reg("t1"), reg("w")))
+    e.store("icur", reg("k"), reg("t1"), alias="irow")
+    # ---- delete state ---------------------------------------------------
+    e.load("t1", "mcur", reg("km1"), alias="mrow")
+    table(_TMD, reg("km1"))
+    e.assign("s", BinOp("add", reg("t1"), reg("t2")))
+    e.store("dcur", reg("k"), reg("s"), alias="drow")
+    e.load("t1", "dcur", reg("km1"), alias="drow")
+    table(_TDD, reg("km1"))
+    e.assign("s", BinOp("add", reg("t1"), reg("t2")))
+    e.cond_store_max_site("d_dd", "dcur", reg("k"), reg("s"), "csc",
+                          alias="drow")
+    # ---- local exit -----------------------------------------------------
+    e.assign("t2", BinOp("add", reg("k"), const(config.table_offset(_END))))
+    e.load("t1", "hmm", reg("t2"))
+    e.assign("s", BinOp("add", reg("mc"), reg("t1")))
+    e.max_site("exit_max", "best", reg("s"))
+    e.assign("k", BinOp("add", reg("k"), const(1)))
+    e.jump("inner.head")
+
+    e.start("inner.end")
+    # rotate rows: prev <-> cur
+    for prev, cur in (("mprev", "mcur"), ("iprev", "icur"), ("dprev", "dcur")):
+        e.assign("tmp", reg(prev))
+        e.assign(prev, reg(cur))
+        e.assign(cur, reg("tmp"))
+    e.assign("i", BinOp("add", reg("i"), const(1)))
+    e.jump("outer.head")
+
+    e.start("done")
+    e.store("out", const(0), reg("best"))
+    e.halt()
+    return e.build()
+
+
+HARNESS = KernelHarness("p7_viterbi", build)
+
+
+def run(
+    variant: str,
+    hmm: ProfileHmm,
+    seq: Sequence,
+    trace: list[TraceEvent] | None = None,
+) -> int:
+    """Execute the kernel; must equal :func:`repro.bio.hmm.viterbi_score`."""
+    if seq.alphabet != hmm.alphabet:
+        raise HmmError("sequence alphabet does not match the model")
+    if len(seq) == 0:
+        raise HmmError("cannot score an empty sequence")
+    config = ViterbiConfig(
+        length=hmm.length, alphabet_size=len(hmm.alphabet)
+    )
+    neg_row = [NEG_INF_SCORE] * hmm.length
+    segments = {
+        "seq": list(seq.codes),
+        "hmm": pack_hmm(hmm),
+        "mprev": list(neg_row),
+        "iprev": list(neg_row),
+        "dprev": list(neg_row),
+        "mcur": list(neg_row),
+        "icur": list(neg_row),
+        "dcur": list(neg_row),
+        "out": [0],
+    }
+    params = {"n": len(seq)}
+    return HARNESS.run(variant, config, segments, params, trace=trace)

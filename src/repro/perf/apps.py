@@ -1,0 +1,120 @@
+"""End-to-end application drivers over the synthetic BioPerf inputs.
+
+Each paper workload is split into ``prepare_*`` (input generation and
+any setup the real tool does offline — e.g. Hmmer's models are prebuilt
+Pfam files) and ``execute_*`` (the measured run). The Figure 1
+experiment profiles only the execute phase, as gprof on the BioPerf
+binaries effectively does; the tests assert the paper's headline
+profile shape — a single dynamic-programming function dominating each
+application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.blast import BlastDatabase, blastp
+from repro.bio.fastatool import ssearch
+from repro.bio.hmm import build_hmm
+from repro.bio.hmmer import hmmpfam
+from repro.bio.msa import clustalw
+from repro.bio.workloads import (
+    blast_input,
+    clustalw_input,
+    fasta_input,
+    hmmer_input,
+)
+
+#: The applications, in the paper's order.
+APPS = ("blast", "clustalw", "fasta", "hmmer")
+
+#: Python reference function implementing each app's hot kernel.
+KERNEL_REFERENCE_FUNCTIONS = {
+    "blast": "xdrop_extend",
+    "clustalw": "needleman_wunsch",
+    "fasta": "smith_waterman_score",
+    "hmmer": "viterbi_score",
+}
+
+#: The paper's (Figure 1) names for the same kernels.
+KERNEL_PAPER_NAMES = {
+    "blast": "SEMI_G_ALIGN_EX",
+    "clustalw": "forward_pass",
+    "fasta": "dropgsw",
+    "hmmer": "P7Viterbi",
+}
+
+
+@dataclass(frozen=True)
+class AppRunResult:
+    """Coarse outcome of one application run (for sanity checks)."""
+
+    app: str
+    work_units: int  # hits / aligned sequences / models scored
+
+
+def prepare_blast(input_class: str = "A", seed: int = 7):
+    """Query + indexed database (index building is setup, like formatdb)."""
+    data = blast_input(input_class, seed=seed)
+    return data.query, BlastDatabase(data.database)
+
+
+def execute_blast(prepared) -> AppRunResult:
+    query, database = prepared
+    hits = blastp(query, database)
+    return AppRunResult("blast", len(hits))
+
+
+def prepare_clustalw(input_class: str = "A", seed: int = 11):
+    return clustalw_input(input_class, seed=seed).sequences
+
+
+def execute_clustalw(prepared) -> AppRunResult:
+    msa = clustalw(prepared)
+    return AppRunResult("clustalw", len(msa.rows))
+
+
+def prepare_fasta(input_class: str = "A", seed: int = 13):
+    data = fasta_input(input_class, seed=seed)
+    return data.query, data.database
+
+
+def execute_fasta(prepared) -> AppRunResult:
+    query, database = prepared
+    hits = ssearch(query, database)
+    return AppRunResult("fasta", len(hits))
+
+
+def prepare_hmmer(input_class: str = "A", seed: int = 17):
+    """Build the model database (Pfam models are prebuilt in reality)."""
+    data = hmmer_input(input_class, seed=seed)
+    models = []
+    for family in data.families:
+        msa = clustalw(family)
+        models.append(
+            build_hmm(family[0].id.split("_")[0], list(msa.rows), PROTEIN)
+        )
+    return data.query, models
+
+
+def execute_hmmer(prepared) -> AppRunResult:
+    query, models = prepared
+    hits = hmmpfam(query, models)
+    return AppRunResult("hmmer", len(hits))
+
+
+#: (prepare, execute) pairs per application.
+APP_PHASES: dict[str, tuple[Callable[..., Any], Callable[[Any], AppRunResult]]] = {
+    "blast": (prepare_blast, execute_blast),
+    "clustalw": (prepare_clustalw, execute_clustalw),
+    "fasta": (prepare_fasta, execute_fasta),
+    "hmmer": (prepare_hmmer, execute_hmmer),
+}
+
+
+def run_app(app: str, input_class: str = "A") -> AppRunResult:
+    """Prepare and execute one application end to end."""
+    prepare, execute = APP_PHASES[app]
+    return execute(prepare(input_class))

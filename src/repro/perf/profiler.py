@@ -1,0 +1,158 @@
+"""A gprof-like deterministic-enough function profiler.
+
+Used for Figure 1's function-wise runtime breakout: run an application
+callable under the profiler and report the top functions by *self*
+time, exactly how the paper used gprof on the BioPerf binaries.
+
+Implemented over ``sys.setprofile`` with ``perf_counter`` timing. Only
+functions defined inside the ``repro`` package are attributed (library
+internals fold into their callers), which keeps the output at the same
+granularity as a C-level gprof profile of the original tools.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+
+
+@dataclass(frozen=True)
+class FunctionProfile:
+    """Timing for one function."""
+
+    name: str
+    self_seconds: float
+    cumulative_seconds: float
+    calls: int
+
+    def share_of(self, total: float) -> float:
+        """This function's share of total self time."""
+        return self.self_seconds / total if total > 0 else 0.0
+
+
+@dataclass
+class ProfileReport:
+    """The result of one profiled run."""
+
+    total_seconds: float
+    functions: list[FunctionProfile]
+
+    def top(self, count: int = 4) -> list[FunctionProfile]:
+        """The ``count`` most expensive functions by self time."""
+        return self.functions[:count]
+
+    def share(self, name: str) -> float:
+        """Self-time share of the named function (0 when absent)."""
+        for function in self.functions:
+            if function.name == name:
+                return function.share_of(self.total_seconds)
+        return 0.0
+
+    def format(self, count: int = 6) -> str:
+        """gprof-flat-profile-like text rendering."""
+        lines = [f"{'% time':>7}  {'self(s)':>8}  {'calls':>8}  name"]
+        for function in self.top(count):
+            lines.append(
+                f"{100 * function.share_of(self.total_seconds):6.1f}%  "
+                f"{function.self_seconds:8.4f}  {function.calls:8d}  "
+                f"{function.name}"
+            )
+        return "\n".join(lines)
+
+
+class Profiler:
+    """Context-manager profiler attributing self time per function."""
+
+    def __init__(self, package_filter: str = "repro") -> None:
+        self._filter = package_filter
+        self._stack: list[tuple[str, float, float]] = []
+        self._self_time: dict[str, float] = {}
+        self._cumulative: dict[str, float] = {}
+        self._calls: dict[str, int] = {}
+        self._started = 0.0
+        self._total = 0.0
+
+    def _name_of(self, frame) -> str | None:
+        module = frame.f_globals.get("__name__", "")
+        if not module.startswith(self._filter):
+            return None
+        name = frame.f_code.co_name
+        if name.startswith("<"):
+            # Comprehensions/genexprs fold into their caller, the way a
+            # C-level profile would never see them as functions.
+            return None
+        return name
+
+    def _handler(self, frame, event, _arg):
+        now = time.perf_counter()
+        if event == "call":
+            name = self._name_of(frame)
+            if self._stack:
+                top_name, entered, child_time = self._stack[-1]
+                self._self_time[top_name] = (
+                    self._self_time.get(top_name, 0.0) + (now - entered)
+                )
+                self._stack[-1] = (top_name, now, child_time)
+            if name is not None:
+                self._stack.append((name, now, now))
+                self._calls[name] = self._calls.get(name, 0) + 1
+            else:
+                # Foreign frame: attribute to the caller (like gprof
+                # folding library time into the calling function).
+                if self._stack:
+                    self._stack.append((self._stack[-1][0], now, now))
+                else:
+                    self._stack.append(("<other>", now, now))
+        elif event == "return":
+            if not self._stack:
+                return
+            name, entered, started = self._stack.pop()
+            self._self_time[name] = (
+                self._self_time.get(name, 0.0) + (now - entered)
+            )
+            self._cumulative[name] = (
+                self._cumulative.get(name, 0.0) + (now - started)
+            )
+            if self._stack:
+                top_name, _entered, child_time = self._stack[-1]
+                self._stack[-1] = (top_name, now, child_time)
+
+    def run(self, callable_, *args, **kwargs):
+        """Profile one call; returns ``(value, ProfileReport)``."""
+        if self._started:
+            raise WorkloadError("profiler already used; create a fresh one")
+        self._started = time.perf_counter()
+        sys.setprofile(self._handler)
+        try:
+            value = callable_(*args, **kwargs)
+        finally:
+            sys.setprofile(None)
+        self._total = time.perf_counter() - self._started
+        return value, self.report()
+
+    def report(self) -> ProfileReport:
+        """Build the sorted report."""
+        total_self = sum(self._self_time.values())
+        functions = sorted(
+            (
+                FunctionProfile(
+                    name=name,
+                    self_seconds=seconds,
+                    cumulative_seconds=self._cumulative.get(name, seconds),
+                    calls=self._calls.get(name, 0),
+                )
+                for name, seconds in self._self_time.items()
+                if name != "<other>"
+            ),
+            key=lambda f: -f.self_seconds,
+        )
+        return ProfileReport(total_seconds=max(total_self, 1e-12),
+                             functions=functions)
+
+
+def profile_call(callable_, *args, **kwargs):
+    """One-shot convenience wrapper around :class:`Profiler`."""
+    return Profiler().run(callable_, *args, **kwargs)

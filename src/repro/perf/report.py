@@ -1,0 +1,62 @@
+"""Plain-text table rendering for experiment output.
+
+Every experiment driver prints its rows through :class:`Table`, so the
+benchmark harness reproduces the paper's tables/figures as aligned
+ASCII — the same rows/series the paper reports, minus the plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+
+def percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100 * value:.{digits}f}%"
+
+
+def signed_percent(value: float, digits: int = 1) -> str:
+    """Format a fraction as a signed percentage string."""
+    return f"{100 * value:+.{digits}f}%"
+
+
+@dataclass
+class Table:
+    """A fixed-column text table."""
+
+    title: str
+    headers: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: object) -> "Table":
+        """Append one row (cells are stringified)."""
+        if len(cells) != len(self.headers):
+            raise WorkloadError(
+                f"row has {len(cells)} cells, table has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append([str(cell) for cell in cells])
+        return self
+
+    def render(self) -> str:
+        """Render title, header rule, and aligned rows."""
+        widths = [len(header) for header in self.headers]
+        for row in self.rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(cells: list[str]) -> str:
+            return "  ".join(
+                cell.ljust(width) for cell, width in zip(cells, widths)
+            ).rstrip()
+
+        rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+        parts = [self.title, rule, line(self.headers), rule]
+        parts.extend(line(row) for row in self.rows)
+        parts.append(rule)
+        return "\n".join(parts)
+
+    def __str__(self) -> str:
+        return self.render()

@@ -1,0 +1,95 @@
+"""Design-space sweep utility.
+
+Evaluates a grid of (core configuration x code variant) design points
+for one application and returns the results ranked by performance —
+the reusable core of §VI-style studies and of the ``design_space``
+example.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.perf.characterize import AppCharacterisation, characterize
+from repro.perf.report import Table, signed_percent
+from repro.uarch.config import CoreConfig, power5
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One evaluated design point."""
+
+    label: str
+    variant: str
+    config: CoreConfig
+    result: AppCharacterisation
+    improvement: float  # vs the sweep's baseline point
+
+
+def sweep(
+    app: str,
+    configs: dict[str, CoreConfig],
+    variants: tuple[str, ...] = ("baseline", "combination"),
+    baseline_label: str | None = None,
+) -> list[DesignPoint]:
+    """Evaluate every (config, variant) pair, best first.
+
+    ``configs`` maps display labels to core configurations;
+    ``baseline_label`` names the reference config (defaults to the
+    first) which, with the ``baseline`` variant, anchors the
+    improvement percentages.
+    """
+    if not configs:
+        raise WorkloadError("need at least one configuration")
+    if "baseline" not in variants:
+        raise WorkloadError("variants must include 'baseline'")
+    baseline_label = baseline_label or next(iter(configs))
+    if baseline_label not in configs:
+        raise WorkloadError(
+            f"baseline label {baseline_label!r} not in configs"
+        )
+    reference = characterize(app, "baseline", configs[baseline_label])
+    points: list[DesignPoint] = []
+    for label, config in configs.items():
+        for variant in variants:
+            result = characterize(app, variant, config)
+            points.append(
+                DesignPoint(
+                    label=label,
+                    variant=variant,
+                    config=config,
+                    result=result,
+                    improvement=result.speedup_over(reference),
+                )
+            )
+    points.sort(key=lambda point: -point.improvement)
+    return points
+
+
+def sweep_table(app: str, points: list[DesignPoint]) -> Table:
+    """Render sweep results as a ranked table."""
+    table = Table(
+        f"{app}: design-space sweep (vs baseline point)",
+        ["Config", "Code", "work IPC", "Improvement"],
+    )
+    for point in points:
+        table.add_row(
+            point.label,
+            point.variant,
+            f"{point.result.work_ipc:.2f}",
+            signed_percent(point.improvement),
+        )
+    return table
+
+
+def paper_design_space(app: str) -> list[DesignPoint]:
+    """The paper's §VI grid: +/-BTAC x 2/4 FXUs x baseline/combination."""
+    base = power5()
+    configs = {
+        "POWER5": base,
+        "POWER5+BTAC": base.with_btac(),
+        "POWER5+4FXU": base.with_fxus(4),
+        "POWER5+BTAC+4FXU": base.with_btac().with_fxus(4),
+    }
+    return sweep(app, configs)

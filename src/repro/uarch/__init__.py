@@ -1,0 +1,60 @@
+"""POWER5-like micro-architectural timing model.
+
+Configuration (:mod:`repro.uarch.config`), branch-direction prediction,
+the paper's 8-entry BTAC, an L1D model, the trace-driven core
+(:mod:`repro.uarch.core`), SMARTS-style sampling, PMU-style counter
+groups, and a synthetic background-trace generator.
+"""
+
+from repro.uarch.branch_predictor import BimodalPredictor, GsharePredictor
+from repro.uarch.btac import Btac, BtacEntry, BtacStats
+from repro.uarch.cache import CacheStats, L1DCache
+from repro.uarch.config import (
+    BtacConfig,
+    CacheConfig,
+    CoreConfig,
+    PredictorConfig,
+    power5,
+)
+from repro.uarch.core import Core, IntervalRecord, SimResult, simulate_trace
+from repro.uarch.llc import LlcConfig, LlcResult, SharingStudy, sharing_study, simulate_llc
+from repro.uarch.counters import (
+    CounterGroup,
+    counter_groups,
+    derived_metrics,
+    read_group,
+)
+from repro.uarch.sampling import SamplingPlan, simulate_sampled
+from repro.uarch.synthetic import MixProfile, generate_trace
+
+__all__ = [
+    "BimodalPredictor",
+    "GsharePredictor",
+    "Btac",
+    "BtacEntry",
+    "BtacStats",
+    "CacheStats",
+    "L1DCache",
+    "BtacConfig",
+    "CacheConfig",
+    "CoreConfig",
+    "PredictorConfig",
+    "power5",
+    "Core",
+    "IntervalRecord",
+    "LlcConfig",
+    "LlcResult",
+    "SharingStudy",
+    "sharing_study",
+    "simulate_llc",
+    "SimResult",
+    "simulate_trace",
+    "CounterGroup",
+    "counter_groups",
+    "derived_metrics",
+    "read_group",
+    "SamplingPlan",
+    "simulate_sampled",
+    "MixProfile",
+    "generate_trace",
+]

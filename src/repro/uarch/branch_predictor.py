@@ -1,0 +1,100 @@
+"""Branch-direction predictors.
+
+The POWER5 front end predicts *direction* and *target* separately
+(§III); this module is the direction half. A gshare predictor (2-bit
+saturating counters indexed by PC xor global history) stands in for the
+POWER5's bimodal/path-history tournament — adequate because the
+kernels' max-statement branches are value-dependent and defeat any
+history-based scheme, which is precisely the paper's premise.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+from repro.uarch.config import PredictorConfig
+
+
+class GsharePredictor:
+    """Gshare with 2-bit saturating counters."""
+
+    def __init__(self, config: PredictorConfig | None = None) -> None:
+        self.config = config or PredictorConfig()
+        size = 1 << self.config.table_bits
+        self._mask = size - 1
+        self._history_mask = (1 << self.config.history_bits) - 1
+        self._table = [1] * size  # weakly not-taken
+        self._history = 0
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return (pc ^ (self._history & self._history_mask)) & self._mask
+
+    def predict(self, pc: int) -> bool:
+        """Predicted direction for the branch at ``pc``."""
+        return self._table[self._index(pc)] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        """Record the outcome; returns True when it was mispredicted."""
+        index = self._index(pc)
+        prediction = self._table[index] >= 2
+        if taken and self._table[index] < 3:
+            self._table[index] += 1
+        elif not taken and self._table[index] > 0:
+            self._table[index] -= 1
+        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        self.predictions += 1
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        """Clear counters but keep the learned state (for warm-up)."""
+        self.predictions = 0
+        self.mispredictions = 0
+
+
+class BimodalPredictor:
+    """PC-indexed 2-bit counters, no history (ablation baseline)."""
+
+    def __init__(self, table_bits: int = 12) -> None:
+        if table_bits < 1:
+            raise SimulationError("table_bits must be positive")
+        size = 1 << table_bits
+        self._mask = size - 1
+        self._table = [1] * size
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def predict(self, pc: int) -> bool:
+        return self._table[pc & self._mask] >= 2
+
+    def update(self, pc: int, taken: bool) -> bool:
+        index = pc & self._mask
+        prediction = self._table[index] >= 2
+        if taken and self._table[index] < 3:
+            self._table[index] += 1
+        elif not taken and self._table[index] > 0:
+            self._table[index] -= 1
+        self.predictions += 1
+        mispredicted = prediction != taken
+        if mispredicted:
+            self.mispredictions += 1
+        return mispredicted
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_stats(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

@@ -1,0 +1,117 @@
+"""The Branch Target Address Cache of §IV-D.
+
+A tiny fully-associative table. Each entry holds a ``tag`` (fetch
+address), the predicted next instruction address ``nia``, and a
+saturating ``score``. Prediction is *forgone* when the matching entry's
+score is below the threshold — for hard-to-predict branches the cost of
+a wrong target exceeds the 2-cycle bubble the BTAC would hide.
+Replacement is score-based: the lowest-score entry is evicted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.config import BtacConfig
+
+
+@dataclass
+class BtacEntry:
+    """One BTAC entry: tag, predicted next address, confidence score."""
+
+    tag: int
+    nia: int
+    score: int
+
+
+@dataclass
+class BtacStats:
+    """Lookup/outcome counters (Figure 4's BTAC-mispredict table)."""
+
+    lookups: int = 0
+    hits: int = 0
+    predictions: int = 0  # hits with score >= threshold
+    correct: int = 0
+    incorrect: int = 0
+    allocations: int = 0
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.incorrect / self.predictions
+
+
+class Btac:
+    """Score-guarded branch target address cache."""
+
+    def __init__(self, config: BtacConfig | None = None) -> None:
+        self.config = config or BtacConfig()
+        self._entries: list[BtacEntry] = []
+        self._max_score = (1 << self.config.score_bits) - 1
+        self.stats = BtacStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def _find(self, fetch_address: int) -> BtacEntry | None:
+        for entry in self._entries:
+            if entry.tag == fetch_address:
+                return entry
+        return None
+
+    def lookup(self, fetch_address: int) -> int | None:
+        """Predicted next instruction address, or None to forgo.
+
+        None is returned both on a miss and when the matching entry's
+        score is below the confidence threshold.
+        """
+        self.stats.lookups += 1
+        entry = self._find(fetch_address)
+        if entry is None:
+            return None
+        self.stats.hits += 1
+        if entry.score < self.config.score_threshold:
+            return None
+        self.stats.predictions += 1
+        return entry.nia
+
+    def update(self, fetch_address: int, actual_nia: int) -> None:
+        """Train on the resolved branch at ``fetch_address``.
+
+        Correct predictions increment the score, incorrect ones
+        decrement it and install the new target; missing entries are
+        allocated by evicting the lowest-score entry (§IV-D).
+        """
+        entry = self._find(fetch_address)
+        if entry is not None:
+            if entry.nia == actual_nia:
+                if entry.score < self._max_score:
+                    entry.score += 1
+            elif entry.score > 0:
+                # Wrong exit: quarantine immediately. Blocks with
+                # value-dependent exits must stop predicting after one
+                # error, because a wrong target costs a full flush.
+                entry.score = 0
+            else:
+                entry.nia = actual_nia
+            return
+        new_entry = BtacEntry(
+            tag=fetch_address,
+            nia=actual_nia,
+            score=self.config.initial_score,
+        )
+        self.stats.allocations += 1
+        if len(self._entries) < self.config.entries:
+            self._entries.append(new_entry)
+            return
+        victim = min(range(len(self._entries)),
+                     key=lambda i: self._entries[i].score)
+        self._entries[victim] = new_entry
+
+    def record_outcome(self, correct: bool) -> None:
+        """Book-keep whether an issued prediction was right."""
+        if correct:
+            self.stats.correct += 1
+        else:
+            self.stats.incorrect += 1

@@ -1,0 +1,73 @@
+"""Set-associative L1 data cache model with LRU replacement.
+
+Word addresses from the interpreter are converted to byte addresses
+with a fixed word size, then mapped onto POWER5-like geometry (32 KiB,
+4-way, 128-byte lines by default). Only hit/miss behaviour and the
+resulting load latency are modelled — bandwidth and MSHRs are not, in
+keeping with the trace-driven core model's level of detail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.uarch.config import CacheConfig
+
+#: Bytes per interpreter word (64-bit integers).
+WORD_BYTES = 8
+
+
+@dataclass
+class CacheStats:
+    """Access counters (Table I's L1D miss-rate column)."""
+
+    accesses: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class L1DCache:
+    """LRU set-associative cache over word addresses."""
+
+    def __init__(self, config: CacheConfig | None = None) -> None:
+        self.config = config or CacheConfig()
+        self._sets: list[list[int]] = [
+            [] for _ in range(self.config.sets)
+        ]
+        self._set_mask = self.config.sets - 1
+        self.stats = CacheStats()
+
+    def _locate(self, word_address: int) -> tuple[int, int]:
+        byte_address = word_address * WORD_BYTES
+        line = byte_address // self.config.line_bytes
+        return line & self._set_mask, line
+
+    def access(self, word_address: int) -> bool:
+        """Touch ``word_address``; returns True on a hit."""
+        set_index, line = self._locate(word_address)
+        ways = self._sets[set_index]
+        self.stats.accesses += 1
+        if line in ways:
+            ways.remove(line)
+            ways.append(line)  # most-recently-used at the back
+            return True
+        self.stats.misses += 1
+        ways.append(line)
+        if len(ways) > self.config.ways:
+            ways.pop(0)
+        return False
+
+    def load_latency(self, word_address: int) -> int:
+        """Latency of a load at ``word_address`` (updates the cache)."""
+        if self.access(word_address):
+            return self.config.hit_latency
+        return self.config.hit_latency + self.config.miss_penalty
+
+    def reset_stats(self) -> None:
+        """Clear counters but keep cache contents (for warm-up)."""
+        self.stats = CacheStats()

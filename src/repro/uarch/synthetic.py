@@ -1,0 +1,187 @@
+"""Synthetic instruction-trace generation.
+
+The kernels dominate the BioPerf applications (Figure 1), but the
+remaining 20–60% of execution — parsers, I/O, tree building, hit
+bookkeeping — also flows through the pipeline. We model that remainder
+as a statistically-shaped synthetic trace: a :class:`MixProfile`
+controls the branch density, the share of value-dependent (hard)
+branches, memory intensity, dependence depth, and data footprint, and
+the generator emits :class:`~repro.isa.trace.TraceEvent` streams with
+those properties.
+
+The generated code layout is a two-level loop nest: easy branches are
+loop back-edges (taken except on exit — the predictable kind the paper
+contrasts with DP branches), hard branches are data-dependent with a
+configurable taken bias. ALU work alternates between a small number of
+serial dependence chains (``chains`` controls the available ILP), some
+of which consume load results, giving realistic load-to-use stalls.
+Memory accesses walk a near-resident footprint with occasional far
+jumps into a large region (``far_fraction``), which sets the L1D miss
+rate without entangling it with the access pattern.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+from repro.isa.instructions import Instruction, Op
+from repro.isa.trace import TraceEvent
+
+
+@dataclass(frozen=True)
+class MixProfile:
+    """Statistical shape of a synthetic instruction stream."""
+
+    branch_fraction: float = 0.18
+    hard_branch_share: float = 0.15
+    hard_taken_bias: float = 0.5
+    indirect_share: float = 0.02
+    loop_body: int = 24
+    load_fraction: float = 0.22
+    store_fraction: float = 0.08
+    mul_fraction: float = 0.03
+    footprint_words: int = 3000
+    far_fraction: float = 0.02
+    far_footprint_words: int = 1 << 22
+    chains: int = 3
+    static_branches: int = 251
+
+    def __post_init__(self) -> None:
+        fractions = (
+            self.branch_fraction, self.hard_branch_share,
+            self.hard_taken_bias, self.indirect_share,
+            self.load_fraction, self.store_fraction,
+            self.mul_fraction, self.far_fraction,
+        )
+        if any(not 0.0 <= f <= 1.0 for f in fractions):
+            raise SimulationError(f"profile fractions must be in [0,1]: {self}")
+        if self.branch_fraction + self.load_fraction + self.store_fraction > 1:
+            raise SimulationError("instruction-class fractions exceed 1")
+        if self.loop_body < 2 or self.footprint_words < 1:
+            raise SimulationError("bad loop_body or footprint")
+        if not 1 <= self.chains <= 8:
+            raise SimulationError("chains must be between 1 and 8")
+        if self.static_branches < 1:
+            raise SimulationError("static_branches must be positive")
+
+
+#: Chain i accumulates in r(3+i); chain 0 consumes the load register r12.
+_CHAIN_OPS = [
+    Instruction(Op.ADD, rd=3 + i, ra=3 + i, rb=12 if i == 0 else 13 + i)
+    for i in range(8)
+]
+_LOAD = Instruction(Op.LD, rd=12, ra=2, imm=0)
+_STORE = Instruction(Op.ST, rd=3, ra=2, imm=0)
+_MUL = Instruction(Op.MULI, rd=11, ra=4, imm=24)
+_EASY_BRANCH = Instruction(Op.BC, crf=0, crbit=0, label="loop")
+_HARD_BRANCH = Instruction(Op.BC, crf=0, crbit=1, label="skip")
+_INDIRECT_BRANCH = Instruction(Op.B, label="table")
+
+#: PC regions: keep easy/hard branch PCs disjoint so the predictor sees
+#: stable per-PC behaviour, like separate static branches would give.
+_EASY_PC_BASE = 10_000
+_HARD_PC_BASE = 20_000
+_BODY_PC_BASE = 0
+
+
+def generate_trace(
+    length: int,
+    profile: MixProfile | None = None,
+    seed: int = 0,
+) -> list[TraceEvent]:
+    """Generate ``length`` synthetic events with the given profile."""
+    if length <= 0:
+        raise SimulationError(f"trace length must be positive, got {length}")
+    profile = profile or MixProfile()
+    rng = random.Random(seed)
+    events: list[TraceEvent] = []
+
+    hard_share = profile.branch_fraction * profile.hard_branch_share
+    indirect_share = profile.branch_fraction * profile.indirect_share
+    easy_share = profile.branch_fraction - hard_share - indirect_share
+    load_share = profile.load_fraction
+    store_share = profile.store_fraction
+
+    position = 0  # within the current loop body
+    loop_id = 0
+    chain = 0
+    iterations_left = rng.randint(4, 40)
+    cursor = rng.randrange(profile.footprint_words)
+    indirect_targets: dict[int, int] = {}
+    indirect_pc: int | None = None
+
+    while len(events) < length:
+        roll = rng.random()
+        pc = _BODY_PC_BASE + position
+        if roll < hard_share:
+            taken = rng.random() < profile.hard_taken_bias
+            hard_pc = _HARD_PC_BASE + rng.randrange(profile.static_branches)
+            events.append(
+                TraceEvent(
+                    hard_pc, _HARD_BRANCH, taken,
+                    hard_pc + (5 if taken else 1), None,
+                )
+            )
+        elif roll < hard_share + indirect_share:
+            # Indirect jump (switch / function pointer): always taken
+            # with a *sticky* target that occasionally switches — the
+            # BTAC grows confident, then mispredicts on a switch. The
+            # branch PC itself is sticky (one hot call site at a time)
+            # so it is warm enough to hold one of the eight entries.
+            if indirect_pc is None or rng.random() < 0.08:
+                indirect_pc = _HARD_PC_BASE + 100_000 + rng.randrange(13)
+            if indirect_pc not in indirect_targets or rng.random() < 0.2:
+                indirect_targets[indirect_pc] = (
+                    indirect_pc + 10 * (1 + rng.randrange(4))
+                )
+            target = indirect_targets[indirect_pc]
+            events.append(
+                TraceEvent(indirect_pc, _INDIRECT_BRANCH, True, target, None)
+            )
+        elif roll < hard_share + indirect_share + easy_share:
+            # Loop back-edge: taken until the iteration budget runs out.
+            iterations_left -= 1
+            taken = iterations_left > 0
+            easy_pc = _EASY_PC_BASE + (
+                loop_id % profile.static_branches
+            )
+            target = easy_pc - profile.loop_body if taken else easy_pc + 1
+            events.append(
+                TraceEvent(easy_pc, _EASY_BRANCH, taken, target, None)
+            )
+            if not taken:
+                loop_id += 1
+                iterations_left = rng.randint(4, 40)
+        elif roll < hard_share + indirect_share + easy_share + load_share:
+            cursor = _next_address(cursor, profile, rng)
+            events.append(TraceEvent(pc, _LOAD, False, pc + 1, cursor))
+        elif (
+            roll
+            < hard_share + indirect_share + easy_share + load_share
+            + store_share
+        ):
+            cursor = _next_address(cursor, profile, rng)
+            events.append(TraceEvent(pc, _STORE, False, pc + 1, cursor))
+        elif rng.random() < profile.mul_fraction:
+            events.append(TraceEvent(pc, _MUL, False, pc + 1, None))
+        else:
+            alu = _CHAIN_OPS[chain]
+            chain = (chain + 1) % profile.chains
+            events.append(TraceEvent(pc, alu, False, pc + 1, None))
+        position = (position + 1) % profile.loop_body
+    return events
+
+
+def _next_address(
+    cursor: int, profile: MixProfile, rng: random.Random
+) -> int:
+    if rng.random() < profile.far_fraction:
+        # A far jump into the large region; misses with near certainty.
+        return profile.footprint_words + rng.randrange(
+            profile.far_footprint_words
+        )
+    if rng.random() < 0.9:
+        return (cursor + 1) % profile.footprint_words
+    return rng.randrange(profile.footprint_words)

@@ -1,0 +1,95 @@
+"""Tests for repro.bio.alphabet."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bio.alphabet import DNA, PROTEIN, Alphabet, guess_alphabet
+from repro.errors import AlphabetError
+
+
+class TestAlphabetConstruction:
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "AAC", wildcard="A")
+
+    def test_wildcard_must_be_member(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("bad", "ACGT", wildcard="N")
+
+    def test_len_and_contains(self):
+        assert len(DNA) == 5
+        assert "A" in DNA
+        assert "Z" not in DNA
+
+    def test_repr_mentions_name(self):
+        assert "dna" in repr(DNA)
+
+    def test_equality_and_hash(self):
+        clone = Alphabet("dna", "ACGTN", wildcard="N")
+        assert clone == DNA
+        assert hash(clone) == hash(DNA)
+        assert DNA != PROTEIN
+
+
+class TestCodes:
+    def test_code_roundtrip(self):
+        for symbol in PROTEIN.symbols:
+            assert PROTEIN.symbol(PROTEIN.code(symbol)) == symbol
+
+    def test_codes_are_dense(self):
+        codes = sorted(DNA.code(s) for s in DNA.symbols)
+        assert codes == list(range(len(DNA)))
+
+    def test_unknown_symbol_raises(self):
+        with pytest.raises(AlphabetError):
+            DNA.code("Z")
+
+    def test_out_of_range_code_raises(self):
+        with pytest.raises(AlphabetError):
+            DNA.symbol(99)
+        with pytest.raises(AlphabetError):
+            DNA.symbol(-1)
+
+    def test_wildcard_code(self):
+        assert DNA.symbol(DNA.wildcard_code) == "N"
+
+
+class TestEncodeDecode:
+    def test_encode_uppercases(self):
+        assert DNA.encode("acgt") == DNA.encode("ACGT")
+
+    def test_strict_encode_raises_on_unknown(self):
+        with pytest.raises(AlphabetError):
+            DNA.encode("ACGZ")
+
+    def test_lenient_encode_substitutes_wildcard(self):
+        codes = DNA.encode("ACGZ", strict=False)
+        assert codes[-1] == DNA.wildcard_code
+
+    def test_decode_inverts_encode(self):
+        text = "MKVLAT"
+        assert PROTEIN.decode(PROTEIN.encode(text)) == text
+
+    @given(st.text(alphabet="ACGTN", min_size=0, max_size=64))
+    def test_roundtrip_property_dna(self, text):
+        assert DNA.decode(DNA.encode(text)) == text
+
+    @given(st.text(alphabet=PROTEIN.symbols, min_size=0, max_size=64))
+    def test_roundtrip_property_protein(self, text):
+        assert PROTEIN.decode(PROTEIN.encode(text)) == text
+
+
+class TestGuessAlphabet:
+    def test_pure_dna(self):
+        assert guess_alphabet("ACGTACGT") is DNA
+
+    def test_protein(self):
+        assert guess_alphabet("MKVLW") is PROTEIN
+
+    def test_gap_characters_ignored(self):
+        assert guess_alphabet("AC-GT") is DNA
+
+    def test_unknown_symbols_raise(self):
+        with pytest.raises(AlphabetError):
+            guess_alphabet("ACGT123")

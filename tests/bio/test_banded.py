@@ -1,0 +1,132 @@
+"""Tests for repro.bio.banded (X-drop extension and banded SW)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.banded import banded_local_score, gapped_extension, xdrop_extend
+from repro.bio.pairwise import smith_waterman_score
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.sequence import Sequence
+from repro.errors import AlignmentError
+
+GAPS = GapPenalties(10, 2)
+protein_text = st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=30)
+
+
+def seq(text: str) -> Sequence:
+    return Sequence("s", text, PROTEIN)
+
+
+class TestXdropExtend:
+    def test_identical_prefix_fully_extended(self):
+        codes = seq("WWWWWW").codes
+        score, end_a, end_b = xdrop_extend(codes, codes, BLOSUM62, GAPS, 20)
+        assert end_a == end_b == 6
+        assert score == 6 * 11
+
+    def test_mismatch_tail_dropped(self):
+        a = seq("WWWWAAAA").codes
+        b = seq("WWWWCCCC").codes
+        score, end_a, end_b = xdrop_extend(a, b, BLOSUM62, GAPS, 5)
+        assert end_a == end_b == 4
+        assert score == 4 * 11
+
+    def test_empty_inputs(self):
+        assert xdrop_extend((), (), BLOSUM62, GAPS, 10) == (0, 0, 0)
+
+    def test_bad_xdrop_rejected(self):
+        with pytest.raises(AlignmentError):
+            xdrop_extend((0,), (0,), BLOSUM62, GAPS, 0)
+
+    def test_score_never_negative(self):
+        a = seq("AAAA").codes
+        b = seq("WWWW").codes
+        score, end_a, end_b = xdrop_extend(a, b, BLOSUM62, GAPS, 5)
+        assert score == 0
+        assert end_a == end_b == 0
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_xdrop(self, ta, tb):
+        """A larger X-drop budget can never reduce the extension score."""
+        a, b = seq(ta).codes, seq(tb).codes
+        small = xdrop_extend(a, b, BLOSUM62, GAPS, 5)[0]
+        large = xdrop_extend(a, b, BLOSUM62, GAPS, 100)[0]
+        assert large >= small
+
+
+class TestGappedExtension:
+    def test_extends_around_seed(self):
+        query = seq("AAAWGHEAAA")
+        subject = seq("CCCWGHECCC")
+        result = gapped_extension(query, subject, 4, 4, BLOSUM62, GAPS, 25)
+        assert result.query_start <= 4 < result.query_end
+        assert result.subject_start <= 4 < result.subject_end
+        # Extension should cover the whole WGHE motif.
+        assert result.query_end - result.query_start >= 4
+
+    def test_score_at_most_full_sw(self):
+        query = seq("MKWGHEVLAT")
+        subject = seq("PPWGHEQQRS")
+        result = gapped_extension(query, subject, 3, 3, BLOSUM62, GAPS, 100)
+        assert result.score <= smith_waterman_score(
+            query, subject, BLOSUM62, GAPS
+        )
+
+    def test_seed_out_of_range_rejected(self):
+        q, s = seq("MKVL"), seq("MKVL")
+        with pytest.raises(AlignmentError):
+            gapped_extension(q, s, 99, 0, BLOSUM62)
+        with pytest.raises(AlignmentError):
+            gapped_extension(q, s, 0, -1, BLOSUM62)
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=30, deadline=None)
+    def test_extension_bounded_by_sw(self, ta, tb):
+        query, subject = seq(ta), seq(tb)
+        mid_q, mid_s = len(ta) // 2, len(tb) // 2
+        result = gapped_extension(
+            query, subject, mid_q, mid_s, BLOSUM62, GAPS, 200
+        )
+        full = smith_waterman_score(query, subject, BLOSUM62, GAPS)
+        # The extension is anchored, so it may score below SW but must
+        # never exceed it... unless the anchored pair itself is negative
+        # and both extensions are empty (SW can simply take nothing).
+        assert result.score <= max(
+            full,
+            BLOSUM62.score(query.codes[mid_q], subject.codes[mid_s]),
+        )
+
+
+class TestBandedLocalScore:
+    def test_wide_band_equals_full_sw(self):
+        a, b = seq("HEAGAWGHEE"), seq("PAWHEAE")
+        banded = banded_local_score(a, b, 0, 50, BLOSUM62, GAPS)
+        assert banded == smith_waterman_score(a, b, BLOSUM62, GAPS)
+
+    def test_narrow_band_at_most_full_sw(self):
+        a, b = seq("MKWGHEVLAT"), seq("WGHE")
+        full = smith_waterman_score(a, b, BLOSUM62, GAPS)
+        for center in (-3, 0, 3):
+            banded = banded_local_score(a, b, center, 1, BLOSUM62, GAPS)
+            assert banded <= full
+
+    def test_band_off_target_scores_zero(self):
+        a, b = seq("WWWW"), seq("WWWW")
+        # Band centred far off the main diagonal sees no cells.
+        assert banded_local_score(a, b, 30, 1, BLOSUM62, GAPS) == 0
+
+    def test_negative_bandwidth_rejected(self):
+        with pytest.raises(AlignmentError):
+            banded_local_score(seq("A"), seq("A"), 0, -1, BLOSUM62, GAPS)
+
+    @given(protein_text, protein_text, st.integers(0, 8))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_bandwidth(self, ta, tb, width):
+        a, b = seq(ta), seq(tb)
+        narrow = banded_local_score(a, b, 0, width, BLOSUM62, GAPS)
+        wide = banded_local_score(a, b, 0, width + 4, BLOSUM62, GAPS)
+        assert wide >= narrow
+        assert wide <= smith_waterman_score(a, b, BLOSUM62, GAPS)

@@ -1,0 +1,148 @@
+"""Tests for the blastp pipeline."""
+
+import pytest
+
+from repro.bio.blast import (
+    BlastDatabase,
+    BlastParameters,
+    BlastSearch,
+    blastp,
+    _ungapped_extend,
+)
+from repro.bio.scoring import BLOSUM62
+from repro.bio.sequence import Sequence
+from repro.bio.workloads import blast_input
+from repro.errors import AlignmentError
+
+
+@pytest.fixture(scope="module")
+def small_input():
+    return blast_input(input_class="A", seed=3)
+
+
+@pytest.fixture(scope="module")
+def database(small_input):
+    return BlastDatabase(small_input.database)
+
+
+class TestParameters:
+    def test_defaults_sane(self):
+        params = BlastParameters()
+        assert params.word_size == 3
+        assert params.threshold == 11
+
+    def test_bad_word_size(self):
+        with pytest.raises(AlignmentError):
+            BlastParameters(word_size=0)
+
+    def test_bad_window(self):
+        with pytest.raises(AlignmentError):
+            BlastParameters(word_size=5, two_hit_window=4)
+
+
+class TestDatabase:
+    def test_empty_database_rejected(self):
+        with pytest.raises(AlignmentError):
+            BlastDatabase([])
+
+    def test_total_length(self, small_input, database):
+        assert database.total_length == sum(
+            len(s) for s in small_input.database
+        )
+
+    def test_len(self, small_input, database):
+        assert len(database) == len(small_input.database)
+
+
+class TestUngappedExtend:
+    def test_perfect_diagonal(self):
+        seq = Sequence("s", "WWWWWW")
+        score, start, end = _ungapped_extend(
+            seq.codes, seq.codes, 1, 1, 3, BLOSUM62, 7
+        )
+        assert start == 0
+        assert end == 6
+        assert score == 6 * 11
+
+    def test_extension_stops_at_mismatch_run(self):
+        a = Sequence("s", "WWWWAAAAAAAA")
+        b = Sequence("s", "WWWWCCCCCCCC")
+        score, start, end = _ungapped_extend(
+            a.codes, b.codes, 0, 0, 3, BLOSUM62, 5
+        )
+        assert start == 0
+        assert end == 4
+        assert score == 44
+
+
+class TestSearch:
+    def test_family_member_is_top_hit(self, small_input, database):
+        hits = blastp(small_input.query, database)
+        assert hits, "expected at least one hit"
+        assert hits[0].subject.id.startswith("fam")
+
+    def test_hits_sorted_by_evalue(self, small_input, database):
+        hits = blastp(small_input.query, database)
+        evalues = [h.best.evalue for h in hits]
+        assert evalues == sorted(evalues)
+
+    def test_counters_populated(self, small_input, database):
+        search = BlastSearch(small_input.query, database)
+        search.run()
+        assert search.seed_hits > 0
+        assert search.ungapped_extensions > 0
+        assert search.ungapped_extensions >= search.gapped_extensions
+
+    def test_hsp_coordinates_in_range(self, small_input, database):
+        for hit in blastp(small_input.query, database):
+            for hsp in hit.hsps:
+                assert 0 <= hsp.query_start < hsp.query_end <= len(
+                    small_input.query
+                )
+                assert 0 <= hsp.subject_start < hsp.subject_end <= len(
+                    hit.subject
+                )
+
+    def test_alphabet_mismatch_rejected(self, database):
+        with pytest.raises(AlignmentError):
+            BlastSearch(Sequence("q", "ACGT"), database)
+
+    def test_self_search_finds_self(self):
+        seqs = [
+            Sequence("self", "MKVAWTHEAGAWGHEEMKVAWTHEAGAWGHEE"),
+            Sequence("other", "PPPPPPPPPPPPPPPPPPPPPPPPPPPPPPPP"),
+        ]
+        db = BlastDatabase(seqs)
+        hits = blastp(seqs[0], db)
+        assert hits[0].subject.id == "self"
+        # Self hit should span (nearly) the whole sequence.
+        assert hits[0].best.query_end - hits[0].best.query_start >= 28
+
+
+class TestOneHitMode:
+    def test_one_hit_does_more_extension_work(self, small_input):
+        from repro.bio.blast import BlastParameters
+
+        two_hit_db = BlastDatabase(small_input.database)
+        one_hit_db = BlastDatabase(
+            small_input.database, params=BlastParameters(two_hit=False)
+        )
+        two = BlastSearch(small_input.query, two_hit_db)
+        two.run()
+        one = BlastSearch(small_input.query, one_hit_db)
+        one.run()
+        assert one.ungapped_extensions > two.ungapped_extensions
+
+    def test_one_hit_at_least_as_sensitive(self, small_input):
+        from repro.bio.blast import BlastParameters
+
+        two_hits = blastp(
+            small_input.query, BlastDatabase(small_input.database)
+        )
+        one_hits = blastp(
+            small_input.query,
+            BlastDatabase(
+                small_input.database, params=BlastParameters(two_hit=False)
+            ),
+        )
+        assert len(one_hits) >= len(two_hits)

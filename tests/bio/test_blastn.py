@@ -1,0 +1,75 @@
+"""Tests for DNA (blastn-style) search."""
+
+import random
+
+import pytest
+
+from repro.bio.blast import (
+    BlastDatabase,
+    BlastSearch,
+    blastn,
+    blastn_parameters,
+)
+from repro.bio.sequence import Sequence
+
+
+def _random_dna(name, length, seed):
+    rng = random.Random(seed)
+    return Sequence(name, "".join(rng.choice("ACGT") for _ in range(length)))
+
+
+def _mutate_dna(seq, name, rate, seed):
+    rng = random.Random(seed)
+    out = [
+        rng.choice("ACGT") if rng.random() < rate else base
+        for base in seq.residues
+    ]
+    return Sequence(name, "".join(out))
+
+
+@pytest.fixture(scope="module")
+def dna_db():
+    target = _random_dna("target", 300, seed=41)
+    homolog = _mutate_dna(target, "homolog", 0.05, seed=42)
+    decoys = [_random_dna(f"decoy{i}", 300, seed=50 + i) for i in range(8)]
+    return target, [homolog] + decoys
+
+
+class TestParameters:
+    def test_blastn_defaults(self):
+        params = blastn_parameters()
+        assert params.word_size == 11
+        assert params.exact_seeds
+
+
+class TestSearch:
+    def test_finds_homolog(self, dna_db):
+        target, database = dna_db
+        hits = blastn(target, database)
+        assert hits
+        assert hits[0].subject.id == "homolog"
+
+    def test_decoys_score_below_homolog(self, dna_db):
+        target, database = dna_db
+        hits = blastn(target, database)
+        homolog_bits = hits[0].best.bit_score
+        for hit in hits[1:]:
+            assert hit.best.bit_score < homolog_bits
+
+    def test_exact_seeding_skips_neighbourhood(self, dna_db):
+        """Exact seeds keep the seed count per offset at one word."""
+        target, database = dna_db
+        from repro.bio.scoring import dna_matrix
+
+        db = BlastDatabase(
+            database, matrix=dna_matrix(), params=blastn_parameters()
+        )
+        search = BlastSearch(target, db)
+        words = search._seed_words()
+        assert all(len(w) == 1 for w in words.values())
+
+    def test_self_hit_spans_whole_sequence(self, dna_db):
+        target, _database = dna_db
+        hits = blastn(target, [target])
+        best = hits[0].best
+        assert best.query_end - best.query_start > 0.9 * len(target)

@@ -1,0 +1,100 @@
+"""Tests for EVD-calibrated HMM significance."""
+
+import pytest
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.evd import CalibratedHit, calibrate, hmmsearch_calibrated
+from repro.bio.hmm import build_hmm, viterbi_score
+from repro.bio.msa import clustalw
+from repro.bio.workloads import make_family, random_sequence
+from repro.errors import HmmError
+
+
+@pytest.fixture(scope="module")
+def model():
+    family = make_family("evd", 6, 32, 0.2, seed=201)
+    msa = clustalw(family)
+    return build_hmm("evd", list(msa.rows), PROTEIN)
+
+
+@pytest.fixture(scope="module")
+def calibration(model):
+    return calibrate(model, samples=120, seed=3)
+
+
+class TestCalibrate:
+    def test_fit_is_sane(self, calibration):
+        assert calibration.scale > 0
+        assert calibration.samples == 120
+
+    def test_too_few_samples_rejected(self, model):
+        with pytest.raises(HmmError):
+            calibrate(model, samples=5)
+
+    def test_deterministic(self, model):
+        first = calibrate(model, samples=40, seed=7)
+        second = calibrate(model, samples=40, seed=7)
+        assert first.location == second.location
+        assert first.scale == second.scale
+
+
+class TestPvalues:
+    def test_monotone_decreasing_in_score(self, calibration):
+        scores = [-5000, 0, 5000, 20000]
+        pvalues = [calibration.pvalue(s) for s in scores]
+        assert pvalues == sorted(pvalues, reverse=True)
+        assert all(0 <= p <= 1 for p in pvalues)
+
+    def test_null_scores_not_significant(self, model, calibration):
+        """Random sequences should mostly have unremarkable p-values."""
+        pvalues = [
+            calibration.pvalue(
+                viterbi_score(
+                    model, random_sequence(f"x{i}", model.length, PROTEIN,
+                                           seed=900 + i)
+                )
+            )
+            for i in range(30)
+        ]
+        significant = sum(1 for p in pvalues if p < 0.01)
+        assert significant <= 2
+
+    def test_family_member_highly_significant(self, model, calibration):
+        family = make_family("evd", 6, 32, 0.2, seed=201)
+        score = viterbi_score(model, family[0])
+        assert calibration.pvalue(score) < 1e-4
+
+    def test_evalue_scales_with_database(self, calibration):
+        assert calibration.evalue(1000, 200) == pytest.approx(
+            2 * calibration.evalue(1000, 100)
+        )
+
+    def test_bad_database_size(self, calibration):
+        with pytest.raises(HmmError):
+            calibration.evalue(1000, 0)
+
+
+class TestCalibratedSearch:
+    def test_family_found_noise_filtered(self, model, calibration):
+        family = make_family("evd", 6, 32, 0.2, seed=201)
+        noise = [
+            random_sequence(f"n{i}", 32, PROTEIN, seed=700 + i)
+            for i in range(10)
+        ]
+        hits = hmmsearch_calibrated(
+            model, family + noise, calibration, max_evalue=0.01
+        )
+        assert hits
+        assert all(isinstance(h, CalibratedHit) for h in hits)
+        assert all(h.hit.sequence_id.startswith("evd") for h in hits)
+        assert len(hits) >= 4
+
+    def test_sorted_by_evalue(self, model, calibration):
+        family = make_family("evd", 6, 32, 0.2, seed=201)
+        hits = hmmsearch_calibrated(model, family, calibration)
+        evalues = [h.evalue for h in hits]
+        assert evalues == sorted(evalues)
+
+    def test_empty_database_rejected(self, model, calibration):
+        with pytest.raises(HmmError):
+            hmmsearch_calibrated(model, [], calibration)

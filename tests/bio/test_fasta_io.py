@@ -1,0 +1,76 @@
+"""Tests for repro.bio.fasta_io."""
+
+import pytest
+
+from repro.bio.alphabet import DNA
+from repro.bio.fasta_io import (
+    format_fasta,
+    parse_fasta_text,
+    read_fasta,
+    write_fasta,
+)
+from repro.bio.sequence import Sequence
+from repro.errors import FastaParseError
+
+SAMPLE = """\
+>seq1 first record
+ACGTACGT
+ACGT
+>seq2
+MKVLATLL
+"""
+
+
+class TestParsing:
+    def test_parses_two_records(self):
+        records = parse_fasta_text(SAMPLE)
+        assert [r.id for r in records] == ["seq1", "seq2"]
+
+    def test_multiline_residues_joined(self):
+        records = parse_fasta_text(SAMPLE)
+        assert records[0].residues == "ACGTACGTACGT"
+
+    def test_description_captured(self):
+        assert parse_fasta_text(SAMPLE)[0].description == "first record"
+
+    def test_blank_lines_skipped(self):
+        records = parse_fasta_text(">a\n\nACGT\n\n>b\nGGTT\n")
+        assert len(records) == 2
+
+    def test_data_before_header_rejected(self):
+        with pytest.raises(FastaParseError):
+            parse_fasta_text("ACGT\n>late\nACGT\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaParseError):
+            parse_fasta_text(">\nACGT\n")
+
+    def test_empty_record_rejected(self):
+        with pytest.raises(FastaParseError):
+            parse_fasta_text(">a\n>b\nACGT\n")
+
+    def test_forced_alphabet(self):
+        records = parse_fasta_text(">a\nACGT\n", alphabet=DNA)
+        assert records[0].alphabet is DNA
+
+
+class TestFormatting:
+    def test_roundtrip(self):
+        records = parse_fasta_text(SAMPLE)
+        again = parse_fasta_text(format_fasta(records))
+        assert again == records
+
+    def test_wrapping(self):
+        text = format_fasta([Sequence("s", "A" * 130)], width=60)
+        body_lines = [l for l in text.splitlines() if not l.startswith(">")]
+        assert [len(l) for l in body_lines] == [60, 60, 10]
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(FastaParseError):
+            format_fasta([Sequence("s", "ACGT")], width=0)
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "db.fasta"
+        records = parse_fasta_text(SAMPLE)
+        write_fasta(path, records)
+        assert read_fasta(path) == records

@@ -1,0 +1,144 @@
+"""Tests for the Fasta/ssearch pipeline."""
+
+import pytest
+
+from repro.bio.fastatool import (
+    _chain_runs,
+    _diagonal_runs,
+    DiagonalRun,
+    fasta_search,
+    ssearch,
+)
+from repro.bio.pairwise import smith_waterman_score
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.sequence import Sequence
+from repro.bio.workloads import fasta_input
+from repro.errors import AlignmentError
+
+GAPS = GapPenalties(12, 2)
+
+
+@pytest.fixture(scope="module")
+def small_input():
+    return fasta_input(input_class="A", seed=5)
+
+
+class TestDiagonalRuns:
+    def test_identical_sequences_have_main_diagonal_run(self):
+        seq = Sequence("s", "MKVLATWGHE")
+        runs = _diagonal_runs(seq, seq, 2, BLOSUM62)
+        main = [run for run in runs if run.diagonal == 0]
+        assert main
+        assert max(run.score for run in main) > 0
+
+    def test_no_shared_words(self):
+        a, b = Sequence("a", "MMMMMM"), Sequence("b", "WWWWWW")
+        assert _diagonal_runs(a, b, 2, BLOSUM62) == []
+
+
+class TestChainRuns:
+    def test_empty(self):
+        assert _chain_runs([], 20) == 0
+
+    def test_single_run(self):
+        runs = [DiagonalRun(0, 0, 4, 30)]
+        assert _chain_runs(runs, 20) == 30
+
+    def test_chaining_beats_single_when_penalty_low(self):
+        runs = [
+            DiagonalRun(0, 0, 4, 30),
+            DiagonalRun(2, 6, 10, 25),
+        ]
+        assert _chain_runs(runs, 10) == 45
+
+    def test_chaining_skipped_when_penalty_high(self):
+        runs = [
+            DiagonalRun(0, 0, 4, 30),
+            DiagonalRun(2, 6, 10, 25),
+        ]
+        assert _chain_runs(runs, 100) == 30
+
+    def test_overlapping_runs_not_chained(self):
+        runs = [
+            DiagonalRun(0, 0, 8, 30),
+            DiagonalRun(2, 4, 10, 25),  # overlaps in query coords
+        ]
+        assert _chain_runs(runs, 0) == 30
+
+
+class TestFastaSearch:
+    def test_family_member_top(self, small_input):
+        hits = fasta_search(small_input.query, small_input.database)
+        assert hits
+        assert hits[0].subject.id.startswith("fam")
+
+    def test_opt_bounded_by_full_sw(self, small_input):
+        hits = fasta_search(small_input.query, small_input.database)
+        for hit in hits[:5]:
+            full = smith_waterman_score(
+                small_input.query, hit.subject, BLOSUM62, GAPS
+            )
+            assert hit.opt <= full
+
+    def test_sorted_by_opt(self, small_input):
+        hits = fasta_search(small_input.query, small_input.database)
+        opts = [h.opt for h in hits]
+        assert opts == sorted(opts, reverse=True)
+
+    def test_empty_database_rejected(self, small_input):
+        with pytest.raises(AlignmentError):
+            fasta_search(small_input.query, [])
+
+
+class TestSsearch:
+    def test_scores_match_reference_kernel(self, small_input):
+        hits = ssearch(small_input.query, small_input.database[:5])
+        for hit in hits:
+            assert hit.score == smith_waterman_score(
+                small_input.query, hit.subject, BLOSUM62, GAPS
+            )
+
+    def test_family_member_top(self, small_input):
+        hits = ssearch(small_input.query, small_input.database)
+        assert hits[0].subject.id.startswith("fam")
+
+    def test_sorted_descending(self, small_input):
+        hits = ssearch(small_input.query, small_input.database)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_database_rejected(self, small_input):
+        with pytest.raises(AlignmentError):
+            ssearch(small_input.query, [])
+
+    def test_ssearch_at_least_fasta_opt(self, small_input):
+        """The heuristic can only underestimate the full SW score."""
+        fasta_hits = {
+            h.subject.id: h.opt
+            for h in fasta_search(small_input.query, small_input.database)
+        }
+        for hit in ssearch(small_input.query, small_input.database):
+            if hit.subject.id in fasta_hits:
+                assert fasta_hits[hit.subject.id] <= hit.score
+
+
+class TestHeuristicProperties:
+    """Cross-cutting invariants of the ktup heuristic."""
+
+    def test_init1_never_exceeds_initn(self, small_input):
+        hits = fasta_search(small_input.query, small_input.database)
+        for hit in hits:
+            assert hit.init1 <= hit.initn
+
+    def test_self_search_tops_the_list(self, small_input):
+        database = [small_input.query] + small_input.database
+        hits = fasta_search(small_input.query, database)
+        assert hits[0].subject.id == small_input.query.id
+
+    def test_larger_ktup_finds_fewer_or_equal_runs(self, small_input):
+        subject = small_input.database[0]
+        from repro.bio.scoring import BLOSUM62
+
+        short = _diagonal_runs(small_input.query, subject, 1, BLOSUM62)
+        long = _diagonal_runs(small_input.query, subject, 3, BLOSUM62)
+        assert len(long) <= len(short)

@@ -1,0 +1,158 @@
+"""Tests for ORF finding and Glimmer-style gene prediction."""
+
+import pytest
+
+from repro.bio.genefind import (
+    InterpolatedMarkovModel,
+    find_orfs,
+    glimmer,
+    reverse_complement,
+)
+from repro.bio.sequence import Sequence
+from repro.bio.workloads import make_genome
+from repro.errors import WorkloadError
+
+
+class TestReverseComplement:
+    def test_basic(self):
+        assert reverse_complement(Sequence("s", "ATGC")).residues == "GCAT"
+
+    def test_involution(self):
+        seq = Sequence("s", "ATGCGTAACGT")
+        assert reverse_complement(reverse_complement(seq)).residues == (
+            seq.residues
+        )
+
+    def test_protein_rejected(self):
+        with pytest.raises(WorkloadError):
+            reverse_complement(Sequence("s", "MKVL"))
+
+
+class TestFindOrfs:
+    def test_simple_forward_orf(self):
+        # ATG + 2 codons + TAA embedded in noise (length 15 >= min 15).
+        seq = Sequence("s", "CCCC" + "ATGAAACCCGGGTAA" + "CCCC")
+        orfs = find_orfs(seq, min_length=15)
+        forward = [o for o in orfs if o.strand == 1]
+        assert any(o.codons == "ATGAAACCCGGGTAA" for o in forward)
+
+    def test_reverse_strand_orf(self):
+        gene = "ATGAAACCCGGGTAA"
+        seq = Sequence("s", "CC" + reverse_complement(
+            Sequence("g", gene)).residues + "CC")
+        orfs = find_orfs(seq, min_length=15)
+        assert any(o.strand == -1 and o.codons == gene for o in orfs)
+
+    def test_min_length_filters(self):
+        seq = Sequence("s", "ATGAAATAA")  # 9 bases
+        assert find_orfs(seq, min_length=30) == []
+        assert find_orfs(seq, min_length=9)
+
+    def test_orf_requires_stop(self):
+        seq = Sequence("s", "ATGAAACCCGGG")  # no stop codon
+        assert find_orfs(seq, min_length=6) == []
+
+    def test_coordinates_cover_genes(self):
+        """Every embedded gene is covered by a forward ORF ending at the
+        gene's stop codon (an upstream in-frame ATG in the random
+        spacer may legitimately extend the ORF's start)."""
+        genome = make_genome(n_genes=2, seed=31)
+        orfs = find_orfs(genome.genome, min_length=60)
+        for start, end in genome.gene_spans:
+            assert any(
+                o.strand == 1 and o.end == end and o.start <= start
+                and (start - o.start) % 3 == 0
+                for o in orfs
+            ), (start, end)
+
+    def test_dna_required(self):
+        with pytest.raises(WorkloadError):
+            find_orfs(Sequence("s", "MKVLAT"))
+
+
+class TestImm:
+    def test_probabilities_sum_to_one(self):
+        model = InterpolatedMarkovModel(max_order=2)
+        model.train("ATGCGTAACGTATGCGT" * 5)
+        for context in ("", "A", "GT"):
+            total = sum(
+                model.probability(context, base) for base in "ACGT"
+            )
+            assert total == pytest.approx(1.0, abs=1e-6)
+
+    def test_untrained_model_is_uniform(self):
+        model = InterpolatedMarkovModel(max_order=2)
+        assert model.probability("AC", "G") == pytest.approx(0.25)
+
+    def test_learns_composition(self):
+        model = InterpolatedMarkovModel(max_order=0)
+        model.train("A" * 400 + "C" * 100)
+        assert model.probability("", "A") > model.probability("", "G")
+
+    def test_log_odds_separates_styles(self):
+        coding = InterpolatedMarkovModel(max_order=2)
+        coding.train("GCTGAAAAACTG" * 40)
+        background = InterpolatedMarkovModel(max_order=2)
+        background.train("ATCGTACGGTAC" * 40)
+        assert coding.log_odds("GCTGAAAAACTG", background) > 0
+        assert coding.log_odds("ATCGTACGGTAC", background) < 0
+
+    def test_bad_order_rejected(self):
+        with pytest.raises(WorkloadError):
+            InterpolatedMarkovModel(max_order=-1)
+
+
+class TestGlimmer:
+    @pytest.fixture(scope="class")
+    def genome(self):
+        # Long spacers keep the background model background-like.
+        return make_genome(n_genes=5, gene_codons=50, spacer=300, seed=37)
+
+    @pytest.fixture(scope="class")
+    def predictions(self, genome):
+        return glimmer(
+            genome.genome, genome.genes[:3], min_length=60,
+            threshold=-10.0, max_order=2,
+        )
+
+    @staticmethod
+    def _is_gene(prediction, genome) -> bool:
+        """A prediction matches a gene when it ends at the gene's stop
+        (the start may extend to an upstream in-frame start codon)."""
+        return any(
+            prediction.orf.strand == 1
+            and prediction.orf.end == end
+            and prediction.orf.start <= start
+            for start, end in genome.gene_spans
+        )
+
+    def test_finds_real_genes(self, genome, predictions):
+        found_ends = {
+            p.orf.end for p in predictions
+            if p.orf.strand == 1 and p.score > 0
+        }
+        hits = sum(
+            1 for _start, end in genome.gene_spans if end in found_ends
+        )
+        assert hits >= 4  # including genes not in the training set
+
+    def test_scores_sorted(self, predictions):
+        scores = [p.score for p in predictions]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_real_genes_lead_the_ranking(self, genome, predictions):
+        """The top predictions are overwhelmingly the embedded genes."""
+        top = predictions[:5]
+        genuine = sum(1 for p in top if self._is_gene(p, genome))
+        assert genuine >= 4
+
+    def test_one_prediction_per_stop(self, predictions):
+        keys = [
+            (p.orf.strand, p.orf.end if p.orf.strand > 0 else p.orf.start)
+            for p in predictions
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_requires_training_genes(self, genome):
+        with pytest.raises(WorkloadError):
+            glimmer(genome.genome, [])

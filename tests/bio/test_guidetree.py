@@ -1,0 +1,116 @@
+"""Tests for guide-tree construction."""
+
+import numpy as np
+import pytest
+
+from repro.bio.guidetree import TreeNode, neighbour_joining, upgma
+from repro.errors import AlignmentError
+
+# Three close sequences (0,1,2) and one outlier (3).
+DIST = np.array(
+    [
+        [0.0, 0.1, 0.2, 0.9],
+        [0.1, 0.0, 0.15, 0.85],
+        [0.2, 0.15, 0.0, 0.8],
+        [0.9, 0.85, 0.8, 0.0],
+    ]
+)
+
+
+class TestTreeNode:
+    def test_leaf_properties(self):
+        leaf = TreeNode(index=3)
+        assert leaf.is_leaf
+        assert leaf.leaves == (3,)
+        assert leaf.newick() == "3"
+
+    def test_postorder_children_first(self):
+        left, right = TreeNode(index=0), TreeNode(index=1)
+        root = TreeNode(left=left, right=right, leaves=(0, 1), size=2)
+        order = list(root.postorder())
+        assert order == [left, right, root]
+
+
+class TestUpgma:
+    def test_all_leaves_present(self):
+        tree = upgma(DIST)
+        assert sorted(tree.leaves) == [0, 1, 2, 3]
+
+    def test_closest_pair_merged_first(self):
+        tree = upgma(DIST)
+        # 0 and 1 (distance 0.1) must share the deepest internal node.
+        internal = [n for n in tree.postorder() if not n.is_leaf]
+        first = min(internal, key=lambda n: n.height)
+        assert sorted(first.leaves) == [0, 1]
+
+    def test_outlier_joined_last(self):
+        tree = upgma(DIST)
+        assert 3 in tree.leaves
+        # Root must split the outlier from the rest.
+        sides = {tuple(sorted(tree.left.leaves)), tuple(sorted(tree.right.leaves))}
+        assert (3,) in sides
+
+    def test_heights_monotone(self):
+        tree = upgma(DIST)
+
+        def check(node):
+            if node.is_leaf:
+                return
+            assert node.height >= node.left.height
+            assert node.height >= node.right.height
+            check(node.left)
+            check(node.right)
+
+        check(tree)
+
+    def test_two_sequences(self):
+        tree = upgma(np.array([[0.0, 0.4], [0.4, 0.0]]))
+        assert sorted(tree.leaves) == [0, 1]
+        assert tree.height == pytest.approx(0.2)
+
+    def test_asymmetric_rejected(self):
+        bad = DIST.copy()
+        bad[0, 1] = 0.5
+        with pytest.raises(AlignmentError):
+            upgma(bad)
+
+    def test_single_sequence_rejected(self):
+        with pytest.raises(AlignmentError):
+            upgma(np.zeros((1, 1)))
+
+    def test_non_square_rejected(self):
+        with pytest.raises(AlignmentError):
+            upgma(np.zeros((2, 3)))
+
+
+class TestNeighbourJoining:
+    def test_all_leaves_present(self):
+        tree = neighbour_joining(DIST)
+        assert sorted(tree.leaves) == [0, 1, 2, 3]
+
+    def test_two_sequences(self):
+        tree = neighbour_joining(np.array([[0.0, 0.6], [0.6, 0.0]]))
+        assert sorted(tree.leaves) == [0, 1]
+
+    def test_additive_tree_recovered(self):
+        # Perfectly additive 4-leaf tree: ((0,1),(2,3)) with known branch
+        # lengths; NJ must pair {0,1} and {2,3}.
+        additive = np.array(
+            [
+                [0.0, 0.3, 1.1, 1.2],
+                [0.3, 0.0, 1.0, 1.1],
+                [1.1, 1.0, 0.0, 0.3],
+                [1.2, 1.1, 0.3, 0.0],
+            ]
+        )
+        tree = neighbour_joining(additive)
+        groups = {
+            tuple(sorted(node.leaves))
+            for node in tree.postorder()
+            if not node.is_leaf
+        }
+        assert (0, 1) in groups or (2, 3) in groups
+
+    def test_newick_well_formed(self):
+        text = neighbour_joining(DIST).newick()
+        assert text.count("(") == text.count(")") == 3

@@ -1,0 +1,197 @@
+"""Tests for profile HMMs (build, Viterbi, Forward)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.hmm import (
+    NEG_INF_SCORE,
+    SCALE,
+    build_hmm,
+    forward_score,
+    log_odds,
+    log_prob,
+    viterbi_score,
+)
+from repro.bio.hmmer import hmmpfam, hmmsearch
+from repro.bio.msa import clustalw
+from repro.bio.sequence import Sequence
+from repro.bio.workloads import make_family, random_sequence
+from repro.errors import HmmError
+
+ALIGNED = [
+    "MKV-LAT",
+    "MKVA-AT",
+    "MRV-LAT",
+    "MKV-LGT",
+]
+
+
+@pytest.fixture(scope="module")
+def model():
+    return build_hmm("toy", ALIGNED, PROTEIN)
+
+
+class TestScoreHelpers:
+    def test_log_odds_zero_probability(self):
+        assert log_odds(0.0, 0.05) == NEG_INF_SCORE
+
+    def test_log_odds_matches_math(self):
+        assert log_odds(0.5, 0.05) == round(SCALE * math.log(10.0))
+
+    def test_log_prob_one_is_zero(self):
+        assert log_prob(1.0) == 0
+
+
+class TestBuild:
+    def test_length_counts_match_columns(self, model):
+        # Columns 3 and 4 have 75% occupancy each, >= the 0.5 default.
+        assert model.length == 7 or model.length == 6
+
+    def test_emission_shapes(self, model):
+        assert model.match_scores.shape == (model.length, len(PROTEIN))
+
+    def test_conserved_column_scores_high(self, model):
+        m_code = PROTEIN.code("M")
+        w_code = PROTEIN.code("W")
+        assert model.match_scores[0, m_code] > model.match_scores[0, w_code]
+
+    def test_empty_alignment_rejected(self):
+        with pytest.raises(HmmError):
+            build_hmm("bad", [], PROTEIN)
+
+    def test_ragged_alignment_rejected(self):
+        with pytest.raises(HmmError):
+            build_hmm("bad", ["MKV", "MK"], PROTEIN)
+
+    def test_all_gap_alignment_rejected(self):
+        with pytest.raises(HmmError):
+            build_hmm("bad", ["---", "---"], PROTEIN)
+
+
+class TestViterbi:
+    def test_consensus_scores_positive(self, model):
+        assert viterbi_score(model, Sequence("c", "MKVLAT")) > 0
+
+    def test_family_member_beats_random(self, model):
+        member = viterbi_score(model, Sequence("m", "MKVALAT"))
+        noise = viterbi_score(model, random_sequence("r", 7, PROTEIN, seed=1))
+        assert member > noise
+
+    def test_alphabet_mismatch_rejected(self, model):
+        with pytest.raises(HmmError):
+            viterbi_score(model, Sequence("d", "ACGT"))
+
+    def test_empty_sequence_rejected(self, model):
+        with pytest.raises(HmmError):
+            viterbi_score(model, Sequence("e", "M", PROTEIN)[:0])
+
+    def test_deterministic(self, model):
+        seq = Sequence("m", "MKVLAT")
+        assert viterbi_score(model, seq) == viterbi_score(model, seq)
+
+
+class TestForward:
+    def test_forward_at_least_viterbi(self, model):
+        """Forward sums over paths, so it dominates the best path."""
+        seq = Sequence("m", "MKVLAT")
+        vit_nats = viterbi_score(model, seq) / SCALE
+        assert forward_score(model, seq) >= vit_nats - 1e-6
+
+    def test_family_member_beats_random(self, model):
+        member = forward_score(model, Sequence("m", "MKVLAT"))
+        noise = forward_score(model, random_sequence("r", 6, PROTEIN, seed=2))
+        assert member > noise
+
+
+class TestHmmerScans:
+    @pytest.fixture(scope="class")
+    def models(self):
+        built = []
+        for i in range(3):
+            family = make_family(f"f{i}", 6, 40, 0.2, seed=100 + i)
+            msa = clustalw(family)
+            built.append(build_hmm(f"f{i}", list(msa.rows), PROTEIN))
+        return built
+
+    def test_hmmpfam_ranks_true_family_first(self, models):
+        family = make_family("f0", 6, 40, 0.2, seed=100)
+        hits = hmmpfam(family[0], models)
+        assert hits[0].model_name == "f0"
+
+    def test_hmmpfam_sorted(self, models):
+        query = random_sequence("q", 40, PROTEIN, seed=9)
+        hits = hmmpfam(query, models)
+        scores = [h.score for h in hits]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_hmmpfam_empty_db_rejected(self):
+        with pytest.raises(HmmError):
+            hmmpfam(random_sequence("q", 10), [])
+
+    def test_hmmsearch_finds_family_members(self, models):
+        family = make_family("f1", 6, 40, 0.2, seed=101)
+        noise = [random_sequence(f"n{i}", 40, PROTEIN, seed=i) for i in range(6)]
+        hits = hmmsearch(models[1], family + noise)
+        top_ids = {hit.sequence_id for hit in hits[:6]}
+        assert sum(1 for i in top_ids if i.startswith("f1")) >= 4
+
+    def test_min_score_filters(self, models):
+        query = random_sequence("q", 40, PROTEIN, seed=9)
+        all_hits = hmmpfam(query, models)
+        filtered = hmmpfam(query, models, min_score=all_hits[0].score)
+        assert len(filtered) <= len(all_hits)
+        assert all(h.score >= all_hits[0].score for h in filtered)
+
+
+class TestViterbiTraceback:
+    def test_score_matches_viterbi(self, model):
+        from repro.bio.hmm import path_score, viterbi_align
+
+        for text in ("MKVLAT", "MKVALAT", "WWWWWW"):
+            seq = Sequence("q", text)
+            alignment = viterbi_align(model, seq)
+            assert alignment.score == viterbi_score(model, seq)
+            assert path_score(model, seq, alignment.path) == alignment.score
+
+    def test_path_starts_and_ends_in_match(self, model):
+        from repro.bio.hmm import viterbi_align
+
+        alignment = viterbi_align(model, Sequence("q", "MKVLAT"))
+        assert alignment.path[0][0] == "M"
+        assert alignment.path[-1][0] == "M"
+
+    def test_consensus_aligns_all_positions(self, model):
+        from repro.bio.hmm import viterbi_align
+
+        alignment = viterbi_align(model, Sequence("q", "MKVLAT"))
+        assert alignment.matched_positions >= model.length - 1
+
+    def test_model_positions_monotone(self, model):
+        from repro.bio.hmm import viterbi_align
+
+        alignment = viterbi_align(model, Sequence("q", "MKVALAT"))
+        positions = [k for state, k, _ in alignment.path if state != "I"]
+        assert positions == sorted(positions)
+
+    def test_residues_consumed_in_order(self, model):
+        from repro.bio.hmm import viterbi_align
+
+        alignment = viterbi_align(model, Sequence("q", "MKVALAT"))
+        consumed = [i for _s, _k, i in alignment.path if i is not None]
+        assert consumed == sorted(consumed)
+        assert len(consumed) == len(set(consumed))
+
+    def test_family_traceback_randomised(self):
+        from repro.bio.hmm import path_score, viterbi_align
+
+        family = make_family("tb", 5, 28, 0.25, seed=77)
+        msa = clustalw(family)
+        model = build_hmm("tb", list(msa.rows), PROTEIN)
+        for member in family:
+            alignment = viterbi_align(model, member)
+            assert path_score(model, member, alignment.path) == (
+                alignment.score
+            )

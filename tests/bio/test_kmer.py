@@ -1,0 +1,103 @@
+"""Tests for repro.bio.kmer."""
+
+import pytest
+
+from repro.bio.kmer import (
+    KmerIndex,
+    kmer_profile,
+    neighbourhood,
+    shared_kmer_count,
+)
+from repro.bio.scoring import BLOSUM62
+from repro.bio.sequence import Sequence
+from repro.errors import AlignmentError
+
+
+def seqs(*texts):
+    return [Sequence(f"s{i}", t) for i, t in enumerate(texts)]
+
+
+class TestKmerIndex:
+    def test_lookup_finds_occurrences(self):
+        index = KmerIndex(seqs("MKVLMKV", "AAMKVAA"), k=3)
+        hits = index.lookup("MKV")
+        assert (0, 0) in hits
+        assert (0, 4) in hits
+        assert (1, 2) in hits
+
+    def test_missing_word(self):
+        index = KmerIndex(seqs("MKVL"), k=3)
+        assert index.lookup("WWW") == []
+
+    def test_wrong_length_word_rejected(self):
+        index = KmerIndex(seqs("MKVL"), k=3)
+        with pytest.raises(AlignmentError):
+            index.lookup("MK")
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(AlignmentError):
+            KmerIndex(seqs("MKVL"), k=0)
+
+    def test_contains_and_len(self):
+        index = KmerIndex(seqs("MKVL"), k=2)
+        assert "MK" in index
+        assert len(index) == 3  # MK, KV, VL
+
+
+class TestNeighbourhood:
+    def test_contains_word_itself_at_self_score(self):
+        word = "WGH"
+        self_score = sum(BLOSUM62.score_symbols(c, c) for c in word)
+        words = neighbourhood(word, BLOSUM62, self_score)
+        assert words == [word]
+
+    def test_low_threshold_adds_neighbours(self):
+        words = neighbourhood("WGH", BLOSUM62, 11)
+        assert "WGH" in words
+        assert len(words) > 1
+        # Every neighbour must actually meet the threshold.
+        for candidate in words:
+            score = sum(
+                BLOSUM62.score_symbols(a, b)
+                for a, b in zip("WGH", candidate)
+            )
+            assert score >= 11
+
+    def test_threshold_monotone(self):
+        loose = set(neighbourhood("MKV", BLOSUM62, 8))
+        tight = set(neighbourhood("MKV", BLOSUM62, 12))
+        assert tight <= loose
+
+    def test_empty_word_rejected(self):
+        with pytest.raises(AlignmentError):
+            neighbourhood("", BLOSUM62, 1)
+
+    def test_excludes_wildcard_and_stop(self):
+        words = neighbourhood("A", BLOSUM62, -10)
+        assert all("X" not in w and "*" not in w for w in words)
+
+
+class TestSharedKmerCount:
+    def test_identical_sequences(self):
+        a = Sequence("a", "MKVLAT")
+        assert shared_kmer_count(a, a, 2) == 5
+
+    def test_disjoint_sequences(self):
+        a, b = Sequence("a", "MMMM"), Sequence("b", "WWWW")
+        assert shared_kmer_count(a, b, 2) == 0
+
+    def test_counts_capped_by_occurrences(self):
+        a = Sequence("a", "MKMK")  # MK occurs twice
+        b = Sequence("b", "MKAA")  # MK occurs once
+        assert shared_kmer_count(a, b, 2) == 1
+
+
+class TestKmerProfile:
+    def test_shape_and_counts(self):
+        profile = kmer_profile(seqs("MKMK", "MKAA"), 2)
+        assert profile.shape[0] == 2
+        assert profile.sum() == 6  # 3 words per sequence
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(AlignmentError):
+            kmer_profile([], 2)

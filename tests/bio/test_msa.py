@@ -1,0 +1,225 @@
+"""Tests for Clustalw-style progressive alignment."""
+
+import numpy as np
+import pytest
+
+from repro.bio.msa import (
+    clustalw,
+    pairwise_distance_matrix,
+    sequence_weights,
+)
+from repro.bio.guidetree import upgma
+from repro.bio.sequence import Sequence
+from repro.bio.workloads import make_family
+from repro.errors import AlignmentError
+
+
+@pytest.fixture(scope="module")
+def family():
+    return make_family("seq", 5, 60, 0.25, seed=42)
+
+
+class TestDistanceMatrix:
+    def test_full_method_properties(self, family):
+        distances = pairwise_distance_matrix(family, method="full")
+        assert distances.shape == (5, 5)
+        assert np.allclose(np.diag(distances), 0.0)
+        assert np.allclose(distances, distances.T)
+        assert (distances >= 0).all() and (distances <= 1).all()
+
+    def test_identical_sequences_zero_distance(self):
+        seq = Sequence("a", "MKVLATWGHE")
+        twin = Sequence("b", "MKVLATWGHE")
+        distances = pairwise_distance_matrix([seq, twin])
+        assert distances[0, 1] == pytest.approx(0.0)
+
+    def test_ktuple_method(self, family):
+        distances = pairwise_distance_matrix(family, method="ktuple")
+        assert (distances >= 0).all() and (distances <= 1).all()
+
+    def test_unknown_method_rejected(self, family):
+        with pytest.raises(AlignmentError):
+            pairwise_distance_matrix(family, method="bogus")
+
+    def test_single_sequence_rejected(self, family):
+        with pytest.raises(AlignmentError):
+            pairwise_distance_matrix(family[:1])
+
+
+class TestSequenceWeights:
+    def test_mean_is_one(self, family):
+        distances = pairwise_distance_matrix(family, method="ktuple")
+        tree = upgma(distances)
+        weights = sequence_weights(tree, len(family))
+        assert weights.mean() == pytest.approx(1.0)
+
+    def test_degenerate_tree_gives_equal_weights(self):
+        identical = [Sequence(f"s{i}", "MKVLAT") for i in range(3)]
+        distances = pairwise_distance_matrix(identical)
+        tree = upgma(distances)
+        weights = sequence_weights(tree, 3)
+        assert np.allclose(weights, 1.0)
+
+
+class TestClustalw:
+    def test_rows_equal_length(self, family):
+        msa = clustalw(family)
+        widths = {len(row) for row in msa.rows}
+        assert len(widths) == 1
+
+    def test_degapping_recovers_inputs(self, family):
+        msa = clustalw(family)
+        for seq, row in zip(msa.sequences, msa.rows):
+            assert row.replace("-", "") == seq.residues
+
+    def test_width_at_least_longest_input(self, family):
+        msa = clustalw(family)
+        assert msa.width >= max(len(s) for s in family)
+
+    def test_identical_sequences_align_without_gaps(self):
+        identical = [Sequence(f"s{i}", "MKVLATWGHE") for i in range(3)]
+        msa = clustalw(identical)
+        assert all("-" not in row for row in msa.rows)
+
+    def test_related_family_mostly_aligned(self):
+        """A lightly-mutated family should produce many conserved columns."""
+        msa = clustalw(make_family("seq", 5, 60, 0.10, seed=42))
+        conserved = sum(
+            1
+            for col in range(msa.width)
+            if len(set(msa.column(col))) == 1 and "-" not in msa.column(col)
+        )
+        assert conserved > msa.width * 0.2
+
+    def test_nj_tree_method(self, family):
+        msa = clustalw(family, tree_method="nj")
+        for seq, row in zip(msa.sequences, msa.rows):
+            assert row.replace("-", "") == seq.residues
+
+    def test_unknown_tree_method_rejected(self, family):
+        with pytest.raises(AlignmentError):
+            clustalw(family, tree_method="bogus")
+
+    def test_column_accessor(self, family):
+        msa = clustalw(family)
+        col = msa.column(0)
+        assert len(col) == len(family)
+
+    def test_pretty_contains_ids(self, family):
+        text = clustalw(family).pretty()
+        for seq in family:
+            assert seq.id in text
+
+    def test_two_sequences(self):
+        pair = [Sequence("a", "MKVLAT"), Sequence("b", "MKVAT")]
+        msa = clustalw(pair)
+        assert msa.rows[0].replace("-", "") == "MKVLAT"
+        assert msa.rows[1].replace("-", "") == "MKVAT"
+
+
+class TestSumOfPairs:
+    def test_identical_rows_score_positive(self):
+        from repro.bio.msa import sum_of_pairs_score
+        from repro.bio.scoring import BLOSUM62
+
+        score = sum_of_pairs_score(["MKV", "MKV", "MKV"], BLOSUM62)
+        per_pair = sum(BLOSUM62.score_symbols(c, c) for c in "MKV")
+        assert score == 3 * per_pair  # three pairs
+
+    def test_gap_penalty_applied(self):
+        from repro.bio.msa import sum_of_pairs_score
+        from repro.bio.scoring import BLOSUM62
+
+        gapped = sum_of_pairs_score(["MKV", "M-V"], BLOSUM62, gap_penalty=4)
+        expected = (
+            BLOSUM62.score_symbols("M", "M")
+            + BLOSUM62.score_symbols("V", "V")
+            - 4
+        )
+        assert gapped == expected
+
+    def test_gap_gap_columns_free(self):
+        from repro.bio.msa import sum_of_pairs_score
+        from repro.bio.scoring import BLOSUM62
+
+        assert sum_of_pairs_score(["M-V", "M-V"], BLOSUM62) == (
+            sum_of_pairs_score(["MV", "MV"], BLOSUM62)
+        )
+
+    def test_ragged_rows_rejected(self):
+        from repro.bio.msa import sum_of_pairs_score
+        from repro.bio.scoring import BLOSUM62
+
+        with pytest.raises(AlignmentError):
+            sum_of_pairs_score(["MKV", "MK"], BLOSUM62)
+
+
+class TestIterativeRefinement:
+    def test_never_worse(self, family):
+        from repro.bio.msa import iterative_refine, sum_of_pairs_score
+        from repro.bio.scoring import BLOSUM62
+
+        msa = clustalw(family)
+        refined = iterative_refine(msa, rounds=2)
+        before = sum_of_pairs_score(list(msa.rows), BLOSUM62)
+        after = sum_of_pairs_score(list(refined.rows), BLOSUM62)
+        assert after >= before
+
+    def test_sequences_preserved(self, family):
+        from repro.bio.msa import iterative_refine
+
+        refined = iterative_refine(clustalw(family), rounds=1)
+        for seq, row in zip(refined.sequences, refined.rows):
+            assert row.replace("-", "") == seq.residues
+
+    def test_rows_stay_rectangular(self, family):
+        from repro.bio.msa import iterative_refine
+
+        refined = iterative_refine(clustalw(family), rounds=1)
+        assert len({len(row) for row in refined.rows}) == 1
+
+    def test_zero_rounds_is_identity(self, family):
+        from repro.bio.msa import iterative_refine
+
+        msa = clustalw(family)
+        refined = iterative_refine(msa, rounds=0)
+        assert refined.rows == msa.rows
+
+
+class TestAlignmentIo:
+    def test_roundtrip(self, family, tmp_path):
+        from repro.bio.msa import read_alignment, write_alignment
+
+        msa = clustalw(family)
+        path = tmp_path / "aligned.fasta"
+        write_alignment(path, msa)
+        ids, rows = read_alignment(path)
+        assert ids == [seq.id for seq in family]
+        assert rows == list(msa.rows)
+
+    def test_feeds_hmm_build(self, family, tmp_path):
+        from repro.bio.alphabet import PROTEIN
+        from repro.bio.hmm import build_hmm
+        from repro.bio.msa import read_alignment, write_alignment
+
+        path = tmp_path / "aligned.fasta"
+        write_alignment(path, clustalw(family))
+        _ids, rows = read_alignment(path)
+        model = build_hmm("io", rows, PROTEIN)
+        assert model.length > 0
+
+    def test_unequal_rows_rejected(self, tmp_path):
+        from repro.bio.msa import read_alignment
+
+        path = tmp_path / "ragged.fasta"
+        path.write_text(">a\nMK-V\n>b\nMKV\n")
+        with pytest.raises(AlignmentError):
+            read_alignment(path)
+
+    def test_empty_file_rejected(self, tmp_path):
+        from repro.bio.msa import read_alignment
+
+        path = tmp_path / "empty.fasta"
+        path.write_text("\n")
+        with pytest.raises(AlignmentError):
+            read_alignment(path)

@@ -1,0 +1,172 @@
+"""Tests for repro.bio.pairwise (the hot DP kernels' references)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.pairwise import (
+    Alignment,
+    needleman_wunsch,
+    needleman_wunsch_score,
+    smith_waterman,
+    smith_waterman_score,
+)
+from repro.bio.scoring import BLOSUM62, GapPenalties, dna_matrix
+from repro.bio.sequence import Sequence
+from repro.errors import AlignmentError
+
+GAPS = GapPenalties(10, 2)
+
+protein_text = st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=40)
+
+
+def seq(text: str) -> Sequence:
+    return Sequence("s", text, PROTEIN)
+
+
+class TestAlignmentDataclass:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(AlignmentError):
+            Alignment(0, "AB-", "AB")
+
+    def test_identity(self):
+        a = Alignment(0, "ACG-", "AC-T")
+        assert a.identities == 2
+        assert a.identity == 0.5
+
+    def test_ends(self):
+        a = Alignment(0, "AC-G", "ACTG", start_a=3, start_b=1)
+        assert a.end_a == 6
+        assert a.end_b == 5
+
+    def test_pretty_marks_identities(self):
+        text = Alignment(0, "AC", "AG").pretty()
+        lines = text.splitlines()
+        assert lines[1] == "| "
+
+
+class TestSmithWaterman:
+    def test_identical_sequences_score_is_self_score(self):
+        s = seq("MKVLAT")
+        expected = sum(
+            BLOSUM62.score_symbols(x, x) for x in s.residues
+        )
+        assert smith_waterman_score(s, s, BLOSUM62, GAPS) == expected
+
+    def test_score_matches_traceback_score(self):
+        a, b = seq("HEAGAWGHEE"), seq("PAWHEAE")
+        assert (
+            smith_waterman(a, b, BLOSUM62, GAPS).score
+            == smith_waterman_score(a, b, BLOSUM62, GAPS)
+        )
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(AlignmentError):
+            smith_waterman_score(seq("A"), Sequence("e", "A", PROTEIN)[:0],
+                                 BLOSUM62, GAPS)
+
+    def test_alphabet_mismatch_rejected(self):
+        dna = Sequence("d", "ACGT")
+        with pytest.raises(AlignmentError):
+            smith_waterman_score(dna, dna, BLOSUM62, GAPS)
+
+    def test_known_alignment(self):
+        # A local alignment of a shared motif should recover the motif.
+        a = seq("AAAWGHEAAA")
+        b = seq("CCCWGHECCC")
+        result = smith_waterman(a, b, BLOSUM62, GAPS)
+        assert result.aligned_a == "WGHE"
+        assert result.aligned_b == "WGHE"
+        assert result.start_a == 3
+        assert result.start_b == 3
+
+    def test_gap_in_traceback(self):
+        a = seq("MKWWWWVL")
+        b = seq("MKWWWWAVL")  # one insertion
+        result = smith_waterman(a, b, BLOSUM62, GapPenalties(4, 1))
+        assert "-" in result.aligned_a
+        assert result.aligned_b.replace("-", "") in b.residues
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=40, deadline=None)
+    def test_score_non_negative(self, ta, tb):
+        assert smith_waterman_score(seq(ta), seq(tb), BLOSUM62, GAPS) >= 0
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, ta, tb):
+        assert smith_waterman_score(
+            seq(ta), seq(tb), BLOSUM62, GAPS
+        ) == smith_waterman_score(seq(tb), seq(ta), BLOSUM62, GAPS)
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=40, deadline=None)
+    def test_local_at_least_global(self, ta, tb):
+        local = smith_waterman_score(seq(ta), seq(tb), BLOSUM62, GAPS)
+        global_ = needleman_wunsch_score(seq(ta), seq(tb), BLOSUM62, GAPS)
+        assert local >= global_
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=25, deadline=None)
+    def test_traceback_consistent_with_score(self, ta, tb):
+        result = smith_waterman(seq(ta), seq(tb), BLOSUM62, GAPS)
+        assert result.score == smith_waterman_score(
+            seq(ta), seq(tb), BLOSUM62, GAPS
+        )
+        # Degapped aligned strings must be substrings at the right offsets.
+        sub_a = result.aligned_a.replace("-", "")
+        sub_b = result.aligned_b.replace("-", "")
+        assert ta[result.start_a : result.start_a + len(sub_a)] == sub_a
+        assert tb[result.start_b : result.start_b + len(sub_b)] == sub_b
+
+
+class TestNeedlemanWunsch:
+    def test_identical_sequences(self):
+        s = seq("MKVLAT")
+        expected = sum(BLOSUM62.score_symbols(x, x) for x in s.residues)
+        assert needleman_wunsch_score(s, s, BLOSUM62, GAPS) == expected
+
+    def test_score_matches_traceback(self):
+        a, b = seq("HEAGAWGHEE"), seq("PAWHEAE")
+        assert (
+            needleman_wunsch(a, b, BLOSUM62, GAPS).score
+            == needleman_wunsch_score(a, b, BLOSUM62, GAPS)
+        )
+
+    def test_all_gap_alignment(self):
+        # Aligning against a single residue forces m-1 gaps.
+        a, b = seq("MKVLAT"), seq("M")
+        result = needleman_wunsch(a, b, BLOSUM62, GAPS)
+        assert result.aligned_a == "MKVLAT"
+        assert result.aligned_b.count("-") == 5
+
+    def test_traceback_covers_both_sequences(self):
+        a, b = seq("MKVAWT"), seq("MKWT")
+        result = needleman_wunsch(a, b, BLOSUM62, GAPS)
+        assert result.aligned_a.replace("-", "") == a.residues
+        assert result.aligned_b.replace("-", "") == b.residues
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=40, deadline=None)
+    def test_symmetry(self, ta, tb):
+        assert needleman_wunsch_score(
+            seq(ta), seq(tb), BLOSUM62, GAPS
+        ) == needleman_wunsch_score(seq(tb), seq(ta), BLOSUM62, GAPS)
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=25, deadline=None)
+    def test_traceback_score_matches(self, ta, tb):
+        result = needleman_wunsch(seq(ta), seq(tb), BLOSUM62, GAPS)
+        assert result.score == needleman_wunsch_score(
+            seq(ta), seq(tb), BLOSUM62, GAPS
+        )
+        assert result.aligned_a.replace("-", "") == ta
+        assert result.aligned_b.replace("-", "") == tb
+
+    def test_dna_alignment(self):
+        m = dna_matrix()
+        a, b = Sequence("a", "ACGTACGT"), Sequence("b", "ACGTCGT")
+        result = needleman_wunsch(a, b, m, GapPenalties(4, 1))
+        assert result.aligned_a.replace("-", "") == a.residues
+        assert result.aligned_b.replace("-", "") == b.residues

@@ -1,0 +1,121 @@
+"""Tests for Fitch parsimony and the Phylip-style pipeline."""
+
+import pytest
+
+from repro.bio.alphabet import DNA, PROTEIN
+from repro.bio.guidetree import TreeNode
+from repro.bio.phylo import (
+    ParsimonyResult,
+    fitch_score,
+    fitch_site_score,
+    nni_neighbours,
+    parsimony_search,
+    phylip,
+    _site_masks,
+)
+from repro.bio.workloads import make_family
+from repro.errors import AlignmentError
+
+
+def leaf(index):
+    return TreeNode(index=index)
+
+
+def join(a, b):
+    return TreeNode(left=a, right=b, leaves=a.leaves + b.leaves,
+                    size=a.size + b.size)
+
+
+@pytest.fixture
+def quartet():
+    """((0,1),(2,3))"""
+    return join(join(leaf(0), leaf(1)), join(leaf(2), leaf(3)))
+
+
+class TestFitchSite:
+    def test_identical_column_costs_zero(self, quartet):
+        masks = _site_masks("AAAA", DNA.symbols)
+        assert fitch_site_score(quartet, masks) == 0
+
+    def test_single_mutation(self, quartet):
+        masks = _site_masks("AAAC", DNA.symbols)
+        assert fitch_site_score(quartet, masks) == 1
+
+    def test_grouped_column_costs_one(self, quartet):
+        # 0,1 = A and 2,3 = C: one change on the internal edge.
+        masks = _site_masks("AACC", DNA.symbols)
+        assert fitch_site_score(quartet, masks) == 1
+
+    def test_alternating_column_costs_two(self, quartet):
+        masks = _site_masks("ACAC", DNA.symbols)
+        assert fitch_site_score(quartet, masks) == 2
+
+    def test_gap_is_free_ambiguity(self, quartet):
+        masks = _site_masks("AA-A", DNA.symbols)
+        assert fitch_site_score(quartet, masks) == 0
+
+    def test_tree_shape_matters(self):
+        # AACC on ((0,2),(1,3)) forces two changes.
+        tree = join(join(leaf(0), leaf(2)), join(leaf(1), leaf(3)))
+        masks = _site_masks("AACC", DNA.symbols)
+        assert fitch_site_score(tree, masks) == 2
+
+
+class TestFitchScore:
+    def test_sums_over_sites(self, quartet):
+        rows = ["AA", "AA", "CC", "CA"]
+        # Site 0: AACC -> 1; site 1: AACA -> 1.
+        assert fitch_score(quartet, rows, DNA.symbols) == 2
+
+    def test_validation(self, quartet):
+        with pytest.raises(AlignmentError):
+            fitch_score(quartet, [], DNA.symbols)
+        with pytest.raises(AlignmentError):
+            fitch_score(quartet, ["AA", "A", "AA", "AA"], DNA.symbols)
+        with pytest.raises(AlignmentError):
+            fitch_score(quartet, ["AA", "AA"], DNA.symbols)
+
+
+class TestNni:
+    def test_neighbours_preserve_leaves(self, quartet):
+        for neighbour in nni_neighbours(quartet):
+            assert sorted(neighbour.leaves) == [0, 1, 2, 3]
+
+    def test_neighbours_exist(self, quartet):
+        assert len(nni_neighbours(quartet)) >= 2
+
+    def test_search_finds_better_tree(self):
+        # Data supports ((0,1),(2,3)); start from the wrong topology.
+        rows = ["AAAA", "AAAT", "CCCC", "CCCG"]
+        bad = join(join(leaf(0), leaf(2)), join(leaf(1), leaf(3)))
+        bad_score = fitch_score(bad, rows, DNA.symbols)
+        result = parsimony_search(rows, DNA.symbols, bad)
+        assert result.score < bad_score
+        assert result.evaluated > 1
+        # The best grouping puts 0 with 1.
+        groups = {
+            tuple(sorted(node.leaves))
+            for node in result.tree.postorder()
+            if not node.is_leaf
+        }
+        assert (0, 1) in groups or (2, 3) in groups
+
+
+class TestPhylipPipeline:
+    def test_related_family(self):
+        family = make_family("p", 5, 40, 0.15, seed=91)
+        result = phylip(family, max_rounds=3)
+        assert isinstance(result, ParsimonyResult)
+        assert sorted(result.tree.leaves) == list(range(5))
+        assert result.score > 0
+
+    def test_protein_sequences_supported(self):
+        family = make_family("p", 4, 30, 0.2, seed=92)
+        assert family[0].alphabet is PROTEIN
+        result = phylip(family, max_rounds=2)
+        assert result.score >= 0
+
+    def test_too_few_sequences_rejected(self):
+        family = make_family("p", 2, 30, 0.2, seed=93)
+        with pytest.raises(AlignmentError):
+            phylip(family)

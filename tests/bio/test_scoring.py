@@ -1,0 +1,95 @@
+"""Tests for repro.bio.scoring."""
+
+import numpy as np
+import pytest
+
+from repro.bio.alphabet import DNA, PROTEIN
+from repro.bio.scoring import (
+    BLOSUM62,
+    PAM250,
+    GapPenalties,
+    SubstitutionMatrix,
+    default_matrix,
+    dna_matrix,
+)
+from repro.errors import ScoringError
+
+
+class TestGapPenalties:
+    def test_cost_formula(self):
+        gaps = GapPenalties(10, 2)
+        assert gaps.cost(0) == 0
+        assert gaps.cost(1) == 12
+        assert gaps.cost(5) == 20
+
+    def test_negative_penalties_rejected(self):
+        with pytest.raises(ScoringError):
+            GapPenalties(-1, 2)
+        with pytest.raises(ScoringError):
+            GapPenalties(1, -2)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ScoringError):
+            GapPenalties().cost(-1)
+
+
+class TestBlosum62:
+    def test_known_values(self):
+        # Spot values from the canonical NCBI BLOSUM62 table.
+        assert BLOSUM62.score_symbols("W", "W") == 11
+        assert BLOSUM62.score_symbols("A", "A") == 4
+        assert BLOSUM62.score_symbols("E", "D") == 2
+        assert BLOSUM62.score_symbols("W", "A") == -3
+        assert BLOSUM62.score_symbols("I", "V") == 3
+
+    def test_symmetric(self):
+        assert BLOSUM62.is_symmetric()
+
+    def test_diagonal_positive(self):
+        for symbol in "ACDEFGHIKLMNPQRSTVWY":
+            assert BLOSUM62.score_symbols(symbol, symbol) > 0
+
+    def test_wildcard_scores_negative(self):
+        assert BLOSUM62.score_symbols("X", "A") == -1
+        assert BLOSUM62.score_symbols("*", "A") == -8
+
+    def test_max_score_is_tryptophan(self):
+        assert BLOSUM62.max_score == 11
+
+
+class TestPam250:
+    def test_known_values(self):
+        assert PAM250.score_symbols("W", "W") == 17
+        assert PAM250.score_symbols("C", "C") == 12
+        assert PAM250.score_symbols("F", "Y") == 7
+
+    def test_symmetric(self):
+        assert PAM250.is_symmetric()
+
+
+class TestDnaMatrix:
+    def test_match_mismatch(self):
+        m = dna_matrix(5, -4)
+        assert m.score_symbols("A", "A") == 5
+        assert m.score_symbols("A", "C") == -4
+
+    def test_n_is_neutral(self):
+        m = dna_matrix()
+        assert m.score_symbols("N", "A") == 0
+        assert m.score_symbols("N", "N") == 0
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ScoringError):
+            dna_matrix(match=0)
+        with pytest.raises(ScoringError):
+            dna_matrix(mismatch=1)
+
+
+class TestConstruction:
+    def test_shape_checked(self):
+        with pytest.raises(ScoringError):
+            SubstitutionMatrix("bad", DNA, np.zeros((3, 3)))
+
+    def test_default_matrix(self):
+        assert default_matrix(PROTEIN) is BLOSUM62
+        assert default_matrix(DNA).score_symbols("A", "A") == 5

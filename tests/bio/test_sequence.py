@@ -1,0 +1,70 @@
+"""Tests for repro.bio.sequence."""
+
+import pytest
+
+from repro.bio.alphabet import DNA, PROTEIN
+from repro.bio.sequence import Sequence
+from repro.errors import AlphabetError
+
+
+class TestConstruction:
+    def test_guesses_alphabet(self):
+        assert Sequence("s", "ACGT").alphabet is DNA
+        assert Sequence("s", "MKVL").alphabet is PROTEIN
+
+    def test_uppercases_residues(self):
+        assert Sequence("s", "acgt").residues == "ACGT"
+
+    def test_empty_id_rejected(self):
+        with pytest.raises(AlphabetError):
+            Sequence("", "ACGT")
+
+    def test_explicit_alphabet_kept(self):
+        seq = Sequence("s", "ACGT", PROTEIN)
+        assert seq.alphabet is PROTEIN
+
+
+class TestBehaviour:
+    def test_len_and_iter(self):
+        seq = Sequence("s", "ACGT")
+        assert len(seq) == 4
+        assert list(seq) == ["A", "C", "G", "T"]
+
+    def test_indexing_returns_symbol(self):
+        assert Sequence("s", "ACGT")[1] == "C"
+
+    def test_slicing_returns_sequence(self):
+        sub = Sequence("s", "ACGTACGT")[2:5]
+        assert isinstance(sub, Sequence)
+        assert sub.residues == "GTA"
+        assert sub.alphabet is DNA
+
+    def test_equality_and_hash(self):
+        a = Sequence("s", "ACGT")
+        b = Sequence("s", "ACGT")
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a != Sequence("t", "ACGT")
+
+    def test_repr_truncates_long_sequences(self):
+        seq = Sequence("s", "ACGT" * 10)
+        assert "..." in repr(seq)
+
+    def test_codes_cached_and_correct(self):
+        seq = Sequence("s", "ACGT")
+        assert seq.codes == tuple(DNA.encode("ACGT"))
+        assert seq.codes is seq.codes  # cached object
+
+    def test_reverse(self):
+        assert Sequence("s", "ACGT").reverse().residues == "TGCA"
+
+    def test_kmers(self):
+        seq = Sequence("s", "ACGTA")
+        assert list(seq.kmers(3)) == [(0, "ACG"), (1, "CGT"), (2, "GTA")]
+
+    def test_kmers_k_too_small(self):
+        with pytest.raises(AlphabetError):
+            list(Sequence("s", "ACGT").kmers(0))
+
+    def test_kmers_longer_than_sequence(self):
+        assert list(Sequence("s", "AC").kmers(3)) == []

@@ -1,0 +1,108 @@
+"""Tests for repro.bio.statistics (Karlin-Altschul machinery)."""
+
+import numpy as np
+import pytest
+
+from repro.bio.alphabet import DNA, PROTEIN
+from repro.bio.scoring import BLOSUM62, SubstitutionMatrix
+from repro.bio.statistics import (
+    background_frequencies,
+    expected_score,
+    karlin_altschul_params,
+    solve_lambda,
+    _score_moment,
+)
+from repro.errors import ScoringError
+
+
+class TestBackgroundFrequencies:
+    def test_protein_sums_to_one(self):
+        freqs = background_frequencies(PROTEIN)
+        assert freqs.sum() == pytest.approx(1.0)
+
+    def test_protein_leucine_most_common(self):
+        freqs = background_frequencies(PROTEIN)
+        assert freqs.argmax() == PROTEIN.code("L")
+
+    def test_dna_uniform_over_real_bases(self):
+        freqs = background_frequencies(DNA)
+        for base in "ACGT":
+            assert freqs[DNA.code(base)] == pytest.approx(0.25)
+        assert freqs[DNA.code("N")] == 0.0
+
+
+class TestLambda:
+    def test_lambda_solves_the_equation(self):
+        freqs = background_frequencies(PROTEIN)
+        lam = solve_lambda(BLOSUM62, freqs)
+        assert abs(_score_moment(BLOSUM62, freqs, lam)) < 1e-6
+
+    def test_blosum62_lambda_near_literature(self):
+        # Ungapped BLOSUM62 lambda is ~0.318 in the literature (natural
+        # log units); our wildcard rows shift it slightly.
+        lam = solve_lambda(BLOSUM62)
+        assert 0.25 < lam < 0.40
+
+    def test_expected_score_negative(self):
+        assert expected_score(BLOSUM62, background_frequencies(PROTEIN)) < 0
+
+    def test_positive_expectation_rejected(self):
+        size = len(DNA)
+        scores = np.ones((size, size), dtype=np.int64)
+        always_positive = SubstitutionMatrix("bad", DNA, scores)
+        with pytest.raises(ScoringError):
+            solve_lambda(always_positive)
+
+
+class TestParams:
+    def test_bit_score_increases_with_raw_score(self):
+        params = karlin_altschul_params(BLOSUM62)
+        assert params.bit_score(100) > params.bit_score(50)
+
+    def test_evalue_decreases_with_score(self):
+        params = karlin_altschul_params(BLOSUM62)
+        assert params.evalue(100, 200, 10000) < params.evalue(50, 200, 10000)
+
+    def test_evalue_scales_with_search_space(self):
+        params = karlin_altschul_params(BLOSUM62)
+        small = params.evalue(80, 100, 1000)
+        big = params.evalue(80, 100, 2000)
+        assert big == pytest.approx(2 * small)
+
+    def test_bad_search_space_rejected(self):
+        params = karlin_altschul_params(BLOSUM62)
+        with pytest.raises(ScoringError):
+            params.evalue(10, 0, 100)
+
+    def test_entropy_positive(self):
+        params = karlin_altschul_params(BLOSUM62)
+        assert params.h > 0
+        assert params.k > 0
+
+
+class TestLambdaProperty:
+    def test_random_admissible_matrices(self):
+        """solve_lambda satisfies its defining equation for random
+        match/mismatch DNA matrices across the admissible range."""
+        import itertools
+
+        from repro.bio.scoring import dna_matrix
+
+        for match, mismatch in itertools.product(
+            (1, 2, 5, 10), (-1, -3, -4, -7)
+        ):
+            # Admissibility: expected score must be negative.
+            if 0.25 * match + 0.75 * mismatch >= 0:
+                continue
+            matrix = dna_matrix(match, mismatch)
+            freqs = background_frequencies(DNA)
+            lam = solve_lambda(matrix, freqs)
+            assert lam > 0
+            assert abs(_score_moment(matrix, freqs, lam)) < 1e-6
+
+    def test_stronger_mismatch_raises_lambda(self):
+        from repro.bio.scoring import dna_matrix
+
+        weak = solve_lambda(dna_matrix(5, -4))
+        strong = solve_lambda(dna_matrix(5, -10))
+        assert strong > weak

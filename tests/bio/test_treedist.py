@@ -1,0 +1,105 @@
+"""Tests for Robinson-Foulds tree comparison."""
+
+import numpy as np
+import pytest
+
+from repro.bio.guidetree import TreeNode, neighbour_joining, upgma
+from repro.bio.treedist import (
+    bipartitions,
+    normalised_robinson_foulds,
+    robinson_foulds,
+)
+from repro.errors import AlignmentError
+
+
+def leaf(i):
+    return TreeNode(index=i)
+
+
+def join(a, b):
+    return TreeNode(left=a, right=b, leaves=a.leaves + b.leaves,
+                    size=a.size + b.size)
+
+
+@pytest.fixture
+def balanced():
+    return join(join(leaf(0), leaf(1)), join(leaf(2), leaf(3)))
+
+
+@pytest.fixture
+def alternative():
+    return join(join(leaf(0), leaf(2)), join(leaf(1), leaf(3)))
+
+
+class TestBipartitions:
+    def test_quartet_has_one_split(self, balanced):
+        # Both internal edges express the same bipartition 01|23, so
+        # exactly one canonical split results.
+        assert bipartitions(balanced) == {frozenset({0, 1})}
+
+    def test_small_trees_have_none(self):
+        assert bipartitions(join(leaf(0), leaf(1))) == set()
+
+    def test_caterpillar_splits(self):
+        tree = join(leaf(0), join(leaf(1), join(leaf(2),
+                                                join(leaf(3), leaf(4)))))
+        splits = bipartitions(tree)
+        # Splits 34|012 and 234|01, canonicalised to the 0-side.
+        assert splits == {frozenset({0, 1, 2}), frozenset({0, 1})}
+
+
+class TestRobinsonFoulds:
+    def test_identical_trees(self, balanced):
+        assert robinson_foulds(balanced, balanced) == 0
+
+    def test_different_quartets(self, balanced, alternative):
+        assert robinson_foulds(balanced, alternative) == 2
+
+    def test_symmetric(self, balanced, alternative):
+        assert robinson_foulds(balanced, alternative) == robinson_foulds(
+            alternative, balanced
+        )
+
+    def test_different_taxa_rejected(self, balanced):
+        other = join(leaf(0), join(leaf(1), leaf(9)))
+        with pytest.raises(AlignmentError):
+            robinson_foulds(balanced, other)
+
+    def test_normalised_range(self, balanced, alternative):
+        assert normalised_robinson_foulds(balanced, balanced) == 0.0
+        value = normalised_robinson_foulds(balanced, alternative)
+        assert 0 < value <= 1
+
+    def test_methods_agree_on_clean_data(self):
+        """UPGMA and NJ recover the same topology from an additive,
+        clock-like matrix."""
+        distances = np.array(
+            [
+                [0.0, 0.2, 0.8, 0.8, 0.9],
+                [0.2, 0.0, 0.8, 0.8, 0.9],
+                [0.8, 0.8, 0.0, 0.2, 0.9],
+                [0.8, 0.8, 0.2, 0.0, 0.9],
+                [0.9, 0.9, 0.9, 0.9, 0.0],
+            ]
+        )
+        first = upgma(distances)
+        second = neighbour_joining(distances)
+        assert robinson_foulds(first, second) == 0
+
+    def test_methods_diverge_on_noisy_data(self):
+        """On non-clock-like data the topologies can differ — the
+        metric detects it."""
+        distances = np.array(
+            [
+                [0.0, 0.3, 0.5, 0.6, 0.7],
+                [0.3, 0.0, 0.6, 0.5, 0.8],
+                [0.5, 0.6, 0.0, 0.9, 0.4],
+                [0.6, 0.5, 0.9, 0.0, 0.6],
+                [0.7, 0.8, 0.4, 0.6, 0.0],
+            ]
+        )
+        first = upgma(distances)
+        second = neighbour_joining(distances)
+        # Not asserting inequality (data-dependent), only validity.
+        distance = robinson_foulds(first, second)
+        assert 0 <= distance <= 4

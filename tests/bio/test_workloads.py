@@ -1,0 +1,109 @@
+"""Tests for synthetic workload generation."""
+
+import pytest
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.workloads import (
+    CLASS_C_SPECS,
+    blast_input,
+    clustalw_input,
+    fasta_input,
+    hmmer_input,
+    make_family,
+    mutate,
+    random_sequence,
+)
+from repro.errors import WorkloadError
+
+
+class TestRandomSequence:
+    def test_deterministic(self):
+        a = random_sequence("s", 50, seed=1)
+        b = random_sequence("s", 50, seed=1)
+        assert a == b
+
+    def test_seed_changes_output(self):
+        assert random_sequence("s", 50, seed=1) != random_sequence(
+            "s", 50, seed=2
+        )
+
+    def test_length(self):
+        assert len(random_sequence("s", 33)) == 33
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(WorkloadError):
+            random_sequence("s", 0)
+
+    def test_no_wildcards_emitted(self):
+        seq = random_sequence("s", 200, seed=3)
+        assert "X" not in seq.residues
+        assert "*" not in seq.residues
+
+
+class TestMutate:
+    def test_zero_rate_preserves_mostly(self):
+        parent = random_sequence("p", 100, seed=4)
+        child = mutate(parent, "c", 0.0, indel_rate=0.0)
+        assert child.residues == parent.residues
+
+    def test_high_rate_changes_sequence(self):
+        parent = random_sequence("p", 100, seed=4)
+        child = mutate(parent, "c", 0.9)
+        assert child.residues != parent.residues
+
+    def test_bad_rate_rejected(self):
+        parent = random_sequence("p", 10, seed=4)
+        with pytest.raises(WorkloadError):
+            mutate(parent, "c", 1.5)
+
+
+class TestFamilies:
+    def test_family_size(self):
+        family = make_family("f", 6, 50, 0.3, seed=5)
+        assert len(family) == 6
+
+    def test_members_related(self):
+        """Family members share far more identity than random pairs."""
+        from repro.bio.pairwise import needleman_wunsch
+        from repro.bio.scoring import BLOSUM62
+
+        family = make_family("f", 3, 60, 0.2, seed=6)
+        related = needleman_wunsch(family[0], family[1], BLOSUM62).identity
+        noise = random_sequence("n", 60, PROTEIN, seed=7)
+        unrelated = needleman_wunsch(family[0], noise, BLOSUM62).identity
+        assert related > unrelated + 0.2
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(WorkloadError):
+            make_family("f", 0, 50, 0.3)
+
+
+class TestAppInputs:
+    def test_blast_input_shapes(self):
+        inp = blast_input("A")
+        assert len(inp.database) >= 4
+        assert len(inp.query) > 0
+
+    def test_class_scaling(self):
+        small = fasta_input("A")
+        large = fasta_input("C")
+        assert len(large.query) > len(small.query)
+        assert len(large.database) > len(small.database)
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(WorkloadError):
+            clustalw_input("Z")
+
+    def test_hmmer_input_has_families(self):
+        inp = hmmer_input("A")
+        assert len(inp.families) >= 3
+        assert all(len(f) >= 2 for f in inp.families)
+
+    def test_specs_cover_all_apps(self):
+        assert set(CLASS_C_SPECS) == {"blast", "clustalw", "fasta", "hmmer"}
+
+    def test_deterministic(self):
+        a = blast_input("A", seed=9)
+        b = blast_input("A", seed=9)
+        assert a.query == b.query
+        assert a.database == b.database

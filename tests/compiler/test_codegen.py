@@ -1,0 +1,235 @@
+"""Tests for IR -> mini-ISA lowering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.codegen import compile_function
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Branch,
+    Const,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    MaxSel,
+    Reg,
+    Select,
+    Store,
+)
+from repro.errors import CompilerError
+from repro.isa.instructions import Op
+from tests.compiler.util import read_reg, run_ir
+
+values = st.integers(-500, 500)
+
+
+class TestArithmetic:
+    def test_constant_assignment(self):
+        block = Block("b", [Assign("x", Const(42))], Halt())
+        machine, kernel, _ = run_ir(Function("f", [], [block]))
+        assert read_reg(machine, kernel, "x") == 42
+
+    def test_immediate_forms_selected(self):
+        block = Block(
+            "b",
+            [
+                Assign("x", BinOp("add", Reg("a"), Const(5))),
+                Assign("y", BinOp("sub", Reg("a"), Const(3))),
+                Assign("z", BinOp("mul", Reg("a"), Const(7))),
+            ],
+            Halt(),
+        )
+        kernel = compile_function(Function("f", ["a"], [block]))
+        ops = [i.op for i in kernel.program.instructions]
+        assert Op.ADDI in ops and Op.SUBI in ops and Op.MULI in ops
+        assert Op.LI not in ops  # no constant materialisation needed
+
+    def test_const_minus_reg(self):
+        block = Block("b", [Assign("x", BinOp("sub", Const(10), Reg("a")))], Halt())
+        machine, kernel, _ = run_ir(Function("f", ["a"], [block]), {"a": 3})
+        assert read_reg(machine, kernel, "x") == 7
+
+    @given(values, values)
+    @settings(max_examples=25, deadline=None)
+    def test_three_ops(self, a, b):
+        block = Block(
+            "b",
+            [
+                Assign("s", BinOp("add", Reg("a"), Reg("b"))),
+                Assign("d", BinOp("sub", Reg("a"), Reg("b"))),
+                Assign("p", BinOp("mul", Reg("a"), Reg("b"))),
+            ],
+            Halt(),
+        )
+        machine, kernel, _ = run_ir(
+            Function("f", ["a", "b"], [block]), {"a": a, "b": b}
+        )
+        assert read_reg(machine, kernel, "s") == a + b
+        assert read_reg(machine, kernel, "d") == a - b
+        assert read_reg(machine, kernel, "p") == a * b
+
+
+class TestMemory:
+    def test_load_store_roundtrip(self):
+        block = Block(
+            "b",
+            [
+                Load("v", "arr", Const(1)),
+                Assign("v", BinOp("add", Reg("v"), Const(100))),
+                Store("arr", Const(2), Reg("v")),
+            ],
+            Halt(),
+        )
+        _, _, memory = run_ir(
+            Function("f", ["arr"], [block]), segments={"arr": [1, 2, 3]}
+        )
+        assert memory.segment_words("arr") == [1, 2, 102]
+
+    def test_indexed_addressing(self):
+        block = Block(
+            "b",
+            [
+                Load("v", "arr", Reg("i")),
+                Store("arr", Reg("j"), Reg("v")),
+            ],
+            Halt(),
+        )
+        _, _, memory = run_ir(
+            Function("f", ["arr", "i", "j"], [block]),
+            {"i": 0, "j": 3},
+            {"arr": [9, 0, 0, 0]},
+        )
+        assert memory.segment_words("arr") == [9, 0, 0, 9]
+
+    def test_store_constant_value(self):
+        block = Block("b", [Store("arr", Const(0), Const(77))], Halt())
+        _, _, memory = run_ir(
+            Function("f", ["arr"], [block]), segments={"arr": [0]}
+        )
+        assert memory.segment_words("arr") == [77]
+
+
+class TestSelectLowering:
+    @pytest.mark.parametrize(
+        "cmp,expected",
+        [
+            ("lt", lambda a, b: 1 if a < b else 2),
+            ("le", lambda a, b: 1 if a <= b else 2),
+            ("gt", lambda a, b: 1 if a > b else 2),
+            ("ge", lambda a, b: 1 if a >= b else 2),
+            ("eq", lambda a, b: 1 if a == b else 2),
+            ("ne", lambda a, b: 1 if a != b else 2),
+        ],
+    )
+    def test_all_comparisons(self, cmp, expected):
+        for a, b in [(1, 2), (2, 1), (2, 2)]:
+            block = Block(
+                "b",
+                [Select("x", cmp, Reg("a"), Reg("b"), Const(1), Const(2))],
+                Halt(),
+            )
+            machine, kernel, _ = run_ir(
+                Function("f", ["a", "b"], [block]), {"a": a, "b": b}
+            )
+            assert read_reg(machine, kernel, "x") == expected(a, b), (cmp, a, b)
+
+    def test_select_emits_cmp_and_isel(self):
+        block = Block(
+            "b",
+            [Select("x", "lt", Reg("a"), Reg("b"), Reg("a"), Reg("b"))],
+            Halt(),
+        )
+        kernel = compile_function(Function("f", ["a", "b"], [block]))
+        ops = [i.op for i in kernel.program.instructions]
+        assert ops.count(Op.ISEL) == 1
+        assert ops.count(Op.CMP) == 1
+
+    def test_maxsel_emits_single_max(self):
+        block = Block("b", [MaxSel("x", Reg("a"), Reg("b"))], Halt())
+        kernel = compile_function(Function("f", ["a", "b"], [block]))
+        ops = [i.op for i in kernel.program.instructions]
+        assert ops.count(Op.MAX) == 1
+        assert Op.CMP not in ops  # max needs no compare
+
+    @given(values, values)
+    @settings(max_examples=25, deadline=None)
+    def test_maxsel_semantics(self, a, b):
+        block = Block("b", [MaxSel("x", Reg("a"), Reg("b"))], Halt())
+        machine, kernel, _ = run_ir(
+            Function("f", ["a", "b"], [block]), {"a": a, "b": b}
+        )
+        assert read_reg(machine, kernel, "x") == max(a, b)
+
+
+class TestControlFlow:
+    def make_loop(self, n):
+        """Sum 0..n-1 via a branchy loop."""
+        entry = Block(
+            "entry",
+            [Assign("i", Const(0)), Assign("acc", Const(0))],
+            Jump("head"),
+        )
+        head = Block(
+            "head", [], Branch("lt", Reg("i"), Reg("n"), "body", "end")
+        )
+        body = Block(
+            "body",
+            [
+                Assign("acc", BinOp("add", Reg("acc"), Reg("i"))),
+                Assign("i", BinOp("add", Reg("i"), Const(1))),
+            ],
+            Jump("head"),
+        )
+        end = Block("end", [], Halt())
+        return Function("sumloop", ["n"], [entry, head, body, end])
+
+    @given(st.integers(0, 30))
+    @settings(max_examples=20, deadline=None)
+    def test_loop_sums(self, n):
+        machine, kernel, _ = run_ir(self.make_loop(5 if n == 0 else n), {"n": n})
+        expected = sum(range(n)) if n > 0 else 0
+        assert read_reg(machine, kernel, "acc") == expected
+
+    def test_fallthrough_avoids_redundant_jump(self):
+        kernel = compile_function(self.make_loop(3))
+        ops = [i.op for i in kernel.program.instructions]
+        # One bc for the loop header; one b for the back edge; no b after
+        # entry since head follows it.
+        assert ops.count(Op.BC) == 1
+        assert ops.count(Op.B) == 1
+
+    def test_then_fallthrough_inverts_condition(self):
+        entry = Block(
+            "entry", [], Branch("lt", Reg("a"), Reg("b"), "then", "other")
+        )
+        then = Block("then", [Assign("x", Const(1))], Jump("join"))
+        other = Block("other", [Assign("x", Const(2))], Jump("join"))
+        join = Block("join", [], Halt())
+        function = Function("f", ["a", "b"], [entry, then, other, join])
+        kernel = compile_function(function)
+        bc = next(i for i in kernel.program.instructions if i.op is Op.BC)
+        # then is the fallthrough, so the bc must target 'other' with the
+        # negated condition (branch when NOT lt).
+        assert bc.label == "other"
+        assert bc.want is False
+        for a, b, expected in [(1, 2, 1), (3, 2, 2)]:
+            machine, k, _ = run_ir(function, {"a": a, "b": b})
+            assert read_reg(machine, k, "x") == expected
+
+
+class TestResourceLimits:
+    def test_register_exhaustion(self):
+        statements = [Assign(f"v{i}", Const(i)) for i in range(40)]
+        block = Block("b", statements, Halt())
+        with pytest.raises(CompilerError):
+            compile_function(Function("big", [], [block]))
+
+    def test_unknown_register_lookup(self):
+        block = Block("b", [Assign("x", Const(1))], Halt())
+        kernel = compile_function(Function("f", [], [block]))
+        with pytest.raises(CompilerError):
+            kernel.gpr("nope")

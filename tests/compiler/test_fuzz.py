@@ -1,0 +1,161 @@
+"""Differential fuzzing of the compiler pipeline.
+
+Random small IR functions — straight-line arithmetic, memory traffic,
+and nested if-then / if-then-else hammocks — are lowered and executed
+twice: as written, and after if-conversion (both styles). Results must
+match on every register and memory cell the program touches. This is
+the same oracle the kernel cross-checks use, but over a much wilder
+space of programs.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.compiler.codegen import compile_function
+from repro.compiler.ifconversion import if_convert
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Branch,
+    Const,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    Reg,
+    Store,
+)
+from repro.isa.interpreter import run_program
+from repro.isa.memory import Memory
+
+VARIABLES = ["a", "b", "c", "d"]
+ARRAY_SIZE = 8
+
+
+def _random_operand(rng: random.Random):
+    if rng.random() < 0.5:
+        return Const(rng.randint(-20, 20))
+    return Reg(rng.choice(VARIABLES))
+
+
+def _random_expr(rng: random.Random):
+    kind = rng.randrange(4)
+    if kind <= 1:
+        return _random_operand(rng)
+    op = rng.choice(["add", "sub", "mul", "and", "or"])
+    return BinOp(op, Reg(rng.choice(VARIABLES)),
+                 rng.choice([Reg(rng.choice(VARIABLES)),
+                             Const(rng.randint(0, 7))]))
+
+
+def _random_statements(rng: random.Random, allow_memory: bool):
+    statements = []
+    for _ in range(rng.randint(1, 3)):
+        kind = rng.randrange(4 if allow_memory else 2)
+        if kind == 0 or kind == 1:
+            statements.append(
+                Assign(rng.choice(VARIABLES), _random_expr(rng))
+            )
+        elif kind == 2:
+            # In-bounds load: offset anded into range by construction.
+            statements.append(
+                Load(rng.choice(VARIABLES), "arr",
+                     Const(rng.randrange(ARRAY_SIZE)))
+            )
+        else:
+            statements.append(
+                Store("arr", Const(rng.randrange(ARRAY_SIZE)),
+                      Reg(rng.choice(VARIABLES)))
+            )
+    return statements
+
+
+def random_function(seed: int) -> Function:
+    """A random function: prologue, 1-3 hammocks, epilogue."""
+    rng = random.Random(seed)
+    blocks = []
+    label_count = 0
+
+    def fresh() -> str:
+        nonlocal label_count
+        label_count += 1
+        return f"b{label_count}"
+
+    entry = Block("entry", _random_statements(rng, allow_memory=True))
+    blocks.append(entry)
+    current = entry
+    for _ in range(rng.randint(1, 3)):
+        then_label, else_label, join_label = fresh(), fresh(), fresh()
+        cmp = rng.choice(["lt", "le", "gt", "ge", "eq", "ne"])
+        diamond = rng.random() < 0.5
+        current.terminator = Branch(
+            cmp, Reg(rng.choice(VARIABLES)), _random_operand(rng),
+            then_label, else_label if diamond else join_label,
+        )
+        then_block = Block(
+            then_label,
+            _random_statements(rng, allow_memory=rng.random() < 0.5),
+            Jump(join_label),
+        )
+        blocks.append(then_block)
+        if diamond:
+            else_block = Block(
+                else_label,
+                _random_statements(rng, allow_memory=rng.random() < 0.5),
+                Jump(join_label),
+            )
+            blocks.append(else_block)
+        join = Block(join_label, _random_statements(rng, True))
+        blocks.append(join)
+        current = join
+    current.terminator = Halt()
+    return Function(f"fuzz{seed}", VARIABLES + ["arr"], blocks)
+
+
+def execute(function: Function, seed: int):
+    """Run ``function`` on seeded inputs; return (registers, memory)."""
+    rng = random.Random(seed * 7919)
+    kernel = compile_function(function)
+    memory = Memory(256)
+    base = memory.alloc("arr", [rng.randint(-50, 50)
+                                for _ in range(ARRAY_SIZE)])
+    initial = {kernel.gpr("arr"): base}
+    for name in VARIABLES:
+        initial[kernel.gpr(name)] = rng.randint(-50, 50)
+    machine = run_program(kernel.program, memory, initial)
+    registers = {
+        name: machine.registers.read(kernel.gpr(name))
+        for name in VARIABLES
+    }
+    return registers, memory.segment_words("arr")
+
+
+@pytest.mark.parametrize("seed", range(40))
+def test_if_conversion_preserves_semantics(seed):
+    baseline = random_function(seed)
+    base_registers, base_memory = execute(baseline, seed)
+    for style in ("isel", "max"):
+        converted = if_convert(random_function(seed), style).function
+        conv_registers, conv_memory = execute(converted, seed)
+        assert conv_registers == base_registers, (seed, style)
+        assert conv_memory == base_memory, (seed, style)
+
+
+@pytest.mark.parametrize("seed", range(40, 60))
+def test_converted_functions_have_no_more_branches(seed):
+    from repro.compiler.ir import Branch as IrBranch
+
+    baseline = random_function(seed)
+    converted = if_convert(random_function(seed), "isel").function
+
+    def branch_count(function):
+        return sum(
+            1 for block in function.blocks
+            if isinstance(block.terminator, IrBranch)
+        )
+
+    assert branch_count(converted) <= branch_count(baseline)

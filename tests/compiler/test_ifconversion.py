@@ -1,0 +1,207 @@
+"""Tests for the if-conversion pass, including differential execution."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.compiler.ifconversion import if_convert
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Branch,
+    Const,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    MaxSel,
+    Reg,
+    Select,
+    Store,
+)
+from repro.errors import CompilerError
+from tests.compiler.util import read_reg, run_ir
+
+values = st.integers(-1000, 1000)
+
+
+def max_site_function():
+    """a = max(a, b) written as the branchy idiom of the paper."""
+    entry = Block(
+        "entry", [],
+        Branch("lt", Reg("a"), Reg("b"), "then", "join", site="max_ab"),
+    )
+    then = Block("then", [Assign("a", Reg("b"))], Jump("join"))
+    join = Block("join", [], Halt())
+    return Function("maxy", ["a", "b"], [entry, then, join])
+
+
+def diamond_function():
+    """x = (a > b) ? a - b : b - a  (abs difference)."""
+    entry = Block(
+        "entry", [],
+        Branch("gt", Reg("a"), Reg("b"), "then", "else", site="absdiff"),
+    )
+    then = Block(
+        "then", [Assign("x", BinOp("sub", Reg("a"), Reg("b")))], Jump("join")
+    )
+    other = Block(
+        "else", [Assign("x", BinOp("sub", Reg("b"), Reg("a")))], Jump("join")
+    )
+    join = Block("join", [], Halt())
+    return Function("absdiff", ["a", "b"], [entry, then, other, join])
+
+
+def conditional_store_function():
+    """if (v < t) mem[i] = t  -- the shape gcc cannot speculate."""
+    entry = Block(
+        "entry",
+        [Load("v", "arr", Reg("i"))],
+        Branch("lt", Reg("v"), Reg("t"), "then", "join", site="store_max"),
+    )
+    then = Block("then", [Store("arr", Reg("i"), Reg("t"))], Jump("join"))
+    join = Block("join", [], Halt())
+    return Function("condstore", ["arr", "i", "t"], [entry, then, join])
+
+
+def unsafe_load_function():
+    """c = (x[i-1] > 0) ? x[i] : c -- the paper's unprovable example."""
+    entry = Block(
+        "entry",
+        [
+            Assign("im1", BinOp("sub", Reg("i"), Const(1))),
+            Load("prev", "x", Reg("im1")),
+        ],
+        Branch("gt", Reg("prev"), Const(0), "then", "join", site="peek"),
+    )
+    then = Block("then", [Load("c", "x", Reg("i"))], Jump("join"))
+    join = Block("join", [], Halt())
+    return Function("peek", ["x", "i", "c"], [entry, then, join])
+
+
+def safe_load_function():
+    """Same shape, but the arm re-reads x[i-1]: provably safe."""
+    entry = Block(
+        "entry",
+        [
+            Assign("im1", BinOp("sub", Reg("i"), Const(1))),
+            Load("prev", "x", Reg("im1")),
+        ],
+        Branch("gt", Reg("prev"), Const(0), "then", "join", site="repeek"),
+    )
+    then = Block("then", [Load("c", "x", Reg("im1"))], Jump("join"))
+    join = Block("join", [], Halt())
+    return Function("repeek", ["x", "i", "c"], [entry, then, join])
+
+
+class TestMaxPattern:
+    def test_max_style_emits_maxsel(self):
+        result = if_convert(max_site_function(), style="max")
+        stmts = result.function.entry.statements
+        assert any(isinstance(s, MaxSel) for s in stmts)
+        assert not any(isinstance(s, Select) for s in stmts)
+        assert result.converted_sites == ["max_ab"]
+
+    def test_isel_style_emits_select(self):
+        result = if_convert(max_site_function(), style="isel")
+        stmts = result.function.entry.statements
+        assert any(isinstance(s, Select) for s in stmts)
+        assert not any(isinstance(s, MaxSel) for s in stmts)
+
+    @given(values, values)
+    @settings(max_examples=30, deadline=None)
+    def test_semantics_preserved(self, a, b):
+        baseline = max_site_function()
+        machine0, k0, _ = run_ir(baseline, {"a": a, "b": b})
+        for style in ("max", "isel"):
+            converted = if_convert(max_site_function(), style=style).function
+            machine1, k1, _ = run_ir(converted, {"a": a, "b": b})
+            assert read_reg(machine1, k1, "a") == read_reg(machine0, k0, "a")
+            assert read_reg(machine0, k0, "a") == max(a, b)
+
+
+class TestDiamond:
+    def test_isel_converts_diamond(self):
+        result = if_convert(diamond_function(), style="isel")
+        assert result.converted_sites == ["absdiff"]
+        # Only entry and join should survive.
+        labels = {block.label for block in result.function.blocks}
+        assert labels == {"entry", "join"}
+
+    def test_max_style_leaves_diamond(self):
+        result = if_convert(diamond_function(), style="max")
+        assert result.converted_sites == []
+        refusals = [d for d in result.decisions if not d.converted]
+        assert any("max pattern" in d.how for d in refusals)
+
+    @given(values, values)
+    @settings(max_examples=30, deadline=None)
+    def test_semantics_preserved(self, a, b):
+        converted = if_convert(diamond_function(), style="isel").function
+        machine, kernel, _ = run_ir(converted, {"a": a, "b": b})
+        assert read_reg(machine, kernel, "x") == abs(a - b)
+
+
+class TestSafetyRefusals:
+    def test_conditional_store_refused(self):
+        result = if_convert(conditional_store_function(), style="isel")
+        assert result.converted_sites == []
+        reasons = [d.how for d in result.decisions if not d.converted]
+        assert any("store" in reason for reason in reasons)
+
+    def test_unsafe_load_refused(self):
+        result = if_convert(unsafe_load_function(), style="isel")
+        assert result.converted_sites == []
+        reasons = [d.how for d in result.decisions if not d.converted]
+        assert any("not provably safe" in reason for reason in reasons)
+
+    def test_provable_load_converted(self):
+        result = if_convert(safe_load_function(), style="isel")
+        assert result.converted_sites == ["repeek"]
+
+    @given(values, st.integers(1, 7))
+    @settings(max_examples=20, deadline=None)
+    def test_safe_load_semantics(self, c, i):
+        data = list(range(10, 20))
+        baseline = safe_load_function()
+        m0, k0, _ = run_ir(baseline, {"i": i, "c": c}, {"x": data})
+        converted = if_convert(safe_load_function(), style="isel").function
+        m1, k1, _ = run_ir(converted, {"i": i, "c": c}, {"x": data})
+        assert read_reg(m0, k0, "c") == read_reg(m1, k1, "c")
+
+
+class TestPassMechanics:
+    def test_unknown_style_rejected(self):
+        with pytest.raises(CompilerError):
+            if_convert(max_site_function(), style="cmov")
+
+    def test_original_function_untouched(self):
+        function = max_site_function()
+        if_convert(function, style="max")
+        assert len(function.blocks) == 3  # copy, not mutation
+
+    def test_decisions_cover_all_branch_sites(self):
+        result = if_convert(conditional_store_function(), style="isel")
+        assert {d.site for d in result.decisions} == {"store_max"}
+
+    def test_nested_hammocks_converted(self):
+        """max of three values via two nested max idioms."""
+        entry = Block(
+            "entry", [],
+            Branch("lt", Reg("a"), Reg("b"), "t1", "mid", site="s1"),
+        )
+        t1 = Block("t1", [Assign("a", Reg("b"))], Jump("mid"))
+        mid = Block(
+            "mid", [],
+            Branch("lt", Reg("a"), Reg("c"), "t2", "join", site="s2"),
+        )
+        t2 = Block("t2", [Assign("a", Reg("c"))], Jump("join"))
+        join = Block("join", [], Halt())
+        function = Function("max3", ["a", "b", "c"], [entry, t1, mid, t2, join])
+        result = if_convert(function, style="max")
+        assert sorted(
+            site for site in result.converted_sites if site
+        ) == ["s1", "s2"]
+        machine, kernel, _ = run_ir(result.function, {"a": 3, "b": 9, "c": 5})
+        assert read_reg(machine, kernel, "a") == 9

@@ -1,0 +1,99 @@
+"""Tests for the IR data structures."""
+
+import pytest
+
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Branch,
+    Const,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    Reg,
+    Select,
+    Store,
+)
+from repro.errors import CompilerError
+
+
+def diamond_function():
+    """if (a < b) x = a else x = b; halt."""
+    entry = Block(
+        "entry",
+        [],
+        Branch("lt", Reg("a"), Reg("b"), "then", "else"),
+    )
+    then = Block("then", [Assign("x", Reg("a"))], Jump("join"))
+    other = Block("else", [Assign("x", Reg("b"))], Jump("join"))
+    join = Block("join", [], Halt())
+    return Function("pick_min", ["a", "b"], [entry, then, other, join])
+
+
+class TestOperands:
+    def test_binop_validates_op(self):
+        with pytest.raises(CompilerError):
+            BinOp("xor", Const(1), Const(2))
+
+    def test_select_validates_cmp(self):
+        with pytest.raises(CompilerError):
+            Select("x", "spaceship", Reg("a"), Reg("b"), Reg("a"), Reg("b"))
+
+    def test_branch_validates_cmp(self):
+        with pytest.raises(CompilerError):
+            Branch("maybe", Reg("a"), Reg("b"), "t", "f")
+
+
+class TestFunction:
+    def test_successors(self):
+        function = diamond_function()
+        assert function.entry.successors() == ("then", "else")
+        assert function.block("then").successors() == ("join",)
+        assert function.block("join").successors() == ()
+
+    def test_predecessors(self):
+        preds = diamond_function().predecessors()
+        assert sorted(preds["join"]) == ["else", "then"]
+        assert preds["entry"] == []
+
+    def test_duplicate_labels_rejected(self):
+        blocks = [Block("a"), Block("a")]
+        with pytest.raises(CompilerError):
+            Function("bad", [], blocks)
+
+    def test_undefined_target_rejected(self):
+        blocks = [Block("a", [], Jump("nowhere"))]
+        with pytest.raises(CompilerError):
+            Function("bad", [], blocks)
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(CompilerError):
+            Function("bad", [], [])
+
+    def test_registers_collects_everything(self):
+        function = diamond_function()
+        assert function.registers() == {"a", "b", "x"}
+
+    def test_registers_includes_memory_ops(self):
+        block = Block(
+            "entry",
+            [
+                Load("v", "base", Reg("i")),
+                Store("base", Const(0), Reg("v")),
+            ],
+            Halt(),
+        )
+        function = Function("mem", ["base"], [block])
+        assert function.registers() == {"base", "i", "v"}
+
+    def test_copy_is_independent(self):
+        function = diamond_function()
+        clone = function.copy()
+        clone.block("then").statements.clear()
+        assert function.block("then").statements  # original untouched
+
+    def test_unknown_block_label(self):
+        with pytest.raises(CompilerError):
+            diamond_function().block("missing")

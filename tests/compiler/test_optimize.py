@@ -1,0 +1,211 @@
+"""Tests for the scalar optimisation passes (incl. differential fuzz)."""
+
+import pytest
+
+from repro.compiler.ir import (
+    Assign,
+    BinOp,
+    Block,
+    Branch,
+    Const,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    Reg,
+    Store,
+)
+from repro.compiler.optimize import (
+    eliminate_dead_assignments,
+    fold_constants,
+    optimize,
+    propagate_copies,
+)
+from tests.compiler.test_fuzz import execute, random_function
+from tests.compiler.util import read_reg, run_ir
+
+
+def single_block(statements, terminator=None):
+    return Function(
+        "f", ["a", "b", "arr"],
+        [Block("entry", statements, terminator or Halt())],
+    )
+
+
+class TestConstantFolding:
+    def test_folds_arithmetic(self):
+        function = single_block(
+            [Assign("a", BinOp("add", Const(2), Const(3)))]
+        )
+        folded, count = fold_constants(function)
+        assert count == 1
+        assert folded.entry.statements[0].expr == Const(5)
+
+    def test_identities(self):
+        function = single_block(
+            [
+                Assign("a", BinOp("add", Reg("b"), Const(0))),
+                Assign("a", BinOp("mul", Reg("b"), Const(1))),
+                Assign("a", BinOp("sub", Reg("b"), Const(0))),
+            ]
+        )
+        folded, count = fold_constants(function)
+        assert count == 3
+        assert all(s.expr == Reg("b") for s in folded.entry.statements)
+
+    def test_decidable_branch_becomes_jump(self):
+        entry = Block("entry", [],
+                      Branch("lt", Const(1), Const(2), "t", "f"))
+        t = Block("t", [Assign("a", Const(1))], Jump("end"))
+        f = Block("f", [Assign("a", Const(2))], Jump("end"))
+        end = Block("end", [], Halt())
+        function = Function("g", ["a"], [entry, t, f, end])
+        folded, count = fold_constants(function)
+        assert count == 1
+        assert isinstance(folded.entry.terminator, Jump)
+        assert folded.entry.terminator.target == "t"
+
+    def test_original_untouched(self):
+        function = single_block(
+            [Assign("a", BinOp("add", Const(2), Const(3)))]
+        )
+        fold_constants(function)
+        assert isinstance(function.entry.statements[0].expr, BinOp)
+
+
+class TestCopyPropagation:
+    def test_propagates_constant(self):
+        function = single_block(
+            [
+                Assign("a", Const(7)),
+                Assign("b", BinOp("add", Reg("a"), Reg("a"))),
+            ]
+        )
+        propagated, count = propagate_copies(function)
+        assert count >= 1
+        expr = propagated.entry.statements[1].expr
+        assert expr == BinOp("add", Const(7), Const(7))
+
+    def test_invalidation_on_redefine(self):
+        function = single_block(
+            [
+                Assign("a", Const(7)),
+                Assign("a", BinOp("add", Reg("b"), Const(1))),
+                Assign("b", Reg("a")),  # must NOT become Const(7)
+            ]
+        )
+        propagated, _ = propagate_copies(function)
+        assert propagated.entry.statements[2].expr == Reg("a")
+
+    def test_copy_chain_invalidated_on_source_write(self):
+        function = single_block(
+            [
+                Assign("a", Reg("b")),
+                Assign("b", Const(9)),
+                Assign("c", Reg("a")),  # must stay Reg("a") or older b
+            ]
+        )
+        propagated, _ = propagate_copies(function)
+        final = propagated.entry.statements[2].expr
+        assert final != Const(9)
+
+    def test_store_operands_propagated(self):
+        function = single_block(
+            [
+                Assign("a", Const(3)),
+                Store("arr", Reg("a"), Reg("a")),
+            ]
+        )
+        propagated, count = propagate_copies(function)
+        store = propagated.entry.statements[1]
+        assert store.offset == Const(3)
+        assert store.value == Const(3)
+
+
+class TestDeadCode:
+    def test_shadowed_write_removed(self):
+        function = single_block(
+            [
+                Assign("a", Const(1)),
+                Assign("a", Const(2)),
+            ]
+        )
+        cleaned, removed = eliminate_dead_assignments(function)
+        assert removed == 1
+        assert len(cleaned.entry.statements) == 1
+        assert cleaned.entry.statements[0].expr == Const(2)
+
+    def test_read_keeps_write_alive(self):
+        function = single_block(
+            [
+                Assign("a", Const(1)),
+                Assign("b", Reg("a")),
+                Assign("a", Const(2)),
+            ]
+        )
+        _, removed = eliminate_dead_assignments(function)
+        assert removed == 0
+
+    def test_block_exit_is_live(self):
+        function = single_block([Assign("a", Const(1))])
+        _, removed = eliminate_dead_assignments(function)
+        assert removed == 0  # live-out assumption
+
+    def test_dead_load_removed(self):
+        function = single_block(
+            [
+                Load("a", "arr", Const(0)),
+                Assign("a", Const(5)),
+            ]
+        )
+        cleaned, removed = eliminate_dead_assignments(function)
+        assert removed == 1
+
+    def test_stores_never_removed(self):
+        function = single_block(
+            [
+                Store("arr", Const(0), Const(1)),
+                Store("arr", Const(0), Const(2)),
+            ]
+        )
+        _, removed = eliminate_dead_assignments(function)
+        assert removed == 0
+
+
+class TestOptimizePipeline:
+    def test_fixpoint_chain(self):
+        """a=2+3; b=a; c=b*1 collapses to constants."""
+        function = single_block(
+            [
+                Assign("a", BinOp("add", Const(2), Const(3))),
+                Assign("b", Reg("a")),
+                Assign("c", BinOp("mul", Reg("b"), Const(1))),
+            ]
+        )
+        optimized = optimize(function)
+        machine, kernel, _ = run_ir(optimized, {"a": 0, "b": 0})
+        assert read_reg(machine, kernel, "c") == 5
+
+    @pytest.mark.parametrize("seed", range(30))
+    def test_differential_fuzz(self, seed):
+        """Optimised functions compute exactly what the originals do."""
+        baseline = random_function(seed + 1000)
+        base_registers, base_memory = execute(baseline, seed + 1000)
+        optimized = optimize(random_function(seed + 1000))
+        opt_registers, opt_memory = execute(optimized, seed + 1000)
+        assert opt_registers == base_registers, seed
+        assert opt_memory == base_memory, seed
+
+    @pytest.mark.parametrize("seed", range(30, 45))
+    def test_optimize_then_ifconvert(self, seed):
+        """The passes compose with if-conversion."""
+        from repro.compiler.ifconversion import if_convert
+
+        baseline = random_function(seed + 2000)
+        base_registers, base_memory = execute(baseline, seed + 2000)
+        pipeline = if_convert(
+            optimize(random_function(seed + 2000)), "isel"
+        ).function
+        registers, memory = execute(pipeline, seed + 2000)
+        assert registers == base_registers, seed
+        assert memory == base_memory, seed

@@ -1,0 +1,121 @@
+"""Tests for dominators and the load-safety analysis."""
+
+from repro.compiler.ir import (
+    Assign,
+    Block,
+    Branch,
+    Const,
+    Function,
+    Halt,
+    Jump,
+    Load,
+    Reg,
+    Store,
+)
+from repro.compiler.safety import analyse, defined_names, dominators
+
+
+def linear_function():
+    a = Block("a", [], Jump("b"))
+    b = Block("b", [], Jump("c"))
+    c = Block("c", [], Halt())
+    return Function("linear", [], [a, b, c])
+
+
+def branchy_function(then_load_offset):
+    """entry loads x[i]; arm loads x[then_load_offset]."""
+    entry = Block(
+        "entry",
+        [Load("v", "x", Reg("i"))],
+        Branch("gt", Reg("v"), Const(0), "arm", "join"),
+    )
+    arm = Block(
+        "arm",
+        [Load("w", "x", then_load_offset)],
+        Jump("join"),
+    )
+    join = Block("join", [], Halt())
+    return Function("f", ["x", "i"], [entry, arm, join])
+
+
+class TestDominators:
+    def test_linear_chain(self):
+        dom = dominators(linear_function())
+        assert dom["a"] == {"a"}
+        assert dom["b"] == {"a", "b"}
+        assert dom["c"] == {"a", "b", "c"}
+
+    def test_diamond(self):
+        entry = Block("e", [], Branch("lt", Reg("a"), Reg("b"), "t", "f"))
+        t = Block("t", [], Jump("j"))
+        f = Block("f", [], Jump("j"))
+        j = Block("j", [], Halt())
+        dom = dominators(Function("d", ["a", "b"], [entry, t, f, j]))
+        assert dom["j"] == {"e", "j"}  # neither arm dominates the join
+        assert dom["t"] == {"e", "t"}
+
+    def test_loop(self):
+        head = Block("head", [], Branch("lt", Reg("i"), Reg("n"), "body", "end"))
+        body = Block("body", [Assign("i", Reg("i"))], Jump("head"))
+        end = Block("end", [], Halt())
+        dom = dominators(Function("loop", ["i", "n"], [head, body, end]))
+        assert "head" in dom["body"]
+        assert "body" not in dom["end"]
+
+
+class TestLoadSafety:
+    def test_same_location_is_provable(self):
+        function = branchy_function(Reg("i"))
+        analysis = analyse(function)
+        load = function.block("arm").statements[0]
+        assert analysis.load_provably_safe("arm", load)
+
+    def test_different_offset_not_provable(self):
+        # The paper's x[i-1] vs x[i] example: offsets differ, no proof.
+        function = branchy_function(Reg("j"))
+        analysis = analyse(function)
+        load = function.block("arm").statements[0]
+        assert not analysis.load_provably_safe("arm", load)
+
+    def test_constant_offsets_distinguished(self):
+        entry = Block(
+            "entry",
+            [Load("v", "x", Const(4))],
+            Branch("gt", Reg("v"), Const(0), "arm", "join"),
+        )
+        arm = Block("arm", [Load("w", "x", Const(4))], Jump("join"))
+        join = Block("join", [], Halt())
+        function = Function("f", ["x"], [entry, arm, join])
+        analysis = analyse(function)
+        assert analysis.load_provably_safe("arm", arm.statements[0])
+
+    def test_store_makes_location_available(self):
+        entry = Block(
+            "entry",
+            [Store("x", Reg("i"), Const(0))],
+            Branch("gt", Reg("i"), Const(0), "arm", "join"),
+        )
+        arm = Block("arm", [Load("w", "x", Reg("i"))], Jump("join"))
+        join = Block("join", [], Halt())
+        function = Function("f", ["x", "i"], [entry, arm, join])
+        analysis = analyse(function)
+        assert analysis.load_provably_safe("arm", arm.statements[0])
+
+    def test_store_hazard_detected(self):
+        function = branchy_function(Reg("i"))
+        function.block("arm").statements.append(
+            Store("x", Reg("i"), Reg("w"))
+        )
+        analysis = analyse(function)
+        assert analysis.arm_has_aliased_store_hazard("arm")
+        assert not analysis.arm_has_aliased_store_hazard("join")
+
+
+class TestDefinedNames:
+    def test_collects_defs(self):
+        block = Block(
+            "b",
+            [Assign("a", Const(1)), Load("v", "x", Const(0))],
+            Halt(),
+        )
+        assert defined_names(block) == {"a", "v"}

@@ -1,0 +1,38 @@
+"""Shared helper: execute an IR function on concrete inputs."""
+
+from __future__ import annotations
+
+from repro.compiler.codegen import compile_function
+from repro.compiler.ir import Function
+from repro.isa.interpreter import run_program
+from repro.isa.memory import Memory
+
+
+def run_ir(
+    function: Function,
+    params: dict[str, int] | None = None,
+    segments: dict[str, list[int]] | None = None,
+    trace: list | None = None,
+):
+    """Compile and run ``function``.
+
+    ``segments`` maps parameter names to initial memory contents; each is
+    allocated and its base address bound to the parameter of the same
+    name. ``params`` binds plain integer parameters. Returns
+    ``(machine, kernel, memory)``.
+    """
+    kernel = compile_function(function)
+    memory = Memory(1 << 16)
+    initial: dict[int, int] = {}
+    for name, data in (segments or {}).items():
+        base = memory.alloc(name, data)
+        initial[kernel.gpr(name)] = base
+    for name, value in (params or {}).items():
+        initial[kernel.gpr(name)] = value
+    machine = run_program(kernel.program, memory, initial, trace=trace)
+    return machine, kernel, memory
+
+
+def read_reg(machine, kernel, name: str) -> int:
+    """Read virtual register ``name`` after execution."""
+    return machine.registers.read(kernel.gpr(name))

@@ -1,0 +1,206 @@
+"""Integration tests: the experiment drivers reproduce the paper's
+qualitative shapes. These are the repository's headline assertions."""
+
+import pytest
+
+from repro.experiments import EXPERIMENTS, fig2, fig3, fig4, fig5, fig6, table1
+from repro.experiments import table2 as table2_module
+from repro.experiments.common import APPS
+
+
+@pytest.fixture(scope="module")
+def fig3_data():
+    return fig3.run().data
+
+
+@pytest.fixture(scope="module")
+def fig6_data():
+    return fig6.run().data
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "fig1", "fig2", "fig3", "table2", "fig4", "fig5",
+            "fig6", "ext_phylip", "ext_cmp_llc", "ablations",
+        }
+
+
+class TestTable1:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return table1.run().data
+
+    def test_low_ipc_for_five_wide_machine(self, data):
+        """Table I: IPC far below the 5-wide commit limit."""
+        for app in APPS:
+            assert 0.7 < data[app]["ipc"] < 2.2
+
+    def test_l1d_miss_rates_low_blast_highest(self, data):
+        rates = {app: data[app]["l1d_miss_rate"] for app in APPS}
+        assert all(rate < 0.06 for rate in rates.values())
+        assert rates["blast"] == max(rates.values())
+        assert rates["clustalw"] == min(rates.values())
+
+    def test_mispredictions_are_direction_dominated(self, data):
+        for app in APPS:
+            assert data[app]["direction_share"] > 0.95
+
+    def test_fxu_stalls_present(self, data):
+        for app in APPS:
+            assert 0.0 < data[app]["fxu_stall_fraction"] < 0.30
+
+
+class TestFig3(object):
+    def test_max_beats_isel_hand_inserted(self, fig3_data):
+        """Figure 3: the max instruction beats isel everywhere (hand)."""
+        for app in APPS:
+            improvements = fig3_data["improvements"][app]
+            assert improvements["hand_max"] >= improvements["hand_isel"], app
+
+    def test_clustalw_gains_most_blast_least(self, fig3_data):
+        hand_max = {
+            app: fig3_data["improvements"][app]["hand_max"] for app in APPS
+        }
+        assert hand_max["clustalw"] == max(hand_max.values())
+        assert hand_max["blast"] == min(hand_max.values())
+
+    def test_compiler_beats_hand_for_blast_and_fasta(self, fig3_data):
+        for app in ("blast", "fasta"):
+            improvements = fig3_data["improvements"][app]
+            assert improvements["comp_max"] > improvements["hand_max"], app
+
+    def test_hand_beats_compiler_for_clustalw_and_hmmer(self, fig3_data):
+        for app in ("clustalw", "hmmer"):
+            improvements = fig3_data["improvements"][app]
+            assert improvements["hand_max"] > improvements["comp_max"], app
+            assert improvements["hand_isel"] > improvements["comp_isel"], app
+
+    def test_combination_best_or_tied_for_clustalw_hmmer(self, fig3_data):
+        for app in ("clustalw", "hmmer"):
+            improvements = fig3_data["improvements"][app]
+            best = max(improvements.values())
+            assert improvements["combination"] >= best - 0.01, app
+
+    def test_average_improvements_near_paper(self, fig3_data):
+        """Paper: isel +29.8% avg, max +34.8% avg."""
+        averages = fig3_data["averages"]
+        assert 0.20 < averages["hand_isel"] < 0.40
+        assert 0.25 < averages["hand_max"] < 0.45
+        assert averages["hand_max"] > averages["hand_isel"]
+
+    def test_all_variants_improve(self, fig3_data):
+        for app in APPS:
+            for variant, value in fig3_data["improvements"][app].items():
+                if variant != "baseline":
+                    assert value > 0, (app, variant)
+
+
+class TestTable2:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return table2_module.run().data
+
+    def test_predication_reduces_branch_fraction(self, data):
+        for app in APPS:
+            original = data[app]["baseline"]["branches"]
+            assert data[app]["hand_max"]["branches"] < original
+
+    def test_clustalw_branch_share_roughly_halves(self, data):
+        original = data["clustalw"]["baseline"]["branches"]
+        hand = data["clustalw"]["hand_max"]["branches"]
+        assert hand < 0.7 * original
+
+    def test_compiler_removes_more_branches_for_fasta(self, data):
+        """Table II: for Fasta the compiler removes more branches than
+        hand insertion did."""
+        hand = data["fasta"]["hand_max"]["branches"]
+        comp = data["fasta"]["comp_max"]["branches"]
+        assert comp < hand
+
+    def test_branch_fractions_in_paper_neighbourhood(self, data):
+        paper = table2_module.PAPER_ORIGINAL
+        for app in APPS:
+            ours = data[app]["baseline"]["branches"]
+            assert abs(ours - paper[app]["branches"]) < 0.06, app
+
+
+class TestFig2:
+    def test_ipc_anticorrelates_with_mispredicts(self):
+        result = fig2.run()
+        series = result.data["series"]
+        assert len(series) >= 8
+        correlation = fig2.ipc_tracks_mispredicts(series)
+        assert correlation < -0.4  # strongly anti-correlated
+
+    def test_series_has_phases(self):
+        result = fig2.run()
+        ipcs = [point[0] for point in result.data["series"]]
+        assert max(ipcs) > 1.25 * min(ipcs)  # visible phase behaviour
+
+
+class TestFig4:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig4.run().data
+
+    def test_btac_helps_every_app(self, data):
+        for app in APPS:
+            assert data[app]["base_gain"] > 0.0, app
+
+    def test_original_design_gains_more_than_combination(self, data):
+        for app in APPS:
+            assert data[app]["base_gain"] > data[app]["combo_gain"], app
+
+    def test_btac_mispredict_rate_small(self, data):
+        for app in APPS:
+            assert data[app]["btac_mispredict"] < 0.10, app
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return fig5.run().data
+
+    def test_hmmer_benefits_most_under_combination(self, data):
+        gains = {app: data[app]["combination"][3] for app in APPS}
+        assert gains["hmmer"] == max(gains.values())
+
+    def test_three_to_four_adds_little(self, data):
+        for app in APPS:
+            three = data[app]["combination"][3]
+            four = data[app]["combination"][4]
+            assert four - three < 0.02, app
+
+    def test_predicated_code_pressures_fxus_more(self, data):
+        """max/isel execute in the FXUs, so the combination code gains
+        at least as much from extra units as the baseline code."""
+        for app in APPS:
+            assert (
+                data[app]["combination"][4] >= data[app]["baseline"][4]
+            ), app
+
+
+class TestFig6:
+    def test_combined_average_near_paper(self, fig6_data):
+        """Paper: +64% average; we accept the 45-75% band."""
+        assert 0.40 < fig6_data["average"] < 0.80
+
+    def test_clustalw_best_overall(self, fig6_data):
+        totals = {
+            app: fig6_data["per_app"][app]["total"] for app in APPS
+        }
+        assert totals["clustalw"] == max(totals.values())
+
+    def test_clustalw_ipc_roughly_doubles(self, fig6_data):
+        clustalw = fig6_data["per_app"]["clustalw"]
+        ratio = clustalw["final_ipc"] / clustalw["base_ipc"]
+        assert ratio > 1.55
+
+    def test_residuals_mostly_positive(self, fig6_data):
+        positives = sum(
+            1
+            for app in APPS
+            if fig6_data["per_app"][app]["residual"] > 0
+        )
+        assert positives >= 3

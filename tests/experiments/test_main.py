@@ -1,0 +1,26 @@
+"""Tests for the ``python -m repro.experiments`` entry point."""
+
+import pytest
+
+from repro.experiments.__main__ import main
+
+
+class TestMain:
+    def test_runs_one_experiment(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+
+    def test_runs_multiple(self, capsys):
+        assert main(["table1", "fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out
+        assert "BTAC" in out
+
+    def test_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])
+
+    def test_requires_argument(self):
+        with pytest.raises(SystemExit):
+            main([])

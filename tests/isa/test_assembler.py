@@ -1,0 +1,163 @@
+"""Tests for the text assembler."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.assembler import assemble
+from repro.isa.instructions import Op
+from repro.isa.interpreter import run_program
+from repro.isa.memory import Memory
+from repro.isa.program import ProgramBuilder
+
+SOURCE = """
+# sum 1..5 into r3
+    li r3, 0
+    li r4, 1
+    li r5, 5
+loop:
+    add r3, r3, r4
+    addi r4, r4, 1
+    cmp cr0, r4, r5
+    bf cr0[1], loop        # loop while r4 <= r5 (not gt)
+    halt
+"""
+
+
+class TestAssemble:
+    def test_assembles_and_runs(self):
+        program = assemble(SOURCE)
+        machine = run_program(program, Memory(16))
+        assert machine.registers.read(3) == 15
+
+    def test_labels_resolved(self):
+        program = assemble(SOURCE)
+        assert "loop" in program.labels
+
+    def test_memory_operands(self):
+        program = assemble(
+            """
+            li r1, 3
+            st r1, 2(r0)
+            ld r2, 2(r0)
+            halt
+            """
+        )
+        machine = run_program(program, Memory(16))
+        assert machine.registers.read(2) == 3
+
+    def test_isel_and_max(self):
+        program = assemble(
+            """
+            li r1, 9
+            li r2, 4
+            max r3, r1, r2
+            cmp cr1, r1, r2
+            isel r4, r1, r2, cr1, 1
+            halt
+            """
+        )
+        machine = run_program(program, Memory(4))
+        assert machine.registers.read(3) == 9
+        assert machine.registers.read(4) == 9
+
+    def test_roundtrip_through_listing(self):
+        program = assemble(SOURCE)
+        again = assemble(program.listing())
+        assert [i.op for i in again.instructions] == [
+            i.op for i in program.instructions
+        ]
+        assert again.targets == program.targets
+
+    def test_builder_roundtrip(self):
+        builder = ProgramBuilder()
+        builder.li(1, 2).muli(2, 1, 3).stx(2, 0, 1).ldx(3, 0, 1)
+        builder.label("end").halt()
+        program = builder.build()
+        again = assemble(program.listing())
+        assert len(again) == len(program)
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate r1, r2")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblyError):
+            assemble("li r99, 4")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblyError):
+            assemble("ld r1, r2")
+
+    def test_too_few_operands(self):
+        with pytest.raises(AssemblyError):
+            assemble("add r1, r2")
+
+    def test_error_mentions_line_number(self):
+        try:
+            assemble("nop\nbogus r1")
+        except AssemblyError as error:
+            assert "line 2" in str(error)
+        else:
+            pytest.fail("expected AssemblyError")
+
+    def test_undefined_label(self):
+        with pytest.raises(AssemblyError):
+            assemble("b nowhere\nhalt")
+
+
+class TestRoundtripProperty:
+    def test_random_programs_roundtrip(self):
+        """Any builder-produced program survives listing -> assemble."""
+        import random
+
+        from repro.isa.instructions import Op
+
+        for seed in range(20):
+            rng = random.Random(seed)
+            builder = ProgramBuilder()
+            labels = []
+            for position in range(rng.randint(5, 30)):
+                if rng.random() < 0.2:
+                    name = f"l{position}"
+                    builder.label(name)
+                    labels.append(name)
+                choice = rng.randrange(10)
+                r = lambda: rng.randrange(32)
+                if choice == 0:
+                    builder.li(r(), rng.randint(-100, 100))
+                elif choice == 1:
+                    builder.add(r(), r(), r())
+                elif choice == 2:
+                    builder.subi(r(), r(), rng.randint(0, 9))
+                elif choice == 3:
+                    builder.max(r(), r(), r())
+                elif choice == 4:
+                    builder.isel(r(), r(), r(), rng.randrange(8),
+                                 rng.randrange(3))
+                elif choice == 5:
+                    builder.ld(r(), r(), rng.randint(-4, 4))
+                elif choice == 6:
+                    builder.stx(r(), r(), r())
+                elif choice == 7 and labels:
+                    builder.bc(rng.randrange(8), rng.randrange(3),
+                               rng.choice(labels),
+                               want=rng.random() < 0.5)
+                elif choice == 8:
+                    builder.and_(r(), r(), r())
+                else:
+                    builder.nop()
+            builder.halt()
+            program = builder.build()
+            again = assemble(program.listing())
+            assert len(again) == len(program), seed
+            for original, parsed in zip(program.instructions,
+                                        again.instructions):
+                assert original.op == parsed.op, seed
+                assert original.rd == parsed.rd, seed
+                assert original.ra == parsed.ra, seed
+                assert original.rb == parsed.rb, seed
+                assert original.imm == parsed.imm, seed
+                assert original.want == parsed.want, seed
+            assert again.targets == program.targets, seed

@@ -1,0 +1,99 @@
+"""Tests for instruction metadata (units, sources, rendering)."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Instruction, Op, Unit, validate
+
+
+class TestUnits:
+    def test_arithmetic_is_fxu(self):
+        assert Instruction(Op.ADD, rd=1, ra=2, rb=3).unit is Unit.FXU
+        assert Instruction(Op.MAX, rd=1, ra=2, rb=3).unit is Unit.FXU
+        assert Instruction(Op.ISEL, rd=1, ra=2, rb=3, crf=0, crbit=1).unit is Unit.FXU
+
+    def test_memory_is_lsu(self):
+        assert Instruction(Op.LD, rd=1, ra=2, imm=0).unit is Unit.LSU
+        assert Instruction(Op.ST, rd=1, ra=2, imm=0).unit is Unit.LSU
+
+    def test_branches_are_bru(self):
+        assert Instruction(Op.B, label="x").unit is Unit.BRU
+        assert Instruction(Op.BC, crf=0, crbit=0, label="x").unit is Unit.BRU
+
+    def test_latencies(self):
+        assert Instruction(Op.ADD, rd=1, ra=2, rb=3).latency == 1
+        assert Instruction(Op.LD, rd=1, ra=2, imm=0).latency == 2
+        assert Instruction(Op.MUL, rd=1, ra=2, rb=3).latency == 5
+
+
+class TestSourcesAndDest:
+    def test_add_sources(self):
+        instr = Instruction(Op.ADD, rd=1, ra=2, rb=3)
+        assert instr.source_registers() == (2, 3)
+        assert instr.destination_register() == 1
+
+    def test_store_sources_include_value(self):
+        instr = Instruction(Op.ST, rd=5, ra=6, imm=4)
+        assert set(instr.source_registers()) == {5, 6}
+        assert instr.destination_register() is None
+
+    def test_cmp_has_no_dest(self):
+        instr = Instruction(Op.CMP, crf=0, ra=1, rb=2)
+        assert instr.destination_register() is None
+        assert instr.source_registers() == (1, 2)
+
+    def test_branch_has_no_dest_or_sources(self):
+        instr = Instruction(Op.B, label="x")
+        assert instr.destination_register() is None
+        assert instr.source_registers() == ()
+
+    def test_li_has_no_sources(self):
+        assert Instruction(Op.LI, rd=1, imm=5).source_registers() == ()
+
+    def test_classification_flags(self):
+        assert Instruction(Op.BC, crf=0, crbit=0, label="x").is_conditional_branch
+        assert not Instruction(Op.B, label="x").is_conditional_branch
+        assert Instruction(Op.LD, rd=1, ra=2, imm=0).is_load
+        assert Instruction(Op.STX, rd=1, ra=2, rb=3).is_store
+
+
+class TestRender:
+    def test_render_forms(self):
+        assert Instruction(Op.LI, rd=3, imm=5).render() == "li r3, 5"
+        assert Instruction(Op.LD, rd=3, ra=4, imm=8).render() == "ld r3, 8(r4)"
+        assert (
+            Instruction(Op.BC, crf=0, crbit=1, want=True, label="L").render()
+            == "bt cr0[1], L"
+        )
+        assert (
+            Instruction(Op.BC, crf=0, crbit=1, want=False, label="L").render()
+            == "bf cr0[1], L"
+        )
+        assert (
+            Instruction(Op.MAX, rd=1, ra=2, rb=3).render() == "max r1, r2, r3"
+        )
+
+    def test_comment_appended(self):
+        text = Instruction(Op.NOP, comment="spacer").render()
+        assert "# spacer" in text
+
+
+class TestValidate:
+    def test_missing_target_register(self):
+        with pytest.raises(AssemblyError):
+            validate(Instruction(Op.ADD, ra=1, rb=2))
+
+    def test_branch_needs_label(self):
+        with pytest.raises(AssemblyError):
+            validate(Instruction(Op.B))
+
+    def test_bc_needs_cr(self):
+        with pytest.raises(AssemblyError):
+            validate(Instruction(Op.BC, label="x"))
+
+    def test_isel_needs_cr(self):
+        with pytest.raises(AssemblyError):
+            validate(Instruction(Op.ISEL, rd=1, ra=2, rb=3))
+
+    def test_valid_instruction_passes(self):
+        validate(Instruction(Op.MAX, rd=1, ra=2, rb=3))

@@ -1,0 +1,137 @@
+"""Tests for the mini-ISA interpreter and trace generation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import InterpreterError
+from repro.isa.instructions import Op
+from repro.isa.interpreter import Machine, run_program
+from repro.isa.memory import Memory
+from repro.isa.program import ProgramBuilder
+from repro.isa.trace import opcode_histogram, trace_statistics
+
+
+def build_sum_loop(n):
+    """Program summing 1..n into r3."""
+    builder = ProgramBuilder()
+    builder.li(3, 0)
+    builder.li(4, 1)
+    builder.li(5, n)
+    builder.label("loop")
+    builder.add(3, 3, 4)
+    builder.addi(4, 4, 1)
+    builder.cmp(0, 4, 5)
+    builder.bc(0, 1, "loop", want=False)  # while not (r4 > r5)
+    builder.halt()
+    return builder.build()
+
+
+class TestExecution:
+    def test_sum_loop(self):
+        machine = run_program(build_sum_loop(10), Memory(4))
+        assert machine.registers.read(3) == 55
+
+    def test_initial_registers(self):
+        builder = ProgramBuilder()
+        builder.add(3, 1, 2).halt()
+        machine = run_program(
+            builder.build(), Memory(4), initial_registers={1: 20, 2: 22}
+        )
+        assert machine.registers.read(3) == 42
+
+    def test_memory_access(self):
+        memory = Memory(32)
+        base = memory.alloc("data", [5, 6, 7])
+        builder = ProgramBuilder()
+        builder.li(1, base)
+        builder.ld(2, 1, 1)       # r2 = data[1]
+        builder.addi(2, 2, 10)
+        builder.st(2, 1, 2)       # data[2] = 16
+        builder.halt()
+        run_program(builder.build(), memory)
+        assert memory.segment_words("data") == [5, 6, 16]
+
+    def test_max_semantics(self):
+        builder = ProgramBuilder()
+        builder.li(1, -5).li(2, -9).max(3, 1, 2).max(4, 2, 1).halt()
+        machine = run_program(builder.build(), Memory(4))
+        assert machine.registers.read(3) == -5
+        assert machine.registers.read(4) == -5
+
+    def test_isel_selects_on_bit_clear(self):
+        builder = ProgramBuilder()
+        builder.li(1, 3).li(2, 8)
+        builder.cmp(0, 1, 2)
+        builder.isel(3, 1, 2, 0, 1)  # gt bit clear -> pick r2
+        builder.halt()
+        machine = run_program(builder.build(), Memory(4))
+        assert machine.registers.read(3) == 8
+
+    def test_unconditional_branch(self):
+        builder = ProgramBuilder()
+        builder.li(1, 1)
+        builder.b("skip")
+        builder.li(1, 99)
+        builder.label("skip").halt()
+        machine = run_program(builder.build(), Memory(4))
+        assert machine.registers.read(1) == 1
+
+    def test_step_budget_enforced(self):
+        builder = ProgramBuilder()
+        builder.label("spin").b("spin")
+        with pytest.raises(InterpreterError):
+            run_program(builder.build(), Memory(4), max_steps=100)
+
+    def test_halted_machine_cannot_rerun(self):
+        machine = run_program(build_sum_loop(2), Memory(4))
+        with pytest.raises(InterpreterError):
+            machine.run()
+
+    @given(st.integers(1, 50))
+    @settings(max_examples=20, deadline=None)
+    def test_sum_loop_matches_formula(self, n):
+        machine = run_program(build_sum_loop(n), Memory(4))
+        assert machine.registers.read(3) == n * (n + 1) // 2
+
+
+class TestTracing:
+    def test_trace_length_matches_steps(self):
+        trace = []
+        machine = run_program(build_sum_loop(5), Memory(4), trace=trace)
+        assert len(trace) == machine.steps
+
+    def test_branch_events(self):
+        trace = []
+        run_program(build_sum_loop(3), Memory(4), trace=trace)
+        branches = [e for e in trace if e.is_branch]
+        # Loop runs 3 times: taken, taken, not-taken.
+        assert [e.taken for e in branches] == [True, True, False]
+        assert branches[0].next_pc == 3  # back to loop head
+
+    def test_load_event_has_address(self):
+        memory = Memory(16)
+        base = memory.alloc("data", [1])
+        builder = ProgramBuilder()
+        builder.li(1, base).ld(2, 1, 0).halt()
+        trace = []
+        run_program(builder.build(), memory, trace=trace)
+        load_events = [e for e in trace if e.is_load]
+        assert load_events[0].address == base
+
+    def test_statistics(self):
+        trace = []
+        run_program(build_sum_loop(4), Memory(4), trace=trace)
+        stats = trace_statistics(trace)
+        assert stats.instructions == len(trace)
+        assert stats.branches == 4
+        assert stats.taken_branches == 3
+        assert stats.conditional_branches == 4
+        assert 0 < stats.branch_fraction < 1
+
+    def test_opcode_histogram(self):
+        trace = []
+        run_program(build_sum_loop(4), Memory(4), trace=trace)
+        histogram = opcode_histogram(trace)
+        assert histogram[Op.ADD] == 4
+        assert histogram[Op.HALT] == 1

@@ -1,0 +1,62 @@
+"""Tests for the word-addressed memory."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.isa.memory import Memory
+
+
+class TestAllocation:
+    def test_alloc_returns_disjoint_bases(self):
+        mem = Memory(100)
+        a = mem.alloc("a", 10)
+        b = mem.alloc("b", [1, 2, 3])
+        assert b == a + 10
+        assert mem.segment("b") == (b, 3)
+
+    def test_alloc_with_data_initialises(self):
+        mem = Memory(10)
+        base = mem.alloc("a", [7, 8, 9])
+        assert [mem.load(base + i) for i in range(3)] == [7, 8, 9]
+
+    def test_duplicate_name_rejected(self):
+        mem = Memory(10)
+        mem.alloc("a", 2)
+        with pytest.raises(InterpreterError):
+            mem.alloc("a", 2)
+
+    def test_out_of_memory(self):
+        mem = Memory(4)
+        with pytest.raises(InterpreterError):
+            mem.alloc("big", 5)
+
+    def test_unknown_segment(self):
+        with pytest.raises(InterpreterError):
+            Memory(4).segment("nope")
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(InterpreterError):
+            Memory(0)
+
+
+class TestLoadStore:
+    def test_roundtrip(self):
+        mem = Memory(10)
+        mem.store(3, 42)
+        assert mem.load(3) == 42
+
+    def test_bounds_checked(self):
+        mem = Memory(10)
+        with pytest.raises(InterpreterError):
+            mem.load(10)
+        with pytest.raises(InterpreterError):
+            mem.store(-1, 0)
+
+    def test_segment_words_snapshot(self):
+        mem = Memory(10)
+        base = mem.alloc("a", [1, 2])
+        words = mem.segment_words("a")
+        assert words == [1, 2]
+        mem.store(base, 99)
+        assert words == [1, 2]  # snapshot, not a view
+        assert mem.segment_words("a") == [99, 2]

@@ -1,0 +1,64 @@
+"""Tests for Program/ProgramBuilder."""
+
+import pytest
+
+from repro.errors import AssemblyError
+from repro.isa.instructions import Op
+from repro.isa.program import ProgramBuilder
+
+
+def simple_loop():
+    builder = ProgramBuilder()
+    builder.li(1, 0)
+    builder.li(2, 5)
+    builder.label("loop")
+    builder.addi(1, 1, 1)
+    builder.cmp(0, 1, 2)
+    builder.bc(0, 0, "loop", want=True)  # branch while r1 < r2
+    builder.halt()
+    return builder.build()
+
+
+class TestBuilder:
+    def test_build_resolves_labels(self):
+        program = simple_loop()
+        assert program.labels["loop"] == 2
+        # The bc is instruction index 4; its target must be 2.
+        assert program.targets[4] == 2
+
+    def test_duplicate_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.label("x")
+        with pytest.raises(AssemblyError):
+            builder.label("x")
+
+    def test_undefined_label_rejected(self):
+        builder = ProgramBuilder()
+        builder.b("nowhere")
+        with pytest.raises(AssemblyError):
+            builder.build()
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(AssemblyError):
+            ProgramBuilder().build()
+
+    def test_invalid_instruction_rejected_at_emit(self):
+        builder = ProgramBuilder()
+        with pytest.raises(AssemblyError):
+            builder.isel(1, 2, 3, None, None)  # type: ignore[arg-type]
+
+
+class TestProgram:
+    def test_len_and_index(self):
+        program = simple_loop()
+        assert len(program) == 6
+        assert program[0].op is Op.LI
+
+    def test_listing_contains_labels(self):
+        text = simple_loop().listing()
+        assert "loop:" in text
+        assert "addi r1, r1, 1" in text
+
+    def test_non_branch_targets_none(self):
+        program = simple_loop()
+        assert program.targets[0] is None

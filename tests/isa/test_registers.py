@@ -1,0 +1,66 @@
+"""Tests for the register file."""
+
+import pytest
+
+from repro.errors import InterpreterError
+from repro.isa.registers import CR_EQ, CR_GT, CR_LT, RegisterFile
+
+
+class TestGprs:
+    def test_initial_state_zero(self):
+        regs = RegisterFile()
+        assert all(regs.read(i) == 0 for i in range(32))
+
+    def test_write_read(self):
+        regs = RegisterFile()
+        regs.write(5, 42)
+        assert regs.read(5) == 42
+
+    def test_out_of_range_rejected(self):
+        regs = RegisterFile()
+        with pytest.raises(InterpreterError):
+            regs.read(32)
+        with pytest.raises(InterpreterError):
+            regs.write(-1, 0)
+
+
+class TestConditionRegister:
+    def test_compare_less(self):
+        regs = RegisterFile()
+        regs.set_compare(0, 1, 2)
+        assert regs.cr_bit(0, CR_LT)
+        assert not regs.cr_bit(0, CR_GT)
+        assert not regs.cr_bit(0, CR_EQ)
+
+    def test_compare_greater(self):
+        regs = RegisterFile()
+        regs.set_compare(3, 9, 2)
+        assert regs.cr_bit(3, CR_GT)
+        assert not regs.cr_bit(3, CR_LT)
+
+    def test_compare_equal(self):
+        regs = RegisterFile()
+        regs.set_compare(7, 4, 4)
+        assert regs.cr_bit(7, CR_EQ)
+
+    def test_fields_independent(self):
+        regs = RegisterFile()
+        regs.set_compare(0, 1, 2)
+        regs.set_compare(1, 2, 1)
+        assert regs.cr_bit(0, CR_LT)
+        assert regs.cr_bit(1, CR_GT)
+
+    def test_bad_field_rejected(self):
+        regs = RegisterFile()
+        with pytest.raises(InterpreterError):
+            regs.set_compare(8, 0, 0)
+        with pytest.raises(InterpreterError):
+            regs.cr_bit(0, 3)
+
+    def test_reset(self):
+        regs = RegisterFile()
+        regs.write(1, 7)
+        regs.set_compare(0, 1, 2)
+        regs.reset()
+        assert regs.read(1) == 0
+        assert not regs.cr_bit(0, CR_LT)

@@ -1,0 +1,81 @@
+"""Tests for trace serialisation."""
+
+import pytest
+
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.workloads import make_family
+from repro.errors import InterpreterError
+from repro.isa.tracestore import load_trace, save_trace
+from repro.kernels import smith_waterman as sw
+from repro.uarch.config import power5
+from repro.uarch.core import simulate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    family = make_family("ts", 2, 24, 0.3, seed=19)
+    events = []
+    sw.run("baseline", family[0], family[1], BLOSUM62,
+           GapPenalties(10, 2), trace=events)
+    return events
+
+
+class TestRoundtrip:
+    def test_fields_preserved(self, trace, tmp_path):
+        path = tmp_path / "kernel.trace"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert len(loaded) == len(trace)
+        for original, restored in zip(trace, loaded):
+            assert restored.pc == original.pc
+            assert restored.op == original.op
+            assert restored.taken == original.taken
+            assert restored.next_pc == original.next_pc
+            assert restored.address == original.address
+            assert restored.dst == original.dst
+            assert restored.srcs == original.srcs
+            assert restored.unit == original.unit
+            assert restored.latency == original.latency
+            assert restored.occupancy == original.occupancy
+
+    def test_simulation_identical(self, trace, tmp_path):
+        """The reloaded trace must simulate to the same cycle count."""
+        path = tmp_path / "kernel.trace"
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        original = simulate_trace(trace, power5())
+        restored = simulate_trace(loaded, power5())
+        assert restored.cycles == original.cycles
+        assert (
+            restored.direction_mispredictions
+            == original.direction_mispredictions
+        )
+        assert restored.cache.misses == original.cache.misses
+
+
+class TestErrors:
+    def test_not_a_trace_file(self, tmp_path):
+        path = tmp_path / "bogus.trace"
+        path.write_text("hello world\n")
+        with pytest.raises(InterpreterError):
+            load_trace(path)
+
+    def test_truncated_file(self, trace, tmp_path):
+        path = tmp_path / "short.trace"
+        save_trace(path, trace)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:-5]) + "\n")
+        with pytest.raises(InterpreterError):
+            load_trace(path)
+
+    def test_malformed_record(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("repro-trace v1 1\n1 2 3\n")
+        with pytest.raises(InterpreterError):
+            load_trace(path)
+
+    def test_unknown_opcode(self, tmp_path):
+        path = tmp_path / "bad_op.trace"
+        path.write_text("repro-trace v1 1\n0 frob 0 1 - - -\n")
+        with pytest.raises(InterpreterError):
+            load_trace(path)

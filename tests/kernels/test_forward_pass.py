@@ -1,0 +1,98 @@
+"""Semantic and structural tests for the forward_pass kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.pairwise import needleman_wunsch_score
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.sequence import Sequence
+from repro.isa.trace import trace_statistics
+from repro.kernels import forward_pass as fp
+from repro.kernels.runtime import ALL_VARIANTS
+
+GAPS = GapPenalties(10, 2)
+protein_text = st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=18)
+
+
+def seq(text):
+    return Sequence("s", text, PROTEIN)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_matches_reference(self, variant):
+        a = seq("MKVAWTHEAGAWGHEE")
+        b = seq("PAWHEAEMKVAWLLT")
+        expected = needleman_wunsch_score(a, b, BLOSUM62, GAPS)
+        assert fp.run(variant, a, b, BLOSUM62, GAPS) == expected
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=10, deadline=None)
+    def test_baseline_property(self, ta, tb):
+        a, b = seq(ta), seq(tb)
+        expected = needleman_wunsch_score(a, b, BLOSUM62, GAPS)
+        assert fp.run("baseline", a, b, BLOSUM62, GAPS) == expected
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=6, deadline=None)
+    def test_all_variants_agree(self, ta, tb):
+        a, b = seq(ta), seq(tb)
+        scores = {v: fp.run(v, a, b, BLOSUM62, GAPS) for v in ALL_VARIANTS}
+        assert len(set(scores.values())) == 1, scores
+
+    def test_maxscore_tracks_matrix_maximum(self):
+        a, b = seq("MKVAWTHE"), seq("MKVAWTHE")
+        score, maxscore = fp.run_maxscore("baseline", a, b, BLOSUM62, GAPS)
+        # Identical sequences: the final cell is also the matrix maximum.
+        assert maxscore >= score
+        assert maxscore == needleman_wunsch_score(a, b, BLOSUM62, GAPS)
+
+    def test_maxscore_consistent_across_variants(self):
+        a, b = seq("MKVAWTHEAG"), seq("PAWHEAE")
+        results = {
+            v: fp.run_maxscore(v, a, b, BLOSUM62, GAPS) for v in ALL_VARIANTS
+        }
+        assert len(set(results.values())) == 1
+
+
+class TestStructure:
+    def trace_for(self, variant):
+        a = seq("MKVAWTHEAGAW")
+        b = seq("PAWHEAEMKV")
+        trace = []
+        fp.run(variant, a, b, BLOSUM62, GAPS, trace=trace)
+        return trace_statistics(trace)
+
+    def test_hand_beats_compiler_on_branch_removal(self):
+        """Two of five sites are conditional stores the compiler refuses,
+        so compiler-isel keeps more branches than hand-isel (the paper's
+        Clustalw hand-vs-compiler gap)."""
+        hand = self.trace_for("hand_isel")
+        comp = self.trace_for("comp_isel")
+        assert hand.branches < comp.branches
+
+    def test_compiler_refuses_memory_sites(self):
+        config = fp.FpConfig(len(BLOSUM62.alphabet), 12, 2)
+        decisions = fp.HARNESS.decisions("comp_isel", config)
+        refused = {d.site for d in decisions if not d.converted and d.site}
+        assert refused == {"f_max", "score_max"}
+        converted = {d.site for d in decisions if d.converted}
+        assert converted == {"e_max", "v_e", "v_f"}
+
+    def test_branch_fraction_roughly_halves_with_hand_predication(self):
+        """Table II: Clustalw's branch share drops by ~half."""
+        base = self.trace_for("baseline")
+        hand = self.trace_for("hand_max")
+        assert hand.branch_fraction < 0.7 * base.branch_fraction
+
+    def test_all_sites_present_in_baseline(self):
+        config = fp.FpConfig(len(BLOSUM62.alphabet), 12, 2)
+        function = fp.HARNESS.function("baseline", config)
+        sites = set()
+        for block in function.blocks:
+            terminator = block.terminator
+            if hasattr(terminator, "site") and terminator.site:
+                sites.add(terminator.site)
+        assert sites == fp.ALL_SITES

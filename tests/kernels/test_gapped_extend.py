@@ -1,0 +1,113 @@
+"""Semantic and structural tests for the SEMI_G_ALIGN_EX kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.banded import xdrop_extend
+from repro.bio.pairwise import smith_waterman_score
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.sequence import Sequence
+from repro.isa.trace import trace_statistics
+from repro.kernels import gapped_extend as gx
+from repro.kernels.runtime import ALL_VARIANTS
+
+GAPS = GapPenalties(11, 1)
+protein_text = st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=18)
+
+
+def seq(text):
+    return Sequence("s", text, PROTEIN)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_matches_reference(self, variant):
+        a = seq("MKVAWTHEAGAWGHEE")
+        b = seq("MKVAWTHECGAWGHEE")
+        expected = gx.reference(a, b, BLOSUM62, GAPS)
+        assert gx.run(variant, a, b, BLOSUM62, GAPS) == expected
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=10, deadline=None)
+    def test_baseline_property(self, ta, tb):
+        a, b = seq(ta), seq(tb)
+        expected = gx.reference(a, b, BLOSUM62, GAPS, band=5, x_drop=20)
+        assert gx.run(
+            "baseline", a, b, BLOSUM62, GAPS, band=5, x_drop=20
+        ) == expected
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=6, deadline=None)
+    def test_all_variants_agree(self, ta, tb):
+        a, b = seq(ta), seq(tb)
+        scores = {
+            v: gx.run(v, a, b, BLOSUM62, GAPS, band=6, x_drop=25)
+            for v in ALL_VARIANTS
+        }
+        assert len(set(scores.values())) == 1, scores
+
+    def test_bounded_by_smith_waterman(self):
+        a = seq("MKVAWTHEAGAW")
+        b = seq("GAWMKVAWTHE")
+        score = gx.run("baseline", a, b, BLOSUM62, GAPS, band=32, x_drop=500)
+        assert score <= smith_waterman_score(a, b, BLOSUM62, GAPS)
+
+    def test_wide_band_matches_unbanded_extension(self):
+        """With a huge band and X budget the kernel computes the same
+        prefix-anchored extension score as the adaptive bio routine."""
+        a = seq("MKVAWTHEAGAW")
+        b = seq("MKVAWCHEAGAW")
+        kernel_score = gx.run(
+            "baseline", a, b, BLOSUM62, GAPS, band=64, x_drop=10_000
+        )
+        bio_score, _, _ = xdrop_extend(
+            a.codes, b.codes, BLOSUM62, GAPS, 10_000
+        )
+        assert kernel_score == max(0, bio_score)
+
+    def test_narrow_band_at_most_wide_band(self):
+        a = seq("MKVAWTHEAGAWGHEE")
+        b = seq("MKVAWTHEAGAWGHEE")
+        narrow = gx.run("baseline", a, b, BLOSUM62, GAPS, band=2)
+        wide = gx.run("baseline", a, b, BLOSUM62, GAPS, band=20)
+        assert narrow <= wide
+
+
+class TestStructure:
+    def trace_for(self, variant):
+        a = seq("MKVAWTHEAGAWGHEE")
+        b = seq("MKVAWTHECGAWGHEE")
+        trace = []
+        gx.run(variant, a, b, BLOSUM62, GAPS, trace=trace)
+        return trace_statistics(trace)
+
+    def test_compiler_isel_beats_hand_isel(self):
+        """Blast's complex scaffolding hides hammocks only the compiler
+        finds (Figure 3's Blast ordering)."""
+        hand = self.trace_for("hand_isel")
+        comp = self.trace_for("comp_isel")
+        assert comp.branches < hand.branches
+
+    def test_comp_max_beats_hand_max(self):
+        hand = self.trace_for("hand_max")
+        comp = self.trace_for("comp_max")
+        assert comp.branches < hand.branches
+
+    def test_decision_coverage(self):
+        config = gx.GappedConfig(len(BLOSUM62.alphabet), 12, 1, 12, 30)
+        isel = gx.HARNESS.decisions("comp_isel", config)
+        converted = {d.site for d in isel if d.converted}
+        assert {"best", "lo_clamp", "hi_clamp", "xdrop_prune"} <= converted
+        refused = {d.site for d in isel if not d.converted and d.site}
+        assert "edge_clear" in refused  # conditional stores stay branchy
+
+        max_style = gx.HARNESS.decisions("comp_max", config)
+        max_converted = {d.site for d in max_style if d.converted}
+        assert "hi_clamp" not in max_converted  # min shape needs isel
+        assert "lo_clamp" in max_converted
+
+    def test_hand_sites_exclude_scaffolding(self):
+        assert "best" not in gx.HAND_SITES
+        assert gx.HAND_SITES < gx.ALL_SITES

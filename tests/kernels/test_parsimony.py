@@ -1,0 +1,96 @@
+"""Semantic and structural tests for the Fitch-parsimony kernel."""
+
+import numpy as np
+import pytest
+
+from repro.bio.guidetree import upgma
+from repro.bio.msa import clustalw, pairwise_distance_matrix
+from repro.bio.phylo import fitch_score
+from repro.bio.workloads import make_family
+from repro.isa.trace import trace_statistics
+from repro.kernels import parsimony
+from repro.kernels.runtime import ALL_VARIANTS
+
+
+@pytest.fixture(scope="module")
+def workload():
+    family = make_family("pk", 7, 36, 0.3, seed=61)
+    msa = clustalw(family)
+    tree = upgma(
+        np.asarray(pairwise_distance_matrix(family, method="ktuple"))
+    )
+    return tree, list(msa.rows), family[0].alphabet.symbols
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_matches_reference(self, variant, workload):
+        tree, rows, symbols = workload
+        expected = fitch_score(tree, rows, symbols)
+        assert parsimony.run(variant, tree, rows, symbols) == expected
+
+    def test_single_site(self, workload):
+        tree, rows, symbols = workload
+        one_column = [row[:1] for row in rows]
+        expected = fitch_score(tree, one_column, symbols)
+        assert parsimony.run("baseline", tree, one_column, symbols) == (
+            expected
+        )
+
+    def test_empty_rows_rejected(self, workload):
+        tree, _rows, symbols = workload
+        from repro.errors import WorkloadError
+
+        with pytest.raises(WorkloadError):
+            parsimony.run("baseline", tree, [], symbols)
+
+
+class TestStructure:
+    def trace_for(self, variant, workload):
+        tree, rows, symbols = workload
+        trace = []
+        parsimony.run(variant, tree, rows, symbols, trace=trace)
+        return trace_statistics(trace)
+
+    def test_max_is_powerless(self, workload):
+        """The Fitch conditional has no max shape: hand_max and
+        comp_max leave the baseline untouched (the SVIII twist)."""
+        base = self.trace_for("baseline", workload)
+        hand = self.trace_for("hand_max", workload)
+        comp = self.trace_for("comp_max", workload)
+        assert hand.branches == base.branches
+        assert comp.branches == base.branches
+        assert hand.max_ops == 0
+
+    def test_isel_removes_the_branch(self, workload):
+        base = self.trace_for("baseline", workload)
+        hand = self.trace_for("hand_isel", workload)
+        assert hand.branches < base.branches
+        assert hand.isel_ops > 0
+
+    def test_compiler_converts_the_hammock(self, workload):
+        config = parsimony.ParsimonyConfig()
+        decisions = parsimony.HARNESS.decisions("comp_isel", config)
+        assert [d.site for d in decisions if d.converted] == ["fitch"]
+        max_decisions = parsimony.HARNESS.decisions("comp_max", config)
+        assert not [d for d in max_decisions if d.converted]
+
+
+class TestPropertyBased:
+    def test_random_trees_and_alignments(self):
+        from repro.bio.guidetree import neighbour_joining
+
+        for seed in range(4):
+            family = make_family(f"pp{seed}", 5 + seed, 20, 0.3,
+                                 seed=400 + seed)
+            msa = clustalw(family)
+            tree = neighbour_joining(
+                np.asarray(
+                    pairwise_distance_matrix(family, method="ktuple")
+                )
+            )
+            rows = list(msa.rows)
+            symbols = family[0].alphabet.symbols
+            assert parsimony.run("baseline", tree, rows, symbols) == (
+                fitch_score(tree, rows, symbols)
+            ), seed

@@ -1,0 +1,87 @@
+"""Semantic and structural tests for the dropgsw kernel."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bio.pairwise import smith_waterman_score
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.sequence import Sequence
+from repro.bio.alphabet import PROTEIN
+from repro.isa.trace import trace_statistics
+from repro.kernels import smith_waterman as sw
+from repro.kernels.runtime import ALL_VARIANTS
+
+GAPS = GapPenalties(10, 2)
+protein_text = st.text(alphabet="ACDEFGHIKLMNPQRSTVWY", min_size=1, max_size=18)
+
+
+def seq(text):
+    return Sequence("s", text, PROTEIN)
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_matches_reference(self, variant):
+        a = seq("MKVAWTHEAGAWGHEE")
+        b = seq("PAWHEAEMKVAWLLT")
+        expected = smith_waterman_score(a, b, BLOSUM62, GAPS)
+        assert sw.run(variant, a, b, BLOSUM62, GAPS) == expected
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=10, deadline=None)
+    def test_baseline_property(self, ta, tb):
+        a, b = seq(ta), seq(tb)
+        expected = smith_waterman_score(a, b, BLOSUM62, GAPS)
+        assert sw.run("baseline", a, b, BLOSUM62, GAPS) == expected
+
+    @given(protein_text, protein_text)
+    @settings(max_examples=6, deadline=None)
+    def test_all_variants_agree(self, ta, tb):
+        a, b = seq(ta), seq(tb)
+        scores = {v: sw.run(v, a, b, BLOSUM62, GAPS) for v in ALL_VARIANTS}
+        assert len(set(scores.values())) == 1, scores
+
+
+class TestStructure:
+    def trace_for(self, variant):
+        a = seq("MKVAWTHEAGAW")
+        b = seq("PAWHEAEMKV")
+        trace = []
+        sw.run(variant, a, b, BLOSUM62, GAPS, trace=trace)
+        return trace_statistics(trace)
+
+    def test_hand_max_removes_branches(self):
+        base = self.trace_for("baseline")
+        hand = self.trace_for("hand_max")
+        assert hand.branch_fraction < base.branch_fraction
+        assert hand.max_ops > 0
+        assert hand.isel_ops == 0
+
+    def test_hand_isel_uses_isel_and_cmp(self):
+        hand = self.trace_for("hand_isel")
+        assert hand.isel_ops > 0
+        assert hand.max_ops == 0
+        # Every isel needs a preceding cmp -> more cmps than the max form.
+        assert hand.cmp_ops >= hand.isel_ops
+
+    def test_max_shorter_than_isel(self):
+        """The paper: isel requires one more instruction than max."""
+        hand_max = self.trace_for("hand_max")
+        hand_isel = self.trace_for("hand_isel")
+        assert hand_max.instructions < hand_isel.instructions
+
+    def test_comp_max_converts_more_sites_than_hand(self):
+        """The compiler finds the 'best' site hand-insertion missed."""
+        comp = self.trace_for("comp_max")
+        hand = self.trace_for("hand_max")
+        assert comp.branches < hand.branches
+
+    def test_compiler_decisions(self):
+        config = sw.SwConfig(len(BLOSUM62.alphabet), 12, 2)
+        decisions = sw.HARNESS.decisions("comp_isel", config)
+        converted = {d.site for d in decisions if d.converted}
+        assert sw.ALL_SITES <= converted
+
+    def test_hand_sites_subset_of_all(self):
+        assert sw.HAND_SITES < sw.ALL_SITES

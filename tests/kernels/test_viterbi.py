@@ -1,0 +1,107 @@
+"""Semantic and structural tests for the P7Viterbi kernel."""
+
+import pytest
+
+from repro.bio.alphabet import PROTEIN
+from repro.bio.hmm import build_hmm, viterbi_score
+from repro.bio.msa import clustalw
+from repro.bio.workloads import make_family, random_sequence
+from repro.errors import HmmError
+from repro.isa.trace import trace_statistics
+from repro.kernels import viterbi as vt
+from repro.kernels.runtime import ALL_VARIANTS
+
+
+@pytest.fixture(scope="module")
+def model():
+    family = make_family("fam", 5, 24, 0.2, seed=21)
+    msa = clustalw(family)
+    return build_hmm("fam", list(msa.rows), PROTEIN)
+
+
+@pytest.fixture(scope="module")
+def queries():
+    family = make_family("fam", 5, 24, 0.2, seed=21)
+    return [family[0], random_sequence("noise", 20, PROTEIN, seed=5)]
+
+
+class TestSemantics:
+    @pytest.mark.parametrize("variant", ALL_VARIANTS)
+    def test_matches_reference(self, variant, model, queries):
+        for query in queries:
+            expected = viterbi_score(model, query)
+            assert vt.run(variant, model, query) == expected
+
+    def test_single_residue_sequence(self, model):
+        query = random_sequence("one", 1, PROTEIN, seed=8)
+        expected = viterbi_score(model, query)
+        assert vt.run("baseline", model, query) == expected
+
+    def test_alphabet_mismatch_rejected(self, model):
+        from repro.bio.sequence import Sequence
+
+        with pytest.raises(HmmError):
+            vt.run("baseline", model, Sequence("d", "ACGT"))
+
+    def test_empty_sequence_rejected(self, model):
+        from repro.bio.sequence import Sequence
+
+        empty = Sequence("e", "M", PROTEIN)[:0]
+        with pytest.raises(HmmError):
+            vt.run("baseline", model, empty)
+
+
+class TestStructure:
+    def trace_for(self, variant, model, query):
+        trace = []
+        vt.run(variant, model, query, trace=trace)
+        return trace_statistics(trace)
+
+    def test_compiler_severely_limited(self, model, queries):
+        """Only the register-shaped exit site converts; the five
+        conditional-store sites survive (abundant array references)."""
+        config = vt.ViterbiConfig(model.length, len(PROTEIN))
+        decisions = vt.HARNESS.decisions("comp_isel", config)
+        converted = {d.site for d in decisions if d.converted}
+        assert converted == {"exit_max"}
+
+    def test_hand_removes_most_branches(self, model, queries):
+        base = self.trace_for("baseline", model, queries[0])
+        hand = self.trace_for("hand_max", model, queries[0])
+        comp = self.trace_for("comp_max", model, queries[0])
+        assert hand.branches < comp.branches < base.branches
+
+    def test_kernel_is_load_store_heavy(self, model, queries):
+        """Array-resident rows make this the most memory-intensive
+        kernel — the paper's Hmmer characterisation."""
+        stats = self.trace_for("baseline", model, queries[0])
+        assert stats.load_store_fraction > 0.3
+
+    def test_pack_hmm_layout(self, model):
+        words = vt.pack_hmm(model)
+        config = vt.ViterbiConfig(model.length, len(PROTEIN))
+        assert len(words) == config.off_tables + 9 * model.length
+        # begin table starts where table_offset says.
+        begin_off = config.table_offset(7)
+        assert words[begin_off] == int(model.begin_to_match[0])
+
+
+class TestPropertyBased:
+    def test_random_models_and_queries(self):
+        """Baseline kernel vs reference over randomised model/query
+        pairs (sizes kept small for speed)."""
+        from repro.bio.workloads import mutate, random_sequence
+
+        for seed in range(4):
+            family = make_family(f"pb{seed}", 4, 16 + seed * 3, 0.25,
+                                 seed=300 + seed)
+            msa = clustalw(family)
+            model = build_hmm(f"pb{seed}", list(msa.rows), PROTEIN)
+            queries = [
+                mutate(family[0], "m", 0.3),
+                random_sequence("r", 12 + seed, PROTEIN, seed=seed),
+            ]
+            for query in queries:
+                assert vt.run("baseline", model, query) == viterbi_score(
+                    model, query
+                ), seed

@@ -1,0 +1,31 @@
+"""Tests for the end-to-end application drivers."""
+
+import pytest
+
+from repro.perf.apps import APP_PHASES, APPS, run_app
+
+
+class TestAppDrivers:
+    @pytest.mark.parametrize("app", APPS)
+    def test_runs_end_to_end(self, app):
+        result = run_app(app, "A")
+        assert result.app == app
+        assert result.work_units > 0
+
+    def test_phases_split(self):
+        for app in APPS:
+            prepare, execute = APP_PHASES[app]
+            prepared = prepare("A")
+            result = execute(prepared)
+            assert result.work_units > 0
+
+    def test_blast_finds_family(self):
+        prepare, execute = APP_PHASES["blast"]
+        result = execute(prepare("A"))
+        assert result.work_units >= 1  # at least the family hit
+
+    def test_hmmer_scores_all_models(self):
+        prepare, execute = APP_PHASES["hmmer"]
+        query, models = prepare("A")
+        result = execute((query, models))
+        assert result.work_units == len(models)

@@ -1,0 +1,110 @@
+"""Tests for the whole-application characterisation harness."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.perf.characterize import (
+    APP_WORKLOADS,
+    VARIANTS,
+    background_trace,
+    characterize,
+    kernel_trace,
+)
+from repro.uarch.config import power5
+
+
+class TestTraces:
+    @pytest.mark.parametrize("app", sorted(APP_WORKLOADS))
+    def test_kernel_trace_nonempty_and_cached(self, app):
+        first = kernel_trace(app, "baseline")
+        assert len(first) > 10_000
+        assert kernel_trace(app, "baseline") is first  # cached
+
+    @pytest.mark.parametrize("app", sorted(APP_WORKLOADS))
+    def test_background_sized_by_weight(self, app):
+        kernel_length = len(kernel_trace(app, "baseline"))
+        background_length = len(background_trace(app))
+        weight = APP_WORKLOADS[app].kernel_weight
+        expected = kernel_length * (1 - weight) / weight
+        assert background_length == pytest.approx(expected, rel=0.01)
+
+    def test_variant_changes_kernel_trace(self):
+        base = kernel_trace("fasta", "baseline")
+        hand = kernel_trace("fasta", "hand_max")
+        assert len(hand) < len(base)  # max removes instructions
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(WorkloadError):
+            kernel_trace("bogus", "baseline")
+
+
+class TestCharacterize:
+    @pytest.fixture(scope="class")
+    def baseline(self):
+        return characterize("fasta", "baseline", power5())
+
+    def test_merged_is_sum_of_components(self, baseline):
+        assert baseline.merged.instructions == (
+            baseline.kernel.instructions + baseline.background.instructions
+        )
+        assert baseline.merged.cycles == (
+            baseline.kernel.cycles + baseline.background.cycles
+        )
+
+    def test_work_ipc_baseline_equals_ipc(self, baseline):
+        assert baseline.work_ipc == pytest.approx(baseline.ipc, rel=1e-9)
+
+    def test_speedup_of_self_is_zero(self, baseline):
+        assert baseline.speedup_over(baseline) == pytest.approx(0.0)
+
+    def test_predication_speeds_up_every_app(self):
+        for app in sorted(APP_WORKLOADS):
+            base = characterize(app, "baseline", power5())
+            hand = characterize(app, "hand_max", power5())
+            assert hand.speedup_over(base) > 0.1, app
+
+    def test_unknown_variant_rejected(self):
+        with pytest.raises(WorkloadError):
+            characterize("fasta", "hand_cmov", power5())
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(WorkloadError):
+            characterize("bogus", "baseline", power5())
+
+    def test_variants_list_matches_kernel_harness(self):
+        from repro.kernels.runtime import ALL_VARIANTS
+
+        assert set(VARIANTS) == set(ALL_VARIANTS)
+
+
+class TestInterleaved:
+    def test_composite_trace_contains_all_events(self):
+        from repro.perf.characterize import (
+            background_trace,
+            composite_trace,
+            kernel_trace,
+        )
+
+        merged = composite_trace("fasta", "baseline")
+        expected = len(kernel_trace("fasta", "baseline")) + len(
+            background_trace("fasta")
+        )
+        assert len(merged) == expected
+
+    def test_interleaved_close_to_separate(self):
+        """Cross-phase interference exists but is small — the bound
+        that justifies the separate-component default."""
+        separate = characterize("fasta", "baseline", power5())
+        mixed = characterize(
+            "fasta", "baseline", power5(), interleaved=True
+        )
+        assert mixed.kernel is None
+        assert mixed.background is None
+        assert abs(mixed.ipc - separate.ipc) / separate.ipc < 0.05
+
+    def test_interleaved_instruction_count_matches(self):
+        separate = characterize("fasta", "baseline", power5())
+        mixed = characterize(
+            "fasta", "baseline", power5(), interleaved=True
+        )
+        assert mixed.merged.instructions == separate.merged.instructions

@@ -1,0 +1,69 @@
+"""Tests for the gprof-like profiler."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.perf.profiler import Profiler, profile_call
+
+
+def busy(n):
+    total = 0
+    for i in range(n):
+        total += i * i
+    return total
+
+
+def caller(n):
+    return busy(n) + busy(n)
+
+
+class TestProfiler:
+    def test_returns_value(self):
+        value, report = profile_call(busy, 10_000)
+        assert value == busy(10_000)
+        assert report.total_seconds > 0
+
+    def test_records_functions(self):
+        # The profiler only sees repro-package functions; wrap the
+        # workload in ones it can attribute.
+        from repro.bio.pairwise import smith_waterman_score
+        from repro.bio.scoring import BLOSUM62
+        from repro.bio.sequence import Sequence
+
+        a = Sequence("a", "MKVAWTHEAGAWGHEE" * 3)
+        _, report = profile_call(smith_waterman_score, a, a, BLOSUM62)
+        names = [f.name for f in report.functions]
+        assert "smith_waterman_score" in names
+
+    def test_hot_function_dominates(self):
+        from repro.bio.fastatool import ssearch
+        from repro.bio.workloads import fasta_input
+
+        data = fasta_input("A", seed=5)
+        _, report = profile_call(ssearch, data.query, data.database[:6])
+        assert report.functions[0].name == "smith_waterman_score"
+        assert report.share("smith_waterman_score") > 0.5
+
+    def test_share_of_missing_function_is_zero(self):
+        _, report = profile_call(busy, 100)
+        assert report.share("nonexistent") == 0.0
+
+    def test_profiler_single_use(self):
+        profiler = Profiler()
+        profiler.run(busy, 100)
+        with pytest.raises(WorkloadError):
+            profiler.run(busy, 100)
+
+    def test_format_renders(self):
+        from repro.bio.workloads import random_sequence
+
+        _, report = profile_call(random_sequence, "s", 200)
+        text = report.format()
+        assert "% time" in text
+        assert "random_sequence" in text
+
+    def test_comprehensions_folded_into_caller(self):
+        from repro.bio.workloads import random_sequence
+
+        _, report = profile_call(random_sequence, "s", 500)
+        assert all(not f.name.startswith("<") for f in report.functions)

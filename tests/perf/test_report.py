@@ -1,0 +1,39 @@
+"""Tests for table rendering."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.perf.report import Table, percent, signed_percent
+
+
+class TestFormatting:
+    def test_percent(self):
+        assert percent(0.1234) == "12.3%"
+        assert percent(0.1234, 2) == "12.34%"
+
+    def test_signed_percent(self):
+        assert signed_percent(0.05) == "+5.0%"
+        assert signed_percent(-0.05) == "-5.0%"
+
+
+class TestTable:
+    def test_render_aligns_columns(self):
+        table = Table("T", ["a", "long header"])
+        table.add_row("x", 1).add_row("longer", 22)
+        lines = table.render().splitlines()
+        assert lines[0] == "T"
+        header_line = lines[2]
+        second_row = lines[5]
+        assert header_line.index("long header") == second_row.index("22")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(WorkloadError):
+            Table("T", ["a", "b"]).add_row(1)
+
+    def test_str_matches_render(self):
+        table = Table("T", ["a"]).add_row(1)
+        assert str(table) == table.render()
+
+    def test_cells_stringified(self):
+        table = Table("T", ["v"]).add_row(3.5)
+        assert "3.5" in table.render()

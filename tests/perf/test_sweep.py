@@ -1,0 +1,58 @@
+"""Tests for the design-space sweep utility."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.perf.sweep import paper_design_space, sweep, sweep_table
+from repro.uarch.config import power5
+
+
+class TestSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        configs = {"base": power5(), "btac": power5().with_btac()}
+        return sweep("clustalw", configs)
+
+    def test_grid_size(self, points):
+        assert len(points) == 4  # 2 configs x 2 variants
+
+    def test_sorted_best_first(self, points):
+        improvements = [p.improvement for p in points]
+        assert improvements == sorted(improvements, reverse=True)
+
+    def test_baseline_point_is_zero(self, points):
+        anchor = [
+            p for p in points
+            if p.label == "base" and p.variant == "baseline"
+        ]
+        assert anchor[0].improvement == pytest.approx(0.0)
+
+    def test_combination_beats_baseline_everywhere(self, points):
+        by_key = {(p.label, p.variant): p for p in points}
+        for label in ("base", "btac"):
+            assert (
+                by_key[(label, "combination")].improvement
+                > by_key[(label, "baseline")].improvement
+            )
+
+    def test_table_renders(self, points):
+        text = sweep_table("clustalw", points).render()
+        assert "Improvement" in text
+        assert "combination" in text
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            sweep("clustalw", {})
+        with pytest.raises(WorkloadError):
+            sweep("clustalw", {"a": power5()}, variants=("combination",))
+        with pytest.raises(WorkloadError):
+            sweep("clustalw", {"a": power5()}, baseline_label="missing")
+
+
+class TestPaperGrid:
+    def test_full_grid_shape(self):
+        points = paper_design_space("clustalw")
+        assert len(points) == 8
+        best = points[0]
+        assert best.variant == "combination"
+        assert "BTAC" in best.label

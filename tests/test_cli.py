@@ -1,0 +1,153 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.bio.fasta_io import write_fasta
+from repro.bio.sequence import Sequence
+from repro.bio.workloads import make_family, make_genome
+from repro.cli import main
+
+
+@pytest.fixture
+def family_fasta(tmp_path):
+    path = tmp_path / "family.fasta"
+    write_fasta(path, make_family("fam", 4, 40, 0.2, seed=11))
+    return str(path)
+
+
+@pytest.fixture
+def query_and_db(tmp_path):
+    family = make_family("fam", 6, 60, 0.25, seed=13)
+    query_path = tmp_path / "query.fasta"
+    db_path = tmp_path / "db.fasta"
+    write_fasta(query_path, [family[0]])
+    write_fasta(db_path, family[1:])
+    return str(query_path), str(db_path)
+
+
+class TestAlign:
+    def test_local(self, family_fasta, capsys):
+        assert main(["align", family_fasta]) == 0
+        out = capsys.readouterr().out
+        assert "score" in out
+        assert "|" in out  # identity markers
+
+    def test_global_with_matrix(self, family_fasta, capsys):
+        assert main(
+            ["align", family_fasta, "--mode", "global",
+             "--matrix", "pam250"]
+        ) == 0
+        assert "PAM250" in capsys.readouterr().out
+
+    def test_single_record_fails(self, tmp_path, capsys):
+        path = tmp_path / "one.fasta"
+        write_fasta(path, [Sequence("only", "MKVLAT")])
+        assert main(["align", str(path)]) == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_missing_file_fails(self, capsys):
+        assert main(["align", "/nonexistent.fasta"]) == 1
+
+
+class TestSearch:
+    @pytest.mark.parametrize("mode", ["blast", "fasta", "ssearch"])
+    def test_modes(self, query_and_db, capsys, mode):
+        query, db = query_and_db
+        assert main(["search", query, db, "--mode", mode]) == 0
+        out = capsys.readouterr().out
+        assert "fam" in out
+
+    def test_top_limits_output(self, query_and_db, capsys):
+        query, db = query_and_db
+        main(["search", query, db, "--mode", "ssearch", "--top", "2"])
+        out = capsys.readouterr().out
+        hits = [l for l in out.splitlines() if not l.startswith("#")]
+        assert len(hits) == 2
+
+
+class TestMsa:
+    def test_alignment_printed(self, family_fasta, capsys):
+        assert main(["msa", family_fasta]) == 0
+        out = capsys.readouterr().out
+        assert "guide tree" in out
+        assert "fam_0" in out
+
+    def test_nj_tree(self, family_fasta, capsys):
+        assert main(["msa", family_fasta, "--tree", "nj"]) == 0
+
+
+class TestPhylogeny:
+    def test_newick_output(self, family_fasta, capsys):
+        assert main(["phylogeny", family_fasta, "--rounds", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip().endswith(";")
+        assert "fam_0" in out
+
+
+class TestOrfs:
+    @pytest.fixture
+    def genome_files(self, tmp_path):
+        genome = make_genome(n_genes=3, gene_codons=40, spacer=200,
+                             seed=17)
+        genome_path = tmp_path / "genome.fasta"
+        write_fasta(genome_path, [genome.genome])
+        train_path = tmp_path / "train.fasta"
+        write_fasta(
+            train_path,
+            [Sequence(f"g{i}", gene) for i, gene in
+             enumerate(genome.genes[:2])],
+        )
+        return str(genome_path), str(train_path)
+
+    def test_plain_scan(self, genome_files, capsys):
+        genome_path, _train = genome_files
+        assert main(["orfs", genome_path]) == 0
+        out = capsys.readouterr().out
+        assert "ORFs" in out
+
+    def test_glimmer_mode(self, genome_files, capsys):
+        genome_path, train = genome_files
+        assert main(
+            ["orfs", genome_path, "--train", train, "--order", "2"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "predicted genes" in out
+
+
+class TestSimulate:
+    def test_single_variant(self, capsys):
+        assert main(
+            ["simulate", "fasta", "--variant", "hand_max"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "hand_max" in out
+        assert "work IPC" in out
+
+
+class TestTrace:
+    def test_dump_and_reload(self, tmp_path, capsys):
+        out = tmp_path / "k.trace"
+        assert main(["trace", "clustalw", "baseline", str(out)]) == 0
+        assert out.exists()
+        first = capsys.readouterr().out
+        assert "wrote" in first
+        assert main(["trace", "--load", str(out)]) == 0
+        second = capsys.readouterr().out
+        assert "ipc=" in second
+
+    def test_missing_trace_file(self, capsys):
+        assert main(["trace", "--load", "/nonexistent.trace"]) == 1
+
+
+class TestAsm:
+    @pytest.mark.parametrize("app", ["clustalw", "phylip"])
+    def test_listing_printed(self, capsys, app):
+        assert main(["asm", app, "hand_isel"]) == 0
+        out = capsys.readouterr().out
+        assert "isel" in out
+        assert "halt" in out
+
+    def test_baseline_default(self, capsys):
+        assert main(["asm", "fasta"]) == 0
+        out = capsys.readouterr().out
+        assert "bt cr0" in out or "bf cr0" in out

@@ -1,0 +1,36 @@
+"""Smoke tests: the fast example scripts run end to end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+# Only the examples that finish quickly; the heavier ones
+# (design_space, paper_figures) are exercised through the experiment
+# tests they share code with.
+FAST_EXAMPLES = ["quickstart.py", "clustalw_pipeline.py", "gene_hunt.py"]
+
+
+@pytest.mark.parametrize("script", FAST_EXAMPLES)
+def test_example_runs(script):
+    completed = subprocess.run(
+        [sys.executable, str(EXAMPLES / script)],
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert completed.returncode == 0, completed.stderr
+    assert completed.stdout.strip()
+
+
+def test_all_examples_present():
+    expected = {
+        "quickstart.py", "protein_search.py", "hmm_scan.py",
+        "clustalw_pipeline.py", "design_space.py", "gene_hunt.py",
+        "paper_figures.py",
+    }
+    present = {path.name for path in EXAMPLES.glob("*.py")}
+    assert expected <= present

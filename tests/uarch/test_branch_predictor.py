@@ -1,0 +1,82 @@
+"""Tests for direction predictors."""
+
+from repro.uarch.branch_predictor import BimodalPredictor, GsharePredictor
+
+
+class TestGshare:
+    def test_learns_always_taken(self):
+        predictor = GsharePredictor()
+        for _ in range(100):
+            predictor.update(42, True)
+        assert predictor.predict(42)
+        # After warm-up, accuracy should be near perfect.
+        predictor.reset_stats()
+        for _ in range(100):
+            predictor.update(42, True)
+        assert predictor.misprediction_rate < 0.05
+
+    def test_learns_loop_pattern(self):
+        """Taken N-1 times then not taken: classic loop branch."""
+        predictor = GsharePredictor()
+        for _ in range(50):
+            for _ in range(7):
+                predictor.update(7, True)
+            predictor.update(7, False)
+        predictor.reset_stats()
+        for _ in range(20):
+            for _ in range(7):
+                predictor.update(7, True)
+            predictor.update(7, False)
+        # History-based prediction should get most of these right.
+        assert predictor.misprediction_rate < 0.2
+
+    def test_random_branches_mispredict_heavily(self):
+        """Value-dependent branches (the paper's premise) defeat gshare."""
+        import random
+
+        rng = random.Random(3)
+        predictor = GsharePredictor()
+        for _ in range(2000):
+            predictor.update(13, rng.random() < 0.5)
+        assert predictor.misprediction_rate > 0.35
+
+    def test_counters(self):
+        predictor = GsharePredictor()
+        predictor.update(1, True)
+        assert predictor.predictions == 1
+        predictor.reset_stats()
+        assert predictor.predictions == 0
+
+    def test_distinct_pcs_do_not_interfere(self):
+        predictor = GsharePredictor()
+        for _ in range(64):
+            predictor.update(100, True)
+            predictor.update(200, False)
+        assert predictor.predict(100)
+        assert not predictor.predict(200)
+
+
+class TestBimodal:
+    def test_learns_bias(self):
+        predictor = BimodalPredictor()
+        for _ in range(10):
+            predictor.update(5, True)
+        assert predictor.predict(5)
+
+    def test_misprediction_rate_zero_initially(self):
+        assert BimodalPredictor().misprediction_rate == 0.0
+
+    def test_cannot_learn_alternation(self):
+        """Bimodal has no history: alternating branches stay hard."""
+        predictor = BimodalPredictor()
+        for i in range(1000):
+            predictor.update(9, i % 2 == 0)
+        assert predictor.misprediction_rate > 0.4
+
+    def test_gshare_beats_bimodal_on_alternation(self):
+        gshare = GsharePredictor()
+        bimodal = BimodalPredictor()
+        for i in range(2000):
+            gshare.update(9, i % 2 == 0)
+            bimodal.update(9, i % 2 == 0)
+        assert gshare.misprediction_rate < bimodal.misprediction_rate

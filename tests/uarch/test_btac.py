@@ -1,0 +1,93 @@
+"""Tests for the 8-entry BTAC."""
+
+from repro.uarch.btac import Btac
+from repro.uarch.config import BtacConfig
+
+
+class TestLookup:
+    def test_miss_returns_none(self):
+        assert Btac().lookup(100) is None
+
+    def test_low_score_forgoes_prediction(self):
+        btac = Btac(BtacConfig(initial_score=0, score_threshold=1))
+        btac.update(100, 200)
+        # Allocated with score 0 < threshold 1: forgo.
+        assert btac.lookup(100) is None
+
+    def test_confident_entry_predicts(self):
+        btac = Btac()  # default threshold 2
+        btac.update(100, 200)
+        btac.update(100, 200)  # score 0 -> 1
+        btac.update(100, 200)  # score 1 -> 2: confident
+        assert btac.lookup(100) == 200
+
+    def test_scores_saturate(self):
+        btac = Btac(BtacConfig(score_bits=2))
+        for _ in range(10):
+            btac.update(100, 200)
+        entry = btac._find(100)
+        assert entry.score == 3  # (1 << 2) - 1
+
+
+class TestTraining:
+    def test_wrong_target_quarantines_then_replaces(self):
+        btac = Btac()
+        btac.update(100, 200)
+        btac.update(100, 200)
+        btac.update(100, 200)  # score 2 (confident)
+        btac.update(100, 300)  # wrong: quarantined (score 0), nia kept
+        assert btac._find(100).score == 0
+        assert btac._find(100).nia == 200
+        btac.update(100, 300)  # score already 0: retarget
+        assert btac._find(100).nia == 300
+
+    def test_score_based_replacement(self):
+        btac = Btac(BtacConfig(entries=2))
+        btac.update(1, 10)
+        btac.update(1, 10)  # score 1 (confident)
+        btac.update(2, 20)  # score 0
+        btac.update(3, 30)  # table full: evict pc=2 (lowest score)
+        assert btac._find(1) is not None
+        assert btac._find(2) is None
+        assert btac._find(3) is not None
+
+    def test_capacity_bounded(self):
+        btac = Btac(BtacConfig(entries=8))
+        for pc in range(50):
+            btac.update(pc, pc + 100)
+        assert len(btac) == 8
+
+
+class TestStats:
+    def test_hit_and_prediction_counters(self):
+        btac = Btac()
+        btac.lookup(5)  # miss
+        btac.update(5, 50)
+        btac.update(5, 50)
+        btac.update(5, 50)  # score reaches the default threshold of 2
+        btac.lookup(5)  # hit + prediction
+        assert btac.stats.lookups == 2
+        assert btac.stats.hits == 1
+        assert btac.stats.predictions == 1
+
+    def test_misprediction_rate(self):
+        btac = Btac()
+        btac.record_outcome(True)
+        btac.record_outcome(True)
+        btac.record_outcome(False)
+        assert btac.stats.correct == 2
+        assert btac.stats.incorrect == 1
+        btac.stats.predictions = 3
+        assert abs(btac.stats.misprediction_rate - 1 / 3) < 1e-9
+
+    def test_repeating_pattern_converges(self):
+        """A stable taken branch becomes a confident correct entry."""
+        btac = Btac()
+        correct = 0
+        for _ in range(50):
+            predicted = btac.lookup(7)
+            if predicted == 70:
+                correct += 1
+                btac.record_outcome(True)
+            btac.update(7, 70)
+        assert correct >= 47  # everything after warm-up

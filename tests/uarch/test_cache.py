@@ -1,0 +1,73 @@
+"""Tests for the L1D model."""
+
+from repro.uarch.cache import WORD_BYTES, L1DCache
+from repro.uarch.config import CacheConfig
+
+
+class TestBasics:
+    def test_first_access_misses(self):
+        cache = L1DCache()
+        assert not cache.access(0)
+        assert cache.stats.misses == 1
+
+    def test_second_access_hits(self):
+        cache = L1DCache()
+        cache.access(0)
+        assert cache.access(0)
+        assert cache.stats.miss_rate == 0.5
+
+    def test_same_line_hits(self):
+        config = CacheConfig()
+        cache = L1DCache(config)
+        cache.access(0)
+        words_per_line = config.line_bytes // WORD_BYTES
+        assert cache.access(words_per_line - 1)  # same line
+        assert not cache.access(words_per_line)  # next line
+
+    def test_load_latency(self):
+        config = CacheConfig(hit_latency=2, miss_penalty=13)
+        cache = L1DCache(config)
+        assert cache.load_latency(0) == 15  # miss
+        assert cache.load_latency(0) == 2  # hit
+
+
+class TestReplacement:
+    def test_lru_within_set(self):
+        config = CacheConfig(
+            size_bytes=2 * 64, line_bytes=64, ways=2
+        )  # 1 set, 2 ways
+        cache = L1DCache(config)
+        words = 64 // WORD_BYTES
+        cache.access(0 * words)  # line 0
+        cache.access(1 * words)  # line 1
+        cache.access(0 * words)  # touch line 0 (now MRU)
+        cache.access(2 * words)  # evicts line 1 (LRU)
+        assert cache.access(0 * words)  # still resident
+        assert not cache.access(1 * words)  # evicted
+
+    def test_small_footprint_fits(self):
+        """Working sets smaller than the cache produce ~zero misses
+        after warm-up — the Table I low-L1D-miss characterisation."""
+        cache = L1DCache()
+        footprint = 512  # words: 4 KiB << 32 KiB
+        for _ in range(3):
+            for address in range(footprint):
+                cache.access(address)
+        cache.reset_stats()
+        for address in range(footprint):
+            cache.access(address)
+        assert cache.stats.miss_rate == 0.0
+
+    def test_huge_footprint_thrashes(self):
+        cache = L1DCache()
+        stride = CacheConfig().line_bytes // WORD_BYTES
+        for address in range(0, 100_000 * stride, stride):
+            cache.access(address)
+        assert cache.stats.miss_rate > 0.9
+
+    def test_reset_stats_keeps_contents(self):
+        cache = L1DCache()
+        cache.access(0)
+        cache.reset_stats()
+        assert cache.access(0)  # still cached
+        assert cache.stats.accesses == 1

@@ -1,0 +1,177 @@
+"""Tests for the trace-driven core model."""
+
+import pytest
+
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.workloads import make_family
+from repro.errors import SimulationError
+from repro.isa.interpreter import run_program
+from repro.isa.memory import Memory
+from repro.isa.program import ProgramBuilder
+from repro.kernels import smith_waterman as sw
+from repro.uarch.config import CoreConfig, power5
+from repro.uarch.core import Core, simulate_trace
+
+
+def trace_of(build):
+    builder = ProgramBuilder()
+    build(builder)
+    builder.halt()
+    trace = []
+    run_program(builder.build(), Memory(1024), trace=trace)
+    return trace
+
+
+@pytest.fixture(scope="module")
+def kernel_trace():
+    family = make_family("f", 2, 40, 0.3, seed=11)
+    trace = []
+    sw.run("baseline", family[0], family[1], BLOSUM62,
+           GapPenalties(10, 2), trace=trace)
+    return trace
+
+
+class TestBasicInvariants:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_trace([])
+
+    def test_cycles_at_least_width_limited(self, kernel_trace):
+        result = simulate_trace(kernel_trace, power5())
+        assert result.cycles >= len(kernel_trace) / power5().commit_width
+        assert result.instructions == len(kernel_trace)
+        assert 0 < result.ipc <= power5().commit_width
+
+    def test_independent_alu_ops_reach_fxu_limit(self):
+        def build(b):
+            for i in range(600):
+                b.li(3 + (i % 8), i)  # no dependences
+
+        result = simulate_trace(trace_of(build), power5())
+        # li is FXU-bound: 2 FXUs -> IPC close to 2.
+        assert 1.7 < result.ipc <= 2.05
+
+    def test_dependent_chain_is_serial(self):
+        def build(b):
+            b.li(3, 0)
+            for _ in range(400):
+                b.addi(3, 3, 1)  # serial chain
+
+        result = simulate_trace(trace_of(build), power5())
+        assert result.ipc < 1.1
+
+    def test_stall_attribution_sums_sanely(self, kernel_trace):
+        result = simulate_trace(kernel_trace, power5())
+        assert sum(result.stall_cycles.values()) <= result.cycles + 10
+
+
+class TestBranches:
+    def test_taken_branch_bubble_costs_cycles(self):
+        def build_loop(b):
+            b.li(3, 0)
+            b.li(4, 300)
+            b.label("loop")
+            b.addi(3, 3, 1)
+            b.nop()
+            b.nop()
+            b.cmp(0, 3, 4)
+            b.bc(0, 0, "loop")  # taken 299 times
+
+        trace = trace_of(build_loop)
+        with_bubble = simulate_trace(
+            trace, CoreConfig(taken_branch_penalty=2)
+        )
+        without = simulate_trace(trace, CoreConfig(taken_branch_penalty=0))
+        assert with_bubble.cycles > without.cycles
+        # The bubbles dominate the cycle difference (some are hidden
+        # behind back-end latency, so allow a little slack).
+        saved = with_bubble.cycles - without.cycles
+        assert saved >= 0.9 * with_bubble.taken_branches
+
+    def test_btac_removes_bubbles(self):
+        def build_loop(b):
+            b.li(3, 0)
+            b.li(4, 500)
+            b.label("loop")
+            b.addi(3, 3, 1)
+            b.nop()
+            b.nop()
+            b.cmp(0, 3, 4)
+            b.bc(0, 0, "loop")
+
+        trace = trace_of(build_loop)
+        base = simulate_trace(trace, power5())
+        btac = simulate_trace(trace, power5().with_btac())
+        assert btac.cycles < base.cycles
+        assert btac.btac is not None
+        assert btac.btac.misprediction_rate < 0.1
+        assert btac.taken_bubbles < base.taken_bubbles
+
+    def test_kernel_mispredicts_dominated_by_direction(self, kernel_trace):
+        result = simulate_trace(kernel_trace, power5())
+        assert result.direction_mispredictions > 0
+        assert result.direction_share > 0.95
+
+    def test_mispredicts_cost_cycles(self, kernel_trace):
+        cheap = simulate_trace(
+            kernel_trace, CoreConfig(pipeline_depth=2)
+        )
+        expensive = simulate_trace(
+            kernel_trace, CoreConfig(pipeline_depth=20)
+        )
+        assert expensive.cycles > cheap.cycles
+
+
+class TestFxuScaling:
+    def test_more_fxus_never_slower(self, kernel_trace):
+        previous = None
+        for count in (1, 2, 3, 4):
+            result = simulate_trace(kernel_trace, power5().with_fxus(count))
+            if previous is not None:
+                assert result.cycles <= previous
+            previous = result.cycles
+
+    def test_fxu_stall_decreases_with_more_units(self, kernel_trace):
+        two = simulate_trace(kernel_trace, power5().with_fxus(2))
+        four = simulate_trace(kernel_trace, power5().with_fxus(4))
+        assert four.stall_cycles["fxu"] <= two.stall_cycles["fxu"]
+
+
+class TestIntervals:
+    def test_interval_records(self, kernel_trace):
+        result = simulate_trace(kernel_trace, power5(), interval_size=5000)
+        assert len(result.intervals) >= 2
+        total = sum(r.instructions for r in result.intervals)
+        assert total <= result.instructions
+        for record in result.intervals:
+            assert 0 < record.ipc <= power5().commit_width
+            assert 0 <= record.mispredict_rate <= 1
+
+
+class TestDeterminism:
+    def test_same_trace_same_result(self, kernel_trace):
+        first = simulate_trace(kernel_trace, power5())
+        second = simulate_trace(kernel_trace, power5())
+        assert first.cycles == second.cycles
+        assert first.direction_mispredictions == second.direction_mispredictions
+
+
+class TestCpiStack:
+    def test_shares_sum_to_one(self, kernel_trace):
+        result = simulate_trace(kernel_trace, power5())
+        stack = result.cpi_stack()
+        assert sum(stack.values()) == pytest.approx(1.0)
+        assert all(share >= 0 for share in stack.values())
+
+    def test_fetch_dominates_branchy_baseline(self, kernel_trace):
+        """The paper's thesis in CPI-stack form: the front end (flushes
+        and bubbles) is the top contributor for the branchy kernel."""
+        result = simulate_trace(kernel_trace, power5())
+        stack = result.cpi_stack()
+        stalls = {k: v for k, v in stack.items() if k != "busy"}
+        assert max(stalls, key=stalls.get) == "fetch"
+
+    def test_empty_result_safe(self):
+        from repro.uarch.core import SimResult
+
+        assert SimResult().cpi_stack() == {"busy": 0.0}

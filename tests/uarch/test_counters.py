@@ -1,0 +1,57 @@
+"""Tests for the PMU-style counter groups."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch.config import power5
+from repro.uarch.core import simulate_trace
+from repro.uarch.counters import (
+    counter_groups,
+    derived_metrics,
+    read_group,
+)
+from repro.uarch.synthetic import generate_trace
+
+
+@pytest.fixture(scope="module")
+def result():
+    return simulate_trace(generate_trace(20_000, seed=9), power5())
+
+
+class TestGroups:
+    def test_groups_listed(self):
+        assert "branches" in counter_groups()
+        assert "completion" in counter_groups()
+
+    def test_each_group_has_six_events(self, result):
+        for name in counter_groups():
+            group = read_group(result, name)
+            assert len(group.values) == 6
+
+    def test_unknown_group_rejected(self, result):
+        with pytest.raises(SimulationError):
+            read_group(result, "nonexistent")
+
+    def test_event_lookup(self, result):
+        group = read_group(result, "completion")
+        assert group["PM_INST_CMPL"] == result.instructions
+        assert group["PM_CYC"] == result.cycles
+        with pytest.raises(SimulationError):
+            group["PM_NOT_HERE"]
+
+    def test_branch_counters_consistent(self, result):
+        group = read_group(result, "branches")
+        assert group["PM_BR_TAKEN"] <= group["PM_BR_ISSUED"]
+        assert group["PM_BR_MPRED_DIR"] <= group["PM_BR_CONDITIONAL"]
+
+
+class TestDerivedMetrics:
+    def test_metrics_match_result(self, result):
+        metrics = derived_metrics(result)
+        assert metrics["ipc"] == pytest.approx(result.ipc, rel=1e-6)
+        assert 0 <= metrics["l1d_miss_rate"] <= 1
+        assert 0 <= metrics["fxu_stall_fraction"] <= 1
+
+    def test_direction_share_is_high_without_btac(self, result):
+        metrics = derived_metrics(result)
+        assert metrics["direction_share"] > 0.95

@@ -1,0 +1,86 @@
+"""Property-based tests of core-model invariants."""
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.uarch.config import power5
+from repro.uarch.core import simulate_trace
+from repro.uarch.synthetic import MixProfile, generate_trace
+
+profiles = st.builds(
+    MixProfile,
+    branch_fraction=st.floats(0.05, 0.3),
+    hard_branch_share=st.floats(0.0, 0.5),
+    load_fraction=st.floats(0.1, 0.3),
+    store_fraction=st.floats(0.0, 0.15),
+    mul_fraction=st.floats(0.0, 0.1),
+    far_fraction=st.floats(0.0, 0.1),
+    chains=st.integers(1, 6),
+)
+
+
+@settings(max_examples=15, deadline=None)
+@given(profiles, st.integers(0, 10_000))
+def test_cycles_bounded_below_by_commit_width(profile, seed):
+    trace = generate_trace(8_000, profile, seed=seed)
+    result = simulate_trace(trace, power5())
+    assert result.cycles >= len(trace) / power5().commit_width
+    assert result.instructions == len(trace)
+
+
+@settings(max_examples=10, deadline=None)
+@given(profiles, st.integers(0, 10_000))
+def test_more_fxus_never_slower(profile, seed):
+    trace = generate_trace(8_000, profile, seed=seed)
+    two = simulate_trace(trace, power5().with_fxus(2))
+    four = simulate_trace(trace, power5().with_fxus(4))
+    # Greedy capacity scheduling admits Graham-style anomalies of a
+    # cycle or two; monotonicity holds up to that slack.
+    assert four.cycles <= two.cycles + max(5, two.cycles // 500)
+
+
+@settings(max_examples=10, deadline=None)
+@given(profiles, st.integers(0, 10_000))
+def test_wider_window_never_slower(profile, seed):
+    trace = generate_trace(8_000, profile, seed=seed)
+    narrow = simulate_trace(trace, replace(power5(), window=16))
+    wide = simulate_trace(trace, replace(power5(), window=96))
+    assert wide.cycles <= narrow.cycles + max(5, narrow.cycles // 500)
+
+
+@settings(max_examples=10, deadline=None)
+@given(profiles, st.integers(0, 10_000))
+def test_shorter_pipeline_never_slower(profile, seed):
+    trace = generate_trace(8_000, profile, seed=seed)
+    deep = simulate_trace(trace, replace(power5(), pipeline_depth=20))
+    shallow = simulate_trace(trace, replace(power5(), pipeline_depth=8))
+    assert shallow.cycles <= deep.cycles + max(5, deep.cycles // 500)
+
+
+@settings(max_examples=10, deadline=None)
+@given(profiles, st.integers(0, 10_000))
+def test_counter_conservation(profile, seed):
+    trace = generate_trace(8_000, profile, seed=seed)
+    result = simulate_trace(trace, power5())
+    assert result.taken_branches <= result.branches
+    assert result.conditional_branches <= result.branches
+    assert result.direction_mispredictions <= result.conditional_branches
+    assert result.load_misses <= result.loads
+    assert result.cache.accesses == result.loads + result.stores
+    assert 0 <= result.branch_mispredict_rate <= 1
+
+
+@settings(max_examples=8, deadline=None)
+@given(profiles, st.integers(0, 10_000))
+def test_no_taken_penalty_never_slower(profile, seed):
+    trace = generate_trace(8_000, profile, seed=seed)
+    with_bubble = simulate_trace(trace, power5())
+    without = simulate_trace(
+        trace, replace(power5(), taken_branch_penalty=0)
+    )
+    assert without.cycles <= with_bubble.cycles + max(
+        5, with_bubble.cycles // 500
+    )

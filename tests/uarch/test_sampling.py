@@ -1,0 +1,71 @@
+"""Tests for SMARTS-style sampling."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.uarch.config import power5
+from repro.uarch.core import simulate_trace
+from repro.uarch.sampling import SamplingPlan, simulate_sampled
+from repro.uarch.synthetic import MixProfile, generate_trace
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return generate_trace(60_000, MixProfile(), seed=4)
+
+
+class TestPlan:
+    def test_windows_cover_expected_spans(self):
+        plan = SamplingPlan(period=100, window=20, offset=10)
+        assert plan.windows(250) == [(10, 30), (110, 130), (210, 230)]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            SamplingPlan(period=0)
+        with pytest.raises(SimulationError):
+            SamplingPlan(period=10, window=20)
+        with pytest.raises(SimulationError):
+            SamplingPlan(offset=-1)
+
+    def test_full_detail_degenerate_plan(self):
+        plan = SamplingPlan(period=10, window=10)
+        assert plan.windows(25) == [(0, 10), (10, 20), (20, 25)]
+
+
+class TestSampledSimulation:
+    def test_sampled_close_to_full(self, trace):
+        full = simulate_trace(trace, power5())
+        sampled = simulate_sampled(
+            trace, power5(), SamplingPlan(period=10_000, window=3_000)
+        )
+        assert sampled.instructions < full.instructions
+        # IPC estimate within 15% of full detailed simulation.
+        assert abs(sampled.ipc - full.ipc) / full.ipc < 0.15
+
+    def test_mispredict_rate_close_to_full(self, trace):
+        full = simulate_trace(trace, power5())
+        sampled = simulate_sampled(
+            trace, power5(), SamplingPlan(period=10_000, window=3_000)
+        )
+        assert abs(
+            sampled.branch_mispredict_rate - full.branch_mispredict_rate
+        ) < 0.05
+
+    def test_btac_stats_merged(self, trace):
+        sampled = simulate_sampled(
+            trace,
+            power5().with_btac(),
+            SamplingPlan(period=20_000, window=5_000),
+        )
+        assert sampled.btac is not None
+        assert sampled.btac.lookups > 0
+
+    def test_short_trace_measured_fully(self):
+        trace = generate_trace(500, seed=1)
+        plan = SamplingPlan(period=100_000, window=10_000, offset=1_000)
+        result = simulate_sampled(trace, power5(), plan)
+        assert result.instructions == 500
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(SimulationError):
+            simulate_sampled([], power5())

@@ -1,0 +1,84 @@
+"""Tests for the synthetic trace generator."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.isa.trace import trace_statistics
+from repro.uarch.config import power5
+from repro.uarch.core import simulate_trace
+from repro.uarch.synthetic import MixProfile, generate_trace
+
+
+class TestProfileValidation:
+    def test_bad_fractions(self):
+        with pytest.raises(SimulationError):
+            MixProfile(branch_fraction=1.5)
+        with pytest.raises(SimulationError):
+            MixProfile(branch_fraction=0.5, load_fraction=0.4,
+                       store_fraction=0.2)
+
+    def test_bad_shape(self):
+        with pytest.raises(SimulationError):
+            MixProfile(loop_body=1)
+        with pytest.raises(SimulationError):
+            MixProfile(footprint_words=0)
+
+    def test_bad_length(self):
+        with pytest.raises(SimulationError):
+            generate_trace(0)
+
+
+class TestStatisticalShape:
+    def test_length(self):
+        assert len(generate_trace(5000, seed=1)) == 5000
+
+    def test_deterministic(self):
+        a = generate_trace(2000, seed=7)
+        b = generate_trace(2000, seed=7)
+        assert [(e.pc, e.taken, e.address) for e in a] == [
+            (e.pc, e.taken, e.address) for e in b
+        ]
+
+    def test_branch_fraction_matches_profile(self):
+        profile = MixProfile(branch_fraction=0.25)
+        stats = trace_statistics(generate_trace(30_000, profile, seed=2))
+        assert abs(stats.branch_fraction - 0.25) < 0.02
+
+    def test_memory_fraction_matches_profile(self):
+        profile = MixProfile(load_fraction=0.3, store_fraction=0.1)
+        stats = trace_statistics(generate_trace(30_000, profile, seed=3))
+        assert abs(stats.load_store_fraction - 0.4) < 0.03
+
+    def test_mostly_taken_loops(self):
+        profile = MixProfile(hard_branch_share=0.0)
+        stats = trace_statistics(generate_trace(20_000, profile, seed=4))
+        assert stats.taken_fraction > 0.85
+
+
+class TestPipelineBehaviour:
+    def test_hard_branches_raise_mispredicts(self):
+        easy = MixProfile(hard_branch_share=0.02)
+        hard = MixProfile(hard_branch_share=0.6)
+        easy_result = simulate_trace(
+            generate_trace(40_000, easy, seed=5), power5()
+        )
+        hard_result = simulate_trace(
+            generate_trace(40_000, hard, seed=5), power5()
+        )
+        assert (
+            hard_result.branch_mispredict_rate
+            > easy_result.branch_mispredict_rate + 0.02
+        )
+        assert hard_result.ipc < easy_result.ipc
+
+    def test_far_fraction_controls_miss_rate(self):
+        resident = MixProfile(footprint_words=512, far_fraction=0.0)
+        leaky = MixProfile(footprint_words=512, far_fraction=0.3)
+        resident_result = simulate_trace(
+            generate_trace(30_000, resident, seed=6), power5()
+        )
+        leaky_result = simulate_trace(
+            generate_trace(30_000, leaky, seed=6), power5()
+        )
+        assert resident_result.cache.miss_rate < 0.02
+        assert leaky_result.cache.miss_rate > 0.10
