@@ -1,0 +1,96 @@
+"""Engine benchmarks: cold cache, warm cache, process-pool fan-out.
+
+A fig3-sized sweep (4 apps x 6 variants = 24 design points) driven
+through the engine:
+
+* ``cold_jobs1`` — empty cache, serial: every point simulated.
+* ``warm`` — same cache directory, fresh process state: every point
+  served from the persistent store (asserted >= 5x faster than cold).
+* ``jobs2`` / ``jobs4`` — empty cache, fanned out over worker
+  processes (the >= 2x jobs=4 speedup is asserted only on machines
+  with at least four cores).
+"""
+
+import os
+import time
+
+import pytest
+
+from repro.engine import cache as cache_module
+from repro.engine.engine import Engine
+from repro.experiments import fig3
+from repro.perf.characterize import clear_trace_caches
+
+POINTS = fig3.points()
+
+#: Cross-benchmark state: the cold run's cache dir and wall time.
+_STATE: dict = {}
+
+
+@pytest.fixture(autouse=True)
+def _restore_active_cache():
+    original = cache_module._active_cache
+    yield
+    cache_module._active_cache = original
+    clear_trace_caches()
+
+
+def _sweep(cache_root, jobs, walls):
+    """One full sweep from cold in-memory state; wall time appended."""
+    clear_trace_caches()
+    started = time.perf_counter()
+    engine = Engine(cache_dir=cache_root)
+    engine.characterize_many(POINTS, jobs=jobs)
+    walls.append(time.perf_counter() - started)
+    return engine
+
+
+def bench_engine_cold_jobs1(benchmark, tmp_path_factory):
+    root = tmp_path_factory.mktemp("engine-cold")
+    walls: list[float] = []
+    engine = benchmark.pedantic(
+        _sweep, args=(root, 1, walls), rounds=1, iterations=1
+    )
+    assert engine.stats.cache.result_misses == len(POINTS)
+    _STATE["root"] = root
+    _STATE["cold_seconds"] = min(walls)
+    print()
+    print(engine.stats.render())
+
+
+def bench_engine_warm(benchmark):
+    """Same cache dir, fresh process state: pure disk-hit sweep."""
+    if "root" not in _STATE:
+        pytest.skip("cold benchmark did not run first")
+    walls: list[float] = []
+    engine = benchmark.pedantic(
+        _sweep, args=(_STATE["root"], 1, walls), rounds=3, iterations=1
+    )
+    assert engine.stats.cache.result_hits == len(POINTS)
+    warm = min(walls)
+    assert warm * 5.0 <= _STATE["cold_seconds"], (
+        f"warm sweep {warm:.2f}s is not >=5x faster than the "
+        f"cold sweep {_STATE['cold_seconds']:.2f}s"
+    )
+
+
+@pytest.mark.parametrize("jobs", [2, 4])
+def bench_engine_parallel(benchmark, jobs, tmp_path_factory):
+    walls: list[float] = []
+
+    def run():
+        root = tmp_path_factory.mktemp(f"engine-jobs{jobs}")
+        return _sweep(root, jobs, walls)
+
+    engine = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert engine.stats.jobs == jobs
+    assert len(engine.stats.points) == len(POINTS)
+    if "cold_seconds" not in _STATE or (os.cpu_count() or 1) < 4:
+        return  # speedup is only meaningful with real cores behind it
+    wall = min(walls)
+    assert wall <= _STATE["cold_seconds"]
+    if jobs == 4:
+        assert wall * 2.0 <= _STATE["cold_seconds"], (
+            f"jobs=4 sweep {wall:.2f}s is not >=2x faster than the "
+            f"serial sweep {_STATE['cold_seconds']:.2f}s"
+        )

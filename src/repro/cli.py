@@ -14,6 +14,8 @@ orfs       ORF scan / Glimmer gene prediction on DNA
 simulate   run an application kernel on the POWER5 core model
 asm        print a kernel's mini-ISA assembly per variant
 trace      dump a kernel trace / re-simulate a saved one
+experiments reproduce the paper's tables/figures (engine-backed)
+cache      inspect / clear the persistent simulation cache
 ========== ====================================================
 """
 
@@ -31,7 +33,7 @@ from repro.bio.pairwise import needleman_wunsch, smith_waterman
 from repro.bio.phylo import phylip
 from repro.bio.scoring import BLOSUM62, PAM250, GapPenalties, default_matrix
 from repro.errors import ReproError
-from repro.perf.characterize import VARIANTS, characterize
+from repro.perf.characterize import VARIANTS
 from repro.perf.report import Table, percent
 from repro.uarch.config import power5
 
@@ -173,6 +175,8 @@ def cmd_trace(args) -> int:
 
 
 def cmd_simulate(args) -> int:
+    from repro.engine.engine import default_engine
+
     config = power5().with_fxus(args.fxus)
     if args.btac:
         config = config.with_btac()
@@ -181,17 +185,52 @@ def cmd_simulate(args) -> int:
         f"({args.fxus} FXUs{', BTAC' if args.btac else ''})",
         ["Variant", "work IPC", "Branch mispredict", "L1D miss"],
     )
-    baseline = characterize(args.app, "baseline", config)
+    engine = default_engine()
     variants = VARIANTS if args.variant == "all" else (args.variant,)
+    engine.prefetch(
+        [(args.app, variant, config) for variant in variants],
+        jobs=args.jobs,
+    )
     for variant in variants:
-        result = characterize(args.app, variant, config)
+        result = engine.characterize(args.app, variant, config)
         table.add_row(
             variant,
             f"{result.work_ipc:.2f}",
             percent(result.merged.branch_mispredict_rate),
             percent(result.merged.cache.miss_rate, 2),
         )
-    del baseline
+    print(table.render())
+    return 0
+
+
+def cmd_experiments(args) -> int:
+    from repro.experiments.__main__ import main as experiments_main
+
+    return experiments_main(args.args)
+
+
+def cmd_cache(args) -> int:
+    from repro.engine.cache import active_cache, use_cache_dir
+    from repro.engine.digest import CACHE_SCHEMA_VERSION, sim_source_digest
+
+    if args.cache_dir is not None:
+        use_cache_dir(args.cache_dir)
+    cache = active_cache()
+    if args.action == "clear":
+        removed = cache.clear()
+        print(f"# removed {removed} cached files from {cache.root}")
+        return 0
+    stats = cache.stats()
+    table = Table(
+        f"Persistent simulation cache ({cache.root})",
+        ["Field", "Value"],
+    )
+    table.add_row("enabled", "yes" if cache.enabled else "no (REPRO_CACHE=off)")
+    table.add_row("schema version", CACHE_SCHEMA_VERSION)
+    table.add_row("kernel-source digest", sim_source_digest()[:12])
+    table.add_row("trace entries", stats["trace_entries"])
+    table.add_row("result entries", stats["result_entries"])
+    table.add_row("total bytes", stats["total_bytes"])
     print(table.render())
     return 0
 
@@ -263,7 +302,29 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=list(VARIANTS) + ["all"])
     p_sim.add_argument("--fxus", type=int, default=2)
     p_sim.add_argument("--btac", action="store_true")
+    p_sim.add_argument("--jobs", "-j", type=int, default=None, metavar="N",
+                       help="worker processes for variant fan-out")
     p_sim.set_defaults(func=cmd_simulate)
+
+    p_exp = sub.add_parser(
+        "experiments",
+        help="reproduce the paper's tables/figures through the engine",
+    )
+    p_exp.add_argument(
+        "args", nargs=argparse.REMAINDER,
+        help="arguments for 'python -m repro.experiments' "
+             "(experiment ids, --jobs, --cache-dir, --telemetry-json, ...)",
+    )
+    p_exp.set_defaults(func=cmd_experiments)
+
+    p_cache = sub.add_parser(
+        "cache", help="inspect / clear the persistent simulation cache"
+    )
+    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/repro-power5)")
+    p_cache.set_defaults(func=cmd_cache)
     return parser
 
 

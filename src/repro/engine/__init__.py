@@ -1,0 +1,55 @@
+"""The simulation engine: the single entry point for design-space runs.
+
+Layers, bottom to top:
+
+``digest``
+    Canonical content digests — a :class:`~repro.uarch.config.CoreConfig`
+    digest and a digest over every source file that can change a trace
+    or a simulation result (kernels, compiler, ISA, bio inputs, core
+    model). Cache keys are built from these, so editing any simulation
+    source invalidates exactly the entries it could have changed.
+``serialize``
+    Lossless JSON round-tripping of :class:`SimResult` and
+    :class:`AppCharacterisation` (integers end to end, so reloaded
+    results are byte-identical to freshly simulated ones).
+``cache``
+    The persistent content-addressed store: kernel/background traces in
+    :mod:`repro.isa.tracestore` format and characterisation results as
+    JSON, under a versioned, configurable cache directory. Corrupted
+    entries are evicted and regenerated, never fatal.
+``telemetry``
+    Per-point wall time, cache hit/miss counters and simulated-MIPS,
+    renderable as a table or a machine-readable JSON summary.
+``scheduler``
+    Process-pool fan-out of design points (``--jobs N`` /
+    ``REPRO_JOBS``), with in-flight deduplication; parallel results are
+    byte-identical to serial because every point is deterministic and
+    computed on a fresh core.
+``engine``
+    :class:`Engine` ties the layers together; ``default_engine()`` is
+    the process-wide instance the experiment drivers share.
+"""
+
+from repro.engine.cache import PersistentCache, active_cache, use_cache_dir
+from repro.engine.digest import (
+    CACHE_SCHEMA_VERSION,
+    config_digest,
+    sim_source_digest,
+)
+from repro.engine.engine import Engine, default_engine
+from repro.engine.scheduler import resolve_jobs
+from repro.engine.telemetry import EngineStats, PointRecord
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "Engine",
+    "EngineStats",
+    "PersistentCache",
+    "PointRecord",
+    "active_cache",
+    "config_digest",
+    "default_engine",
+    "resolve_jobs",
+    "sim_source_digest",
+    "use_cache_dir",
+]

@@ -1,0 +1,256 @@
+"""Persistent content-addressed cache for traces and results.
+
+Layout (under a versioned root so schema bumps invalidate wholesale)::
+
+    <cache_dir>/v<SCHEMA>/
+        traces/<app>/<variant>-<source_digest12>.trace
+        results/<app>/<variant>-<source_digest12>-<config_digest12>.json
+
+Traces use the :mod:`repro.isa.tracestore` text format — "expensive to
+regenerate but cheap to re-simulate" — and results the strict JSON
+schema of :mod:`repro.engine.serialize` (stored here as opaque dicts;
+the engine layer (de)serialises). Every read is corruption-safe: a
+truncated, malformed or partially-written entry is evicted and treated
+as a miss, never raised to the caller.
+
+The cache directory resolves, in order: an explicit path, the
+``REPRO_CACHE_DIR`` environment variable, then
+``$XDG_CACHE_HOME/repro-power5`` (``~/.cache/repro-power5``). Setting
+``REPRO_CACHE=off`` (or ``0``/``false``/``no``) disables persistence
+entirely; every operation then degrades to a miss/no-op.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent workers
+sharing one cache directory can never expose half-written entries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.digest import (
+    CACHE_SCHEMA_VERSION,
+    SHORT_DIGEST,
+    sim_source_digest,
+)
+from repro.errors import ReproError
+from repro.isa.trace import TraceEvent
+from repro.isa.tracestore import load_trace, save_trace
+
+_DISABLE_VALUES = {"0", "off", "false", "no"}
+
+
+def default_cache_dir() -> Path | None:
+    """Resolve the cache root from the environment (None = disabled)."""
+    if os.environ.get("REPRO_CACHE", "").strip().lower() in _DISABLE_VALUES:
+        return None
+    explicit = os.environ.get("REPRO_CACHE_DIR")
+    if explicit:
+        return Path(explicit)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = Path(xdg) if xdg else Path.home() / ".cache"
+    return base / "repro-power5"
+
+
+@dataclass
+class CacheCounters:
+    """Process-local hit/miss accounting (part of engine telemetry)."""
+
+    trace_hits: int = 0
+    trace_misses: int = 0
+    result_hits: int = 0
+    result_misses: int = 0
+    evictions: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "trace_hits": self.trace_hits,
+            "trace_misses": self.trace_misses,
+            "result_hits": self.result_hits,
+            "result_misses": self.result_misses,
+            "evictions": self.evictions,
+        }
+
+    def merge(self, other: "CacheCounters") -> None:
+        self.trace_hits += other.trace_hits
+        self.trace_misses += other.trace_misses
+        self.result_hits += other.result_hits
+        self.result_misses += other.result_misses
+        self.evictions += other.evictions
+
+
+class PersistentCache:
+    """Content-addressed trace/result store under one directory."""
+
+    def __init__(self, root: Path | str | None) -> None:
+        self.root = Path(root) if root is not None else None
+        self.counters = CacheCounters()
+
+    @property
+    def enabled(self) -> bool:
+        return self.root is not None
+
+    @property
+    def version_root(self) -> Path:
+        if self.root is None:
+            raise ReproError("persistent cache is disabled")
+        return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    # -- path derivation ---------------------------------------------------
+
+    def trace_path(self, app: str, variant: str) -> Path:
+        digest = sim_source_digest()[:SHORT_DIGEST]
+        return self.version_root / "traces" / app / f"{variant}-{digest}.trace"
+
+    def result_path(self, app: str, variant: str, config_digest: str) -> Path:
+        digest = sim_source_digest()[:SHORT_DIGEST]
+        name = f"{variant}-{digest}-{config_digest[:SHORT_DIGEST]}.json"
+        return self.version_root / "results" / app / name
+
+    # -- traces ------------------------------------------------------------
+
+    def load_trace(self, app: str, variant: str) -> list[TraceEvent] | None:
+        """The cached trace, or None (miss or evicted corruption)."""
+        if not self.enabled:
+            return None
+        path = self.trace_path(app, variant)
+        if not path.exists():
+            self.counters.trace_misses += 1
+            return None
+        try:
+            events = load_trace(path)
+        except (ReproError, OSError, ValueError):
+            self._evict(path)
+            self.counters.trace_misses += 1
+            return None
+        self.counters.trace_hits += 1
+        return events
+
+    def store_trace(
+        self, app: str, variant: str, events: list[TraceEvent]
+    ) -> None:
+        if not self.enabled:
+            return
+        path = self.trace_path(app, variant)
+        self._atomic_write(path, lambda tmp: save_trace(tmp, events))
+
+    # -- results -----------------------------------------------------------
+
+    def load_result_payload(
+        self, app: str, variant: str, config_digest: str
+    ) -> dict | None:
+        """The stored result dict, or None. Malformed JSON is evicted.
+
+        Schema-level validation happens in the engine; it reports
+        deeper corruption back through :meth:`evict_result`.
+        """
+        if not self.enabled:
+            return None
+        path = self.result_path(app, variant, config_digest)
+        if not path.exists():
+            self.counters.result_misses += 1
+            return None
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            if not isinstance(payload, dict):
+                raise ValueError("result payload is not an object")
+        except (OSError, ValueError):
+            self._evict(path)
+            self.counters.result_misses += 1
+            return None
+        self.counters.result_hits += 1
+        return payload
+
+    def store_result_payload(
+        self, app: str, variant: str, config_digest: str, payload: dict
+    ) -> None:
+        if not self.enabled:
+            return
+        path = self.result_path(app, variant, config_digest)
+        text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+        self._atomic_write(
+            path, lambda tmp: Path(tmp).write_text(text, encoding="utf-8")
+        )
+
+    def evict_result(self, app: str, variant: str, config_digest: str) -> None:
+        """Drop one result entry (deep corruption found by the engine)."""
+        if self.enabled:
+            self._evict(self.result_path(app, variant, config_digest))
+            self.counters.result_misses += 1
+
+    # -- maintenance -------------------------------------------------------
+
+    def stats(self) -> dict:
+        """Entry counts and on-disk footprint, for ``repro cache stats``."""
+        traces = results = total_bytes = 0
+        if self.enabled and self.version_root.exists():
+            for path in self.version_root.rglob("*"):
+                if not path.is_file():
+                    continue
+                total_bytes += path.stat().st_size
+                if path.suffix == ".trace":
+                    traces += 1
+                elif path.suffix == ".json":
+                    results += 1
+        return {
+            "enabled": self.enabled,
+            "cache_dir": str(self.root) if self.enabled else None,
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "trace_entries": traces,
+            "result_entries": results,
+            "total_bytes": total_bytes,
+            "counters": self.counters.to_dict(),
+        }
+
+    def clear(self) -> int:
+        """Delete every entry (all schema versions); returns files removed."""
+        if not self.enabled or not self.root.exists():
+            return 0
+        removed = 0
+        for path in sorted(self.root.rglob("*"), reverse=True):
+            if path.is_file():
+                path.unlink()
+                removed += 1
+            elif path.is_dir():
+                path.rmdir()
+        return removed
+
+    # -- internals ---------------------------------------------------------
+
+    def _atomic_write(self, path: Path, write) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        try:
+            write(tmp)
+            os.replace(tmp, path)
+        except OSError:
+            # Cache writes are best-effort; a full/readonly disk must
+            # not fail the simulation that produced the data.
+            tmp.unlink(missing_ok=True)
+
+    def _evict(self, path: Path) -> None:
+        try:
+            path.unlink(missing_ok=True)
+            self.counters.evictions += 1
+        except OSError:
+            pass
+
+
+_active_cache: PersistentCache | None = None
+
+
+def active_cache() -> PersistentCache:
+    """The process-wide cache (created from the environment on first use)."""
+    global _active_cache
+    if _active_cache is None:
+        _active_cache = PersistentCache(default_cache_dir())
+    return _active_cache
+
+
+def use_cache_dir(root: Path | str | None) -> PersistentCache:
+    """Re-point the process-wide cache (None disables persistence)."""
+    global _active_cache
+    _active_cache = PersistentCache(root)
+    return _active_cache

@@ -1,0 +1,88 @@
+"""Canonical content digests for engine cache keys.
+
+Two ingredients address every cache entry:
+
+* :func:`sim_source_digest` — a SHA-256 over every Python source file
+  that can change a trace or a simulation result: the kernels, the
+  compiler, the ISA, the bio layer that generates kernel inputs, the
+  micro-architectural model, and the characterisation driver itself.
+  Editing any of them yields a new digest, so stale entries are never
+  served; untouched sources keep the cache warm across checkouts.
+* :func:`config_digest` — a SHA-256 over the canonical JSON form of a
+  :class:`~repro.uarch.config.CoreConfig` (nested predictor/BTAC/cache
+  blocks included), replacing the dataclass identity/hash semantics
+  the old memo key leaned on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, is_dataclass
+from pathlib import Path
+
+from repro.uarch.config import CoreConfig
+
+#: Bump to invalidate every cache entry on disk (layout/format changes).
+CACHE_SCHEMA_VERSION = 1
+
+#: Packages/modules (relative to the ``repro`` package) whose source
+#: participates in trace/result generation.
+_SIM_SOURCE_ROOTS = (
+    "isa",
+    "kernels",
+    "compiler",
+    "bio",
+    "uarch",
+    "perf/characterize.py",
+)
+
+#: Hex digits kept when embedding digests in file names.
+SHORT_DIGEST = 12
+
+_source_digest_cache: str | None = None
+
+
+def config_digest(config: CoreConfig) -> str:
+    """Canonical digest of a core configuration."""
+    if not is_dataclass(config):
+        raise TypeError(f"expected a CoreConfig, got {type(config)!r}")
+    payload = json.dumps(
+        {"type": type(config).__name__, "config": asdict(config)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _iter_source_files() -> list[Path]:
+    package_root = Path(__file__).resolve().parent.parent
+    files: list[Path] = []
+    for root in _SIM_SOURCE_ROOTS:
+        path = package_root / root
+        if path.is_file():
+            files.append(path)
+        elif path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+    return files
+
+
+def sim_source_digest() -> str:
+    """Digest of all simulation-relevant source files (cached per process)."""
+    global _source_digest_cache
+    if _source_digest_cache is None:
+        package_root = Path(__file__).resolve().parent.parent
+        hasher = hashlib.sha256()
+        hasher.update(f"schema:{CACHE_SCHEMA_VERSION}".encode())
+        for path in _iter_source_files():
+            hasher.update(str(path.relative_to(package_root)).encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _source_digest_cache = hasher.hexdigest()
+    return _source_digest_cache
+
+
+def point_key(app: str, variant: str, config: CoreConfig) -> tuple[str, str, str]:
+    """The canonical memo key for one design point."""
+    return (app, variant, config_digest(config))

@@ -1,0 +1,168 @@
+"""The :class:`Engine`: cached, parallel design-point simulation.
+
+Every simulation request flows through three layers:
+
+1. an in-memory memo keyed by the canonical ``(app, variant,
+   config-digest)`` key (not dataclass identity);
+2. the persistent content-addressed cache (:mod:`repro.engine.cache`),
+   which survives across processes and runs;
+3. the real pipeline — :func:`repro.perf.characterize.characterize` —
+   whose result is then persisted and memoised.
+
+``default_engine()`` is the process-wide instance the experiment
+drivers and the CLI share; constructing an :class:`Engine` with an
+explicit ``cache_dir`` re-points the process-wide persistent cache
+(the cache is a per-process resource, exactly like the in-memory trace
+caches it backs).
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import serialize
+from repro.engine.cache import PersistentCache, active_cache, use_cache_dir
+from repro.engine.digest import SHORT_DIGEST, config_digest
+from repro.engine.scheduler import fan_out
+from repro.engine.telemetry import (
+    SOURCE_DISK,
+    SOURCE_SIMULATED,
+    EngineStats,
+    PointRecord,
+)
+from repro.perf.characterize import AppCharacterisation, characterize
+from repro.uarch.config import CoreConfig, power5
+
+#: Sentinel: "use the environment-resolved cache directory".
+_ENV = object()
+
+
+class Engine:
+    """Single entry point for (app, variant, config) simulations."""
+
+    def __init__(self, cache_dir=_ENV, jobs: int | None = None) -> None:
+        if cache_dir is _ENV:
+            self.cache: PersistentCache = active_cache()
+        else:
+            self.cache = use_cache_dir(cache_dir)
+        self.jobs = jobs
+        self.stats = EngineStats()
+        # Telemetry reports the live cache counters, not a copy.
+        self.stats.cache = self.cache.counters
+        self._memo: dict[tuple[str, str, str], AppCharacterisation] = {}
+
+    # -- single points -----------------------------------------------------
+
+    def characterize(
+        self,
+        app: str,
+        variant: str = "baseline",
+        config: CoreConfig | None = None,
+    ) -> AppCharacterisation:
+        """One design point, through memo -> disk -> simulation."""
+        config = config or power5()
+        digest = config_digest(config)
+        key = (app, variant, digest)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.stats.memo_hits += 1
+            return cached
+
+        started = time.perf_counter()
+        result = self._load_persistent(app, variant, digest)
+        source = SOURCE_DISK
+        if result is None:
+            result = characterize(app, variant, config)
+            self.cache.store_result_payload(
+                app, variant, digest,
+                serialize.characterisation_to_dict(result),
+            )
+            source = SOURCE_SIMULATED
+        wall = time.perf_counter() - started
+
+        self._memo[key] = result
+        self.stats.record(PointRecord(
+            app=app,
+            variant=variant,
+            config_digest=digest[:SHORT_DIGEST],
+            wall_seconds=wall,
+            instructions=result.merged.instructions,
+            source=source,
+        ))
+        return result
+
+    def _load_persistent(
+        self, app: str, variant: str, digest: str
+    ) -> AppCharacterisation | None:
+        payload = self.cache.load_result_payload(app, variant, digest)
+        if payload is None:
+            return None
+        try:
+            return serialize.characterisation_from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            # Structurally valid JSON with a wrong/damaged schema:
+            # evict and resimulate.
+            self.cache.evict_result(app, variant, digest)
+            return None
+
+    # -- fan-out -----------------------------------------------------------
+
+    def characterize_many(
+        self,
+        points: list[tuple[str, str, CoreConfig]],
+        jobs: int | None = None,
+    ) -> list[AppCharacterisation]:
+        """Characterize a batch of points, in order, with fan-out."""
+        return fan_out(self, points, jobs if jobs is not None else self.jobs)
+
+    def prefetch(
+        self,
+        points: list[tuple[str, str, CoreConfig]],
+        jobs: int | None = None,
+    ) -> None:
+        """Populate the memo for ``points`` (drivers then run serially)."""
+        self.characterize_many(points, jobs)
+
+    def adopt(
+        self,
+        app: str,
+        variant: str,
+        config: CoreConfig,
+        result: AppCharacterisation,
+        stats: EngineStats | None = None,
+    ) -> None:
+        """Merge a worker-computed result (and its telemetry) back in.
+
+        The worker persisted the entry to the shared cache directory
+        already (when persistence is on); adopting keeps the parent's
+        memo and telemetry coherent without a second disk round-trip.
+        """
+        self._memo[(app, variant, config_digest(config))] = result
+        if stats is not None:
+            self.stats.merge(stats)
+
+    # -- maintenance -------------------------------------------------------
+
+    def clear(self, persistent: bool = False) -> int:
+        """Drop the memo; with ``persistent=True`` also the disk cache."""
+        self._memo.clear()
+        removed = 0
+        if persistent:
+            removed = self.cache.clear()
+        return removed
+
+    def cache_stats(self) -> dict:
+        stats = self.cache.stats()
+        stats["memo_entries"] = len(self._memo)
+        return stats
+
+
+_default_engine: Engine | None = None
+
+
+def default_engine() -> Engine:
+    """The process-wide engine shared by experiments and the CLI."""
+    global _default_engine
+    if _default_engine is None:
+        _default_engine = Engine()
+    return _default_engine

@@ -1,0 +1,106 @@
+"""Process-pool fan-out of design points.
+
+The scheduler deduplicates in-flight keys (a sweep that names the same
+(app, variant, config) twice simulates it once), fans the unique
+pending points out over a ``concurrent.futures`` process pool, and
+merges worker results — and worker telemetry — back into the parent
+engine. Workers share the parent's persistent cache directory, so a
+trace or result any worker generates is visible to every later run.
+
+Job count resolution: explicit argument, else the ``REPRO_JOBS``
+environment variable, else ``os.cpu_count()``.
+
+Parallel output is byte-identical to serial output because every point
+is deterministic, simulated on a fresh core, and results are merged
+back by key (never by completion order).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import ProcessPoolExecutor
+
+from repro.errors import WorkloadError
+from repro.uarch.config import CoreConfig
+
+
+def resolve_jobs(jobs: int | None = None) -> int:
+    """Worker count: explicit > ``REPRO_JOBS`` > ``os.cpu_count()``."""
+    if jobs is None:
+        env = os.environ.get("REPRO_JOBS", "").strip()
+        if env:
+            try:
+                jobs = int(env)
+            except ValueError:
+                raise WorkloadError(
+                    f"REPRO_JOBS must be an integer, got {env!r}"
+                ) from None
+        else:
+            jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise WorkloadError(f"jobs must be >= 1, got {jobs}")
+    return jobs
+
+
+def _pool_context():
+    """Prefer fork (workers inherit warm in-memory trace caches)."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context(
+        "fork" if "fork" in methods else "spawn"
+    )
+
+
+def _characterize_worker(task):
+    """Run one design point in a worker process (module-level: picklable)."""
+    app, variant, config, cache_root = task
+    from repro.engine.engine import Engine
+
+    engine = Engine(cache_dir=cache_root)
+    result = engine.characterize(app, variant, config)
+    return app, variant, config, result, engine.stats
+
+
+def fan_out(
+    engine,
+    points: list[tuple[str, str, CoreConfig]],
+    jobs: int | None = None,
+) -> list:
+    """Characterize ``points`` with up to ``jobs`` workers.
+
+    Returns results in input order. Points already memoised in
+    ``engine`` are served from memory; the rest are deduplicated by
+    canonical key and dispatched once each.
+    """
+    from repro.engine.digest import point_key
+
+    jobs = resolve_jobs(jobs)
+    engine.stats.jobs = max(engine.stats.jobs, jobs)
+
+    keys = [point_key(app, variant, config) for app, variant, config in points]
+    pending: dict[tuple, tuple] = {}
+    for key, (app, variant, config) in zip(keys, points):
+        if key not in engine._memo and key not in pending:
+            pending[key] = (app, variant, config)
+
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            for app, variant, config in pending.values():
+                engine.characterize(app, variant, config)
+        else:
+            cache_root = engine.cache.root
+            tasks = [
+                (app, variant, config, cache_root)
+                for app, variant, config in pending.values()
+            ]
+            workers = min(jobs, len(tasks))
+            with ProcessPoolExecutor(
+                max_workers=workers, mp_context=_pool_context()
+            ) as pool:
+                for app, variant, config, result, stats in pool.map(
+                    _characterize_worker, tasks
+                ):
+                    engine.adopt(app, variant, config, result, stats)
+
+    return [engine.characterize(app, variant, config)
+            for app, variant, config in points]

@@ -1,0 +1,105 @@
+"""Lossless JSON round-tripping of simulation results.
+
+Every numeric field in :class:`~repro.uarch.core.SimResult` is an
+integer, so the JSON round trip is exact: a result loaded from the
+persistent cache renders byte-identically to one just simulated. The
+schema is strict — unknown/missing fields raise, which the cache layer
+treats as corruption and regenerates.
+"""
+
+from __future__ import annotations
+
+from repro.perf.characterize import AppCharacterisation
+from repro.uarch.btac import BtacStats
+from repro.uarch.cache import CacheStats
+from repro.uarch.core import IntervalRecord, SimResult
+
+_SIM_INT_FIELDS = (
+    "instructions", "cycles", "branches", "conditional_branches",
+    "taken_branches", "direction_mispredictions", "target_mispredictions",
+    "taken_bubbles", "loads", "stores", "load_misses", "fxu_ops",
+)
+_BTAC_FIELDS = (
+    "lookups", "hits", "predictions", "correct", "incorrect", "allocations",
+)
+_INTERVAL_FIELDS = (
+    "start_instruction", "instructions", "cycles", "branches",
+    "direction_mispredictions",
+)
+
+
+def result_to_dict(result: SimResult) -> dict:
+    payload: dict = {name: getattr(result, name) for name in _SIM_INT_FIELDS}
+    payload["stall_cycles"] = dict(result.stall_cycles)
+    payload["cache"] = {
+        "accesses": result.cache.accesses,
+        "misses": result.cache.misses,
+    }
+    payload["btac"] = (
+        None
+        if result.btac is None
+        else {name: getattr(result.btac, name) for name in _BTAC_FIELDS}
+    )
+    payload["intervals"] = [
+        {name: getattr(record, name) for name in _INTERVAL_FIELDS}
+        for record in result.intervals
+    ]
+    return payload
+
+
+def result_from_dict(payload: dict) -> SimResult:
+    result = SimResult(**{name: int(payload[name]) for name in _SIM_INT_FIELDS})
+    result.stall_cycles = {
+        str(key): int(value) for key, value in payload["stall_cycles"].items()
+    }
+    result.cache = CacheStats(
+        accesses=int(payload["cache"]["accesses"]),
+        misses=int(payload["cache"]["misses"]),
+    )
+    btac = payload["btac"]
+    result.btac = (
+        None
+        if btac is None
+        else BtacStats(**{name: int(btac[name]) for name in _BTAC_FIELDS})
+    )
+    result.intervals = [
+        IntervalRecord(**{name: int(record[name]) for name in _INTERVAL_FIELDS})
+        for record in payload["intervals"]
+    ]
+    return result
+
+
+def characterisation_to_dict(result: AppCharacterisation) -> dict:
+    return {
+        "app": result.app,
+        "variant": result.variant,
+        "kernel": (
+            None if result.kernel is None else result_to_dict(result.kernel)
+        ),
+        "background": (
+            None
+            if result.background is None
+            else result_to_dict(result.background)
+        ),
+        "merged": result_to_dict(result.merged),
+        "baseline_instructions": result.baseline_instructions,
+    }
+
+
+def characterisation_from_dict(payload: dict) -> AppCharacterisation:
+    return AppCharacterisation(
+        app=str(payload["app"]),
+        variant=str(payload["variant"]),
+        kernel=(
+            None
+            if payload["kernel"] is None
+            else result_from_dict(payload["kernel"])
+        ),
+        background=(
+            None
+            if payload["background"] is None
+            else result_from_dict(payload["background"])
+        ),
+        merged=result_from_dict(payload["merged"]),
+        baseline_instructions=int(payload["baseline_instructions"]),
+    )

@@ -1,0 +1,145 @@
+"""Engine telemetry: per-point wall time, cache traffic, simulated MIPS.
+
+Telemetry is collected out-of-band from the experiment data so that a
+parallel run renders byte-identically to a serial one: wall times go in
+the telemetry report (tables / JSON summary), never in
+:meth:`ExperimentResult.render` output.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.cache import CacheCounters
+from repro.perf.report import Table
+
+#: Where a point's result came from.
+SOURCE_MEMO = "memo"
+SOURCE_DISK = "disk"
+SOURCE_SIMULATED = "simulated"
+
+
+@dataclass
+class PointRecord:
+    """One design point's execution record."""
+
+    app: str
+    variant: str
+    config_digest: str  # short form
+    wall_seconds: float
+    instructions: int
+    source: str  # memo | disk | simulated
+
+    @property
+    def mips(self) -> float:
+        """Simulated megainstructions per second of wall time."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.instructions / self.wall_seconds / 1e6
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "variant": self.variant,
+            "config": self.config_digest,
+            "wall_seconds": self.wall_seconds,
+            "instructions": self.instructions,
+            "mips": self.mips,
+            "source": self.source,
+        }
+
+
+@dataclass
+class EngineStats:
+    """Aggregated engine telemetry (mergeable across worker processes)."""
+
+    points: list[PointRecord] = field(default_factory=list)
+    memo_hits: int = 0
+    cache: CacheCounters = field(default_factory=CacheCounters)
+    jobs: int = 1
+
+    def record(self, point: PointRecord) -> None:
+        self.points.append(point)
+
+    def merge(self, other: "EngineStats") -> None:
+        """Fold a worker's telemetry into this one."""
+        self.points.extend(other.points)
+        self.memo_hits += other.memo_hits
+        self.cache.merge(other.cache)
+
+    @property
+    def total_wall_seconds(self) -> float:
+        return sum(point.wall_seconds for point in self.points)
+
+    @property
+    def total_instructions(self) -> int:
+        return sum(point.instructions for point in self.points)
+
+    @property
+    def aggregate_mips(self) -> float:
+        wall = self.total_wall_seconds
+        if wall <= 0.0:
+            return 0.0
+        return self.total_instructions / wall / 1e6
+
+    def to_dict(self) -> dict:
+        return {
+            "schema": 1,
+            "jobs": self.jobs,
+            "points": [point.to_dict() for point in self.points],
+            "cache": {**self.cache.to_dict(), "memo_hits": self.memo_hits},
+            "totals": {
+                "points": len(self.points),
+                "wall_seconds": self.total_wall_seconds,
+                "instructions": self.total_instructions,
+                "mips": self.aggregate_mips,
+            },
+        }
+
+    def write_json(self, path: str | Path) -> None:
+        """Machine-readable summary for benchmark/CI harnesses."""
+        Path(path).write_text(
+            json.dumps(self.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+
+    def render(self, per_point: bool = False) -> str:
+        """Human-readable telemetry report."""
+        summary = Table(
+            "Engine telemetry",
+            ["Points", "Simulated", "Disk hits", "Memo hits", "Wall (s)",
+             "Sim MIPS"],
+        )
+        simulated = sum(
+            1 for point in self.points if point.source == SOURCE_SIMULATED
+        )
+        disk = sum(1 for point in self.points if point.source == SOURCE_DISK)
+        summary.add_row(
+            len(self.points),
+            simulated,
+            disk,
+            self.memo_hits,
+            f"{self.total_wall_seconds:.2f}",
+            f"{self.aggregate_mips:.2f}",
+        )
+        blocks = [summary.render()]
+        if per_point and self.points:
+            table = Table(
+                "Per-point engine telemetry",
+                ["App", "Variant", "Config", "Source", "Wall (s)",
+                 "Instructions", "Sim MIPS"],
+            )
+            for point in self.points:
+                table.add_row(
+                    point.app,
+                    point.variant,
+                    point.config_digest,
+                    point.source,
+                    f"{point.wall_seconds:.3f}",
+                    point.instructions,
+                    f"{point.mips:.2f}",
+                )
+            blocks.append(table.render())
+        return "\n\n".join(blocks)

@@ -36,6 +36,7 @@ from repro.experiments.common import (
     ExperimentResult,
     cached_characterize,
     clear_cache,
+    prefetch_points,
 )
 
 #: Experiment id -> runner, in the paper's presentation order.
@@ -58,6 +59,7 @@ __all__ = [
     "ExperimentResult",
     "cached_characterize",
     "clear_cache",
+    "prefetch_points",
     "table1",
     "fig1",
     "fig2",

@@ -1,6 +1,11 @@
 """Command-line entry point: ``python -m repro.experiments <id> ...``.
 
 Runs the named experiments (or ``all``) and prints their tables.
+Design points are prefetched through the engine's process pool
+(``--jobs`` / ``REPRO_JOBS``), served from the persistent cache when
+warm, and engine telemetry (per-point wall time, cache hits,
+simulated MIPS) is printed after the tables and optionally written as
+JSON.
 """
 
 from __future__ import annotations
@@ -8,7 +13,10 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.engine.engine import default_engine
+from repro.errors import ReproError
 from repro.experiments import EXPERIMENTS
+from repro.experiments.common import prefetch_points
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -25,16 +33,56 @@ def main(argv: list[str] | None = None) -> int:
         choices=sorted(EXPERIMENTS) + ["all"],
         help="experiment ids to run ('all' runs every one)",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None, metavar="N",
+        help="worker processes for design-point fan-out "
+             "(default: REPRO_JOBS or the CPU count)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="persistent trace/result cache directory "
+             "(default: REPRO_CACHE_DIR or ~/.cache/repro-power5; "
+             "REPRO_CACHE=off disables)",
+    )
+    parser.add_argument(
+        "--telemetry-json", default=None, metavar="PATH",
+        help="write the engine telemetry summary as JSON to PATH",
+    )
+    parser.add_argument(
+        "--no-telemetry", action="store_true",
+        help="suppress the engine telemetry table",
+    )
     args = parser.parse_args(argv)
+
+    if args.cache_dir is not None:
+        from repro.engine.cache import use_cache_dir
+
+        use_cache_dir(args.cache_dir)
+
     names = (
         list(EXPERIMENTS)
         if "all" in args.experiments
         else args.experiments
     )
-    for name in names:
-        result = EXPERIMENTS[name]()
-        print(result.render())
+    try:
+        for name in names:
+            module = sys.modules[EXPERIMENTS[name].__module__]
+            enumerate_points = getattr(module, "points", None)
+            if enumerate_points is not None:
+                prefetch_points(enumerate_points(), jobs=args.jobs)
+            result = EXPERIMENTS[name]()
+            print(result.render())
+            print()
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+    engine = default_engine()
+    if not args.no_telemetry:
+        print(engine.stats.render())
         print()
+    if args.telemetry_json:
+        engine.stats.write_json(args.telemetry_json)
     return 0
 
 

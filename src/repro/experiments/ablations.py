@@ -30,6 +30,32 @@ from repro.uarch.config import BtacConfig, PredictorConfig, power5
 APP = "fasta"
 
 
+def points():
+    """Design points this driver needs (for engine prefetch/fan-out)."""
+    base = power5()
+    result = [(APP, "baseline", base)]
+    for entries in (2, 4, 8, 16, 32):
+        result.append(
+            (APP, "baseline", base.with_btac(BtacConfig(entries=entries)))
+        )
+    for threshold in (0, 1, 2, 3):
+        result.append(
+            (APP, "baseline",
+             base.with_btac(BtacConfig(score_threshold=threshold)))
+        )
+    for history in (0, 4, 10, 12):
+        result.append((
+            APP, "baseline",
+            replace(base, predictor=PredictorConfig(
+                table_bits=12, history_bits=history)),
+        ))
+    for app in ("blast", "clustalw", "fasta", "hmmer"):
+        result.append((app, "baseline", base))
+        result.append((app, "baseline", base.with_smt()))
+        result.append((app, "baseline", base.with_smt().with_btac()))
+    return result
+
+
 def btac_size_sweep() -> Table:
     base = power5()
     reference = cached_characterize(APP, "baseline", base)

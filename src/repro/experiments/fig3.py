@@ -31,6 +31,16 @@ PAPER_HAND_IMPROVEMENTS = {
 }
 
 
+def points():
+    """Design points this driver needs (for engine prefetch/fan-out)."""
+    config = power5()
+    return [
+        (app, variant, config)
+        for app in APPS
+        for variant in FIG3_VARIANTS
+    ]
+
+
 def run() -> ExperimentResult:
     """Simulate all six variants on the baseline core per application."""
     config = power5()

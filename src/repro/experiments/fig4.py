@@ -20,6 +20,18 @@ PAPER_BASE_GAIN_RANGE = (0.018, 0.079)
 PAPER_MISPREDICT_RANGE = (0.014, 0.025)
 
 
+def points():
+    """Design points this driver needs (for engine prefetch/fan-out)."""
+    base = power5()
+    with_btac = base.with_btac()
+    return [
+        (app, variant, config)
+        for app in APPS
+        for variant in ("baseline", "combination")
+        for config in (base, with_btac)
+    ]
+
+
 def run() -> ExperimentResult:
     """Measure the BTAC's effect on both code/machine combinations."""
     base = power5()

@@ -17,6 +17,17 @@ from repro.uarch.config import power5
 FXU_COUNTS = (2, 3, 4)
 
 
+def points():
+    """Design points this driver needs (for engine prefetch/fan-out)."""
+    base = power5()
+    return [
+        (app, code, base.with_fxus(count))
+        for app in APPS
+        for code in ("baseline", "combination")
+        for count in FXU_COUNTS
+    ]
+
+
 def run() -> ExperimentResult:
     """Sweep the FXU count for both code variants."""
     base = power5()

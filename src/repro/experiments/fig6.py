@@ -21,6 +21,20 @@ PAPER_TOTAL_GAINS = {
 PAPER_AVERAGE = 0.64
 
 
+def points():
+    """Design points this driver needs (for engine prefetch/fan-out)."""
+    base = power5()
+    combos = (
+        ("baseline", base),
+        ("combination", base),
+        ("baseline", base.with_btac()),
+        ("baseline", base.with_fxus(4)),
+        ("combination", base.with_btac().with_fxus(4)),
+    )
+    return [(app, variant, config)
+            for app in APPS for variant, config in combos]
+
+
 def run() -> ExperimentResult:
     """Stack the three enhancements individually and together."""
     base = power5()

@@ -20,6 +20,12 @@ PAPER_VALUES = {
 }
 
 
+def points():
+    """Design points this driver needs (for engine prefetch/fan-out)."""
+    config = power5()
+    return [(app, "baseline", config) for app in APPS]
+
+
 def run() -> ExperimentResult:
     """Reproduce Table I on the simulated baseline core."""
     config = power5()

@@ -28,6 +28,16 @@ PAPER_ORIGINAL = {
 }
 
 
+def points():
+    """Design points this driver needs (for engine prefetch/fan-out)."""
+    config = power5()
+    return [
+        (app, variant, config)
+        for app in APPS
+        for variant in FIG3_VARIANTS
+    ]
+
+
 def run() -> ExperimentResult:
     """Collect branch statistics for every (app, variant) pair."""
     config = power5()

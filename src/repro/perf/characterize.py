@@ -171,49 +171,82 @@ def _kernel_inputs(app: str):
     raise WorkloadError(f"unknown application {app!r}")
 
 
+def _generate_kernel_trace(app: str, variant: str) -> list[TraceEvent]:
+    """Interpret the app's kernel and collect its dynamic trace."""
+    trace: list[TraceEvent] = []
+    if app == "fasta":
+        a, b = _kernel_inputs(app)
+        smith_waterman.run(variant, a, b, BLOSUM62, GAPS, trace=trace)
+    elif app == "clustalw":
+        a, b = _kernel_inputs(app)
+        forward_pass.run(variant, a, b, BLOSUM62, GAPS, trace=trace)
+    elif app == "blast":
+        a, b = _kernel_inputs(app)
+        gapped_extend.run(
+            variant, a, b, BLOSUM62, GapPenalties(11, 1), trace=trace
+        )
+    elif app == "hmmer":
+        model, queries = _kernel_inputs(app)
+        for query in queries:
+            viterbi.run(variant, model, query, trace=trace)
+    else:
+        raise WorkloadError(f"unknown application {app!r}")
+    return trace
+
+
 def kernel_trace(app: str, variant: str) -> list[TraceEvent]:
-    """The app's kernel trace for one code variant (cached)."""
+    """The app's kernel trace for one code variant.
+
+    Cached in memory and — because traces are expensive to regenerate
+    but cheap to re-simulate — in the engine's persistent trace store,
+    keyed by the simulation-source digest so any code change
+    regenerates them.
+    """
+    # Imported here: the engine cache sits above the perf layer.
+    from repro.engine.cache import active_cache
+
     key = (app, variant)
     if key not in _kernel_trace_cache:
-        trace: list[TraceEvent] = []
-        if app == "fasta":
-            a, b = _kernel_inputs(app)
-            smith_waterman.run(variant, a, b, BLOSUM62, GAPS, trace=trace)
-        elif app == "clustalw":
-            a, b = _kernel_inputs(app)
-            forward_pass.run(variant, a, b, BLOSUM62, GAPS, trace=trace)
-        elif app == "blast":
-            a, b = _kernel_inputs(app)
-            gapped_extend.run(
-                variant, a, b, BLOSUM62, GapPenalties(11, 1), trace=trace
-            )
-        elif app == "hmmer":
-            model, queries = _kernel_inputs(app)
-            for query in queries:
-                viterbi.run(variant, model, query, trace=trace)
-        else:
-            raise WorkloadError(f"unknown application {app!r}")
-        _kernel_trace_cache[key] = trace
+        cache = active_cache()
+        events = cache.load_trace(app, variant)
+        if events is None:
+            events = _generate_kernel_trace(app, variant)
+            cache.store_trace(app, variant, events)
+        _kernel_trace_cache[key] = events
     return _kernel_trace_cache[key]
 
 
 def background_trace(app: str) -> list[TraceEvent]:
-    """The app's fixed non-kernel trace (cached).
+    """The app's fixed non-kernel trace (cached, persistently too).
 
     Sized from the *baseline* kernel length so that the kernel carries
     ``kernel_weight`` of the baseline instructions.
     """
+    from repro.engine.cache import active_cache
+
     if app not in _background_cache:
-        workload = APP_WORKLOADS[app]
-        kernel_length = len(kernel_trace(app, "baseline"))
-        length = int(
-            kernel_length * (1.0 - workload.kernel_weight)
-            / workload.kernel_weight
-        )
-        _background_cache[app] = generate_trace(
-            max(1_000, length), workload.background, seed=workload.seed
-        )
+        cache = active_cache()
+        # "~background" cannot collide with a code-variant name.
+        events = cache.load_trace(app, "~background")
+        if events is None:
+            workload = APP_WORKLOADS[app]
+            kernel_length = len(kernel_trace(app, "baseline"))
+            length = int(
+                kernel_length * (1.0 - workload.kernel_weight)
+                / workload.kernel_weight
+            )
+            events = generate_trace(
+                max(1_000, length), workload.background, seed=workload.seed
+            )
+            cache.store_trace(app, "~background", events)
+        _background_cache[app] = events
     return _background_cache[app]
+
+
+def clear_trace_caches() -> None:
+    """Drop the in-memory kernel/background trace memos (test isolation)."""
+    _kernel_trace_cache.clear()
+    _background_cache.clear()
 
 
 def composite_trace(

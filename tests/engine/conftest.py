@@ -1,0 +1,48 @@
+"""Shared fixtures: engines isolated from the process-wide singletons.
+
+The persistent cache and the default engine are per-process resources;
+these fixtures snapshot and restore them so engine tests can re-point
+the cache at a temporary directory without leaking state into the rest
+of the suite.
+"""
+
+import pytest
+
+from repro.engine import cache as cache_module
+from repro.engine import engine as engine_module
+from repro.engine.cache import PersistentCache
+from repro.isa.trace import TraceEvent
+
+
+@pytest.fixture()
+def restore_globals():
+    """Snapshot/restore the process-wide cache and default engine."""
+    original_cache = cache_module._active_cache
+    original_engine = engine_module._default_engine
+    yield
+    cache_module._active_cache = original_cache
+    engine_module._default_engine = original_engine
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    """A private persistent cache (not the process-wide one)."""
+    return PersistentCache(tmp_path / "cache")
+
+
+@pytest.fixture()
+def fresh_engine(tmp_path, restore_globals):
+    """An engine on a private cache directory."""
+    return engine_module.Engine(cache_dir=tmp_path / "engine-cache")
+
+
+def events_equal(left: list[TraceEvent], right: list[TraceEvent]) -> bool:
+    """Field-by-field trace equality (TraceEvent has no ``__eq__``)."""
+    if len(left) != len(right):
+        return False
+    slots = TraceEvent.__slots__
+    return all(
+        getattr(a, slot) == getattr(b, slot)
+        for a, b in zip(left, right)
+        for slot in slots
+    )

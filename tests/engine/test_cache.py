@@ -1,0 +1,158 @@
+"""Persistent cache: round-trips, digest invalidation, corruption safety."""
+
+import pytest
+
+from repro.engine import cache as cache_module
+from repro.engine.cache import PersistentCache, default_cache_dir
+from repro.engine.digest import config_digest, point_key, sim_source_digest
+from repro.uarch.config import power5
+from repro.uarch.synthetic import generate_trace
+
+from tests.engine.conftest import events_equal
+
+
+class TestTraceRoundTrip:
+    def test_synthetic_trace_round_trips(self, cache):
+        events = generate_trace(400, seed=11)
+        cache.store_trace("blast", "baseline", events)
+        loaded = cache.load_trace("blast", "baseline")
+        assert loaded is not None
+        assert events_equal(loaded, events)
+        assert cache.counters.trace_hits == 1
+
+    def test_kernel_trace_round_trips(self, cache):
+        """The store preserves a real (golden) kernel trace exactly."""
+        from repro.perf.characterize import kernel_trace
+
+        events = kernel_trace("fasta", "baseline")
+        cache.store_trace("fasta", "baseline", events)
+        loaded = cache.load_trace("fasta", "baseline")
+        assert loaded is not None
+        assert events_equal(loaded, events)
+
+    def test_background_pseudo_variant_round_trips(self, cache):
+        """'~background' cannot collide with a code variant and stores."""
+        events = generate_trace(250, seed=13)
+        cache.store_trace("hmmer", "~background", events)
+        loaded = cache.load_trace("hmmer", "~background")
+        assert loaded is not None
+        assert events_equal(loaded, events)
+
+    def test_cold_lookup_is_a_miss(self, cache):
+        assert cache.load_trace("clustalw", "baseline") is None
+        assert cache.counters.trace_misses == 1
+
+
+class TestDigestInvalidation:
+    def test_source_digest_change_invalidates_traces(self, cache, monkeypatch):
+        events = generate_trace(60, seed=3)
+        cache.store_trace("fasta", "baseline", events)
+        monkeypatch.setattr(
+            cache_module, "sim_source_digest", lambda: "f" * 64
+        )
+        assert cache.load_trace("fasta", "baseline") is None
+
+    def test_source_digest_change_invalidates_results(
+        self, cache, monkeypatch
+    ):
+        digest = config_digest(power5())
+        cache.store_result_payload("fasta", "baseline", digest, {"x": 1})
+        monkeypatch.setattr(
+            cache_module, "sim_source_digest", lambda: "f" * 64
+        )
+        assert cache.load_result_payload("fasta", "baseline", digest) is None
+
+    def test_config_digest_keys_results(self, cache):
+        base = config_digest(power5())
+        btac = config_digest(power5().with_btac())
+        assert base != btac
+        cache.store_result_payload("fasta", "baseline", base, {"x": 1})
+        assert cache.load_result_payload("fasta", "baseline", base) == {
+            "x": 1
+        }
+        assert cache.load_result_payload("fasta", "baseline", btac) is None
+
+    def test_structurally_equal_configs_share_a_key(self):
+        assert config_digest(power5()) == config_digest(power5())
+        assert point_key("fasta", "baseline", power5()) == point_key(
+            "fasta", "baseline", power5()
+        )
+
+    def test_source_digest_is_stable_hex(self):
+        digest = sim_source_digest()
+        assert digest == sim_source_digest()
+        assert len(digest) == 64
+        int(digest, 16)
+
+
+class TestCorruption:
+    def test_garbage_trace_evicted_not_raised(self, cache):
+        events = generate_trace(60, seed=5)
+        cache.store_trace("hmmer", "baseline", events)
+        path = cache.trace_path("hmmer", "baseline")
+        path.write_text("not a trace\n???\n", encoding="utf-8")
+        assert cache.load_trace("hmmer", "baseline") is None
+        assert not path.exists()
+        assert cache.counters.evictions == 1
+        # Regeneration path: the slot is writable again afterwards.
+        cache.store_trace("hmmer", "baseline", events)
+        reloaded = cache.load_trace("hmmer", "baseline")
+        assert reloaded is not None and events_equal(reloaded, events)
+
+    def test_truncated_trace_evicted(self, cache):
+        events = generate_trace(120, seed=7)
+        cache.store_trace("blast", "baseline", events)
+        path = cache.trace_path("blast", "baseline")
+        text = path.read_text(encoding="utf-8")
+        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        assert cache.load_trace("blast", "baseline") is None
+        assert not path.exists()
+
+    def test_malformed_result_json_evicted(self, cache):
+        digest = config_digest(power5())
+        cache.store_result_payload("blast", "baseline", digest, {"a": 1})
+        path = cache.result_path("blast", "baseline", digest)
+        path.write_text("{ truncated", encoding="utf-8")
+        assert cache.load_result_payload("blast", "baseline", digest) is None
+        assert not path.exists()
+
+    def test_non_object_result_json_evicted(self, cache):
+        digest = config_digest(power5())
+        cache.store_result_payload("blast", "baseline", digest, {"a": 1})
+        path = cache.result_path("blast", "baseline", digest)
+        path.write_text("[1, 2, 3]", encoding="utf-8")
+        assert cache.load_result_payload("blast", "baseline", digest) is None
+
+
+class TestMaintenance:
+    def test_stats_and_clear(self, cache):
+        cache.store_trace("fasta", "baseline", generate_trace(50, seed=9))
+        cache.store_result_payload(
+            "fasta", "baseline", config_digest(power5()), {"x": 1}
+        )
+        stats = cache.stats()
+        assert stats["trace_entries"] == 1
+        assert stats["result_entries"] == 1
+        assert stats["total_bytes"] > 0
+        assert cache.clear() == 2
+        after = cache.stats()
+        assert after["trace_entries"] == 0
+        assert after["result_entries"] == 0
+
+    def test_disabled_cache_degrades_to_misses(self):
+        disabled = PersistentCache(None)
+        assert not disabled.enabled
+        disabled.store_trace("fasta", "baseline", generate_trace(5, seed=1))
+        assert disabled.load_trace("fasta", "baseline") is None
+        disabled.store_result_payload("fasta", "baseline", "0" * 64, {})
+        assert disabled.load_result_payload("fasta", "baseline", "0" * 64) \
+            is None
+        assert disabled.clear() == 0
+        assert disabled.stats()["enabled"] is False
+
+    def test_default_dir_honours_disable_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE", "off")
+        assert default_cache_dir() is None
+        monkeypatch.setenv("REPRO_CACHE", "1")
+        monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
+        assert str(default_cache_dir()) == "/tmp/somewhere"

@@ -1,0 +1,51 @@
+"""Parallel output is byte-identical to serial output.
+
+Runs Table I twice through the engine — once serially, once fanned out
+over four worker processes — with persistence disabled so the parallel
+run really simulates in the pool, and asserts the rendered tables and
+the raw data dictionaries are identical.
+"""
+
+from repro.engine import engine as engine_module
+from repro.engine.engine import Engine
+from repro.engine.telemetry import SOURCE_SIMULATED
+from repro.experiments import table1
+from repro.experiments.common import prefetch_points
+
+
+def _run_table1(jobs: int):
+    """Table I through a fresh engine with persistence off."""
+    engine = Engine(cache_dir=None)
+    engine_module._default_engine = engine
+    prefetch_points(table1.points(), jobs=jobs)
+    return table1.run(), engine
+
+
+class TestParallelDeterminism:
+    def test_jobs4_matches_jobs1(self, restore_globals):
+        serial, serial_engine = _run_table1(jobs=1)
+        parallel, parallel_engine = _run_table1(jobs=4)
+
+        assert parallel.render() == serial.render()
+        assert parallel.data == serial.data
+
+        # The parallel run went through the pool: its four points were
+        # simulated by workers and merged back (none served from this
+        # process's memo during the prefetch).
+        assert parallel_engine.stats.jobs == 4
+        assert len(parallel_engine.stats.points) == len(table1.points())
+        assert all(
+            point.source == SOURCE_SIMULATED
+            for point in parallel_engine.stats.points
+        )
+        assert serial_engine.stats.jobs == 1
+
+    def test_duplicate_points_simulated_once(self, restore_globals):
+        engine = Engine(cache_dir=None)
+        points = table1.points()[:1] * 3
+        results = engine.characterize_many(points, jobs=2)
+        assert len(results) == 3
+        assert results[0] is results[1] is results[2]
+        # One simulation, two memo hits when collecting ordered output.
+        assert len(engine.stats.points) == 1
+        assert engine.stats.memo_hits >= 2

@@ -1,0 +1,223 @@
+"""Golden-trace equality for the predecoded interpreter fast path.
+
+The reference below is the naive fetch/decode/execute chain the
+interpreter used before predecoding — kept here as the executable
+specification. The production interpreter must produce bit-identical
+architected state *and* trace events.
+"""
+
+import pytest
+
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.workloads import make_family
+from repro.errors import InterpreterError
+from repro.isa.instructions import Op
+from repro.isa.interpreter import Machine, run_program
+from repro.isa.memory import Memory
+from repro.isa.program import ProgramBuilder
+from repro.isa.registers import RegisterFile
+from repro.isa.trace import TraceEvent
+from repro.kernels import smith_waterman
+
+GAPS = GapPenalties(10, 2)
+
+
+def reference_run(program, memory, initial_registers=None, trace=None):
+    """Naive interpretation: the pre-fast-path elif chain."""
+    registers = RegisterFile()
+    for index, value in (initial_registers or {}).items():
+        registers.write(index, value)
+    gpr = registers.gpr
+    instructions = program.instructions
+    targets = program.targets
+    pc = 0
+    halted = False
+    while not halted:
+        ins = instructions[pc]
+        op = ins.op
+        taken = False
+        address = None
+        next_pc = pc + 1
+        if op is Op.ADD:
+            gpr[ins.rd] = gpr[ins.ra] + gpr[ins.rb]
+        elif op is Op.ADDI:
+            gpr[ins.rd] = gpr[ins.ra] + ins.imm
+        elif op is Op.SUB:
+            gpr[ins.rd] = gpr[ins.ra] - gpr[ins.rb]
+        elif op is Op.SUBI:
+            gpr[ins.rd] = gpr[ins.ra] - ins.imm
+        elif op is Op.LD:
+            address = gpr[ins.ra] + ins.imm
+            gpr[ins.rd] = memory.load(address)
+        elif op is Op.LDX:
+            address = gpr[ins.ra] + gpr[ins.rb]
+            gpr[ins.rd] = memory.load(address)
+        elif op is Op.ST:
+            address = gpr[ins.ra] + ins.imm
+            memory.store(address, gpr[ins.rd])
+        elif op is Op.STX:
+            address = gpr[ins.ra] + gpr[ins.rb]
+            memory.store(address, gpr[ins.rd])
+        elif op is Op.CMP:
+            registers.set_compare(ins.crf, gpr[ins.ra], gpr[ins.rb])
+        elif op is Op.CMPI:
+            registers.set_compare(ins.crf, gpr[ins.ra], ins.imm)
+        elif op is Op.BC:
+            taken = registers.cr_bit(ins.crf, ins.crbit) == ins.want
+            if taken:
+                next_pc = targets[pc]
+        elif op is Op.B:
+            taken = True
+            next_pc = targets[pc]
+        elif op is Op.AND:
+            gpr[ins.rd] = gpr[ins.ra] & gpr[ins.rb]
+        elif op is Op.OR:
+            gpr[ins.rd] = gpr[ins.ra] | gpr[ins.rb]
+        elif op is Op.MAX:
+            a, b = gpr[ins.ra], gpr[ins.rb]
+            gpr[ins.rd] = a if a > b else b
+        elif op is Op.ISEL:
+            bit = registers.cr_bit(ins.crf, ins.crbit)
+            gpr[ins.rd] = gpr[ins.ra] if bit else gpr[ins.rb]
+        elif op is Op.LI:
+            gpr[ins.rd] = ins.imm
+        elif op is Op.MR:
+            gpr[ins.rd] = gpr[ins.ra]
+        elif op is Op.MUL:
+            gpr[ins.rd] = gpr[ins.ra] * gpr[ins.rb]
+        elif op is Op.MULI:
+            gpr[ins.rd] = gpr[ins.ra] * ins.imm
+        elif op is Op.NEG:
+            gpr[ins.rd] = -gpr[ins.ra]
+        elif op is Op.NOP:
+            pass
+        elif op is Op.HALT:
+            halted = True
+            next_pc = pc
+        if trace is not None:
+            trace.append(TraceEvent(pc, ins, taken, next_pc, address))
+        if not halted:
+            pc = next_pc
+    return registers
+
+
+def assert_events_equal(expected, actual):
+    assert len(expected) == len(actual)
+    for reference, event in zip(expected, actual):
+        for slot in TraceEvent.__slots__:
+            assert getattr(reference, slot) == getattr(event, slot), (
+                f"pc {reference.pc}: {slot} diverged"
+            )
+
+
+class TestGoldenTraces:
+    @pytest.mark.parametrize(
+        "variant",
+        ["baseline", "hand_max", "hand_isel", "comp_isel", "combination"],
+    )
+    def test_kernel_trace_matches_reference(self, variant):
+        from repro.kernels.runtime import KERNEL_NEG_INF
+        from repro.kernels.smith_waterman import HARNESS, SwConfig
+
+        family = make_family("fp", 2, 28, 0.3, seed=23)
+        seq_a, seq_b = family[0], family[1]
+        config = SwConfig(
+            alphabet_size=len(BLOSUM62.alphabet),
+            open_cost=GAPS.open_ + GAPS.extend,
+            extend_cost=GAPS.extend,
+        )
+        kernel = HARNESS.compiled(variant, config)
+        n = len(seq_b)
+
+        def fresh_memory_and_registers():
+            segments = {
+                "a": list(seq_a.codes),
+                "b": list(seq_b.codes),
+                "sub": [int(x) for x in BLOSUM62.scores.reshape(-1)],
+                "v": [0] * (n + 1),
+                "f": [KERNEL_NEG_INF] * (n + 1),
+                "out": [0],
+            }
+            params = {"m": len(seq_a), "n": n}
+            total = sum(len(w) for w in segments.values()) + 64
+            memory = Memory(total)
+            initial = {}
+            for name, words in segments.items():
+                initial[kernel.gpr(name)] = memory.alloc(name, words)
+            for name, value in params.items():
+                initial[kernel.gpr(name)] = value
+            return memory, initial
+
+        memory_ref, initial = fresh_memory_and_registers()
+        reference_trace: list[TraceEvent] = []
+        reference_regs = reference_run(
+            kernel.program, memory_ref, initial, reference_trace
+        )
+
+        memory_fast, initial = fresh_memory_and_registers()
+        fast_trace: list[TraceEvent] = []
+        machine = run_program(
+            kernel.program, memory_fast, initial, trace=fast_trace
+        )
+
+        assert_events_equal(reference_trace, fast_trace)
+        assert machine.registers.gpr == reference_regs.gpr
+        assert machine.registers.cr == reference_regs.cr
+        assert memory_fast._words == memory_ref._words
+
+    def test_untraced_matches_traced_state(self):
+        family = make_family("fp2", 2, 24, 0.3, seed=29)
+        traced = smith_waterman.run(
+            "baseline", family[0], family[1], BLOSUM62, GAPS, trace=[]
+        )
+        untraced = smith_waterman.run(
+            "baseline", family[0], family[1], BLOSUM62, GAPS
+        )
+        assert traced == untraced
+
+
+class TestRunSemantics:
+    def build_counted_loop(self):
+        builder = ProgramBuilder()
+        builder.li(1, 0).li(2, 5)
+        builder.label("head")
+        builder.cmp(0, 1, 2)
+        builder.bc(0, 0, "body")
+        builder.b("done")
+        builder.label("body")
+        builder.addi(1, 1, 1)
+        builder.b("head")
+        builder.label("done")
+        builder.halt()
+        return builder.build()
+
+    def test_budget_exhaustion_raises(self):
+        program = self.build_counted_loop()
+        machine = Machine(program, Memory(8))
+        with pytest.raises(InterpreterError, match="step budget"):
+            machine.run(max_steps=3)
+
+    def test_budget_resume_continues(self):
+        program = self.build_counted_loop()
+        machine = Machine(program, Memory(8))
+        try:
+            machine.run(max_steps=3)
+        except InterpreterError:
+            pass
+        machine.run()  # resume to completion
+        assert machine.halted
+        assert machine.registers.gpr[1] == 5
+
+    def test_rerun_after_halt_raises(self):
+        program = ProgramBuilder().halt().build()
+        machine = Machine(program, Memory(4))
+        machine.run()
+        with pytest.raises(InterpreterError, match="already halted"):
+            machine.run()
+
+    def test_halt_event_points_at_itself(self):
+        program = ProgramBuilder().li(1, 7).halt().build()
+        trace: list[TraceEvent] = []
+        run_program(program, Memory(4), trace=trace)
+        assert [e.op for e in trace] == [Op.LI, Op.HALT]
+        assert trace[-1].next_pc == trace[-1].pc
