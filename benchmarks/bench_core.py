@@ -1,0 +1,161 @@
+"""Core-loop benchmarks: columnar simulation vs the object baseline.
+
+Throughput (simulated events/sec) on fig3-sized kernel traces for the
+three hot paths the columnar ``Trace`` rewrite targets:
+
+* ``simulate`` — ``Core.simulate`` on a columnar trace vs the same
+  core driven by the equivalent ``list[TraceEvent]`` (the pre-change
+  object path, kept as the golden reference). Speedup is printed per
+  kernel and asserted >= 2x (the loop measures ~2.7-2.9x; the floor
+  leaves headroom for loaded CI machines).
+* ``replay`` — the full trace-replay pipeline as a design-space sweep
+  pays it: tracestore load + simulate. v1 text + object simulation vs
+  v2 binary + columnar simulation. This end-to-end path is the
+  object-based baseline every cached sweep used before the rewrite,
+  and is asserted >= 3x faster (it measures ~7-8x: the v1 parser
+  built one TraceEvent per line).
+* ``sampled`` / ``warm`` — ``simulate_sampled`` under the default
+  plan and the mask-skipping functional warmer on the cold stretches.
+
+Each benchmark prints events/sec so ``pytest benchmarks/bench_core.py
+--benchmark-only -s`` doubles as the throughput report.
+"""
+
+import time
+
+import pytest
+
+from repro.isa.trace import Trace
+from repro.isa.tracestore import (
+    load_trace,
+    load_trace_columnar,
+    save_trace,
+    save_trace_v2,
+)
+from repro.perf.characterize import kernel_trace
+from repro.uarch.config import power5
+from repro.uarch.core import Core
+from repro.uarch.sampling import SamplingPlan, _warm, simulate_sampled
+
+KERNELS = ("fasta", "blast", "hmmer", "clustalw")
+
+#: kernel -> (columnar trace, equivalent event objects), built once.
+_TRACES: dict = {}
+
+
+def _fixture(kernel):
+    if kernel not in _TRACES:
+        trace = kernel_trace(kernel, "baseline")
+        if not isinstance(trace, Trace):  # pragma: no cover - legacy
+            trace = Trace.from_events(trace)
+        _TRACES[kernel] = (trace, trace.to_events())
+    return _TRACES[kernel]
+
+
+def _best_events_per_sec(fn, n_events, reps=5):
+    """Best-of-N wall time -> events/sec (min is the least noisy)."""
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return n_events / best
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def bench_core_simulate(benchmark, kernel):
+    """Core.simulate: columnar trace vs the object-event baseline."""
+    trace, events = _fixture(kernel)
+    config = power5()
+    n = len(trace)
+
+    object_rate = _best_events_per_sec(
+        lambda: Core(config).simulate(events), n
+    )
+    columnar_rate = benchmark.pedantic(
+        lambda: _best_events_per_sec(
+            lambda: Core(config).simulate(trace), n
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = columnar_rate / object_rate
+    print(
+        f"\n{kernel}: {n} events | object {object_rate / 1e3:.0f}k ev/s"
+        f" | columnar {columnar_rate / 1e3:.0f}k ev/s"
+        f" | speedup {speedup:.2f}x"
+    )
+    assert speedup >= 2.0, (
+        f"columnar simulate only {speedup:.2f}x the object path on "
+        f"{kernel} (expected >= 2x; typical ~2.8x)"
+    )
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def bench_core_replay(benchmark, kernel, tmp_path):
+    """Full replay (tracestore load + simulate), v1/object vs v2/columnar."""
+    trace, events = _fixture(kernel)
+    config = power5()
+    n = len(trace)
+    v1_path = tmp_path / f"{kernel}.v1.trace"
+    v2_path = tmp_path / f"{kernel}.v2.trace"
+    save_trace(v1_path, events)
+    save_trace_v2(v2_path, trace)
+
+    baseline_rate = _best_events_per_sec(
+        lambda: Core(config).simulate(load_trace(v1_path)), n, reps=3
+    )
+    columnar_rate = benchmark.pedantic(
+        lambda: _best_events_per_sec(
+            lambda: Core(config).simulate(load_trace_columnar(v2_path)),
+            n,
+            reps=3,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = columnar_rate / baseline_rate
+    print(
+        f"\n{kernel}: replay v1+object {baseline_rate / 1e3:.0f}k ev/s"
+        f" | v2+columnar {columnar_rate / 1e3:.0f}k ev/s"
+        f" | speedup {speedup:.2f}x"
+    )
+    assert speedup >= 3.0, (
+        f"v2 columnar replay only {speedup:.2f}x the v1 object "
+        f"pipeline on {kernel} (expected >= 3x; typical ~8x)"
+    )
+
+
+def bench_core_simulate_sampled(benchmark):
+    """simulate_sampled under the default plan on a fig3-sized trace."""
+    trace, _ = _fixture("blast")
+    config = power5()
+    plan = SamplingPlan(period=50_000, window=10_000)
+    n = len(trace)
+
+    rate = benchmark.pedantic(
+        lambda: _best_events_per_sec(
+            lambda: simulate_sampled(trace, config, plan), n, reps=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nblast sampled: {rate / 1e3:.0f}k trace-events/s")
+    result = simulate_sampled(trace, config, plan)
+    assert result.instructions > 0
+
+
+def bench_core_warm(benchmark):
+    """Functional warming throughput (mask-skipped columnar walk)."""
+    trace, _ = _fixture("blast")
+    n = len(trace)
+
+    def warm_once():
+        _warm(Core(power5()), trace)
+
+    rate = benchmark.pedantic(
+        lambda: _best_events_per_sec(warm_once, n),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nblast warm: {rate / 1e3:.0f}k ev/s")

@@ -212,6 +212,7 @@ def cmd_experiments(args) -> int:
 def cmd_cache(args) -> int:
     from repro.engine.cache import active_cache, use_cache_dir
     from repro.engine.digest import CACHE_SCHEMA_VERSION, sim_source_digest
+    from repro.isa.tracestore import TRACE_FORMAT_VERSION
 
     if args.cache_dir is not None:
         use_cache_dir(args.cache_dir)
@@ -227,6 +228,7 @@ def cmd_cache(args) -> int:
     )
     table.add_row("enabled", "yes" if cache.enabled else "no (REPRO_CACHE=off)")
     table.add_row("schema version", CACHE_SCHEMA_VERSION)
+    table.add_row("trace format", f"v{TRACE_FORMAT_VERSION} (binary columnar)")
     table.add_row("kernel-source digest", sim_source_digest()[:12])
     table.add_row("trace entries", stats["trace_entries"])
     table.add_row("result entries", stats["result_entries"])

@@ -6,10 +6,13 @@ Layout (under a versioned root so schema bumps invalidate wholesale)::
         traces/<app>/<variant>-<source_digest12>.trace
         results/<app>/<variant>-<source_digest12>-<config_digest12>.json
 
-Traces use the :mod:`repro.isa.tracestore` text format — "expensive to
-regenerate but cheap to re-simulate" — and results the strict JSON
-schema of :mod:`repro.engine.serialize` (stored here as opaque dicts;
-the engine layer (de)serialises). Every read is corruption-safe: a
+Traces use the :mod:`repro.isa.tracestore` **v2 binary columnar**
+format — "expensive to regenerate but cheap to re-simulate" — and
+results the strict JSON schema of :mod:`repro.engine.serialize` (stored
+here as opaque dicts; the engine layer (de)serialises). Legacy v1 text
+entries still load (and are rewritten as v2 on first read); the trace
+format version is folded into the source digest, so a format bump
+re-addresses every entry. Every read is corruption-safe: a
 truncated, malformed or partially-written entry is evicted and treated
 as a miss, never raised to the caller.
 
@@ -36,8 +39,13 @@ from repro.engine.digest import (
     sim_source_digest,
 )
 from repro.errors import ReproError
-from repro.isa.trace import TraceEvent
-from repro.isa.tracestore import load_trace, save_trace
+from repro.isa.trace import Trace, TraceEvent
+from repro.isa.tracestore import (
+    TRACE_FORMAT_VERSION,
+    load_trace_columnar,
+    save_trace_v2,
+    trace_format,
+)
 
 _DISABLE_VALUES = {"0", "off", "false", "no"}
 
@@ -111,8 +119,13 @@ class PersistentCache:
 
     # -- traces ------------------------------------------------------------
 
-    def load_trace(self, app: str, variant: str) -> list[TraceEvent] | None:
-        """The cached trace, or None (miss or evicted corruption)."""
+    def load_trace(self, app: str, variant: str) -> Trace | None:
+        """The cached trace, or None (miss or evicted corruption).
+
+        Always returns the columnar form. A legacy v1 text entry is
+        transparently rewritten in place as v2 binary, so a cache
+        populated by an older build upgrades itself on first read.
+        """
         if not self.enabled:
             return None
         path = self.trace_path(app, variant)
@@ -120,21 +133,24 @@ class PersistentCache:
             self.counters.trace_misses += 1
             return None
         try:
-            events = load_trace(path)
+            stored_format = trace_format(path)
+            trace = load_trace_columnar(path)
         except (ReproError, OSError, ValueError):
             self._evict(path)
             self.counters.trace_misses += 1
             return None
+        if stored_format != TRACE_FORMAT_VERSION:
+            self._atomic_write(path, lambda tmp: save_trace_v2(tmp, trace))
         self.counters.trace_hits += 1
-        return events
+        return trace
 
     def store_trace(
-        self, app: str, variant: str, events: list[TraceEvent]
+        self, app: str, variant: str, events: Trace | list[TraceEvent]
     ) -> None:
         if not self.enabled:
             return
         path = self.trace_path(app, variant)
-        self._atomic_write(path, lambda tmp: save_trace(tmp, events))
+        self._atomic_write(path, lambda tmp: save_trace_v2(tmp, events))
 
     # -- results -----------------------------------------------------------
 
@@ -198,6 +214,7 @@ class PersistentCache:
             "enabled": self.enabled,
             "cache_dir": str(self.root) if self.enabled else None,
             "schema_version": CACHE_SCHEMA_VERSION,
+            "trace_format": TRACE_FORMAT_VERSION,
             "trace_entries": traces,
             "result_entries": results,
             "total_bytes": total_bytes,

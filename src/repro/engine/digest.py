@@ -21,10 +21,12 @@ import json
 from dataclasses import asdict, is_dataclass
 from pathlib import Path
 
+from repro.isa.tracestore import TRACE_FORMAT_VERSION
 from repro.uarch.config import CoreConfig
 
 #: Bump to invalidate every cache entry on disk (layout/format changes).
-CACHE_SCHEMA_VERSION = 1
+#: 2: traces persist in the binary columnar v2 format.
+CACHE_SCHEMA_VERSION = 2
 
 #: Packages/modules (relative to the ``repro`` package) whose source
 #: participates in trace/result generation.
@@ -74,6 +76,7 @@ def sim_source_digest() -> str:
         package_root = Path(__file__).resolve().parent.parent
         hasher = hashlib.sha256()
         hasher.update(f"schema:{CACHE_SCHEMA_VERSION}".encode())
+        hasher.update(f"trace-format:{TRACE_FORMAT_VERSION}".encode())
         for path in _iter_source_files():
             hasher.update(str(path.relative_to(package_root)).encode())
             hasher.update(b"\0")

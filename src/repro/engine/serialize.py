@@ -49,8 +49,13 @@ def result_to_dict(result: SimResult) -> dict:
 
 def result_from_dict(payload: dict) -> SimResult:
     result = SimResult(**{name: int(payload[name]) for name in _SIM_INT_FIELDS})
+    # Results serialised before the dead "none" stall bucket was removed
+    # may still carry it (always zero); drop it so old cache entries
+    # compare equal to fresh simulations.
     result.stall_cycles = {
-        str(key): int(value) for key, value in payload["stall_cycles"].items()
+        str(key): int(value)
+        for key, value in payload["stall_cycles"].items()
+        if key != "none"
     }
     result.cache = CacheStats(
         accesses=int(payload["cache"]["accesses"]),

@@ -29,7 +29,7 @@ from repro.errors import WorkloadError
 from repro.experiments.common import ExperimentResult
 from repro.isa.interpreter import run_program
 from repro.isa.memory import Memory
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import Trace
 from repro.kernels import smith_waterman
 from repro.kernels.runtime import KERNEL_NEG_INF
 from repro.perf.report import Table, percent
@@ -43,7 +43,7 @@ def worker_trace(
     query: Sequence,
     subjects: list[Sequence],
     pad_words: int = 4_096,
-) -> list[TraceEvent]:
+) -> Trace:
     """One worker's dropgsw trace over the shared database.
 
     The substitution matrix and every subject are allocated first, so
@@ -74,7 +74,7 @@ def worker_trace(
     f_base = memory.alloc("f", max_n + 1)
     out_base = memory.alloc("out", 1)
 
-    trace: list[TraceEvent] = []
+    trace = Trace()
     for subject, b_base in zip(subjects, subject_bases):
         n = len(subject)
         for j in range(n + 1):
@@ -100,7 +100,7 @@ def parallel_ssearch_traces(
     subject_length: int = 72,
     query_length: int = 48,
     seed: int = 83,
-) -> list[list[TraceEvent]]:
+) -> list[Trace]:
     """Traces for ``workers`` ssearch workers over one shared database."""
     family = make_family(
         "db", subjects_count, subject_length, 0.3, seed=seed

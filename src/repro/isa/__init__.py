@@ -11,8 +11,14 @@ from repro.isa.interpreter import Machine, run_program
 from repro.isa.memory import Memory
 from repro.isa.program import Program, ProgramBuilder
 from repro.isa.registers import CR_EQ, CR_GT, CR_LT, RegisterFile
-from repro.isa.tracestore import load_trace, save_trace
+from repro.isa.tracestore import (
+    load_trace,
+    load_trace_columnar,
+    save_trace,
+    save_trace_v2,
+)
 from repro.isa.trace import (
+    Trace,
     TraceEvent,
     TraceStats,
     opcode_histogram,
@@ -35,7 +41,10 @@ __all__ = [
     "CR_LT",
     "RegisterFile",
     "load_trace",
+    "load_trace_columnar",
     "save_trace",
+    "save_trace_v2",
+    "Trace",
     "TraceEvent",
     "TraceStats",
     "opcode_histogram",

@@ -92,6 +92,20 @@ BRANCH_OPS = frozenset({Op.B, Op.BC})
 LOAD_OPS = frozenset({Op.LD, Op.LDX})
 STORE_OPS = frozenset({Op.ST, Op.STX})
 
+#: Dense integer encoding of the opcode space, used by the columnar
+#: trace representation and the binary tracestore: ``OP_LIST[i]`` is the
+#: opcode with index ``i`` and ``OP_INDEX`` is its inverse. The order is
+#: the :class:`Op` declaration order, which is part of the v2 trace
+#: format — append new opcodes, never reorder.
+OP_LIST: tuple[Op, ...] = tuple(Op)
+OP_INDEX: dict[Op, int] = {op: index for index, op in enumerate(OP_LIST)}
+
+#: Unit classes under the same dense encoding (declaration order).
+UNIT_LIST: tuple[Unit, ...] = tuple(Unit)
+UNIT_INDEX: dict[Unit, int] = {
+    unit: index for index, unit in enumerate(UNIT_LIST)
+}
+
 
 @dataclass(frozen=True)
 class Instruction:

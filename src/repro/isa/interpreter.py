@@ -10,10 +10,14 @@ Execution is *predecoded*: on the first :meth:`Machine.run` each static
 instruction is compiled into a closure with its operand slots, branch
 targets and bound methods baked in, so the hot loop is one indexed
 lookup and one call per dynamic instruction instead of a 20-way opcode
-chain with repeated attribute lookups. Traced runs reuse the same
-closures and fill :class:`TraceEvent` slots from per-instruction
-prototypes; the emitted events are identical to a naive interpretation
-(the golden-trace tests assert this).
+chain with repeated attribute lookups. Traced runs emit straight into
+the columnar :class:`~repro.isa.trace.Trace` form — five bound
+``array.append`` calls per instruction, with the per-pc static id and
+both flag bytes (taken / not-taken) precomputed, so no intermediate
+:class:`TraceEvent` objects are built. Passing a plain list still
+collects object-form events, slot-filled from per-instruction
+prototypes; the two emissions are equivalent (the golden-trace tests
+assert this).
 """
 
 from __future__ import annotations
@@ -25,7 +29,7 @@ from repro.isa.instructions import Op
 from repro.isa.memory import Memory
 from repro.isa.program import Program
 from repro.isa.registers import RegisterFile
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import F_TAKEN, NO_VALUE, Trace, TraceEvent
 
 #: Default step budget; kernels here are far smaller.
 DEFAULT_MAX_STEPS = 50_000_000
@@ -203,14 +207,15 @@ class Machine:
 
     def run(
         self,
-        trace: list[TraceEvent] | None = None,
+        trace: Trace | list[TraceEvent] | None = None,
         max_steps: int = DEFAULT_MAX_STEPS,
     ) -> int:
         """Execute until ``halt`` or the step budget expires.
 
-        When ``trace`` is a list, one :class:`TraceEvent` per committed
-        instruction is appended to it. Returns the number of dynamic
-        instructions executed by this call.
+        When ``trace`` is a columnar :class:`Trace`, one row per
+        committed instruction is appended to its columns; when it is a
+        list, one :class:`TraceEvent` is appended instead. Returns the
+        number of dynamic instructions executed by this call.
         """
         if self.halted:
             raise InterpreterError("machine already halted")
@@ -232,6 +237,38 @@ class Machine:
                     break
                 pc, _, _ = step()
                 executed += 1
+        elif isinstance(trace, Trace):
+            trace._require_root()
+            static = trace.static
+            sid_of = [
+                static.intern_instruction(ins)
+                for ins in self.program.instructions
+            ]
+            flags_nt = [static.flags[sid] for sid in sid_of]
+            flags_t = [flags | F_TAKEN for flags in flags_nt]
+            pc_append = trace.pc.append
+            sid_append = trace.sid.append
+            flags_append = trace.flags.append
+            next_append = trace.next_pc.append
+            addr_append = trace.address.append
+            while executed < max_steps:
+                if not 0 <= pc < program_length:
+                    raise InterpreterError(f"PC {pc} out of program range")
+                step = decoded[pc]
+                if step is None:  # HALT: event points back at itself
+                    next_pc, taken, address = pc, False, None
+                    self.halted = True
+                else:
+                    next_pc, taken, address = step()
+                pc_append(pc)
+                sid_append(sid_of[pc])
+                flags_append(flags_t[pc] if taken else flags_nt[pc])
+                next_append(next_pc)
+                addr_append(NO_VALUE if address is None else address)
+                executed += 1
+                if self.halted:
+                    break
+                pc = next_pc
         else:
             if self._protos is None:
                 self._protos = _event_prototypes(self.program)
@@ -274,7 +311,7 @@ def run_program(
     program: Program,
     memory: Memory,
     initial_registers: dict[int, int] | None = None,
-    trace: list[TraceEvent] | None = None,
+    trace: Trace | list[TraceEvent] | None = None,
     max_steps: int = DEFAULT_MAX_STEPS,
 ) -> Machine:
     """Convenience wrapper: build a machine, preset registers, run it."""

@@ -1,21 +1,75 @@
 """Dynamic instruction traces.
 
-The interpreter emits one :class:`TraceEvent` per committed instruction;
-the micro-architectural core model consumes the stream. Events are
-deliberately small (``__slots__``) because kernel traces run to hundreds
-of thousands of entries.
+Two representations share this module:
+
+* :class:`TraceEvent` — one Python object per committed instruction.
+  This is the historical interchange form; the v1 text tracestore, a
+  few tests and ad-hoc tooling still speak it, and it remains the unit
+  yielded when iterating or indexing a trace.
+* :class:`Trace` — the **columnar** form and the simulation currency.
+  Events live in parallel ``array`` columns (pc, static id, flags
+  bitfield, next pc, address), and everything invariant per *static*
+  instruction — opcode, unit class, latency, occupancy, destination,
+  sources — is interned once in a per-trace static table and referenced
+  by a small integer id. A million-event trace therefore costs
+  29 bytes/event instead of one ~170-byte object (plus per-event
+  attribute chasing) per event, and the core model's hot loop reads
+  machine integers instead of Python attributes.
+
+``Trace`` slicing is **zero-copy**: ``trace[a:b]`` returns a read-only
+view sharing the parent's columns, which is what makes SMARTS-style
+sampling (slice per window) free. Only a root trace accepts appends.
 """
 
 from __future__ import annotations
 
+from array import array
 from collections import Counter
 from dataclasses import dataclass
 
-from repro.isa.instructions import Instruction, Op, Unit
+from repro.errors import SimulationError
+from repro.isa.instructions import (
+    OP_INDEX,
+    OP_LATENCY,
+    OP_LIST,
+    OP_OCCUPANCY,
+    OP_UNIT,
+    UNIT_INDEX,
+    UNIT_LIST,
+    Instruction,
+    Op,
+    Unit,
+)
+
+# -- flags bitfield ----------------------------------------------------------
+
+#: Per-event flag bits. The low four are static (determined by the
+#: opcode); TAKEN is the only dynamic bit. The core model and the
+#: sampling warmer dispatch on this byte instead of five booleans.
+F_BRANCH = 1
+F_COND = 2
+F_TAKEN = 4
+F_LOAD = 8
+F_STORE = 16
+
+#: Static portion of the flags byte.
+STATIC_FLAGS_MASK = F_BRANCH | F_COND | F_LOAD | F_STORE
+
+#: Per-opcode static flags, indexed by dense op index.
+OP_STATIC_FLAGS: tuple[int, ...] = tuple(
+    (F_BRANCH if op in (Op.B, Op.BC) else 0)
+    | (F_COND if op is Op.BC else 0)
+    | (F_LOAD if op in (Op.LD, Op.LDX) else 0)
+    | (F_STORE if op in (Op.ST, Op.STX) else 0)
+    for op in OP_LIST
+)
+
+#: Sentinel for "no address" / "no destination" in integer columns.
+NO_VALUE = -1
 
 
 class TraceEvent:
-    """One dynamically-executed instruction.
+    """One dynamically-executed instruction (object form).
 
     Attributes
     ----------
@@ -67,6 +121,280 @@ class TraceEvent:
         )
 
 
+class StaticTable:
+    """Interned per-static-instruction facts, referenced by small ids.
+
+    Two static instructions are the same entry when opcode, destination
+    and source registers agree — latency, occupancy, unit class and the
+    static flag bits all derive from the opcode. The table is tiny (one
+    entry per distinct instruction *form*, not per program location),
+    so its columns are plain Python lists.
+    """
+
+    __slots__ = (
+        "ops", "flags", "units", "latencies", "occupancies",
+        "dsts", "srcs", "_index",
+    )
+
+    def __init__(self) -> None:
+        self.ops: list[int] = []
+        self.flags: list[int] = []
+        self.units: list[int] = []
+        self.latencies: list[int] = []
+        self.occupancies: list[int] = []
+        self.dsts: list[int] = []  # NO_VALUE encodes "no destination"
+        self.srcs: list[tuple[int, ...]] = []
+        self._index: dict[tuple[int, int, tuple[int, ...]], int] = {}
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def intern(self, op_index: int, dst: int, srcs: tuple[int, ...]) -> int:
+        """Id of the (op, dst, srcs) entry, creating it if new."""
+        key = (op_index, dst, srcs)
+        sid = self._index.get(key)
+        if sid is None:
+            sid = len(self.ops)
+            op = OP_LIST[op_index]
+            self.ops.append(op_index)
+            self.flags.append(OP_STATIC_FLAGS[op_index])
+            self.units.append(UNIT_INDEX[OP_UNIT[op]])
+            self.latencies.append(OP_LATENCY.get(op, 1))
+            self.occupancies.append(OP_OCCUPANCY.get(op, 1))
+            self.dsts.append(dst)
+            self.srcs.append(srcs)
+            self._index[key] = sid
+        return sid
+
+    def intern_instruction(self, instruction: Instruction) -> int:
+        """Intern a static :class:`Instruction`."""
+        dst = instruction.destination_register()
+        return self.intern(
+            OP_INDEX[instruction.op],
+            NO_VALUE if dst is None else dst,
+            instruction.source_registers(),
+        )
+
+
+class Trace:
+    """Columnar dynamic-instruction trace.
+
+    Per-event columns (parallel, one entry per committed instruction):
+
+    ========  ===========  ================================================
+    column    array type   contents
+    ========  ===========  ================================================
+    pc        ``'q'``      static instruction index / synthetic pc
+    sid       ``'i'``      id into the static table
+    flags     ``'B'``      static flag bits | ``F_TAKEN`` when taken
+    next_pc   ``'q'``      actual successor pc
+    address   ``'q'``      word address, ``NO_VALUE`` for none
+    ========  ===========  ================================================
+
+    Indexing with an int materialises a :class:`TraceEvent`; slicing
+    returns a zero-copy read-only view. Iteration yields events, so all
+    object-based consumers keep working unchanged.
+    """
+
+    __slots__ = (
+        "static", "pc", "sid", "flags", "next_pc", "address",
+        "_start", "_stop",
+    )
+
+    def __init__(self) -> None:
+        self.static = StaticTable()
+        self.pc = array("q")
+        self.sid = array("i")
+        self.flags = array("B")
+        self.next_pc = array("q")
+        self.address = array("q")
+        self._start = 0
+        self._stop: int | None = None  # None: live root, len is dynamic
+
+    # -- sizing ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        stop = len(self.pc) if self._stop is None else self._stop
+        return stop - self._start
+
+    @property
+    def is_view(self) -> bool:
+        return self._stop is not None
+
+    @property
+    def nbytes(self) -> int:
+        """Approximate memory footprint of the event columns."""
+        span = len(self)
+        return span * (
+            self.pc.itemsize + self.sid.itemsize + self.flags.itemsize
+            + self.next_pc.itemsize + self.address.itemsize
+        )
+
+    def _bounds(self) -> tuple[int, int]:
+        """(start, stop) of this trace within the shared columns."""
+        stop = len(self.pc) if self._stop is None else self._stop
+        return self._start, stop
+
+    # -- building ----------------------------------------------------------
+
+    def _require_root(self) -> None:
+        if self._stop is not None:
+            raise SimulationError("trace views are read-only")
+
+    def append(
+        self,
+        pc: int,
+        instruction: Instruction,
+        taken: bool,
+        next_pc: int,
+        address: int | None,
+    ) -> None:
+        """Append one dynamic instruction (interns its static form)."""
+        self._require_root()
+        sid = self.static.intern_instruction(instruction)
+        self.pc.append(pc)
+        self.sid.append(sid)
+        flags = self.static.flags[sid]
+        self.flags.append(flags | F_TAKEN if taken else flags)
+        self.next_pc.append(next_pc)
+        self.address.append(NO_VALUE if address is None else address)
+
+    def append_event(self, event: TraceEvent) -> None:
+        """Append an existing object-form event."""
+        self._require_root()
+        dst = event.dst
+        sid = self.static.intern(
+            OP_INDEX[event.op],
+            NO_VALUE if dst is None else dst,
+            event.srcs,
+        )
+        self.pc.append(event.pc)
+        self.sid.append(sid)
+        flags = self.static.flags[sid]
+        self.flags.append(flags | F_TAKEN if event.taken else flags)
+        self.next_pc.append(event.next_pc)
+        self.address.append(
+            NO_VALUE if event.address is None else event.address
+        )
+
+    def extend(self, other: "Trace | list[TraceEvent]") -> None:
+        """Append every event of ``other`` (remapping its static ids)."""
+        self._require_root()
+        if not isinstance(other, Trace):
+            for event in other:
+                self.append_event(event)
+            return
+        start, stop = other._bounds()
+        if start == stop:
+            return
+        table = other.static
+        sid_map = [
+            self.static.intern(table.ops[s], table.dsts[s], table.srcs[s])
+            for s in range(len(table))
+        ]
+        self.pc.extend(other.pc[start:stop])
+        self.flags.extend(other.flags[start:stop])
+        self.next_pc.extend(other.next_pc[start:stop])
+        self.address.extend(other.address[start:stop])
+        if sid_map == list(range(len(sid_map))):
+            self.sid.extend(other.sid[start:stop])
+        else:
+            self.sid.extend(
+                map(sid_map.__getitem__, other.sid[start:stop])
+            )
+
+    def __add__(self, other: "Trace") -> "Trace":
+        if not isinstance(other, Trace):
+            return NotImplemented
+        merged = Trace()
+        merged.extend(self)
+        merged.extend(other)
+        return merged
+
+    @classmethod
+    def from_events(cls, events) -> "Trace":
+        """Columnar trace from any iterable of :class:`TraceEvent`."""
+        trace = cls()
+        append = trace.append_event
+        for event in events:
+            append(event)
+        return trace
+
+    def to_events(self) -> list[TraceEvent]:
+        """Materialise the whole trace as a list of events."""
+        return [self._materialize(i) for i in range(*self._bounds())]
+
+    # -- access ------------------------------------------------------------
+
+    def _materialize(self, index: int) -> TraceEvent:
+        """Build the object form of the event at absolute ``index``."""
+        static = self.static
+        sid = self.sid[index]
+        event = TraceEvent.__new__(TraceEvent)
+        event.pc = self.pc[index]
+        event.op = OP_LIST[static.ops[sid]]
+        event.unit = UNIT_LIST[static.units[sid]]
+        event.latency = static.latencies[sid]
+        event.occupancy = static.occupancies[sid]
+        dst = static.dsts[sid]
+        event.dst = None if dst < 0 else dst
+        event.srcs = static.srcs[sid]
+        flags = self.flags[index]
+        event.is_branch = bool(flags & F_BRANCH)
+        event.is_conditional = bool(flags & F_COND)
+        event.taken = bool(flags & F_TAKEN)
+        event.is_load = bool(flags & F_LOAD)
+        event.is_store = bool(flags & F_STORE)
+        event.next_pc = self.next_pc[index]
+        address = self.address[index]
+        event.address = None if address < 0 else address
+        return event
+
+    def __getitem__(self, key):
+        start, stop = self._bounds()
+        if isinstance(key, slice):
+            if key.step not in (None, 1):
+                raise SimulationError("trace slices must be contiguous")
+            span = stop - start
+            lo, hi, _ = key.indices(span)
+            view = Trace.__new__(Trace)
+            view.static = self.static
+            view.pc = self.pc
+            view.sid = self.sid
+            view.flags = self.flags
+            view.next_pc = self.next_pc
+            view.address = self.address
+            view._start = start + lo
+            view._stop = start + max(lo, hi)
+            return view
+        index = key
+        span = stop - start
+        if index < 0:
+            index += span
+        if not 0 <= index < span:
+            raise IndexError("trace index out of range")
+        return self._materialize(start + index)
+
+    def __iter__(self):
+        materialize = self._materialize
+        start, stop = self._bounds()
+        for index in range(start, stop):
+            yield materialize(index)
+
+    def __repr__(self) -> str:
+        kind = "view" if self.is_view else "trace"
+        return (
+            f"Trace({len(self)} events, {len(self.static)} static, "
+            f"{kind})"
+        )
+
+    # -- analysis ----------------------------------------------------------
+
+    def stats(self) -> "TraceStats":
+        """Aggregate statistics (single pass over the columns)."""
+        return trace_statistics(self)
+
+
 @dataclass
 class TraceStats:
     """Aggregate statistics of a trace (instruction mix, branches)."""
@@ -103,8 +431,41 @@ class TraceStats:
         return (self.loads + self.stores) / self.instructions
 
 
-def trace_statistics(events: list[TraceEvent]) -> TraceStats:
-    """Compute :class:`TraceStats` over ``events``."""
+def _columnar_statistics(trace: Trace) -> TraceStats:
+    """One pass over the flags and sid columns, counting in C."""
+    start, stop = trace._bounds()
+    stats = TraceStats(instructions=stop - start)
+    flag_counts = Counter(memoryview(trace.flags)[start:stop])
+    for flags, count in flag_counts.items():
+        if flags & F_BRANCH:
+            stats.branches += count
+            if flags & F_COND:
+                stats.conditional_branches += count
+            if flags & F_TAKEN:
+                stats.taken_branches += count
+        if flags & F_LOAD:
+            stats.loads += count
+        elif flags & F_STORE:
+            stats.stores += count
+    static = trace.static
+    fxu_index = UNIT_INDEX[Unit.FXU]
+    for sid, count in Counter(memoryview(trace.sid)[start:stop]).items():
+        if static.units[sid] == fxu_index:
+            stats.fxu_ops += count
+        op = OP_LIST[static.ops[sid]]
+        if op is Op.MAX:
+            stats.max_ops += count
+        elif op is Op.ISEL:
+            stats.isel_ops += count
+        elif op in (Op.CMP, Op.CMPI):
+            stats.cmp_ops += count
+    return stats
+
+
+def trace_statistics(events: Trace | list[TraceEvent]) -> TraceStats:
+    """Compute :class:`TraceStats` over ``events`` (either form)."""
+    if isinstance(events, Trace):
+        return _columnar_statistics(events)
     stats = TraceStats()
     for event in events:
         stats.instructions += 1
@@ -129,6 +490,15 @@ def trace_statistics(events: list[TraceEvent]) -> TraceStats:
     return stats
 
 
-def opcode_histogram(events: list[TraceEvent]) -> Counter:
+def opcode_histogram(events: Trace | list[TraceEvent]) -> Counter:
     """Dynamic opcode counts (useful for §VI path-length arguments)."""
+    if isinstance(events, Trace):
+        start, stop = events._bounds()
+        ops = events.static.ops
+        histogram: Counter = Counter()
+        for sid, count in Counter(
+            memoryview(events.sid)[start:stop]
+        ).items():
+            histogram[OP_LIST[ops[sid]]] += count
+        return histogram
     return Counter(event.op for event in events)

@@ -2,25 +2,59 @@
 
 Dynamic traces are expensive to regenerate (interpreting a kernel run)
 but cheap to re-simulate under many core configurations, so persisting
-them pays off for design-space sweeps. The format is a line-oriented
-text file: a header line, then one record per event::
+them pays off for design-space sweeps. Two formats coexist:
+
+**v1 (text)** — a header line, then one record per event::
 
     pc op taken next_pc address dst src1,src2,...
 
-with ``-`` for absent fields. The loader reconstructs
-:class:`~repro.isa.trace.TraceEvent` objects directly (no program or
-interpreter needed).
+with ``-`` for absent fields. Verbose but greppable; kept for
+compatibility and for ``repro trace`` output.
+
+**v2 (binary, columnar)** — mirrors :class:`~repro.isa.trace.Trace`
+on disk: a versioned magic and event/static counts, then one
+zlib-deflated payload holding the interned static table (opcode,
+destination, sources — unit/latency/occupancy/flags are re-derived from
+the opcode on load, exactly as the v1 loader does) followed by the five
+event columns as contiguous little-endian arrays. Column data is
+extremely regular (mostly-sequential pcs, tiny sid alphabet), so the
+deflated form is typically 5-10x smaller than v1 text, and loading is
+one ``decompress`` plus five ``array.frombytes`` — no per-event Python
+parsing.
+
+:func:`load_trace` sniffs the magic and accepts either format; the
+engine's persistent cache writes v2 only (see
+:data:`TRACE_FORMAT_VERSION`, which is folded into the cache digest).
+Every structural problem — wrong magic, truncation, trailing garbage,
+out-of-range ids — raises :class:`~repro.errors.InterpreterError`, so
+callers (the engine cache) can evict instead of crashing.
 """
 
 from __future__ import annotations
 
+import struct
+import sys
+import zlib
+from array import array
 from pathlib import Path
 
 from repro.errors import InterpreterError
-from repro.isa.instructions import OP_LATENCY, OP_OCCUPANCY, OP_UNIT, Op
-from repro.isa.trace import TraceEvent
+from repro.isa.instructions import (
+    OP_LATENCY,
+    OP_LIST,
+    OP_OCCUPANCY,
+    OP_UNIT,
+    Op,
+)
+from repro.isa.trace import Trace, TraceEvent
 
 _MAGIC = "repro-trace v1"
+_MAGIC_V2 = b"repro-trace v2\x00"
+_HEADER_V2 = struct.Struct("<QI")
+
+#: On-disk trace format the engine cache writes. Part of the cache
+#: digest: bumping it invalidates every persisted trace wholesale.
+TRACE_FORMAT_VERSION = 2
 
 _BRANCH_OPS = {Op.B, Op.BC}
 _LOAD_OPS = {Op.LD, Op.LDX}
@@ -50,8 +84,8 @@ def _restore_event(
     return event
 
 
-def save_trace(path: str | Path, events: list[TraceEvent]) -> None:
-    """Write ``events`` to ``path``."""
+def save_trace(path: str | Path, events) -> None:
+    """Write ``events`` (either trace form) to ``path`` as v1 text."""
     with open(path, "w", encoding="ascii") as handle:
         handle.write(f"{_MAGIC} {len(events)}\n")
         for event in events:
@@ -64,8 +98,8 @@ def save_trace(path: str | Path, events: list[TraceEvent]) -> None:
             )
 
 
-def load_trace(path: str | Path) -> list[TraceEvent]:
-    """Read a trace written by :func:`save_trace`."""
+def _load_trace_v1(path: str | Path) -> list[TraceEvent]:
+    """Read a v1 text trace into object form."""
     with open(path, encoding="ascii") as handle:
         header = handle.readline().rstrip("\n")
         parts = header.rsplit(" ", 1)
@@ -110,3 +144,144 @@ def load_trace(path: str | Path) -> list[TraceEvent]:
             f"{len(events)}"
         )
     return events
+
+
+# -- v2 binary ---------------------------------------------------------------
+
+
+def _column_bytes(column: array, start: int, stop: int) -> bytes:
+    """Little-endian bytes of ``column[start:stop]``."""
+    chunk = column[start:stop]
+    if sys.byteorder == "big":
+        chunk.byteswap()
+    return chunk.tobytes()
+
+
+def save_trace_v2(path: str | Path, trace) -> None:
+    """Write ``trace`` (either form) to ``path`` as v2 binary."""
+    if not isinstance(trace, Trace):
+        trace = Trace.from_events(trace)
+    start, stop = trace._bounds()
+    static = trace.static
+    payload = bytearray()
+    for sid in range(len(static)):
+        srcs = static.srcs[sid]
+        payload.append(static.ops[sid])
+        payload.append(static.dsts[sid] & 0xFF)
+        payload.append(len(srcs))
+        payload.extend(srcs)
+    payload += _column_bytes(trace.pc, start, stop)
+    payload += _column_bytes(trace.sid, start, stop)
+    payload += _column_bytes(trace.flags, start, stop)
+    payload += _column_bytes(trace.next_pc, start, stop)
+    payload += _column_bytes(trace.address, start, stop)
+    with open(path, "wb") as handle:
+        handle.write(_MAGIC_V2)
+        handle.write(_HEADER_V2.pack(stop - start, len(static)))
+        handle.write(zlib.compress(bytes(payload), 6))
+
+
+def _read_column(
+    data: bytes, offset: int, typecode: str, count: int, path
+) -> tuple[array, int]:
+    column = array(typecode)
+    size = column.itemsize * count
+    if offset + size > len(data):
+        raise InterpreterError(f"{path}: truncated v2 trace")
+    column.frombytes(data[offset : offset + size])
+    if sys.byteorder == "big":
+        column.byteswap()
+    return column, offset + size
+
+
+def _load_trace_v2(path: str | Path, data: bytes) -> Trace:
+    """Decode a v2 binary trace (``data`` is the whole file)."""
+    offset = len(_MAGIC_V2)
+    if len(data) < offset + _HEADER_V2.size:
+        raise InterpreterError(f"{path}: truncated v2 trace header")
+    events, statics = _HEADER_V2.unpack_from(data, offset)
+    offset += _HEADER_V2.size
+    decompressor = zlib.decompressobj()
+    try:
+        payload = decompressor.decompress(data[offset:])
+        payload += decompressor.flush()
+    except zlib.error as error:
+        raise InterpreterError(
+            f"{path}: corrupt v2 trace payload ({error})"
+        ) from None
+    if not decompressor.eof:
+        raise InterpreterError(f"{path}: truncated v2 trace payload")
+    if decompressor.unused_data:
+        raise InterpreterError(f"{path}: trailing bytes in v2 trace")
+    data = payload
+    offset = 0
+
+    trace = Trace()
+    static = trace.static
+    for _ in range(statics):
+        if offset + 3 > len(data):
+            raise InterpreterError(f"{path}: truncated v2 static table")
+        op_index = data[offset]
+        dst = data[offset + 1]
+        n_srcs = data[offset + 2]
+        offset += 3
+        if op_index >= len(OP_LIST) or n_srcs > 8:
+            raise InterpreterError(f"{path}: corrupt v2 static record")
+        if offset + n_srcs > len(data):
+            raise InterpreterError(f"{path}: truncated v2 static table")
+        srcs = tuple(data[offset : offset + n_srcs])
+        offset += n_srcs
+        if dst >= 0x80:
+            dst -= 0x100
+        sid = static.intern(op_index, dst, srcs)
+        if sid != len(static) - 1:
+            raise InterpreterError(f"{path}: duplicate v2 static record")
+
+    trace.pc, offset = _read_column(data, offset, "q", events, path)
+    trace.sid, offset = _read_column(data, offset, "i", events, path)
+    trace.flags, offset = _read_column(data, offset, "B", events, path)
+    trace.next_pc, offset = _read_column(data, offset, "q", events, path)
+    trace.address, offset = _read_column(data, offset, "q", events, path)
+    if offset != len(data):
+        raise InterpreterError(f"{path}: trailing bytes in v2 trace")
+    if events and statics == 0:
+        raise InterpreterError(f"{path}: v2 trace has no static table")
+    if events and max(trace.sid) >= statics:
+        raise InterpreterError(f"{path}: v2 static id out of range")
+    return trace
+
+
+# -- format-agnostic loading -------------------------------------------------
+
+
+def trace_format(path: str | Path) -> int:
+    """On-disk format version of ``path`` (1 or 2)."""
+    try:
+        with open(path, "rb") as handle:
+            head = handle.read(len(_MAGIC_V2))
+    except OSError as error:
+        raise InterpreterError(f"{path}: {error}") from None
+    return 2 if head == _MAGIC_V2 else 1
+
+
+def load_trace(path: str | Path) -> Trace | list[TraceEvent]:
+    """Read a trace in either format.
+
+    v2 files load as a columnar :class:`Trace`; v1 text loads as the
+    historical ``list[TraceEvent]`` (so v1-era callers see the exact
+    type they stored). Use :func:`load_trace_columnar` for a uniform
+    columnar result.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(len(_MAGIC_V2))
+    if head == _MAGIC_V2:
+        return _load_trace_v2(path, Path(path).read_bytes())
+    return _load_trace_v1(path)
+
+
+def load_trace_columnar(path: str | Path) -> Trace:
+    """Read either format, always returning a columnar :class:`Trace`."""
+    loaded = load_trace(path)
+    if isinstance(loaded, Trace):
+        return loaded
+    return Trace.from_events(loaded)

@@ -36,7 +36,7 @@ from dataclasses import dataclass
 from repro.bio.scoring import GapPenalties, SubstitutionMatrix
 from repro.bio.sequence import Sequence
 from repro.compiler.ir import BinOp, Function
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import Trace, TraceEvent
 from repro.kernels.builder import Emitter, const, reg
 from repro.kernels.runtime import KERNEL_NEG_INF, KernelHarness
 
@@ -138,7 +138,7 @@ def run(
     seq_b: Sequence,
     matrix: SubstitutionMatrix,
     gaps: GapPenalties = GapPenalties(),
-    trace: list[TraceEvent] | None = None,
+    trace: Trace | list[TraceEvent] | None = None,
 ) -> int:
     """Execute the kernel; returns the global alignment score.
 

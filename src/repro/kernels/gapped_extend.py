@@ -44,7 +44,7 @@ from collections.abc import Sequence as SequenceABC
 from repro.bio.scoring import GapPenalties, SubstitutionMatrix
 from repro.bio.sequence import Sequence
 from repro.compiler.ir import BinOp, Function
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import Trace, TraceEvent
 from repro.kernels.builder import Emitter, const, reg
 from repro.kernels.runtime import KERNEL_NEG_INF, KernelHarness
 
@@ -264,7 +264,7 @@ def run(
     gaps: GapPenalties = GapPenalties(11, 1),
     band: int = 12,
     x_drop: int = 30,
-    trace: list[TraceEvent] | None = None,
+    trace: Trace | list[TraceEvent] | None = None,
 ) -> int:
     """Execute the kernel; must equal :func:`banded_xdrop_reference`."""
     n = len(seq_b)

@@ -30,7 +30,7 @@ from repro.bio.guidetree import TreeNode
 from repro.bio.phylo import _site_masks
 from repro.compiler.ir import BinOp, Function, Select
 from repro.errors import WorkloadError
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import Trace, TraceEvent
 from repro.kernels.builder import Emitter, const, reg
 from repro.kernels.runtime import KernelHarness
 
@@ -150,7 +150,7 @@ def run(
     tree: TreeNode,
     rows: list[str],
     symbols: str,
-    trace: list[TraceEvent] | None = None,
+    trace: Trace | list[TraceEvent] | None = None,
 ) -> int:
     """Execute the kernel; must equal :func:`repro.bio.phylo.fitch_score`."""
     if not rows:

@@ -22,7 +22,7 @@ from repro.compiler.ir import Function
 from repro.errors import WorkloadError
 from repro.isa.interpreter import run_program
 from repro.isa.memory import Memory
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import Trace, TraceEvent
 
 #: "Minus infinity" used inside kernels. Small enough that thousands of
 #: gap subtractions stay easily representable, large enough (in
@@ -113,7 +113,7 @@ class KernelHarness:
         segments: dict[str, list[int]],
         params: dict[str, int],
         out_segment: str = "out",
-        trace: list[TraceEvent] | None = None,
+        trace: Trace | list[TraceEvent] | None = None,
     ) -> int:
         """Execute ``variant`` and return ``out_segment[0]``.
 

@@ -40,7 +40,7 @@ from repro.bio.hmm import NEG_INF_SCORE, ProfileHmm
 from repro.bio.sequence import Sequence
 from repro.compiler.ir import BinOp, Function
 from repro.errors import HmmError
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import Trace, TraceEvent
 from repro.kernels.builder import Emitter, const, reg
 from repro.kernels.runtime import KernelHarness
 
@@ -229,7 +229,7 @@ def run(
     variant: str,
     hmm: ProfileHmm,
     seq: Sequence,
-    trace: list[TraceEvent] | None = None,
+    trace: Trace | list[TraceEvent] | None = None,
 ) -> int:
     """Execute the kernel; must equal :func:`repro.bio.hmm.viterbi_score`."""
     if seq.alphabet != hmm.alphabet:

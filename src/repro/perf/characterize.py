@@ -32,7 +32,7 @@ from repro.bio.msa import clustalw
 from repro.bio.scoring import BLOSUM62, GapPenalties
 from repro.bio.workloads import make_family, mutate, random_sequence
 from repro.errors import WorkloadError
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import Trace
 from repro.kernels import forward_pass, gapped_extend, smith_waterman, viterbi
 from repro.uarch.config import CoreConfig, power5
 from repro.uarch.core import Core, SimResult
@@ -124,8 +124,8 @@ APP_WORKLOADS = {
 
 GAPS = GapPenalties(10, 2)
 
-_kernel_trace_cache: dict[tuple[str, str], list[TraceEvent]] = {}
-_background_cache: dict[str, list[TraceEvent]] = {}
+_kernel_trace_cache: dict[tuple[str, str], Trace] = {}
+_background_cache: dict[str, Trace] = {}
 
 
 def _kernel_inputs(app: str):
@@ -171,9 +171,9 @@ def _kernel_inputs(app: str):
     raise WorkloadError(f"unknown application {app!r}")
 
 
-def _generate_kernel_trace(app: str, variant: str) -> list[TraceEvent]:
+def _generate_kernel_trace(app: str, variant: str) -> Trace:
     """Interpret the app's kernel and collect its dynamic trace."""
-    trace: list[TraceEvent] = []
+    trace = Trace()
     if app == "fasta":
         a, b = _kernel_inputs(app)
         smith_waterman.run(variant, a, b, BLOSUM62, GAPS, trace=trace)
@@ -194,7 +194,7 @@ def _generate_kernel_trace(app: str, variant: str) -> list[TraceEvent]:
     return trace
 
 
-def kernel_trace(app: str, variant: str) -> list[TraceEvent]:
+def kernel_trace(app: str, variant: str) -> Trace:
     """The app's kernel trace for one code variant.
 
     Cached in memory and — because traces are expensive to regenerate
@@ -216,7 +216,7 @@ def kernel_trace(app: str, variant: str) -> list[TraceEvent]:
     return _kernel_trace_cache[key]
 
 
-def background_trace(app: str) -> list[TraceEvent]:
+def background_trace(app: str) -> Trace:
     """The app's fixed non-kernel trace (cached, persistently too).
 
     Sized from the *baseline* kernel length so that the kernel carries
@@ -251,21 +251,23 @@ def clear_trace_caches() -> None:
 
 def composite_trace(
     app: str, variant: str, chunk: int = 4_096
-) -> list[TraceEvent]:
+) -> Trace:
     """Kernel and background interleaved into one stream.
 
     Models the real program's alternation between kernel invocations
     and bookkeeping, so the branch predictor, BTAC and L1D experience
     cross-phase interference. Chunks are proportional to the two
-    components' lengths.
+    components' lengths. Chunks are zero-copy views; only the merged
+    trace allocates.
     """
     kernel = kernel_trace(app, variant)
     background = background_trace(app)
-    if not background:
-        return list(kernel)
+    merged = Trace()
+    if len(background) == 0:
+        merged.extend(kernel)
+        return merged
     ratio = len(background) / len(kernel)
     bg_chunk = max(1, int(chunk * ratio))
-    merged: list[TraceEvent] = []
     kernel_pos = background_pos = 0
     while kernel_pos < len(kernel) or background_pos < len(background):
         merged.extend(kernel[kernel_pos : kernel_pos + chunk])

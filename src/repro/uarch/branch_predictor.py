@@ -36,18 +36,24 @@ class GsharePredictor:
 
     def update(self, pc: int, taken: bool) -> bool:
         """Record the outcome; returns True when it was mispredicted."""
-        index = self._index(pc)
-        prediction = self._table[index] >= 2
-        if taken and self._table[index] < 3:
-            self._table[index] += 1
-        elif not taken and self._table[index] > 0:
-            self._table[index] -= 1
-        self._history = ((self._history << 1) | int(taken)) & self._history_mask
+        history = self._history
+        history_mask = self._history_mask
+        index = (pc ^ (history & history_mask)) & self._mask
+        table = self._table
+        counter = table[index]
+        if taken:
+            if counter < 3:
+                table[index] = counter + 1
+            self._history = ((history << 1) | 1) & history_mask
+        else:
+            if counter > 0:
+                table[index] = counter - 1
+            self._history = (history << 1) & history_mask
         self.predictions += 1
-        mispredicted = prediction != taken
-        if mispredicted:
+        if (counter >= 2) != taken:
             self.mispredictions += 1
-        return mispredicted
+            return True
+        return False
 
     @property
     def misprediction_rate(self) -> float:

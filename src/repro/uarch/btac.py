@@ -15,7 +15,7 @@ from dataclasses import dataclass
 from repro.uarch.config import BtacConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class BtacEntry:
     """One BTAC entry: tag, predicted next address, confidence score."""
 
@@ -48,6 +48,10 @@ class Btac:
     def __init__(self, config: BtacConfig | None = None) -> None:
         self.config = config or BtacConfig()
         self._entries: list[BtacEntry] = []
+        # tag -> slot index. The list stays authoritative (eviction
+        # picks the first lowest-score *slot*, and replacements reuse
+        # the victim's slot); the dict only makes the CAM lookup O(1).
+        self._slot_of: dict[int, int] = {}
         self._max_score = (1 << self.config.score_bits) - 1
         self.stats = BtacStats()
 
@@ -55,10 +59,10 @@ class Btac:
         return len(self._entries)
 
     def _find(self, fetch_address: int) -> BtacEntry | None:
-        for entry in self._entries:
-            if entry.tag == fetch_address:
-                return entry
-        return None
+        slot = self._slot_of.get(fetch_address)
+        if slot is None:
+            return None
+        return self._entries[slot]
 
     def lookup(self, fetch_address: int) -> int | None:
         """Predicted next instruction address, or None to forgo.
@@ -103,11 +107,23 @@ class Btac:
         )
         self.stats.allocations += 1
         if len(self._entries) < self.config.entries:
+            self._slot_of[fetch_address] = len(self._entries)
             self._entries.append(new_entry)
             return
-        victim = min(range(len(self._entries)),
-                     key=lambda i: self._entries[i].score)
-        self._entries[victim] = new_entry
+        # First slot with the lowest score (matching what
+        # min(range(n), key=score) would pick), without the per-slot
+        # lambda call — eviction runs once per allocation storm.
+        entries = self._entries
+        victim = 0
+        lowest = entries[0].score
+        for slot in range(1, len(entries)):
+            score = entries[slot].score
+            if score < lowest:
+                lowest = score
+                victim = slot
+        del self._slot_of[entries[victim].tag]
+        entries[victim] = new_entry
+        self._slot_of[fetch_address] = victim
 
     def record_outcome(self, correct: bool) -> None:
         """Book-keep whether an issued prediction was right."""

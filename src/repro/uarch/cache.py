@@ -40,26 +40,33 @@ class L1DCache:
             [] for _ in range(self.config.sets)
         ]
         self._set_mask = self.config.sets - 1
+        self._line_bytes = self.config.line_bytes
+        self._ways = self.config.ways
         self.stats = CacheStats()
 
     def _locate(self, word_address: int) -> tuple[int, int]:
         byte_address = word_address * WORD_BYTES
-        line = byte_address // self.config.line_bytes
+        line = byte_address // self._line_bytes
         return line & self._set_mask, line
 
     def access(self, word_address: int) -> bool:
         """Touch ``word_address``; returns True on a hit."""
-        set_index, line = self._locate(word_address)
-        ways = self._sets[set_index]
-        self.stats.accesses += 1
+        line = (word_address * WORD_BYTES) // self._line_bytes
+        ways = self._sets[line & self._set_mask]
+        stats = self.stats
+        stats.accesses += 1
         if line in ways:
-            ways.remove(line)
-            ways.append(line)  # most-recently-used at the back
+            # Already most-recently-used (the common case for the
+            # sequential word streams the kernels produce): skip the
+            # remove/append shuffle, LRU order is unchanged.
+            if ways[-1] != line:
+                ways.remove(line)
+                ways.append(line)  # most-recently-used at the back
             return True
-        self.stats.misses += 1
+        stats.misses += 1
         ways.append(line)
-        if len(ways) > self.config.ways:
-            ways.pop(0)
+        if len(ways) > self._ways:
+            del ways[0]
         return False
 
     def load_latency(self, word_address: int) -> int:

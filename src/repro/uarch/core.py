@@ -26,15 +26,36 @@ committing instruction, giving the CPI stack that Table I's
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
-from repro.isa.instructions import Unit
-from repro.isa.trace import TraceEvent
+from repro.isa.instructions import UNIT_INDEX, Unit
+from repro.isa.trace import (
+    F_BRANCH,
+    F_COND,
+    F_LOAD,
+    F_STORE,
+    F_TAKEN,
+    Trace,
+    TraceEvent,
+)
 from repro.uarch.branch_predictor import GsharePredictor
 from repro.uarch.btac import Btac, BtacStats
-from repro.uarch.cache import CacheStats, L1DCache
+from repro.uarch.cache import WORD_BYTES, CacheStats, L1DCache
 from repro.uarch.config import CoreConfig
+
+#: Dense unit indices used by the columnar hot loop.
+_FXU = UNIT_INDEX[Unit.FXU]
+_LSU = UNIT_INDEX[Unit.LSU]
+_BRU = UNIT_INDEX[Unit.BRU]
+_NONE = UNIT_INDEX[Unit.NONE]
+
+#: Stall-limiter codes (columnar loop) and their attribution keys.
+_LIMITERS = ("fetch", "dep", "fxu", "lsu", "bru", "cache")
+_L_FETCH, _L_DEP, _L_CACHE = 0, 1, 5
+#: Unit index -> limiter code (fxu/lsu/bru structural stalls).
+_UNIT_LIMITER = (2, 3, 4)
 
 
 @dataclass
@@ -162,16 +183,34 @@ class Core:
 
     def simulate(
         self,
-        trace: list[TraceEvent],
+        trace: Trace | list[TraceEvent],
         interval_size: int | None = None,
     ) -> SimResult:
         """Run the timing model over ``trace`` and return statistics.
 
+        Columnar :class:`Trace` inputs (and their zero-copy slice
+        views) take the specialised integer hot loop; object-form lists
+        take the retained reference loop. Both produce identical
+        results — the golden-equality tests assert it on every kernel.
         ``interval_size`` (committed instructions) enables the
         time-series records used by Figure 2.
         """
-        if not trace:
+        if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
+        if isinstance(trace, Trace):
+            return self._simulate_columnar(trace, interval_size)
+        return self._simulate_events(trace, interval_size)
+
+    def _simulate_events(
+        self,
+        trace: list[TraceEvent],
+        interval_size: int | None = None,
+    ) -> SimResult:
+        """Object-form reference implementation (one event per object).
+
+        Kept verbatim as the golden reference the columnar loop is
+        checked against; not on the hot path.
+        """
         config = self.config
         predictor = self.predictor
         btac = self.btac
@@ -209,8 +248,11 @@ class Core:
         block_start = trace[0].pc
 
         result = SimResult()
+        # Only real limiters appear here; Unit.NONE instructions stall
+        # as "fetch"/"dep", so a "none" key would just leak a dead zero
+        # entry into cpi_stack() consumers.
         stall = {"fetch": 0, "dep": 0, "fxu": 0, "lsu": 0, "bru": 0,
-                 "cache": 0, "none": 0}
+                 "cache": 0}
 
         interval_start_instr = 0
         interval_start_cycle = 0
@@ -390,6 +432,488 @@ class Core:
         result.cache = cache.stats
         if btac is not None:
             result.btac = btac.stats
+        return result
+
+    def _simulate_columnar(
+        self,
+        trace: Trace,
+        interval_size: int | None = None,
+    ) -> SimResult:
+        """Columnar hot loop: same model, machine integers throughout.
+
+        Mirrors :meth:`_simulate_events` statement for statement, but
+        iterates the trace's packed columns with locals-bound lookups,
+        dispatches on the per-event flags byte instead of five boolean
+        attributes, and keeps every counter in a local integer until
+        the end.
+        """
+        config = self.config
+        predictor = self.predictor
+        btac = self.btac
+        cache = self.cache
+
+        fetch_width = config.fetch_width
+        commit_width = config.commit_width
+        depth = config.pipeline_depth
+        taken_penalty = config.taken_branch_penalty
+        hit_latency = config.cache.hit_latency
+        miss_latency = hit_latency + config.cache.miss_penalty
+        wrong_target_penalty = (
+            config.btac.wrong_target_penalty if config.btac else 0
+        )
+
+        # The gshare predictor and L1D are inlined below (both are
+        # concrete classes Core itself constructs): their per-call
+        # overhead is visible at this loop's event rates. State lives
+        # in locals and is written back once after the loop.
+        bp_table = predictor._table
+        bp_history = predictor._history
+        bp_hmask = predictor._history_mask
+        bp_mask = predictor._mask
+        cache_sets = cache._sets
+        cache_set_mask = cache._set_mask
+        cache_line_bytes = cache._line_bytes
+        cache_ways_n = cache._ways
+        cache_accesses = cache_misses = 0
+        if btac is not None:
+            # The BTAC lookup and the training update share one tag
+            # (the block's fetch address), so the loop probes the slot
+            # index once and reuses the entry for both; only the
+            # allocate-on-miss path stays a method call.
+            btac_slot_get = btac._slot_of.get
+            btac_entries = btac._entries
+            btac_threshold = btac.config.score_threshold
+            btac_max_score = btac._max_score
+            btac_alloc = btac.update
+            btac_lookups = btac_hits = btac_predictions = 0
+            btac_correct = btac_incorrect = 0
+
+        # Slots 0-31 are architectural registers. Slot 32 is a dummy
+        # source (always 0) that pads every static's source tuple to
+        # exactly three entries; slot 33 is a dummy destination sink so
+        # the writeback below never needs a "has destination?" branch.
+        reg_ready = [0] * 34
+        # Issue-queue state is specialised per unit (the loop below
+        # dispatches on the unit index), so every piece lives in its
+        # own local: no tuple indexing on the per-event path.
+        fxu_capacity = config.fxu_count
+        lsu_capacity = config.lsu_count
+        bru_capacity = config.bru_count
+        fxu_usage: dict[int, int] = {}
+        lsu_usage: dict[int, int] = {}
+        bru_usage: dict[int, int] = {}
+        fxu_get = fxu_usage.get
+        lsu_get = lsu_usage.get
+        bru_get = bru_usage.get
+        fxu_floor = lsu_floor = bru_floor = 0
+
+        # The reorder window is a flat commit-cycle log pre-seeded with
+        # `window` zeros: entry i is then the commit cycle of the
+        # instruction `window` slots before event i, so the loop reads
+        # it with the index it already has — no ring arithmetic, no
+        # bounded-deque eviction. Entries are references to the shared
+        # last_commit ints, so the log costs pointers, not objects.
+        window = config.window
+        window_commits = [0] * window
+        window_append = window_commits.append
+
+        # fetch_cycle is only ever read as "fetch_cycle + depth", so
+        # the loop tracks that sum directly (one add saved per event).
+        dispatch_base = depth
+        fetched_this_cycle = 0
+        last_commit = 0
+        committed_this_cycle = 0
+
+        start, stop = trace._bounds()
+        # tolist() converts each column to plain ints in one C pass, so
+        # the loop below never pays array->int boxing per access.
+        pcs = trace.pc[start:stop].tolist()
+        sids = trace.sid[start:stop].tolist()
+        flags_col = trace.flags[start:stop].tolist()
+        next_pcs = trace.next_pc[start:stop].tolist()
+        addresses = trace.address[start:stop].tolist()
+        static = trace.static
+        unit_of = static.units
+        occupancy_of = static.occupancies
+
+        # One tuple per static instruction, unpacked in a single
+        # UNPACK_SEQUENCE instead of five list subscripts per event.
+        # Sources are padded to exactly three with the dummy slot 32;
+        # "no destination" becomes the dummy sink slot 33. Occupancy
+        # folds into the unit code: non-pipelined statics carry
+        # unit + 4, which routes them past the fast per-unit branches
+        # into the generic slow path (so the common path never tests
+        # occupancy at all).
+        if any(len(srcs) > 3 for srcs in static.srcs):
+            # The ISA never reads more than three GPRs (STX), but a
+            # hand-built table could; fall back to the golden path.
+            return self._simulate_events(trace.to_events(), interval_size)
+        meta = [
+            (
+                srcs[0] if len(srcs) > 0 else 32,
+                srcs[1] if len(srcs) > 1 else 32,
+                srcs[2] if len(srcs) > 2 else 32,
+                unit if occupancy == 1 or unit == _NONE else unit + 4,
+                latency,
+                dst if dst >= 0 else 33,
+            )
+            for srcs, unit, latency, occupancy, dst in zip(
+                static.srcs,
+                static.units,
+                static.latencies,
+                static.occupancies,
+                static.dsts,
+            )
+        ]
+        # Resolving each event's meta row up front is one C-speed map
+        # pass; the loop then pays a single subscript per event.
+        event_meta = list(map(meta.__getitem__, sids))
+
+        block_start = pcs[0]
+
+        branches = conditional_branches = taken_branches = 0
+        direction_mispredictions = target_mispredictions = 0
+        taken_bubbles = loads = stores = load_misses = 0
+        stall = [0, 0, 0, 0, 0, 0]
+        intervals: list[IntervalRecord] = []
+
+        interval_start_instr = 0
+        interval_start_cycle = 0
+        interval_branches = 0
+        interval_mispredicts = 0
+
+        # The trace runs in interval-sized segments: the legacy
+        # ">= interval_size" check fires exactly at equality (the
+        # counter advances by one per event), so every interval
+        # boundary is known up front and the inner loop carries no
+        # per-event interval test at all. Without intervals there is
+        # exactly one segment spanning the whole trace. (The two-space
+        # indent keeps the 200-line hot body one edit away from its
+        # single-loop form.)
+        n_events = len(flags_col)
+        if interval_size is None:
+            segment = n_events
+        else:
+            segment = interval_size if interval_size >= 1 else 1
+        segment_end = min(n_events, segment)
+
+        i = 0
+        while i < n_events:
+          for i, flags in enumerate(flags_col[i:segment_end], i):
+            # ---- fetch ------------------------------------------------
+            if fetched_this_cycle >= fetch_width:
+                dispatch_base += 1
+                fetched_this_cycle = 0
+            fetched_this_cycle += 1
+            dispatch = dispatch_base
+            slot_free = window_commits[i]
+            if slot_free > dispatch:
+                dispatch = slot_free
+
+            # ---- issue ------------------------------------------------
+            s1, s2, s3, unit, latency, dst = event_meta[i]
+            ready = reg_ready[s1]
+            value = reg_ready[s2]
+            if value > ready:
+                ready = value
+            value = reg_ready[s3]
+            if value > ready:
+                ready = value
+            if ready > dispatch:
+                wait_dep = ready
+                limiter = _L_DEP
+            else:
+                wait_dep = dispatch
+                limiter = _L_FETCH
+
+            # Per-unit copies of the same issue logic, ordered by
+            # event frequency. Each keeps its usage dict, bound .get,
+            # capacity and full-cycle floor in dedicated locals.
+            if unit == _FXU:
+                cycle = wait_dep if wait_dep > fxu_floor else fxu_floor
+                count = fxu_get(cycle, 0)
+                while count >= fxu_capacity:
+                    cycle += 1
+                    count = fxu_get(cycle, 0)
+                count += 1
+                fxu_usage[cycle] = count
+                if cycle > wait_dep:
+                    limiter = 2
+                issue = cycle
+                if count >= fxu_capacity and cycle == fxu_floor:
+                    fxu_floor += 1
+                    while fxu_get(fxu_floor, 0) >= fxu_capacity:
+                        fxu_floor += 1
+            elif unit == _LSU:
+                cycle = wait_dep if wait_dep > lsu_floor else lsu_floor
+                count = lsu_get(cycle, 0)
+                while count >= lsu_capacity:
+                    cycle += 1
+                    count = lsu_get(cycle, 0)
+                count += 1
+                lsu_usage[cycle] = count
+                if cycle > wait_dep:
+                    limiter = 3
+                issue = cycle
+                if count >= lsu_capacity and cycle == lsu_floor:
+                    lsu_floor += 1
+                    while lsu_get(lsu_floor, 0) >= lsu_capacity:
+                        lsu_floor += 1
+            elif unit == _BRU:
+                cycle = wait_dep if wait_dep > bru_floor else bru_floor
+                count = bru_get(cycle, 0)
+                while count >= bru_capacity:
+                    cycle += 1
+                    count = bru_get(cycle, 0)
+                count += 1
+                bru_usage[cycle] = count
+                if cycle > wait_dep:
+                    limiter = 4
+                issue = cycle
+                if count >= bru_capacity and cycle == bru_floor:
+                    bru_floor += 1
+                    while bru_get(bru_floor, 0) >= bru_capacity:
+                        bru_floor += 1
+            elif unit == _NONE:
+                issue = wait_dep
+            else:
+                # Non-pipelined op (multiply): unit code carries +4.
+                # Needs its unit free for the whole occupancy; rare
+                # enough that tuple indexing and a generic scan are
+                # fine. The floor stays read-only here — skipping its
+                # advance is safe (it only prunes fast-path probes).
+                unit -= 4
+                occupancy = occupancy_of[sids[i]]
+                if unit == _FXU:
+                    usage, usage_get = fxu_usage, fxu_get
+                    capacity, floor = fxu_capacity, fxu_floor
+                elif unit == _LSU:
+                    usage, usage_get = lsu_usage, lsu_get
+                    capacity, floor = lsu_capacity, lsu_floor
+                else:
+                    usage, usage_get = bru_usage, bru_get
+                    capacity, floor = bru_capacity, bru_floor
+                cycle = wait_dep if wait_dep > floor else floor
+                while True:
+                    for k in range(occupancy):
+                        if usage_get(cycle + k, 0) >= capacity:
+                            cycle += 1
+                            break
+                    else:
+                        break
+                for k in range(occupancy):
+                    usage[cycle + k] = usage_get(cycle + k, 0) + 1
+                if cycle > wait_dep:
+                    limiter = unit + 2
+                issue = cycle
+
+            # ---- execute / control flow -------------------------------
+            if flags:
+                if flags & 24:  # F_LOAD | F_STORE
+                    # Inlined L1DCache.access (LRU with MRU fast path).
+                    line = (addresses[i] * WORD_BYTES) // cache_line_bytes
+                    ways = cache_sets[line & cache_set_mask]
+                    cache_accesses += 1
+                    if flags & F_LOAD:
+                        loads += 1
+                        if line in ways:
+                            if ways[-1] != line:
+                                ways.remove(line)
+                                ways.append(line)
+                            latency = hit_latency
+                        else:
+                            cache_misses += 1
+                            ways.append(line)
+                            if len(ways) > cache_ways_n:
+                                del ways[0]
+                            latency = miss_latency
+                            load_misses += 1
+                            limiter = _L_CACHE
+                    else:
+                        stores += 1
+                        if line in ways:
+                            if ways[-1] != line:
+                                ways.remove(line)
+                                ways.append(line)
+                        else:
+                            cache_misses += 1
+                            ways.append(line)
+                            if len(ways) > cache_ways_n:
+                                del ways[0]
+                complete = issue + latency
+                reg_ready[dst] = complete
+
+                if flags & F_BRANCH:
+                    branches += 1
+                    taken = (flags & F_TAKEN) != 0
+                    if taken:
+                        taken_branches += 1
+                    mispredicted = False
+                    if flags & F_COND:
+                        conditional_branches += 1
+                        # Inlined GsharePredictor.update. The history
+                        # local is kept masked, so the index needs no
+                        # second masking.
+                        index = (pcs[i] ^ bp_history) & bp_mask
+                        counter = bp_table[index]
+                        if taken:
+                            if counter < 3:
+                                bp_table[index] = counter + 1
+                            bp_history = ((bp_history << 1) | 1) & bp_hmask
+                            mispredicted = counter < 2
+                        else:
+                            if counter > 0:
+                                bp_table[index] = counter - 1
+                            bp_history = (bp_history << 1) & bp_hmask
+                            mispredicted = counter >= 2
+                    if mispredicted:
+                        direction_mispredictions += 1
+                        interval_mispredicts += 1
+                        # Full flush: refetch starts after resolution.
+                        dispatch_base = complete + 1 + depth
+                        fetched_this_cycle = 0
+                    elif taken:
+                        # The taken bubble subsumes the group end; a
+                        # BTAC hit reduces a taken branch to an
+                        # ordinary end-of-group.
+                        next_pc = next_pcs[i]
+                        if btac is not None:
+                            # Inlined Btac.lookup: one slot probe,
+                            # entry reused below for the update.
+                            btac_lookups += 1
+                            slot = btac_slot_get(block_start)
+                            predicted_nia = None
+                            if slot is None:
+                                entry = None
+                            else:
+                                entry = btac_entries[slot]
+                                btac_hits += 1
+                                if entry.score >= btac_threshold:
+                                    btac_predictions += 1
+                                    predicted_nia = entry.nia
+                            if predicted_nia is None:
+                                # Miss or forgone prediction: bubble.
+                                dispatch_base += taken_penalty
+                                fetched_this_cycle = 0
+                                taken_bubbles += 1
+                            elif predicted_nia == next_pc:
+                                btac_correct += 1
+                                fetched_this_cycle = fetch_width
+                            else:
+                                btac_incorrect += 1
+                                target_mispredictions += 1
+                                # Wrong target caught at decode: a
+                                # deeper bubble, not an execute-time
+                                # flush.
+                                dispatch_base += wrong_target_penalty
+                                fetched_this_cycle = 0
+                            # Inlined Btac.update (training); only the
+                            # allocate-on-miss path calls the method.
+                            if entry is not None:
+                                if entry.nia == next_pc:
+                                    if entry.score < btac_max_score:
+                                        entry.score += 1
+                                elif entry.score > 0:
+                                    entry.score = 0
+                                else:
+                                    entry.nia = next_pc
+                            else:
+                                btac_alloc(block_start, next_pc)
+                        else:
+                            dispatch_base += taken_penalty
+                            fetched_this_cycle = 0
+                            taken_bubbles += 1
+                    else:
+                        # Not-taken branch still ends its dispatch
+                        # group (POWER5 group-formation rule).
+                        fetched_this_cycle = fetch_width
+                    if taken or mispredicted:
+                        block_start = next_pcs[i]
+                    interval_branches += 1
+            else:
+                complete = issue + latency
+                reg_ready[dst] = complete
+
+            # ---- commit -----------------------------------------------
+            if complete > last_commit:
+                stall[limiter] += complete - last_commit
+                last_commit = complete
+                committed_this_cycle = 1
+            else:
+                committed_this_cycle += 1
+                if committed_this_cycle > commit_width:
+                    stall[limiter] += 1
+                    last_commit += 1
+                    committed_this_cycle = 1
+            window_append(last_commit)
+
+          # ---- segment boundary (interval record) -------------------
+          i += 1
+          if (
+              interval_size is not None
+              and i - interval_start_instr == segment
+          ):
+              intervals.append(
+                  IntervalRecord(
+                      start_instruction=interval_start_instr,
+                      instructions=i - interval_start_instr,
+                      cycles=max(1, last_commit - interval_start_cycle),
+                      branches=interval_branches,
+                      direction_mispredictions=interval_mispredicts,
+                  )
+              )
+              interval_start_instr = i
+              interval_start_cycle = last_commit
+              interval_branches = 0
+              interval_mispredicts = 0
+          segment_end = i + segment
+          if segment_end > n_events:
+              segment_end = n_events
+
+        # FXU-op counting moves out of the loop entirely: one C-speed
+        # Counter pass over the sid column replaces a per-event test.
+        fxu_ops = sum(
+            count
+            for sid, count in Counter(sids).items()
+            if unit_of[sid] == _FXU
+        )
+
+        # Write the inlined predictor/cache state back (one conditional
+        # update per trace, matching what the method calls would have
+        # accumulated event by event).
+        predictor._history = bp_history
+        predictor.predictions += conditional_branches
+        predictor.mispredictions += direction_mispredictions
+        cache_stats = cache.stats
+        cache_stats.accesses += cache_accesses
+        cache_stats.misses += cache_misses
+        if btac is not None:
+            btac_stats = btac.stats
+            btac_stats.lookups += btac_lookups
+            btac_stats.hits += btac_hits
+            btac_stats.predictions += btac_predictions
+            btac_stats.correct += btac_correct
+            btac_stats.incorrect += btac_incorrect
+
+        result = SimResult(
+            instructions=len(flags_col),
+            cycles=last_commit + 1,
+            branches=branches,
+            conditional_branches=conditional_branches,
+            taken_branches=taken_branches,
+            direction_mispredictions=direction_mispredictions,
+            target_mispredictions=target_mispredictions,
+            taken_bubbles=taken_bubbles,
+            loads=loads,
+            stores=stores,
+            load_misses=load_misses,
+            fxu_ops=fxu_ops,
+        )
+        result.stall_cycles = dict(zip(_LIMITERS, stall))
+        result.cache = cache.stats
+        if btac is not None:
+            result.btac = btac.stats
+        result.intervals = intervals
         return result
 
 

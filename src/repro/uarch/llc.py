@@ -17,7 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import F_LOAD, F_STORE, NO_VALUE, Trace, TraceEvent
 from repro.uarch.cache import L1DCache
 from repro.uarch.config import CacheConfig
 
@@ -56,7 +56,19 @@ class LlcResult:
         return self.misses / self.accesses if self.accesses else 0.0
 
 
-def _address_stream(trace: list[TraceEvent]) -> list[int]:
+_MEMORY_MASK = F_LOAD | F_STORE
+
+
+def _address_stream(trace: Trace | list[TraceEvent]) -> list[int]:
+    if isinstance(trace, Trace):
+        start, stop = trace._bounds()
+        flags = trace.flags
+        addresses = trace.address
+        return [
+            addresses[i]
+            for i in range(start, stop)
+            if flags[i] & _MEMORY_MASK and addresses[i] != NO_VALUE
+        ]
     return [
         event.address
         for event in trace
@@ -65,7 +77,7 @@ def _address_stream(trace: list[TraceEvent]) -> list[int]:
 
 
 def simulate_llc(
-    worker_traces: list[list[TraceEvent]],
+    worker_traces: "list[Trace | list[TraceEvent]]",
     config: LlcConfig | None = None,
     shared: bool = True,
     quantum: int = 256,
@@ -132,7 +144,7 @@ class SharingStudy:
 
 
 def sharing_study(
-    worker_traces: list[list[TraceEvent]],
+    worker_traces: "list[Trace | list[TraceEvent]]",
     config: LlcConfig | None = None,
 ) -> SharingStudy:
     """Compare shared and private LLC organisations on one workload."""

@@ -6,7 +6,7 @@ bookkeeping — also flows through the pipeline. We model that remainder
 as a statistically-shaped synthetic trace: a :class:`MixProfile`
 controls the branch density, the share of value-dependent (hard)
 branches, memory intensity, dependence depth, and data footprint, and
-the generator emits :class:`~repro.isa.trace.TraceEvent` streams with
+the generator emits a columnar :class:`~repro.isa.trace.Trace` with
 those properties.
 
 The generated code layout is a two-level loop nest: easy branches are
@@ -27,7 +27,7 @@ from dataclasses import dataclass
 
 from repro.errors import SimulationError
 from repro.isa.instructions import Instruction, Op
-from repro.isa.trace import TraceEvent
+from repro.isa.trace import F_TAKEN, NO_VALUE, Trace
 
 
 @dataclass(frozen=True)
@@ -90,13 +90,42 @@ def generate_trace(
     length: int,
     profile: MixProfile | None = None,
     seed: int = 0,
-) -> list[TraceEvent]:
-    """Generate ``length`` synthetic events with the given profile."""
+) -> Trace:
+    """Generate ``length`` synthetic events with the given profile.
+
+    Emits straight into a columnar :class:`Trace`: the handful of
+    static instruction forms are interned once up front, their flag
+    bytes precomputed, and the hot loop appends raw integers to the
+    bound columns. The RNG draw sequence is unchanged from the
+    object-emitting version, so a given (length, profile, seed) still
+    produces the identical event stream.
+    """
     if length <= 0:
         raise SimulationError(f"trace length must be positive, got {length}")
     profile = profile or MixProfile()
     rng = random.Random(seed)
-    events: list[TraceEvent] = []
+
+    trace = Trace()
+    static = trace.static
+    pc_append = trace.pc.append
+    sid_append = trace.sid.append
+    flags_append = trace.flags.append
+    next_append = trace.next_pc.append
+    addr_append = trace.address.append
+
+    def prepare(instruction: Instruction) -> tuple[int, int, int]:
+        """(sid, not-taken flags, taken flags) for one static form."""
+        sid = static.intern_instruction(instruction)
+        flags = static.flags[sid]
+        return sid, flags, flags | F_TAKEN
+
+    chain_forms = [prepare(ins) for ins in _CHAIN_OPS]
+    load_sid, load_flags, _ = prepare(_LOAD)
+    store_sid, store_flags, _ = prepare(_STORE)
+    mul_sid, mul_flags, _ = prepare(_MUL)
+    hard_sid, hard_nt, hard_t = prepare(_HARD_BRANCH)
+    easy_sid, easy_nt, easy_t = prepare(_EASY_BRANCH)
+    indirect_sid, _, indirect_t = prepare(_INDIRECT_BRANCH)
 
     hard_share = profile.branch_fraction * profile.hard_branch_share
     indirect_share = profile.branch_fraction * profile.indirect_share
@@ -112,18 +141,18 @@ def generate_trace(
     indirect_targets: dict[int, int] = {}
     indirect_pc: int | None = None
 
-    while len(events) < length:
+    emitted = 0
+    while emitted < length:
         roll = rng.random()
         pc = _BODY_PC_BASE + position
         if roll < hard_share:
             taken = rng.random() < profile.hard_taken_bias
             hard_pc = _HARD_PC_BASE + rng.randrange(profile.static_branches)
-            events.append(
-                TraceEvent(
-                    hard_pc, _HARD_BRANCH, taken,
-                    hard_pc + (5 if taken else 1), None,
-                )
-            )
+            pc_append(hard_pc)
+            sid_append(hard_sid)
+            flags_append(hard_t if taken else hard_nt)
+            next_append(hard_pc + (5 if taken else 1))
+            addr_append(NO_VALUE)
         elif roll < hard_share + indirect_share:
             # Indirect jump (switch / function pointer): always taken
             # with a *sticky* target that occasionally switches — the
@@ -136,10 +165,11 @@ def generate_trace(
                 indirect_targets[indirect_pc] = (
                     indirect_pc + 10 * (1 + rng.randrange(4))
                 )
-            target = indirect_targets[indirect_pc]
-            events.append(
-                TraceEvent(indirect_pc, _INDIRECT_BRANCH, True, target, None)
-            )
+            pc_append(indirect_pc)
+            sid_append(indirect_sid)
+            flags_append(indirect_t)
+            next_append(indirect_targets[indirect_pc])
+            addr_append(NO_VALUE)
         elif roll < hard_share + indirect_share + easy_share:
             # Loop back-edge: taken until the iteration budget runs out.
             iterations_left -= 1
@@ -147,31 +177,51 @@ def generate_trace(
             easy_pc = _EASY_PC_BASE + (
                 loop_id % profile.static_branches
             )
-            target = easy_pc - profile.loop_body if taken else easy_pc + 1
-            events.append(
-                TraceEvent(easy_pc, _EASY_BRANCH, taken, target, None)
+            pc_append(easy_pc)
+            sid_append(easy_sid)
+            flags_append(easy_t if taken else easy_nt)
+            next_append(
+                easy_pc - profile.loop_body if taken else easy_pc + 1
             )
+            addr_append(NO_VALUE)
             if not taken:
                 loop_id += 1
                 iterations_left = rng.randint(4, 40)
         elif roll < hard_share + indirect_share + easy_share + load_share:
             cursor = _next_address(cursor, profile, rng)
-            events.append(TraceEvent(pc, _LOAD, False, pc + 1, cursor))
+            pc_append(pc)
+            sid_append(load_sid)
+            flags_append(load_flags)
+            next_append(pc + 1)
+            addr_append(cursor)
         elif (
             roll
             < hard_share + indirect_share + easy_share + load_share
             + store_share
         ):
             cursor = _next_address(cursor, profile, rng)
-            events.append(TraceEvent(pc, _STORE, False, pc + 1, cursor))
+            pc_append(pc)
+            sid_append(store_sid)
+            flags_append(store_flags)
+            next_append(pc + 1)
+            addr_append(cursor)
         elif rng.random() < profile.mul_fraction:
-            events.append(TraceEvent(pc, _MUL, False, pc + 1, None))
+            pc_append(pc)
+            sid_append(mul_sid)
+            flags_append(mul_flags)
+            next_append(pc + 1)
+            addr_append(NO_VALUE)
         else:
-            alu = _CHAIN_OPS[chain]
+            alu_sid, alu_flags, _ = chain_forms[chain]
             chain = (chain + 1) % profile.chains
-            events.append(TraceEvent(pc, alu, False, pc + 1, None))
+            pc_append(pc)
+            sid_append(alu_sid)
+            flags_append(alu_flags)
+            next_append(pc + 1)
+            addr_append(NO_VALUE)
         position = (position + 1) % profile.loop_body
-    return events
+        emitted += 1
+    return trace
 
 
 def _next_address(

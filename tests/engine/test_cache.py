@@ -103,8 +103,19 @@ class TestCorruption:
         events = generate_trace(120, seed=7)
         cache.store_trace("blast", "baseline", events)
         path = cache.trace_path("blast", "baseline")
-        text = path.read_text(encoding="utf-8")
-        path.write_text(text[: len(text) // 2], encoding="utf-8")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        assert cache.load_trace("blast", "baseline") is None
+        assert not path.exists()
+
+    def test_bitflipped_v2_trace_evicted(self, cache):
+        """A flipped byte inside the binary payload is caught, not served."""
+        events = generate_trace(120, seed=8)
+        cache.store_trace("blast", "baseline", events)
+        path = cache.trace_path("blast", "baseline")
+        blob = bytearray(path.read_bytes())
+        blob[27] ^= 0xFF  # first byte of the deflated payload
+        path.write_bytes(bytes(blob))
         assert cache.load_trace("blast", "baseline") is None
         assert not path.exists()
 
@@ -122,6 +133,33 @@ class TestCorruption:
         path = cache.result_path("blast", "baseline", digest)
         path.write_text("[1, 2, 3]", encoding="utf-8")
         assert cache.load_result_payload("blast", "baseline", digest) is None
+
+
+class TestFormatUpgrade:
+    def test_v1_entry_rewritten_as_v2_on_read(self, cache):
+        """A legacy v1 text entry upgrades itself to v2 on first read."""
+        from repro.isa.tracestore import (
+            TRACE_FORMAT_VERSION,
+            save_trace,
+            trace_format,
+        )
+
+        events = generate_trace(80, seed=21)
+        path = cache.trace_path("fasta", "baseline")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_trace(path, events)
+        assert trace_format(path) == 1
+        loaded = cache.load_trace("fasta", "baseline")
+        assert loaded is not None and events_equal(loaded, events)
+        assert trace_format(path) == TRACE_FORMAT_VERSION
+        # And the rewritten entry still round-trips.
+        again = cache.load_trace("fasta", "baseline")
+        assert again is not None and events_equal(again, events)
+
+    def test_stats_reports_trace_format(self, cache):
+        from repro.isa.tracestore import TRACE_FORMAT_VERSION
+
+        assert cache.stats()["trace_format"] == TRACE_FORMAT_VERSION
 
 
 class TestMaintenance:

@@ -1,0 +1,190 @@
+"""Columnar Trace: construction, views, equivalence with the object form."""
+
+import pytest
+
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.workloads import make_family
+from repro.errors import SimulationError
+from repro.isa.trace import (
+    F_BRANCH,
+    F_COND,
+    F_LOAD,
+    F_STORE,
+    F_TAKEN,
+    NO_VALUE,
+    Trace,
+    TraceEvent,
+    opcode_histogram,
+    trace_statistics,
+)
+from repro.kernels import smith_waterman as sw
+from repro.uarch.synthetic import MixProfile, generate_trace
+
+
+def _assert_same_events(columnar, events):
+    assert len(columnar) == len(events)
+    for got, want in zip(columnar, events):
+        for name in TraceEvent.__slots__:
+            assert getattr(got, name) == getattr(want, name), name
+
+
+@pytest.fixture(scope="module")
+def kernel_events():
+    """A real kernel trace in object form (the legacy interchange)."""
+    family = make_family("tc", 2, 20, 0.3, seed=23)
+    events = []
+    sw.run("baseline", family[0], family[1], BLOSUM62,
+           GapPenalties(10, 2), trace=events)
+    return events
+
+
+@pytest.fixture(scope="module")
+def kernel_columnar(kernel_events):
+    return Trace.from_events(kernel_events)
+
+
+class TestConstruction:
+    def test_from_events_round_trips(self, kernel_events, kernel_columnar):
+        _assert_same_events(kernel_columnar, kernel_events)
+
+    def test_to_events_materializes_everything(
+        self, kernel_events, kernel_columnar
+    ):
+        _assert_same_events(kernel_columnar.to_events(), kernel_events)
+
+    def test_interpreter_emits_columnar_directly(self, kernel_events):
+        """Machine.run(Trace) produces the same stream as run(list)."""
+        family = make_family("tc", 2, 20, 0.3, seed=23)
+        columnar = Trace()
+        sw.run("baseline", family[0], family[1], BLOSUM62,
+               GapPenalties(10, 2), trace=columnar)
+        _assert_same_events(columnar, kernel_events)
+
+    def test_synthetic_generator_emits_columnar(self):
+        trace = generate_trace(2_000, MixProfile(), seed=6)
+        assert isinstance(trace, Trace)
+        stats = trace.stats()
+        assert stats.instructions == 2_000
+        assert stats.branches > 0 and stats.loads > 0
+
+    def test_static_table_is_shared(self, kernel_columnar):
+        """Statics are interned: far fewer entries than dynamic events."""
+        assert 0 < len(kernel_columnar.static) < len(kernel_columnar)
+
+    def test_flags_encode_event_booleans(self, kernel_columnar):
+        start, stop = kernel_columnar._bounds()
+        for i in range(start, stop):
+            flags = kernel_columnar.flags[i]
+            event = kernel_columnar._materialize(i)
+            assert bool(flags & F_BRANCH) == event.is_branch
+            assert bool(flags & F_COND) == event.is_conditional
+            assert bool(flags & F_TAKEN) == event.taken
+            assert bool(flags & F_LOAD) == event.is_load
+            assert bool(flags & F_STORE) == event.is_store
+
+    def test_memory_footprint_well_under_object_form(self):
+        """>=5x less memory than one Python object per event."""
+        import sys
+
+        trace = generate_trace(50_000, MixProfile(), seed=9)
+        events = trace.to_events()
+        object_bytes = sum(sys.getsizeof(e) for e in events) + sys.getsizeof(
+            events
+        )
+        assert object_bytes / trace.nbytes >= 5.0
+
+
+class TestViews:
+    def test_slice_is_zero_copy_view(self, kernel_columnar):
+        view = kernel_columnar[10:60]
+        assert view.is_view
+        assert len(view) == 50
+        assert view.pc is kernel_columnar.pc  # shared columns
+        _assert_same_events(view, kernel_columnar.to_events()[10:60])
+
+    def test_view_of_view(self, kernel_columnar):
+        view = kernel_columnar[10:60][5:20]
+        _assert_same_events(view, kernel_columnar.to_events()[15:30])
+
+    def test_negative_and_open_slices(self, kernel_columnar):
+        events = kernel_columnar.to_events()
+        _assert_same_events(kernel_columnar[-30:], events[-30:])
+        _assert_same_events(kernel_columnar[:40], events[:40])
+
+    def test_int_indexing(self, kernel_columnar, kernel_events):
+        assert kernel_columnar[0].pc == kernel_events[0].pc
+        assert kernel_columnar[-1].pc == kernel_events[-1].pc
+        with pytest.raises(IndexError):
+            kernel_columnar[len(kernel_columnar)]
+
+    def test_strided_slice_rejected(self, kernel_columnar):
+        with pytest.raises(SimulationError):
+            kernel_columnar[::2]
+
+    def test_views_are_read_only(self, kernel_columnar):
+        view = kernel_columnar[1:5]
+        with pytest.raises(SimulationError):
+            view.append_event(kernel_columnar[0])
+        with pytest.raises(SimulationError):
+            view.extend(kernel_columnar)
+
+
+class TestExtend:
+    def test_extend_remaps_static_ids(self):
+        a = generate_trace(500, MixProfile(), seed=1)
+        b = generate_trace(400, MixProfile(load_fraction=0.4), seed=2)
+        merged = Trace()
+        merged.extend(a)
+        merged.extend(b)
+        _assert_same_events(merged, a.to_events() + b.to_events())
+
+    def test_extend_accepts_views(self):
+        a = generate_trace(600, MixProfile(), seed=3)
+        merged = Trace()
+        merged.extend(a[100:300])
+        merged.extend(a[300:350])
+        _assert_same_events(merged, a.to_events()[100:350])
+
+    def test_extend_accepts_event_lists(self, kernel_events):
+        merged = Trace()
+        merged.extend(kernel_events)
+        _assert_same_events(merged, kernel_events)
+
+    def test_add_concatenates(self):
+        a = generate_trace(300, MixProfile(), seed=4)
+        b = generate_trace(200, MixProfile(), seed=5)
+        _assert_same_events(a + b, a.to_events() + b.to_events())
+
+
+class TestStatistics:
+    def test_columnar_stats_match_object_stats(self, kernel_columnar):
+        events = kernel_columnar.to_events()
+        assert trace_statistics(kernel_columnar) == trace_statistics(events)
+
+    def test_view_stats_match_slice(self, kernel_columnar):
+        events = kernel_columnar.to_events()
+        view = kernel_columnar[25:125]
+        assert trace_statistics(view) == trace_statistics(events[25:125])
+
+    def test_stats_method_is_trace_statistics(self, kernel_columnar):
+        assert kernel_columnar.stats() == trace_statistics(kernel_columnar)
+
+    def test_opcode_histogram_matches(self, kernel_columnar):
+        events = kernel_columnar.to_events()
+        assert opcode_histogram(kernel_columnar) == opcode_histogram(events)
+
+    def test_synthetic_stats_match(self):
+        trace = generate_trace(5_000, MixProfile(), seed=7)
+        assert trace_statistics(trace) == trace_statistics(trace.to_events())
+
+
+class TestSentinels:
+    def test_no_value_encodes_missing_address_and_dst(self):
+        trace = generate_trace(1_000, MixProfile(), seed=8)
+        start, stop = trace._bounds()
+        for i in range(start, stop):
+            event = trace._materialize(i)
+            if event.address is None:
+                assert trace.address[i] == NO_VALUE
+            else:
+                assert trace.address[i] == event.address

@@ -5,7 +5,15 @@ import pytest
 from repro.bio.scoring import BLOSUM62, GapPenalties
 from repro.bio.workloads import make_family
 from repro.errors import InterpreterError
-from repro.isa.tracestore import load_trace, save_trace
+from repro.isa.trace import Trace, TraceEvent
+from repro.isa.tracestore import (
+    TRACE_FORMAT_VERSION,
+    load_trace,
+    load_trace_columnar,
+    save_trace,
+    save_trace_v2,
+    trace_format,
+)
 from repro.kernels import smith_waterman as sw
 from repro.uarch.config import power5
 from repro.uarch.core import simulate_trace
@@ -51,6 +59,117 @@ class TestRoundtrip:
             == original.direction_mispredictions
         )
         assert restored.cache.misses == original.cache.misses
+
+
+def _assert_events_match(left, right):
+    assert len(left) == len(right)
+    for a, b in zip(left, right):
+        for name in TraceEvent.__slots__:
+            assert getattr(a, name) == getattr(b, name), name
+
+
+class TestV2Binary:
+    def test_round_trips_columnar(self, trace, tmp_path):
+        path = tmp_path / "kernel.tracebin"
+        columnar = Trace.from_events(trace)
+        save_trace_v2(path, columnar)
+        loaded = load_trace(path)
+        assert isinstance(loaded, Trace)
+        _assert_events_match(loaded, trace)
+
+    def test_accepts_event_lists_and_views(self, trace, tmp_path):
+        path = tmp_path / "from_list.tracebin"
+        save_trace_v2(path, trace)
+        _assert_events_match(load_trace(path), trace)
+        view = Trace.from_events(trace)[5:50]
+        save_trace_v2(path, view)
+        _assert_events_match(load_trace(path), trace[5:50])
+
+    def test_v1_to_v2_rewrite_preserves_everything(self, trace, tmp_path):
+        """v1 text -> columnar load -> v2 save -> load is lossless."""
+        v1 = tmp_path / "kernel.trace"
+        v2 = tmp_path / "kernel.tracebin"
+        save_trace(v1, trace)
+        assert trace_format(v1) == 1
+        columnar = load_trace_columnar(v1)
+        save_trace_v2(v2, columnar)
+        assert trace_format(v2) == TRACE_FORMAT_VERSION
+        _assert_events_match(load_trace(v2), trace)
+
+    def test_v2_simulates_identically(self, trace, tmp_path):
+        path = tmp_path / "kernel.tracebin"
+        save_trace_v2(path, Trace.from_events(trace))
+        original = simulate_trace(trace, power5())
+        restored = simulate_trace(load_trace(path), power5())
+        assert restored.cycles == original.cycles
+        assert restored.cache.misses == original.cache.misses
+
+    def test_v2_is_smaller_than_v1(self, trace, tmp_path):
+        v1 = tmp_path / "a.trace"
+        v2 = tmp_path / "b.tracebin"
+        save_trace(v1, trace)
+        save_trace_v2(v2, Trace.from_events(trace))
+        assert v2.stat().st_size < v1.stat().st_size / 2
+
+    def test_load_trace_columnar_upconverts_v1(self, trace, tmp_path):
+        path = tmp_path / "kernel.trace"
+        save_trace(path, trace)
+        loaded = load_trace_columnar(path)
+        assert isinstance(loaded, Trace)
+        _assert_events_match(loaded, trace)
+
+
+class TestV2Errors:
+    @pytest.fixture()
+    def v2_path(self, trace, tmp_path):
+        path = tmp_path / "kernel.tracebin"
+        save_trace_v2(path, Trace.from_events(trace))
+        return path
+
+    def test_truncated_header(self, v2_path):
+        v2_path.write_bytes(v2_path.read_bytes()[:20])
+        with pytest.raises(InterpreterError):
+            load_trace(v2_path)
+
+    def test_truncated_columns(self, v2_path):
+        blob = v2_path.read_bytes()
+        v2_path.write_bytes(blob[: len(blob) - 16])
+        with pytest.raises(InterpreterError):
+            load_trace(v2_path)
+
+    def test_trailing_garbage(self, v2_path):
+        v2_path.write_bytes(v2_path.read_bytes() + b"junk")
+        with pytest.raises(InterpreterError):
+            load_trace(v2_path)
+
+    def test_corrupt_opcode_in_static_table(self, v2_path):
+        """An out-of-range opcode inside a *valid* deflate stream."""
+        import zlib
+
+        blob = v2_path.read_bytes()
+        head, payload = blob[:27], bytearray(zlib.decompress(blob[27:]))
+        payload[0] = 0xFE  # first static record's opcode: out of range
+        v2_path.write_bytes(head + zlib.compress(bytes(payload)))
+        with pytest.raises(InterpreterError):
+            load_trace(v2_path)
+
+    def test_bitflipped_payload(self, v2_path):
+        blob = bytearray(v2_path.read_bytes())
+        blob[30] ^= 0xFF  # inside the deflate stream
+        v2_path.write_bytes(bytes(blob))
+        with pytest.raises(InterpreterError):
+            load_trace(v2_path)
+
+    def test_format_sniffing(self, trace, tmp_path, v2_path):
+        v1 = tmp_path / "text.trace"
+        save_trace(v1, trace)
+        assert trace_format(v1) == 1
+        assert trace_format(v2_path) == 2
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises((InterpreterError, OSError)):
+            trace_format(tmp_path / "nope.trace")
+            load_trace(tmp_path / "nope.trace")
 
 
 class TestErrors:

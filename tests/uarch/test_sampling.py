@@ -4,8 +4,12 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.uarch.config import power5
-from repro.uarch.core import simulate_trace
-from repro.uarch.sampling import SamplingPlan, simulate_sampled
+from repro.uarch.core import Core, simulate_trace
+from repro.uarch.sampling import (
+    SamplingPlan,
+    merge_results,
+    simulate_sampled,
+)
 from repro.uarch.synthetic import MixProfile, generate_trace
 
 
@@ -69,3 +73,82 @@ class TestSampledSimulation:
     def test_empty_trace_rejected(self):
         with pytest.raises(SimulationError):
             simulate_sampled([], power5())
+
+
+class TestEdgeCases:
+    def test_offset_beyond_trace_measures_everything(self):
+        """offset >= len(trace): fall back to full measurement."""
+        trace = generate_trace(800, seed=2)
+        plan = SamplingPlan(period=10_000, window=1_000, offset=800)
+        result = simulate_sampled(trace, power5(), plan)
+        full = simulate_trace(trace, power5())
+        assert result.instructions == 800
+        assert result.cycles == full.cycles
+
+    def test_window_equal_to_period_is_full_detail(self):
+        """window == period: every instruction is measured, none warmed."""
+        trace = generate_trace(9_000, seed=3)
+        plan = SamplingPlan(period=3_000, window=3_000)
+        sampled = simulate_sampled(trace, power5(), plan)
+        full = simulate_trace(trace, power5())
+        assert sampled.instructions == full.instructions
+        assert sampled.branches == full.branches
+        assert sampled.loads == full.loads
+        # Cycles differ only by per-window pipeline restart effects.
+        assert abs(sampled.cycles - full.cycles) / full.cycles < 0.02
+
+    def test_sampled_ipc_within_tolerance_with_btac(self, trace):
+        full = simulate_trace(trace, power5().with_btac())
+        sampled = simulate_sampled(
+            trace,
+            power5().with_btac(),
+            SamplingPlan(period=10_000, window=3_000),
+        )
+        assert abs(sampled.ipc - full.ipc) / full.ipc < 0.15
+
+    def test_object_and_columnar_traces_sample_identically(self, trace):
+        plan = SamplingPlan(period=10_000, window=2_500, offset=500)
+        columnar = simulate_sampled(trace, power5(), plan)
+        objects = simulate_sampled(trace.to_events(), power5(), plan)
+        assert columnar.instructions == objects.instructions
+        assert columnar.cycles == objects.cycles
+        assert columnar.direction_mispredictions == (
+            objects.direction_mispredictions
+        )
+        assert columnar.cache.misses == objects.cache.misses
+
+
+class TestMergeResults:
+    def test_intervals_rebased_onto_merged_axis(self):
+        """Figure 2's time axis must be monotonic across components."""
+        core = Core(power5())
+        first = core.simulate(generate_trace(4_000, seed=11),
+                              interval_size=1_000)
+        core.reset_stats()
+        second = core.simulate(generate_trace(3_000, seed=12),
+                               interval_size=1_000)
+        merged = merge_results([first, second])
+        starts = [record.start_instruction for record in merged.intervals]
+        assert starts == sorted(starts)
+        assert len(set(starts)) == len(starts)
+        # The second component's intervals start after the first's
+        # instruction count, not back at zero.
+        assert starts[len(first.intervals)] >= first.instructions
+
+    def test_merge_preserves_component_interval_shape(self):
+        core = Core(power5())
+        first = core.simulate(generate_trace(2_500, seed=13),
+                              interval_size=500)
+        core.reset_stats()
+        second = core.simulate(generate_trace(2_500, seed=14),
+                               interval_size=500)
+        merged = merge_results([first, second])
+        assert len(merged.intervals) == (
+            len(first.intervals) + len(second.intervals)
+        )
+        for before, after in zip(
+            first.intervals + second.intervals, merged.intervals
+        ):
+            assert after.instructions == before.instructions
+            assert after.cycles == before.cycles
+            assert after.branches == before.branches
