@@ -74,6 +74,38 @@ def bench_engine_warm(benchmark):
     )
 
 
+def bench_cache_gc(benchmark, tmp_path_factory):
+    """Self-healing sweep over a populated store with planted damage.
+
+    The store holds 64 synthetic result payloads; each round re-plants
+    eight orphaned ``.tmp-*`` files and four corrupt entries, then
+    ``gc()`` must sweep the damage without touching valid entries.
+    """
+    from repro.engine.cache import PersistentCache
+
+    root = tmp_path_factory.mktemp("engine-gc")
+    cache = PersistentCache(root)
+    payload = {"schema": 1, "value": list(range(64))}
+    for index in range(64):
+        cache.store_result_payload("bench", f"v{index}", "0" * 12, payload)
+    valid = cache.stats()["result_entries"]
+
+    def plant():
+        for index in range(8):
+            orphan = cache.version_root / f".r{index}.json.tmp-{index}"
+            orphan.write_bytes(b"partial")
+        for index in range(4):
+            bad = cache.version_root / f"corrupt{index}.json"
+            bad.write_text("{ nope", encoding="utf-8")
+
+    report = benchmark.pedantic(
+        lambda: cache.gc(), setup=plant, rounds=5, iterations=1
+    )
+    assert report["tmp_removed"] == 8
+    assert report["quarantined"] == 4
+    assert cache.stats()["result_entries"] == valid
+
+
 @pytest.mark.parametrize("jobs", [2, 4])
 def bench_engine_parallel(benchmark, jobs, tmp_path_factory):
     walls: list[float] = []

@@ -15,7 +15,7 @@ simulate   run an application kernel on the POWER5 core model
 asm        print a kernel's mini-ISA assembly per variant
 trace      dump a kernel trace / re-simulate a saved one
 experiments reproduce the paper's tables/figures (engine-backed)
-cache      inspect / clear the persistent simulation cache
+cache      inspect / clear / gc the persistent simulation cache
 ========== ====================================================
 """
 
@@ -221,6 +221,15 @@ def cmd_cache(args) -> int:
         removed = cache.clear()
         print(f"# removed {removed} cached files from {cache.root}")
         return 0
+    if args.action == "gc":
+        report = cache.gc(tmp_max_age_seconds=args.tmp_max_age)
+        print(
+            f"# gc {cache.root}: removed {report['tmp_removed']} orphaned "
+            f"tmp file(s), scanned {report['scanned']} entries, "
+            f"quarantined {report['quarantined']} corrupt entr"
+            f"{'y' if report['quarantined'] == 1 else 'ies'}"
+        )
+        return 0
     stats = cache.stats()
     table = Table(
         f"Persistent simulation cache ({cache.root})",
@@ -232,6 +241,7 @@ def cmd_cache(args) -> int:
     table.add_row("kernel-source digest", sim_source_digest()[:12])
     table.add_row("trace entries", stats["trace_entries"])
     table.add_row("result entries", stats["result_entries"])
+    table.add_row("quarantined entries", stats["quarantine_entries"])
     table.add_row("total bytes", stats["total_bytes"])
     print(table.render())
     return 0
@@ -320,12 +330,19 @@ def build_parser() -> argparse.ArgumentParser:
     p_exp.set_defaults(func=cmd_experiments)
 
     p_cache = sub.add_parser(
-        "cache", help="inspect / clear the persistent simulation cache"
+        "cache",
+        help="inspect / clear / garbage-collect the persistent "
+             "simulation cache",
     )
-    p_cache.add_argument("action", choices=["stats", "clear"])
+    p_cache.add_argument("action", choices=["stats", "clear", "gc"])
     p_cache.add_argument("--cache-dir", default=None, metavar="DIR",
                          help="cache directory (default: REPRO_CACHE_DIR "
                               "or ~/.cache/repro-power5)")
+    p_cache.add_argument("--tmp-max-age", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="gc only: minimum age before an orphaned "
+                              ".tmp-* file is removed (default: 0, "
+                              "remove all)")
     p_cache.set_defaults(func=cmd_cache)
     return parser
 

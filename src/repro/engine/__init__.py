@@ -21,10 +21,12 @@ Layers, bottom to top:
     Per-point wall time, cache hit/miss counters and simulated-MIPS,
     renderable as a table or a machine-readable JSON summary.
 ``scheduler``
-    Process-pool fan-out of design points (``--jobs N`` /
-    ``REPRO_JOBS``), with in-flight deduplication; parallel results are
-    byte-identical to serial because every point is deterministic and
-    computed on a fresh core.
+    Fault-tolerant process-pool fan-out of design points (``--jobs N``
+    / ``REPRO_JOBS``), with in-flight deduplication, per-point
+    deadlines and bounded retries, ``BrokenProcessPool`` isolation
+    (rebuild + resume), and graceful degradation to serial execution;
+    parallel results are byte-identical to serial because every point
+    is deterministic and computed on a fresh core.
 ``engine``
     :class:`Engine` ties the layers together; ``default_engine()`` is
     the process-wide instance the experiment drivers share.
@@ -38,14 +40,17 @@ from repro.engine.digest import (
 )
 from repro.engine.engine import Engine, default_engine
 from repro.engine.scheduler import resolve_jobs
-from repro.engine.telemetry import EngineStats, PointRecord
+from repro.engine.telemetry import EngineStats, PointFailure, PointRecord
+from repro.errors import SweepError
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
     "Engine",
     "EngineStats",
     "PersistentCache",
+    "PointFailure",
     "PointRecord",
+    "SweepError",
     "active_cache",
     "config_digest",
     "default_engine",

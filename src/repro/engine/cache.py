@@ -24,12 +24,19 @@ entirely; every operation then degrades to a miss/no-op.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent workers
 sharing one cache directory can never expose half-written entries.
+
+The store is self-healing: corrupt entries are **quarantined** (moved
+under ``<cache_dir>/quarantine/``, preserving the evidence) rather than
+silently unlinked, and :meth:`PersistentCache.gc` (``repro cache gc``)
+sweeps the ``.tmp-*`` litter left behind by killed workers and
+validates + quarantines damaged entries in place.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -48,6 +55,11 @@ from repro.isa.tracestore import (
 )
 
 _DISABLE_VALUES = {"0", "off", "false", "no"}
+
+
+def _is_tmp(path: Path) -> bool:
+    """Whether ``path`` is an in-flight atomic-write temp file."""
+    return path.name.startswith(".") and ".tmp-" in path.name
 
 
 def default_cache_dir() -> Path | None:
@@ -71,6 +83,7 @@ class CacheCounters:
     result_hits: int = 0
     result_misses: int = 0
     evictions: int = 0
+    quarantined: int = 0
 
     def to_dict(self) -> dict:
         return {
@@ -79,6 +92,7 @@ class CacheCounters:
             "result_hits": self.result_hits,
             "result_misses": self.result_misses,
             "evictions": self.evictions,
+            "quarantined": self.quarantined,
         }
 
     def merge(self, other: "CacheCounters") -> None:
@@ -87,6 +101,7 @@ class CacheCounters:
         self.result_hits += other.result_hits
         self.result_misses += other.result_misses
         self.evictions += other.evictions
+        self.quarantined += other.quarantined
 
 
 class PersistentCache:
@@ -105,6 +120,13 @@ class PersistentCache:
         if self.root is None:
             raise ReproError("persistent cache is disabled")
         return self.root / f"v{CACHE_SCHEMA_VERSION}"
+
+    @property
+    def quarantine_root(self) -> Path:
+        """Where corrupt entries are moved (outside every version root)."""
+        if self.root is None:
+            raise ReproError("persistent cache is disabled")
+        return self.root / "quarantine"
 
     # -- path derivation ---------------------------------------------------
 
@@ -199,17 +221,31 @@ class PersistentCache:
     # -- maintenance -------------------------------------------------------
 
     def stats(self) -> dict:
-        """Entry counts and on-disk footprint, for ``repro cache stats``."""
-        traces = results = total_bytes = 0
+        """Entry counts and on-disk footprint, for ``repro cache stats``.
+
+        In-flight ``.tmp-*`` files are excluded from both the entry
+        counts and ``total_bytes`` (they are scratch, not entries), and
+        the walk tolerates files vanishing under it (a concurrent
+        worker's ``os.replace``).
+        """
+        traces = results = total_bytes = quarantined = 0
         if self.enabled and self.version_root.exists():
             for path in self.version_root.rglob("*"):
-                if not path.is_file():
+                try:
+                    if not path.is_file() or _is_tmp(path):
+                        continue
+                    total_bytes += path.stat().st_size
+                except OSError:
                     continue
-                total_bytes += path.stat().st_size
                 if path.suffix == ".trace":
                     traces += 1
                 elif path.suffix == ".json":
                     results += 1
+        if self.enabled and self.quarantine_root.exists():
+            quarantined = sum(
+                1 for path in self.quarantine_root.rglob("*")
+                if path.is_file()
+            )
         return {
             "enabled": self.enabled,
             "cache_dir": str(self.root) if self.enabled else None,
@@ -217,22 +253,64 @@ class PersistentCache:
             "trace_format": TRACE_FORMAT_VERSION,
             "trace_entries": traces,
             "result_entries": results,
+            "quarantine_entries": quarantined,
             "total_bytes": total_bytes,
             "counters": self.counters.to_dict(),
         }
 
     def clear(self) -> int:
-        """Delete every entry (all schema versions); returns files removed."""
+        """Delete every entry (all schema versions); returns files removed.
+
+        Tolerant of concurrent workers: a path that vanishes mid-walk is
+        skipped, and a directory that gains a new file between the walk
+        and its ``rmdir`` is left in place rather than raising.
+        """
         if not self.enabled or not self.root.exists():
             return 0
         removed = 0
         for path in sorted(self.root.rglob("*"), reverse=True):
-            if path.is_file():
-                path.unlink()
-                removed += 1
-            elif path.is_dir():
-                path.rmdir()
+            try:
+                if path.is_dir():
+                    path.rmdir()
+                else:
+                    path.unlink()
+                    removed += 1
+            except OSError:
+                continue
         return removed
+
+    def gc(self, tmp_max_age_seconds: float = 0.0) -> dict:
+        """Self-heal the store; returns a report dict.
+
+        * removes orphaned ``.tmp-*`` files (left by killed workers)
+          older than ``tmp_max_age_seconds``;
+        * validates every trace/result entry under the active schema
+          root and quarantines the corrupt ones (counted in
+          ``counters.quarantined``); unknown file types are left alone.
+        """
+        report = {"tmp_removed": 0, "scanned": 0, "quarantined": 0}
+        if not self.enabled or not self.root.exists():
+            return report
+        now = time.time()
+        quarantine_root = self.quarantine_root
+        for path in list(self.root.rglob("*")):
+            if quarantine_root in path.parents:
+                continue
+            try:
+                if not path.is_file():
+                    continue
+                if _is_tmp(path):
+                    if now - path.stat().st_mtime >= tmp_max_age_seconds:
+                        path.unlink()
+                        report["tmp_removed"] += 1
+                    continue
+            except OSError:
+                continue
+            report["scanned"] += 1
+            if not self._entry_is_valid(path):
+                self._quarantine(path)
+                report["quarantined"] += 1
+        return report
 
     # -- internals ---------------------------------------------------------
 
@@ -247,12 +325,46 @@ class PersistentCache:
             # not fail the simulation that produced the data.
             tmp.unlink(missing_ok=True)
 
-    def _evict(self, path: Path) -> None:
+    def _entry_is_valid(self, path: Path) -> bool:
+        """Whether a stored entry deserializes cleanly (for :meth:`gc`)."""
         try:
-            path.unlink(missing_ok=True)
-            self.counters.evictions += 1
+            if path.suffix == ".trace":
+                load_trace_columnar(path)
+            elif path.suffix == ".json":
+                payload = json.loads(path.read_text(encoding="utf-8"))
+                if not isinstance(payload, dict):
+                    return False
+            return True
+        except (ReproError, OSError, ValueError):
+            return False
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside: keep the evidence, free the slot."""
+        try:
+            relative = path.relative_to(self.root)
+        except ValueError:
+            relative = Path(path.name)
+        destination = self.quarantine_root / relative
+        try:
+            destination.parent.mkdir(parents=True, exist_ok=True)
+            final = destination
+            suffix = 0
+            while final.exists():
+                suffix += 1
+                final = destination.with_name(f"{destination.name}.{suffix}")
+            os.replace(path, final)
+            self.counters.quarantined += 1
         except OSError:
-            pass
+            # Quarantine is best-effort; the slot must be freed either way.
+            try:
+                path.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+    def _evict(self, path: Path) -> None:
+        """Quarantine a corrupt entry and count the eviction."""
+        self._quarantine(path)
+        self.counters.evictions += 1
 
 
 _active_cache: PersistentCache | None = None

@@ -10,10 +10,15 @@ Every simulation request flows through three layers:
    whose result is then persisted and memoised.
 
 ``default_engine()`` is the process-wide instance the experiment
-drivers and the CLI share; constructing an :class:`Engine` with an
-explicit ``cache_dir`` re-points the process-wide persistent cache
-(the cache is a per-process resource, exactly like the in-memory trace
-caches it backs).
+drivers and the CLI share; it uses the process-wide persistent cache.
+Constructing an :class:`Engine` with an explicit ``cache_dir`` gives
+that engine its **own** private :class:`PersistentCache` — it never
+re-points the process-wide one, so two engines' counters can never
+alias. Re-pointing the global cache (which also backs the perf-layer
+trace store) is an explicit act owned by the entry points:
+``repro.engine.cache.use_cache_dir`` is called by the CLI's
+``--cache-dir`` flags and by pool workers adopting the parent's cache
+directory.
 """
 
 from __future__ import annotations
@@ -21,7 +26,7 @@ from __future__ import annotations
 import time
 
 from repro.engine import serialize
-from repro.engine.cache import PersistentCache, active_cache, use_cache_dir
+from repro.engine.cache import PersistentCache, active_cache
 from repro.engine.digest import SHORT_DIGEST, config_digest
 from repro.engine.scheduler import fan_out
 from repro.engine.telemetry import (
@@ -44,7 +49,9 @@ class Engine:
         if cache_dir is _ENV:
             self.cache: PersistentCache = active_cache()
         else:
-            self.cache = use_cache_dir(cache_dir)
+            # A private store: constructing an engine must never re-point
+            # the process-wide cache under an earlier engine's feet.
+            self.cache = PersistentCache(cache_dir)
         self.jobs = jobs
         self.stats = EngineStats()
         # Telemetry reports the live cache counters, not a copy.
@@ -111,17 +118,38 @@ class Engine:
         self,
         points: list[tuple[str, str, CoreConfig]],
         jobs: int | None = None,
-    ) -> list[AppCharacterisation]:
-        """Characterize a batch of points, in order, with fan-out."""
-        return fan_out(self, points, jobs if jobs is not None else self.jobs)
+        *,
+        on_error: str = "raise",
+        timeout: float | None = None,
+        retries: int | None = None,
+        backoff: float | None = None,
+    ) -> list[AppCharacterisation | None]:
+        """Characterize a batch of points, in order, with fan-out.
+
+        Fault tolerance knobs (see :mod:`repro.engine.scheduler`):
+        ``timeout`` is the per-point deadline (``REPRO_POINT_TIMEOUT``),
+        ``retries``/``backoff`` bound the per-point retry loop
+        (``REPRO_POINT_RETRIES`` / ``REPRO_RETRY_BACKOFF``), and
+        ``on_error`` picks the policy — ``"raise"`` aggregates the
+        post-retry failures into a :class:`repro.errors.SweepError`,
+        ``"keep_going"`` returns partial results with ``None`` in the
+        failed points' slots.
+        """
+        return fan_out(
+            self, points, jobs if jobs is not None else self.jobs,
+            on_error=on_error, timeout=timeout, retries=retries,
+            backoff=backoff,
+        )
 
     def prefetch(
         self,
         points: list[tuple[str, str, CoreConfig]],
         jobs: int | None = None,
+        *,
+        on_error: str = "raise",
     ) -> None:
         """Populate the memo for ``points`` (drivers then run serially)."""
-        self.characterize_many(points, jobs)
+        self.characterize_many(points, jobs, on_error=on_error)
 
     def adopt(
         self,

@@ -1,4 +1,4 @@
-"""Process-pool fan-out of design points.
+"""Fault-tolerant process-pool fan-out of design points.
 
 The scheduler deduplicates in-flight keys (a sweep that names the same
 (app, variant, config) twice simulates it once), fans the unique
@@ -7,8 +7,33 @@ merges worker results — and worker telemetry — back into the parent
 engine. Workers share the parent's persistent cache directory, so a
 trace or result any worker generates is visible to every later run.
 
+Unlike a plain ``pool.map``, one bad point cannot abort the sweep:
+
+* every point is submitted as its own future and carries a deadline
+  (``timeout`` / ``REPRO_POINT_TIMEOUT``; a hung worker is reclaimed by
+  killing and rebuilding the pool);
+* a worker exception, crash, or timeout is retried with exponential
+  backoff up to ``retries`` (``REPRO_POINT_RETRIES``) extra attempts;
+* a worker process dying (``BrokenProcessPool``) rebuilds the pool and
+  resumes the remaining points; because the crash takes every in-flight
+  future down with it, the victims are resubmitted **one at a time**
+  (uncharged) so the culprit is identified exactly and innocent points
+  are never billed for someone else's crash;
+* if the pool keeps dying (more than ``max_rebuilds`` rebuilds) the
+  remaining points degrade gracefully to serial in-process execution;
+* points that still fail after retries become structured
+  :class:`~repro.engine.telemetry.PointFailure` telemetry. Under
+  ``on_error="raise"`` (the default) the sweep then raises
+  :class:`~repro.errors.SweepError` naming exactly the failed points;
+  under ``on_error="keep_going"`` the completed points are returned in
+  input order with ``None`` in the failed slots.
+
 Job count resolution: explicit argument, else the ``REPRO_JOBS``
-environment variable, else ``os.cpu_count()``.
+environment variable, else ``os.cpu_count()``. The serial paths
+(``jobs=1`` or a single pending point) run in-process: retries and
+failure records still apply, but timeouts are not enforced and a
+hard-crashing point takes the parent down — use ``jobs >= 2`` when
+fault isolation matters.
 
 Parallel output is byte-identical to serial output because every point
 is deterministic, simulated on a fresh core, and results are merged
@@ -19,10 +44,23 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor
+import time
+import traceback as traceback_module
+from collections import deque
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 
-from repro.errors import WorkloadError
+from repro.errors import SweepError, WorkloadError
 from repro.uarch.config import CoreConfig
+
+#: Error policies for :func:`fan_out`.
+ON_ERROR_RAISE = "raise"
+ON_ERROR_KEEP_GOING = "keep_going"
+
+#: Default bounded-retry / backoff / rebuild knobs (env-overridable).
+DEFAULT_RETRIES = 1
+DEFAULT_BACKOFF_SECONDS = 0.05
+DEFAULT_MAX_REBUILDS = 3
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -43,6 +81,61 @@ def resolve_jobs(jobs: int | None = None) -> int:
     return jobs
 
 
+def resolve_timeout(timeout: float | None = None) -> float | None:
+    """Per-point deadline in seconds: explicit > ``REPRO_POINT_TIMEOUT``.
+
+    ``None`` or a non-positive value disables the deadline.
+    """
+    if timeout is None:
+        env = os.environ.get("REPRO_POINT_TIMEOUT", "").strip()
+        if env:
+            try:
+                timeout = float(env)
+            except ValueError:
+                raise WorkloadError(
+                    f"REPRO_POINT_TIMEOUT must be a number, got {env!r}"
+                ) from None
+    if timeout is not None and timeout <= 0:
+        return None
+    return timeout
+
+
+def resolve_retries(retries: int | None = None) -> int:
+    """Extra attempts per point: explicit > ``REPRO_POINT_RETRIES`` > 1."""
+    if retries is None:
+        env = os.environ.get("REPRO_POINT_RETRIES", "").strip()
+        if env:
+            try:
+                retries = int(env)
+            except ValueError:
+                raise WorkloadError(
+                    f"REPRO_POINT_RETRIES must be an integer, got {env!r}"
+                ) from None
+        else:
+            retries = DEFAULT_RETRIES
+    if retries < 0:
+        raise WorkloadError(f"retries must be >= 0, got {retries}")
+    return retries
+
+
+def resolve_backoff(backoff: float | None = None) -> float:
+    """Base retry backoff in seconds: explicit > ``REPRO_RETRY_BACKOFF``."""
+    if backoff is None:
+        env = os.environ.get("REPRO_RETRY_BACKOFF", "").strip()
+        if env:
+            try:
+                backoff = float(env)
+            except ValueError:
+                raise WorkloadError(
+                    f"REPRO_RETRY_BACKOFF must be a number, got {env!r}"
+                ) from None
+        else:
+            backoff = DEFAULT_BACKOFF_SECONDS
+    if backoff < 0:
+        raise WorkloadError(f"backoff must be >= 0, got {backoff}")
+    return backoff
+
+
 def _pool_context():
     """Prefer fork (workers inherit warm in-memory trace caches)."""
     methods = multiprocessing.get_all_start_methods()
@@ -52,55 +145,328 @@ def _pool_context():
 
 
 def _characterize_worker(task):
-    """Run one design point in a worker process (module-level: picklable)."""
+    """Run one design point in a worker process (module-level: picklable).
+
+    The worker re-points its process-wide cache at the parent's
+    directory explicitly (the perf-layer trace store persists through
+    the process-wide cache, not the engine's private one), then runs the
+    point on a process-wide-cache-backed engine so trace and result
+    counters both land in the returned telemetry.
+    """
     app, variant, config, cache_root = task
+    from repro.engine.cache import use_cache_dir
     from repro.engine.engine import Engine
 
-    engine = Engine(cache_dir=cache_root)
+    use_cache_dir(cache_root)
+    engine = Engine()
     result = engine.characterize(app, variant, config)
     return app, variant, config, result, engine.stats
+
+
+class _Task:
+    """One pending point's scheduling state."""
+
+    __slots__ = ("key", "point", "attempts")
+
+    def __init__(self, key, point):
+        self.key = key
+        self.point = point
+        self.attempts = 0
+
+
+def _point_failure(task: _Task, kind: str, error_type: str, message: str,
+                   tb: str):
+    from repro.engine.digest import SHORT_DIGEST, config_digest
+    from repro.engine.telemetry import PointFailure
+
+    app, variant, config = task.point
+    return PointFailure(
+        app=app,
+        variant=variant,
+        config_digest=config_digest(config)[:SHORT_DIGEST],
+        kind=kind,
+        error_type=error_type,
+        message=message,
+        traceback=tb,
+        attempts=task.attempts,
+    )
+
+
+def _shutdown_pool(pool, kill: bool = False) -> None:
+    """Tear a pool down; ``kill`` terminates workers (hung or broken)."""
+    if kill:
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:
+                pass
+    try:
+        pool.shutdown(wait=not kill, cancel_futures=True)
+    except Exception:
+        pass
+
+
+def _run_serial(engine, tasks, retries: int, backoff: float) -> dict:
+    """Run ``tasks`` in-process with bounded retries; returns failures."""
+    from repro.engine.telemetry import FAILURE_EXCEPTION
+
+    failures: dict = {}
+    for task in tasks:
+        while True:
+            task.attempts += 1
+            try:
+                app, variant, config = task.point
+                engine.characterize(app, variant, config)
+            except Exception as exc:
+                if task.attempts > retries:
+                    failures[task.key] = _point_failure(
+                        task, FAILURE_EXCEPTION, type(exc).__name__,
+                        str(exc), traceback_module.format_exc(),
+                    )
+                    break
+                time.sleep(backoff * (2 ** (task.attempts - 1)))
+            else:
+                break
+    return failures
+
+
+def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
+              retries: int, backoff: float, max_rebuilds: int) -> dict:
+    """Drain ``tasks`` through a self-healing process pool.
+
+    Returns a ``{key: PointFailure}`` map for the points that failed
+    after retries; every success is adopted into ``engine`` directly.
+    """
+    from repro.engine.telemetry import (
+        FAILURE_CRASH,
+        FAILURE_EXCEPTION,
+        FAILURE_TIMEOUT,
+    )
+
+    context = _pool_context()
+    cache_root = engine.cache.root
+    queue: deque = deque(tasks)
+    failures: dict = {}
+    #: Keys of the points that were in flight when a pool died. While
+    #: any remain, submission narrows to one point at a time so the next
+    #: crash is attributable to exactly one point.
+    suspects: set = set()
+    rebuilds = 0
+    pool = None
+    in_flight: dict = {}  # future -> (task, deadline)
+
+    def charge(task, kind, error_type, message, tb):
+        """Bill one attempt; requeue with backoff or record the failure."""
+        suspects.discard(task.key)
+        if task.attempts > retries:
+            failures[task.key] = _point_failure(
+                task, kind, error_type, message, tb
+            )
+        else:
+            if kind == FAILURE_CRASH:
+                # Still a crash suspect on its next (isolated) attempt.
+                suspects.add(task.key)
+            time.sleep(backoff * (2 ** (task.attempts - 1)))
+            queue.append(task)
+
+    def submit_ready():
+        if suspects:
+            # Surface suspects first, one at a time, so a repeat crash
+            # names its culprit exactly.
+            ordered = sorted(queue, key=lambda t: t.key not in suspects)
+            queue.clear()
+            queue.extend(ordered)
+        window = 1 if suspects else workers
+        while queue and len(in_flight) < window:
+            task = queue.popleft()
+            task.attempts += 1
+            try:
+                future = pool.submit(worker, (*task.point, cache_root))
+            except BrokenProcessPool:
+                # The pool died under a crash we have not drained yet:
+                # put the task back uncharged and let the caller rebuild.
+                task.attempts -= 1
+                queue.appendleft(task)
+                raise
+            deadline = (
+                time.monotonic() + timeout if timeout is not None else None
+            )
+            in_flight[future] = (task, deadline)
+
+    def abandon_pool(kill):
+        """Kill/shut the pool; requeue uncharged victims; count a rebuild."""
+        nonlocal pool, rebuilds
+        for future, (task, _) in list(in_flight.items()):
+            # The pool died around them, not because of them: refund the
+            # attempt, but isolate them while they drain.
+            task.attempts -= 1
+            suspects.add(task.key)
+            queue.append(task)
+        in_flight.clear()
+        _shutdown_pool(pool, kill=kill)
+        pool = None
+        rebuilds += 1
+        engine.stats.pool_rebuilds += 1
+
+    try:
+        while queue or in_flight:
+            if pool is None:
+                if rebuilds > max_rebuilds:
+                    # The pool keeps dying: finish the remainder serially.
+                    engine.stats.serial_fallbacks += 1
+                    remaining = list(queue)
+                    queue.clear()
+                    failures.update(
+                        _run_serial(engine, remaining, retries, backoff)
+                    )
+                    break
+                pool = ProcessPoolExecutor(
+                    max_workers=workers, mp_context=context
+                )
+            try:
+                submit_ready()
+            except BrokenProcessPool:
+                abandon_pool(kill=True)
+                continue
+            if not in_flight:
+                continue
+
+            wait_for = None
+            if timeout is not None:
+                now = time.monotonic()
+                nearest = min(
+                    deadline for _, deadline in in_flight.values()
+                )
+                wait_for = max(0.0, nearest - now)
+            done, _ = wait(
+                set(in_flight), timeout=wait_for,
+                return_when=FIRST_COMPLETED,
+            )
+
+            crashed: list = []
+            for future in done:
+                task, _ = in_flight.pop(future)
+                try:
+                    app, variant, config, result, stats = future.result()
+                except BrokenProcessPool as exc:
+                    crashed.append((task, exc))
+                except Exception as exc:
+                    # The worker raised but the pool survived: a plain
+                    # per-point failure, charged and bounded-retried.
+                    charge(
+                        task, FAILURE_EXCEPTION, type(exc).__name__,
+                        str(exc),
+                        "".join(traceback_module.format_exception(exc)),
+                    )
+                else:
+                    engine.adopt(app, variant, config, result, stats)
+                    suspects.discard(task.key)
+
+            if crashed:
+                if len(crashed) == 1 and not in_flight:
+                    # Exactly one point was in flight: the crash is its.
+                    task, exc = crashed[0]
+                    charge(
+                        task, FAILURE_CRASH, type(exc).__name__, str(exc),
+                        "",
+                    )
+                else:
+                    # Ambiguous: refund everyone, isolate, retry singly.
+                    for task, _ in crashed:
+                        task.attempts -= 1
+                        suspects.add(task.key)
+                        queue.append(task)
+                abandon_pool(kill=True)
+                continue
+
+            if timeout is not None and in_flight:
+                now = time.monotonic()
+                expired = [
+                    future
+                    for future, (_, deadline) in in_flight.items()
+                    if deadline <= now
+                ]
+                if expired:
+                    for future in expired:
+                        task, _ = in_flight.pop(future)
+                        charge(
+                            task, FAILURE_TIMEOUT, "TimeoutError",
+                            f"design point exceeded {timeout:g}s", "",
+                        )
+                    # A hung worker can only be reclaimed by killing the
+                    # pool; the survivors are requeued uncharged.
+                    abandon_pool(kill=True)
+    finally:
+        if pool is not None:
+            _shutdown_pool(pool)
+    return failures
 
 
 def fan_out(
     engine,
     points: list[tuple[str, str, CoreConfig]],
     jobs: int | None = None,
+    *,
+    on_error: str = ON_ERROR_RAISE,
+    timeout: float | None = None,
+    retries: int | None = None,
+    backoff: float | None = None,
+    max_rebuilds: int | None = None,
+    worker=None,
 ) -> list:
     """Characterize ``points`` with up to ``jobs`` workers.
 
     Returns results in input order. Points already memoised in
     ``engine`` are served from memory; the rest are deduplicated by
-    canonical key and dispatched once each.
+    canonical key and dispatched once each, with per-point deadlines,
+    bounded retries, and pool-rebuild recovery (module docstring).
+
+    Under ``on_error="keep_going"`` the failed points' slots hold
+    ``None``; under ``on_error="raise"`` a :class:`SweepError` names
+    them (successful points stay memoised either way).
     """
     from repro.engine.digest import point_key
 
+    if on_error not in (ON_ERROR_RAISE, ON_ERROR_KEEP_GOING):
+        raise WorkloadError(
+            f"on_error must be {ON_ERROR_RAISE!r} or "
+            f"{ON_ERROR_KEEP_GOING!r}, got {on_error!r}"
+        )
     jobs = resolve_jobs(jobs)
+    timeout = resolve_timeout(timeout)
+    retries = resolve_retries(retries)
+    backoff = resolve_backoff(backoff)
+    if max_rebuilds is None:
+        max_rebuilds = DEFAULT_MAX_REBUILDS
+    if worker is None:
+        worker = _characterize_worker
+
     engine.stats.jobs = max(engine.stats.jobs, jobs)
 
     keys = [point_key(app, variant, config) for app, variant, config in points]
-    pending: dict[tuple, tuple] = {}
-    for key, (app, variant, config) in zip(keys, points):
-        if key not in engine._memo and key not in pending:
-            pending[key] = (app, variant, config)
-
-    if pending:
-        if jobs == 1 or len(pending) == 1:
-            for app, variant, config in pending.values():
-                engine.characterize(app, variant, config)
+    pending: dict[tuple, _Task] = {}
+    for key, point in zip(keys, points):
+        if key in engine._memo or key in pending:
+            # Served from memory when the ordered output is assembled —
+            # a real memo hit, counted once per duplicate request.
+            engine.stats.memo_hits += 1
         else:
-            cache_root = engine.cache.root
-            tasks = [
-                (app, variant, config, cache_root)
-                for app, variant, config in pending.values()
-            ]
-            workers = min(jobs, len(tasks))
-            with ProcessPoolExecutor(
-                max_workers=workers, mp_context=_pool_context()
-            ) as pool:
-                for app, variant, config, result, stats in pool.map(
-                    _characterize_worker, tasks
-                ):
-                    engine.adopt(app, variant, config, result, stats)
+            pending[key] = _Task(key, point)
 
-    return [engine.characterize(app, variant, config)
-            for app, variant, config in points]
+    failures: dict = {}
+    if pending:
+        tasks = list(pending.values())
+        if jobs == 1 or len(tasks) == 1:
+            failures = _run_serial(engine, tasks, retries, backoff)
+        else:
+            failures = _run_pool(
+                engine, tasks, min(jobs, len(tasks)), worker,
+                timeout, retries, backoff, max_rebuilds,
+            )
+        for failure in failures.values():
+            engine.stats.record_failure(failure)
+        if failures and on_error == ON_ERROR_RAISE:
+            raise SweepError(failures.values())
+
+    return [engine._memo.get(key) for key in keys]

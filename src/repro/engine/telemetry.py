@@ -20,6 +20,37 @@ SOURCE_MEMO = "memo"
 SOURCE_DISK = "disk"
 SOURCE_SIMULATED = "simulated"
 
+#: How a point failed (``PointFailure.kind``).
+FAILURE_EXCEPTION = "exception"  # the worker raised
+FAILURE_CRASH = "crash"          # the worker process died (BrokenProcessPool)
+FAILURE_TIMEOUT = "timeout"      # the point exceeded its deadline
+
+
+@dataclass
+class PointFailure:
+    """One design point that failed after exhausting its retries."""
+
+    app: str
+    variant: str
+    config_digest: str  # short form
+    kind: str  # exception | crash | timeout
+    error_type: str
+    message: str
+    traceback: str
+    attempts: int
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "variant": self.variant,
+            "config": self.config_digest,
+            "kind": self.kind,
+            "error_type": self.error_type,
+            "message": self.message,
+            "traceback": self.traceback,
+            "attempts": self.attempts,
+        }
+
 
 @dataclass
 class PointRecord:
@@ -56,18 +87,27 @@ class EngineStats:
     """Aggregated engine telemetry (mergeable across worker processes)."""
 
     points: list[PointRecord] = field(default_factory=list)
+    failures: list[PointFailure] = field(default_factory=list)
     memo_hits: int = 0
     cache: CacheCounters = field(default_factory=CacheCounters)
     jobs: int = 1
+    pool_rebuilds: int = 0
+    serial_fallbacks: int = 0
 
     def record(self, point: PointRecord) -> None:
         self.points.append(point)
 
+    def record_failure(self, failure: PointFailure) -> None:
+        self.failures.append(failure)
+
     def merge(self, other: "EngineStats") -> None:
         """Fold a worker's telemetry into this one."""
         self.points.extend(other.points)
+        self.failures.extend(other.failures)
         self.memo_hits += other.memo_hits
         self.cache.merge(other.cache)
+        self.pool_rebuilds += other.pool_rebuilds
+        self.serial_fallbacks += other.serial_fallbacks
 
     @property
     def total_wall_seconds(self) -> float:
@@ -86,12 +126,18 @@ class EngineStats:
 
     def to_dict(self) -> dict:
         return {
-            "schema": 1,
+            "schema": 2,
             "jobs": self.jobs,
             "points": [point.to_dict() for point in self.points],
+            "failures": [failure.to_dict() for failure in self.failures],
             "cache": {**self.cache.to_dict(), "memo_hits": self.memo_hits},
+            "recovery": {
+                "pool_rebuilds": self.pool_rebuilds,
+                "serial_fallbacks": self.serial_fallbacks,
+            },
             "totals": {
                 "points": len(self.points),
+                "failures": len(self.failures),
                 "wall_seconds": self.total_wall_seconds,
                 "instructions": self.total_instructions,
                 "mips": self.aggregate_mips,
@@ -109,8 +155,8 @@ class EngineStats:
         """Human-readable telemetry report."""
         summary = Table(
             "Engine telemetry",
-            ["Points", "Simulated", "Disk hits", "Memo hits", "Wall (s)",
-             "Sim MIPS"],
+            ["Points", "Simulated", "Disk hits", "Memo hits", "Failures",
+             "Wall (s)", "Sim MIPS"],
         )
         simulated = sum(
             1 for point in self.points if point.source == SOURCE_SIMULATED
@@ -121,10 +167,26 @@ class EngineStats:
             simulated,
             disk,
             self.memo_hits,
+            len(self.failures),
             f"{self.total_wall_seconds:.2f}",
             f"{self.aggregate_mips:.2f}",
         )
         blocks = [summary.render()]
+        if self.failures:
+            failed = Table(
+                "Failed design points",
+                ["App", "Variant", "Config", "Kind", "Error", "Attempts"],
+            )
+            for failure in self.failures:
+                failed.add_row(
+                    failure.app,
+                    failure.variant,
+                    failure.config_digest,
+                    failure.kind,
+                    failure.error_type,
+                    failure.attempts,
+                )
+            blocks.append(failed.render())
         if per_point and self.points:
             table = Table(
                 "Per-point engine telemetry",

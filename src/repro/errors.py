@@ -50,3 +50,25 @@ class SimulationError(ReproError):
 
 class WorkloadError(ReproError):
     """A workload/characterization harness was misconfigured."""
+
+
+class SweepError(ReproError):
+    """One or more design points failed after exhausting their retries.
+
+    Raised by the engine's fan-out under the default ``on_error="raise"``
+    policy. ``failures`` holds one
+    :class:`repro.engine.telemetry.PointFailure` per failed point, so
+    callers can see exactly which points died and why; every point that
+    succeeded before the error is already memoised in the engine and is
+    served from memory on a rerun.
+    """
+
+    def __init__(self, failures) -> None:
+        self.failures = list(failures)
+        named = ", ".join(
+            f"{failure.app}:{failure.variant}" for failure in self.failures
+        )
+        super().__init__(
+            f"{len(self.failures)} design point(s) failed after retries: "
+            f"{named}"
+        )

@@ -32,8 +32,15 @@ def cache(tmp_path):
 
 @pytest.fixture()
 def fresh_engine(tmp_path, restore_globals):
-    """An engine on a private cache directory."""
-    return engine_module.Engine(cache_dir=tmp_path / "engine-cache")
+    """An engine on a private cache directory.
+
+    The process-wide cache is re-pointed at the same directory — an
+    ``Engine(cache_dir=...)`` no longer does that itself, and the
+    perf-layer trace store persists through the process-wide cache.
+    """
+    root = tmp_path / "engine-cache"
+    cache_module.use_cache_dir(root)
+    return engine_module.Engine(cache_dir=root)
 
 
 def events_equal(left: list[TraceEvent], right: list[TraceEvent]) -> bool:

@@ -1,0 +1,97 @@
+"""Deterministic fault injection for the scheduler's recovery paths.
+
+The harness wraps the real pool worker with a fault layer driven by a
+JSON plan on disk (pointed at by the ``REPRO_FAULT_PLAN`` environment
+variable, which forked/spawned workers inherit). A plan maps
+``"app:variant"`` to ``[mode, times]``:
+
+* ``mode`` — ``"raise"`` (worker raises :class:`InjectedFault`),
+  ``"exit"`` (worker hard-exits via ``os._exit``, breaking the pool),
+  or ``"hang"`` (worker sleeps until killed);
+* ``times`` — how many attempts fault before the point runs clean;
+  ``-1`` faults on every attempt.
+
+Attempt accounting is cross-process and deterministic: each faulting
+attempt claims a token file with ``O_CREAT | O_EXCL`` next to the plan,
+so retried points see exactly the configured number of faults no
+matter which worker process runs them.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.engine.scheduler import _characterize_worker
+
+ENV_PLAN = "REPRO_FAULT_PLAN"
+
+MODE_RAISE = "raise"
+MODE_EXIT = "exit"
+MODE_HANG = "hang"
+
+#: Always fault (never run clean).
+ALWAYS = -1
+
+#: How long a "hung" worker sleeps; far beyond any test timeout.
+_HANG_SECONDS = 600.0
+
+#: Exit status for hard-crashed workers (distinctive in pool stderr).
+_EXIT_STATUS = 17
+
+
+class InjectedFault(RuntimeError):
+    """The exception raised by ``raise``-mode faults."""
+
+
+def install_plan(plan_dir: Path, monkeypatch, faults: dict) -> Path:
+    """Write ``faults`` (``{"app:variant": (mode, times)}``) as the plan.
+
+    ``plan_dir`` must be a fresh directory (token files accumulate in
+    it); ``monkeypatch`` exports it so pool workers see the plan.
+    """
+    plan_dir.mkdir(parents=True, exist_ok=True)
+    payload = {key: list(spec) for key, spec in faults.items()}
+    (plan_dir / "plan.json").write_text(
+        json.dumps(payload), encoding="utf-8"
+    )
+    monkeypatch.setenv(ENV_PLAN, str(plan_dir))
+    return plan_dir
+
+
+def faulty_worker(task):
+    """Drop-in for the scheduler's worker that injects planned faults."""
+    app, variant, _config, _cache_root = task
+    plan_dir = Path(os.environ[ENV_PLAN])
+    plan = json.loads((plan_dir / "plan.json").read_text(encoding="utf-8"))
+    spec = plan.get(f"{app}:{variant}")
+    if spec is not None:
+        mode, times = spec
+        if _claim_attempt(plan_dir, f"{app}:{variant}", times):
+            if mode == MODE_RAISE:
+                raise InjectedFault(f"injected fault for {app}:{variant}")
+            if mode == MODE_EXIT:
+                os._exit(_EXIT_STATUS)
+            if mode == MODE_HANG:
+                time.sleep(_HANG_SECONDS)
+    return _characterize_worker(task)
+
+
+def _claim_attempt(plan_dir: Path, key: str, times: int) -> bool:
+    """Whether this attempt should fault (claims one token if bounded)."""
+    if times == ALWAYS:
+        return True
+    stem = key.replace(":", "_")
+    for index in range(times):
+        token = plan_dir / f"{stem}.{index}"
+        try:
+            descriptor = os.open(
+                token, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            continue
+        os.close(descriptor)
+        return True
+    return False

@@ -1,4 +1,6 @@
-"""Persistent cache: round-trips, digest invalidation, corruption safety."""
+"""Persistent cache: round-trips, invalidation, corruption, self-healing."""
+
+from pathlib import Path
 
 import pytest
 
@@ -94,6 +96,12 @@ class TestCorruption:
         assert cache.load_trace("hmmer", "baseline") is None
         assert not path.exists()
         assert cache.counters.evictions == 1
+        # The corrupt bytes were quarantined, not silently unlinked.
+        assert cache.counters.quarantined == 1
+        quarantined = list(cache.quarantine_root.rglob("*.trace"))
+        assert len(quarantined) == 1
+        assert quarantined[0].read_text(encoding="utf-8") == \
+            "not a trace\n???\n"
         # Regeneration path: the slot is writable again afterwards.
         cache.store_trace("hmmer", "baseline", events)
         reloaded = cache.load_trace("hmmer", "baseline")
@@ -194,3 +202,144 @@ class TestMaintenance:
         monkeypatch.setenv("REPRO_CACHE", "1")
         monkeypatch.setenv("REPRO_CACHE_DIR", "/tmp/somewhere")
         assert str(default_cache_dir()) == "/tmp/somewhere"
+
+    def test_stats_excludes_tmp_files(self, cache):
+        """Satellite fix: in-flight/orphaned ``.tmp-*`` scratch files are
+        not entries and must not count toward the footprint."""
+        cache.store_trace("fasta", "baseline", generate_trace(50, seed=9))
+        clean = cache.stats()
+        path = cache.trace_path("fasta", "baseline")
+        orphan = path.with_name(f".{path.name}.tmp-99999")
+        orphan.write_bytes(b"x" * 4096)
+        dirty = cache.stats()
+        assert dirty["trace_entries"] == clean["trace_entries"] == 1
+        assert dirty["total_bytes"] == clean["total_bytes"]
+
+    def test_clear_tolerates_vanished_paths(self, cache, monkeypatch):
+        """Satellite fix: a file deleted by a concurrent worker between
+        the walk and the unlink must be skipped, not raised."""
+        cache.store_result_payload(
+            "fasta", "baseline", config_digest(power5()), {"x": 1}
+        )
+        real_rglob = Path.rglob
+
+        def rglob_with_ghost(self, pattern):
+            listed = list(real_rglob(self, pattern))
+            return listed + [self / "ghost" / "vanished.json"]
+
+        monkeypatch.setattr(Path, "rglob", rglob_with_ghost)
+        assert cache.clear() == 1
+
+    def test_clear_tolerates_concurrent_writes(self, cache, monkeypatch):
+        """A file appearing mid-walk leaves its directory non-empty;
+        ``clear()`` skips the ``rmdir`` instead of raising."""
+        digest = config_digest(power5())
+        cache.store_result_payload("fasta", "baseline", digest, {"x": 1})
+        late = cache.result_path("fasta", "baseline", digest).with_name(
+            "late-arrival.json"
+        )
+        late.write_text("{}", encoding="utf-8")
+        real_rglob = Path.rglob
+
+        def rglob_missing_late(self, pattern):
+            return [p for p in real_rglob(self, pattern) if p != late]
+
+        monkeypatch.setattr(Path, "rglob", rglob_missing_late)
+        removed = cache.clear()
+        assert removed == 1
+        assert late.exists()
+
+
+class TestSelfHealing:
+    def test_gc_removes_orphaned_tmp_files(self, cache):
+        events = generate_trace(40, seed=17)
+        cache.store_trace("blast", "baseline", events)
+        trace_path = cache.trace_path("blast", "baseline")
+        orphans = [
+            trace_path.with_name(f".{trace_path.name}.tmp-12345"),
+            cache.version_root / ".stray.json.tmp-777",
+        ]
+        for orphan in orphans:
+            orphan.write_bytes(b"partial write")
+        report = cache.gc()
+        assert report["tmp_removed"] == 2
+        assert report["quarantined"] == 0
+        assert not any(orphan.exists() for orphan in orphans)
+        # The valid entry was untouched and still loads.
+        loaded = cache.load_trace("blast", "baseline")
+        assert loaded is not None and events_equal(loaded, events)
+
+    def test_gc_respects_tmp_max_age(self, cache):
+        cache.store_trace("blast", "baseline", generate_trace(30, seed=2))
+        path = cache.trace_path("blast", "baseline")
+        orphan = path.with_name(f".{path.name}.tmp-4242")
+        orphan.write_bytes(b"fresh")
+        report = cache.gc(tmp_max_age_seconds=3600.0)
+        assert report["tmp_removed"] == 0
+        assert orphan.exists()
+
+    def test_gc_quarantines_corrupt_entries_only(self, cache):
+        """Acceptance: gc quarantines planted corruption and leaves
+        every valid entry (and its bytes) alone."""
+        good = generate_trace(80, seed=23)
+        cache.store_trace("fasta", "baseline", good)
+        cache.store_trace("hmmer", "baseline", generate_trace(60, seed=5))
+        digest = config_digest(power5())
+        cache.store_result_payload("fasta", "baseline", digest, {"x": 1})
+        bad_trace = cache.trace_path("hmmer", "baseline")
+        bad_trace.write_bytes(b"\x00corrupt")
+        report = cache.gc()
+        assert report["scanned"] == 3
+        assert report["quarantined"] == 1
+        assert cache.counters.quarantined == 1
+        assert not bad_trace.exists()
+        moved = list(cache.quarantine_root.rglob("*.trace"))
+        assert len(moved) == 1
+        assert moved[0].read_bytes() == b"\x00corrupt"
+        # Valid entries untouched.
+        loaded = cache.load_trace("fasta", "baseline")
+        assert loaded is not None and events_equal(loaded, good)
+        assert cache.load_result_payload("fasta", "baseline", digest) == {
+            "x": 1
+        }
+        assert cache.stats()["quarantine_entries"] == 1
+
+    def test_gc_quarantines_corrupt_result_json(self, cache):
+        digest = config_digest(power5())
+        cache.store_result_payload("blast", "baseline", digest, {"a": 1})
+        path = cache.result_path("blast", "baseline", digest)
+        path.write_text("[not, an, object", encoding="utf-8")
+        report = cache.gc()
+        assert report["quarantined"] == 1
+        assert not path.exists()
+
+    def test_gc_skips_the_quarantine_itself(self, cache):
+        cache.store_trace("blast", "baseline", generate_trace(20, seed=3))
+        path = cache.trace_path("blast", "baseline")
+        path.write_bytes(b"junk")
+        assert cache.gc()["quarantined"] == 1
+        # A second sweep must not rescan (or double-quarantine) the
+        # already-quarantined bytes.
+        second = cache.gc()
+        assert second["quarantined"] == 0
+        assert cache.stats()["quarantine_entries"] == 1
+
+    def test_gc_disabled_cache_is_a_noop(self):
+        disabled = PersistentCache(None)
+        assert disabled.gc() == {
+            "tmp_removed": 0, "scanned": 0, "quarantined": 0
+        }
+
+    def test_quarantine_names_collide_without_clobbering(self, cache):
+        """Two corrupt generations of one entry keep distinct evidence."""
+        path = cache.trace_path("fasta", "baseline")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"first corruption")
+        assert cache.load_trace("fasta", "baseline") is None
+        path.write_bytes(b"second corruption")
+        assert cache.load_trace("fasta", "baseline") is None
+        kept = sorted(
+            p.read_bytes() for p in cache.quarantine_root.rglob("*")
+            if p.is_file()
+        )
+        assert kept == [b"first corruption", b"second corruption"]

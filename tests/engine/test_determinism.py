@@ -6,6 +6,7 @@ run really simulates in the pool, and asserts the rendered tables and
 the raw data dictionaries are identical.
 """
 
+from repro.engine import cache as cache_module
 from repro.engine import engine as engine_module
 from repro.engine.engine import Engine
 from repro.engine.telemetry import SOURCE_SIMULATED
@@ -15,6 +16,7 @@ from repro.experiments.common import prefetch_points
 
 def _run_table1(jobs: int):
     """Table I through a fresh engine with persistence off."""
+    cache_module.use_cache_dir(None)
     engine = Engine(cache_dir=None)
     engine_module._default_engine = engine
     prefetch_points(table1.points(), jobs=jobs)
@@ -41,11 +43,28 @@ class TestParallelDeterminism:
         assert serial_engine.stats.jobs == 1
 
     def test_duplicate_points_simulated_once(self, restore_globals):
+        cache_module.use_cache_dir(None)
         engine = Engine(cache_dir=None)
         points = table1.points()[:1] * 3
         results = engine.characterize_many(points, jobs=2)
         assert len(results) == 3
         assert results[0] is results[1] is results[2]
-        # One simulation, two memo hits when collecting ordered output.
+        # One simulation; the two duplicate requests are memo hits —
+        # and nothing else is (no synthetic hit per requested point).
         assert len(engine.stats.points) == 1
-        assert engine.stats.memo_hits >= 2
+        assert engine.stats.memo_hits == 2
+
+    def test_fanout_of_unique_points_records_no_memo_hits(
+        self, restore_globals
+    ):
+        """Satellite fix: the ordered return is served straight from the
+        memo — it must not book one synthetic hit per requested point."""
+        cache_module.use_cache_dir(None)
+        engine = Engine(cache_dir=None)
+        points = table1.points()
+        results = engine.characterize_many(points, jobs=2)
+        assert [result.app for result in results] == [
+            app for app, _variant, _config in points
+        ]
+        assert engine.stats.memo_hits == 0
+        assert len(engine.stats.points) == len(points)

@@ -91,6 +91,29 @@ class TestPersistence:
         clear_trace_caches()
 
 
+class TestCacheOwnership:
+    def test_private_engine_does_not_repoint_global_cache(
+        self, tmp_path, restore_globals
+    ):
+        """Satellite fix: ``Engine(cache_dir=...)`` owns a private store;
+        only ``use_cache_dir`` (CLI / workers) moves the global one, so
+        an earlier engine's live counters can never be orphaned."""
+        from repro.engine.cache import active_cache, use_cache_dir
+
+        shared = use_cache_dir(tmp_path / "global")
+        first = Engine()
+        assert first.cache is shared
+
+        second = Engine(cache_dir=tmp_path / "private")
+        assert active_cache() is shared  # untouched by the constructor
+        assert second.cache is not shared
+        assert first.cache is shared
+        # The first engine's telemetry still reports the live global
+        # counters, not an orphaned snapshot.
+        assert first.stats.cache is shared.counters
+        assert second.stats.cache is second.cache.counters
+
+
 class TestTelemetry:
     def test_point_record_mips(self):
         record = PointRecord(

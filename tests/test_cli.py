@@ -151,3 +151,44 @@ class TestAsm:
         assert main(["asm", "fasta"]) == 0
         out = capsys.readouterr().out
         assert "bt cr0" in out or "bf cr0" in out
+
+
+class TestCacheCommand:
+    @pytest.fixture(autouse=True)
+    def _restore_global_cache(self):
+        from repro.engine import cache as cache_module
+
+        original = cache_module._active_cache
+        yield
+        cache_module._active_cache = original
+
+    def test_gc_sweeps_tmp_and_quarantines(self, tmp_path, capsys):
+        from repro.engine.cache import PersistentCache
+        from repro.engine.digest import config_digest
+        from repro.uarch.config import power5
+
+        root = tmp_path / "cache"
+        seeded = PersistentCache(root)
+        digest = config_digest(power5())
+        seeded.store_result_payload("fasta", "baseline", digest, {"x": 1})
+        good = seeded.result_path("fasta", "baseline", digest)
+        orphan = good.with_name(f".{good.name}.tmp-31337")
+        orphan.write_bytes(b"partial")
+        corrupt = good.with_name("corrupt.json")
+        corrupt.write_text("{ nope", encoding="utf-8")
+
+        assert main(["cache", "gc", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert "removed 1 orphaned tmp file" in out
+        assert "quarantined 1 corrupt entry" in out
+        assert not orphan.exists()
+        assert not corrupt.exists()
+        assert good.exists()
+
+    def test_stats_reports_quarantine(self, tmp_path, capsys):
+        assert main(
+            ["cache", "stats", "--cache-dir", str(tmp_path / "cache")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "quarantined entries" in out
+        assert "trace entries" in out
