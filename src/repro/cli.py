@@ -16,6 +16,8 @@ asm        print a kernel's mini-ISA assembly per variant
 trace      dump a kernel trace / re-simulate a saved one
 experiments reproduce the paper's tables/figures (engine-backed)
 cache      inspect / clear / gc the persistent simulation cache
+runs       list / prune the durable sweep run journals
+resume     continue an interrupted journaled sweep
 ========== ====================================================
 """
 
@@ -32,7 +34,7 @@ from repro.bio.msa import clustalw
 from repro.bio.pairwise import needleman_wunsch, smith_waterman
 from repro.bio.phylo import phylip
 from repro.bio.scoring import BLOSUM62, PAM250, GapPenalties, default_matrix
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
 from repro.perf.characterize import VARIANTS
 from repro.perf.report import Table, percent
 from repro.uarch.config import power5
@@ -247,6 +249,112 @@ def cmd_cache(args) -> int:
     return 0
 
 
+def _age_label(seconds: float) -> str:
+    """Compact human age: ``42s``, ``7m``, ``3.2h``, ``5.1d``."""
+    if seconds < 60:
+        return f"{seconds:.0f}s"
+    if seconds < 3600:
+        return f"{seconds / 60:.0f}m"
+    if seconds < 86400:
+        return f"{seconds / 3600:.1f}h"
+    return f"{seconds / 86400:.1f}d"
+
+
+def cmd_runs(args) -> int:
+    from repro.engine import journal
+    from repro.engine.cache import active_cache, use_cache_dir
+
+    if args.cache_dir is not None:
+        use_cache_dir(args.cache_dir)
+    cache = active_cache()
+    if not cache.enabled:
+        raise ReproError(
+            "run journals live in the persistent cache "
+            "(REPRO_CACHE=off disables them)"
+        )
+    if args.action == "prune":
+        removed = journal.prune_runs(
+            cache.root,
+            max_age_seconds=args.max_age,
+            include_resumable=args.include_resumable,
+        )
+        print(
+            f"# pruned {removed} journal(s) from "
+            f"{journal.runs_root(cache.root)}"
+        )
+        return 0
+    states = journal.list_runs(cache.root)
+    if args.porcelain:
+        # One run per line, tab-separated, stable field order — for CI
+        # scripts (the interrupt-resume smoke job greps this).
+        for state in states:
+            print("\t".join([
+                state.run_id,
+                state.status,
+                str(len(state.done)),
+                str(len(state.failed)),
+                str(len(state.unique_keys)),
+                f"{state.age_seconds():.0f}",
+            ]))
+        return 0
+    if not states:
+        print(f"# no run journals under {journal.runs_root(cache.root)}")
+        return 0
+    table = Table(
+        f"Run journals ({journal.runs_root(cache.root)})",
+        ["Run", "Status", "Done", "Failed", "Points", "Age"],
+    )
+    for state in states:
+        table.add_row(
+            state.run_id,
+            state.status,
+            len(state.done),
+            len(state.failed),
+            len(state.unique_keys),
+            _age_label(state.age_seconds()),
+        )
+    print(table.render())
+    print(
+        "\n# resume an interrupted run with: repro resume <run>; "
+        "'corrupt' journals cannot be resumed"
+    )
+    return 0
+
+
+def cmd_resume(args) -> int:
+    from repro.engine.cache import use_cache_dir
+    from repro.engine.engine import Engine
+
+    if args.cache_dir is not None:
+        use_cache_dir(args.cache_dir)
+    # A fresh engine bound to the *currently* active cache: the shared
+    # default engine may have been constructed against another cache
+    # directory earlier in this process.
+    engine = Engine()
+    outcome = engine.resume(
+        args.run_id,
+        jobs=args.jobs,
+        on_error="keep_going" if args.keep_going else "raise",
+    )
+    print(
+        f"# run {outcome.run_id}: {outcome.unique_points} unique points "
+        f"({outcome.total_points} requested), {outcome.replayed} replayed "
+        f"from the journal, {outcome.submitted} re-submitted"
+    )
+    if outcome.source_changed:
+        print(
+            "# note: simulation sources changed since the journal was "
+            "written; every point was re-run"
+        )
+    failed = sum(1 for result in outcome.results if result is None)
+    if failed:
+        print(f"# {failed} point(s) still failing")
+    if not args.no_telemetry:
+        print()
+        print(engine.stats.render())
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -344,6 +452,44 @@ def build_parser() -> argparse.ArgumentParser:
                               ".tmp-* file is removed (default: 0, "
                               "remove all)")
     p_cache.set_defaults(func=cmd_cache)
+
+    p_runs = sub.add_parser(
+        "runs",
+        help="list / prune the durable sweep run journals",
+    )
+    p_runs.add_argument("action", nargs="?", choices=["list", "prune"],
+                        default="list")
+    p_runs.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory (default: REPRO_CACHE_DIR "
+                             "or ~/.cache/repro-power5)")
+    p_runs.add_argument("--max-age", type=float, default=0.0,
+                        metavar="SECONDS",
+                        help="prune only: minimum journal age before "
+                             "removal (default: 0, remove all eligible)")
+    p_runs.add_argument("--include-resumable", action="store_true",
+                        help="prune only: also remove interrupted "
+                             "(resumable) journals")
+    p_runs.add_argument("--porcelain", action="store_true",
+                        help="tab-separated machine-readable listing: "
+                             "run, status, done, failed, points, age")
+    p_runs.set_defaults(func=cmd_runs)
+
+    p_resume = sub.add_parser(
+        "resume",
+        help="continue an interrupted journaled sweep",
+    )
+    p_resume.add_argument("run_id", help="run id from 'repro runs'")
+    p_resume.add_argument("--jobs", "-j", type=int, default=None,
+                          metavar="N",
+                          help="worker processes for the remainder")
+    p_resume.add_argument("--cache-dir", default=None, metavar="DIR",
+                          help="cache directory holding the journal")
+    p_resume.add_argument("--keep-going", action="store_true",
+                          help="finish the sweep even if points keep "
+                               "failing (partial results)")
+    p_resume.add_argument("--no-telemetry", action="store_true",
+                          help="suppress the engine telemetry table")
+    p_resume.set_defaults(func=cmd_resume)
     return parser
 
 
@@ -352,6 +498,11 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except SweepInterrupted as error:
+        # Distinct status so wrappers can tell "crashed" from "stopped
+        # but resumable" (the message names the resume command).
+        print(f"interrupted: {error}", file=sys.stderr)
+        return SweepInterrupted.EXIT_STATUS
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

@@ -20,6 +20,11 @@ Layers, bottom to top:
 ``telemetry``
     Per-point wall time, cache hit/miss counters and simulated-MIPS,
     renderable as a table or a machine-readable JSON summary.
+``journal``
+    Durable run journal: every journaled ``fan_out`` appends fsync'd
+    JSONL records under ``<cache_dir>/runs/``, torn-tail tolerant on
+    read, so an interrupted sweep is resumable (``repro resume``) with
+    byte-identical merged results. See ``docs/resume.md``.
 ``scheduler``
     Fault-tolerant process-pool fan-out of design points (``--jobs N``
     / ``REPRO_JOBS``), with in-flight deduplication, per-point
@@ -38,10 +43,11 @@ from repro.engine.digest import (
     config_digest,
     sim_source_digest,
 )
-from repro.engine.engine import Engine, default_engine
+from repro.engine.engine import Engine, ResumeOutcome, default_engine
+from repro.engine.journal import RunJournal, list_runs, load_run, prune_runs
 from repro.engine.scheduler import resolve_jobs
 from repro.engine.telemetry import EngineStats, PointFailure, PointRecord
-from repro.errors import SweepError
+from repro.errors import SweepError, SweepInterrupted
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -50,10 +56,16 @@ __all__ = [
     "PersistentCache",
     "PointFailure",
     "PointRecord",
+    "ResumeOutcome",
+    "RunJournal",
     "SweepError",
+    "SweepInterrupted",
     "active_cache",
     "config_digest",
     "default_engine",
+    "list_runs",
+    "load_run",
+    "prune_runs",
     "resolve_jobs",
     "sim_source_digest",
     "use_cache_dir",

@@ -89,3 +89,20 @@ def sim_source_digest() -> str:
 def point_key(app: str, variant: str, config: CoreConfig) -> tuple[str, str, str]:
     """The canonical memo key for one design point."""
     return (app, variant, config_digest(config))
+
+
+def result_payload_digest(payload: dict) -> str:
+    """Digest of a serialized result payload (journal re-verification).
+
+    Computed over the same canonical JSON form the persistent cache
+    stores, so "the cached entry still matches what the journal saw"
+    is an exact byte-level statement.
+    """
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def sweep_digest(keys: list[tuple[str, str, str]]) -> str:
+    """Digest identifying one sweep's full ordered point-key list."""
+    payload = json.dumps(list(keys), sort_keys=False, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()

@@ -24,17 +24,25 @@ directory.
 from __future__ import annotations
 
 import time
+from dataclasses import dataclass, field
 
 from repro.engine import serialize
 from repro.engine.cache import PersistentCache, active_cache
-from repro.engine.digest import SHORT_DIGEST, config_digest
+from repro.engine.digest import (
+    SHORT_DIGEST,
+    config_digest,
+    result_payload_digest,
+    sim_source_digest,
+)
 from repro.engine.scheduler import fan_out
 from repro.engine.telemetry import (
     SOURCE_DISK,
+    SOURCE_JOURNAL,
     SOURCE_SIMULATED,
     EngineStats,
     PointRecord,
 )
+from repro.errors import WorkloadError
 from repro.perf.characterize import AppCharacterisation, characterize
 from repro.uarch.config import CoreConfig, power5
 
@@ -123,6 +131,8 @@ class Engine:
         timeout: float | None = None,
         retries: int | None = None,
         backoff: float | None = None,
+        journal: bool = True,
+        run_id: str | None = None,
     ) -> list[AppCharacterisation | None]:
         """Characterize a batch of points, in order, with fan-out.
 
@@ -134,11 +144,129 @@ class Engine:
         post-retry failures into a :class:`repro.errors.SweepError`,
         ``"keep_going"`` returns partial results with ``None`` in the
         failed points' slots.
+
+        Durability: with ``journal=True`` (default) and persistence on,
+        the sweep writes a crash-safe run journal and SIGINT/SIGTERM
+        convert to :class:`repro.errors.SweepInterrupted`; an
+        interrupted sweep continues via :meth:`resume`.
         """
         return fan_out(
             self, points, jobs if jobs is not None else self.jobs,
             on_error=on_error, timeout=timeout, retries=retries,
-            backoff=backoff,
+            backoff=backoff, journal=journal, run_id=run_id,
+        )
+
+    def resume(
+        self,
+        run_id: str,
+        jobs: int | None = None,
+        *,
+        on_error: str = "raise",
+        timeout: float | None = None,
+        retries: int | None = None,
+        backoff: float | None = None,
+        worker=None,
+    ) -> "ResumeOutcome":
+        """Continue an interrupted (or failed) journaled sweep.
+
+        Reads ``runs/<run_id>.jsonl`` from this engine's cache
+        directory, **re-verifies** every point the journal records as
+        done — the persisted result must exist and its canonical
+        payload digest must equal the digest journaled at completion
+        time — and replays the verified points into the memo. Only the
+        remainder (never-completed, failed, or verification-rejected
+        points) flows through the fault-tolerant scheduler, appending
+        to the same journal. The returned ordered results are therefore
+        byte-identical to an uninterrupted run of the same sweep.
+
+        A cached entry whose digest no longer matches the journal is
+        quarantined and re-simulated. If the simulation sources changed
+        since the journal was written, nothing is replayed (the cache
+        is re-addressed by the new source digest) and the whole sweep
+        re-runs — correct, just no longer warm.
+
+        ``worker`` is an instrumentation hook (tests count worker
+        invocations with it); production callers leave it ``None``.
+        """
+        from repro.engine import journal as journal_module
+
+        if not self.cache.enabled:
+            raise WorkloadError(
+                "resume requires an enabled persistent cache "
+                "(REPRO_CACHE=off disables journals too)"
+            )
+        state = journal_module.load_run(self.cache.root, run_id)
+        if state.corrupt is not None:
+            raise WorkloadError(
+                f"journal for run {run_id!r} is corrupt "
+                f"({state.corrupt}); refusing to resume from damaged "
+                f"state"
+            )
+        if not state.points:
+            raise WorkloadError(
+                f"journal for run {run_id!r} has no run_start header; "
+                "nothing to resume"
+            )
+        points = state.reconstruct_points()
+        unique_keys = state.unique_keys
+        source_changed = state.source_digest != sim_source_digest()
+        replayed = 0
+        if source_changed:
+            self.stats.note(
+                "simulation sources changed since the journal was "
+                "written; replay skipped, all points re-run"
+            )
+        else:
+            for key, recorded_digest in state.done.items():
+                if key not in set(unique_keys):
+                    # A record for a point outside the header's sweep:
+                    # ignore it rather than trusting a mismatched key.
+                    continue
+                if key in self._memo:
+                    replayed += 1
+                    continue
+                app, variant, digest = key
+                started = time.perf_counter()
+                payload = self.cache.load_result_payload(
+                    app, variant, digest
+                )
+                if payload is None:
+                    continue
+                if result_payload_digest(payload) != recorded_digest:
+                    # The cache diverged from what the journal saw:
+                    # quarantine the entry and re-simulate the point.
+                    self.cache.evict_result(app, variant, digest)
+                    continue
+                try:
+                    result = serialize.characterisation_from_dict(payload)
+                except (KeyError, TypeError, ValueError):
+                    self.cache.evict_result(app, variant, digest)
+                    continue
+                self._memo[key] = result
+                self.stats.record(PointRecord(
+                    app=app,
+                    variant=variant,
+                    config_digest=digest[:SHORT_DIGEST],
+                    wall_seconds=time.perf_counter() - started,
+                    instructions=result.merged.instructions,
+                    source=SOURCE_JOURNAL,
+                ))
+                replayed += 1
+
+        journal = journal_module.RunJournal.reopen(self.cache.root, run_id)
+        results = fan_out(
+            self, points, jobs if jobs is not None else self.jobs,
+            on_error=on_error, timeout=timeout, retries=retries,
+            backoff=backoff, worker=worker, journal=journal,
+        )
+        return ResumeOutcome(
+            run_id=run_id,
+            results=results,
+            total_points=len(points),
+            unique_points=len(unique_keys),
+            replayed=replayed,
+            submitted=len(unique_keys) - replayed,
+            source_changed=source_changed,
         )
 
     def prefetch(
@@ -169,6 +297,22 @@ class Engine:
         if stats is not None:
             self.stats.merge(stats)
 
+    def memoised_results(self) -> list[AppCharacterisation]:
+        """Every characterisation this engine currently holds in memory.
+
+        The validation gate (:mod:`repro.validate`) checks these after
+        a sweep; insertion order follows completion order.
+        """
+        return list(self._memo.values())
+
+    def memoised_points(self) -> dict:
+        """Memo snapshot keyed ``(app, variant, config_digest)``.
+
+        The validation gate needs the configuration digest to decide
+        which calibrated bands apply to a point.
+        """
+        return dict(self._memo)
+
     # -- maintenance -------------------------------------------------------
 
     def clear(self, persistent: bool = False) -> int:
@@ -183,6 +327,22 @@ class Engine:
         stats = self.cache.stats()
         stats["memo_entries"] = len(self._memo)
         return stats
+
+
+@dataclass
+class ResumeOutcome:
+    """What :meth:`Engine.resume` did, for reporting."""
+
+    run_id: str
+    results: list = field(repr=False)
+    total_points: int = 0
+    unique_points: int = 0
+    #: Journaled points replayed after digest re-verification.
+    replayed: int = 0
+    #: Points that went back through the scheduler (some may still be
+    #: served from the persistent cache rather than re-simulated).
+    submitted: int = 0
+    source_changed: bool = False
 
 
 _default_engine: Engine | None = None

@@ -44,13 +44,15 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
+import threading
 import time
 import traceback as traceback_module
 from collections import deque
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 
-from repro.errors import SweepError, WorkloadError
+from repro.errors import SweepError, SweepInterrupted, WorkloadError
 from repro.uarch.config import CoreConfig
 
 #: Error policies for :func:`fan_out`.
@@ -61,6 +63,18 @@ ON_ERROR_KEEP_GOING = "keep_going"
 DEFAULT_RETRIES = 1
 DEFAULT_BACKOFF_SECONDS = 0.05
 DEFAULT_MAX_REBUILDS = 3
+
+#: How often the pool loop wakes to check for a delivered SIGINT/SIGTERM
+#: when graceful-interrupt handlers are installed (a signal interrupts
+#: ``wait`` but cannot make it return early, so the loop polls).
+_INTERRUPT_POLL_SECONDS = 0.25
+
+#: Telemetry/SweepError caveat for the in-process execution path.
+SERIAL_TIMEOUT_NOTE = (
+    "serial path (jobs=1 or a single pending point): per-point timeouts "
+    "are not enforced, so a hang is the design point itself, not a "
+    "scheduler fault; use jobs >= 2 to enforce deadlines"
+)
 
 
 def resolve_jobs(jobs: int | None = None) -> int:
@@ -144,6 +158,22 @@ def _pool_context():
     )
 
 
+def _worker_init(graceful_parent: bool) -> None:
+    """Reset signal disposition in pool workers.
+
+    Forked workers inherit whatever handlers the parent had at fork
+    time — including :class:`_InterruptWatch`'s graceful SIGTERM
+    handler, which merely sets a flag and would make workers immune to
+    ``Process.terminate()``. Workers must always die on SIGTERM (that
+    is how hung or orphaned workers are reclaimed). Under a graceful
+    parent they additionally ignore SIGINT: a terminal Ctrl-C goes to
+    the whole process group, and the *parent* decides how to stop.
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    if graceful_parent:
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def _characterize_worker(task):
     """Run one design point in a worker process (module-level: picklable).
 
@@ -174,6 +204,64 @@ class _Task:
         self.attempts = 0
 
 
+class _Interrupted(Exception):
+    """Internal: a graceful-stop signal arrived mid-sweep."""
+
+    def __init__(self, signal_name: str) -> None:
+        self.signal_name = signal_name
+        super().__init__(signal_name)
+
+
+class _InterruptWatch:
+    """Deferred SIGINT/SIGTERM: first signal requests a graceful stop.
+
+    Installed only while a journaled sweep runs in the main thread. The
+    first signal sets a flag the scheduler loops poll — the journal is
+    already flushed record-by-record, so stopping between completions
+    loses only the in-flight window. A second SIGINT falls through to
+    :class:`KeyboardInterrupt` so a stuck sweep can still be killed.
+    """
+
+    def __init__(self) -> None:
+        self.signal_name: str | None = None
+        self.installed = False
+        self._previous: dict[int, object] = {}
+
+    @property
+    def triggered(self) -> bool:
+        return self.signal_name is not None
+
+    def _handle(self, signum, frame) -> None:
+        if self.signal_name is not None and signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        self.signal_name = signal.Signals(signum).name
+
+    def __enter__(self) -> "_InterruptWatch":
+        if threading.current_thread() is threading.main_thread():
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                try:
+                    self._previous[signum] = signal.signal(
+                        signum, self._handle
+                    )
+                except (ValueError, OSError):  # pragma: no cover
+                    continue
+            self.installed = bool(self._previous)
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        for signum, previous in self._previous.items():
+            try:
+                signal.signal(signum, previous)
+            except (ValueError, OSError):  # pragma: no cover
+                continue
+        self._previous.clear()
+        self.installed = False
+
+    def check(self) -> None:
+        if self.signal_name is not None:
+            raise _Interrupted(self.signal_name)
+
+
 def _point_failure(task: _Task, kind: str, error_type: str, message: str,
                    tb: str):
     from repro.engine.digest import SHORT_DIGEST, config_digest
@@ -193,12 +281,26 @@ def _point_failure(task: _Task, kind: str, error_type: str, message: str,
 
 
 def _shutdown_pool(pool, kill: bool = False) -> None:
-    """Tear a pool down; ``kill`` terminates workers (hung or broken)."""
+    """Tear a pool down; ``kill`` terminates workers (hung or broken).
+
+    Termination escalates to SIGKILL for workers that survive SIGTERM —
+    otherwise interpreter exit would block forever joining the
+    executor's management thread while a hung worker sleeps on.
+    """
     if kill:
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
+        processes = list(
+            (getattr(pool, "_processes", None) or {}).values()
+        )
+        for process in processes:
             try:
                 process.terminate()
+            except Exception:
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=5.0)
+                if process.is_alive():
+                    process.kill()
             except Exception:
                 pass
     try:
@@ -207,36 +309,72 @@ def _shutdown_pool(pool, kill: bool = False) -> None:
         pass
 
 
-def _run_serial(engine, tasks, retries: int, backoff: float) -> dict:
-    """Run ``tasks`` in-process with bounded retries; returns failures."""
+def _result_digest(result) -> str:
+    """Digest of a point's canonical result payload (for the journal)."""
+    from repro.engine import serialize
+    from repro.engine.digest import result_payload_digest
+
+    return result_payload_digest(serialize.characterisation_to_dict(result))
+
+
+def _journal_done(journal, key, result) -> None:
+    if journal is not None:
+        journal.record_point_done(key, _result_digest(result))
+
+
+def _journal_failed(journal, key, failure) -> None:
+    if journal is not None:
+        journal.record_point_failed(
+            key, failure.kind, failure.error_type, failure.message
+        )
+
+
+def _run_serial(engine, tasks, retries: int, backoff: float,
+                journal=None, watch=None) -> dict:
+    """Run ``tasks`` in-process with bounded retries; returns failures.
+
+    Per-point deadlines are **not** enforced here (there is no worker
+    process to kill): see :data:`SERIAL_TIMEOUT_NOTE`. A graceful-stop
+    signal is honoured between points — an in-flight point runs to
+    completion first.
+    """
     from repro.engine.telemetry import FAILURE_EXCEPTION
 
     failures: dict = {}
     for task in tasks:
+        if watch is not None:
+            watch.check()
         while True:
             task.attempts += 1
             try:
                 app, variant, config = task.point
-                engine.characterize(app, variant, config)
+                result = engine.characterize(app, variant, config)
             except Exception as exc:
                 if task.attempts > retries:
-                    failures[task.key] = _point_failure(
+                    failure = _point_failure(
                         task, FAILURE_EXCEPTION, type(exc).__name__,
                         str(exc), traceback_module.format_exc(),
                     )
+                    failures[task.key] = failure
+                    _journal_failed(journal, task.key, failure)
                     break
                 time.sleep(backoff * (2 ** (task.attempts - 1)))
             else:
+                _journal_done(journal, task.key, result)
                 break
     return failures
 
 
 def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
-              retries: int, backoff: float, max_rebuilds: int) -> dict:
+              retries: int, backoff: float, max_rebuilds: int,
+              journal=None, watch=None) -> dict:
     """Drain ``tasks`` through a self-healing process pool.
 
     Returns a ``{key: PointFailure}`` map for the points that failed
-    after retries; every success is adopted into ``engine`` directly.
+    after retries; every success is adopted into ``engine`` directly
+    (and journaled, when a journal is attached). A graceful-stop signal
+    kills the pool immediately — every already-journaled completion is
+    durable, so only the in-flight window is lost.
     """
     from repro.engine.telemetry import (
         FAILURE_CRASH,
@@ -260,9 +398,9 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
         """Bill one attempt; requeue with backoff or record the failure."""
         suspects.discard(task.key)
         if task.attempts > retries:
-            failures[task.key] = _point_failure(
-                task, kind, error_type, message, tb
-            )
+            failure = _point_failure(task, kind, error_type, message, tb)
+            failures[task.key] = failure
+            _journal_failed(journal, task.key, failure)
         else:
             if kind == FAILURE_CRASH:
                 # Still a crash suspect on its next (isolated) attempt.
@@ -311,6 +449,14 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
 
     try:
         while queue or in_flight:
+            if watch is not None and watch.triggered:
+                # Graceful stop: the journal already holds every
+                # completed point; reclaim the workers and surface the
+                # interrupt. In-flight attempts are simply lost (their
+                # points re-run on resume).
+                _shutdown_pool(pool, kill=True)
+                pool = None
+                watch.check()
             if pool is None:
                 if rebuilds > max_rebuilds:
                     # The pool keeps dying: finish the remainder serially.
@@ -318,11 +464,16 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
                     remaining = list(queue)
                     queue.clear()
                     failures.update(
-                        _run_serial(engine, remaining, retries, backoff)
+                        _run_serial(
+                            engine, remaining, retries, backoff,
+                            journal=journal, watch=watch,
+                        )
                     )
                     break
                 pool = ProcessPoolExecutor(
-                    max_workers=workers, mp_context=context
+                    max_workers=workers, mp_context=context,
+                    initializer=_worker_init,
+                    initargs=(watch is not None and watch.installed,),
                 )
             try:
                 submit_ready()
@@ -339,6 +490,14 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
                     deadline for _, deadline in in_flight.values()
                 )
                 wait_for = max(0.0, nearest - now)
+            if watch is not None and watch.installed:
+                # A signal interrupts wait() but cannot end it early, so
+                # cap the sleep: the loop re-checks the flag each lap.
+                wait_for = (
+                    _INTERRUPT_POLL_SECONDS
+                    if wait_for is None
+                    else min(wait_for, _INTERRUPT_POLL_SECONDS)
+                )
             done, _ = wait(
                 set(in_flight), timeout=wait_for,
                 return_when=FIRST_COMPLETED,
@@ -362,6 +521,7 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
                 else:
                     engine.adopt(app, variant, config, result, stats)
                     suspects.discard(task.key)
+                    _journal_done(journal, task.key, result)
 
             if crashed:
                 if len(crashed) == 1 and not in_flight:
@@ -414,6 +574,8 @@ def fan_out(
     backoff: float | None = None,
     max_rebuilds: int | None = None,
     worker=None,
+    journal=True,
+    run_id: str | None = None,
 ) -> list:
     """Characterize ``points`` with up to ``jobs`` workers.
 
@@ -425,8 +587,22 @@ def fan_out(
     Under ``on_error="keep_going"`` the failed points' slots hold
     ``None``; under ``on_error="raise"`` a :class:`SweepError` names
     them (successful points stay memoised either way).
+
+    Durability: with ``journal=True`` (the default) and an enabled
+    persistent cache, the sweep appends to a run journal
+    (``runs/<run_id>.jsonl`` under the cache dir) — a header, one
+    fsync'd record per completed/failed point, and a completion footer
+    (see :mod:`repro.engine.journal`). While the journal is open,
+    SIGINT/SIGTERM request a *graceful* stop: the pool is killed, the
+    journal stays valid, and :class:`SweepInterrupted` (naming the
+    resumable ``run_id``) is raised instead of a bare
+    ``KeyboardInterrupt``. Pass an existing
+    :class:`~repro.engine.journal.RunJournal` to continue a resumed
+    run (the scheduler then owns and closes it), or ``journal=False``
+    to disable durability entirely.
     """
     from repro.engine.digest import point_key
+    from repro.engine.journal import RunJournal
 
     if on_error not in (ON_ERROR_RAISE, ON_ERROR_KEEP_GOING):
         raise WorkloadError(
@@ -454,19 +630,78 @@ def fan_out(
         else:
             pending[key] = _Task(key, point)
 
+    journal_obj: RunJournal | None = None
+    if isinstance(journal, RunJournal):
+        # A resume attempt: the caller re-opened the run's journal and
+        # already replayed its completed points into the memo.
+        journal_obj = journal
+    elif journal and engine.cache.enabled and pending:
+        journal_obj = RunJournal.create(
+            engine.cache.root, points, jobs=jobs, run_id=run_id,
+        )
+        # Memo-served points are durable immediately: their results
+        # exist, so a resume must never re-run them.
+        for key in dict.fromkeys(keys):
+            if key in engine._memo:
+                journal_obj.record_point_done(
+                    key, _result_digest(engine._memo[key])
+                )
+
+    serial_notes: list[str] = []
     failures: dict = {}
-    if pending:
-        tasks = list(pending.values())
-        if jobs == 1 or len(tasks) == 1:
-            failures = _run_serial(engine, tasks, retries, backoff)
-        else:
-            failures = _run_pool(
-                engine, tasks, min(jobs, len(tasks)), worker,
-                timeout, retries, backoff, max_rebuilds,
-            )
+    try:
+        if pending:
+            tasks = list(pending.values())
+            with _InterruptWatch() if journal_obj is not None \
+                    else _NullWatch() as watch:
+                if jobs == 1 or len(tasks) == 1:
+                    if timeout is not None:
+                        serial_notes.append(SERIAL_TIMEOUT_NOTE)
+                        engine.stats.note(SERIAL_TIMEOUT_NOTE)
+                    failures = _run_serial(
+                        engine, tasks, retries, backoff,
+                        journal=journal_obj, watch=watch,
+                    )
+                else:
+                    failures = _run_pool(
+                        engine, tasks, min(jobs, len(tasks)), worker,
+                        timeout, retries, backoff, max_rebuilds,
+                        journal=journal_obj, watch=watch,
+                    )
+        if journal_obj is not None:
+            journal_obj.record_complete(len(failures))
+    except _Interrupted as stop:
+        unique = list(dict.fromkeys(keys))
+        done = sum(1 for key in unique if key in engine._memo)
+        raise SweepInterrupted(
+            journal_obj.run_id if journal_obj is not None else None,
+            stop.signal_name, done, len(unique) - done,
+        ) from None
+    finally:
+        if journal_obj is not None:
+            journal_obj.close()
+
+    if failures:
         for failure in failures.values():
             engine.stats.record_failure(failure)
-        if failures and on_error == ON_ERROR_RAISE:
-            raise SweepError(failures.values())
+        if on_error == ON_ERROR_RAISE:
+            raise SweepError(failures.values(), notes=serial_notes)
 
     return [engine._memo.get(key) for key in keys]
+
+
+class _NullWatch:
+    """Watch stand-in for unjournaled sweeps (signals untouched)."""
+
+    installed = False
+    triggered = False
+    signal_name = None
+
+    def __enter__(self) -> "_NullWatch":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        return None
+
+    def check(self) -> None:
+        return None

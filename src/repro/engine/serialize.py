@@ -9,9 +9,12 @@ treats as corruption and regenerates.
 
 from __future__ import annotations
 
+from dataclasses import asdict
+
 from repro.perf.characterize import AppCharacterisation
 from repro.uarch.btac import BtacStats
 from repro.uarch.cache import CacheStats
+from repro.uarch.config import BtacConfig, CacheConfig, CoreConfig, PredictorConfig
 from repro.uarch.core import IntervalRecord, SimResult
 
 _SIM_INT_FIELDS = (
@@ -72,6 +75,44 @@ def result_from_dict(payload: dict) -> SimResult:
         for record in payload["intervals"]
     ]
     return result
+
+
+_CORE_INT_FIELDS = (
+    "fetch_width", "commit_width", "pipeline_depth", "window", "fxu_count",
+    "lsu_count", "bru_count", "taken_branch_penalty",
+)
+
+
+def config_to_dict(config: CoreConfig) -> dict:
+    """Canonical nested-dict form of a core configuration.
+
+    The same shape ``config_digest`` hashes, so a config journaled by
+    a sweep reconstructs to a digest-identical :class:`CoreConfig`.
+    """
+    return asdict(config)
+
+
+def config_from_dict(payload: dict) -> CoreConfig:
+    """Rebuild a :class:`CoreConfig` (nested blocks included).
+
+    Strict like the result schema: unknown shapes raise ``KeyError`` /
+    ``TypeError``, which journal consumers surface as corruption.
+    """
+    btac = payload["btac"]
+    return CoreConfig(
+        **{name: int(payload[name]) for name in _CORE_INT_FIELDS},
+        predictor=PredictorConfig(
+            **{k: int(v) for k, v in payload["predictor"].items()}
+        ),
+        btac=(
+            None
+            if btac is None
+            else BtacConfig(**{k: int(v) for k, v in btac.items()})
+        ),
+        cache=CacheConfig(
+            **{k: int(v) for k, v in payload["cache"].items()}
+        ),
+    )
 
 
 def characterisation_to_dict(result: AppCharacterisation) -> dict:

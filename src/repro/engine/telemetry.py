@@ -19,6 +19,7 @@ from repro.perf.report import Table
 SOURCE_MEMO = "memo"
 SOURCE_DISK = "disk"
 SOURCE_SIMULATED = "simulated"
+SOURCE_JOURNAL = "journal"  # replayed from a run journal during resume
 
 #: How a point failed (``PointFailure.kind``).
 FAILURE_EXCEPTION = "exception"  # the worker raised
@@ -93,12 +94,20 @@ class EngineStats:
     jobs: int = 1
     pool_rebuilds: int = 0
     serial_fallbacks: int = 0
+    #: Execution-context caveats (for instance "timeouts not enforced
+    #: on the serial path"), deduplicated, preserved across merges.
+    notes: list[str] = field(default_factory=list)
 
     def record(self, point: PointRecord) -> None:
         self.points.append(point)
 
     def record_failure(self, failure: PointFailure) -> None:
         self.failures.append(failure)
+
+    def note(self, message: str) -> None:
+        """Attach a caveat once (repeats are dropped)."""
+        if message not in self.notes:
+            self.notes.append(message)
 
     def merge(self, other: "EngineStats") -> None:
         """Fold a worker's telemetry into this one."""
@@ -108,6 +117,8 @@ class EngineStats:
         self.cache.merge(other.cache)
         self.pool_rebuilds += other.pool_rebuilds
         self.serial_fallbacks += other.serial_fallbacks
+        for message in other.notes:
+            self.note(message)
 
     @property
     def total_wall_seconds(self) -> float:
@@ -126,11 +137,12 @@ class EngineStats:
 
     def to_dict(self) -> dict:
         return {
-            "schema": 2,
+            "schema": 3,
             "jobs": self.jobs,
             "points": [point.to_dict() for point in self.points],
             "failures": [failure.to_dict() for failure in self.failures],
             "cache": {**self.cache.to_dict(), "memo_hits": self.memo_hits},
+            "notes": list(self.notes),
             "recovery": {
                 "pool_rebuilds": self.pool_rebuilds,
                 "serial_fallbacks": self.serial_fallbacks,
@@ -172,6 +184,10 @@ class EngineStats:
             f"{self.aggregate_mips:.2f}",
         )
         blocks = [summary.render()]
+        if self.notes:
+            blocks.append(
+                "\n".join(f"note: {message}" for message in self.notes)
+            )
         if self.failures:
             failed = Table(
                 "Failed design points",

@@ -60,15 +60,91 @@ class SweepError(ReproError):
     :class:`repro.engine.telemetry.PointFailure` per failed point, so
     callers can see exactly which points died and why; every point that
     succeeded before the error is already memoised in the engine and is
-    served from memory on a rerun.
+    served from memory on a rerun. ``notes`` carries execution-context
+    caveats (for instance that the serial path does not enforce
+    per-point deadlines), appended to the message so operators do not
+    misread them as scheduler bugs.
     """
 
-    def __init__(self, failures) -> None:
+    def __init__(self, failures, notes=()) -> None:
         self.failures = list(failures)
+        self.notes = list(notes)
         named = ", ".join(
             f"{failure.app}:{failure.variant}" for failure in self.failures
         )
-        super().__init__(
+        message = (
             f"{len(self.failures)} design point(s) failed after retries: "
             f"{named}"
         )
+        if self.notes:
+            message += " [" + "; ".join(self.notes) + "]"
+        super().__init__(message)
+
+
+class SweepInterrupted(ReproError):
+    """A sweep was stopped by SIGINT/SIGTERM and left in a resumable state.
+
+    The run journal (``runs/<run_id>.jsonl`` under the cache directory)
+    records every point completed before the interrupt; only the
+    in-flight window is lost. ``repro resume <run_id>`` (or
+    :meth:`repro.engine.Engine.resume`) replays the journaled points
+    from the cache and re-simulates the remainder.
+    """
+
+    #: Process exit status the CLI uses for an interrupted-but-resumable
+    #: sweep (distinct from 1 = error and 2 = usage).
+    EXIT_STATUS = 3
+
+    def __init__(self, run_id, signal_name: str, done: int,
+                 remaining: int) -> None:
+        self.run_id = run_id
+        self.signal_name = signal_name
+        self.done = done
+        self.remaining = remaining
+        hint = (
+            f"; resume with: repro resume {run_id}" if run_id else ""
+        )
+        super().__init__(
+            f"sweep interrupted by {signal_name} with {done} point(s) "
+            f"journaled and {remaining} remaining{hint}"
+        )
+
+
+class GuardError(ReproError):
+    """A runtime guard tripped: the simulation state is untrustworthy.
+
+    Raised by the interpreter watchdog (step/memory ceilings) and by
+    the core-model invariant checks enabled via ``REPRO_GUARDS``.
+    ``guard`` names the specific check (for instance
+    ``"interpreter.steps"`` or ``"core.counters"``) and ``context``
+    holds the structured evidence, so telemetry can report exactly what
+    tripped instead of a wrong number or a hang.
+    """
+
+    def __init__(self, message: str, *, guard: str, context=None) -> None:
+        self.guard = guard
+        self.context = dict(context or {})
+        detail = ""
+        if self.context:
+            pairs = ", ".join(
+                f"{key}={value!r}" for key, value in sorted(self.context.items())
+            )
+            detail = f" ({pairs})"
+        super().__init__(f"[{guard}] {message}{detail}")
+
+    def to_dict(self) -> dict:
+        """Structured form for telemetry/JSON reports."""
+        return {
+            "guard": self.guard,
+            "message": str(self),
+            "context": dict(self.context),
+        }
+
+
+class InterpreterGuardError(GuardError, InterpreterError):
+    """An interpreter watchdog trip (step/memory ceiling).
+
+    Both a :class:`GuardError` (structured guard/context evidence) and
+    an :class:`InterpreterError`, so callers that handle interpreter
+    failures generically keep working when the watchdog is armed.
+    """

@@ -14,7 +14,7 @@ import argparse
 import sys
 
 from repro.engine.engine import default_engine
-from repro.errors import ReproError
+from repro.errors import ReproError, SweepInterrupted
 from repro.experiments import EXPERIMENTS
 from repro.experiments.common import prefetch_points
 
@@ -52,6 +52,12 @@ def main(argv: list[str] | None = None) -> int:
         "--no-telemetry", action="store_true",
         help="suppress the engine telemetry table",
     )
+    parser.add_argument(
+        "--validate", action="store_true",
+        help="run the acceptance gate (repro.validate) over every "
+             "characterised point after the experiments; exit 4 on a "
+             "failed sanity band",
+    )
     args = parser.parse_args(argv)
 
     if args.cache_dir is not None:
@@ -73,6 +79,9 @@ def main(argv: list[str] | None = None) -> int:
             result = EXPERIMENTS[name]()
             print(result.render())
             print()
+    except SweepInterrupted as error:
+        print(f"interrupted: {error}", file=sys.stderr)
+        return SweepInterrupted.EXIT_STATUS
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
@@ -83,6 +92,13 @@ def main(argv: list[str] | None = None) -> int:
         print()
     if args.telemetry_json:
         engine.stats.write_json(args.telemetry_json)
+    if args.validate:
+        from repro.validate import EXIT_VALIDATION, validate_engine
+
+        report = validate_engine(engine)
+        print(report.render())
+        if not report.ok:
+            return EXIT_VALIDATION
     return 0
 
 

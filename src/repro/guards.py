@@ -1,0 +1,76 @@
+"""Runtime guard toggles (shared by the ISA and uarch layers).
+
+Three environment variables harden a run against wrong numbers and
+hangs; all are off by default so the hot paths stay untouched:
+
+``REPRO_GUARDS``
+    Master toggle (``1``/``on``/``true``/``yes``). Enables the
+    core-model invariant checks (:mod:`repro.uarch.guards`) after every
+    simulation, and upgrades interpreter step-budget exhaustion from a
+    generic :class:`~repro.errors.InterpreterError` to a structured
+    :class:`~repro.errors.GuardError` carrying the trip context. Cheap
+    enough for CI — the checks are O(counters), not O(trace).
+``REPRO_MAX_STEPS``
+    Hard ceiling on dynamic instructions per interpreter run,
+    enforced whenever set (guards toggle not required). A runaway
+    kernel (infinite loop, broken branch target) trips a
+    :class:`GuardError` instead of burning a worker's deadline.
+``REPRO_MAX_MEMORY_WORDS``
+    Hard ceiling on simulated-memory size, enforced whenever set. A
+    driver asking for an absurd memory fails fast instead of OOM'ing
+    the host.
+
+This module lives at the package root because both ``repro.isa`` and
+``repro.uarch`` consult it; it imports nothing from either.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.errors import GuardError
+
+GUARDS_ENV = "REPRO_GUARDS"
+MAX_STEPS_ENV = "REPRO_MAX_STEPS"
+MAX_MEMORY_ENV = "REPRO_MAX_MEMORY_WORDS"
+
+_ON_VALUES = {"1", "on", "true", "yes"}
+
+
+def guards_enabled() -> bool:
+    """Whether ``REPRO_GUARDS`` asks for invariant checking."""
+    return os.environ.get(GUARDS_ENV, "").strip().lower() in _ON_VALUES
+
+
+def _positive_int_env(name: str) -> int | None:
+    """A positive-integer ceiling from the environment, or ``None``.
+
+    A malformed or non-positive value is itself a guard trip: a ceiling
+    the operator set but that cannot take effect is worse than none.
+    """
+    raw = os.environ.get(name, "").strip()
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise GuardError(
+            f"{name} must be a positive integer",
+            guard="env", context={"variable": name, "value": raw},
+        ) from None
+    if value <= 0:
+        raise GuardError(
+            f"{name} must be positive",
+            guard="env", context={"variable": name, "value": raw},
+        )
+    return value
+
+
+def step_ceiling() -> int | None:
+    """The ``REPRO_MAX_STEPS`` watchdog ceiling, if set."""
+    return _positive_int_env(MAX_STEPS_ENV)
+
+
+def memory_ceiling() -> int | None:
+    """The ``REPRO_MAX_MEMORY_WORDS`` watchdog ceiling, if set."""
+    return _positive_int_env(MAX_MEMORY_ENV)

@@ -24,7 +24,8 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.errors import InterpreterError
+from repro.errors import InterpreterError, InterpreterGuardError
+from repro.guards import guards_enabled, step_ceiling
 from repro.isa.instructions import Op
 from repro.isa.memory import Memory
 from repro.isa.program import Program
@@ -216,9 +217,20 @@ class Machine:
         committed instruction is appended to its columns; when it is a
         list, one :class:`TraceEvent` is appended instead. Returns the
         number of dynamic instructions executed by this call.
+
+        Watchdog: a ``REPRO_MAX_STEPS`` ceiling below ``max_steps``
+        tightens the budget, and exhausting a watchdogged budget (also
+        when ``REPRO_GUARDS`` is on) raises a structured
+        :class:`~repro.errors.InterpreterGuardError` instead of the generic
+        :class:`InterpreterError` — a runaway kernel fails fast with
+        evidence rather than hanging its worker.
         """
         if self.halted:
             raise InterpreterError("machine already halted")
+        ceiling = step_ceiling()
+        watchdog = ceiling is not None or guards_enabled()
+        if ceiling is not None and ceiling < max_steps:
+            max_steps = ceiling
         if self._decoded is None:
             self._decoded = _decode(self.program, self.registers, self.memory)
         decoded = self._decoded
@@ -301,6 +313,18 @@ class Machine:
         self.pc = pc
         self.steps += executed
         if not self.halted and executed >= max_steps:
+            if watchdog:
+                raise InterpreterGuardError(
+                    f"step budget of {max_steps} exhausted without HALT "
+                    "(runaway or infinite-loop kernel)",
+                    guard="interpreter.steps",
+                    context={
+                        "pc": pc,
+                        "executed": executed,
+                        "budget": max_steps,
+                        "program_length": program_length,
+                    },
+                )
             raise InterpreterError(
                 f"step budget of {max_steps} exhausted at PC {pc}"
             )

@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.errors import InterpreterError
+from repro.errors import InterpreterError, InterpreterGuardError
+from repro.guards import memory_ceiling
 
 
 class Memory:
@@ -19,11 +20,23 @@ class Memory:
     Addresses are word indices (one "word" per int), which keeps the
     cache model simple: the L1D model converts word addresses to byte
     addresses with a fixed word size.
+
+    A ``REPRO_MAX_MEMORY_WORDS`` ceiling (see :mod:`repro.guards`)
+    bounds the backing allocation: a driver asking for more fails fast
+    with a structured :class:`~repro.errors.InterpreterGuardError` instead of
+    OOM'ing its worker process.
     """
 
     def __init__(self, size: int = 1 << 20) -> None:
         if size <= 0:
             raise InterpreterError(f"memory size must be positive, got {size}")
+        ceiling = memory_ceiling()
+        if ceiling is not None and size > ceiling:
+            raise InterpreterGuardError(
+                "simulated memory exceeds the configured ceiling",
+                guard="memory.size",
+                context={"requested_words": size, "ceiling_words": ceiling},
+            )
         self._words = [0] * size
         self._next_free = 0
         self._segments: dict[str, tuple[int, int]] = {}

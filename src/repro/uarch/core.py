@@ -30,6 +30,7 @@ from collections import Counter
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.guards import guards_enabled
 from repro.isa.instructions import UNIT_INDEX, Unit
 from repro.isa.trace import (
     F_BRANCH,
@@ -44,6 +45,7 @@ from repro.uarch.branch_predictor import GsharePredictor
 from repro.uarch.btac import Btac, BtacStats
 from repro.uarch.cache import WORD_BYTES, CacheStats, L1DCache
 from repro.uarch.config import CoreConfig
+from repro.uarch.guards import check_sim_result
 
 #: Dense unit indices used by the columnar hot loop.
 _FXU = UNIT_INDEX[Unit.FXU]
@@ -198,8 +200,12 @@ class Core:
         if len(trace) == 0:
             raise SimulationError("cannot simulate an empty trace")
         if isinstance(trace, Trace):
-            return self._simulate_columnar(trace, interval_size)
-        return self._simulate_events(trace, interval_size)
+            result = self._simulate_columnar(trace, interval_size)
+        else:
+            result = self._simulate_events(trace, interval_size)
+        if guards_enabled():
+            check_sim_result(result, self.config)
+        return result
 
     def _simulate_events(
         self,

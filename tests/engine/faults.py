@@ -27,6 +27,7 @@ from pathlib import Path
 from repro.engine.scheduler import _characterize_worker
 
 ENV_PLAN = "REPRO_FAULT_PLAN"
+ENV_COUNT = "REPRO_WORKER_COUNT_DIR"
 
 MODE_RAISE = "raise"
 MODE_EXIT = "exit"
@@ -77,6 +78,48 @@ def faulty_worker(task):
             if mode == MODE_HANG:
                 time.sleep(_HANG_SECONDS)
     return _characterize_worker(task)
+
+
+def counting_worker(task):
+    """Real pool worker that also logs each invocation to a shared dir.
+
+    Every call claims a fresh ``app_variant.N`` token under the
+    directory named by ``REPRO_WORKER_COUNT_DIR`` (``O_CREAT | O_EXCL``,
+    so counts are exact across worker processes). Resume tests use it to
+    prove journaled-done points are never re-submitted.
+    """
+    app, variant, _config, _cache_root = task
+    count_dir = Path(os.environ[ENV_COUNT])
+    stem = f"{app}_{variant}"
+    index = 0
+    while True:
+        token = count_dir / f"{stem}.{index}"
+        try:
+            descriptor = os.open(
+                token, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+            )
+        except FileExistsError:
+            index += 1
+            continue
+        os.close(descriptor)
+        break
+    return _characterize_worker(task)
+
+
+def install_counter(count_dir: Path, monkeypatch) -> Path:
+    """Create the invocation-count directory and export it to workers."""
+    count_dir.mkdir(parents=True, exist_ok=True)
+    monkeypatch.setenv(ENV_COUNT, str(count_dir))
+    return count_dir
+
+
+def invocation_counts(count_dir: Path) -> dict[str, int]:
+    """``{"app_variant": times_submitted}`` from the token files."""
+    counts: dict[str, int] = {}
+    for token in Path(count_dir).iterdir():
+        stem = token.name.rsplit(".", 1)[0]
+        counts[stem] = counts.get(stem, 0) + 1
+    return counts
 
 
 def _claim_attempt(plan_dir: Path, key: str, times: int) -> bool:

@@ -232,3 +232,40 @@ class TestKnobResolution:
         monkeypatch.setenv("REPRO_RETRY_BACKOFF", "later")
         with pytest.raises(WorkloadError):
             resolve_backoff()
+
+
+class TestSerialTimeoutNote:
+    """The serial path cannot enforce deadlines — and says so."""
+
+    def test_serial_sweep_with_timeout_is_annotated(self, engine):
+        from repro.engine.scheduler import SERIAL_TIMEOUT_NOTE
+
+        fan_out(engine, POINTS[:1], jobs=1, timeout=30.0, journal=False)
+        assert SERIAL_TIMEOUT_NOTE in engine.stats.notes
+        assert "note: serial path" in engine.stats.render()
+
+    def test_note_is_absent_without_a_timeout(self, engine, monkeypatch):
+        monkeypatch.delenv("REPRO_POINT_TIMEOUT", raising=False)
+        fan_out(engine, POINTS[:1], jobs=1, journal=False)
+        assert engine.stats.notes == []
+
+    def test_pool_path_is_not_annotated(self, engine):
+        fan_out(engine, POINTS[:2], jobs=2, timeout=30.0, journal=False)
+        assert engine.stats.notes == []
+
+    def test_sweep_error_carries_the_note(self, engine, monkeypatch):
+        from repro.engine.scheduler import SERIAL_TIMEOUT_NOTE
+
+        # The serial path runs in-process (no worker), so inject the
+        # failure through characterize itself.
+        def boom(app, variant, config):
+            raise RuntimeError("injected")
+
+        monkeypatch.setattr(engine, "characterize", boom)
+        with pytest.raises(SweepError) as excinfo:
+            fan_out(
+                engine, POINTS[:1], jobs=1, timeout=30.0, retries=0,
+                backoff=0.0, journal=False,
+            )
+        assert SERIAL_TIMEOUT_NOTE in excinfo.value.notes
+        assert "timeouts" in str(excinfo.value)

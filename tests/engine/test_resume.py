@@ -1,0 +1,340 @@
+"""Interrupt + resume: the durability contract, end to end.
+
+The core assertion throughout: a sweep that is killed mid-flight and
+resumed produces **byte-identical** merged results to one that was
+never interrupted, while re-submitting only the points the journal does
+not record as done (proved by counting worker invocations).
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import cache as cache_module
+from repro.engine import journal as journal_module
+from repro.engine import serialize
+from repro.engine.digest import point_key
+from repro.engine.engine import Engine
+from repro.engine.journal import RunJournal, journal_path, load_run
+from repro.engine.telemetry import SOURCE_JOURNAL
+from repro.errors import SweepInterrupted, WorkloadError
+from repro.uarch.config import power5
+
+from tests.engine import faults
+
+POINTS = [
+    ("blast", "baseline", power5()),
+    ("clustalw", "baseline", power5()),
+    ("fasta", "baseline", power5()),
+    ("hmmer", "baseline", power5()),
+]
+KEYS = [point_key(app, variant, config) for app, variant, config in POINTS]
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+#: Inline child: run the sweep under the fault plan, exit with the
+#: documented resumable status when interrupted.
+_CHILD_SCRIPT = """
+import sys
+sys.path.insert(0, {src!r})
+sys.path.insert(0, {root!r})
+
+from repro.engine import cache as cache_module
+from repro.engine.engine import Engine
+from repro.engine.scheduler import fan_out
+from repro.errors import SweepInterrupted
+from repro.uarch.config import power5
+
+from tests.engine import faults
+
+cache_module.use_cache_dir({cache!r})
+engine = Engine(cache_dir={cache!r})
+points = [
+    (app, "baseline", power5())
+    for app in ("blast", "clustalw", "fasta", "hmmer")
+]
+try:
+    fan_out(
+        engine, points, jobs=2, worker=faults.faulty_worker,
+        run_id={run_id!r},
+    )
+except SweepInterrupted as stop:
+    assert stop.run_id == {run_id!r}
+    assert "repro resume" in str(stop)
+    sys.exit(SweepInterrupted.EXIT_STATUS)
+sys.exit(0)
+"""
+
+
+def canonical(result) -> bytes:
+    """A characterisation's canonical bytes (the comparison currency)."""
+    return json.dumps(
+        serialize.characterisation_to_dict(result),
+        sort_keys=True, separators=(",", ":"),
+    ).encode("utf-8")
+
+
+def uninterrupted_baseline(tmp_path_factory):
+    """Results of the same sweep on a fresh cache, never interrupted."""
+    root = tmp_path_factory.mktemp("uninterrupted")
+    cache_module.use_cache_dir(root)
+    engine = Engine(cache_dir=root)
+    return engine.characterize_many(POINTS, jobs=2)
+
+
+@pytest.fixture(scope="module")
+def reference_results(tmp_path_factory):
+    original = cache_module._active_cache
+    try:
+        results = uninterrupted_baseline(tmp_path_factory)
+    finally:
+        cache_module._active_cache = original
+    return [canonical(result) for result in results]
+
+
+@pytest.fixture()
+def fresh_root(tmp_path, restore_globals):
+    root = tmp_path / "resume-cache"
+    cache_module.use_cache_dir(root)
+    return root
+
+
+def wait_for_done_records(path: Path, minimum: int, timeout: float) -> None:
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if path.exists():
+            done = sum(
+                1
+                for line in path.read_bytes().split(b"\n")
+                if b'"point_done"' in line
+            )
+            if done >= minimum:
+                return
+        time.sleep(0.1)
+    raise AssertionError(
+        f"journal at {path} never reached {minimum} done records"
+    )
+
+
+class TestSignalInterruptAndResume:
+    @pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+    def test_killed_sweep_resumes_byte_identical(
+        self, fresh_root, tmp_path, monkeypatch, reference_results, signum
+    ):
+        run_id = f"sig-{signum}"
+        plan_dir = tmp_path / "plan"
+        # Two hanging points: with jobs=2, clustalw and fasta drain
+        # through the free slot while blast hangs; hmmer then hangs the
+        # second slot. Two pending points also force the *pool* path on
+        # resume (a single pending point would run serially, bypassing
+        # the counting worker).
+        faults.install_plan(
+            plan_dir, monkeypatch,
+            {
+                "blast:baseline": (faults.MODE_HANG, faults.ALWAYS),
+                "hmmer:baseline": (faults.MODE_HANG, faults.ALWAYS),
+            },
+        )
+        env = dict(os.environ)
+        env[faults.ENV_PLAN] = str(plan_dir)
+        child = subprocess.Popen(
+            [
+                sys.executable, "-c",
+                _CHILD_SCRIPT.format(
+                    src=str(REPO_ROOT / "src"), root=str(REPO_ROOT),
+                    cache=str(fresh_root), run_id=run_id,
+                ),
+            ],
+            env=env, cwd=str(REPO_ROOT),
+        )
+        try:
+            wait_for_done_records(
+                journal_path(fresh_root, run_id), minimum=2, timeout=120.0
+            )
+            child.send_signal(signum)
+            returncode = child.wait(timeout=60.0)
+        finally:
+            if child.poll() is None:
+                child.kill()
+                child.wait(timeout=30.0)
+        assert returncode == SweepInterrupted.EXIT_STATUS
+
+        state = load_run(fresh_root, run_id)
+        assert state.status == journal_module.STATUS_RESUMABLE
+        assert set(state.done) == {KEYS[1], KEYS[2]}
+
+        # Resume without the fault plan: only the two never-finished
+        # points may be submitted to workers.
+        monkeypatch.delenv(faults.ENV_PLAN, raising=False)
+        count_dir = faults.install_counter(tmp_path / "counts", monkeypatch)
+        engine = Engine(cache_dir=fresh_root)
+        outcome = engine.resume(
+            run_id, jobs=2, worker=faults.counting_worker
+        )
+        assert outcome.replayed == 2
+        assert outcome.submitted == 2
+        assert not outcome.source_changed
+        assert faults.invocation_counts(count_dir) == {
+            "blast_baseline": 1,
+            "hmmer_baseline": 1,
+        }
+
+        # The merged, ordered output is byte-identical to a run that
+        # was never interrupted.
+        assert [
+            canonical(result) for result in outcome.results
+        ] == reference_results
+
+        # The journal now carries a completion footer.
+        assert load_run(fresh_root, run_id).status == (
+            journal_module.STATUS_COMPLETE
+        )
+
+
+class TestResumeSemantics:
+    def test_resume_submits_only_the_journal_gap(
+        self, fresh_root, tmp_path, monkeypatch, reference_results
+    ):
+        from repro.engine.scheduler import fan_out
+
+        # Two failing points keep the resume on the pool path, where the
+        # counting worker actually runs (one pending point would be
+        # characterised serially, in-process).
+        faults.install_plan(
+            tmp_path / "plan", monkeypatch,
+            {
+                "clustalw:baseline": (faults.MODE_RAISE, faults.ALWAYS),
+                "fasta:baseline": (faults.MODE_RAISE, faults.ALWAYS),
+            },
+        )
+        engine = Engine(cache_dir=fresh_root)
+        results = fan_out(
+            engine, POINTS, jobs=2, retries=0, backoff=0.0,
+            on_error="keep_going", worker=faults.faulty_worker,
+            run_id="gap-run",
+        )
+        assert results[1] is None and results[2] is None
+        state = load_run(fresh_root, "gap-run")
+        assert set(state.done) == {KEYS[0], KEYS[3]}
+        assert state.failed == {
+            KEYS[1]: "exception",
+            KEYS[2]: "exception",
+        }
+
+        monkeypatch.delenv(faults.ENV_PLAN, raising=False)
+        count_dir = faults.install_counter(tmp_path / "counts", monkeypatch)
+        resumed = Engine(cache_dir=fresh_root)
+        outcome = resumed.resume(
+            "gap-run", jobs=2, worker=faults.counting_worker
+        )
+        assert outcome.replayed == 2
+        assert outcome.submitted == 2
+        assert faults.invocation_counts(count_dir) == {
+            "clustalw_baseline": 1,
+            "fasta_baseline": 1,
+        }
+        assert [
+            canonical(result) for result in outcome.results
+        ] == reference_results
+
+    def test_replayed_points_are_verified_against_the_journal_digest(
+        self, fresh_root, tmp_path, monkeypatch
+    ):
+        """A cache entry that diverged from the journal is re-simulated,
+        not silently replayed."""
+        engine = Engine(cache_dir=fresh_root)
+        engine.characterize_many(POINTS, jobs=2, run_id="verify-run")
+
+        # Tamper with two points' journaled digests so the (valid) cache
+        # entries no longer match what the journal acknowledged. Two, so
+        # the re-simulation goes through the pool (and its counting
+        # worker) rather than the serial single-task path.
+        path = journal_path(fresh_root, "verify-run")
+        lines = path.read_bytes().splitlines(keepends=True)
+        tampered = []
+        for line in lines:
+            record = json.loads(line)
+            if (
+                record.get("record") == "point_done"
+                and record.get("app") in ("clustalw", "hmmer")
+            ):
+                record["result_digest"] = "0" * 64
+                line = json.dumps(record).encode() + b"\n"
+            tampered.append(line)
+        path.write_bytes(b"".join(tampered))
+
+        count_dir = faults.install_counter(tmp_path / "counts", monkeypatch)
+        resumed = Engine(cache_dir=fresh_root)
+        outcome = resumed.resume(
+            "verify-run", jobs=2, worker=faults.counting_worker
+        )
+        # The mismatching points went back through the scheduler.
+        assert outcome.replayed == 2
+        assert outcome.submitted == 2
+        assert faults.invocation_counts(count_dir) == {
+            "clustalw_baseline": 1,
+            "hmmer_baseline": 1,
+        }
+        assert all(result is not None for result in outcome.results)
+
+    def test_resume_marks_replayed_points_in_telemetry(
+        self, fresh_root, tmp_path
+    ):
+        engine = Engine(cache_dir=fresh_root)
+        engine.characterize_many(POINTS, jobs=2, run_id="telemetry-run")
+        resumed = Engine(cache_dir=fresh_root)
+        outcome = resumed.resume("telemetry-run", jobs=2)
+        assert outcome.replayed == len(POINTS)
+        sources = {
+            point.source for point in resumed.stats.points
+        }
+        assert sources == {SOURCE_JOURNAL}
+
+    def test_resume_refuses_corrupt_journals(self, fresh_root):
+        engine = Engine(cache_dir=fresh_root)
+        engine.characterize_many(POINTS[:1], jobs=1, run_id="corrupt-run")
+        path = journal_path(fresh_root, "corrupt-run")
+        path.write_bytes(b"{broken\n" + path.read_bytes())
+        with pytest.raises(WorkloadError, match="corrupt"):
+            Engine(cache_dir=fresh_root).resume("corrupt-run")
+
+    def test_resume_unknown_run_raises(self, fresh_root):
+        with pytest.raises(WorkloadError, match="no journal"):
+            Engine(cache_dir=fresh_root).resume("never-created")
+
+    def test_resume_requires_enabled_cache(self, restore_globals):
+        cache_module.use_cache_dir(None)  # persistence off
+        engine = Engine()
+        assert not engine.cache.enabled
+        with pytest.raises(WorkloadError, match="persistent cache"):
+            engine.resume("whatever")
+
+
+class TestJournalledFanOut:
+    def test_memo_hits_are_journaled_as_done(self, fresh_root):
+        engine = Engine(cache_dir=fresh_root)
+        engine.characterize_many(POINTS[:2], jobs=2, run_id="first")
+        # Second sweep over a superset: the two memoised points must be
+        # durable in the *new* journal immediately.
+        engine.characterize_many(POINTS, jobs=2, run_id="second")
+        state = load_run(fresh_root, "second")
+        assert set(state.done) == set(KEYS)
+        assert state.status == journal_module.STATUS_COMPLETE
+
+    def test_unjournaled_sweep_writes_nothing(self, fresh_root):
+        engine = Engine(cache_dir=fresh_root)
+        engine.characterize_many(POINTS[:1], jobs=1, journal=False)
+        assert journal_module.list_runs(fresh_root) == []
+
+    def test_journal_disabled_with_cache_off(self, restore_globals):
+        cache_module.use_cache_dir(None)  # persistence off
+        engine = Engine()
+        assert not engine.cache.enabled
+        results = engine.characterize_many(POINTS[:1], jobs=1)
+        assert results[0] is not None

@@ -1,0 +1,128 @@
+"""Interpreter watchdog: step and memory ceilings (``REPRO_MAX_*``).
+
+Acceptance anchor: an infinite-loop mini-ISA program must fail fast
+with a structured :class:`GuardError` when a watchdog is armed, rather
+than burning a worker's whole timeout budget.
+"""
+
+import pytest
+
+from repro.errors import GuardError, InterpreterError
+from repro.guards import (
+    GUARDS_ENV,
+    MAX_MEMORY_ENV,
+    MAX_STEPS_ENV,
+    memory_ceiling,
+    step_ceiling,
+)
+from repro.isa.interpreter import Machine, run_program
+from repro.isa.memory import Memory
+from repro.isa.program import ProgramBuilder
+
+
+def infinite_loop_program():
+    """``spin: addi r3,r3,1 ; b spin`` — never reaches HALT."""
+    builder = ProgramBuilder()
+    builder.label("spin")
+    builder.addi(3, 3, 1)
+    builder.b("spin")
+    builder.halt()  # unreachable
+    return builder.build()
+
+
+def terminating_program(length: int = 16):
+    builder = ProgramBuilder()
+    for index in range(length):
+        builder.li(3, index)
+    builder.halt()
+    return builder.build()
+
+
+class TestStepWatchdog:
+    def test_infinite_loop_trips_structured_guard(self, monkeypatch):
+        """Acceptance: REPRO_MAX_STEPS turns a hang into a GuardError."""
+        monkeypatch.setenv(MAX_STEPS_ENV, "500")
+        with pytest.raises(GuardError) as excinfo:
+            run_program(infinite_loop_program(), Memory(16))
+        error = excinfo.value
+        assert error.guard == "interpreter.steps"
+        assert error.context["budget"] == 500
+        assert error.context["executed"] == 500
+        assert "pc" in error.context
+
+    def test_guards_toggle_upgrades_budget_exhaustion(self, monkeypatch):
+        monkeypatch.delenv(MAX_STEPS_ENV, raising=False)
+        monkeypatch.setenv(GUARDS_ENV, "1")
+        with pytest.raises(GuardError) as excinfo:
+            run_program(infinite_loop_program(), Memory(16), max_steps=100)
+        assert excinfo.value.guard == "interpreter.steps"
+
+    def test_without_watchdog_the_generic_error_is_kept(self, monkeypatch):
+        monkeypatch.delenv(MAX_STEPS_ENV, raising=False)
+        monkeypatch.delenv(GUARDS_ENV, raising=False)
+        with pytest.raises(InterpreterError) as excinfo:
+            run_program(infinite_loop_program(), Memory(16), max_steps=100)
+        assert not isinstance(excinfo.value, GuardError)
+
+    def test_ceiling_tightens_an_explicit_budget(self, monkeypatch):
+        monkeypatch.setenv(MAX_STEPS_ENV, "50")
+        with pytest.raises(GuardError) as excinfo:
+            run_program(
+                infinite_loop_program(), Memory(16), max_steps=10_000
+            )
+        assert excinfo.value.context["budget"] == 50
+
+    def test_ceiling_above_budget_does_not_loosen_it(self, monkeypatch):
+        monkeypatch.setenv(MAX_STEPS_ENV, "1000000")
+        program = terminating_program()
+        machine = Machine(program, Memory(16))
+        executed = machine.run()
+        assert machine.halted
+        assert executed == len(program)
+
+    def test_watchdog_applies_to_traced_runs(self, monkeypatch):
+        monkeypatch.setenv(MAX_STEPS_ENV, "300")
+        trace = []
+        with pytest.raises(GuardError):
+            run_program(infinite_loop_program(), Memory(16), trace=trace)
+        assert len(trace) == 300  # every executed step was traced
+
+
+class TestMemoryCeiling:
+    def test_oversized_memory_fails_fast(self, monkeypatch):
+        monkeypatch.setenv(MAX_MEMORY_ENV, "1024")
+        with pytest.raises(GuardError) as excinfo:
+            Memory(2048)
+        error = excinfo.value
+        assert error.guard == "memory.size"
+        assert error.context == {
+            "requested_words": 2048, "ceiling_words": 1024
+        }
+
+    def test_memory_at_the_ceiling_is_allowed(self, monkeypatch):
+        monkeypatch.setenv(MAX_MEMORY_ENV, "1024")
+        assert len(Memory(1024)) == 1024
+
+    def test_unset_ceiling_means_unlimited(self, monkeypatch):
+        monkeypatch.delenv(MAX_MEMORY_ENV, raising=False)
+        assert len(Memory(1 << 20)) == 1 << 20
+
+
+class TestCeilingParsing:
+    @pytest.mark.parametrize("env,reader", [
+        (MAX_STEPS_ENV, step_ceiling),
+        (MAX_MEMORY_ENV, memory_ceiling),
+    ])
+    def test_malformed_ceiling_is_itself_a_guard_trip(
+        self, monkeypatch, env, reader
+    ):
+        for bad in ("banana", "0", "-5"):
+            monkeypatch.setenv(env, bad)
+            with pytest.raises(GuardError) as excinfo:
+                reader()
+            assert excinfo.value.guard == "env"
+            assert excinfo.value.context["variable"] == env
+
+    def test_blank_means_absent(self, monkeypatch):
+        monkeypatch.setenv(MAX_STEPS_ENV, "  ")
+        assert step_ceiling() is None

@@ -192,3 +192,121 @@ class TestCacheCommand:
         out = capsys.readouterr().out
         assert "quarantined entries" in out
         assert "trace entries" in out
+
+
+class TestRunsCommand:
+    @pytest.fixture(autouse=True)
+    def _restore_global_cache(self):
+        from repro.engine import cache as cache_module
+
+        original = cache_module._active_cache
+        yield
+        cache_module._active_cache = original
+
+    @staticmethod
+    def seed_journal(root, done, complete=False, run_id=None):
+        from repro.engine.digest import point_key
+        from repro.engine.journal import RunJournal
+        from repro.uarch.config import power5
+
+        points = [
+            (app, "baseline", power5())
+            for app in ("blast", "clustalw", "fasta", "hmmer")
+        ]
+        journal = RunJournal.create(root, points, jobs=2, run_id=run_id)
+        for app, variant, config in points[:done]:
+            journal.record_point_done(
+                point_key(app, variant, config), "d" * 64
+            )
+        if complete:
+            journal.record_complete(0)
+        journal.close()
+        return journal.run_id
+
+    def test_listing_shows_status_counts_and_hint(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        stopped = self.seed_journal(root, done=2, run_id="r-stopped")
+        finished = self.seed_journal(
+            root, done=4, complete=True, run_id="r-finished"
+        )
+        assert main(["runs", "--cache-dir", str(root)]) == 0
+        out = capsys.readouterr().out
+        assert stopped in out and finished in out
+        assert "resumable" in out and "complete" in out
+        assert "repro resume <run>" in out
+
+    def test_porcelain_is_tab_separated(self, tmp_path, capsys):
+        root = tmp_path / "cache"
+        run_id = self.seed_journal(root, done=2, run_id="r-porcelain")
+        assert main(
+            ["runs", "--cache-dir", str(root), "--porcelain"]
+        ) == 0
+        line = capsys.readouterr().out.strip()
+        run, status, done, failed, points, age = line.split("\t")
+        assert run == run_id
+        assert status == "resumable"
+        assert (done, failed, points) == ("2", "0", "4")
+        assert float(age) >= 0.0
+
+    def test_empty_listing(self, tmp_path, capsys):
+        assert main(["runs", "--cache-dir", str(tmp_path / "cache")]) == 0
+        assert "no run journals" in capsys.readouterr().out
+
+    def test_prune_keeps_resumable_unless_forced(self, tmp_path, capsys):
+        from repro.engine.journal import list_runs
+
+        root = tmp_path / "cache"
+        self.seed_journal(root, done=2, run_id="r-keep")
+        self.seed_journal(root, done=4, complete=True, run_id="r-drop")
+        assert main(["runs", "prune", "--cache-dir", str(root)]) == 0
+        assert "pruned 1 journal(s)" in capsys.readouterr().out
+        assert [s.run_id for s in list_runs(root)] == ["r-keep"]
+        assert main(
+            ["runs", "prune", "--cache-dir", str(root),
+             "--include-resumable"]
+        ) == 0
+        assert list_runs(root) == []
+
+    def test_runs_requires_the_persistent_cache(self, capsys):
+        from repro.engine.cache import use_cache_dir
+
+        use_cache_dir(None)  # persistence off
+        assert main(["runs"]) == 1
+        assert "persistent cache" in capsys.readouterr().err
+
+
+class TestResumeCommand:
+    @pytest.fixture(autouse=True)
+    def _restore_global_cache(self):
+        from repro.engine import cache as cache_module
+
+        original = cache_module._active_cache
+        yield
+        cache_module._active_cache = original
+
+    def test_resume_replays_a_finished_run(self, tmp_path, capsys):
+        from repro.engine.cache import use_cache_dir
+        from repro.engine.engine import Engine
+        from repro.uarch.config import power5
+
+        root = tmp_path / "cache"
+        use_cache_dir(root)
+        engine = Engine(cache_dir=root)
+        engine.characterize_many(
+            [("fasta", "baseline", power5())], jobs=1, run_id="cli-run"
+        )
+        assert main(
+            ["resume", "cli-run", "--cache-dir", str(root),
+             "--no-telemetry"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "run cli-run" in out
+        assert "1 replayed" in out
+        assert "0 re-submitted" in out
+
+    def test_resume_unknown_run_fails(self, tmp_path, capsys):
+        assert main(
+            ["resume", "no-such-run",
+             "--cache-dir", str(tmp_path / "cache")]
+        ) == 1
+        assert "no journal" in capsys.readouterr().err

@@ -1,0 +1,226 @@
+"""The acceptance gate over sweep results (``--validate``)."""
+
+import pytest
+
+from repro.engine.digest import config_digest
+from repro.perf.characterize import AppCharacterisation
+from repro.uarch.cache import CacheStats
+from repro.uarch.config import power5
+from repro.uarch.core import SimResult
+from repro.validate import (
+    BASELINE_BANDS,
+    EXIT_VALIDATION,
+    MIN_COMBINATION_SPEEDUP,
+    Band,
+    validate_engine,
+    validate_points,
+)
+
+STOCK = config_digest(power5())
+OTHER = "0" * 64  # some non-stock configuration digest
+
+
+def sim(
+    instructions=1000,
+    cycles=1000,
+    branches=220,
+    taken=170,
+    direction_mispredictions=20,
+    target_mispredictions=5,
+    accesses=3000,
+    misses=130,
+):
+    return SimResult(
+        instructions=instructions,
+        cycles=cycles,
+        branches=branches,
+        conditional_branches=branches,
+        taken_branches=taken,
+        direction_mispredictions=direction_mispredictions,
+        target_mispredictions=target_mispredictions,
+        loads=0,
+        stores=0,
+        stall_cycles={"fxu": min(100, cycles)},
+        cache=CacheStats(accesses=accesses, misses=misses),
+    )
+
+
+#: Per-app merged results landing inside every calibrated band.
+IN_BAND = {
+    "blast": dict(cycles=1000, branches=220, taken=170,
+                  direction_mispredictions=20, misses=130),
+    "clustalw": dict(cycles=714, branches=160, taken=125,
+                     direction_mispredictions=14, misses=6),
+    "fasta": dict(cycles=1000, branches=250, taken=195,
+                  direction_mispredictions=23, misses=51),
+    "hmmer": dict(cycles=588, branches=120, taken=94,
+                  direction_mispredictions=11, misses=45),
+}
+
+
+def charac(app, variant="baseline", merged=None, baseline_instructions=None):
+    merged = merged if merged is not None else sim()
+    return AppCharacterisation(
+        app=app, variant=variant, kernel=None, background=None,
+        merged=merged,
+        baseline_instructions=(
+            baseline_instructions
+            if baseline_instructions is not None
+            else merged.instructions
+        ),
+    )
+
+
+def full_baseline_points(overrides=None):
+    points = {}
+    for app, fields in IN_BAND.items():
+        fields = dict(fields, **(overrides or {}).get(app, {}))
+        points[(app, "baseline", STOCK)] = charac(app, merged=sim(**fields))
+    return points
+
+
+class TestBand:
+    def test_contains_is_closed(self):
+        band = Band(0.5, 1.5)
+        assert band.contains(0.5) and band.contains(1.5)
+        assert not band.contains(0.499) and not band.contains(1.501)
+
+    def test_str_is_compact(self):
+        assert str(Band(0.05, 10.0)) == "[0.05, 10]"
+
+
+class TestGenericChecks:
+    def test_plausible_point_passes(self):
+        report = validate_points({("blast", "baseline", OTHER): charac("blast")})
+        assert report.ok
+        assert report.checked_points == 1
+        assert report.checks > 0
+
+    def test_zero_instructions_fails(self):
+        report = validate_points({
+            ("blast", "baseline", OTHER): charac(
+                "blast", merged=sim(instructions=0)
+            ),
+        })
+        assert not report.ok
+        assert report.failures[0].metric == "instructions"
+
+    def test_stalled_work_ipc_fails(self):
+        report = validate_points({
+            ("blast", "baseline", OTHER): charac(
+                "blast", merged=sim(cycles=1_000_000)
+            ),
+        })
+        assert any(f.metric == "work_ipc" for f in report.failures)
+
+
+class TestBaselineBands:
+    def test_in_band_baselines_pass(self):
+        assert validate_points(full_baseline_points()).ok
+
+    def test_out_of_band_ipc_fails_on_stock_config(self):
+        report = validate_points({
+            ("blast", "baseline", STOCK): charac(
+                "blast", merged=sim(cycles=400)  # IPC 2.5, band hi 1.45
+            ),
+        })
+        failures = {f.metric for f in report.failures}
+        assert "ipc" in failures
+
+    def test_bands_do_not_apply_off_the_stock_config(self):
+        report = validate_points({
+            ("blast", "baseline", OTHER): charac(
+                "blast", merged=sim(cycles=400)
+            ),
+        })
+        assert report.ok
+
+    def test_bands_do_not_apply_to_other_variants(self):
+        report = validate_points({
+            ("blast", "nostride", STOCK): charac(
+                "blast", variant="nostride", merged=sim(cycles=400)
+            ),
+        })
+        assert report.ok
+
+
+class TestCombinationSpeedup:
+    def test_clear_speedup_passes(self):
+        points = full_baseline_points()
+        points[("blast", "combination", STOCK)] = charac(
+            "blast", variant="combination", merged=sim(cycles=800),
+            baseline_instructions=1000,
+        )
+        assert validate_points(points).ok
+
+    def test_regressed_combination_fails(self):
+        points = full_baseline_points()
+        points[("blast", "combination", STOCK)] = charac(
+            "blast", variant="combination", merged=sim(cycles=990),
+            baseline_instructions=1000,
+        )
+        report = validate_points(points)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.metric == "speedup_over_baseline"
+        assert failure.value < MIN_COMBINATION_SPEEDUP
+
+    def test_combination_without_baseline_is_not_checked(self):
+        report = validate_points({
+            ("blast", "combination", STOCK): charac(
+                "blast", variant="combination", merged=sim(cycles=990),
+                baseline_instructions=1000,
+            ),
+        })
+        assert report.ok
+
+
+class TestCrossApplicationClaim:
+    def test_blast_must_carry_the_highest_miss_rate(self):
+        # Depress blast's miss rate to its band floor; fasta overtakes.
+        points = full_baseline_points(overrides={"blast": {"misses": 32}})
+        report = validate_points(points)
+        assert not report.ok
+        failure = report.failures[0]
+        assert failure.metric == "l1d_miss_rate_rank"
+        assert "fasta" in failure.message
+
+    def test_claim_needs_every_application(self):
+        points = full_baseline_points(overrides={"blast": {"misses": 32}})
+        del points[("hmmer", "baseline", STOCK)]
+        assert validate_points(points).ok
+
+
+class TestReport:
+    def test_render_pass(self):
+        report = validate_points(full_baseline_points())
+        text = report.render()
+        assert text.startswith("validation:")
+        assert text.endswith("-> PASS")
+
+    def test_render_failures_lists_each(self):
+        report = validate_points({
+            ("blast", "baseline", STOCK): charac(
+                "blast", merged=sim(cycles=400)
+            ),
+        })
+        text = report.render()
+        assert "FAILED" in text
+        assert "\n  FAIL blast/baseline: ipc" in text
+
+    def test_exit_status_is_distinct(self):
+        from repro.errors import SweepInterrupted
+        assert EXIT_VALIDATION not in (0, 1, SweepInterrupted.EXIT_STATUS)
+
+
+class TestEngineWiring:
+    def test_validate_engine_reads_memoised_points(self):
+        class FakeEngine:
+            def memoised_points(self):
+                return full_baseline_points()
+
+        assert validate_engine(FakeEngine()).ok
+
+    def test_bands_cover_the_paper_apps(self):
+        from repro.perf.apps import APPS
+        assert set(BASELINE_BANDS) == set(APPS)

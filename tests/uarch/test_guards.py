@@ -1,0 +1,201 @@
+"""Core-model invariant guards (``REPRO_GUARDS``).
+
+Two layers: unit tests drive :func:`check_sim_result` over a synthetic
+result with every invariant broken in turn, and end-to-end tests prove
+that with ``REPRO_GUARDS=1`` a corrupted counter on a *real* simulation
+fails fast with a structured :class:`GuardError` — and that healthy
+simulations sail through with the toggle on.
+"""
+
+import pytest
+
+from repro.bio.scoring import BLOSUM62, GapPenalties
+from repro.bio.workloads import make_family
+from repro.errors import GuardError
+from repro.guards import GUARDS_ENV, guards_enabled
+from repro.kernels import smith_waterman as sw
+from repro.uarch.btac import BtacStats
+from repro.uarch.cache import CacheStats
+from repro.uarch.config import power5
+from repro.uarch.core import Core, IntervalRecord, SimResult
+from repro.uarch.guards import check_sim_result
+
+
+def valid_result() -> SimResult:
+    """A hand-built result satisfying every invariant."""
+    return SimResult(
+        instructions=100,
+        cycles=60,
+        branches=20,
+        conditional_branches=15,
+        taken_branches=12,
+        direction_mispredictions=3,
+        target_mispredictions=2,
+        taken_bubbles=5,
+        loads=30,
+        stores=10,
+        load_misses=4,
+        fxu_ops=50,
+        stall_cycles={"branch": 10, "memory": 20},
+        cache=CacheStats(accesses=40, misses=5),
+        btac=BtacStats(
+            lookups=12, hits=10, predictions=8, correct=6, incorrect=2
+        ),
+        intervals=[
+            IntervalRecord(0, 60, 30, 12, 2),
+            IntervalRecord(60, 40, 30, 8, 1),
+        ],
+    )
+
+
+def corrupt(**fields):
+    def mutate(result):
+        for name, value in fields.items():
+            setattr(result, name, value)
+    return mutate
+
+
+#: (violated invariant, mutation applied to an otherwise-valid result)
+CORRUPTIONS = [
+    ("non_negative", corrupt(cycles=-1)),
+    ("branches_le_instructions", corrupt(branches=101)),
+    ("conditional_le_branches", corrupt(conditional_branches=21)),
+    ("taken_le_branches", corrupt(taken_branches=21)),
+    (
+        "direction_mispredicts_le_conditional",
+        corrupt(direction_mispredictions=16),
+    ),
+    ("target_mispredicts_le_taken", corrupt(target_mispredictions=13)),
+    ("bubbles_le_taken", corrupt(taken_bubbles=13)),
+    ("memops_le_instructions", corrupt(loads=95)),
+    ("misses_le_loads", corrupt(load_misses=31)),
+    ("fxu_le_instructions", corrupt(fxu_ops=101)),
+    ("cycles_ge_commit_floor", corrupt(cycles=1)),
+    (
+        "stall_non_negative",
+        lambda r: r.stall_cycles.__setitem__("branch", -1),
+    ),
+    (
+        "stalls_le_cycles",
+        lambda r: r.stall_cycles.__setitem__("memory", 1000),
+    ),
+    ("cache_misses_le_accesses", lambda r: setattr(r.cache, "misses", 41)),
+    ("cache_accesses_ge_memops", lambda r: setattr(r.cache, "accesses", 39)),
+    ("btac_hits_le_lookups", lambda r: setattr(r.btac, "hits", 13)),
+    ("btac_predictions_le_hits", lambda r: setattr(r.btac, "predictions", 11)),
+    ("btac_outcomes_le_predictions", lambda r: setattr(r.btac, "correct", 7)),
+    (
+        "interval_monotonic",
+        lambda r: setattr(r.intervals[1], "start_instruction", 61),
+    ),
+    (
+        "interval_non_empty",
+        lambda r: setattr(r.intervals[1], "instructions", 0),
+    ),
+    ("interval_cycles_positive", lambda r: setattr(r.intervals[0], "cycles", 0)),
+    (
+        "interval_mispredicts_le_branches",
+        lambda r: setattr(r.intervals[0], "direction_mispredictions", 13),
+    ),
+    (
+        "intervals_le_instructions",
+        lambda r: setattr(r.intervals[1], "instructions", 50),
+    ),
+]
+
+
+@pytest.fixture(scope="module")
+def kernel_trace():
+    family = make_family("f", 2, 40, 0.3, seed=11)
+    trace = []
+    sw.run("baseline", family[0], family[1], BLOSUM62,
+           GapPenalties(10, 2), trace=trace)
+    return trace
+
+
+class TestCheckSimResult:
+    def test_valid_result_passes(self):
+        check_sim_result(valid_result(), power5())
+
+    def test_missing_btac_skips_btac_checks(self):
+        result = valid_result()
+        result.btac = None
+        check_sim_result(result, power5())
+
+    def test_empty_intervals_pass(self):
+        result = valid_result()
+        result.intervals = []
+        check_sim_result(result, power5())
+
+    @pytest.mark.parametrize(
+        "invariant,mutate", CORRUPTIONS, ids=[name for name, _ in CORRUPTIONS]
+    )
+    def test_each_violated_invariant_is_named(self, invariant, mutate):
+        result = valid_result()
+        mutate(result)
+        with pytest.raises(GuardError) as excinfo:
+            check_sim_result(result, power5())
+        assert excinfo.value.guard == "uarch.invariant"
+        assert excinfo.value.context["invariant"] == invariant
+
+    def test_error_carries_structured_evidence(self):
+        result = valid_result()
+        result.branches = 101
+        with pytest.raises(GuardError) as excinfo:
+            check_sim_result(result, power5())
+        payload = excinfo.value.to_dict()
+        assert payload["guard"] == "uarch.invariant"
+        assert payload["context"]["branches"] == 101
+        assert payload["context"]["instructions"] == 100
+        assert "more branches" in payload["message"]
+
+
+class TestGuardedSimulation:
+    def test_toggle_parses_on_values(self, monkeypatch):
+        for value in ("1", "on", "true", "YES"):
+            monkeypatch.setenv(GUARDS_ENV, value)
+            assert guards_enabled()
+        for value in ("", "0", "off", "no"):
+            monkeypatch.setenv(GUARDS_ENV, value)
+            assert not guards_enabled()
+        monkeypatch.delenv(GUARDS_ENV)
+        assert not guards_enabled()
+
+    def test_real_kernel_passes_under_guards(self, kernel_trace, monkeypatch):
+        monkeypatch.setenv(GUARDS_ENV, "1")
+        result = Core(power5()).simulate(kernel_trace, interval_size=256)
+        assert result.instructions == len(kernel_trace)
+        result = Core(power5().with_btac()).simulate(kernel_trace)
+        assert result.btac is not None
+
+    def test_corrupted_counter_fails_fast(self, kernel_trace, monkeypatch):
+        """Acceptance: REPRO_GUARDS=1 + a corrupted counter -> GuardError."""
+        monkeypatch.setenv(GUARDS_ENV, "1")
+        original = Core._simulate_events
+
+        def corrupting(self, trace, interval_size=None):
+            result = original(self, trace, interval_size)
+            result.branches = result.instructions + 1  # the "bug"
+            return result
+
+        monkeypatch.setattr(Core, "_simulate_events", corrupting)
+        with pytest.raises(GuardError) as excinfo:
+            Core(power5()).simulate(kernel_trace)
+        assert excinfo.value.guard == "uarch.invariant"
+        assert excinfo.value.context["invariant"] == "branches_le_instructions"
+
+    def test_corruption_is_silent_with_guards_off(
+        self, kernel_trace, monkeypatch
+    ):
+        """Documents the default: hot paths stay unchecked."""
+        monkeypatch.delenv(GUARDS_ENV, raising=False)
+        original = Core._simulate_events
+
+        def corrupting(self, trace, interval_size=None):
+            result = original(self, trace, interval_size)
+            result.branches = result.instructions + 1
+            return result
+
+        monkeypatch.setattr(Core, "_simulate_events", corrupting)
+        result = Core(power5()).simulate(kernel_trace)
+        assert result.branches == result.instructions + 1
