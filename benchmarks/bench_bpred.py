@@ -1,0 +1,135 @@
+"""Branch-prediction lab benchmarks (and the CI smoke entry point).
+
+Two questions the replay harness exists to answer cheaply:
+
+* ``extract`` — how fast the conditional-branch stream falls out of a
+  columnar kernel trace (one pass over the flags column);
+* ``replay`` — predictor evaluations/second over an extracted stream,
+  for the cheap (bimodal) and expensive (perceptron) ends of the zoo,
+  and the speedup of replaying gshare over a full ``Core.simulate``
+  of the same trace — the whole point of the harness. Asserted >= 3x
+  (it measures far higher; replay touches ~15-20% of the events and
+  does no timing work).
+
+Run as a script for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_bpred.py --smoke
+
+which exercises extract + a full predictor sweep on the smallest
+kernel stream and verifies the replay==core misprediction equality.
+"""
+
+import sys
+import time
+
+import pytest
+
+from repro.bpred.predictors import predictor_kinds
+from repro.bpred.replay import branch_stream, replay
+from repro.perf.characterize import kernel_trace
+from repro.uarch.config import power5
+from repro.uarch.core import Core
+
+KERNELS = ("fasta", "blast", "hmmer", "clustalw")
+
+_STREAMS: dict = {}
+
+
+def _fixture(kernel):
+    if kernel not in _STREAMS:
+        trace = kernel_trace(kernel, "baseline")
+        _STREAMS[kernel] = (trace, branch_stream(trace))
+    return _STREAMS[kernel]
+
+
+def _best_per_sec(fn, n, reps=5):
+    """Best-of-N wall time -> units/sec (min is the least noisy)."""
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return n / best
+
+
+@pytest.mark.parametrize("kernel", KERNELS)
+def bench_bpred_extract(benchmark, kernel):
+    """branch_stream: flags-column pass, trace-events/sec."""
+    trace, _ = _fixture(kernel)
+    n = len(trace)
+    rate = benchmark.pedantic(
+        lambda: _best_per_sec(lambda: branch_stream(trace), n),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n{kernel}: extract {rate / 1e6:.1f}M trace-events/s")
+
+
+@pytest.mark.parametrize("kind", ("bimodal", "perceptron"))
+def bench_bpred_replay(benchmark, kind):
+    """replay: branch evaluations/sec for a cheap and a costly scheme."""
+    _, stream = _fixture("fasta")
+    n = len(stream)
+    rate = benchmark.pedantic(
+        lambda: _best_per_sec(lambda: replay(stream, kind), n, reps=3),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\nfasta/{kind}: {rate / 1e3:.0f}k branches/s")
+
+
+def bench_bpred_replay_vs_core(benchmark):
+    """Replaying gshare vs fully simulating the trace (the raison d'etre)."""
+    trace, stream = _fixture("fasta")
+    config = power5()
+    n = len(trace)
+
+    core_rate = _best_per_sec(
+        lambda: Core(config).simulate(trace), n, reps=3
+    )
+    replay_rate = benchmark.pedantic(
+        lambda: _best_per_sec(lambda: replay(stream, "gshare"), n, reps=3),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = replay_rate / core_rate
+    print(
+        f"\nfasta: core {core_rate / 1e3:.0f}k ev/s | replay "
+        f"{replay_rate / 1e3:.0f}k ev/s | speedup {speedup:.1f}x"
+    )
+    assert speedup >= 3.0, (
+        f"replay only {speedup:.1f}x a full core simulation "
+        "(expected >= 3x)"
+    )
+
+
+def _smoke() -> int:
+    """CI smoke: smallest stream, full predictor sweep, exact-match check."""
+    trace, stream = _fixture("clustalw")
+    result = Core(power5()).simulate(trace)
+    gshare = replay(stream, "gshare")
+    if gshare.mispredictions != result.direction_mispredictions:
+        print(
+            f"FAIL: replay {gshare.mispredictions} != core "
+            f"{result.direction_mispredictions}"
+        )
+        return 1
+    for kind in predictor_kinds():
+        outcome = replay(stream, kind)
+        print(
+            f"{kind:12s} {outcome.mispredictions:6d} mispredictions "
+            f"({outcome.misprediction_rate:.1%}, "
+            f"{outcome.mpki:.2f} MPKI)"
+        )
+    print(
+        f"OK: {len(stream)} branches from {len(trace)} events; "
+        f"gshare replay matches the core exactly"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        sys.exit(_smoke())
+    print("usage: python benchmarks/bench_bpred.py --smoke", file=sys.stderr)
+    sys.exit(2)

@@ -1,0 +1,62 @@
+"""Branch-prediction laboratory.
+
+Pluggable direction predictors behind a registry
+(:mod:`repro.bpred.predictors`), a trace-driven replay harness that
+evaluates any scheme on the conditional-branch stream alone
+(:mod:`repro.bpred.replay`), and per-branch predictability
+characterisation ranking the hard-to-predict branches and attributing
+them to kernel source lines (:mod:`repro.bpred.characterize`).
+
+:mod:`repro.bpred.lab` wires these to the repository's workloads and
+the engine's persistent cache; it imports the perf/uarch stack, so it
+is *not* imported here — the CLI (``repro bpred``) and the
+``ext_bpred`` experiment load it on demand.
+"""
+
+from repro.bpred.characterize import (
+    BranchProfile,
+    BranchSite,
+    StreamCharacterisation,
+    attribute_to_program,
+    characterize_stream,
+    outcome_entropy,
+)
+from repro.bpred.predictors import (
+    DirectionPredictor,
+    PerceptronPredictor,
+    StaticPredictor,
+    TournamentPredictor,
+    TwoLevelLocalPredictor,
+    make_predictor,
+    predictor_kinds,
+    register_predictor,
+)
+from repro.bpred.replay import (
+    BranchStream,
+    ReplayResult,
+    branch_stream,
+    replay,
+    replay_many,
+)
+
+__all__ = [
+    "BranchProfile",
+    "BranchSite",
+    "StreamCharacterisation",
+    "attribute_to_program",
+    "characterize_stream",
+    "outcome_entropy",
+    "DirectionPredictor",
+    "PerceptronPredictor",
+    "StaticPredictor",
+    "TournamentPredictor",
+    "TwoLevelLocalPredictor",
+    "make_predictor",
+    "predictor_kinds",
+    "register_predictor",
+    "BranchStream",
+    "ReplayResult",
+    "branch_stream",
+    "replay",
+    "replay_many",
+]

@@ -1,0 +1,257 @@
+"""Per-branch predictability characterisation.
+
+The paper's argument (§III, §VI) is *per-branch*: a handful of
+value-dependent DP-recurrence branches carry most of the misprediction
+cost, and no history-based scheme fixes them. This module computes the
+statistics that make the argument quantitative:
+
+* **taken rate** — long-run bias of the branch;
+* **outcome entropy** — Shannon entropy of the direction as a Bernoulli
+  variable (1.0 bit = coin flip, 0.0 = perfectly biased);
+* **transition rate** — how often the direction flips between
+  consecutive executions (periodic branches flip predictably, random
+  ones flip ~half the time);
+* **misprediction share / MPKI contribution** — measured by replaying a
+  reference predictor (gshare by default) and attributing each miss to
+  its pc.
+
+H2P ("hard to predict") branches are those with high entropy *and* high
+dynamic weight — the ranking :func:`StreamCharacterisation.top`
+returns. :func:`attribute_to_program` maps the ranked pcs back to the
+compiled kernel's labels and rendered instructions, which is where the
+``max``/``isel`` story becomes visible in a report.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.bpred.predictors import make_predictor
+from repro.bpred.replay import BranchStream
+from repro.errors import SimulationError
+from repro.isa.instructions import Op
+from repro.isa.program import Program
+from repro.uarch.config import PredictorSpec
+
+
+def outcome_entropy(taken_rate: float) -> float:
+    """Binary Shannon entropy (bits) of a branch's direction."""
+    p = taken_rate
+    if p <= 0.0 or p >= 1.0:
+        return 0.0
+    return -(p * math.log2(p) + (1.0 - p) * math.log2(1.0 - p))
+
+
+@dataclass(frozen=True)
+class BranchProfile:
+    """Predictability statistics of one static branch (one pc)."""
+
+    pc: int
+    executions: int
+    taken: int
+    transitions: int
+    mispredictions: int
+    instructions: int
+
+    @property
+    def taken_rate(self) -> float:
+        return self.taken / self.executions if self.executions else 0.0
+
+    @property
+    def entropy(self) -> float:
+        return outcome_entropy(self.taken_rate)
+
+    @property
+    def transition_rate(self) -> float:
+        """Direction flips per execution pair (0 = steady, ~0.5 = noisy)."""
+        if self.executions <= 1:
+            return 0.0
+        return self.transitions / (self.executions - 1)
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.executions == 0:
+            return 0.0
+        return self.mispredictions / self.executions
+
+    @property
+    def mpki(self) -> float:
+        """This branch's mispredictions per 1000 committed instructions."""
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.mispredictions / self.instructions
+
+    def to_payload(self) -> dict:
+        return {
+            "pc": self.pc,
+            "executions": self.executions,
+            "taken": self.taken,
+            "transitions": self.transitions,
+            "mispredictions": self.mispredictions,
+            "taken_rate": self.taken_rate,
+            "entropy": self.entropy,
+            "transition_rate": self.transition_rate,
+            "misprediction_rate": self.misprediction_rate,
+            "mpki": self.mpki,
+        }
+
+
+@dataclass(frozen=True)
+class StreamCharacterisation:
+    """All static branches of one stream, ranked hardest-first."""
+
+    spec: PredictorSpec
+    branches: tuple[BranchProfile, ...]
+    instructions: int
+    total_mispredictions: int
+
+    def top(self, n: int = 5) -> tuple[BranchProfile, ...]:
+        """The ``n`` branches contributing the most mispredictions."""
+        return self.branches[:n]
+
+    def coverage(self, n: int = 5) -> float:
+        """Share of all mispredictions the top ``n`` branches explain."""
+        if self.total_mispredictions == 0:
+            return 0.0
+        covered = sum(p.mispredictions for p in self.branches[:n])
+        return covered / self.total_mispredictions
+
+    @property
+    def mpki(self) -> float:
+        if self.instructions == 0:
+            return 0.0
+        return 1000.0 * self.total_mispredictions / self.instructions
+
+    def to_payload(self) -> dict:
+        from dataclasses import asdict
+
+        return {
+            "spec": asdict(self.spec),
+            "instructions": self.instructions,
+            "total_mispredictions": self.total_mispredictions,
+            "mpki": self.mpki,
+            "branches": [p.to_payload() for p in self.branches],
+        }
+
+
+def characterize_stream(
+    stream: BranchStream,
+    spec: PredictorSpec | str = "gshare",
+) -> StreamCharacterisation:
+    """Profile every static branch of ``stream``.
+
+    One replay pass over the stream accumulates per-pc execution,
+    taken, transition and misprediction counts under the reference
+    predictor; the result ranks branches by misprediction count (the
+    H2P ordering), breaking ties by pc for determinism.
+    """
+    if isinstance(spec, str):
+        spec = PredictorSpec(kind=spec)
+    predictor = make_predictor(spec)
+    update = predictor.update
+
+    executions: dict[int, int] = {}
+    taken_counts: dict[int, int] = {}
+    transitions: dict[int, int] = {}
+    mispredictions: dict[int, int] = {}
+    last_outcome: dict[int, int] = {}
+
+    for pc, taken in zip(stream.pcs, stream.taken):
+        executions[pc] = executions.get(pc, 0) + 1
+        if taken:
+            taken_counts[pc] = taken_counts.get(pc, 0) + 1
+        previous = last_outcome.get(pc)
+        if previous is not None and previous != taken:
+            transitions[pc] = transitions.get(pc, 0) + 1
+        last_outcome[pc] = taken
+        if update(pc, taken == 1):
+            mispredictions[pc] = mispredictions.get(pc, 0) + 1
+
+    profiles = [
+        BranchProfile(
+            pc=pc,
+            executions=count,
+            taken=taken_counts.get(pc, 0),
+            transitions=transitions.get(pc, 0),
+            mispredictions=mispredictions.get(pc, 0),
+            instructions=stream.instructions,
+        )
+        for pc, count in executions.items()
+    ]
+    profiles.sort(key=lambda p: (-p.mispredictions, -p.executions, p.pc))
+    return StreamCharacterisation(
+        spec=spec,
+        branches=tuple(profiles),
+        instructions=stream.instructions,
+        total_mispredictions=sum(mispredictions.values()),
+    )
+
+
+@dataclass(frozen=True)
+class BranchSite:
+    """A profiled branch attributed to its kernel source line."""
+
+    profile: BranchProfile
+    label: str
+    source: str
+
+    @property
+    def location(self) -> str:
+        return f"{self.label}+{self.profile.pc}" if self.label else str(
+            self.profile.pc
+        )
+
+    def to_payload(self) -> dict:
+        payload = self.profile.to_payload()
+        payload["label"] = self.label
+        payload["source"] = self.source
+        return payload
+
+
+def attribute_to_program(
+    characterisation: StreamCharacterisation,
+    program: Program,
+    limit: int | None = None,
+) -> list[BranchSite]:
+    """Map ranked branch pcs back to the compiled program.
+
+    Each pc must name a conditional branch (``bc``) in ``program`` —
+    anything else means the stream and the program disagree, which is
+    a hard error, not a cosmetic one. The label is the nearest program
+    label at or before the pc (the compiled basic block the branch
+    belongs to).
+    """
+    label_at: dict[int, str] = {}
+    for name, index in sorted(program.labels.items(), key=lambda kv: kv[1]):
+        label_at[index] = name
+    sites: list[BranchSite] = []
+    ranked = characterisation.branches
+    if limit is not None:
+        ranked = ranked[:limit]
+    for profile in ranked:
+        pc = profile.pc
+        if not 0 <= pc < len(program):
+            raise SimulationError(
+                f"branch pc {pc} outside program of {len(program)} "
+                "instructions — trace/program mismatch"
+            )
+        instruction = program[pc]
+        if instruction.op is not Op.BC:
+            raise SimulationError(
+                f"pc {pc} is {instruction.op.value!r}, not a conditional "
+                "branch — trace/program mismatch"
+            )
+        label = ""
+        for index in range(pc, -1, -1):
+            if index in label_at:
+                label = label_at[index]
+                break
+        sites.append(
+            BranchSite(
+                profile=profile,
+                label=label,
+                source=instruction.render(),
+            )
+        )
+    return sites

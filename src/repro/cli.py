@@ -15,6 +15,7 @@ simulate   run an application kernel on the POWER5 core model
 asm        print a kernel's mini-ISA assembly per variant
 trace      dump a kernel trace / re-simulate a saved one
 experiments reproduce the paper's tables/figures (engine-backed)
+bpred      branch-prediction lab: compare / rank / sweep predictors
 cache      inspect / clear / gc the persistent simulation cache
 runs       list / prune the durable sweep run journals
 resume     continue an interrupted journaled sweep
@@ -209,6 +210,145 @@ def cmd_experiments(args) -> int:
     from repro.experiments.__main__ import main as experiments_main
 
     return experiments_main(args.args)
+
+
+def cmd_bpred(args) -> int:
+    from repro.bpred.predictors import predictor_kinds
+    from repro.bpred.lab import (
+        cached_characterisation,
+        cached_replay,
+        ranked_sites,
+        spec_for,
+        stream_for,
+    )
+    from repro.engine.cache import use_cache_dir
+
+    if args.cache_dir is not None:
+        use_cache_dir(args.cache_dir)
+
+    if args.action == "compare":
+        kinds = args.kinds.split(",") if args.kinds else predictor_kinds()
+        results = [
+            (kind, cached_replay(args.app, args.variant, kind))
+            for kind in kinds
+        ]
+        if args.porcelain:
+            # One predictor per line, tab-separated, stable field order
+            # (consistent with `repro runs --porcelain`): kind, branches,
+            # mispredictions, rate, mpki.
+            for kind, result in results:
+                print("\t".join([
+                    kind,
+                    str(result.branches),
+                    str(result.mispredictions),
+                    f"{result.misprediction_rate:.6f}",
+                    f"{result.mpki:.3f}",
+                ]))
+            return 0
+        table = Table(
+            f"Direction predictors on the {args.app} kernel "
+            f"({args.variant})",
+            ["Predictor", "Branches", "Mispredicts", "Rate", "MPKI"],
+        )
+        for kind, result in results:
+            table.add_row(
+                kind,
+                result.branches,
+                result.mispredictions,
+                percent(result.misprediction_rate),
+                f"{result.mpki:.2f}",
+            )
+        print(table.render())
+        return 0
+
+    if args.action == "rank":
+        sites = ranked_sites(
+            args.app, args.variant, spec=args.spec, limit=args.top
+        )
+        characterisation = cached_characterisation(
+            args.app, args.variant, spec=args.spec
+        )
+        if args.porcelain:
+            # One branch per line: pc, location, executions, taken_rate,
+            # entropy, transition_rate, mispredictions, mpki.
+            for site in sites:
+                profile = site.profile
+                print("\t".join([
+                    str(profile.pc),
+                    site.location,
+                    str(profile.executions),
+                    f"{profile.taken_rate:.6f}",
+                    f"{profile.entropy:.6f}",
+                    f"{profile.transition_rate:.6f}",
+                    str(profile.mispredictions),
+                    f"{profile.mpki:.3f}",
+                ]))
+            return 0
+        table = Table(
+            f"Hardest branches of the {args.app} kernel "
+            f"({args.variant}, {args.spec} reference)",
+            ["Location", "Source", "Execs", "Taken", "Entropy",
+             "Flips", "MPKI"],
+        )
+        for site in sites:
+            profile = site.profile
+            table.add_row(
+                site.location,
+                site.source,
+                profile.executions,
+                percent(profile.taken_rate),
+                f"{profile.entropy:.2f}",
+                percent(profile.transition_rate),
+                f"{profile.mpki:.2f}",
+            )
+        print(table.render())
+        covered = characterisation.coverage(args.top)
+        print(
+            f"\n# top {args.top} branches explain {covered:.1%} of "
+            f"{characterisation.total_mispredictions} mispredictions "
+            f"({characterisation.mpki:.2f} MPKI)"
+        )
+        return 0
+
+    # sweep: one kind across table/history geometries.
+    stream = stream_for(args.app, args.variant)
+    table_bits = [int(b) for b in args.table_bits.split(",")]
+    history_bits = [int(b) for b in args.history_bits.split(",")]
+    rows = []
+    for bits in table_bits:
+        for history in history_bits:
+            spec = spec_for(args.kind, bits, history)
+            result = cached_replay(args.app, args.variant, spec)
+            rows.append((spec, result))
+    if args.porcelain:
+        # kind, table_bits, history_bits, branches, mispredictions,
+        # rate, mpki.
+        for spec, result in rows:
+            print("\t".join([
+                spec.kind,
+                str(spec.table_bits),
+                str(spec.history_bits),
+                str(result.branches),
+                str(result.mispredictions),
+                f"{result.misprediction_rate:.6f}",
+                f"{result.mpki:.3f}",
+            ]))
+        return 0
+    table = Table(
+        f"{args.kind} geometry sweep on the {args.app} kernel "
+        f"({args.variant}, {len(stream)} branches)",
+        ["Table bits", "History bits", "Mispredicts", "Rate", "MPKI"],
+    )
+    for spec, result in rows:
+        table.add_row(
+            spec.table_bits,
+            spec.history_bits,
+            result.mispredictions,
+            percent(result.misprediction_rate),
+            f"{result.mpki:.2f}",
+        )
+    print(table.render())
+    return 0
 
 
 def cmd_cache(args) -> int:
@@ -436,6 +576,43 @@ def build_parser() -> argparse.ArgumentParser:
              "(experiment ids, --jobs, --cache-dir, --telemetry-json, ...)",
     )
     p_exp.set_defaults(func=cmd_experiments)
+
+    p_bpred = sub.add_parser(
+        "bpred",
+        help="branch-prediction lab: compare schemes, rank hard "
+             "branches, sweep geometries",
+    )
+    p_bpred.add_argument("action", choices=["compare", "rank", "sweep"])
+    p_bpred.add_argument("app", choices=["blast", "clustalw", "fasta",
+                                         "hmmer"])
+    p_bpred.add_argument("--variant", default="baseline",
+                         choices=list(VARIANTS))
+    p_bpred.add_argument("--kinds", default=None, metavar="K1,K2,...",
+                         help="compare only: comma-separated predictor "
+                              "kinds (default: all registered)")
+    p_bpred.add_argument("--spec", default="gshare", metavar="KIND",
+                         help="rank only: reference predictor "
+                              "(default: gshare)")
+    p_bpred.add_argument("--top", type=int, default=10, metavar="N",
+                         help="rank only: branches to show (default: 10)")
+    p_bpred.add_argument("--kind", default="gshare", metavar="KIND",
+                         help="sweep only: predictor kind to sweep")
+    p_bpred.add_argument("--table-bits", default="8,10,12,14",
+                         metavar="B1,B2,...",
+                         help="sweep only: table sizes (default: "
+                              "8,10,12,14)")
+    p_bpred.add_argument("--history-bits", default="10",
+                         metavar="H1,H2,...",
+                         help="sweep only: history lengths (default: 10; "
+                              "clamped to table bits for gshare-like "
+                              "schemes)")
+    p_bpred.add_argument("--porcelain", action="store_true",
+                         help="tab-separated machine-readable output "
+                              "(stable field order per action)")
+    p_bpred.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/repro-power5)")
+    p_bpred.set_defaults(func=cmd_bpred)
 
     p_cache = sub.add_parser(
         "cache",

@@ -26,7 +26,10 @@ from repro.uarch.config import CoreConfig
 
 #: Bump to invalidate every cache entry on disk (layout/format changes).
 #: 2: traces persist in the binary columnar v2 format.
-CACHE_SCHEMA_VERSION = 2
+#: 3: ``CoreConfig.predictor`` is a :class:`PredictorSpec` (kind +
+#:    geometry), so every config digest — and the journaled configs
+#:    they address — changed shape.
+CACHE_SCHEMA_VERSION = 3
 
 #: Packages/modules (relative to the ``repro`` package) whose source
 #: participates in trace/result generation.
@@ -36,6 +39,7 @@ _SIM_SOURCE_ROOTS = (
     "compiler",
     "bio",
     "uarch",
+    "bpred",
     "perf/characterize.py",
 )
 

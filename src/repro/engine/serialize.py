@@ -14,7 +14,7 @@ from dataclasses import asdict
 from repro.perf.characterize import AppCharacterisation
 from repro.uarch.btac import BtacStats
 from repro.uarch.cache import CacheStats
-from repro.uarch.config import BtacConfig, CacheConfig, CoreConfig, PredictorConfig
+from repro.uarch.config import BtacConfig, CacheConfig, CoreConfig, PredictorSpec
 from repro.uarch.core import IntervalRecord, SimResult
 
 _SIM_INT_FIELDS = (
@@ -101,8 +101,13 @@ def config_from_dict(payload: dict) -> CoreConfig:
     btac = payload["btac"]
     return CoreConfig(
         **{name: int(payload[name]) for name in _CORE_INT_FIELDS},
-        predictor=PredictorConfig(
-            **{k: int(v) for k, v in payload["predictor"].items()}
+        predictor=PredictorSpec(
+            kind=str(payload["predictor"]["kind"]),
+            **{
+                k: int(v)
+                for k, v in payload["predictor"].items()
+                if k != "kind"
+            },
         ),
         btac=(
             None

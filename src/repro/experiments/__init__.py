@@ -13,6 +13,7 @@ module           reproduces
 ``fig6``         Figure 6 — combined gains + residual
 ``ext_phylip``   §VIII extension — parsimony kernel predication
 ``ext_cmp_llc``  §VII extension — shared vs private LLC (ref. [26])
+``ext_bpred``    §III/§VI extension — predictor zoo vs predication
 ``ablations``    design-decision sweeps (BTAC size/threshold, ...)
 ================ ==============================================
 
@@ -21,6 +22,7 @@ Run from the command line: ``python -m repro.experiments fig3``.
 
 from repro.experiments import (
     ablations,
+    ext_bpred,
     ext_cmp_llc,
     ext_phylip,
     fig1,
@@ -51,6 +53,7 @@ EXPERIMENTS = {
     "fig6": fig6.run,
     "ext_phylip": ext_phylip.run,
     "ext_cmp_llc": ext_cmp_llc.run,
+    "ext_bpred": ext_bpred.run,
     "ablations": ablations.run,
 }
 
@@ -70,5 +73,6 @@ __all__ = [
     "fig6",
     "ext_phylip",
     "ext_cmp_llc",
+    "ext_bpred",
     "ablations",
 ]

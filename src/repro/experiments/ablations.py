@@ -25,7 +25,7 @@ from dataclasses import replace
 
 from repro.experiments.common import ExperimentResult, cached_characterize
 from repro.perf.report import Table, percent, signed_percent
-from repro.uarch.config import BtacConfig, PredictorConfig, power5
+from repro.uarch.config import BtacConfig, PredictorSpec, power5
 
 APP = "fasta"
 
@@ -46,7 +46,7 @@ def points():
     for history in (0, 4, 10, 12):
         result.append((
             APP, "baseline",
-            replace(base, predictor=PredictorConfig(
+            replace(base, predictor=PredictorSpec(
                 table_bits=12, history_bits=history)),
         ))
     for app in ("blast", "clustalw", "fasta", "hmmer"):
@@ -101,7 +101,7 @@ def predictor_sweep() -> Table:
     for history in (0, 4, 10, 12):
         config = replace(
             base,
-            predictor=PredictorConfig(table_bits=12, history_bits=history),
+            predictor=PredictorSpec(table_bits=12, history_bits=history),
         )
         result = cached_characterize(APP, "baseline", config)
         table.add_row(

@@ -1,0 +1,117 @@
+"""Extension (§III/§VI): no history-based predictor fixes the max branches.
+
+The paper's central branch argument is negative: the mispredictions
+that dominate BioPerf come from value-dependent DP-recurrence branches
+(``V = max(...)``), whose outcome depends on the *data*, not on any
+history pattern — so a better direction predictor cannot recover the
+loss, while predication (``max``/``isel`` conversion) removes the
+branches outright. This experiment makes the claim quantitative with
+the branch-prediction lab:
+
+* every registered direction-prediction scheme — static, bimodal,
+  gshare, two-level local, tournament, perceptron — replays over each
+  app's **baseline** kernel branch stream (same stream, fresh state),
+  giving a direction-MPKI matrix;
+* the best history-based scheme's improvement over the stock gshare is
+  then compared with what the predicated code variants (``hand_max``,
+  ``comp_isel``, ``combination``) achieve under the *same* stock
+  gshare.
+
+Expected shape, per app: swapping predictors moves MPKI by a small
+factor; converting the branches removes most of it. The residual claim
+("can't fix") is asserted as data, not prose: the predication gain
+exceeds the best predictor gain on every app.
+"""
+
+from __future__ import annotations
+
+from repro.bpred.lab import cached_replay
+from repro.bpred.predictors import predictor_kinds
+from repro.experiments.common import ExperimentResult
+from repro.perf.characterize import APP_WORKLOADS
+from repro.perf.report import Table, percent
+
+APPS = tuple(sorted(APP_WORKLOADS))
+
+#: Predicated code variants under a stock gshare (Figure 3's movers).
+PREDICATED_VARIANTS = ("hand_max", "comp_isel", "combination")
+
+#: Static schemes are a floor, not a contender; exclude them from the
+#: "best history-based scheme" argmin.
+_HISTORY_KINDS = ("bimodal", "gshare", "local", "tournament", "perceptron")
+
+
+def run() -> ExperimentResult:
+    """Predictor matrix vs predication across all four applications."""
+    kinds = predictor_kinds()
+
+    # -- every scheme on every baseline kernel stream -------------------
+    mpki: dict[str, dict[str, float]] = {}
+    for app in APPS:
+        mpki[app] = {
+            kind: cached_replay(app, "baseline", kind).mpki
+            for kind in kinds
+        }
+    matrix = Table(
+        "Extension - direction MPKI by predictor (baseline kernels)",
+        ["Predictor", *APPS],
+    )
+    for kind in kinds:
+        matrix.add_row(
+            kind, *[f"{mpki[app][kind]:.2f}" for app in APPS]
+        )
+
+    # -- better predictor vs predicated code ----------------------------
+    comparison = Table(
+        "Best history-based scheme vs predication (gshare MPKI unless "
+        "noted)",
+        ["App", "gshare", "best scheme", "hand_max", "comp_isel",
+         "combination", "best-scheme gain", "predication gain"],
+    )
+    data: dict = {"apps": {}}
+    claim_holds = True
+    for app in APPS:
+        baseline = mpki[app]["gshare"]
+        best_kind = min(_HISTORY_KINDS, key=lambda kind: mpki[app][kind])
+        best = mpki[app][best_kind]
+        variants = {
+            variant: cached_replay(app, variant, "gshare").mpki
+            for variant in PREDICATED_VARIANTS
+        }
+        predicated = min(variants.values())
+        scheme_gain = 1.0 - best / baseline if baseline else 0.0
+        predication_gain = 1.0 - predicated / baseline if baseline else 0.0
+        claim_holds = claim_holds and predication_gain > scheme_gain
+        comparison.add_row(
+            app,
+            f"{baseline:.2f}",
+            f"{best:.2f} ({best_kind})",
+            f"{variants['hand_max']:.2f}",
+            f"{variants['comp_isel']:.2f}",
+            f"{variants['combination']:.2f}",
+            percent(scheme_gain),
+            percent(predication_gain),
+        )
+        data["apps"][app] = {
+            "mpki": mpki[app],
+            "best_kind": best_kind,
+            "variant_mpki": variants,
+            "best_scheme_gain": scheme_gain,
+            "predication_gain": predication_gain,
+        }
+    data["claim_holds"] = claim_holds
+
+    verdict = Table(
+        "The paper's claim: history-based schemes cannot fix the "
+        "max branches",
+        ["Predication beats the best predictor on every app"],
+    ).add_row("yes" if claim_holds else "NO - check data")
+    return ExperimentResult(
+        experiment="ext_bpred",
+        description=(
+            "value-dependent DP branches defeat every history-based "
+            "scheme; predication removes them"
+        ),
+        tables=[matrix, comparison, verdict],
+        data=data,
+    )

@@ -14,6 +14,7 @@ from repro.uarch.config import (
     CacheConfig,
     CoreConfig,
     PredictorConfig,
+    PredictorSpec,
     power5,
 )
 from repro.uarch.core import Core, IntervalRecord, SimResult, simulate_trace
@@ -39,6 +40,7 @@ __all__ = [
     "CacheConfig",
     "CoreConfig",
     "PredictorConfig",
+    "PredictorSpec",
     "power5",
     "Core",
     "IntervalRecord",

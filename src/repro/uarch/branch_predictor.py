@@ -6,6 +6,14 @@ saturating counters indexed by PC xor global history) stands in for the
 POWER5's bimodal/path-history tournament — adequate because the
 kernels' max-statement branches are value-dependent and defeat any
 history-based scheme, which is precisely the paper's premise.
+
+These two schemes are the core model's historical residents; the full
+pluggable family (static, two-level local, tournament, perceptron)
+lives in :mod:`repro.bpred.predictors`, which registers these classes
+behind the same :class:`~repro.bpred.predictors.DirectionPredictor`
+interface. ``predict`` and ``update`` share :meth:`GsharePredictor._index`
+so the two paths can never disagree about which counter a branch maps
+to.
 """
 
 from __future__ import annotations
@@ -36,9 +44,9 @@ class GsharePredictor:
 
     def update(self, pc: int, taken: bool) -> bool:
         """Record the outcome; returns True when it was mispredicted."""
+        index = self._index(pc)
         history = self._history
         history_mask = self._history_mask
-        index = (pc ^ (history & history_mask)) & self._mask
         table = self._table
         counter = table[index]
         if taken:

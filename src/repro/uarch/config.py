@@ -30,6 +30,60 @@ class PredictorConfig:
             raise SimulationError("history cannot exceed table index bits")
 
 
+#: Direction-predictor kinds the registry in :mod:`repro.bpred` provides.
+#: Validated here so a typo'd spec fails at configuration time, before
+#: it leaks into a config digest.
+PREDICTOR_KINDS = (
+    "taken", "not_taken", "bimodal", "gshare", "local", "tournament",
+    "perceptron",
+)
+
+#: Kinds whose gshare component indexes its table with global history,
+#: so the history cannot exceed the table index bits.
+_GSHARE_LIKE = ("gshare", "tournament")
+
+
+@dataclass(frozen=True)
+class PredictorSpec:
+    """Which direction predictor a core uses, and its geometry.
+
+    ``kind`` names an entry in the :mod:`repro.bpred` predictor
+    registry. ``table_bits`` sizes every per-PC table (counters, local
+    histories, perceptrons); ``history_bits`` is the history length
+    (global for gshare/tournament/perceptron, per-branch for the
+    two-level local scheme); ``threshold`` is the perceptron training
+    threshold, where 0 selects the classic ``1.93 * history + 14``.
+
+    The spec is a frozen dataclass nested inside
+    :class:`CoreConfig`, so it folds into the engine's config digest
+    like every other machine parameter.
+    """
+
+    kind: str = "gshare"
+    table_bits: int = 12
+    history_bits: int = 10
+    threshold: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in PREDICTOR_KINDS:
+            raise SimulationError(
+                f"unknown predictor kind {self.kind!r}; "
+                f"have {PREDICTOR_KINDS}"
+            )
+        if self.table_bits < 1 or self.history_bits < 0:
+            raise SimulationError(f"bad predictor geometry: {self}")
+        if self.kind in _GSHARE_LIKE and self.history_bits > self.table_bits:
+            raise SimulationError("history cannot exceed table index bits")
+        if self.threshold < 0:
+            raise SimulationError("threshold must be >= 0")
+
+    def gshare_geometry(self) -> PredictorConfig:
+        """This spec's geometry as legacy gshare configuration."""
+        return PredictorConfig(
+            table_bits=self.table_bits, history_bits=self.history_bits
+        )
+
+
 @dataclass(frozen=True)
 class BtacConfig:
     """Branch Target Address Cache geometry (§IV-D).
@@ -101,7 +155,7 @@ class CoreConfig:
     lsu_count: int = 2
     bru_count: int = 1
     taken_branch_penalty: int = 2
-    predictor: PredictorConfig = field(default_factory=PredictorConfig)
+    predictor: PredictorSpec = field(default_factory=PredictorSpec)
     btac: BtacConfig | None = None
     cache: CacheConfig = field(default_factory=CacheConfig)
 
@@ -127,6 +181,23 @@ class CoreConfig:
         """SMT-mode approximation: the taken-branch bubble grows to
         three cycles (§III: "3-cycle if SMT is enabled")."""
         return replace(self, taken_branch_penalty=3)
+
+    def with_predictor(
+        self, predictor: "PredictorSpec | str", **geometry: int
+    ) -> "CoreConfig":
+        """This core with another direction predictor.
+
+        Accepts a ready :class:`PredictorSpec` or a registry kind name
+        plus geometry overrides: ``power5().with_predictor("perceptron",
+        history_bits=16)``.
+        """
+        if isinstance(predictor, str):
+            predictor = PredictorSpec(kind=predictor, **geometry)
+        elif geometry:
+            raise SimulationError(
+                "geometry overrides require a kind name, not a full spec"
+            )
+        return replace(self, predictor=predictor)
 
 
 def power5() -> CoreConfig:

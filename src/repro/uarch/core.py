@@ -172,7 +172,11 @@ class Core:
 
     def __init__(self, config: CoreConfig | None = None) -> None:
         self.config = config or CoreConfig()
-        self.predictor = GsharePredictor(self.config.predictor)
+        # The predictor laboratory sits above the uarch layer (its
+        # registry imports this package), so resolve the spec lazily.
+        from repro.bpred.predictors import make_predictor
+
+        self.predictor = make_predictor(self.config.predictor)
         self.btac = Btac(self.config.btac) if self.config.btac else None
         self.cache = L1DCache(self.config.cache)
 
@@ -468,14 +472,21 @@ class Core:
             config.btac.wrong_target_penalty if config.btac else 0
         )
 
-        # The gshare predictor and L1D are inlined below (both are
-        # concrete classes Core itself constructs): their per-call
+        # The default gshare predictor and the L1D are inlined below
+        # (concrete classes Core itself constructs): their per-call
         # overhead is visible at this loop's event rates. State lives
-        # in locals and is written back once after the loop.
-        bp_table = predictor._table
-        bp_history = predictor._history
-        bp_hmask = predictor._history_mask
-        bp_mask = predictor._mask
+        # in locals and is written back once after the loop. Any other
+        # registered predictor runs through its update() method; the
+        # golden-equality suite pins both routes to the object path.
+        bp_update = None
+        bp_table = bp_history = bp_hmask = bp_mask = 0
+        if type(predictor) is GsharePredictor:
+            bp_table = predictor._table
+            bp_history = predictor._history
+            bp_hmask = predictor._history_mask
+            bp_mask = predictor._mask
+        else:
+            bp_update = predictor.update
         cache_sets = cache._sets
         cache_set_mask = cache._set_mask
         cache_line_bytes = cache._line_bytes
@@ -757,21 +768,26 @@ class Core:
                     mispredicted = False
                     if flags & F_COND:
                         conditional_branches += 1
-                        # Inlined GsharePredictor.update. The history
-                        # local is kept masked, so the index needs no
-                        # second masking.
-                        index = (pcs[i] ^ bp_history) & bp_mask
-                        counter = bp_table[index]
-                        if taken:
-                            if counter < 3:
-                                bp_table[index] = counter + 1
-                            bp_history = ((bp_history << 1) | 1) & bp_hmask
-                            mispredicted = counter < 2
+                        if bp_update is not None:
+                            mispredicted = bp_update(pcs[i], taken)
                         else:
-                            if counter > 0:
-                                bp_table[index] = counter - 1
-                            bp_history = (bp_history << 1) & bp_hmask
-                            mispredicted = counter >= 2
+                            # Inlined GsharePredictor.update. The
+                            # history local is kept masked, so the
+                            # index needs no second masking.
+                            index = (pcs[i] ^ bp_history) & bp_mask
+                            counter = bp_table[index]
+                            if taken:
+                                if counter < 3:
+                                    bp_table[index] = counter + 1
+                                bp_history = (
+                                    (bp_history << 1) | 1
+                                ) & bp_hmask
+                                mispredicted = counter < 2
+                            else:
+                                if counter > 0:
+                                    bp_table[index] = counter - 1
+                                bp_history = (bp_history << 1) & bp_hmask
+                                mispredicted = counter >= 2
                     if mispredicted:
                         direction_mispredictions += 1
                         interval_mispredicts += 1
@@ -886,10 +902,12 @@ class Core:
 
         # Write the inlined predictor/cache state back (one conditional
         # update per trace, matching what the method calls would have
-        # accumulated event by event).
-        predictor._history = bp_history
-        predictor.predictions += conditional_branches
-        predictor.mispredictions += direction_mispredictions
+        # accumulated event by event). Non-gshare predictors ran their
+        # own update() per branch, so their state is already current.
+        if bp_update is None:
+            predictor._history = bp_history
+            predictor.predictions += conditional_branches
+            predictor.mispredictions += direction_mispredictions
         cache_stats = cache.stats
         cache_stats.accesses += cache_accesses
         cache_stats.misses += cache_misses

@@ -103,13 +103,19 @@ def derived_metrics(result: SimResult) -> dict[str, float]:
         branches["PM_BR_MPRED_DIR"] + branches["PM_BR_MPRED_TA"]
     )
     references = cache["PM_LD_REF_L1"] + cache["PM_ST_REF_L1"]
+    cycles = completion["PM_CYC"]
+
+    # Empty denominators yield 0.0 — the same convention as
+    # SimResult.ipc — rather than a silently shifted ratio from a
+    # max(1, ...) floor or a ZeroDivisionError.
+    def ratio(numerator: int, denominator: int) -> float:
+        return numerator / denominator if denominator else 0.0
+
     return {
-        "ipc": completion["PM_INST_CMPL"] / max(1, completion["PM_CYC"]),
-        "l1d_miss_rate": cache["PM_LD_MISS_L1"] / max(1, references),
-        "direction_share": (
-            branches["PM_BR_MPRED_DIR"] / max(1, total_mispredicts)
+        "ipc": ratio(completion["PM_INST_CMPL"], cycles),
+        "l1d_miss_rate": ratio(cache["PM_LD_MISS_L1"], references),
+        "direction_share": ratio(
+            branches["PM_BR_MPRED_DIR"], total_mispredicts
         ),
-        "fxu_stall_fraction": (
-            completion["PM_STALL_FXU"] / max(1, completion["PM_CYC"])
-        ),
+        "fxu_stall_fraction": ratio(completion["PM_STALL_FXU"], cycles),
     }

@@ -1,0 +1,1 @@
+"""Tests for the branch-prediction laboratory (repro.bpred)."""

@@ -1,0 +1,156 @@
+"""Tests for per-branch predictability characterisation."""
+
+from array import array
+
+import pytest
+
+from repro.bpred.characterize import (
+    attribute_to_program,
+    characterize_stream,
+    outcome_entropy,
+)
+from repro.bpred.lab import kernel_program
+from repro.bpred.replay import BranchStream, branch_stream
+from repro.errors import SimulationError
+from repro.isa.instructions import Op
+from repro.perf.characterize import APP_WORKLOADS, kernel_trace
+
+APPS = tuple(sorted(APP_WORKLOADS))
+
+
+def make_stream(pairs, instructions=None):
+    """A BranchStream from explicit (pc, taken) pairs."""
+    pcs = array("q", [pc for pc, _ in pairs])
+    taken = array("B", [1 if t else 0 for _, t in pairs])
+    return BranchStream(
+        pcs=pcs,
+        taken=taken,
+        instructions=len(pairs) * 5 if instructions is None else instructions,
+    )
+
+
+class TestOutcomeEntropy:
+    def test_edges(self):
+        assert outcome_entropy(0.0) == 0.0
+        assert outcome_entropy(1.0) == 0.0
+        assert outcome_entropy(0.5) == pytest.approx(1.0)
+
+    def test_symmetric_and_peaked_at_half(self):
+        assert outcome_entropy(0.2) == pytest.approx(outcome_entropy(0.8))
+        assert outcome_entropy(0.2) < outcome_entropy(0.4) < 1.0
+
+
+class TestCharacterizeStream:
+    def test_per_branch_statistics(self):
+        # pc 10: perfect alternation (entropy 1, transition rate 1).
+        # pc 20: always taken (entropy 0, no transitions).
+        pairs = [(10, i % 2 == 0) for i in range(100)]
+        pairs += [(20, True)] * 50
+        result = characterize_stream(make_stream(pairs), "gshare")
+        by_pc = {p.pc: p for p in result.branches}
+        assert set(by_pc) == {10, 20}
+
+        alternating = by_pc[10]
+        assert alternating.executions == 100
+        assert alternating.taken == 50
+        assert alternating.taken_rate == pytest.approx(0.5)
+        assert alternating.entropy == pytest.approx(1.0)
+        assert alternating.transitions == 99
+        assert alternating.transition_rate == pytest.approx(1.0)
+
+        biased = by_pc[20]
+        assert biased.taken_rate == 1.0
+        assert biased.entropy == 0.0
+        assert biased.transitions == 0
+        assert biased.transition_rate == 0.0
+
+    def test_ranking_and_coverage(self):
+        import random
+
+        rng = random.Random(41)
+        # pc 7 is a coin flip (hard); pc 8 is steady (easy).
+        pairs = []
+        for _ in range(500):
+            pairs.append((7, rng.random() < 0.5))
+            pairs.append((8, True))
+        result = characterize_stream(make_stream(pairs), "gshare")
+        assert result.branches[0].pc == 7
+        # The coin flip dominates; the steady branch only suffers the
+        # history pollution the flips leak into the shared tables.
+        assert result.coverage(1) > 0.75
+        assert result.coverage(len(result.branches)) == pytest.approx(1.0)
+        assert result.total_mispredictions == sum(
+            p.mispredictions for p in result.branches
+        )
+        assert result.mpki == pytest.approx(
+            1000.0 * result.total_mispredictions / result.instructions
+        )
+
+    def test_misprediction_counts_match_plain_replay(self):
+        from repro.bpred.replay import replay
+
+        pairs = [(pc, (pc * step) % 3 == 0) for step in range(200)
+                 for pc in (3, 5, 9)]
+        stream = make_stream(pairs)
+        profiled = characterize_stream(stream, "bimodal")
+        replayed = replay(stream, "bimodal")
+        assert profiled.total_mispredictions == replayed.mispredictions
+
+    def test_zero_mispredictions_means_zero_coverage(self):
+        result = characterize_stream(make_stream([(4, True)] * 64), "taken")
+        assert result.total_mispredictions == 0
+        assert result.coverage(5) == 0.0
+
+    def test_payload_round_trip_fields(self):
+        result = characterize_stream(
+            make_stream([(2, True), (2, False)] * 8), "gshare"
+        )
+        payload = result.to_payload()
+        assert payload["total_mispredictions"] == result.total_mispredictions
+        entry = payload["branches"][0]
+        assert entry["pc"] == result.branches[0].pc
+        assert entry["entropy"] == pytest.approx(result.branches[0].entropy)
+
+
+class TestAttribution:
+    @pytest.mark.parametrize("app", APPS)
+    def test_every_traced_branch_resolves_to_bc(self, app):
+        """Drift guard: every conditional-branch pc in an app's kernel
+        trace must name a ``bc`` in the reconstructed kernel program —
+        if `kernel_program` and `kernel_trace` ever disagree about the
+        compiled kernel, this fails loudly."""
+        stream = branch_stream(kernel_trace(app, "baseline"))
+        result = characterize_stream(stream, "gshare")
+        sites = attribute_to_program(
+            result, kernel_program(app, "baseline"), limit=None
+        )
+        assert len(sites) == len(result.branches)
+        assert all(site.label for site in sites)
+        assert all(site.source for site in sites)
+
+    def test_top_sites_are_the_dp_max_branches(self):
+        stream = branch_stream(kernel_trace("fasta", "baseline"))
+        result = characterize_stream(stream, "gshare")
+        sites = attribute_to_program(
+            result, kernel_program("fasta", "baseline"), limit=5
+        )
+        # The H2P ranking must surface value-dependent branches:
+        # near-coin-flip entropy, not loop-control regularity.
+        assert sites[0].profile.entropy > 0.5
+        assert "+" in sites[0].location
+
+    def test_out_of_range_pc_is_a_hard_error(self):
+        program = kernel_program("fasta", "baseline")
+        result = characterize_stream(make_stream([(10_000, True)] * 4))
+        with pytest.raises(SimulationError):
+            attribute_to_program(result, program)
+
+    def test_non_branch_pc_is_a_hard_error(self):
+        program = kernel_program("fasta", "baseline")
+        non_branch = next(
+            pc for pc in range(len(program))
+            if program[pc].op is not Op.BC
+        )
+        result = characterize_stream(make_stream([(non_branch, True)] * 4))
+        with pytest.raises(SimulationError):
+            attribute_to_program(result, program)

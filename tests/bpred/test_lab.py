@@ -1,0 +1,155 @@
+"""Tests for the cached lab layer and the `repro bpred` CLI."""
+
+import pytest
+
+from repro.bpred import lab
+from repro.cli import main
+from repro.engine import cache as cache_module
+from repro.engine.cache import use_cache_dir
+from repro.uarch.config import PredictorSpec
+
+
+@pytest.fixture(autouse=True)
+def restore_cache():
+    """CLI commands re-point the process-wide cache; restore it."""
+    original = cache_module._active_cache
+    yield
+    cache_module._active_cache = original
+    lab.clear_stream_cache()
+
+
+@pytest.fixture()
+def lab_cache(tmp_path):
+    """Point the process-wide cache at a private directory."""
+    cache = use_cache_dir(tmp_path / "bpred-cache")
+    lab.clear_stream_cache()
+    return cache
+
+
+class TestSpecDigest:
+    def test_stable_and_distinct(self):
+        a = lab.spec_digest(PredictorSpec(kind="gshare"))
+        assert a == lab.spec_digest(PredictorSpec(kind="gshare"))
+        assert a != lab.spec_digest(PredictorSpec(kind="bimodal"))
+        assert a != lab.spec_digest(
+            PredictorSpec(kind="gshare", table_bits=13)
+        )
+
+    def test_spec_for_clamps_gshare_like_history(self):
+        spec = lab.spec_for("gshare", table_bits=8, history_bits=14)
+        assert spec.history_bits == 8
+        spec = lab.spec_for("tournament", table_bits=6, history_bits=10)
+        assert spec.history_bits == 6
+        # Local history is per-branch, not an index: no clamp.
+        spec = lab.spec_for("local", table_bits=8, history_bits=14)
+        assert spec.history_bits == 14
+
+
+class TestCachedReplay:
+    def test_result_persists_and_reloads(self, lab_cache, monkeypatch):
+        first = lab.cached_replay("clustalw", "baseline", "bimodal")
+        assert first.branches > 0
+        # A reload must be served from disk: break the stream path and
+        # drop the in-process memo — the cached payload must carry it.
+        lab.clear_stream_cache()
+        monkeypatch.setattr(
+            lab, "stream_for", lambda *a, **k: pytest.fail("cache missed")
+        )
+        assert lab.cached_replay("clustalw", "baseline", "bimodal") == first
+
+    def test_corrupt_payload_is_evicted_and_recomputed(self, lab_cache):
+        spec = PredictorSpec(kind="bimodal")
+        first = lab.cached_replay("clustalw", "baseline", spec)
+        digest = lab.spec_digest(spec)
+        lab_cache.store_result_payload(
+            "clustalw", "baseline~bpred", digest, {"spec": {"kind": "taken"}}
+        )
+        assert lab.cached_replay("clustalw", "baseline", spec) == first
+
+    def test_compare_defaults_to_every_kind(self, lab_cache):
+        from repro.bpred.predictors import predictor_kinds
+
+        results = lab.compare("clustalw")
+        assert tuple(r.spec.kind for r in results) == predictor_kinds()
+
+    def test_characterisation_round_trips_through_disk(
+        self, lab_cache, monkeypatch
+    ):
+        first = lab.cached_characterisation("clustalw", "baseline")
+        lab.clear_stream_cache()
+        monkeypatch.setattr(
+            lab, "stream_for", lambda *a, **k: pytest.fail("cache missed")
+        )
+        again = lab.cached_characterisation("clustalw", "baseline")
+        assert again == first
+        assert again.branches[0].mpki == pytest.approx(
+            first.branches[0].mpki
+        )
+
+
+class TestBpredCli:
+    def test_compare_porcelain_is_tab_separated(self, tmp_path, capsys):
+        assert main(
+            ["bpred", "compare", "clustalw", "--kinds", "taken,gshare",
+             "--porcelain", "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            kind, branches, misses, rate, mpki = line.split("\t")
+            assert kind in ("taken", "gshare")
+            assert int(branches) >= int(misses)
+            float(rate), float(mpki)
+
+    def test_rank_porcelain_fields(self, tmp_path, capsys):
+        assert main(
+            ["bpred", "rank", "clustalw", "--top", "3",
+             "--porcelain", "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert 0 < len(lines) <= 3
+        fields = lines[0].split("\t")
+        assert len(fields) == 8
+        assert "+" in fields[1]  # label+pc location
+
+    def test_sweep_porcelain_covers_the_grid(self, tmp_path, capsys):
+        assert main(
+            ["bpred", "sweep", "clustalw", "--kind", "gshare",
+             "--table-bits", "6,8", "--history-bits", "4",
+             "--porcelain", "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert all(line.split("\t")[0] == "gshare" for line in lines)
+        assert [line.split("\t")[1] for line in lines] == ["6", "8"]
+
+    def test_human_output_has_a_table(self, tmp_path, capsys):
+        assert main(
+            ["bpred", "compare", "clustalw", "--kinds", "gshare",
+             "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "gshare" in out
+        assert "mpki" in out.lower()
+
+
+class TestExperiment:
+    def test_ext_bpred_verdict(self, tmp_path, capsys):
+        """The paper's claim, end to end: predication beats the best
+        history-based scheme on every app."""
+        assert main(
+            ["experiments", "ext_bpred", "--no-telemetry",
+             "--cache-dir", str(tmp_path / "c")]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "ext_bpred" in out
+        assert "claim holds" in out.lower() or "yes" in out.lower()
+
+    def test_ext_bpred_data_shape(self, tmp_path):
+        from repro.experiments import ext_bpred
+
+        use_cache_dir(tmp_path / "exp-cache")
+        result = ext_bpred.run()
+        assert result.data["claim_holds"] is True
+        for entry in result.data["apps"].values():
+            assert entry["predication_gain"] > entry["best_scheme_gain"]

@@ -1,0 +1,203 @@
+"""Tests for the pluggable predictor zoo and its registry."""
+
+import random
+
+import pytest
+
+from repro.bpred.predictors import (
+    DirectionPredictor,
+    PerceptronPredictor,
+    StaticPredictor,
+    TournamentPredictor,
+    TwoLevelLocalPredictor,
+    make_predictor,
+    predictor_kinds,
+    register_predictor,
+)
+from repro.errors import SimulationError
+from repro.uarch.branch_predictor import GsharePredictor
+from repro.uarch.config import PREDICTOR_KINDS, PredictorConfig, PredictorSpec
+
+
+class TestRegistry:
+    def test_every_declared_kind_is_registered(self):
+        assert predictor_kinds() == PREDICTOR_KINDS
+
+    @pytest.mark.parametrize("kind", PREDICTOR_KINDS)
+    def test_factories_satisfy_the_protocol(self, kind):
+        predictor = make_predictor(PredictorSpec(kind=kind))
+        assert isinstance(predictor, DirectionPredictor)
+        assert predictor.predictions == 0
+        assert predictor.mispredictions == 0
+        # The contract, exercised once: predict, update, reset.
+        assert isinstance(predictor.predict(3), bool)
+        assert isinstance(predictor.update(3, True), bool)
+        assert predictor.predictions == 1
+        predictor.reset_stats()
+        assert predictor.predictions == 0
+
+    def test_default_spec_is_gshare(self):
+        assert type(make_predictor()) is GsharePredictor
+        assert type(make_predictor(None)) is GsharePredictor
+
+    def test_legacy_config_promotes_to_gshare(self):
+        predictor = make_predictor(
+            PredictorConfig(table_bits=8, history_bits=6)
+        )
+        assert type(predictor) is GsharePredictor
+        assert predictor.config.table_bits == 8
+        assert predictor.config.history_bits == 6
+
+    def test_undeclared_kind_cannot_register(self):
+        with pytest.raises(SimulationError):
+            register_predictor("ttage")
+
+    def test_double_registration_rejected(self):
+        with pytest.raises(SimulationError):
+            register_predictor("gshare")(lambda spec: StaticPredictor(True))
+
+
+class TestStatic:
+    def test_taken_always_predicts_taken(self):
+        predictor = StaticPredictor(True)
+        assert predictor.predict(1) and predictor.predict(999)
+        assert not predictor.update(1, True)
+        assert predictor.update(1, False)
+        assert predictor.mispredictions == 1
+
+    def test_not_taken_mirrors(self):
+        predictor = make_predictor(PredictorSpec(kind="not_taken"))
+        assert not predictor.predict(1)
+        assert predictor.update(1, True)
+        assert not predictor.update(1, False)
+
+
+class TestTwoLevelLocal:
+    def test_learns_per_branch_alternation(self):
+        predictor = TwoLevelLocalPredictor(table_bits=10, history_bits=8)
+        for i in range(400):
+            predictor.update(17, i % 2 == 0)
+        predictor.reset_stats()
+        for i in range(200):
+            predictor.update(17, i % 2 == 0)
+        assert predictor.misprediction_rate < 0.05
+
+    def test_learns_loop_trip_count(self):
+        """Taken 5 times then not: the classic local-history win."""
+        predictor = TwoLevelLocalPredictor(table_bits=10, history_bits=8)
+        for _ in range(100):
+            for _ in range(5):
+                predictor.update(9, True)
+            predictor.update(9, False)
+        predictor.reset_stats()
+        for _ in range(30):
+            for _ in range(5):
+                predictor.update(9, True)
+            predictor.update(9, False)
+        assert predictor.misprediction_rate < 0.05
+
+    def test_random_branches_stay_hard(self):
+        rng = random.Random(7)
+        predictor = TwoLevelLocalPredictor(table_bits=10, history_bits=8)
+        for _ in range(2000):
+            predictor.update(13, rng.random() < 0.5)
+        assert predictor.misprediction_rate > 0.35
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            TwoLevelLocalPredictor(table_bits=0, history_bits=4)
+
+
+class TestTournament:
+    def test_learns_alternation_via_gshare(self):
+        predictor = TournamentPredictor(table_bits=10, history_bits=8)
+        for i in range(400):
+            predictor.update(21, i % 2 == 0)
+        predictor.reset_stats()
+        for i in range(200):
+            predictor.update(21, i % 2 == 0)
+        assert predictor.misprediction_rate < 0.05
+
+    def test_chooser_falls_back_to_bimodal(self):
+        """Many biased branches aliasing one gshare table thrash its
+        counters; the bimodal component sees through the noise and the
+        chooser must learn to prefer it."""
+        rng = random.Random(11)
+        tournament = TournamentPredictor(table_bits=4, history_bits=4)
+        gshare = GsharePredictor(
+            PredictorConfig(table_bits=4, history_bits=4)
+        )
+        branches = [(pc, rng.random() < 0.9) for pc in range(64)]
+        for _ in range(200):
+            for pc, bias in branches:
+                outcome = rng.random() < (0.95 if bias else 0.05)
+                tournament.update(pc, outcome)
+                gshare.update(pc, outcome)
+        assert tournament.misprediction_rate < gshare.misprediction_rate
+
+    def test_stats_count_the_chosen_prediction(self):
+        predictor = TournamentPredictor(table_bits=8, history_bits=6)
+        for i in range(100):
+            predictor.update(3, i % 3 == 0)
+        assert predictor.predictions == 100
+        assert 0 < predictor.mispredictions <= 100
+
+
+class TestPerceptron:
+    def test_default_threshold_is_capacity_matched(self):
+        predictor = PerceptronPredictor(table_bits=8, history_bits=10)
+        assert predictor.threshold == int(1.93 * 10 + 14)
+        assert PerceptronPredictor(8, 10, threshold=5).threshold == 5
+
+    def test_learns_long_period_pattern(self):
+        """Period-8 patterns exceed a short gshare's reach but are
+        linearly separable over 16 history bits."""
+        pattern = [True, True, False, True, False, False, True, False]
+        perceptron = PerceptronPredictor(table_bits=8, history_bits=16)
+        for i in range(4000):
+            perceptron.update(5, pattern[i % len(pattern)])
+        perceptron.reset_stats()
+        for i in range(800):
+            perceptron.update(5, pattern[i % len(pattern)])
+        assert perceptron.misprediction_rate < 0.05
+
+    def test_weights_saturate(self):
+        """A hammered bias weight must clamp, not grow without bound."""
+        predictor = PerceptronPredictor(table_bits=4, history_bits=4)
+        for _ in range(10_000):
+            predictor.update(2, True)
+        weights = predictor._weights[2]
+        assert all(-128 <= w <= 127 for w in weights)
+        assert predictor.predict(2)
+
+    def test_random_branches_stay_hard(self):
+        rng = random.Random(19)
+        predictor = PerceptronPredictor(table_bits=10, history_bits=16)
+        for _ in range(2000):
+            predictor.update(13, rng.random() < 0.5)
+        assert predictor.misprediction_rate > 0.35
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            PerceptronPredictor(table_bits=0, history_bits=4)
+
+
+class TestPredictUpdateAgreement:
+    """update() must score exactly the direction predict() announces.
+
+    This is the invariant the core model and the replay harness both
+    lean on; it would catch any predictor whose two paths index
+    different state.
+    """
+
+    @pytest.mark.parametrize("kind", PREDICTOR_KINDS)
+    def test_update_scores_the_announced_prediction(self, kind):
+        rng = random.Random(23)
+        predictor = make_predictor(
+            PredictorSpec(kind=kind, table_bits=6, history_bits=5)
+        )
+        for _ in range(3000):
+            pc = rng.randrange(256)
+            taken = rng.random() < 0.6
+            announced = predictor.predict(pc)
+            assert predictor.update(pc, taken) == (announced != taken)

@@ -1,0 +1,139 @@
+"""Tests for trace-driven predictor replay.
+
+The headline assertion lives here: replaying the extracted
+conditional-branch stream reproduces ``Core.simulate``'s
+``direction_mispredictions`` *exactly*, for every application and for
+every registered predictor kind. Everything the lab reports rests on
+that equality.
+"""
+
+import pytest
+
+from repro.bpred.predictors import predictor_kinds
+from repro.bpred.replay import branch_stream, replay, replay_many
+from repro.errors import SimulationError
+from repro.isa.trace import F_COND, Trace
+from repro.perf.characterize import APP_WORKLOADS, kernel_trace
+from repro.uarch.config import PredictorSpec, power5
+from repro.uarch.core import Core
+from repro.uarch.synthetic import MixProfile, generate_trace
+
+APPS = tuple(sorted(APP_WORKLOADS))
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    trace = generate_trace(20_000, MixProfile(), seed=31)
+    return trace, branch_stream(trace)
+
+
+class TestStreamExtraction:
+    def test_stream_matches_flags_column(self, synthetic):
+        trace, stream = synthetic
+        conditional = [
+            index
+            for index in range(len(trace))
+            if trace.flags[index] & F_COND
+        ]
+        assert len(stream) == len(conditional)
+        assert stream.instructions == len(trace)
+        assert 0 < stream.taken_count < len(stream)
+
+    def test_object_and_columnar_forms_agree(self, synthetic):
+        trace, stream = synthetic
+        from_events = branch_stream(trace.to_events())
+        assert from_events.pcs == stream.pcs
+        assert from_events.taken == stream.taken
+        assert from_events.instructions == stream.instructions
+
+    def test_slice_view_extracts_the_window(self, synthetic):
+        trace, stream = synthetic
+        window = branch_stream(trace[5_000:15_000])
+        assert window.instructions == 10_000
+        assert len(window) < len(stream)
+
+    def test_iteration_and_payload(self, synthetic):
+        _, stream = synthetic
+        pairs = list(stream)
+        assert len(pairs) == len(stream)
+        payload = stream.to_payload()
+        assert payload["instructions"] == stream.instructions
+        assert payload["pcs"] == stream.pcs.tolist()
+        assert sum(payload["taken"]) == stream.taken_count
+
+
+class TestReplayMatchesCore:
+    @pytest.mark.parametrize("app", APPS)
+    def test_gshare_replay_equals_core_counters(self, app):
+        """The acceptance criterion: exact equality on every app."""
+        trace = kernel_trace(app, "baseline")
+        result = Core(power5()).simulate(trace)
+        replayed = replay(branch_stream(trace), PredictorSpec())
+        assert replayed.mispredictions == result.direction_mispredictions
+        assert replayed.branches == result.conditional_branches
+        assert replayed.instructions == result.instructions
+
+    @pytest.mark.parametrize("kind", predictor_kinds())
+    def test_every_kind_equals_core_counters(self, synthetic, kind):
+        trace, stream = synthetic
+        spec = PredictorSpec(kind=kind, table_bits=10, history_bits=8)
+        result = Core(power5().with_predictor(spec)).simulate(trace)
+        replayed = replay(stream, spec)
+        assert replayed.mispredictions == result.direction_mispredictions
+        assert replayed.branches == result.conditional_branches
+
+
+class TestReplayResults:
+    def test_string_spec_equals_full_spec(self, synthetic):
+        _, stream = synthetic
+        assert replay(stream, "bimodal") == replay(
+            stream, PredictorSpec(kind="bimodal")
+        )
+
+    def test_replay_is_deterministic_and_fresh(self, synthetic):
+        _, stream = synthetic
+        first = replay(stream, "perceptron")
+        second = replay(stream, "perceptron")
+        assert first == second
+
+    def test_rates_and_payload(self, synthetic):
+        _, stream = synthetic
+        result = replay(stream, "gshare")
+        assert result.misprediction_rate == pytest.approx(
+            result.mispredictions / result.branches
+        )
+        assert result.mpki == pytest.approx(
+            1000.0 * result.mispredictions / result.instructions
+        )
+        payload = result.to_payload()
+        assert payload["spec"]["kind"] == "gshare"
+        assert payload["mispredictions"] == result.mispredictions
+
+    def test_empty_stream_has_zero_rates(self):
+        stream = branch_stream(Trace.from_events([]))
+        result = replay(stream, "gshare")
+        assert result.branches == 0
+        assert result.misprediction_rate == 0.0
+        assert result.mpki == 0.0
+
+    def test_replay_many(self, synthetic):
+        _, stream = synthetic
+        results = replay_many(stream, ["taken", "not_taken"])
+        assert len(results) == 2
+        # Complementary statics: their mispredictions partition the stream.
+        assert (
+            results[0].mispredictions + results[1].mispredictions
+            == len(stream)
+        )
+        with pytest.raises(SimulationError):
+            replay_many(stream, [])
+
+    def test_warmed_predictor_replays_with_its_state(self, synthetic):
+        from repro.bpred.predictors import make_predictor
+
+        _, stream = synthetic
+        cold = replay(stream, "gshare")
+        predictor = make_predictor(PredictorSpec())
+        replay(stream, PredictorSpec(), predictor=predictor)
+        warm = replay(stream, PredictorSpec(), predictor=predictor)
+        assert warm.mispredictions <= cold.mispredictions

@@ -11,7 +11,10 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 # Only the examples that finish quickly; the heavier ones
 # (design_space, paper_figures) are exercised through the experiment
 # tests they share code with.
-FAST_EXAMPLES = ["quickstart.py", "clustalw_pipeline.py", "gene_hunt.py"]
+FAST_EXAMPLES = [
+    "quickstart.py", "clustalw_pipeline.py", "gene_hunt.py",
+    "branch_lab.py",
+]
 
 
 @pytest.mark.parametrize("script", FAST_EXAMPLES)
@@ -30,7 +33,7 @@ def test_all_examples_present():
     expected = {
         "quickstart.py", "protein_search.py", "hmm_scan.py",
         "clustalw_pipeline.py", "design_space.py", "gene_hunt.py",
-        "paper_figures.py",
+        "paper_figures.py", "branch_lab.py",
     }
     present = {path.name for path in EXAMPLES.glob("*.py")}
     assert expected <= present

@@ -55,6 +55,21 @@ class TestGshare:
         assert predictor.predict(100)
         assert not predictor.predict(200)
 
+    def test_predict_and_update_index_the_same_counter(self):
+        """Regression: update() must score exactly the direction
+        predict() would announce for the same (pc, history) — the two
+        paths share _index(), so they can never disagree about which
+        counter a branch maps to."""
+        import random
+
+        rng = random.Random(17)
+        predictor = GsharePredictor()
+        for _ in range(5000):
+            pc = rng.randrange(1 << 14)
+            taken = rng.random() < 0.6
+            announced = predictor.predict(pc)
+            assert predictor.update(pc, taken) == (announced != taken)
+
 
 class TestBimodal:
     def test_learns_bias(self):

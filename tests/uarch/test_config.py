@@ -4,10 +4,12 @@ import pytest
 
 from repro.errors import SimulationError
 from repro.uarch.config import (
+    PREDICTOR_KINDS,
     BtacConfig,
     CacheConfig,
     CoreConfig,
     PredictorConfig,
+    PredictorSpec,
     power5,
 )
 
@@ -72,6 +74,58 @@ class TestValidation:
 
     def test_cache_sets(self):
         assert CacheConfig().sets == 64
+
+
+class TestPredictorSpec:
+    def test_default_is_the_seed_gshare(self):
+        spec = PredictorSpec()
+        assert spec.kind == "gshare"
+        assert spec.table_bits == 12
+        assert spec.history_bits == 10
+        assert power5().predictor == spec
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            PredictorSpec(kind="ttage")
+
+    def test_bad_geometry_rejected(self):
+        with pytest.raises(SimulationError):
+            PredictorSpec(table_bits=0)
+        with pytest.raises(SimulationError):
+            PredictorSpec(history_bits=-1)
+        with pytest.raises(SimulationError):
+            PredictorSpec(threshold=-1)
+
+    def test_gshare_like_history_bounded_by_index(self):
+        for kind in ("gshare", "tournament"):
+            with pytest.raises(SimulationError):
+                PredictorSpec(kind=kind, table_bits=4, history_bits=8)
+        # Local/perceptron history is not an index: no such bound.
+        PredictorSpec(kind="local", table_bits=4, history_bits=8)
+        PredictorSpec(kind="perceptron", table_bits=4, history_bits=8)
+
+    def test_every_kind_constructs_a_default_spec(self):
+        for kind in PREDICTOR_KINDS:
+            spec = PredictorSpec(
+                kind=kind, table_bits=10, history_bits=8
+            )
+            assert spec.kind == kind
+
+    def test_gshare_geometry_round_trip(self):
+        spec = PredictorSpec(table_bits=8, history_bits=6)
+        legacy = spec.gshare_geometry()
+        assert isinstance(legacy, PredictorConfig)
+        assert (legacy.table_bits, legacy.history_bits) == (8, 6)
+
+    def test_with_predictor(self):
+        config = power5().with_predictor("perceptron", history_bits=24)
+        assert config.predictor.kind == "perceptron"
+        assert config.predictor.history_bits == 24
+        # A full spec takes no geometry overrides.
+        with pytest.raises(SimulationError):
+            power5().with_predictor(PredictorSpec(), table_bits=8)
+        # Original untouched (frozen dataclass).
+        assert power5().predictor.kind == "gshare"
 
 
 class TestSmtMode:

@@ -55,3 +55,56 @@ class TestDerivedMetrics:
     def test_direction_share_is_high_without_btac(self, result):
         metrics = derived_metrics(result)
         assert metrics["direction_share"] > 0.95
+
+    def test_empty_result_yields_zero_not_nan(self):
+        """Zero denominators follow the SimResult convention (0.0) —
+        no ZeroDivisionError, no NaN, and no max(1, ...) floor quietly
+        standing in for a real denominator."""
+        from repro.uarch.core import SimResult
+
+        metrics = derived_metrics(SimResult())
+        assert metrics == {
+            "ipc": 0.0,
+            "l1d_miss_rate": 0.0,
+            "direction_share": 0.0,
+            "fxu_stall_fraction": 0.0,
+        }
+
+    def test_zero_cycles_does_not_inflate_ipc(self):
+        """The old max(1, cycles) floor turned instructions into IPC
+        verbatim; zero cycles must read as zero throughput instead."""
+        from repro.uarch.core import SimResult
+
+        partial = SimResult(instructions=500, cycles=0)
+        metrics = derived_metrics(partial)
+        assert metrics["ipc"] == 0.0
+        assert metrics["ipc"] == partial.ipc
+
+    def test_no_branches_or_references_read_as_zero_rates(self):
+        from repro.uarch.core import SimResult
+
+        branchless = SimResult(instructions=100, cycles=50)
+        metrics = derived_metrics(branchless)
+        assert metrics["direction_share"] == 0.0
+        assert metrics["l1d_miss_rate"] == 0.0
+        assert metrics["ipc"] == pytest.approx(2.0)
+
+    def test_nonzero_denominators_are_exact(self):
+        """The floor used to shift ratios for tiny denominators; the
+        fixed metrics must divide by the true value."""
+        from repro.uarch.core import SimResult
+
+        tiny = SimResult(
+            instructions=10,
+            cycles=4,
+            direction_mispredictions=1,
+            target_mispredictions=1,
+            loads=1,
+            load_misses=1,
+            stall_cycles={"fxu": 1},
+        )
+        metrics = derived_metrics(tiny)
+        assert metrics["ipc"] == pytest.approx(2.5)
+        assert metrics["direction_share"] == pytest.approx(0.5)
+        assert metrics["l1d_miss_rate"] == pytest.approx(1.0)
+        assert metrics["fxu_stall_fraction"] == pytest.approx(0.25)

@@ -28,7 +28,7 @@ from repro.kernels import (
     viterbi,
 )
 from repro.kernels.runtime import ALL_VARIANTS
-from repro.uarch.config import power5
+from repro.uarch.config import PREDICTOR_KINDS, power5
 from repro.uarch.core import Core
 from repro.uarch.synthetic import MixProfile, generate_trace
 
@@ -109,6 +109,50 @@ class TestKernelGoldenEquality:
         golden = result_to_dict(Core(config).simulate(events))
         rewritten = result_to_dict(Core(config).simulate(columnar))
         assert rewritten == golden
+
+
+class TestPredictorGoldenEquality:
+    """Every registered predictor kind: columnar == object, exactly.
+
+    The columnar loop inlines the default gshare but routes every other
+    kind through ``predictor.update()``; both routes must still match
+    the object reference path counter for counter.
+    """
+
+    @pytest.mark.parametrize("kind", PREDICTOR_KINDS)
+    def test_kernel_trace_matches(self, kind):
+        events, columnar = _traces("fasta", "baseline")
+        config = power5().with_predictor(
+            kind, table_bits=10, history_bits=8
+        )
+        golden = result_to_dict(Core(config).simulate(events))
+        rewritten = result_to_dict(Core(config).simulate(columnar))
+        assert rewritten == golden
+
+    @pytest.mark.parametrize("kind", PREDICTOR_KINDS)
+    def test_synthetic_mix_matches(self, kind):
+        columnar = generate_trace(15_000, MixProfile(), seed=76)
+        events = columnar.to_events()
+        config = power5().with_btac().with_predictor(
+            kind, table_bits=10, history_bits=8
+        )
+        golden = result_to_dict(Core(config).simulate(events))
+        rewritten = result_to_dict(Core(config).simulate(columnar))
+        assert rewritten == golden
+
+    def test_default_spec_is_bit_identical_to_plain_power5(self):
+        """An explicit default PredictorSpec must not perturb anything:
+        same digest-relevant behaviour as the seed's gshare."""
+        from repro.uarch.config import PredictorSpec
+
+        events, columnar = _traces("fasta", "baseline")
+        stock = result_to_dict(Core(power5()).simulate(columnar))
+        explicit = result_to_dict(
+            Core(
+                power5().with_predictor(PredictorSpec())
+            ).simulate(columnar)
+        )
+        assert explicit == stock
 
 
 class TestSyntheticGoldenEquality:
