@@ -19,8 +19,16 @@ three hot paths the columnar ``Trace`` rewrite targets:
 
 Each benchmark prints events/sec so ``pytest benchmarks/bench_core.py
 --benchmark-only -s`` doubles as the throughput report.
+
+Run as a script for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_core.py --smoke
+
+which verifies columnar == object simulation on the smallest kernel
+and reports the throughput of both paths.
 """
 
+import sys
 import time
 
 import pytest
@@ -159,3 +167,36 @@ def bench_core_warm(benchmark):
         iterations=1,
     )
     print(f"\nblast warm: {rate / 1e3:.0f}k ev/s")
+
+
+def _smoke() -> int:
+    """CI smoke: columnar == object simulation on the smallest kernel."""
+    from repro.engine.serialize import result_to_dict
+
+    trace, events = _fixture("clustalw")
+    config = power5()
+    n = len(trace)
+    columnar = Core(config).simulate(trace)
+    objects = Core(config).simulate(events)
+    if result_to_dict(columnar) != result_to_dict(objects):
+        print("FAIL: columnar simulation diverged from the object path")
+        return 1
+    columnar_rate = _best_events_per_sec(
+        lambda: Core(config).simulate(trace), n, reps=3
+    )
+    object_rate = _best_events_per_sec(
+        lambda: Core(config).simulate(events), n, reps=3
+    )
+    print(
+        f"clustalw: {n} events | object {object_rate / 1e3:.0f}k ev/s | "
+        f"columnar {columnar_rate / 1e3:.0f}k ev/s"
+    )
+    print("OK: columnar simulation matches the object path exactly")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        sys.exit(_smoke())
+    print("usage: python benchmarks/bench_core.py --smoke", file=sys.stderr)
+    sys.exit(2)

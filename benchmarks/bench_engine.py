@@ -1,4 +1,4 @@
-"""Engine benchmarks: cold cache, warm cache, process-pool fan-out.
+"""Engine benchmarks: cold cache, warm cache, fan-out, batched sweeps.
 
 A fig3-sized sweep (4 apps x 6 variants = 24 design points) driven
 through the engine:
@@ -9,10 +9,26 @@ through the engine:
 * ``jobs2`` / ``jobs4`` — empty cache, fanned out over worker
   processes (the >= 2x jobs=4 speedup is asserted only on machines
   with at least four cores).
+* ``batched`` — a 12-config design-space sweep over one workload
+  trace, batched (one shared trace pass) vs sequential (every point
+  decodes and walks the trace alone). Asserted >= 3x at >= 8 points
+  per shared trace — the headline number of the batched-simulation
+  work. Note fig3's own points all share *one* config across apps, so
+  its per-trace groups are singletons; the batched sweep is the
+  many-configs-per-trace shape (timing sweeps, fig4/fig5-style).
+
+Run as a script for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_engine.py --smoke
+
+which runs a small batched sweep against a sequential one and verifies
+the result digests are identical.
 """
 
 import os
+import sys
 import time
+from dataclasses import replace
 
 import pytest
 
@@ -20,8 +36,24 @@ from repro.engine import cache as cache_module
 from repro.engine.engine import Engine
 from repro.experiments import fig3
 from repro.perf.characterize import clear_trace_caches
+from repro.uarch.config import power5
 
 POINTS = fig3.points()
+
+
+def _batch_points(app="blast", fxus=(1, 2, 3, 4), penalties=(2, 3, 4)):
+    """A timing design-space sweep sharing one workload trace.
+
+    Every config keeps the same predictor/BTAC/L1D (one frontend
+    group) and varies only timing parameters, so the whole sweep rides
+    a single shared trace pass when batched.
+    """
+    return [
+        (app, "baseline",
+         replace(power5(), fxu_count=fxu, taken_branch_penalty=penalty))
+        for fxu in fxus
+        for penalty in penalties
+    ]
 
 #: Cross-benchmark state: the cold run's cache dir and wall time.
 _STATE: dict = {}
@@ -106,6 +138,50 @@ def bench_cache_gc(benchmark, tmp_path_factory):
     assert cache.stats()["result_entries"] == valid
 
 
+def bench_engine_batched(benchmark, tmp_path_factory):
+    """Batched multi-config sweep vs sequential, one shared trace.
+
+    12 timing configs of one (app, variant): sequential simulates the
+    trace 12 times; batched decodes and frontend-walks it once and
+    replays 12 cheap timing passes. The >= 3x floor is the ISSUE's
+    acceptance bar at >= 8 points per shared trace (typically much
+    higher with the native replay kernel).
+    """
+    from repro.engine.scheduler import _result_digest
+
+    points = _batch_points()
+
+    def sweep(batch):
+        clear_trace_caches()
+        root = tmp_path_factory.mktemp(
+            f"engine-{'batched' if batch else 'sequential'}"
+        )
+        started = time.perf_counter()
+        engine = Engine(cache_dir=root)
+        results = engine.characterize_many(points, jobs=1, batch=batch)
+        wall = time.perf_counter() - started
+        return engine, results, wall
+
+    _, sequential_results, sequential_wall = sweep(False)
+    engine, batched_results, batched_wall = benchmark.pedantic(
+        lambda: sweep(True), rounds=1, iterations=1
+    )
+    assert [_result_digest(r) for r in batched_results] == [
+        _result_digest(r) for r in sequential_results
+    ], "batched sweep results are not byte-identical to sequential"
+    assert engine.stats.batched_points == len(points)
+    speedup = sequential_wall / batched_wall
+    print(
+        f"\nbatched sweep: {len(points)} configs on one trace | "
+        f"sequential {sequential_wall:.2f}s | batched {batched_wall:.2f}s"
+        f" | speedup {speedup:.2f}x"
+    )
+    assert speedup >= 3.0, (
+        f"batched sweep only {speedup:.2f}x sequential at "
+        f"{len(points)} points per shared trace (expected >= 3x)"
+    )
+
+
 @pytest.mark.parametrize("jobs", [2, 4])
 def bench_engine_parallel(benchmark, jobs, tmp_path_factory):
     walls: list[float] = []
@@ -126,3 +202,45 @@ def bench_engine_parallel(benchmark, jobs, tmp_path_factory):
             f"jobs=4 sweep {wall:.2f}s is not >=2x faster than the "
             f"serial sweep {_STATE['cold_seconds']:.2f}s"
         )
+
+
+def _smoke() -> int:
+    """CI smoke: small batched sweep == sequential sweep, digest-exact."""
+    import tempfile
+
+    from repro.engine.scheduler import _result_digest
+
+    points = _batch_points(app="clustalw", fxus=(1, 2, 3, 4),
+                           penalties=(2, 4))
+
+    def sweep(batch):
+        clear_trace_caches()
+        root = tempfile.mkdtemp(prefix="repro-bench-smoke-")
+        started = time.perf_counter()
+        engine = Engine(cache_dir=root)
+        results = engine.characterize_many(points, jobs=1, batch=batch)
+        return engine, [_result_digest(r) for r in results], \
+            time.perf_counter() - started
+
+    _, sequential, sequential_wall = sweep(False)
+    engine, batched, batched_wall = sweep(True)
+    if batched != sequential:
+        print("FAIL: batched sweep digests differ from sequential")
+        return 1
+    stats = engine.stats
+    print(
+        f"{len(points)} configs on one clustalw trace | "
+        f"sequential {sequential_wall:.2f}s | batched {batched_wall:.2f}s"
+        f" | groups {len(stats.batch_sizes)} | "
+        f"vectorized {stats.batch_vectorized} | "
+        f"fallback {stats.batch_fallback}"
+    )
+    print("OK: batched sweep is digest-identical to sequential")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        sys.exit(_smoke())
+    print("usage: python benchmarks/bench_engine.py --smoke", file=sys.stderr)
+    sys.exit(2)

@@ -426,7 +426,8 @@ def cmd_runs(args) -> int:
     states = journal.list_runs(cache.root)
     if args.porcelain:
         # One run per line, tab-separated, stable field order — for CI
-        # scripts (the interrupt-resume smoke job greps this).
+        # scripts (the interrupt-resume smoke job greps this). New
+        # fields append at the end so positional consumers keep working.
         for state in states:
             print("\t".join([
                 state.run_id,
@@ -435,6 +436,7 @@ def cmd_runs(args) -> int:
                 str(len(state.failed)),
                 str(len(state.unique_keys)),
                 f"{state.age_seconds():.0f}",
+                str((state.batch or {}).get("points", 0)),
             ]))
         return 0
     if not states:
@@ -442,15 +444,19 @@ def cmd_runs(args) -> int:
         return 0
     table = Table(
         f"Run journals ({journal.runs_root(cache.root)})",
-        ["Run", "Status", "Done", "Failed", "Points", "Age"],
+        ["Run", "Status", "Done", "Failed", "Points", "Batched", "Age"],
     )
     for state in states:
+        batch = state.batch or {}
+        batched = batch.get("points", 0)
+        groups = batch.get("groups", 0)
         table.add_row(
             state.run_id,
             state.status,
             len(state.done),
             len(state.failed),
             len(state.unique_keys),
+            f"{batched} in {groups}" if batched else "-",
             _age_label(state.age_seconds()),
         )
     print(table.render())
@@ -648,7 +654,8 @@ def build_parser() -> argparse.ArgumentParser:
                              "(resumable) journals")
     p_runs.add_argument("--porcelain", action="store_true",
                         help="tab-separated machine-readable listing: "
-                             "run, status, done, failed, points, age")
+                             "run, status, done, failed, points, age, "
+                             "batched points")
     p_runs.set_defaults(func=cmd_runs)
 
     p_resume = sub.add_parser(

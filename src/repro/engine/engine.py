@@ -106,6 +106,78 @@ class Engine:
         ))
         return result
 
+    def characterize_batch(
+        self,
+        app: str,
+        variant: str,
+        configs: list[CoreConfig],
+    ) -> list[AppCharacterisation]:
+        """Many configs of one (app, variant), sharing a trace pass.
+
+        Equivalent to calling :meth:`characterize` once per config — the
+        memo and persistent cache are consulted per point first, every
+        simulated result is persisted and memoised individually, and the
+        telemetry carries one :class:`PointRecord` per point — but the
+        points that do need simulation run through
+        :func:`repro.perf.characterize.characterize_batched`, so their
+        shared workload trace is decoded and frontend-walked once.
+        """
+        from repro.perf.characterize import characterize_batched
+
+        results: list[AppCharacterisation | None] = [None] * len(configs)
+        digests = [config_digest(config) for config in configs]
+        pending: list[int] = []
+        for index, digest in enumerate(digests):
+            key = (app, variant, digest)
+            cached = self._memo.get(key)
+            if cached is not None:
+                self.stats.memo_hits += 1
+                results[index] = cached
+                continue
+            started = time.perf_counter()
+            disk = self._load_persistent(app, variant, digest)
+            if disk is not None:
+                self._memo[key] = disk
+                self.stats.record(PointRecord(
+                    app=app,
+                    variant=variant,
+                    config_digest=digest[:SHORT_DIGEST],
+                    wall_seconds=time.perf_counter() - started,
+                    instructions=disk.merged.instructions,
+                    source=SOURCE_DISK,
+                ))
+                results[index] = disk
+                continue
+            pending.append(index)
+        if pending:
+            started = time.perf_counter()
+            batch_results, info = characterize_batched(
+                app, variant, [configs[index] for index in pending]
+            )
+            # One wall clock covers the whole batch; attribute it evenly
+            # so per-point MIPS stays meaningful.
+            wall = (time.perf_counter() - started) / len(pending)
+            for index, result in zip(pending, batch_results):
+                digest = digests[index]
+                self.cache.store_result_payload(
+                    app, variant, digest,
+                    serialize.characterisation_to_dict(result),
+                )
+                self._memo[(app, variant, digest)] = result
+                self.stats.record(PointRecord(
+                    app=app,
+                    variant=variant,
+                    config_digest=digest[:SHORT_DIGEST],
+                    wall_seconds=wall,
+                    instructions=result.merged.instructions,
+                    source=SOURCE_SIMULATED,
+                ))
+                results[index] = result
+            self.stats.batch_sizes.append(len(pending))
+            self.stats.batch_vectorized += info["vectorized"]
+            self.stats.batch_fallback += info["fallback"]
+        return results
+
     def _load_persistent(
         self, app: str, variant: str, digest: str
     ) -> AppCharacterisation | None:
@@ -133,6 +205,7 @@ class Engine:
         backoff: float | None = None,
         journal: bool = True,
         run_id: str | None = None,
+        batch: bool | None = None,
     ) -> list[AppCharacterisation | None]:
         """Characterize a batch of points, in order, with fan-out.
 
@@ -149,11 +222,16 @@ class Engine:
         the sweep writes a crash-safe run journal and SIGINT/SIGTERM
         convert to :class:`repro.errors.SweepInterrupted`; an
         interrupted sweep continues via :meth:`resume`.
+
+        ``batch`` controls batched multi-config simulation (grouping
+        pending points that share a workload trace into one shared
+        trace pass); ``None`` defers to ``REPRO_BATCH`` (default on).
         """
         return fan_out(
             self, points, jobs if jobs is not None else self.jobs,
             on_error=on_error, timeout=timeout, retries=retries,
             backoff=backoff, journal=journal, run_id=run_id,
+            batch=batch,
         )
 
     def resume(
@@ -275,9 +353,10 @@ class Engine:
         jobs: int | None = None,
         *,
         on_error: str = "raise",
+        batch: bool | None = None,
     ) -> None:
         """Populate the memo for ``points`` (drivers then run serially)."""
-        self.characterize_many(points, jobs, on_error=on_error)
+        self.characterize_many(points, jobs, on_error=on_error, batch=batch)
 
     def adopt(
         self,

@@ -48,6 +48,7 @@ RECORD_START = "run_start"
 RECORD_RESUMED = "run_resumed"
 RECORD_DONE = "point_done"
 RECORD_FAILED = "point_failed"
+RECORD_BATCH = "batch_stats"
 RECORD_COMPLETE = "run_complete"
 
 #: ``RunState.status`` values (also what ``repro runs`` prints).
@@ -173,6 +174,19 @@ class RunJournal:
             "message": message,
         })
 
+    def record_batch_stats(self, stats: dict) -> None:
+        """Batched-simulation summary for this attempt (additive record).
+
+        ``stats`` carries the batch counters accumulated during the
+        sweep (groups, points, vectorized, fallback, decode reuse).
+        Older readers skip the record; the journal schema is unchanged.
+        """
+        self._append({
+            "record": RECORD_BATCH,
+            "run_id": self.run_id,
+            **{key: int(value) for key, value in stats.items()},
+        })
+
     def record_complete(self, failures: int) -> None:
         self._append({
             "record": RECORD_COMPLETE,
@@ -225,6 +239,9 @@ class RunState:
     #: Failure count from the last ``run_complete`` footer.
     complete_failures: int = 0
     resumed: int = 0
+    #: Batched-simulation counters from the last ``batch_stats`` record
+    #: (``None`` when the run never batched / predates batching).
+    batch: dict | None = None
     #: 1 if the final line was truncated mid-record (crash signature).
     torn_tail: int = 0
     #: Set when a record *before* the tail failed to parse.
@@ -364,6 +381,12 @@ def _apply_record(state: RunState, payload: dict, index: int) -> None:
             return
         if key not in state.done:
             state.failed[key] = str(payload.get("kind", "unknown"))
+    elif kind == RECORD_BATCH:
+        state.batch = {
+            key: int(value)
+            for key, value in payload.items()
+            if key not in ("record", "run_id")
+        }
     elif kind == RECORD_COMPLETE:
         state.complete = True
         state.complete_failures = int(payload.get("failures", 0))

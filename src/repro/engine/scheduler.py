@@ -30,10 +30,27 @@ Unlike a plain ``pool.map``, one bad point cannot abort the sweep:
 
 Job count resolution: explicit argument, else the ``REPRO_JOBS``
 environment variable, else ``os.cpu_count()``. The serial paths
-(``jobs=1`` or a single pending point) run in-process: retries and
+(``jobs=1`` or a single pending unit) run in-process: retries and
 failure records still apply, but timeouts are not enforced and a
 hard-crashing point takes the parent down — use ``jobs >= 2`` when
 fault isolation matters.
+
+Batched multi-config simulation (``REPRO_BATCH``, default on): pending
+points that share a workload trace — the same ``(app, variant)``, which
+within one run is the trace-digest equivalence class
+(:func:`group_by_trace`) — are dispatched as one :class:`_BatchTask`
+whose worker decodes the trace once and drives every config through
+:meth:`Engine.characterize_batch`. Results fan back into the memo, the
+persistent cache and the run journal exactly as if each point ran
+alone (byte-identical payloads, one ``point_done`` record per point).
+A batch is never retried as a unit: any failure — worker exception,
+crash, or deadline — explodes it back into its constituent points,
+which then retry under the normal per-point policy, so a single bad
+point can only ever fail itself. Sweeps with a custom ``worker`` (test
+instrumentation) never batch. Independently of batching, every sweep
+prewarms the in-memory trace decode once per trace-sharing group
+before the pool forks, so non-batched workers inherit warm decodes
+instead of re-inflating the same tracestore blob per point.
 
 Parallel output is byte-identical to serial output because every point
 is deterministic, simulated on a fresh core, and results are merged
@@ -150,6 +167,54 @@ def resolve_backoff(backoff: float | None = None) -> float:
     return backoff
 
 
+def resolve_batch(batch: bool | None = None) -> bool:
+    """Batched simulation switch: explicit > ``REPRO_BATCH`` > on.
+
+    ``REPRO_BATCH=off`` (also ``0`` / ``false`` / ``no``) disables
+    trace-sharing batch dispatch; anything else leaves it enabled.
+    """
+    if batch is not None:
+        return batch
+    env = os.environ.get("REPRO_BATCH", "").strip().lower()
+    return env not in ("off", "0", "false", "no")
+
+
+def group_by_trace(tasks) -> dict:
+    """Group pending tasks by the workload trace their points replay.
+
+    Two design points share a trace pass iff they name the same
+    ``(app, variant)`` pair: the trace store content-addresses traces
+    by workload and source digest, so within a single run the pair *is*
+    the trace-digest equivalence class. Returns
+    ``{(app, variant): [task, ...]}`` in first-seen order.
+    """
+    groups: dict = {}
+    for task in tasks:
+        app, variant, _ = task.point
+        groups.setdefault((app, variant), []).append(task)
+    return groups
+
+
+def _prewarm_traces(tasks, engine) -> None:
+    """Decode each trace-sharing group's workload trace exactly once.
+
+    Runs in the parent before the pool is created, so forked workers
+    inherit the warm in-memory decode instead of each re-inflating the
+    same tracestore blob. Failures are swallowed: an unknown app or
+    variant must surface later as that *point's* failure, not abort the
+    sweep during warming.
+    """
+    from repro.perf.characterize import background_trace, kernel_trace
+
+    for (app, variant), group in group_by_trace(tasks).items():
+        try:
+            kernel_trace(app, variant)
+            background_trace(app)
+        except Exception:
+            continue
+        engine.stats.decode_reuse_hits += len(group) - 1
+
+
 def _pool_context():
     """Prefer fork (workers inherit warm in-memory trace caches)."""
     methods = multiprocessing.get_all_start_methods()
@@ -193,6 +258,25 @@ def _characterize_worker(task):
     return app, variant, config, result, engine.stats
 
 
+def _characterize_batch_worker(task):
+    """Run one trace-sharing batch in a worker process (picklable).
+
+    Mirrors :func:`_characterize_worker` but drives every config of the
+    group through :meth:`Engine.characterize_batch`, so the shared
+    workload trace is decoded and frontend-walked once for the whole
+    batch. Returns the ordered results plus the worker's telemetry
+    (one :class:`PointRecord` per point, batch counters included).
+    """
+    app, variant, configs, cache_root = task
+    from repro.engine.cache import use_cache_dir
+    from repro.engine.engine import Engine
+
+    use_cache_dir(cache_root)
+    engine = Engine()
+    results = engine.characterize_batch(app, variant, list(configs))
+    return app, variant, results, engine.stats
+
+
 class _Task:
     """One pending point's scheduling state."""
 
@@ -202,6 +286,43 @@ class _Task:
         self.key = key
         self.point = point
         self.attempts = 0
+
+
+class _BatchTask:
+    """Scheduling state for one trace-sharing group of pending points.
+
+    Dispatched as a single unit through
+    :func:`_characterize_batch_worker` (pool) or
+    :meth:`Engine.characterize_batch` (serial). Never retried as a
+    unit: any failure explodes the batch back into its constituent
+    :class:`_Task` objects, which retry under the normal per-point
+    policy — so batching can change throughput but never which points
+    succeed or fail.
+    """
+
+    __slots__ = ("key", "app", "variant", "tasks", "attempts")
+
+    def __init__(self, app, variant, tasks):
+        self.key = ("batch", app, variant)
+        self.app = app
+        self.variant = variant
+        self.tasks = tasks
+        self.attempts = 0
+
+
+def _batch_tasks(tasks) -> list:
+    """Fold trace-sharing groups of two or more points into batches.
+
+    Singleton groups stay plain :class:`_Task`s — there is nothing to
+    share, and the scalar path avoids the batch bookkeeping.
+    """
+    out: list = []
+    for (app, variant), group in group_by_trace(tasks).items():
+        if len(group) >= 2:
+            out.append(_BatchTask(app, variant, group))
+        else:
+            out.extend(group)
+    return out
 
 
 class _Interrupted(Exception):
@@ -322,6 +443,22 @@ def _journal_done(journal, key, result) -> None:
         journal.record_point_done(key, _result_digest(result))
 
 
+def _batch_counters(engine) -> dict:
+    """Snapshot of the engine's batched-simulation telemetry counters.
+
+    Taken before and after a sweep so the run journal records only this
+    sweep's contribution (the engine's stats accumulate across sweeps).
+    """
+    stats = engine.stats
+    return {
+        "groups": len(stats.batch_sizes),
+        "points": stats.batched_points,
+        "vectorized": stats.batch_vectorized,
+        "fallback": stats.batch_fallback,
+        "decode_reuse_hits": stats.decode_reuse_hits,
+    }
+
+
 def _journal_failed(journal, key, failure) -> None:
     if journal is not None:
         journal.record_point_failed(
@@ -341,9 +478,25 @@ def _run_serial(engine, tasks, retries: int, backoff: float,
     from repro.engine.telemetry import FAILURE_EXCEPTION
 
     failures: dict = {}
-    for task in tasks:
+    queue: deque = deque(tasks)
+    while queue:
+        task = queue.popleft()
         if watch is not None:
             watch.check()
+        if isinstance(task, _BatchTask):
+            try:
+                results = engine.characterize_batch(
+                    task.app, task.variant,
+                    [t.point[2] for t in task.tasks],
+                )
+            except Exception:
+                # Never charged and never retried as a unit: the points
+                # re-run individually so a bad point only fails itself.
+                queue.extendleft(reversed(task.tasks))
+            else:
+                for t, result in zip(task.tasks, results):
+                    _journal_done(journal, t.key, result)
+            continue
         while True:
             task.attempts += 1
             try:
@@ -408,6 +561,20 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
             time.sleep(backoff * (2 ** (task.attempts - 1)))
             queue.append(task)
 
+    def explode(task, suspect=False):
+        """A failed batch requeues its constituents as individual points.
+
+        The batch attempt is never billed to the points (their own
+        attempt counters are untouched); with ``suspect`` the
+        constituents drain one at a time so a crashing point is
+        identified exactly.
+        """
+        suspects.discard(task.key)
+        for t in task.tasks:
+            if suspect:
+                suspects.add(t.key)
+            queue.append(t)
+
     def submit_ready():
         if suspects:
             # Surface suspects first, one at a time, so a repeat crash
@@ -420,15 +587,26 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
             task = queue.popleft()
             task.attempts += 1
             try:
-                future = pool.submit(worker, (*task.point, cache_root))
+                if isinstance(task, _BatchTask):
+                    future = pool.submit(
+                        _characterize_batch_worker,
+                        (task.app, task.variant,
+                         [t.point[2] for t in task.tasks], cache_root),
+                    )
+                else:
+                    future = pool.submit(worker, (*task.point, cache_root))
             except BrokenProcessPool:
                 # The pool died under a crash we have not drained yet:
                 # put the task back uncharged and let the caller rebuild.
                 task.attempts -= 1
                 queue.appendleft(task)
                 raise
+            # A batch's deadline scales with its size: it is doing the
+            # work of len(tasks) points in one future.
+            scale = len(task.tasks) if isinstance(task, _BatchTask) else 1
             deadline = (
-                time.monotonic() + timeout if timeout is not None else None
+                time.monotonic() + timeout * scale
+                if timeout is not None else None
             )
             in_flight[future] = (task, deadline)
 
@@ -507,10 +685,15 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
             for future in done:
                 task, _ = in_flight.pop(future)
                 try:
-                    app, variant, config, result, stats = future.result()
+                    payload = future.result()
                 except BrokenProcessPool as exc:
                     crashed.append((task, exc))
                 except Exception as exc:
+                    if isinstance(task, _BatchTask):
+                        # One bad point must not fail the group: run the
+                        # constituents individually instead.
+                        explode(task)
+                        continue
                     # The worker raised but the pool survived: a plain
                     # per-point failure, charged and bounded-retried.
                     charge(
@@ -519,24 +702,41 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
                         "".join(traceback_module.format_exception(exc)),
                     )
                 else:
-                    engine.adopt(app, variant, config, result, stats)
-                    suspects.discard(task.key)
-                    _journal_done(journal, task.key, result)
+                    if isinstance(task, _BatchTask):
+                        app, variant, results, stats = payload
+                        engine.stats.merge(stats)
+                        for t, result in zip(task.tasks, results):
+                            engine.adopt(app, variant, t.point[2], result)
+                            _journal_done(journal, t.key, result)
+                        suspects.discard(task.key)
+                    else:
+                        app, variant, config, result, stats = payload
+                        engine.adopt(app, variant, config, result, stats)
+                        suspects.discard(task.key)
+                        _journal_done(journal, task.key, result)
 
             if crashed:
                 if len(crashed) == 1 and not in_flight:
-                    # Exactly one point was in flight: the crash is its.
+                    # Exactly one unit was in flight: the crash is its.
                     task, exc = crashed[0]
-                    charge(
-                        task, FAILURE_CRASH, type(exc).__name__, str(exc),
-                        "",
-                    )
+                    if isinstance(task, _BatchTask):
+                        # Any constituent may be the culprit: drain them
+                        # one at a time so the next crash names it.
+                        explode(task, suspect=True)
+                    else:
+                        charge(
+                            task, FAILURE_CRASH, type(exc).__name__,
+                            str(exc), "",
+                        )
                 else:
                     # Ambiguous: refund everyone, isolate, retry singly.
                     for task, _ in crashed:
-                        task.attempts -= 1
-                        suspects.add(task.key)
-                        queue.append(task)
+                        if isinstance(task, _BatchTask):
+                            explode(task, suspect=True)
+                        else:
+                            task.attempts -= 1
+                            suspects.add(task.key)
+                            queue.append(task)
                 abandon_pool(kill=True)
                 continue
 
@@ -550,6 +750,11 @@ def _run_pool(engine, tasks, workers: int, worker, timeout: float | None,
                 if expired:
                     for future in expired:
                         task, _ = in_flight.pop(future)
+                        if isinstance(task, _BatchTask):
+                            # Too slow as a group: fall back to points
+                            # with their own per-point deadlines.
+                            explode(task)
+                            continue
                         charge(
                             task, FAILURE_TIMEOUT, "TimeoutError",
                             f"design point exceeded {timeout:g}s", "",
@@ -576,6 +781,7 @@ def fan_out(
     worker=None,
     journal=True,
     run_id: str | None = None,
+    batch: bool | None = None,
 ) -> list:
     """Characterize ``points`` with up to ``jobs`` workers.
 
@@ -600,6 +806,11 @@ def fan_out(
     :class:`~repro.engine.journal.RunJournal` to continue a resumed
     run (the scheduler then owns and closes it), or ``journal=False``
     to disable durability entirely.
+
+    ``batch`` enables trace-sharing batch dispatch (module docstring);
+    ``None`` defers to ``REPRO_BATCH`` (default on). A custom
+    ``worker`` disables batching — instrumented workers must see every
+    point individually.
     """
     from repro.engine.digest import point_key
     from repro.engine.journal import RunJournal
@@ -615,6 +826,8 @@ def fan_out(
     backoff = resolve_backoff(backoff)
     if max_rebuilds is None:
         max_rebuilds = DEFAULT_MAX_REBUILDS
+    custom_worker = worker is not None
+    use_batch = resolve_batch(batch) and not custom_worker
     if worker is None:
         worker = _characterize_worker
 
@@ -649,9 +862,18 @@ def fan_out(
 
     serial_notes: list[str] = []
     failures: dict = {}
+    before = _batch_counters(engine)
     try:
         if pending:
             tasks = list(pending.values())
+            if not custom_worker:
+                # One decode per trace-sharing group, before any fork,
+                # so workers inherit the warm decode (satellite of the
+                # batched-simulation work; helps the non-batched path
+                # and the serial path alike).
+                _prewarm_traces(tasks, engine)
+            if use_batch:
+                tasks = _batch_tasks(tasks)
             with _InterruptWatch() if journal_obj is not None \
                     else _NullWatch() as watch:
                 if jobs == 1 or len(tasks) == 1:
@@ -669,6 +891,12 @@ def fan_out(
                         journal=journal_obj, watch=watch,
                     )
         if journal_obj is not None:
+            after = _batch_counters(engine)
+            delta = {
+                key: after[key] - before[key] for key in after
+            }
+            if any(delta.values()):
+                journal_obj.record_batch_stats(delta)
             journal_obj.record_complete(len(failures))
     except _Interrupted as stop:
         unique = list(dict.fromkeys(keys))

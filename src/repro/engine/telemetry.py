@@ -97,6 +97,19 @@ class EngineStats:
     #: Execution-context caveats (for instance "timeouts not enforced
     #: on the serial path"), deduplicated, preserved across merges.
     notes: list[str] = field(default_factory=list)
+    #: Batched simulation: per-group point counts for the groups that
+    #: actually ran through ``simulate_batched`` (memo/disk hits are
+    #: peeled off first and never appear here).
+    batch_sizes: list[int] = field(default_factory=list)
+    #: Points that took the shared-frontend batched replay.
+    batch_vectorized: int = 0
+    #: Points inside a batch that fell back to scalar ``Core.simulate``.
+    batch_fallback: int = 0
+    #: Trace decodes avoided by the scheduler's per-sweep prewarm: for
+    #: every group of pending points sharing a workload trace, all but
+    #: the first reuse the in-memory decode instead of re-inflating the
+    #: tracestore blob.
+    decode_reuse_hits: int = 0
 
     def record(self, point: PointRecord) -> None:
         self.points.append(point)
@@ -117,6 +130,10 @@ class EngineStats:
         self.cache.merge(other.cache)
         self.pool_rebuilds += other.pool_rebuilds
         self.serial_fallbacks += other.serial_fallbacks
+        self.batch_sizes.extend(other.batch_sizes)
+        self.batch_vectorized += other.batch_vectorized
+        self.batch_fallback += other.batch_fallback
+        self.decode_reuse_hits += other.decode_reuse_hits
         for message in other.notes:
             self.note(message)
 
@@ -135,9 +152,14 @@ class EngineStats:
             return 0.0
         return self.total_instructions / wall / 1e6
 
+    @property
+    def batched_points(self) -> int:
+        """Points simulated inside batched groups (vectorized + fallback)."""
+        return sum(self.batch_sizes)
+
     def to_dict(self) -> dict:
         return {
-            "schema": 3,
+            "schema": 4,
             "jobs": self.jobs,
             "points": [point.to_dict() for point in self.points],
             "failures": [failure.to_dict() for failure in self.failures],
@@ -146,6 +168,14 @@ class EngineStats:
             "recovery": {
                 "pool_rebuilds": self.pool_rebuilds,
                 "serial_fallbacks": self.serial_fallbacks,
+            },
+            "batch": {
+                "groups": len(self.batch_sizes),
+                "points": self.batched_points,
+                "vectorized": self.batch_vectorized,
+                "fallback": self.batch_fallback,
+                "decode_reuse_hits": self.decode_reuse_hits,
+                "sizes": list(self.batch_sizes),
             },
             "totals": {
                 "points": len(self.points),
@@ -184,6 +214,20 @@ class EngineStats:
             f"{self.aggregate_mips:.2f}",
         )
         blocks = [summary.render()]
+        if self.batch_sizes or self.decode_reuse_hits:
+            batch = Table(
+                "Batched simulation",
+                ["Groups", "Batched points", "Vectorized", "Fallback",
+                 "Decode reuse"],
+            )
+            batch.add_row(
+                len(self.batch_sizes),
+                self.batched_points,
+                self.batch_vectorized,
+                self.batch_fallback,
+                self.decode_reuse_hits,
+            )
+            blocks.append(batch.render())
         if self.notes:
             blocks.append(
                 "\n".join(f"note: {message}" for message in self.notes)

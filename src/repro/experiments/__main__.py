@@ -39,6 +39,15 @@ def main(argv: list[str] | None = None) -> int:
              "(default: REPRO_JOBS or the CPU count)",
     )
     parser.add_argument(
+        "--batch", dest="batch", action="store_true", default=None,
+        help="batch design points that share a workload trace into one "
+             "trace pass (default: REPRO_BATCH or on)",
+    )
+    parser.add_argument(
+        "--no-batch", dest="batch", action="store_false",
+        help="disable batched simulation; every point runs alone",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent trace/result cache directory "
              "(default: REPRO_CACHE_DIR or ~/.cache/repro-power5; "
@@ -75,7 +84,9 @@ def main(argv: list[str] | None = None) -> int:
             module = sys.modules[EXPERIMENTS[name].__module__]
             enumerate_points = getattr(module, "points", None)
             if enumerate_points is not None:
-                prefetch_points(enumerate_points(), jobs=args.jobs)
+                prefetch_points(
+                    enumerate_points(), jobs=args.jobs, batch=args.batch,
+                )
             result = EXPERIMENTS[name]()
             print(result.render())
             print()

@@ -42,15 +42,19 @@ def cached_characterize(
 
 
 def prefetch_points(
-    points: list[tuple[str, str, CoreConfig]], jobs: int | None = None
+    points: list[tuple[str, str, CoreConfig]],
+    jobs: int | None = None,
+    batch: bool | None = None,
 ) -> None:
     """Fan ``points`` out across worker processes before a serial driver.
 
     Drivers stay simple single-threaded loops; calling this first (as
     ``python -m repro.experiments --jobs N`` does) populates the engine
-    memo in parallel so the loop only performs lookups.
+    memo in parallel so the loop only performs lookups. ``batch``
+    controls trace-sharing batched simulation (``None`` defers to
+    ``REPRO_BATCH``, default on).
     """
-    default_engine().prefetch(points, jobs)
+    default_engine().prefetch(points, jobs, batch=batch)
 
 
 def clear_cache(persistent: bool = False) -> int:

@@ -1,0 +1,974 @@
+"""Batched multi-config simulation: one trace pass drives N design points.
+
+Design-space sweeps re-walk the same committed-instruction trace once
+per :class:`~repro.uarch.config.CoreConfig`, yet most of each walk is
+identical across the points of a sweep. The model factorizes cleanly:
+
+* **Frontend state** — branch-direction predictor, BTAC and L1D —
+  evolves from the *trace alone*. ``predictor.update(pc, taken)``
+  consumes the traced outcome, the BTAC trains on traced next-PCs, and
+  the cache is indexed by traced addresses. None of it reads a timing
+  parameter, so every config sharing a (predictor spec, BTAC geometry,
+  cache geometry) triple sees byte-identical predictor/BTAC/cache
+  behaviour.
+* **Timing state** — fetch/dispatch cycles, the register scoreboard,
+  per-unit issue bandwidth, the in-flight window and the commit stream
+  — depends on the per-config machine shape, but consumes the frontend
+  only through a tiny per-event summary: which branch action fired and
+  whether a load hit.
+
+``simulate_batched`` exploits this: design points are partitioned into
+*frontend groups*; each group runs **one** shared frontend pass that
+emits a per-event action byte, then replays the cheap timing recurrence
+once per config over numpy-backed state stacked along the config axis
+(a ``(N, 34)`` register scoreboard, ``(N, 6)`` stall counters, per-unit
+issue-usage lanes). The replay is a branch-free-enough integer kernel;
+when a C toolchain is available it is compiled once per process
+(``cc -O2 -shared``) and driven through :mod:`ctypes`, which is where
+the batch speedup comes from — a straight numpy formulation pays one
+interpreter dispatch per event *per config* and measures slower than
+the scalar loop at realistic batch sizes. ``REPRO_NATIVE=off`` forces
+the pure-Python replay (same results, used by CI to pin equality).
+
+Fallback rules (per config, never per batch): traces whose static
+tables the packed meta encoding cannot represent, object-form event
+lists, and singleton frontend groups all take the existing scalar
+``Core.simulate`` path. Results are byte-identical either way — the
+golden-equality suite asserts it across predictor kinds, FXU counts
+and BTAC sizes.
+
+The per-event action byte (uint8 semantics, carried as int64):
+
+====  =======================================================
+bits  meaning
+====  =======================================================
+0-2   branch action: 0 none, 1 mispredict flush, 2 taken
+      bubble, 3 group end (not-taken or correct BTAC target),
+      4 wrong BTAC target
+3     load hit (latency becomes ``hit_latency``)
+4     load miss (latency becomes ``hit+miss``; limiter=cache)
+====  =======================================================
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.guards import guards_enabled
+from repro.isa.instructions import UNIT_INDEX, Unit
+from repro.isa.trace import F_BRANCH, F_COND, F_LOAD, F_TAKEN, Trace
+from repro.uarch.branch_predictor import GsharePredictor
+from repro.uarch.btac import Btac, BtacStats
+from repro.uarch.cache import WORD_BYTES, CacheStats, L1DCache
+from repro.uarch.config import CoreConfig
+from repro.uarch.core import (
+    _LIMITERS,
+    Core,
+    IntervalRecord,
+    SimResult,
+    columnar_supported,
+)
+from repro.uarch.guards import check_sim_result
+
+_FXU = UNIT_INDEX[Unit.FXU]
+_NONE = UNIT_INDEX[Unit.NONE]
+
+#: Branch-action codes (bits 0-2 of the per-event action byte).
+_A_MISPREDICT = 1
+_A_TAKEN_BUBBLE = 2
+_A_GROUP_END = 3
+_A_WRONG_TARGET = 4
+#: Load-outcome bits.
+_A_LOAD_HIT = 8
+_A_LOAD_MISS = 16
+
+#: int64 slots per config in the packed replay parameter block.
+_PARAM_STRIDE = 12
+
+
+def frontend_key(config: CoreConfig) -> tuple:
+    """Group key: configs with equal keys share one frontend pass.
+
+    Only state-*shaping* parameters participate. Timing-side knobs —
+    BTAC ``wrong_target_penalty``, cache ``hit_latency`` and
+    ``miss_penalty`` — are excluded on purpose: the frontend emits
+    hit/miss and branch-action facts, not resolved latencies, so a
+    latency sweep still shares a single pass.
+    """
+    btac = config.btac
+    btac_key = (
+        None
+        if btac is None
+        else (btac.entries, btac.score_bits, btac.score_threshold,
+              btac.initial_score)
+    )
+    cache = config.cache
+    return (
+        config.predictor,
+        btac_key,
+        (cache.size_bytes, cache.line_bytes, cache.ways),
+    )
+
+
+@dataclass
+class BatchOutcome:
+    """What ``simulate_batched`` did, point by point."""
+
+    results: list[SimResult]
+    #: Per config: True when the shared-frontend batched replay produced
+    #: the result, False when it fell back to scalar ``Core.simulate``.
+    batched: list[bool]
+    #: Whether the native replay kernel ran (vs the Python replay).
+    native: bool
+
+    @property
+    def vectorized(self) -> int:
+        return sum(self.batched)
+
+    @property
+    def fallback(self) -> int:
+        return len(self.batched) - self.vectorized
+
+
+# --------------------------------------------------------------------
+# Static-table meta, shared by every frontend group of one trace.
+# --------------------------------------------------------------------
+
+
+@dataclass
+class _StaticMeta:
+    """Per-event meta columns (the columnar loop's tuples, as arrays)."""
+
+    s1: np.ndarray
+    s2: np.ndarray
+    s3: np.ndarray
+    unit: np.ndarray
+    occ: np.ndarray
+    lat: np.ndarray
+    dst: np.ndarray
+    fxu_ops: int
+    n: int
+
+
+def _static_meta(trace: Trace) -> _StaticMeta | None:
+    """Resolve the trace's static table per event, or None to fall back."""
+    static = trace.static
+    if not columnar_supported(static):
+        return None
+    start, stop = trace._bounds()
+    sid = np.frombuffer(trace.sid, dtype=np.intc)[start:stop].astype(
+        np.int64
+    )
+    # Same padding scheme as the columnar loop's meta tuples: sources
+    # pad to three with the dummy always-zero slot 32, "no destination"
+    # becomes the dummy sink slot 33.
+    s1_t, s2_t, s3_t, dst_t = [], [], [], []
+    for srcs, dst in zip(static.srcs, static.dsts):
+        s1_t.append(srcs[0] if len(srcs) > 0 else 32)
+        s2_t.append(srcs[1] if len(srcs) > 1 else 32)
+        s3_t.append(srcs[2] if len(srcs) > 2 else 32)
+        dst_t.append(dst if dst >= 0 else 33)
+    take = lambda table: np.asarray(table, dtype=np.int64)[sid]  # noqa: E731
+    unit = take(static.units)
+    return _StaticMeta(
+        s1=take(s1_t),
+        s2=take(s2_t),
+        s3=take(s3_t),
+        unit=unit,
+        occ=take(static.occupancies),
+        lat=take(static.latencies),
+        dst=take(dst_t),
+        fxu_ops=int(np.count_nonzero(unit == _FXU)),
+        n=int(stop - start),
+    )
+
+
+# --------------------------------------------------------------------
+# Shared frontend pass: one walk of the flagged events per group.
+# --------------------------------------------------------------------
+
+
+@dataclass
+class _Frontend:
+    """Everything one frontend pass produces for a config group."""
+
+    action: np.ndarray  # int64, one entry per event
+    branches: int
+    conditional_branches: int
+    taken_branches: int
+    direction_mispredictions: int
+    target_mispredictions: int
+    taken_bubbles: int
+    loads: int
+    stores: int
+    load_misses: int
+    cache_accesses: int
+    cache_misses: int
+    #: (lookups, hits, predictions, correct, incorrect, allocations)
+    btac: tuple[int, int, int, int, int, int] | None
+    iv_branches: list[int]
+    iv_mispredicts: list[int]
+
+
+def _frontend_pass(
+    trace: Trace, config: CoreConfig, segment: int, n_intervals: int
+) -> _Frontend:
+    """Evolve predictor/BTAC/L1D over the trace once, emitting actions.
+
+    Mirrors the flags-handling section of ``Core._simulate_columnar``
+    statement for statement — same inlined gshare, same slot-probe BTAC
+    reuse, same MRU-fast-path cache — but instead of steering a live
+    timing loop it records each event's consequence as an action byte.
+    Only flagged events are visited (plain ALU ops need no frontend).
+    """
+    from repro.bpred.predictors import make_predictor
+
+    start, stop = trace._bounds()
+    flags_np = np.frombuffer(trace.flags, dtype=np.uint8)[start:stop]
+    idx = np.flatnonzero(flags_np)
+    pc_np = np.frombuffer(trace.pc, dtype=np.int64)[start:stop]
+    sub_flags = flags_np[idx].tolist()
+    sub_pc = pc_np[idx].tolist()
+    sub_next = (
+        np.frombuffer(trace.next_pc, dtype=np.int64)[start:stop][idx]
+    ).tolist()
+    sub_addr = (
+        np.frombuffer(trace.address, dtype=np.int64)[start:stop][idx]
+    ).tolist()
+    positions = idx.tolist()
+    act_list = [0] * (stop - start)
+
+    predictor = make_predictor(config.predictor)
+    bp_update = None
+    bp_table = bp_history = bp_hmask = bp_mask = 0
+    if type(predictor) is GsharePredictor:
+        bp_table = predictor._table
+        bp_history = predictor._history
+        bp_hmask = predictor._history_mask
+        bp_mask = predictor._mask
+    else:
+        bp_update = predictor.update
+
+    cache = L1DCache(config.cache)
+    cache_sets = cache._sets
+    cache_set_mask = cache._set_mask
+    cache_line_bytes = cache._line_bytes
+    cache_ways_n = cache._ways
+    cache_accesses = cache_misses = 0
+
+    btac = Btac(config.btac) if config.btac else None
+    if btac is not None:
+        btac_slot_get = btac._slot_of.get
+        btac_entries = btac._entries
+        btac_threshold = btac.config.score_threshold
+        btac_max_score = btac._max_score
+        btac_alloc = btac.update
+        btac_lookups = btac_hits = btac_predictions = 0
+        btac_correct = btac_incorrect = 0
+
+    branches = conditional_branches = taken_branches = 0
+    direction_mispredictions = target_mispredictions = 0
+    taken_bubbles = loads = stores = load_misses = 0
+    iv_branches = [0] * n_intervals
+    iv_mispredicts = [0] * n_intervals
+
+    block_start = int(pc_np[0])
+
+    for pos in range(len(positions)):
+        i = positions[pos]
+        flags = sub_flags[pos]
+        act = 0
+        if flags & 24:  # F_LOAD | F_STORE
+            line = (sub_addr[pos] * WORD_BYTES) // cache_line_bytes
+            ways = cache_sets[line & cache_set_mask]
+            cache_accesses += 1
+            if flags & F_LOAD:
+                loads += 1
+                if line in ways:
+                    if ways[-1] != line:
+                        ways.remove(line)
+                        ways.append(line)
+                    act = _A_LOAD_HIT
+                else:
+                    cache_misses += 1
+                    ways.append(line)
+                    if len(ways) > cache_ways_n:
+                        del ways[0]
+                    load_misses += 1
+                    act = _A_LOAD_MISS
+            else:
+                stores += 1
+                if line in ways:
+                    if ways[-1] != line:
+                        ways.remove(line)
+                        ways.append(line)
+                else:
+                    cache_misses += 1
+                    ways.append(line)
+                    if len(ways) > cache_ways_n:
+                        del ways[0]
+        if flags & F_BRANCH:
+            branches += 1
+            taken = (flags & F_TAKEN) != 0
+            if taken:
+                taken_branches += 1
+            mispredicted = False
+            if flags & F_COND:
+                conditional_branches += 1
+                if bp_update is not None:
+                    mispredicted = bp_update(sub_pc[pos], taken)
+                else:
+                    index = (sub_pc[pos] ^ bp_history) & bp_mask
+                    counter = bp_table[index]
+                    if taken:
+                        if counter < 3:
+                            bp_table[index] = counter + 1
+                        bp_history = ((bp_history << 1) | 1) & bp_hmask
+                        mispredicted = counter < 2
+                    else:
+                        if counter > 0:
+                            bp_table[index] = counter - 1
+                        bp_history = (bp_history << 1) & bp_hmask
+                        mispredicted = counter >= 2
+            if mispredicted:
+                direction_mispredictions += 1
+                act |= _A_MISPREDICT
+            elif taken:
+                next_pc = sub_next[pos]
+                if btac is not None:
+                    btac_lookups += 1
+                    slot = btac_slot_get(block_start)
+                    predicted_nia = None
+                    if slot is None:
+                        entry = None
+                    else:
+                        entry = btac_entries[slot]
+                        btac_hits += 1
+                        if entry.score >= btac_threshold:
+                            btac_predictions += 1
+                            predicted_nia = entry.nia
+                    if predicted_nia is None:
+                        taken_bubbles += 1
+                        act |= _A_TAKEN_BUBBLE
+                    elif predicted_nia == next_pc:
+                        btac_correct += 1
+                        act |= _A_GROUP_END
+                    else:
+                        btac_incorrect += 1
+                        target_mispredictions += 1
+                        act |= _A_WRONG_TARGET
+                    if entry is not None:
+                        if entry.nia == next_pc:
+                            if entry.score < btac_max_score:
+                                entry.score += 1
+                        elif entry.score > 0:
+                            entry.score = 0
+                        else:
+                            entry.nia = next_pc
+                    else:
+                        btac_alloc(block_start, next_pc)
+                else:
+                    taken_bubbles += 1
+                    act |= _A_TAKEN_BUBBLE
+            else:
+                act |= _A_GROUP_END
+            if taken or mispredicted:
+                block_start = sub_next[pos]
+            if n_intervals:
+                k = i // segment
+                if k < n_intervals:
+                    iv_branches[k] += 1
+                    if mispredicted:
+                        iv_mispredicts[k] += 1
+        if act:
+            act_list[i] = act
+
+    return _Frontend(
+        action=np.asarray(act_list, dtype=np.int64),
+        branches=branches,
+        conditional_branches=conditional_branches,
+        taken_branches=taken_branches,
+        direction_mispredictions=direction_mispredictions,
+        target_mispredictions=target_mispredictions,
+        taken_bubbles=taken_bubbles,
+        loads=loads,
+        stores=stores,
+        load_misses=load_misses,
+        cache_accesses=cache_accesses,
+        cache_misses=cache_misses,
+        btac=(
+            (btac_lookups, btac_hits, btac_predictions, btac_correct,
+             btac_incorrect, btac.stats.allocations)
+            if btac is not None
+            else None
+        ),
+        iv_branches=iv_branches,
+        iv_mispredicts=iv_mispredicts,
+    )
+
+
+# --------------------------------------------------------------------
+# Native timing-replay kernel (compiled once per process, ctypes).
+# --------------------------------------------------------------------
+
+_NATIVE_SOURCE = r"""
+#include <stdint.h>
+#include <string.h>
+
+/* Safety margin between any touched usage-lane index and the lane
+ * capacity; larger than any static occupancy the ISA emits. */
+#define MARGIN 128
+
+/* Replay the per-config timing recurrence over a shared action
+ * stream. Returns 0 on success, 1 when a usage lane would overflow
+ * (caller retries with a larger cap or falls back to Python). */
+int repro_replay_batch(
+    int64_t n_events, int64_t n_configs,
+    const int64_t *s1, const int64_t *s2, const int64_t *s3,
+    const int64_t *unit, const int64_t *occ, const int64_t *lat,
+    const int64_t *dst, const int64_t *action,
+    const int64_t *params,
+    int64_t interval_size, int64_t n_intervals,
+    int64_t *cycles_out, int64_t *stall_out, int64_t *interval_out,
+    int64_t *window_buf, int64_t *usage_buf, int64_t usage_cap)
+{
+    int64_t *usage[3];
+    usage[0] = usage_buf;
+    usage[1] = usage_buf + usage_cap;
+    usage[2] = usage_buf + 2 * usage_cap;
+    for (int64_t c = 0; c < n_configs; c++) {
+        const int64_t *p = params + c * 12;
+        const int64_t fetch_width = p[0], commit_width = p[1];
+        const int64_t depth = p[2], window = p[3];
+        const int64_t taken_penalty = p[4], wrong_penalty = p[5];
+        const int64_t caps[3] = {p[6], p[7], p[8]};
+        const int64_t hit_latency = p[9], miss_latency = p[10];
+        int64_t reg_ready[34];
+        memset(reg_ready, 0, sizeof reg_ready);
+        int64_t floors[3] = {0, 0, 0};
+        int64_t max_used[3] = {-1, -1, -1};
+        /* Entries beyond the seed region are written before they are
+         * read (write index i+window always leads read index i), so
+         * only the seed needs clearing between configs. */
+        memset(window_buf, 0, (size_t)window * sizeof(int64_t));
+        int64_t dispatch_base = depth;
+        int64_t fetched = 0, last_commit = 0, committed = 0;
+        int64_t stall[6] = {0, 0, 0, 0, 0, 0};
+        int64_t next_boundary =
+            (interval_size > 0 && n_intervals > 0) ? interval_size : -1;
+        int64_t interval_idx = 0;
+        for (int64_t i = 0; i < n_events; i++) {
+            if (fetched >= fetch_width) { dispatch_base += 1; fetched = 0; }
+            fetched += 1;
+            int64_t dispatch = dispatch_base;
+            if (window_buf[i] > dispatch) dispatch = window_buf[i];
+            int64_t ready = reg_ready[s1[i]];
+            if (reg_ready[s2[i]] > ready) ready = reg_ready[s2[i]];
+            if (reg_ready[s3[i]] > ready) ready = reg_ready[s3[i]];
+            int64_t wait_dep, limiter;
+            if (ready > dispatch) { wait_dep = ready; limiter = 1; }
+            else { wait_dep = dispatch; limiter = 0; }
+            const int64_t u = unit[i];
+            int64_t issue;
+            if (u == 3) {
+                issue = wait_dep;
+            } else {
+                if (wait_dep >= usage_cap - MARGIN) return 1;
+                int64_t *us = usage[u];
+                const int64_t cap = caps[u];
+                int64_t floor_ = floors[u];
+                int64_t cycle = wait_dep > floor_ ? wait_dep : floor_;
+                const int64_t o = occ[i];
+                if (o == 1) {
+                    int64_t count = us[cycle];
+                    while (count >= cap) { cycle += 1; count = us[cycle]; }
+                    if (cycle >= usage_cap - MARGIN) return 1;
+                    count += 1;
+                    us[cycle] = count;
+                    if (cycle > max_used[u]) max_used[u] = cycle;
+                    if (cycle > wait_dep) limiter = u + 2;
+                    issue = cycle;
+                    if (count >= cap && cycle == floor_) {
+                        floor_ += 1;
+                        while (us[floor_] >= cap) floor_ += 1;
+                        floors[u] = floor_;
+                    }
+                } else {
+                    /* Non-pipelined op: unit free for the whole
+                     * occupancy; the floor stays read-only here. */
+                    for (;;) {
+                        int64_t k = 0;
+                        for (; k < o; k++)
+                            if (us[cycle + k] >= cap) break;
+                        if (k == o) break;
+                        cycle += 1;
+                        if (cycle + o >= usage_cap - MARGIN) return 1;
+                    }
+                    if (cycle + o >= usage_cap - MARGIN) return 1;
+                    for (int64_t k = 0; k < o; k++) us[cycle + k] += 1;
+                    if (cycle + o - 1 > max_used[u])
+                        max_used[u] = cycle + o - 1;
+                    if (cycle > wait_dep) limiter = u + 2;
+                    issue = cycle;
+                }
+            }
+            const int64_t a = action[i];
+            int64_t latency = lat[i];
+            if (a & 8) latency = hit_latency;
+            else if (a & 16) { latency = miss_latency; limiter = 5; }
+            const int64_t complete = issue + latency;
+            reg_ready[dst[i]] = complete;
+            const int64_t ba = a & 7;
+            if (ba == 1) {
+                dispatch_base = complete + 1 + depth; fetched = 0;
+            } else if (ba == 2) {
+                dispatch_base += taken_penalty; fetched = 0;
+            } else if (ba == 3) {
+                fetched = fetch_width;
+            } else if (ba == 4) {
+                dispatch_base += wrong_penalty; fetched = 0;
+            }
+            if (complete > last_commit) {
+                stall[limiter] += complete - last_commit;
+                last_commit = complete;
+                committed = 1;
+            } else {
+                committed += 1;
+                if (committed > commit_width) {
+                    stall[limiter] += 1;
+                    last_commit += 1;
+                    committed = 1;
+                }
+            }
+            window_buf[i + window] = last_commit;
+            if (i + 1 == next_boundary) {
+                interval_out[c * n_intervals + interval_idx] = last_commit;
+                interval_idx += 1;
+                next_boundary = interval_idx < n_intervals
+                    ? next_boundary + interval_size : -1;
+            }
+        }
+        cycles_out[c] = last_commit + 1;
+        for (int k = 0; k < 6; k++) stall_out[c * 6 + k] = stall[k];
+        for (int uix = 0; uix < 3; uix++)
+            if (max_used[uix] >= 0)
+                memset(usage[uix], 0,
+                       (size_t)(max_used[uix] + 1) * sizeof(int64_t));
+    }
+    return 0;
+}
+"""
+
+_native_state: dict = {}
+
+
+def native_enabled() -> bool:
+    """Whether the compiled replay kernel may be used (REPRO_NATIVE)."""
+    value = os.environ.get("REPRO_NATIVE", "").strip().lower()
+    return value not in {"off", "0", "false", "no"}
+
+
+def _build_native():
+    """Compile (or reuse) the replay kernel; returns the ctypes fn."""
+    digest = hashlib.sha256(_NATIVE_SOURCE.encode()).hexdigest()[:12]
+    try:
+        tag = f"{os.getuid()}"
+    except AttributeError:  # pragma: no cover - non-POSIX
+        tag = "shared"
+    cache_dir = Path(tempfile.gettempdir()) / f"repro-native-{tag}"
+    so_path = cache_dir / f"replay_{digest}.so"
+    if not so_path.exists():
+        compiler = (
+            shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+        )
+        if compiler is None:
+            return None
+        cache_dir.mkdir(parents=True, exist_ok=True)
+        src = cache_dir / f"replay_{digest}.c"
+        src.write_text(_NATIVE_SOURCE)
+        tmp = cache_dir / f"replay_{digest}.{os.getpid()}.tmp.so"
+        subprocess.run(
+            [compiler, "-O2", "-shared", "-fPIC", "-o", str(tmp), str(src)],
+            check=True,
+            capture_output=True,
+            timeout=120,
+        )
+        os.replace(tmp, so_path)  # atomic vs concurrent builders
+    lib = ctypes.CDLL(str(so_path))
+    fn = lib.repro_replay_batch
+    fn.restype = ctypes.c_int
+    fn.argtypes = (
+        [ctypes.c_longlong, ctypes.c_longlong]
+        + [ctypes.c_void_p] * 9
+        + [ctypes.c_longlong, ctypes.c_longlong]
+        + [ctypes.c_void_p] * 5
+        + [ctypes.c_longlong]
+    )
+    return fn
+
+
+def _native_kernel():
+    """The compiled replay entry point, or None (cached per process)."""
+    if not native_enabled():
+        return None
+    if "fn" not in _native_state:
+        try:
+            _native_state["fn"] = _build_native()
+        except Exception:
+            _native_state["fn"] = None
+    return _native_state["fn"]
+
+
+def _config_params(config: CoreConfig) -> list[int]:
+    """One config's packed int64 parameter row for the replay."""
+    return [
+        config.fetch_width,
+        config.commit_width,
+        config.pipeline_depth,
+        config.window,
+        config.taken_branch_penalty,
+        config.btac.wrong_target_penalty if config.btac else 0,
+        config.fxu_count,
+        config.lsu_count,
+        config.bru_count,
+        config.cache.hit_latency,
+        config.cache.hit_latency + config.cache.miss_penalty,
+        0,
+    ]
+
+
+def _ptr(array: np.ndarray) -> int:
+    return array.ctypes.data
+
+
+def _run_native(
+    fn,
+    meta: _StaticMeta,
+    action: np.ndarray,
+    rows: list[list[int]],
+    interval_size: int,
+    n_intervals: int,
+    max_window: int,
+):
+    """Drive the C kernel; None when it cannot cover this group."""
+    n = meta.n
+    if int(meta.occ.max()) >= 96:  # exceeds the kernel's MARGIN headroom
+        return None
+    n_configs = len(rows)
+    params = np.ascontiguousarray(np.asarray(rows, dtype=np.int64))
+    cycles = np.zeros(n_configs, dtype=np.int64)
+    stalls = np.zeros((n_configs, 6), dtype=np.int64)
+    iv = np.zeros((n_configs, max(1, n_intervals)), dtype=np.int64)
+    window_buf = np.zeros(n + max_window + 1, dtype=np.int64)
+    cap = 8 * n + 4096
+    for _attempt in range(2):
+        # np.zeros is calloc-backed: untouched pages stay virtual, and
+        # the kernel re-clears only the region it actually used.
+        usage = np.zeros(3 * cap, dtype=np.int64)
+        ret = fn(
+            n,
+            n_configs,
+            _ptr(meta.s1),
+            _ptr(meta.s2),
+            _ptr(meta.s3),
+            _ptr(meta.unit),
+            _ptr(meta.occ),
+            _ptr(meta.lat),
+            _ptr(meta.dst),
+            _ptr(action),
+            _ptr(params),
+            interval_size,
+            n_intervals,
+            _ptr(cycles),
+            _ptr(stalls),
+            _ptr(iv),
+            _ptr(window_buf),
+            _ptr(usage),
+            cap,
+        )
+        if ret == 0:
+            return (
+                cycles.tolist(),
+                stalls.tolist(),
+                iv[:, :n_intervals].tolist(),
+            )
+        cap *= 4
+    return None
+
+
+def _run_python(
+    meta: _StaticMeta,
+    action: np.ndarray,
+    rows: list[list[int]],
+    segment: int,
+    n_intervals: int,
+):
+    """Pure-Python replay, bit-for-bit the native kernel's semantics."""
+    s1l = meta.s1.tolist()
+    s2l = meta.s2.tolist()
+    s3l = meta.s3.tolist()
+    unitl = meta.unit.tolist()
+    occl = meta.occ.tolist()
+    latl = meta.lat.tolist()
+    dstl = meta.dst.tolist()
+    act = action.tolist()
+    n = meta.n
+    all_cycles: list[int] = []
+    all_stalls: list[list[int]] = []
+    all_iv: list[list[int]] = []
+    for p in rows:
+        (fetch_width, commit_width, depth, window, taken_penalty,
+         wrong_penalty, fxu_cap, lsu_cap, bru_cap, hit_latency,
+         miss_latency, _pad) = p
+        caps = (fxu_cap, lsu_cap, bru_cap)
+        reg_ready = [0] * 34
+        usages: tuple[dict, dict, dict] = ({}, {}, {})
+        floors = [0, 0, 0]
+        window_commits = [0] * window
+        wappend = window_commits.append
+        dispatch_base = depth
+        fetched = 0
+        last_commit = 0
+        committed = 0
+        stall = [0, 0, 0, 0, 0, 0]
+        iv_commits: list[int] = []
+        next_boundary = segment if n_intervals else -1
+        for i in range(n):
+            if fetched >= fetch_width:
+                dispatch_base += 1
+                fetched = 0
+            fetched += 1
+            dispatch = dispatch_base
+            slot_free = window_commits[i]
+            if slot_free > dispatch:
+                dispatch = slot_free
+            ready = reg_ready[s1l[i]]
+            value = reg_ready[s2l[i]]
+            if value > ready:
+                ready = value
+            value = reg_ready[s3l[i]]
+            if value > ready:
+                ready = value
+            if ready > dispatch:
+                wait_dep = ready
+                limiter = 1
+            else:
+                wait_dep = dispatch
+                limiter = 0
+            u = unitl[i]
+            if u == 3:
+                issue = wait_dep
+            else:
+                usage = usages[u]
+                cap = caps[u]
+                uget = usage.get
+                floor = floors[u]
+                cycle = wait_dep if wait_dep > floor else floor
+                o = occl[i]
+                if o == 1:
+                    count = uget(cycle, 0)
+                    while count >= cap:
+                        cycle += 1
+                        count = uget(cycle, 0)
+                    count += 1
+                    usage[cycle] = count
+                    if cycle > wait_dep:
+                        limiter = u + 2
+                    issue = cycle
+                    if count >= cap and cycle == floor:
+                        floor += 1
+                        while uget(floor, 0) >= cap:
+                            floor += 1
+                        floors[u] = floor
+                else:
+                    while True:
+                        for k in range(o):
+                            if uget(cycle + k, 0) >= cap:
+                                cycle += 1
+                                break
+                        else:
+                            break
+                    for k in range(o):
+                        usage[cycle + k] = uget(cycle + k, 0) + 1
+                    if cycle > wait_dep:
+                        limiter = u + 2
+                    issue = cycle
+            a = act[i]
+            latency = latl[i]
+            if a & 8:
+                latency = hit_latency
+            elif a & 16:
+                latency = miss_latency
+                limiter = 5
+            complete = issue + latency
+            reg_ready[dstl[i]] = complete
+            ba = a & 7
+            if ba:
+                if ba == 1:
+                    dispatch_base = complete + 1 + depth
+                    fetched = 0
+                elif ba == 2:
+                    dispatch_base += taken_penalty
+                    fetched = 0
+                elif ba == 3:
+                    fetched = fetch_width
+                else:
+                    dispatch_base += wrong_penalty
+                    fetched = 0
+            if complete > last_commit:
+                stall[limiter] += complete - last_commit
+                last_commit = complete
+                committed = 1
+            else:
+                committed += 1
+                if committed > commit_width:
+                    stall[limiter] += 1
+                    last_commit += 1
+                    committed = 1
+            wappend(last_commit)
+            if i + 1 == next_boundary:
+                iv_commits.append(last_commit)
+                next_boundary = (
+                    next_boundary + segment
+                    if len(iv_commits) < n_intervals
+                    else -1
+                )
+        all_cycles.append(last_commit + 1)
+        all_stalls.append(stall)
+        all_iv.append(iv_commits)
+    return all_cycles, all_stalls, all_iv
+
+
+# --------------------------------------------------------------------
+# Group driver and public entry point.
+# --------------------------------------------------------------------
+
+
+def _simulate_group(
+    trace: Trace,
+    meta: _StaticMeta,
+    configs: list[CoreConfig],
+    interval_size: int | None,
+) -> tuple[list[SimResult], bool]:
+    """One frontend pass + per-config replay for a frontend group."""
+    n = meta.n
+    if interval_size is None:
+        segment = n
+        n_intervals = 0
+    else:
+        segment = interval_size if interval_size >= 1 else 1
+        n_intervals = n // segment
+    front = _frontend_pass(trace, configs[0], segment, n_intervals)
+
+    rows = [_config_params(config) for config in configs]
+    max_window = max(config.window for config in configs)
+    native_used = False
+    out = None
+    fn = _native_kernel()
+    if fn is not None:
+        out = _run_native(
+            fn, meta, front.action, rows,
+            segment if n_intervals else 0, n_intervals, max_window,
+        )
+        native_used = out is not None
+    if out is None:
+        out = _run_python(meta, front.action, rows, segment, n_intervals)
+    cycles, stalls, iv_commits = out
+
+    results: list[SimResult] = []
+    for ci, config in enumerate(configs):
+        result = SimResult(
+            instructions=n,
+            cycles=cycles[ci],
+            branches=front.branches,
+            conditional_branches=front.conditional_branches,
+            taken_branches=front.taken_branches,
+            direction_mispredictions=front.direction_mispredictions,
+            target_mispredictions=front.target_mispredictions,
+            taken_bubbles=front.taken_bubbles,
+            loads=front.loads,
+            stores=front.stores,
+            load_misses=front.load_misses,
+            fxu_ops=meta.fxu_ops,
+        )
+        result.stall_cycles = dict(zip(_LIMITERS, stalls[ci]))
+        result.cache = CacheStats(
+            accesses=front.cache_accesses, misses=front.cache_misses
+        )
+        if config.btac is not None and front.btac is not None:
+            result.btac = BtacStats(*front.btac)
+        intervals: list[IntervalRecord] = []
+        previous = 0
+        for k in range(n_intervals):
+            commit = iv_commits[ci][k]
+            intervals.append(
+                IntervalRecord(
+                    start_instruction=k * segment,
+                    instructions=segment,
+                    cycles=max(1, commit - previous),
+                    branches=front.iv_branches[k],
+                    direction_mispredictions=front.iv_mispredicts[k],
+                )
+            )
+            previous = commit
+        result.intervals = intervals
+        results.append(result)
+    return results, native_used
+
+
+def simulate_batched(
+    trace,
+    configs,
+    interval_size: int | None = None,
+) -> BatchOutcome:
+    """Simulate ``trace`` under every config, sharing frontend passes.
+
+    Equivalent to ``[Core(c).simulate(trace, interval_size) for c in
+    configs]`` — byte-identical ``SimResult``s, fresh core state per
+    config — but configs that share a frontend group walk the trace
+    once. Per-config scalar fallbacks (reported through
+    :class:`BatchOutcome.batched`): object-form event lists,
+    unsupported static tables, and singleton groups, where there is no
+    sharing to exploit and the scalar loop is the reference path.
+    """
+    configs = list(configs)
+    if not configs:
+        return BatchOutcome([], [], False)
+    if len(trace) == 0:
+        raise SimulationError("cannot simulate an empty trace")
+    results: list[SimResult | None] = [None] * len(configs)
+    batched = [False] * len(configs)
+    native_used = False
+    meta = _static_meta(trace) if isinstance(trace, Trace) else None
+    groups: dict[tuple, list[int]] = {}
+    for index, config in enumerate(configs):
+        groups.setdefault(frontend_key(config), []).append(index)
+    for members in groups.values():
+        if meta is None or len(members) < 2:
+            for index in members:
+                results[index] = Core(configs[index]).simulate(
+                    trace, interval_size
+                )
+            continue
+        group_results, used_native = _simulate_group(
+            trace, meta, [configs[index] for index in members],
+            interval_size,
+        )
+        native_used = native_used or used_native
+        for index, result in zip(members, group_results):
+            results[index] = result
+            batched[index] = True
+        if guards_enabled():
+            for index in members:
+                check_sim_result(results[index], configs[index])
+    return BatchOutcome(results, batched, native_used)

@@ -60,6 +60,18 @@ _L_FETCH, _L_DEP, _L_CACHE = 0, 1, 5
 _UNIT_LIMITER = (2, 3, 4)
 
 
+def columnar_supported(static) -> bool:
+    """Whether the packed per-event meta encoding covers ``static``.
+
+    The columnar hot loop (and the batched replay built on the same
+    encoding in :mod:`repro.uarch.batched`) pads every source tuple to
+    exactly three slots; the mini-ISA never reads more than three GPRs,
+    but a hand-built static table could, and such tables must take the
+    object-path golden reference instead.
+    """
+    return all(len(srcs) <= 3 for srcs in static.srcs)
+
+
 @dataclass
 class IntervalRecord:
     """Per-interval statistics for time-series plots (Figure 2)."""
@@ -561,7 +573,7 @@ class Core:
         # unit + 4, which routes them past the fast per-unit branches
         # into the generic slow path (so the common path never tests
         # occupancy at all).
-        if any(len(srcs) > 3 for srcs in static.srcs):
+        if not columnar_supported(static):
             # The ISA never reads more than three GPRs (STX), but a
             # hand-built table could; fall back to the golden path.
             return self._simulate_events(trace.to_events(), interval_size)

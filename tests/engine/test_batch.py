@@ -1,0 +1,217 @@
+"""Batched multi-config dispatch: grouping, equivalence, durability.
+
+The scheduler folds pending points that share a workload trace into
+one :class:`_BatchTask` per ``(app, variant)`` group; these tests pin
+the contract that batching is *invisible* except for throughput and
+telemetry — byte-identical results and cache entries, one journal
+record per point, per-point (never batch-level) failures.
+"""
+
+import pytest
+
+from repro.engine import scheduler
+from repro.engine.engine import Engine
+from repro.engine.journal import load_run
+from repro.engine.scheduler import (
+    _batch_tasks,
+    _BatchTask,
+    _result_digest,
+    _Task,
+    group_by_trace,
+    resolve_batch,
+)
+from repro.errors import SweepError
+from repro.uarch.config import power5
+
+APP = "fasta"
+
+
+def _points(fxus=(2, 3, 4)):
+    return [(APP, "baseline", power5().with_fxus(f)) for f in fxus]
+
+
+def _digests(results):
+    return [_result_digest(result) for result in results]
+
+
+def _passthrough_worker(task):
+    """Module-level (picklable) stand-in for a test-instrumented worker."""
+    return scheduler._characterize_worker(task)
+
+
+class TestResolveBatch:
+    def test_default_is_on(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert resolve_batch() is True
+
+    @pytest.mark.parametrize("value", ["off", "0", "false", "no"])
+    def test_env_disables(self, monkeypatch, value):
+        monkeypatch.setenv("REPRO_BATCH", value)
+        assert resolve_batch() is False
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BATCH", "off")
+        assert resolve_batch(True) is True
+        monkeypatch.delenv("REPRO_BATCH", raising=False)
+        assert resolve_batch(False) is False
+
+
+class TestGrouping:
+    def test_group_by_trace_keys_on_app_variant(self):
+        tasks = [
+            _Task(("a", "baseline", "d1"), ("a", "baseline", power5())),
+            _Task(("a", "baseline", "d2"),
+                  ("a", "baseline", power5().with_fxus(3))),
+            _Task(("b", "baseline", "d3"), ("b", "baseline", power5())),
+        ]
+        groups = group_by_trace(tasks)
+        assert list(groups) == [("a", "baseline"), ("b", "baseline")]
+        assert [len(g) for g in groups.values()] == [2, 1]
+
+    def test_singleton_groups_stay_plain_tasks(self):
+        tasks = [
+            _Task(("a", "baseline", "d1"), ("a", "baseline", power5())),
+            _Task(("a", "baseline", "d2"),
+                  ("a", "baseline", power5().with_fxus(3))),
+            _Task(("b", "baseline", "d3"), ("b", "baseline", power5())),
+        ]
+        batched = _batch_tasks(tasks)
+        assert isinstance(batched[0], _BatchTask)
+        assert len(batched[0].tasks) == 2
+        assert isinstance(batched[1], _Task)
+
+
+class TestBatchedEqualsSequential:
+    def test_serial_sweep_digest_identical(self, tmp_path, restore_globals):
+        from repro.engine import cache as cache_module
+
+        cache_module.use_cache_dir(tmp_path / "seq")
+        sequential = Engine(cache_dir=tmp_path / "seq").characterize_many(
+            _points(), jobs=1, batch=False
+        )
+        cache_module.use_cache_dir(tmp_path / "bat")
+        engine = Engine(cache_dir=tmp_path / "bat")
+        batched = engine.characterize_many(_points(), jobs=1, batch=True)
+        assert _digests(batched) == _digests(sequential)
+        assert engine.stats.batch_sizes == [3]
+        assert engine.stats.batched_points == 3
+        assert engine.stats.batch_vectorized == 3
+        assert engine.stats.batch_fallback == 0
+
+    def test_pool_sweep_digest_identical(self, tmp_path, restore_globals):
+        from repro.engine import cache as cache_module
+
+        cache_module.use_cache_dir(tmp_path / "seq")
+        sequential = Engine(cache_dir=tmp_path / "seq").characterize_many(
+            _points(), jobs=1, batch=False
+        )
+        cache_module.use_cache_dir(tmp_path / "bat")
+        engine = Engine(cache_dir=tmp_path / "bat")
+        # Two trace-sharing groups so the pool path actually pools.
+        points = _points() + [("hmmer", "baseline", power5()),
+                              ("hmmer", "baseline", power5().with_fxus(3))]
+        batched = engine.characterize_many(points, jobs=2, batch=True)
+        assert _digests(batched[:3]) == _digests(sequential)
+        # Worker telemetry merged back: one record per point, and both
+        # groups' batch counters are visible in the parent.
+        assert len(engine.stats.points) == len(points)
+        assert sorted(engine.stats.batch_sizes) == [2, 3]
+
+    def test_env_kill_switch_disables_batching(
+        self, monkeypatch, fresh_engine
+    ):
+        monkeypatch.setenv("REPRO_BATCH", "off")
+        results = fresh_engine.characterize_many(_points(), jobs=1)
+        assert all(result is not None for result in results)
+        assert fresh_engine.stats.batch_sizes == []
+        assert fresh_engine.stats.batched_points == 0
+
+    def test_custom_worker_never_batches(self, fresh_engine):
+        """Instrumented workers must see every point individually."""
+        results = scheduler.fan_out(
+            fresh_engine, _points(), jobs=2, worker=_passthrough_worker,
+            batch=True,
+        )
+        assert all(result is not None for result in results)
+        assert fresh_engine.stats.batch_sizes == []
+
+
+class TestCacheAndJournal:
+    def test_memo_and_disk_peel_before_batching(self, fresh_engine):
+        """Points already cached never re-enter a batch."""
+        first = fresh_engine.characterize(APP, "baseline", power5())
+        results = fresh_engine.characterize_batch(
+            APP, "baseline",
+            [power5(), power5().with_fxus(3), power5().with_fxus(4)],
+        )
+        assert results[0] is first
+        assert fresh_engine.stats.memo_hits == 1
+        # Only the two uncached points went through the shared pass.
+        assert fresh_engine.stats.batch_sizes == [2]
+
+    def test_batched_results_land_in_persistent_cache(
+        self, tmp_path, restore_globals
+    ):
+        from repro.engine import cache as cache_module
+
+        root = tmp_path / "store"
+        cache_module.use_cache_dir(root)
+        Engine(cache_dir=root).characterize_many(
+            _points(), jobs=1, batch=True
+        )
+        rerun = Engine(cache_dir=root)
+        rerun.characterize_many(_points(), jobs=1, batch=True)
+        assert rerun.stats.cache.result_hits == 3
+        assert rerun.stats.batch_sizes == []  # nothing left to batch
+
+    def test_journal_records_batch_stats_and_per_point_done(
+        self, fresh_engine
+    ):
+        fresh_engine.characterize_many(
+            _points(), jobs=1, batch=True, run_id="batchrun"
+        )
+        state = load_run(fresh_engine.cache.root, "batchrun")
+        assert state.complete
+        assert len(state.done) == 3  # one point_done per point
+        assert state.batch is not None
+        assert state.batch["groups"] == 1
+        assert state.batch["points"] == 3
+        assert state.batch["vectorized"] == 3
+        assert state.batch["decode_reuse_hits"] == 2
+
+    def test_unbatched_run_journals_no_batch_record(self, fresh_engine):
+        fresh_engine.characterize_many(
+            [(APP, "baseline", power5())], jobs=1, batch=False,
+            run_id="plainrun",
+        )
+        state = load_run(fresh_engine.cache.root, "plainrun")
+        assert state.complete
+        assert state.batch is None
+
+
+class TestBatchFailureExplodes:
+    def test_bad_group_fails_per_point_not_per_batch(self, fresh_engine):
+        """A batch that raises re-runs its points individually, so the
+        failures are per-point records naming each config."""
+        bad = [("nope", "baseline", power5().with_fxus(f))
+               for f in (2, 3)]
+        results = fresh_engine.characterize_many(
+            bad, jobs=1, batch=True, on_error="keep_going", retries=0,
+        )
+        assert results == [None, None]
+        assert len(fresh_engine.stats.failures) == 2
+        digests = {f.config_digest for f in fresh_engine.stats.failures}
+        assert len(digests) == 2  # two distinct points, not one batch
+        assert fresh_engine.stats.batch_sizes == []
+
+    def test_bad_group_does_not_poison_good_group(self, fresh_engine):
+        points = ([("nope", "baseline", power5().with_fxus(f))
+                   for f in (2, 3)] + _points())
+        with pytest.raises(SweepError):
+            fresh_engine.characterize_many(
+                points, jobs=1, batch=True, retries=0
+            )
+        # The good group still completed, batched.
+        assert fresh_engine.stats.batch_sizes == [3]
+        good = fresh_engine.characterize(APP, "baseline", power5())
+        assert good is not None

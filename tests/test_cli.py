@@ -242,11 +242,12 @@ class TestRunsCommand:
             ["runs", "--cache-dir", str(root), "--porcelain"]
         ) == 0
         line = capsys.readouterr().out.strip()
-        run, status, done, failed, points, age = line.split("\t")
+        run, status, done, failed, points, age, batched = line.split("\t")
         assert run == run_id
         assert status == "resumable"
         assert (done, failed, points) == ("2", "0", "4")
         assert float(age) >= 0.0
+        assert batched == "0"  # never batched: appended field stays 0
 
     def test_empty_listing(self, tmp_path, capsys):
         assert main(["runs", "--cache-dir", str(tmp_path / "cache")]) == 0

@@ -188,3 +188,89 @@ class TestSyntheticGoldenEquality:
             Core(config).simulate(columnar[2_000:7_000])
         )
         assert rewritten == golden
+
+
+class TestBatchedGoldenEquality:
+    """``simulate_batched`` == N sequential ``Core.simulate`` calls.
+
+    The batched path shares one frontend pass (predictor / BTAC / L1D)
+    across every config in a frontend group and replays per-config
+    timing from the recorded action stream; this matrix pins the whole
+    serialised :class:`SimResult` — intervals included — to the scalar
+    loop across predictor kinds, FXU counts and BTAC sizes, plus the
+    ragged case where one batch mixes vectorized and fallback points.
+    """
+
+    def _batched_vs_sequential(self, trace, configs, interval_size=None):
+        from repro.uarch.batched import simulate_batched
+
+        outcome = simulate_batched(trace, configs,
+                                   interval_size=interval_size)
+        golden = [
+            result_to_dict(
+                Core(config).simulate(trace, interval_size=interval_size)
+            )
+            for config in configs
+        ]
+        assert [result_to_dict(r) for r in outcome.results] == golden
+        return outcome
+
+    @pytest.mark.parametrize("kind", PREDICTOR_KINDS)
+    def test_predictor_kinds_batched(self, kind):
+        _, trace = _traces("fasta", "baseline")
+        configs = [
+            power5().with_fxus(fxus).with_predictor(
+                kind, table_bits=10, history_bits=8
+            )
+            for fxus in (2, 3, 4)
+        ]
+        outcome = self._batched_vs_sequential(trace, configs)
+        # Timing-only variation: one frontend group, everything batched.
+        assert outcome.vectorized == len(configs)
+
+    def test_fxu_and_btac_matrix_batched(self):
+        """FXU counts x BTAC sizes: several frontend groups, one call."""
+        from repro.uarch.config import BtacConfig
+
+        _, trace = _traces("blast", "baseline")
+        configs = [
+            power5().with_fxus(fxus).with_btac(
+                BtacConfig(entries=entries)
+            )
+            for fxus in (2, 3, 4)
+            for entries in (8, 16)
+        ]
+        # Two BTAC sizes -> two frontend groups of three timing configs.
+        self._batched_vs_sequential(trace, configs)
+
+    def test_intervals_batched(self):
+        trace = generate_trace(12_000, MixProfile(), seed=78)
+        configs = [power5().with_fxus(fxus) for fxus in (2, 3, 4)]
+        self._batched_vs_sequential(trace, configs, interval_size=1_000)
+
+    def test_ragged_batch_mixes_vectorized_and_fallback(self):
+        """One call, mixed outcome: a shared-frontend group batches,
+        a singleton group falls back to the scalar loop — results must
+        be identical either way."""
+        _, trace = _traces("fasta", "baseline")
+        configs = [
+            power5().with_fxus(2),
+            power5().with_fxus(3),
+            power5().with_fxus(4),
+            power5().with_predictor(
+                "perceptron", table_bits=10, history_bits=8
+            ),
+        ]
+        outcome = self._batched_vs_sequential(trace, configs)
+        assert outcome.vectorized == 3
+        assert outcome.fallback == 1
+        assert outcome.batched == [True, True, True, False]
+
+    def test_python_replay_matches_without_native_kernel(self, monkeypatch):
+        """REPRO_NATIVE=off pins the pure-Python timing replay."""
+        monkeypatch.setenv("REPRO_NATIVE", "off")
+        trace = generate_trace(8_000, MixProfile(), seed=80)
+        configs = [power5().with_fxus(fxus) for fxus in (2, 4)]
+        outcome = self._batched_vs_sequential(trace, configs)
+        assert not outcome.native
+        assert outcome.vectorized == len(configs)
