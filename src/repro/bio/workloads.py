@@ -23,7 +23,10 @@ from repro.bio.statistics import background_frequencies
 from repro.errors import WorkloadError
 
 #: Input-class scale factors, loosely mirroring BioPerf's A/B/C tiers.
-CLASS_SCALES = {"A": 0.25, "B": 0.5, "C": 1.0}
+#: Class D is our genome-scale extension: inputs (and the traces they
+#: induce) far beyond what a monolithic in-memory run wants to hold,
+#: exercised through the streaming pipeline (``repro.perf.stream``).
+CLASS_SCALES = {"A": 0.25, "B": 0.5, "C": 1.0, "D": 4.0}
 
 
 @dataclass(frozen=True)

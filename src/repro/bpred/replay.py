@@ -60,30 +60,44 @@ class BranchStream:
         }
 
 
-def branch_stream(trace: Trace | list[TraceEvent]) -> BranchStream:
+def branch_stream(trace) -> BranchStream:
     """Extract the conditional-branch stream from a trace.
 
-    Columnar traces are filtered in one pass over the packed flags
-    column; object-form lists are accepted for the tests' convenience.
+    Accepts a columnar :class:`Trace` (filtered in one pass over the
+    packed flags column), an object-form event list, or any iterator of
+    trace segments — e.g. the v3 tracestore's lazy reader or the
+    segmented interpreter/synthetic generators — which is consumed in a
+    single bounded-memory pass. The packed stream is identical however
+    the same events arrive.
     """
     pcs = array("q")
     taken = array("B")
+    instructions = 0
     if isinstance(trace, Trace):
-        start, stop = trace._bounds()
-        flags_col = trace.flags
-        pc_col = trace.pc
-        for index in range(start, stop):
-            flags = flags_col[index]
-            if flags & F_COND:
-                pcs.append(pc_col[index])
-                taken.append(1 if flags & F_TAKEN else 0)
-        instructions = stop - start
+        chunks = [trace]
+    elif isinstance(trace, list) and (
+        not trace or isinstance(trace[0], TraceEvent)
+    ):
+        chunks = [trace]  # object-form event list (possibly empty)
     else:
-        for event in trace:
-            if event.is_conditional:
-                pcs.append(event.pc)
-                taken.append(1 if event.taken else 0)
-        instructions = len(trace)
+        chunks = trace  # iterator (or list) of segments
+    for chunk in chunks:
+        if isinstance(chunk, Trace):
+            start, stop = chunk._bounds()
+            flags_col = chunk.flags
+            pc_col = chunk.pc
+            for index in range(start, stop):
+                flags = flags_col[index]
+                if flags & F_COND:
+                    pcs.append(pc_col[index])
+                    taken.append(1 if flags & F_TAKEN else 0)
+            instructions += stop - start
+        else:
+            for event in chunk:
+                if event.is_conditional:
+                    pcs.append(event.pc)
+                    taken.append(1 if event.taken else 0)
+            instructions += len(chunk)
     return BranchStream(pcs=pcs, taken=taken, instructions=instructions)
 
 

@@ -163,6 +163,44 @@ def cmd_trace(args) -> int:
     from repro.perf.characterize import kernel_trace
     from repro.uarch.core import simulate_trace
 
+    if args.stats:
+        from collections import Counter
+
+        from repro.isa.trace import opcode_histogram, trace_statistics
+        from repro.isa.tracestore import open_trace_segments
+
+        if args.load:
+            segments = open_trace_segments(args.load)
+            label = args.load
+        else:
+            if args.app is None:
+                raise ReproError("trace --stats: give an app or --load FILE")
+            from repro.perf.characterize import kernel_trace_segments
+
+            segments = kernel_trace_segments(args.app, args.variant)
+            label = f"{args.app}/{args.variant}"
+        histogram: Counter = Counter()
+
+        def tally(chunks):
+            # One pass feeds both accumulators with O(segment) memory.
+            for segment in chunks:
+                histogram.update(opcode_histogram(segment))
+                yield segment
+
+        stats = trace_statistics(tally(segments))
+        print(f"# {label}: {stats.instructions} instructions")
+        print(f"branches={stats.branches} "
+              f"cond={stats.conditional_branches} "
+              f"({percent(stats.branch_fraction)} of instructions, "
+              f"{percent(stats.taken_fraction)} taken)")
+        print(f"loads={stats.loads} stores={stats.stores} "
+              f"(ld/st {percent(stats.load_store_fraction)})")
+        print(f"fxu={stats.fxu_ops} max={stats.max_ops} "
+              f"isel={stats.isel_ops} cmp={stats.cmp_ops}")
+        for op, count in histogram.most_common(10):
+            print(f"{op}\t{count}")
+        return 0
+
     if args.load:
         trace = load_trace(args.load)
         result = simulate_trace(trace, power5())
@@ -559,6 +597,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument("variant", nargs="?", default="baseline")
     p_trace.add_argument("output", nargs="?", default="kernel.trace")
     p_trace.add_argument("--load", help="re-simulate a saved trace file")
+    p_trace.add_argument("--stats", action="store_true",
+                         help="print instruction-mix statistics and the "
+                              "opcode histogram, streamed segment by "
+                              "segment in bounded memory")
     p_trace.set_defaults(func=cmd_trace)
 
     p_sim = sub.add_parser("simulate", help="core-model characterisation")

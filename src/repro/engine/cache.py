@@ -6,11 +6,12 @@ Layout (under a versioned root so schema bumps invalidate wholesale)::
         traces/<app>/<variant>-<source_digest12>.trace
         results/<app>/<variant>-<source_digest12>-<config_digest12>.json
 
-Traces use the :mod:`repro.isa.tracestore` **v2 binary columnar**
-format — "expensive to regenerate but cheap to re-simulate" — and
+Traces use the :mod:`repro.isa.tracestore` **v3 segmented binary**
+format — "expensive to regenerate but cheap to re-simulate", and now
+also streamable frame by frame — and
 results the strict JSON schema of :mod:`repro.engine.serialize` (stored
-here as opaque dicts; the engine layer (de)serialises). Legacy v1 text
-entries still load (and are rewritten as v2 on first read); the trace
+here as opaque dicts; the engine layer (de)serialises). Legacy v1/v2
+entries still load (and are rewritten as v3 on first read); the trace
 format version is folded into the source digest, so a format bump
 re-addresses every entry. Every read is corruption-safe: a
 truncated, malformed or partially-written entry is evicted and treated
@@ -50,7 +51,8 @@ from repro.isa.trace import Trace, TraceEvent
 from repro.isa.tracestore import (
     TRACE_FORMAT_VERSION,
     load_trace_columnar,
-    save_trace_v2,
+    open_trace_segments,
+    save_trace_v3,
     trace_format,
 )
 
@@ -144,9 +146,10 @@ class PersistentCache:
     def load_trace(self, app: str, variant: str) -> Trace | None:
         """The cached trace, or None (miss or evicted corruption).
 
-        Always returns the columnar form. A legacy v1 text entry is
-        transparently rewritten in place as v2 binary, so a cache
-        populated by an older build upgrades itself on first read.
+        Always returns the columnar form. A legacy v1/v2 entry is
+        transparently rewritten in place as segmented v3 binary, so a
+        cache populated by an older build upgrades itself on first
+        read.
         """
         if not self.enabled:
             return None
@@ -162,9 +165,43 @@ class PersistentCache:
             self.counters.trace_misses += 1
             return None
         if stored_format != TRACE_FORMAT_VERSION:
-            self._atomic_write(path, lambda tmp: save_trace_v2(tmp, trace))
+            self._atomic_write(path, lambda tmp: save_trace_v3(tmp, trace))
         self.counters.trace_hits += 1
         return trace
+
+    def load_trace_segments(self, app: str, variant: str):
+        """A lazy segment iterator over the cached trace, or None.
+
+        v3 entries stream frame by frame with O(segment) live memory
+        (legacy entries are upgraded to v3 first, through
+        :meth:`load_trace`'s rewrite-on-read, then streamed). Structural
+        problems surface as an eviction + miss exactly like
+        :meth:`load_trace` — but note that per-segment corruption in a
+        lazy stream can only be detected when the bad frame is reached,
+        so consumers see :class:`~repro.errors.InterpreterError` from
+        the iterator in that (already-digest-checked, hence vanishingly
+        rare) case.
+        """
+        if not self.enabled:
+            return None
+        path = self.trace_path(app, variant)
+        if not path.exists():
+            self.counters.trace_misses += 1
+            return None
+        try:
+            if trace_format(path) != TRACE_FORMAT_VERSION:
+                # Legacy entry: materialise + rewrite as v3, then
+                # stream the (now segmented) file.
+                if self.load_trace(app, variant) is None:
+                    return None
+                self.counters.trace_hits -= 1  # counted below
+            segments = open_trace_segments(path)
+        except (ReproError, OSError, ValueError):
+            self._evict(path)
+            self.counters.trace_misses += 1
+            return None
+        self.counters.trace_hits += 1
+        return segments
 
     def store_trace(
         self, app: str, variant: str, events: Trace | list[TraceEvent]
@@ -172,7 +209,14 @@ class PersistentCache:
         if not self.enabled:
             return
         path = self.trace_path(app, variant)
-        self._atomic_write(path, lambda tmp: save_trace_v2(tmp, events))
+        self._atomic_write(path, lambda tmp: save_trace_v3(tmp, events))
+
+    def store_trace_segments(self, app: str, variant: str, segments) -> None:
+        """Persist an iterator of segments with O(segment) memory."""
+        if not self.enabled:
+            return
+        path = self.trace_path(app, variant)
+        self._atomic_write(path, lambda tmp: save_trace_v3(tmp, segments))
 
     # -- results -----------------------------------------------------------
 

@@ -93,6 +93,7 @@ class Engine:
                 serialize.characterisation_to_dict(result),
             )
             source = SOURCE_SIMULATED
+            self._drain_stream()
         wall = time.perf_counter() - started
 
         self._memo[key] = result
@@ -176,7 +177,16 @@ class Engine:
             self.stats.batch_sizes.append(len(pending))
             self.stats.batch_vectorized += info["vectorized"]
             self.stats.batch_fallback += info["fallback"]
+            self._drain_stream()
         return results
+
+    def _drain_stream(self) -> None:
+        """Fold finished streaming pipelines into this engine's stats."""
+        from repro.perf.stream import drain_stream_stats
+
+        drained = drain_stream_stats()
+        if drained is not None:
+            self.stats.merge_stream(drained.as_dict())
 
     def _load_persistent(
         self, app: str, variant: str, digest: str

@@ -49,6 +49,7 @@ RECORD_RESUMED = "run_resumed"
 RECORD_DONE = "point_done"
 RECORD_FAILED = "point_failed"
 RECORD_BATCH = "batch_stats"
+RECORD_STREAM = "stream_stats"
 RECORD_COMPLETE = "run_complete"
 
 #: ``RunState.status`` values (also what ``repro runs`` prints).
@@ -187,6 +188,20 @@ class RunJournal:
             **{key: int(value) for key, value in stats.items()},
         })
 
+    def record_stream_stats(self, stats: dict) -> None:
+        """Streaming-simulation summary for this attempt (additive).
+
+        ``stats`` carries the stream counters drained from
+        :mod:`repro.perf.stream` (streams, segments produced/consumed,
+        queue high-water mark, handoffs, peak segment bytes). Older
+        readers skip the record; the journal schema is unchanged.
+        """
+        self._append({
+            "record": RECORD_STREAM,
+            "run_id": self.run_id,
+            **{key: int(value) for key, value in stats.items()},
+        })
+
     def record_complete(self, failures: int) -> None:
         self._append({
             "record": RECORD_COMPLETE,
@@ -242,6 +257,9 @@ class RunState:
     #: Batched-simulation counters from the last ``batch_stats`` record
     #: (``None`` when the run never batched / predates batching).
     batch: dict | None = None
+    #: Streaming counters from the last ``stream_stats`` record
+    #: (``None`` when the run never streamed / predates streaming).
+    stream: dict | None = None
     #: 1 if the final line was truncated mid-record (crash signature).
     torn_tail: int = 0
     #: Set when a record *before* the tail failed to parse.
@@ -383,6 +401,12 @@ def _apply_record(state: RunState, payload: dict, index: int) -> None:
             state.failed[key] = str(payload.get("kind", "unknown"))
     elif kind == RECORD_BATCH:
         state.batch = {
+            key: int(value)
+            for key, value in payload.items()
+            if key not in ("record", "run_id")
+        }
+    elif kind == RECORD_STREAM:
+        state.stream = {
             key: int(value)
             for key, value in payload.items()
             if key not in ("record", "run_id")

@@ -459,6 +459,28 @@ def _batch_counters(engine) -> dict:
     }
 
 
+def _stream_counters(engine) -> dict:
+    """Snapshot of the engine's streaming-simulation telemetry.
+
+    Additive counters journal as this-sweep deltas; the two high-water
+    marks (queue depth, segment bytes) journal as their current values.
+    """
+    stats = engine.stats
+    return {
+        "streams": stats.stream_streams,
+        "segments_produced": stats.stream_segments_produced,
+        "segments_consumed": stats.stream_segments_consumed,
+        "handoffs": stats.stream_handoffs,
+        "queue_peak": stats.stream_queue_peak,
+        "peak_segment_bytes": stats.stream_peak_segment_bytes,
+    }
+
+
+_STREAM_ADDITIVE = (
+    "streams", "segments_produced", "segments_consumed", "handoffs",
+)
+
+
 def _journal_failed(journal, key, failure) -> None:
     if journal is not None:
         journal.record_point_failed(
@@ -863,6 +885,7 @@ def fan_out(
     serial_notes: list[str] = []
     failures: dict = {}
     before = _batch_counters(engine)
+    stream_before = _stream_counters(engine)
     try:
         if pending:
             tasks = list(pending.values())
@@ -897,6 +920,17 @@ def fan_out(
             }
             if any(delta.values()):
                 journal_obj.record_batch_stats(delta)
+            stream_after = _stream_counters(engine)
+            stream_delta = {
+                key: stream_after[key] - stream_before[key]
+                for key in _STREAM_ADDITIVE
+            }
+            if any(stream_delta.values()):
+                stream_delta["queue_peak"] = stream_after["queue_peak"]
+                stream_delta["peak_segment_bytes"] = (
+                    stream_after["peak_segment_bytes"]
+                )
+                journal_obj.record_stream_stats(stream_delta)
             journal_obj.record_complete(len(failures))
     except _Interrupted as stop:
         unique = list(dict.fromkeys(keys))

@@ -110,6 +110,17 @@ class EngineStats:
     #: the first reuse the in-memory decode instead of re-inflating the
     #: tracestore blob.
     decode_reuse_hits: int = 0
+    #: Streaming simulation (``REPRO_STREAM``): pipelined
+    #: generate→simulate runs that went through ``repro.perf.stream``.
+    stream_streams: int = 0
+    stream_segments_produced: int = 0
+    stream_segments_consumed: int = 0
+    #: Deepest the bounded producer/consumer queue ever got.
+    stream_queue_peak: int = 0
+    #: Carried-state segment handoffs into streaming consumers.
+    stream_handoffs: int = 0
+    #: Largest single in-flight segment (packed column bytes).
+    stream_peak_segment_bytes: int = 0
 
     def record(self, point: PointRecord) -> None:
         self.points.append(point)
@@ -134,8 +145,32 @@ class EngineStats:
         self.batch_vectorized += other.batch_vectorized
         self.batch_fallback += other.batch_fallback
         self.decode_reuse_hits += other.decode_reuse_hits
+        self.stream_streams += other.stream_streams
+        self.stream_segments_produced += other.stream_segments_produced
+        self.stream_segments_consumed += other.stream_segments_consumed
+        self.stream_queue_peak = max(
+            self.stream_queue_peak, other.stream_queue_peak
+        )
+        self.stream_handoffs += other.stream_handoffs
+        self.stream_peak_segment_bytes = max(
+            self.stream_peak_segment_bytes, other.stream_peak_segment_bytes
+        )
         for message in other.notes:
             self.note(message)
+
+    def merge_stream(self, stream: dict) -> None:
+        """Fold a drained ``StreamStats`` payload (dict form) into this."""
+        self.stream_streams += stream.get("streams", 0)
+        self.stream_segments_produced += stream.get("segments_produced", 0)
+        self.stream_segments_consumed += stream.get("segments_consumed", 0)
+        self.stream_queue_peak = max(
+            self.stream_queue_peak, stream.get("queue_peak", 0)
+        )
+        self.stream_handoffs += stream.get("handoffs", 0)
+        self.stream_peak_segment_bytes = max(
+            self.stream_peak_segment_bytes,
+            stream.get("peak_segment_bytes", 0),
+        )
 
     @property
     def total_wall_seconds(self) -> float:
@@ -159,7 +194,7 @@ class EngineStats:
 
     def to_dict(self) -> dict:
         return {
-            "schema": 4,
+            "schema": 5,
             "jobs": self.jobs,
             "points": [point.to_dict() for point in self.points],
             "failures": [failure.to_dict() for failure in self.failures],
@@ -176,6 +211,14 @@ class EngineStats:
                 "fallback": self.batch_fallback,
                 "decode_reuse_hits": self.decode_reuse_hits,
                 "sizes": list(self.batch_sizes),
+            },
+            "stream": {
+                "streams": self.stream_streams,
+                "segments_produced": self.stream_segments_produced,
+                "segments_consumed": self.stream_segments_consumed,
+                "queue_peak": self.stream_queue_peak,
+                "handoffs": self.stream_handoffs,
+                "peak_segment_bytes": self.stream_peak_segment_bytes,
             },
             "totals": {
                 "points": len(self.points),
@@ -228,6 +271,20 @@ class EngineStats:
                 self.decode_reuse_hits,
             )
             blocks.append(batch.render())
+        if self.stream_streams:
+            stream = Table(
+                "Streaming simulation",
+                ["Streams", "Segments", "Queue peak", "Handoffs",
+                 "Peak segment (KiB)"],
+            )
+            stream.add_row(
+                self.stream_streams,
+                self.stream_segments_consumed,
+                self.stream_queue_peak,
+                self.stream_handoffs,
+                f"{self.stream_peak_segment_bytes / 1024:.1f}",
+            )
+            blocks.append(stream.render())
         if self.notes:
             blocks.append(
                 "\n".join(f"note: {message}" for message in self.notes)

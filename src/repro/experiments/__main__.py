@@ -48,6 +48,15 @@ def main(argv: list[str] | None = None) -> int:
         help="disable batched simulation; every point runs alone",
     )
     parser.add_argument(
+        "--stream", dest="stream", action="store_true", default=None,
+        help="stream traces in bounded segments with pipelined "
+             "generate→simulate overlap (default: REPRO_STREAM or on)",
+    )
+    parser.add_argument(
+        "--no-stream", dest="stream", action="store_false",
+        help="disable streaming; traces are materialised monolithically",
+    )
+    parser.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="persistent trace/result cache directory "
              "(default: REPRO_CACHE_DIR or ~/.cache/repro-power5; "
@@ -73,6 +82,12 @@ def main(argv: list[str] | None = None) -> int:
         from repro.engine.cache import use_cache_dir
 
         use_cache_dir(args.cache_dir)
+
+    if args.stream is not None:
+        # Propagated through the environment so pool workers inherit it.
+        import os
+
+        os.environ["REPRO_STREAM"] = "on" if args.stream else "off"
 
     names = (
         list(EXPERIMENTS)

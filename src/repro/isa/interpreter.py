@@ -331,6 +331,101 @@ class Machine:
         return executed
 
 
+    def run_segments(
+        self,
+        segment_events: int,
+        max_steps: int = DEFAULT_MAX_STEPS,
+    ):
+        """Execute like a traced :meth:`run`, yielding bounded segments.
+
+        A generator that produces the identical committed-instruction
+        stream as ``run(trace=Trace())``, but as a sequence of fresh
+        columnar :class:`Trace` segments of at most ``segment_events``
+        events each — the whole trace is never resident. Every segment
+        shares one static table (interned once, in program order, so
+        the concatenation is column-for-column identical to the
+        monolithic trace), which also lets streaming consumers reuse
+        their per-static metadata across segments.
+
+        Architected state (``pc``/``steps``/``halted``) is committed at
+        every segment boundary, and the watchdog semantics match
+        :meth:`run`: the step budget spans the whole run, and
+        exhausting it raises out of the generator.
+        """
+        if segment_events < 1:
+            raise InterpreterError("segment_events must be >= 1")
+        if self.halted:
+            raise InterpreterError("machine already halted")
+        ceiling = step_ceiling()
+        watchdog = ceiling is not None or guards_enabled()
+        if ceiling is not None and ceiling < max_steps:
+            max_steps = ceiling
+        if self._decoded is None:
+            self._decoded = _decode(self.program, self.registers, self.memory)
+        decoded = self._decoded
+        program_length = len(decoded)
+        static = Trace().static
+        sid_of = [
+            static.intern_instruction(ins)
+            for ins in self.program.instructions
+        ]
+        flags_nt = [static.flags[sid] for sid in sid_of]
+        flags_t = [flags | F_TAKEN for flags in flags_nt]
+        executed = 0
+        pc = self.pc
+
+        while True:
+            segment = Trace()
+            segment.static = static
+            pc_append = segment.pc.append
+            sid_append = segment.sid.append
+            flags_append = segment.flags.append
+            next_append = segment.next_pc.append
+            addr_append = segment.address.append
+            emitted = 0
+            while emitted < segment_events and executed < max_steps:
+                if not 0 <= pc < program_length:
+                    raise InterpreterError(f"PC {pc} out of program range")
+                step = decoded[pc]
+                if step is None:  # HALT: event points back at itself
+                    next_pc, taken, address = pc, False, None
+                    self.halted = True
+                else:
+                    next_pc, taken, address = step()
+                pc_append(pc)
+                sid_append(sid_of[pc])
+                flags_append(flags_t[pc] if taken else flags_nt[pc])
+                next_append(next_pc)
+                addr_append(NO_VALUE if address is None else address)
+                executed += 1
+                emitted += 1
+                if self.halted:
+                    break
+                pc = next_pc
+            self.pc = pc
+            self.steps += emitted
+            if emitted:
+                yield segment
+            if self.halted:
+                return
+            if executed >= max_steps:
+                if watchdog:
+                    raise InterpreterGuardError(
+                        f"step budget of {max_steps} exhausted without "
+                        "HALT (runaway or infinite-loop kernel)",
+                        guard="interpreter.steps",
+                        context={
+                            "pc": pc,
+                            "executed": executed,
+                            "budget": max_steps,
+                            "program_length": program_length,
+                        },
+                    )
+                raise InterpreterError(
+                    f"step budget of {max_steps} exhausted at PC {pc}"
+                )
+
+
 def run_program(
     program: Program,
     memory: Memory,

@@ -388,11 +388,39 @@ class Trace:
             f"{kind})"
         )
 
+    # -- segmentation ------------------------------------------------------
+
+    def segments(self, max_events: int):
+        """Yield zero-copy views of at most ``max_events`` events each.
+
+        Segments tile the trace in order with no gaps or overlap; the
+        final segment may be short. Each yielded segment is an ordinary
+        read-only :class:`Trace` view sharing this trace's columns and
+        static table, so segmenting costs O(1) per segment regardless
+        of trace length. Streaming consumers
+        (:meth:`~repro.uarch.core.Core.simulate_stream`,
+        :func:`trace_statistics`, :func:`opcode_histogram`) accept the
+        resulting iterator directly.
+        """
+        if max_events < 1:
+            raise SimulationError("segment size must be >= 1")
+        span = len(self)
+        for lo in range(0, span, max_events):
+            yield self[lo : lo + max_events]
+
     # -- analysis ----------------------------------------------------------
 
     def stats(self) -> "TraceStats":
         """Aggregate statistics (single pass over the columns)."""
         return trace_statistics(self)
+
+
+#: A trace segment is an ordinary read-only :class:`Trace` view (or a
+#: bounded root trace yielded by a streaming generator). The alias
+#: exists so streaming signatures — ``segments: Iterable[TraceSegment]``
+#: — say what they mean; there is deliberately no separate class, which
+#: is what keeps segmentation zero-copy.
+TraceSegment = Trace
 
 
 @dataclass
@@ -431,10 +459,18 @@ class TraceStats:
         return (self.loads + self.stores) / self.instructions
 
 
-def _columnar_statistics(trace: Trace) -> TraceStats:
-    """One pass over the flags and sid columns, counting in C."""
+def _columnar_statistics(
+    trace: Trace, stats: TraceStats | None = None
+) -> TraceStats:
+    """One pass over the flags and sid columns, counting in C.
+
+    When ``stats`` is given, counts accumulate into it (the streaming
+    path folds one segment at a time into a shared accumulator).
+    """
     start, stop = trace._bounds()
-    stats = TraceStats(instructions=stop - start)
+    if stats is None:
+        stats = TraceStats()
+    stats.instructions += stop - start
     flag_counts = Counter(memoryview(trace.flags)[start:stop])
     for flags, count in flag_counts.items():
         if flags & F_BRANCH:
@@ -462,43 +498,77 @@ def _columnar_statistics(trace: Trace) -> TraceStats:
     return stats
 
 
-def trace_statistics(events: Trace | list[TraceEvent]) -> TraceStats:
-    """Compute :class:`TraceStats` over ``events`` (either form)."""
+def _event_statistics(event: TraceEvent, stats: TraceStats) -> None:
+    """Fold one object-form event into ``stats``."""
+    stats.instructions += 1
+    if event.is_branch:
+        stats.branches += 1
+        if event.is_conditional:
+            stats.conditional_branches += 1
+        if event.taken:
+            stats.taken_branches += 1
+    if event.is_load:
+        stats.loads += 1
+    if event.is_store:
+        stats.stores += 1
+    if event.unit is Unit.FXU:
+        stats.fxu_ops += 1
+    if event.op is Op.MAX:
+        stats.max_ops += 1
+    elif event.op is Op.ISEL:
+        stats.isel_ops += 1
+    elif event.op in (Op.CMP, Op.CMPI):
+        stats.cmp_ops += 1
+
+
+def trace_statistics(events) -> TraceStats:
+    """Compute :class:`TraceStats` over ``events``.
+
+    Accepts a columnar :class:`Trace`, a list of :class:`TraceEvent`,
+    or an **iterator of segments** (each a :class:`Trace` view or an
+    event list) as produced by :meth:`Trace.segments` or the streaming
+    interpreter/generator paths. Segment iterators are consumed in a
+    single pass with O(segment) live memory.
+    """
     if isinstance(events, Trace):
         return _columnar_statistics(events)
     stats = TraceStats()
-    for event in events:
-        stats.instructions += 1
-        if event.is_branch:
-            stats.branches += 1
-            if event.is_conditional:
-                stats.conditional_branches += 1
-            if event.taken:
-                stats.taken_branches += 1
-        if event.is_load:
-            stats.loads += 1
-        if event.is_store:
-            stats.stores += 1
-        if event.unit is Unit.FXU:
-            stats.fxu_ops += 1
-        if event.op is Op.MAX:
-            stats.max_ops += 1
-        elif event.op is Op.ISEL:
-            stats.isel_ops += 1
-        elif event.op in (Op.CMP, Op.CMPI):
-            stats.cmp_ops += 1
+    for item in events:
+        if isinstance(item, Trace):
+            _columnar_statistics(item, stats)
+        elif isinstance(item, TraceEvent):
+            _event_statistics(item, stats)
+        else:
+            for event in item:
+                _event_statistics(event, stats)
     return stats
 
 
-def opcode_histogram(events: Trace | list[TraceEvent]) -> Counter:
-    """Dynamic opcode counts (useful for §VI path-length arguments)."""
+def _columnar_histogram(trace: Trace, histogram: Counter) -> None:
+    start, stop = trace._bounds()
+    ops = trace.static.ops
+    for sid, count in Counter(
+        memoryview(trace.sid)[start:stop]
+    ).items():
+        histogram[OP_LIST[ops[sid]]] += count
+
+
+def opcode_histogram(events) -> Counter:
+    """Dynamic opcode counts (useful for §VI path-length arguments).
+
+    Like :func:`trace_statistics`, accepts a :class:`Trace`, an event
+    list, or a single-pass iterator of segments.
+    """
+    histogram: Counter = Counter()
     if isinstance(events, Trace):
-        start, stop = events._bounds()
-        ops = events.static.ops
-        histogram: Counter = Counter()
-        for sid, count in Counter(
-            memoryview(events.sid)[start:stop]
-        ).items():
-            histogram[OP_LIST[ops[sid]]] += count
+        _columnar_histogram(events, histogram)
         return histogram
-    return Counter(event.op for event in events)
+    for item in events:
+        if isinstance(item, Trace):
+            _columnar_histogram(item, histogram)
+        elif isinstance(item, TraceEvent):
+            histogram[item.op] += 1
+        else:
+            for event in item:
+                histogram[event.op] += 1
+    return histogram

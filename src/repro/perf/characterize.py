@@ -37,7 +37,9 @@ from repro.kernels import forward_pass, gapped_extend, smith_waterman, viterbi
 from repro.uarch.config import CoreConfig, power5
 from repro.uarch.core import Core, SimResult
 from repro.uarch.sampling import merge_results
-from repro.uarch.synthetic import MixProfile, generate_trace
+from repro.uarch.synthetic import (
+    MixProfile, generate_trace, generate_trace_segments,
+)
 
 #: Code variants in the paper's Figure 3 order.
 VARIANTS = (
@@ -216,12 +218,20 @@ def kernel_trace(app: str, variant: str) -> Trace:
     return _kernel_trace_cache[key]
 
 
-def background_trace(app: str) -> Trace:
-    """The app's fixed non-kernel trace (cached, persistently too).
+def _background_length(app: str) -> int:
+    """Background event count: sized from the *baseline* kernel length
+    so that the kernel carries ``kernel_weight`` of the baseline
+    instructions."""
+    workload = APP_WORKLOADS[app]
+    kernel_length = len(kernel_trace(app, "baseline"))
+    return max(1_000, int(
+        kernel_length * (1.0 - workload.kernel_weight)
+        / workload.kernel_weight
+    ))
 
-    Sized from the *baseline* kernel length so that the kernel carries
-    ``kernel_weight`` of the baseline instructions.
-    """
+
+def background_trace(app: str) -> Trace:
+    """The app's fixed non-kernel trace (cached, persistently too)."""
     from repro.engine.cache import active_cache
 
     if app not in _background_cache:
@@ -230,17 +240,107 @@ def background_trace(app: str) -> Trace:
         events = cache.load_trace(app, "~background")
         if events is None:
             workload = APP_WORKLOADS[app]
-            kernel_length = len(kernel_trace(app, "baseline"))
-            length = int(
-                kernel_length * (1.0 - workload.kernel_weight)
-                / workload.kernel_weight
-            )
             events = generate_trace(
-                max(1_000, length), workload.background, seed=workload.seed
+                _background_length(app), workload.background,
+                seed=workload.seed,
             )
             cache.store_trace(app, "~background", events)
         _background_cache[app] = events
     return _background_cache[app]
+
+
+def kernel_trace_segments(app: str, variant: str, segment_events=None):
+    """Bounded-memory segment iterator over the app's kernel trace.
+
+    Yields the identical event stream as :func:`kernel_trace`, in
+    segments: an in-memory memo streams zero-copy views, a persistent
+    v3 cache entry streams lazily frame by frame (never materialising
+    the whole trace), and a cold cache generates once through
+    :func:`kernel_trace` and then segments the result.
+    """
+    from repro.engine.cache import active_cache
+    from repro.perf.stream import segment_events as resolve_segment_events
+
+    size = resolve_segment_events(segment_events)
+    key = (app, variant)
+    if key in _kernel_trace_cache:
+        return _kernel_trace_cache[key].segments(size)
+    segments = active_cache().load_trace_segments(app, variant)
+    if segments is not None:
+        return segments
+    return kernel_trace(app, variant).segments(size)
+
+
+def background_trace_segments(app: str, segment_events=None):
+    """Bounded-memory segment iterator over the app's background trace.
+
+    Same stream as :func:`background_trace`; on a cold cache the
+    synthetic generator itself runs segmented
+    (:func:`~repro.uarch.synthetic.generate_trace_segments`), so the
+    background never materialises. The cold stream is persisted on the
+    way — segments are written to the v3 store as they are generated
+    (still O(segment) live memory) and then served back through the
+    lazy reader, so a cold streaming run populates the cache exactly
+    like the monolithic loader does.
+    """
+    from repro.engine.cache import active_cache
+    from repro.perf.stream import segment_events as resolve_segment_events
+
+    size = resolve_segment_events(segment_events)
+    if app in _background_cache:
+        return _background_cache[app].segments(size)
+    cache = active_cache()
+    segments = cache.load_trace_segments(app, "~background")
+    if segments is not None:
+        return segments
+    workload = APP_WORKLOADS[app]
+
+    def generate():
+        return generate_trace_segments(
+            _background_length(app), workload.background,
+            seed=workload.seed, segment_events=size,
+        )
+
+    if cache.enabled:
+        cache.store_trace_segments(app, "~background", generate())
+        segments = cache.load_trace_segments(app, "~background")
+        if segments is not None:
+            return segments
+    return generate()
+
+
+def background_stream(
+    app: str, input_class: str = "C", segment_events=None
+):
+    """A class-scaled synthetic background stream (genome scale at D).
+
+    The bounded-memory workload source for streaming benchmarks: the
+    app's background profile, sized to ``input_class`` via
+    :data:`repro.bio.workloads.CLASS_SCALES` — class D is ~4x class C,
+    far past what a monolithic run wants resident. Returns
+    ``(length, segment_iterator)``.
+    """
+    from repro.bio.workloads import CLASS_SCALES
+    from repro.perf.stream import segment_events as resolve_segment_events
+
+    if input_class not in CLASS_SCALES:
+        raise WorkloadError(
+            f"unknown input class {input_class!r}; expected one of "
+            f"{sorted(CLASS_SCALES)}"
+        )
+    if app not in APP_WORKLOADS:
+        raise WorkloadError(
+            f"unknown application {app!r}; have {sorted(APP_WORKLOADS)}"
+        )
+    workload = APP_WORKLOADS[app]
+    length = max(1_000, int(
+        _background_length(app) * CLASS_SCALES[input_class]
+    ))
+    size = resolve_segment_events(segment_events)
+    return length, generate_trace_segments(
+        length, workload.background, seed=workload.seed,
+        segment_events=size,
+    )
 
 
 def clear_trace_caches() -> None:
@@ -322,6 +422,7 @@ def characterize(
     variant: str = "baseline",
     config: CoreConfig | None = None,
     interleaved: bool = False,
+    stream: bool | None = None,
 ) -> AppCharacterisation:
     """Simulate one application/variant/core combination.
 
@@ -330,6 +431,14 @@ def characterize(
     component's numbers stay inspectable. ``interleaved=True`` runs the
     chunk-interleaved composite stream through one core, so the
     predictor/BTAC/cache see cross-phase interference.
+
+    ``stream`` (default: ``REPRO_STREAM``, on) drives the separate-core
+    path through :meth:`~repro.uarch.core.Core.simulate_stream` over a
+    pipelined segment iterator — trace decode/generation overlaps
+    simulation on a producer thread and only a bounded window of
+    segments is resident. Results are bit-identical either way; the
+    interleaved path always runs monolithically (its chunk merge needs
+    both whole traces).
     """
     if app not in APP_WORKLOADS:
         raise WorkloadError(
@@ -341,7 +450,7 @@ def characterize(
         )
     config = config or power5()
     baseline_instructions = (
-        len(kernel_trace(app, "baseline")) + len(background_trace(app))
+        len(kernel_trace(app, "baseline")) + _background_length(app)
     )
     if interleaved:
         merged = Core(config).simulate(composite_trace(app, variant))
@@ -353,8 +462,18 @@ def characterize(
             merged=merged,
             baseline_instructions=baseline_instructions,
         )
-    kernel_result = Core(config).simulate(kernel_trace(app, variant))
-    background_result = Core(config).simulate(background_trace(app))
+    from repro.perf.stream import pipelined, resolve_stream
+
+    if resolve_stream(stream):
+        kernel_result = Core(config).simulate_stream(
+            pipelined(kernel_trace_segments(app, variant))
+        )
+        background_result = Core(config).simulate_stream(
+            pipelined(background_trace_segments(app))
+        )
+    else:
+        kernel_result = Core(config).simulate(kernel_trace(app, variant))
+        background_result = Core(config).simulate(background_trace(app))
     merged = merge_results([kernel_result, background_result])
     return AppCharacterisation(
         app=app,
@@ -370,6 +489,7 @@ def characterize_batched(
     app: str,
     variant: str,
     configs: list[CoreConfig],
+    stream: bool | None = None,
 ) -> tuple[list[AppCharacterisation], dict]:
     """Simulate one (app, variant) under many configs in one trace pass.
 
@@ -382,12 +502,18 @@ def characterize_batched(
     byte-identical to the sequential path — each config still sees
     fresh predictor/BTAC/cache state.
 
+    ``stream`` (default: ``REPRO_STREAM``, on) drives the shared pass
+    through :func:`repro.uarch.batched.simulate_batched_stream` over a
+    pipelined segment iterator, so trace decode overlaps the frontend
+    walk and the decoded trace never materialises; results stay
+    byte-identical.
+
     Returns ``(characterisations, info)`` where ``info`` reports how
     many points took the shared-frontend path (``vectorized``) versus
     the per-config scalar fallback (``fallback``), and whether the
     native replay kernel ran.
     """
-    from repro.uarch.batched import simulate_batched
+    from repro.uarch.batched import simulate_batched, simulate_batched_stream
 
     if app not in APP_WORKLOADS:
         raise WorkloadError(
@@ -399,10 +525,20 @@ def characterize_batched(
         )
     configs = list(configs)
     baseline_instructions = (
-        len(kernel_trace(app, "baseline")) + len(background_trace(app))
+        len(kernel_trace(app, "baseline")) + _background_length(app)
     )
-    kernel_out = simulate_batched(kernel_trace(app, variant), configs)
-    background_out = simulate_batched(background_trace(app), configs)
+    from repro.perf.stream import pipelined, resolve_stream
+
+    if resolve_stream(stream):
+        kernel_out = simulate_batched_stream(
+            pipelined(kernel_trace_segments(app, variant)), configs
+        )
+        background_out = simulate_batched_stream(
+            pipelined(background_trace_segments(app)), configs
+        )
+    else:
+        kernel_out = simulate_batched(kernel_trace(app, variant), configs)
+        background_out = simulate_batched(background_trace(app), configs)
     characterisations = [
         AppCharacterisation(
             app=app,

@@ -1,0 +1,229 @@
+"""Streaming orchestration: bounded-memory generate→simulate pipelines.
+
+Genome-scale workloads (class D) produce traces too large to hold
+resident. This module is the glue that lets the producers
+(:meth:`repro.isa.interpreter.Machine.run_segments`,
+:func:`repro.uarch.synthetic.generate_trace_segments`, the v3
+tracestore's lazy :func:`repro.isa.tracestore.open_trace_segments`)
+feed the carried-state consumers
+(:meth:`repro.uarch.core.Core.simulate_stream`,
+:func:`repro.uarch.batched.simulate_batched_stream`,
+:func:`repro.bpred.replay.branch_stream`) without ever materialising
+the whole trace:
+
+* :func:`resolve_stream` / :func:`segment_events` read the
+  ``REPRO_STREAM`` (default on) and ``REPRO_SEGMENT_EVENTS`` (default
+  65536) switches;
+* :func:`pipelined` overlaps generation with simulation through a
+  bounded producer/consumer queue — the producer runs on its own
+  thread, so the interpreter's pure-Python decode work interleaves
+  with the simulator's loop at I/O and allocation points, and the
+  queue depth bounds how many segments exist at once;
+* :class:`StreamStats` accumulates run-wide streaming telemetry
+  (segments produced/consumed, queue high-water mark, carried-state
+  handoffs, peak segment bytes) that the engine journals and renders
+  next to the batch block.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import threading
+from dataclasses import dataclass, field
+
+from repro.errors import WorkloadError
+
+#: Values that turn a REPRO_* switch off (shared engine idiom).
+_DISABLE_VALUES = ("off", "0", "false", "no")
+
+#: Default bound on events per in-flight segment: large enough that
+#: per-segment overheads (static-meta reuse, state handoff) vanish in
+#: the noise, small enough that a segment's columns stay cache-friendly
+#: and a handful of in-flight segments cost megabytes, not gigabytes.
+DEFAULT_SEGMENT_EVENTS = 65_536
+
+#: Default producer/consumer queue depth: one segment being consumed,
+#: up to two queued, one being produced.
+DEFAULT_QUEUE_DEPTH = 2
+
+
+def resolve_stream(stream: bool | None = None) -> bool:
+    """Streaming switch: explicit > ``REPRO_STREAM`` > on.
+
+    ``REPRO_STREAM=off`` (also ``0`` / ``false`` / ``no``) disables
+    segment streaming — traces are materialised and simulated
+    monolithically, exactly as before this subsystem existed; anything
+    else leaves streaming enabled.
+    """
+    if stream is not None:
+        return stream
+    env = os.environ.get("REPRO_STREAM", "").strip().lower()
+    return env not in _DISABLE_VALUES
+
+
+def segment_events(override: int | None = None) -> int:
+    """Events per segment: explicit > ``REPRO_SEGMENT_EVENTS`` > 65536."""
+    if override is None:
+        env = os.environ.get("REPRO_SEGMENT_EVENTS", "").strip()
+        if not env:
+            return DEFAULT_SEGMENT_EVENTS
+        try:
+            override = int(env)
+        except ValueError:
+            raise WorkloadError(
+                f"REPRO_SEGMENT_EVENTS must be an integer, got {env!r}"
+            ) from None
+    if override < 1:
+        raise WorkloadError(
+            f"segment size must be positive, got {override}"
+        )
+    return override
+
+
+@dataclass
+class StreamStats:
+    """Run-wide streaming telemetry (additive across pipelines)."""
+
+    segments_produced: int = 0
+    segments_consumed: int = 0
+    queue_peak: int = 0
+    handoffs: int = 0
+    peak_segment_bytes: int = 0
+    streams: int = 0
+
+    def merge(self, other: "StreamStats") -> None:
+        self.segments_produced += other.segments_produced
+        self.segments_consumed += other.segments_consumed
+        self.queue_peak = max(self.queue_peak, other.queue_peak)
+        self.handoffs += other.handoffs
+        self.peak_segment_bytes = max(
+            self.peak_segment_bytes, other.peak_segment_bytes
+        )
+        self.streams += other.streams
+
+    def as_dict(self) -> dict:
+        return {
+            "streams": self.streams,
+            "segments_produced": self.segments_produced,
+            "segments_consumed": self.segments_consumed,
+            "queue_peak": self.queue_peak,
+            "handoffs": self.handoffs,
+            "peak_segment_bytes": self.peak_segment_bytes,
+        }
+
+    def __bool__(self) -> bool:
+        return self.streams > 0
+
+
+#: Module-level accumulator drained by the engine after each run.
+_ACTIVE = StreamStats()
+_ACTIVE_LOCK = threading.Lock()
+
+
+def record_stream(stats: StreamStats) -> None:
+    """Fold one pipeline's stats into the run-wide accumulator."""
+    with _ACTIVE_LOCK:
+        _ACTIVE.merge(stats)
+
+
+def drain_stream_stats() -> StreamStats | None:
+    """Hand off and reset the accumulated stats (None when untouched)."""
+    global _ACTIVE
+    with _ACTIVE_LOCK:
+        if not _ACTIVE:
+            return None
+        drained = _ACTIVE
+        _ACTIVE = StreamStats()
+    return drained
+
+
+def _segment_bytes(segment) -> int:
+    """Approximate resident size of one columnar segment's event data."""
+    try:
+        n = len(segment)
+    except TypeError:
+        return 0
+    # pc/next_pc/address are int64, sid int32, flags uint8: 29 B/event.
+    return n * 29
+
+
+class _Poison:
+    """Queue sentinel carrying the producer's terminal state."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: BaseException | None = None) -> None:
+        self.error = error
+
+
+def pipelined(
+    segments,
+    depth: int = DEFAULT_QUEUE_DEPTH,
+    stats: StreamStats | None = None,
+):
+    """Run a segment producer on its own thread, bounded by ``depth``.
+
+    Wraps any segment iterator in a producer thread plus a bounded
+    :class:`queue.Queue` and yields the segments in order. At most
+    ``depth`` finished segments are buffered, so memory stays bounded
+    while generation overlaps consumption. A producer exception is
+    re-raised at the consumer's next pull (after in-flight segments
+    drain), preserving the sequential path's error surface; if the
+    consumer abandons the iterator early, the producer is unblocked
+    and joined.
+
+    When ``stats`` is given it is updated in place and folded into the
+    run-wide accumulator once the stream finishes.
+    """
+    if depth < 1:
+        raise WorkloadError(f"pipeline depth must be positive, got {depth}")
+    local = stats if stats is not None else StreamStats()
+    local.streams += 1
+    channel: queue.Queue = queue.Queue(maxsize=depth)
+    abandoned = threading.Event()
+
+    def produce() -> None:
+        try:
+            for segment in segments:
+                local.segments_produced += 1
+                local.peak_segment_bytes = max(
+                    local.peak_segment_bytes, _segment_bytes(segment)
+                )
+                while not abandoned.is_set():
+                    try:
+                        channel.put(segment, timeout=0.1)
+                        break
+                    except queue.Full:
+                        continue
+                if abandoned.is_set():
+                    return
+            channel.put(_Poison())
+        except BaseException as error:  # re-raised on the consumer side
+            channel.put(_Poison(error))
+
+    producer = threading.Thread(
+        target=produce, name="repro-stream-producer", daemon=True
+    )
+    producer.start()
+    try:
+        while True:
+            local.queue_peak = max(local.queue_peak, channel.qsize())
+            item = channel.get()
+            if isinstance(item, _Poison):
+                if item.error is not None:
+                    raise item.error
+                break
+            local.segments_consumed += 1
+            local.handoffs += 1
+            yield item
+    finally:
+        abandoned.set()
+        # Unblock a producer waiting on a full queue, then reap it.
+        while True:
+            try:
+                channel.get_nowait()
+            except queue.Empty:
+                break
+        producer.join()
+        record_stream(local)

@@ -76,6 +76,7 @@ from repro.uarch.core import (
     Core,
     IntervalRecord,
     SimResult,
+    _StreamState,
     columnar_supported,
 )
 from repro.uarch.guards import check_sim_result
@@ -220,6 +221,289 @@ class _Frontend:
     iv_mispredicts: list[int]
 
 
+class _FrontendPass:
+    """Carried-state frontend walk: ``feed`` segments, then ``finish``.
+
+    The streaming form of the shared frontend pass: predictor, BTAC,
+    L1D, the fall-through block start and every counter persist across
+    ``feed`` calls, so feeding a segmented trace produces the identical
+    action stream and counts as one monolithic walk — the monolithic
+    :func:`_frontend_pass` is now just a single-feed wrapper. Interval
+    attribution uses *global* event positions (``self.base``), with the
+    per-interval lists grown lazily because the total event count — and
+    hence the interval count — is unknown until the stream ends.
+    """
+
+    def __init__(self, config: CoreConfig, segment: int) -> None:
+        from repro.bpred.predictors import make_predictor
+
+        self.segment = segment  # interval chunk; 0 = no intervals
+        predictor = make_predictor(config.predictor)
+        self.bp_update = None
+        self.bp_table: list | int = 0
+        self.bp_history = self.bp_hmask = self.bp_mask = 0
+        if type(predictor) is GsharePredictor:
+            self.bp_table = predictor._table
+            self.bp_history = predictor._history
+            self.bp_hmask = predictor._history_mask
+            self.bp_mask = predictor._mask
+        else:
+            self.bp_update = predictor.update
+        self.cache = L1DCache(config.cache)
+        self.cache_accesses = self.cache_misses = 0
+        self.btac = Btac(config.btac) if config.btac else None
+        self.btac_lookups = self.btac_hits = self.btac_predictions = 0
+        self.btac_correct = self.btac_incorrect = 0
+        self.branches = self.conditional_branches = 0
+        self.taken_branches = 0
+        self.direction_mispredictions = self.target_mispredictions = 0
+        self.taken_bubbles = self.loads = self.stores = 0
+        self.load_misses = 0
+        self.iv_branches: list[int] = []
+        self.iv_mispredicts: list[int] = []
+        self.block_start: int | None = None
+        self.base = 0
+        self.actions: list[np.ndarray] = []
+
+    def feed(self, trace: Trace) -> None:
+        """Walk one segment's flagged events, appending its actions."""
+        start, stop = trace._bounds()
+        if stop == start:
+            return
+        flags_np = np.frombuffer(trace.flags, dtype=np.uint8)[start:stop]
+        idx = np.flatnonzero(flags_np)
+        pc_np = np.frombuffer(trace.pc, dtype=np.int64)[start:stop]
+        sub_flags = flags_np[idx].tolist()
+        sub_pc = pc_np[idx].tolist()
+        sub_next = (
+            np.frombuffer(trace.next_pc, dtype=np.int64)[start:stop][idx]
+        ).tolist()
+        sub_addr = (
+            np.frombuffer(trace.address, dtype=np.int64)[start:stop][idx]
+        ).tolist()
+        positions = idx.tolist()
+        act_list = [0] * (stop - start)
+
+        bp_update = self.bp_update
+        bp_table = self.bp_table
+        bp_history = self.bp_history
+        bp_hmask = self.bp_hmask
+        bp_mask = self.bp_mask
+
+        cache = self.cache
+        cache_sets = cache._sets
+        cache_set_mask = cache._set_mask
+        cache_line_bytes = cache._line_bytes
+        cache_ways_n = cache._ways
+        cache_accesses = self.cache_accesses
+        cache_misses = self.cache_misses
+
+        btac = self.btac
+        if btac is not None:
+            btac_slot_get = btac._slot_of.get
+            btac_entries = btac._entries
+            btac_threshold = btac.config.score_threshold
+            btac_max_score = btac._max_score
+            btac_alloc = btac.update
+            btac_lookups = self.btac_lookups
+            btac_hits = self.btac_hits
+            btac_predictions = self.btac_predictions
+            btac_correct = self.btac_correct
+            btac_incorrect = self.btac_incorrect
+
+        branches = self.branches
+        conditional_branches = self.conditional_branches
+        taken_branches = self.taken_branches
+        direction_mispredictions = self.direction_mispredictions
+        target_mispredictions = self.target_mispredictions
+        taken_bubbles = self.taken_bubbles
+        loads = self.loads
+        stores = self.stores
+        load_misses = self.load_misses
+        iv_branches = self.iv_branches
+        iv_mispredicts = self.iv_mispredicts
+        segment = self.segment
+        base = self.base
+
+        block_start = self.block_start
+        if block_start is None:
+            block_start = int(pc_np[0])
+
+        for pos in range(len(positions)):
+            i = positions[pos]
+            flags = sub_flags[pos]
+            act = 0
+            if flags & 24:  # F_LOAD | F_STORE
+                line = (sub_addr[pos] * WORD_BYTES) // cache_line_bytes
+                ways = cache_sets[line & cache_set_mask]
+                cache_accesses += 1
+                if flags & F_LOAD:
+                    loads += 1
+                    if line in ways:
+                        if ways[-1] != line:
+                            ways.remove(line)
+                            ways.append(line)
+                        act = _A_LOAD_HIT
+                    else:
+                        cache_misses += 1
+                        ways.append(line)
+                        if len(ways) > cache_ways_n:
+                            del ways[0]
+                        load_misses += 1
+                        act = _A_LOAD_MISS
+                else:
+                    stores += 1
+                    if line in ways:
+                        if ways[-1] != line:
+                            ways.remove(line)
+                            ways.append(line)
+                    else:
+                        cache_misses += 1
+                        ways.append(line)
+                        if len(ways) > cache_ways_n:
+                            del ways[0]
+            if flags & F_BRANCH:
+                branches += 1
+                taken = (flags & F_TAKEN) != 0
+                if taken:
+                    taken_branches += 1
+                mispredicted = False
+                if flags & F_COND:
+                    conditional_branches += 1
+                    if bp_update is not None:
+                        mispredicted = bp_update(sub_pc[pos], taken)
+                    else:
+                        index = (sub_pc[pos] ^ bp_history) & bp_mask
+                        counter = bp_table[index]
+                        if taken:
+                            if counter < 3:
+                                bp_table[index] = counter + 1
+                            bp_history = ((bp_history << 1) | 1) & bp_hmask
+                            mispredicted = counter < 2
+                        else:
+                            if counter > 0:
+                                bp_table[index] = counter - 1
+                            bp_history = (bp_history << 1) & bp_hmask
+                            mispredicted = counter >= 2
+                if mispredicted:
+                    direction_mispredictions += 1
+                    act |= _A_MISPREDICT
+                elif taken:
+                    next_pc = sub_next[pos]
+                    if btac is not None:
+                        btac_lookups += 1
+                        slot = btac_slot_get(block_start)
+                        predicted_nia = None
+                        if slot is None:
+                            entry = None
+                        else:
+                            entry = btac_entries[slot]
+                            btac_hits += 1
+                            if entry.score >= btac_threshold:
+                                btac_predictions += 1
+                                predicted_nia = entry.nia
+                        if predicted_nia is None:
+                            taken_bubbles += 1
+                            act |= _A_TAKEN_BUBBLE
+                        elif predicted_nia == next_pc:
+                            btac_correct += 1
+                            act |= _A_GROUP_END
+                        else:
+                            btac_incorrect += 1
+                            target_mispredictions += 1
+                            act |= _A_WRONG_TARGET
+                        if entry is not None:
+                            if entry.nia == next_pc:
+                                if entry.score < btac_max_score:
+                                    entry.score += 1
+                            elif entry.score > 0:
+                                entry.score = 0
+                            else:
+                                entry.nia = next_pc
+                        else:
+                            btac_alloc(block_start, next_pc)
+                    else:
+                        taken_bubbles += 1
+                        act |= _A_TAKEN_BUBBLE
+                else:
+                    act |= _A_GROUP_END
+                if taken or mispredicted:
+                    block_start = sub_next[pos]
+                if segment:
+                    k = (base + i) // segment
+                    while len(iv_branches) <= k:
+                        iv_branches.append(0)
+                        iv_mispredicts.append(0)
+                    iv_branches[k] += 1
+                    if mispredicted:
+                        iv_mispredicts[k] += 1
+            if act:
+                act_list[i] = act
+
+        self.actions.append(np.asarray(act_list, dtype=np.int64))
+        self.base = base + (stop - start)
+        self.block_start = block_start
+        self.bp_history = bp_history
+        self.cache_accesses = cache_accesses
+        self.cache_misses = cache_misses
+        if btac is not None:
+            self.btac_lookups = btac_lookups
+            self.btac_hits = btac_hits
+            self.btac_predictions = btac_predictions
+            self.btac_correct = btac_correct
+            self.btac_incorrect = btac_incorrect
+        self.branches = branches
+        self.conditional_branches = conditional_branches
+        self.taken_branches = taken_branches
+        self.direction_mispredictions = direction_mispredictions
+        self.target_mispredictions = target_mispredictions
+        self.taken_bubbles = taken_bubbles
+        self.loads = loads
+        self.stores = stores
+        self.load_misses = load_misses
+
+    def finish(self, n_intervals: int) -> _Frontend:
+        """Seal the stream into the replay's :class:`_Frontend` form.
+
+        ``n_intervals`` is computed by the caller once the total event
+        count is known; lazily-grown interval tallies are truncated (a
+        trailing partial interval is dropped, as monolithically) or
+        zero-padded (intervals with no branches were never touched).
+        """
+        iv_branches = self.iv_branches[:n_intervals]
+        iv_mispredicts = self.iv_mispredicts[:n_intervals]
+        while len(iv_branches) < n_intervals:
+            iv_branches.append(0)
+            iv_mispredicts.append(0)
+        if len(self.actions) == 1:
+            action = self.actions[0]
+        else:
+            action = np.concatenate(self.actions)
+        return _Frontend(
+            action=action,
+            branches=self.branches,
+            conditional_branches=self.conditional_branches,
+            taken_branches=self.taken_branches,
+            direction_mispredictions=self.direction_mispredictions,
+            target_mispredictions=self.target_mispredictions,
+            taken_bubbles=self.taken_bubbles,
+            loads=self.loads,
+            stores=self.stores,
+            load_misses=self.load_misses,
+            cache_accesses=self.cache_accesses,
+            cache_misses=self.cache_misses,
+            btac=(
+                (self.btac_lookups, self.btac_hits, self.btac_predictions,
+                 self.btac_correct, self.btac_incorrect,
+                 self.btac.stats.allocations)
+                if self.btac is not None
+                else None
+            ),
+            iv_branches=iv_branches,
+            iv_mispredicts=iv_mispredicts,
+        )
+
+
 def _frontend_pass(
     trace: Trace, config: CoreConfig, segment: int, n_intervals: int
 ) -> _Frontend:
@@ -230,191 +514,11 @@ def _frontend_pass(
     reuse, same MRU-fast-path cache — but instead of steering a live
     timing loop it records each event's consequence as an action byte.
     Only flagged events are visited (plain ALU ops need no frontend).
+    A single-feed :class:`_FrontendPass`.
     """
-    from repro.bpred.predictors import make_predictor
-
-    start, stop = trace._bounds()
-    flags_np = np.frombuffer(trace.flags, dtype=np.uint8)[start:stop]
-    idx = np.flatnonzero(flags_np)
-    pc_np = np.frombuffer(trace.pc, dtype=np.int64)[start:stop]
-    sub_flags = flags_np[idx].tolist()
-    sub_pc = pc_np[idx].tolist()
-    sub_next = (
-        np.frombuffer(trace.next_pc, dtype=np.int64)[start:stop][idx]
-    ).tolist()
-    sub_addr = (
-        np.frombuffer(trace.address, dtype=np.int64)[start:stop][idx]
-    ).tolist()
-    positions = idx.tolist()
-    act_list = [0] * (stop - start)
-
-    predictor = make_predictor(config.predictor)
-    bp_update = None
-    bp_table = bp_history = bp_hmask = bp_mask = 0
-    if type(predictor) is GsharePredictor:
-        bp_table = predictor._table
-        bp_history = predictor._history
-        bp_hmask = predictor._history_mask
-        bp_mask = predictor._mask
-    else:
-        bp_update = predictor.update
-
-    cache = L1DCache(config.cache)
-    cache_sets = cache._sets
-    cache_set_mask = cache._set_mask
-    cache_line_bytes = cache._line_bytes
-    cache_ways_n = cache._ways
-    cache_accesses = cache_misses = 0
-
-    btac = Btac(config.btac) if config.btac else None
-    if btac is not None:
-        btac_slot_get = btac._slot_of.get
-        btac_entries = btac._entries
-        btac_threshold = btac.config.score_threshold
-        btac_max_score = btac._max_score
-        btac_alloc = btac.update
-        btac_lookups = btac_hits = btac_predictions = 0
-        btac_correct = btac_incorrect = 0
-
-    branches = conditional_branches = taken_branches = 0
-    direction_mispredictions = target_mispredictions = 0
-    taken_bubbles = loads = stores = load_misses = 0
-    iv_branches = [0] * n_intervals
-    iv_mispredicts = [0] * n_intervals
-
-    block_start = int(pc_np[0])
-
-    for pos in range(len(positions)):
-        i = positions[pos]
-        flags = sub_flags[pos]
-        act = 0
-        if flags & 24:  # F_LOAD | F_STORE
-            line = (sub_addr[pos] * WORD_BYTES) // cache_line_bytes
-            ways = cache_sets[line & cache_set_mask]
-            cache_accesses += 1
-            if flags & F_LOAD:
-                loads += 1
-                if line in ways:
-                    if ways[-1] != line:
-                        ways.remove(line)
-                        ways.append(line)
-                    act = _A_LOAD_HIT
-                else:
-                    cache_misses += 1
-                    ways.append(line)
-                    if len(ways) > cache_ways_n:
-                        del ways[0]
-                    load_misses += 1
-                    act = _A_LOAD_MISS
-            else:
-                stores += 1
-                if line in ways:
-                    if ways[-1] != line:
-                        ways.remove(line)
-                        ways.append(line)
-                else:
-                    cache_misses += 1
-                    ways.append(line)
-                    if len(ways) > cache_ways_n:
-                        del ways[0]
-        if flags & F_BRANCH:
-            branches += 1
-            taken = (flags & F_TAKEN) != 0
-            if taken:
-                taken_branches += 1
-            mispredicted = False
-            if flags & F_COND:
-                conditional_branches += 1
-                if bp_update is not None:
-                    mispredicted = bp_update(sub_pc[pos], taken)
-                else:
-                    index = (sub_pc[pos] ^ bp_history) & bp_mask
-                    counter = bp_table[index]
-                    if taken:
-                        if counter < 3:
-                            bp_table[index] = counter + 1
-                        bp_history = ((bp_history << 1) | 1) & bp_hmask
-                        mispredicted = counter < 2
-                    else:
-                        if counter > 0:
-                            bp_table[index] = counter - 1
-                        bp_history = (bp_history << 1) & bp_hmask
-                        mispredicted = counter >= 2
-            if mispredicted:
-                direction_mispredictions += 1
-                act |= _A_MISPREDICT
-            elif taken:
-                next_pc = sub_next[pos]
-                if btac is not None:
-                    btac_lookups += 1
-                    slot = btac_slot_get(block_start)
-                    predicted_nia = None
-                    if slot is None:
-                        entry = None
-                    else:
-                        entry = btac_entries[slot]
-                        btac_hits += 1
-                        if entry.score >= btac_threshold:
-                            btac_predictions += 1
-                            predicted_nia = entry.nia
-                    if predicted_nia is None:
-                        taken_bubbles += 1
-                        act |= _A_TAKEN_BUBBLE
-                    elif predicted_nia == next_pc:
-                        btac_correct += 1
-                        act |= _A_GROUP_END
-                    else:
-                        btac_incorrect += 1
-                        target_mispredictions += 1
-                        act |= _A_WRONG_TARGET
-                    if entry is not None:
-                        if entry.nia == next_pc:
-                            if entry.score < btac_max_score:
-                                entry.score += 1
-                        elif entry.score > 0:
-                            entry.score = 0
-                        else:
-                            entry.nia = next_pc
-                    else:
-                        btac_alloc(block_start, next_pc)
-                else:
-                    taken_bubbles += 1
-                    act |= _A_TAKEN_BUBBLE
-            else:
-                act |= _A_GROUP_END
-            if taken or mispredicted:
-                block_start = sub_next[pos]
-            if n_intervals:
-                k = i // segment
-                if k < n_intervals:
-                    iv_branches[k] += 1
-                    if mispredicted:
-                        iv_mispredicts[k] += 1
-        if act:
-            act_list[i] = act
-
-    return _Frontend(
-        action=np.asarray(act_list, dtype=np.int64),
-        branches=branches,
-        conditional_branches=conditional_branches,
-        taken_branches=taken_branches,
-        direction_mispredictions=direction_mispredictions,
-        target_mispredictions=target_mispredictions,
-        taken_bubbles=taken_bubbles,
-        loads=loads,
-        stores=stores,
-        load_misses=load_misses,
-        cache_accesses=cache_accesses,
-        cache_misses=cache_misses,
-        btac=(
-            (btac_lookups, btac_hits, btac_predictions, btac_correct,
-             btac_incorrect, btac.stats.allocations)
-            if btac is not None
-            else None
-        ),
-        iv_branches=iv_branches,
-        iv_mispredicts=iv_mispredicts,
-    )
+    walker = _FrontendPass(config, segment if n_intervals else 0)
+    walker.feed(trace)
+    return walker.finish(n_intervals)
 
 
 # --------------------------------------------------------------------
@@ -869,7 +973,18 @@ def _simulate_group(
         segment = interval_size if interval_size >= 1 else 1
         n_intervals = n // segment
     front = _frontend_pass(trace, configs[0], segment, n_intervals)
+    return _replay(meta, front, configs, segment, n_intervals)
 
+
+def _replay(
+    meta: _StaticMeta,
+    front: _Frontend,
+    configs: list[CoreConfig],
+    segment: int,
+    n_intervals: int,
+) -> tuple[list[SimResult], bool]:
+    """Per-config timing replay over one finished frontend."""
+    n = meta.n
     rows = [_config_params(config) for config in configs]
     max_window = max(config.window for config in configs)
     native_used = False
@@ -971,4 +1086,140 @@ def simulate_batched(
         if guards_enabled():
             for index in members:
                 check_sim_result(results[index], configs[index])
+    return BatchOutcome(results, batched, native_used)
+
+
+def _concat_meta(metas: list[_StaticMeta]) -> _StaticMeta:
+    """Join per-segment meta columns into one replay-ready block."""
+    if len(metas) == 1:
+        return metas[0]
+
+    def cat(field: str) -> np.ndarray:
+        return np.concatenate([getattr(m, field) for m in metas])
+
+    return _StaticMeta(
+        s1=cat("s1"), s2=cat("s2"), s3=cat("s3"), unit=cat("unit"),
+        occ=cat("occ"), lat=cat("lat"), dst=cat("dst"),
+        fxu_ops=sum(m.fxu_ops for m in metas),
+        n=sum(m.n for m in metas),
+    )
+
+
+def simulate_batched_stream(
+    segments,
+    configs,
+    interval_size: int | None = None,
+) -> BatchOutcome:
+    """Batched multi-config simulation over a segment stream.
+
+    The streaming form of :func:`simulate_batched`: ``segments`` is any
+    iterator of columnar :class:`Trace` segments (or event lists), such
+    as the v3 tracestore's lazy reader or the segmented interpreter and
+    synthetic generators, and every frontend group walks each segment
+    exactly once with carried predictor/BTAC/cache state. Results are
+    byte-identical to ``simulate_batched`` on the concatenated trace.
+    Singleton groups fall back to the scalar carried-state path
+    (:class:`~repro.uarch.core.Core`'s stream machinery) on the same
+    single walk; a stream whose static tables the columnar encoding
+    cannot represent is materialised and delegated to the monolithic
+    entry point, whose event-form fallback handles it.
+
+    Bounded-memory note: the timing replay needs the whole action/meta
+    column block, so this holds O(total events) of *packed numpy rows*
+    — but never the decoded Python-side trace, which is what dominates
+    a monolithic run's footprint.
+    """
+    configs = list(configs)
+    if not configs:
+        return BatchOutcome([], [], False)
+    iterator = iter(segments)
+    first = None
+    for candidate in iterator:
+        if not isinstance(candidate, Trace):
+            candidate = Trace.from_events(candidate)
+        if len(candidate):
+            first = candidate
+            break
+    if first is None:
+        raise SimulationError("cannot simulate an empty trace")
+    if not columnar_supported(first.static):
+        merged = Trace()
+        merged.extend(first)
+        for candidate in iterator:
+            if not isinstance(candidate, Trace):
+                candidate = Trace.from_events(candidate)
+            merged.extend(candidate)
+        return simulate_batched(merged, configs, interval_size)
+
+    chunk = 0
+    if interval_size is not None:
+        chunk = interval_size if interval_size >= 1 else 1
+
+    groups: dict[tuple, list[int]] = {}
+    for index, config in enumerate(configs):
+        groups.setdefault(frontend_key(config), []).append(index)
+    passes: list[tuple[list[int], _FrontendPass]] = []
+    scalars: list[tuple[int, Core, _StreamState]] = []
+    for members in groups.values():
+        if len(members) < 2:
+            for index in members:
+                scalars.append((
+                    index,
+                    Core(configs[index]),
+                    _StreamState(configs[index]),
+                ))
+        else:
+            passes.append(
+                (members, _FrontendPass(configs[members[0]], chunk))
+            )
+
+    metas: list[_StaticMeta] = []
+
+    def feed(segment: Trace) -> None:
+        meta = _static_meta(segment)
+        if meta is None:
+            raise SimulationError(
+                "simulate_batched_stream requires columnar-supported "
+                "static tables (<= 3 sources per instruction)"
+            )
+        metas.append(meta)
+        for _, walker in passes:
+            walker.feed(segment)
+        for _, core, state in scalars:
+            core._simulate_columnar_segment(segment, interval_size, state)
+            state.compact(core.config.window)
+
+    feed(first)
+    for candidate in iterator:
+        if not isinstance(candidate, Trace):
+            candidate = Trace.from_events(candidate)
+        if len(candidate):
+            feed(candidate)
+
+    meta = _concat_meta(metas)
+    n = meta.n
+    if interval_size is None:
+        segment = n
+        n_intervals = 0
+    else:
+        segment = chunk
+        n_intervals = n // segment
+
+    results: list[SimResult | None] = [None] * len(configs)
+    batched = [False] * len(configs)
+    native_used = False
+    for index, core, state in scalars:
+        results[index] = core._finalize_stream(state)
+    for members, walker in passes:
+        group_results, used_native = _replay(
+            meta, walker.finish(n_intervals),
+            [configs[index] for index in members], segment, n_intervals,
+        )
+        native_used = native_used or used_native
+        for index, result in zip(members, group_results):
+            results[index] = result
+            batched[index] = True
+    if guards_enabled():
+        for index, config in enumerate(configs):
+            check_sim_result(results[index], config)
     return BatchOutcome(results, batched, native_used)

@@ -467,7 +467,101 @@ class Core:
         iterates the trace's packed columns with locals-bound lookups,
         dispatches on the per-event flags byte instead of five boolean
         attributes, and keeps every counter in a local integer until
-        the end.
+        the end. The loop itself lives in
+        :meth:`_simulate_columnar_segment`, which carries all uarch
+        state in a :class:`_StreamState` — the monolithic path is the
+        one-segment special case of the streaming path, so the golden
+        matrix that pins this method to the object path covers the
+        segment machinery too.
+        """
+        if not columnar_supported(trace.static):
+            # The ISA never reads more than three GPRs (STX), but a
+            # hand-built table could; fall back to the golden path.
+            return self._simulate_events(trace.to_events(), interval_size)
+        state = _StreamState(self.config)
+        self._simulate_columnar_segment(trace, interval_size, state)
+        return self._finalize_stream(state)
+
+    def simulate_stream(
+        self,
+        segments,
+        interval_size: int | None = None,
+    ) -> SimResult:
+        """Run the timing model over an iterator of trace segments.
+
+        ``segments`` yields columnar :class:`Trace` views/roots (or
+        object-form event lists, converted on the fly) that tile one
+        logical trace in order. All microarchitectural state — branch
+        predictor, BTAC, L1D, register scoreboard, issue-queue usage,
+        the in-flight commit window, fetch grouping and interval
+        accounting — is carried across segment boundaries, so the
+        result is **bit-identical** to :meth:`simulate` on the
+        concatenated trace (the stream golden-equality matrix asserts
+        it for every config, predictor kind and segment size). Peak
+        memory is O(segment), not O(trace): each segment is released
+        before the next is pulled from the iterator, and carried state
+        is compacted at every boundary.
+        """
+        state = _StreamState(self.config)
+        for segment in segments:
+            if not isinstance(segment, Trace):
+                segment = Trace.from_events(segment)
+            if len(segment) == 0:
+                continue
+            if not columnar_supported(segment.static):
+                raise SimulationError(
+                    "simulate_stream requires columnar-supported "
+                    "static tables (<= 3 sources per instruction)"
+                )
+            self._simulate_columnar_segment(segment, interval_size, state)
+            state.compact(self.config.window)
+        if state.instructions == 0:
+            raise SimulationError("cannot simulate an empty trace")
+        result = self._finalize_stream(state)
+        if guards_enabled():
+            check_sim_result(result, self.config)
+        return result
+
+    def _finalize_stream(self, state: "_StreamState") -> SimResult:
+        """Assemble the :class:`SimResult` from carried stream state."""
+        result = SimResult(
+            instructions=state.instructions,
+            cycles=state.last_commit + 1,
+            branches=state.branches,
+            conditional_branches=state.conditional_branches,
+            taken_branches=state.taken_branches,
+            direction_mispredictions=state.direction_mispredictions,
+            target_mispredictions=state.target_mispredictions,
+            taken_bubbles=state.taken_bubbles,
+            loads=state.loads,
+            stores=state.stores,
+            load_misses=state.load_misses,
+            fxu_ops=state.fxu_ops,
+        )
+        result.stall_cycles = dict(zip(_LIMITERS, state.stall))
+        result.cache = self.cache.stats
+        if self.btac is not None:
+            result.btac = self.btac.stats
+        result.intervals = state.intervals
+        return result
+
+    def _simulate_columnar_segment(
+        self,
+        trace: Trace,
+        interval_size: int | None,
+        state: "_StreamState",
+    ) -> None:
+        """One segment of the columnar hot loop.
+
+        Loads carried state from ``state`` into locals, runs the
+        unchanged hot body over ``trace``'s columns, then stores the
+        carried state back and folds this segment's counter deltas into
+        the running totals (and into the live predictor/cache/BTAC
+        stats objects, exactly as the monolithic loop's end-of-trace
+        writeback did). Event indices are segment-local; interval
+        bookkeeping and the in-flight window log are kept aligned to
+        global positions via ``state.instructions`` and the carried
+        window tail.
         """
         config = self.config
         predictor = self.predictor
@@ -521,37 +615,46 @@ class Core:
         # source (always 0) that pads every static's source tuple to
         # exactly three entries; slot 33 is a dummy destination sink so
         # the writeback below never needs a "has destination?" branch.
-        reg_ready = [0] * 34
+        # The list is carried (and mutated in place) across segments.
+        reg_ready = state.reg_ready
         # Issue-queue state is specialised per unit (the loop below
         # dispatches on the unit index), so every piece lives in its
-        # own local: no tuple indexing on the per-event path.
+        # own local: no tuple indexing on the per-event path. The usage
+        # dicts are carried across segments (compact() prunes cycles
+        # that can no longer be probed); the floors travel via state.
         fxu_capacity = config.fxu_count
         lsu_capacity = config.lsu_count
         bru_capacity = config.bru_count
-        fxu_usage: dict[int, int] = {}
-        lsu_usage: dict[int, int] = {}
-        bru_usage: dict[int, int] = {}
+        fxu_usage = state.fxu_usage
+        lsu_usage = state.lsu_usage
+        bru_usage = state.bru_usage
         fxu_get = fxu_usage.get
         lsu_get = lsu_usage.get
         bru_get = bru_usage.get
-        fxu_floor = lsu_floor = bru_floor = 0
+        fxu_floor = state.fxu_floor
+        lsu_floor = state.lsu_floor
+        bru_floor = state.bru_floor
 
         # The reorder window is a flat commit-cycle log pre-seeded with
-        # `window` zeros: entry i is then the commit cycle of the
+        # `window` entries: entry i is then the commit cycle of the
         # instruction `window` slots before event i, so the loop reads
         # it with the index it already has — no ring arithmetic, no
         # bounded-deque eviction. Entries are references to the shared
         # last_commit ints, so the log costs pointers, not objects.
+        # Across segments the carried list is exactly the last `window`
+        # commits (seeded with zeros initially), which keeps the
+        # local-index read aligned: list slot i holds the commit of the
+        # event `window` slots before segment-local event i.
         window = config.window
-        window_commits = [0] * window
+        window_commits = state.window_commits
         window_append = window_commits.append
 
         # fetch_cycle is only ever read as "fetch_cycle + depth", so
         # the loop tracks that sum directly (one add saved per event).
-        dispatch_base = depth
-        fetched_this_cycle = 0
-        last_commit = 0
-        committed_this_cycle = 0
+        dispatch_base = state.dispatch_base
+        fetched_this_cycle = state.fetched_this_cycle
+        last_commit = state.last_commit
+        committed_this_cycle = state.committed_this_cycle
 
         start, stop = trace._bounds()
         # tolist() converts each column to plain ints in one C pass, so
@@ -572,63 +675,88 @@ class Core:
         # folds into the unit code: non-pipelined statics carry
         # unit + 4, which routes them past the fast per-unit branches
         # into the generic slow path (so the common path never tests
-        # occupancy at all).
-        if not columnar_supported(static):
-            # The ISA never reads more than three GPRs (STX), but a
-            # hand-built table could; fall back to the golden path.
-            return self._simulate_events(trace.to_events(), interval_size)
-        meta = [
-            (
-                srcs[0] if len(srcs) > 0 else 32,
-                srcs[1] if len(srcs) > 1 else 32,
-                srcs[2] if len(srcs) > 2 else 32,
-                unit if occupancy == 1 or unit == _NONE else unit + 4,
-                latency,
-                dst if dst >= 0 else 33,
-            )
-            for srcs, unit, latency, occupancy, dst in zip(
-                static.srcs,
-                static.units,
-                static.latencies,
-                static.occupancies,
-                static.dsts,
-            )
-        ]
+        # occupancy at all). Segments sharing a static table (zero-copy
+        # views of one trace) reuse the previous segment's meta rows.
+        meta = state._meta
+        if (
+            meta is None
+            or state._meta_static is not static
+            or len(meta) != len(static)
+        ):
+            meta = [
+                (
+                    srcs[0] if len(srcs) > 0 else 32,
+                    srcs[1] if len(srcs) > 1 else 32,
+                    srcs[2] if len(srcs) > 2 else 32,
+                    unit if occupancy == 1 or unit == _NONE else unit + 4,
+                    latency,
+                    dst if dst >= 0 else 33,
+                )
+                for srcs, unit, latency, occupancy, dst in zip(
+                    static.srcs,
+                    static.units,
+                    static.latencies,
+                    static.occupancies,
+                    static.dsts,
+                )
+            ]
+            state._meta = meta
+            state._meta_static = static
         # Resolving each event's meta row up front is one C-speed map
         # pass; the loop then pays a single subscript per event.
         event_meta = list(map(meta.__getitem__, sids))
 
-        block_start = pcs[0]
+        # BTAC indexing starts at the very first fetch address of the
+        # whole stream; later segments carry the current block start.
+        block_start = state.block_start
+        if block_start is None:
+            block_start = pcs[0]
 
+        # Per-segment counter deltas: folded into the running totals
+        # (and the live predictor/cache/BTAC stats) after the loop.
         branches = conditional_branches = taken_branches = 0
         direction_mispredictions = target_mispredictions = 0
         taken_bubbles = loads = stores = load_misses = 0
-        stall = [0, 0, 0, 0, 0, 0]
-        intervals: list[IntervalRecord] = []
+        # Stall attribution accumulates straight into the carried list.
+        stall = state.stall
+        intervals = state.intervals
 
-        interval_start_instr = 0
-        interval_start_cycle = 0
-        interval_branches = 0
-        interval_mispredicts = 0
+        # Interval bookkeeping is global across segments: `base` is the
+        # stream position of this segment's first event, and
+        # `interval_next` the absolute position of the next boundary.
+        base = state.instructions
+        interval_start_instr = state.interval_start_instr
+        interval_start_cycle = state.interval_start_cycle
+        interval_branches = state.interval_branches
+        interval_mispredicts = state.interval_mispredicts
 
-        # The trace runs in interval-sized segments: the legacy
+        # The trace runs in interval-sized chunks: the legacy
         # ">= interval_size" check fires exactly at equality (the
         # counter advances by one per event), so every interval
         # boundary is known up front and the inner loop carries no
         # per-event interval test at all. Without intervals there is
-        # exactly one segment spanning the whole trace. (The two-space
+        # exactly one chunk spanning the whole segment. (The two-space
         # indent keeps the 200-line hot body one edit away from its
         # single-loop form.)
         n_events = len(flags_col)
         if interval_size is None:
-            segment = n_events
+            isz = 0
+            interval_next = None
         else:
-            segment = interval_size if interval_size >= 1 else 1
-        segment_end = min(n_events, segment)
+            isz = interval_size if interval_size >= 1 else 1
+            interval_next = state.interval_next
+            if interval_next is None:
+                interval_next = isz
 
         i = 0
         while i < n_events:
-          for i, flags in enumerate(flags_col[i:segment_end], i):
+          if interval_next is None:
+              chunk_end = n_events
+          else:
+              chunk_end = interval_next - base
+              if chunk_end > n_events:
+                  chunk_end = n_events
+          for i, flags in enumerate(flags_col[i:chunk_end], i):
             # ---- fetch ------------------------------------------------
             if fetched_this_cycle >= fetch_width:
                 dispatch_base += 1
@@ -881,28 +1009,23 @@ class Core:
                     committed_this_cycle = 1
             window_append(last_commit)
 
-          # ---- segment boundary (interval record) -------------------
+          # ---- chunk boundary (interval record) ---------------------
           i += 1
-          if (
-              interval_size is not None
-              and i - interval_start_instr == segment
-          ):
+          if interval_next is not None and base + i == interval_next:
               intervals.append(
                   IntervalRecord(
                       start_instruction=interval_start_instr,
-                      instructions=i - interval_start_instr,
+                      instructions=base + i - interval_start_instr,
                       cycles=max(1, last_commit - interval_start_cycle),
                       branches=interval_branches,
                       direction_mispredictions=interval_mispredicts,
                   )
               )
-              interval_start_instr = i
+              interval_start_instr = base + i
               interval_start_cycle = last_commit
               interval_branches = 0
               interval_mispredicts = 0
-          segment_end = i + segment
-          if segment_end > n_events:
-              segment_end = n_events
+              interval_next = interval_start_instr + isz
 
         # FXU-op counting moves out of the loop entirely: one C-speed
         # Counter pass over the sid column replaces a per-event test.
@@ -913,7 +1036,7 @@ class Core:
         )
 
         # Write the inlined predictor/cache state back (one conditional
-        # update per trace, matching what the method calls would have
+        # update per segment, matching what the method calls would have
         # accumulated event by event). Non-gshare predictors ran their
         # own update() per branch, so their state is already current.
         if bp_update is None:
@@ -931,26 +1054,108 @@ class Core:
             btac_stats.correct += btac_correct
             btac_stats.incorrect += btac_incorrect
 
-        result = SimResult(
-            instructions=len(flags_col),
-            cycles=last_commit + 1,
-            branches=branches,
-            conditional_branches=conditional_branches,
-            taken_branches=taken_branches,
-            direction_mispredictions=direction_mispredictions,
-            target_mispredictions=target_mispredictions,
-            taken_bubbles=taken_bubbles,
-            loads=loads,
-            stores=stores,
-            load_misses=load_misses,
-            fxu_ops=fxu_ops,
-        )
-        result.stall_cycles = dict(zip(_LIMITERS, stall))
-        result.cache = cache.stats
-        if btac is not None:
-            result.btac = btac.stats
-        result.intervals = intervals
-        return result
+        # Store the carried state back and fold this segment's deltas
+        # into the stream totals. (reg_ready, the usage dicts, the
+        # window log, stall and intervals were mutated in place.)
+        state.fxu_floor = fxu_floor
+        state.lsu_floor = lsu_floor
+        state.bru_floor = bru_floor
+        state.dispatch_base = dispatch_base
+        state.fetched_this_cycle = fetched_this_cycle
+        state.last_commit = last_commit
+        state.committed_this_cycle = committed_this_cycle
+        state.block_start = block_start
+        state.instructions = base + n_events
+        state.branches += branches
+        state.conditional_branches += conditional_branches
+        state.taken_branches += taken_branches
+        state.direction_mispredictions += direction_mispredictions
+        state.target_mispredictions += target_mispredictions
+        state.taken_bubbles += taken_bubbles
+        state.loads += loads
+        state.stores += stores
+        state.load_misses += load_misses
+        state.fxu_ops += fxu_ops
+        state.interval_start_instr = interval_start_instr
+        state.interval_start_cycle = interval_start_cycle
+        state.interval_branches = interval_branches
+        state.interval_mispredicts = interval_mispredicts
+        state.interval_next = interval_next
+
+
+class _StreamState:
+    """Uarch state carried across trace segments by the columnar loop.
+
+    Everything the hot loop would otherwise keep in locals for the
+    whole trace lives here between segments: the register scoreboard,
+    per-unit issue-queue usage and floors, the in-flight window's
+    commit-log tail, fetch/commit grouping, the BTAC block cursor,
+    running counter totals, stall attribution and interval
+    bookkeeping. :meth:`compact` bounds the carried footprint — it
+    prunes issue-queue cycles that can no longer be probed (every
+    future probe starts at ``dispatch_base`` or later, which is
+    monotone non-decreasing) and trims the commit log to the last
+    ``window`` entries (the only slots a future event can read).
+    """
+
+    __slots__ = (
+        "reg_ready",
+        "fxu_usage", "lsu_usage", "bru_usage",
+        "fxu_floor", "lsu_floor", "bru_floor",
+        "window_commits", "dispatch_base", "fetched_this_cycle",
+        "last_commit", "committed_this_cycle", "block_start",
+        "instructions", "branches", "conditional_branches",
+        "taken_branches", "direction_mispredictions",
+        "target_mispredictions", "taken_bubbles", "loads", "stores",
+        "load_misses", "fxu_ops", "stall", "intervals",
+        "interval_start_instr", "interval_start_cycle",
+        "interval_branches", "interval_mispredicts", "interval_next",
+        "_meta", "_meta_static",
+    )
+
+    def __init__(self, config: CoreConfig) -> None:
+        self.reg_ready = [0] * 34
+        self.fxu_usage: dict[int, int] = {}
+        self.lsu_usage: dict[int, int] = {}
+        self.bru_usage: dict[int, int] = {}
+        self.fxu_floor = self.lsu_floor = self.bru_floor = 0
+        self.window_commits = [0] * config.window
+        self.dispatch_base = config.pipeline_depth
+        self.fetched_this_cycle = 0
+        self.last_commit = 0
+        self.committed_this_cycle = 0
+        self.block_start: int | None = None
+        self.instructions = 0
+        self.branches = 0
+        self.conditional_branches = 0
+        self.taken_branches = 0
+        self.direction_mispredictions = 0
+        self.target_mispredictions = 0
+        self.taken_bubbles = 0
+        self.loads = 0
+        self.stores = 0
+        self.load_misses = 0
+        self.fxu_ops = 0
+        self.stall = [0, 0, 0, 0, 0, 0]
+        self.intervals: list[IntervalRecord] = []
+        self.interval_start_instr = 0
+        self.interval_start_cycle = 0
+        self.interval_branches = 0
+        self.interval_mispredicts = 0
+        self.interval_next: int | None = None
+        self._meta: list | None = None
+        self._meta_static = None
+
+    def compact(self, window: int) -> None:
+        """Bound carried memory at a segment boundary."""
+        horizon = self.dispatch_base
+        for usage in (self.fxu_usage, self.lsu_usage, self.bru_usage):
+            if usage:
+                stale = [cycle for cycle in usage if cycle < horizon]
+                for cycle in stale:
+                    del usage[cycle]
+        if len(self.window_commits) > window:
+            del self.window_commits[:-window]
 
 
 def simulate_trace(

@@ -86,6 +86,30 @@ _HARD_PC_BASE = 20_000
 _BODY_PC_BASE = 0
 
 
+class _GenState:
+    """Generator state carried across segment boundaries.
+
+    Holds everything :func:`_emit` reads and writes between events, so
+    a segmented generation (fresh ``Trace`` per segment) draws the
+    exact same RNG sequence — and therefore emits the exact same event
+    stream — as one monolithic :func:`generate_trace` call.
+    """
+
+    __slots__ = (
+        "position", "loop_id", "chain", "iterations_left", "cursor",
+        "indirect_targets", "indirect_pc",
+    )
+
+    def __init__(self, profile: MixProfile, rng: random.Random) -> None:
+        self.position = 0  # within the current loop body
+        self.loop_id = 0
+        self.chain = 0
+        self.iterations_left = rng.randint(4, 40)
+        self.cursor = rng.randrange(profile.footprint_words)
+        self.indirect_targets: dict[int, int] = {}
+        self.indirect_pc: int | None = None
+
+
 def generate_trace(
     length: int,
     profile: MixProfile | None = None,
@@ -104,8 +128,52 @@ def generate_trace(
         raise SimulationError(f"trace length must be positive, got {length}")
     profile = profile or MixProfile()
     rng = random.Random(seed)
-
     trace = Trace()
+    _emit(trace, length, profile, rng, _GenState(profile, rng))
+    return trace
+
+
+def generate_trace_segments(
+    length: int,
+    profile: MixProfile | None = None,
+    seed: int = 0,
+    segment_events: int = 65_536,
+):
+    """Generate the same stream as :func:`generate_trace`, segmented.
+
+    A generator yielding fresh columnar :class:`Trace` segments of at
+    most ``segment_events`` events; at most one segment is resident at
+    a time, so genome-scale workloads never materialise. Each segment
+    interns the same handful of static forms in the same order, so all
+    segments carry identical static tables and the concatenation is
+    column-for-column equal to the monolithic trace.
+    """
+    if length <= 0:
+        raise SimulationError(f"trace length must be positive, got {length}")
+    if segment_events < 1:
+        raise SimulationError(
+            f"segment_events must be positive, got {segment_events}"
+        )
+    profile = profile or MixProfile()
+    rng = random.Random(seed)
+    state = _GenState(profile, rng)
+    remaining = length
+    while remaining > 0:
+        segment = Trace()
+        count = min(segment_events, remaining)
+        _emit(segment, count, profile, rng, state)
+        remaining -= count
+        yield segment
+
+
+def _emit(
+    trace: Trace,
+    length: int,
+    profile: MixProfile,
+    rng: random.Random,
+    state: _GenState,
+) -> None:
+    """Append ``length`` events to ``trace``, advancing ``state``."""
     static = trace.static
     pc_append = trace.pc.append
     sid_append = trace.sid.append
@@ -133,13 +201,13 @@ def generate_trace(
     load_share = profile.load_fraction
     store_share = profile.store_fraction
 
-    position = 0  # within the current loop body
-    loop_id = 0
-    chain = 0
-    iterations_left = rng.randint(4, 40)
-    cursor = rng.randrange(profile.footprint_words)
-    indirect_targets: dict[int, int] = {}
-    indirect_pc: int | None = None
+    position = state.position
+    loop_id = state.loop_id
+    chain = state.chain
+    iterations_left = state.iterations_left
+    cursor = state.cursor
+    indirect_targets = state.indirect_targets
+    indirect_pc = state.indirect_pc
 
     emitted = 0
     while emitted < length:
@@ -221,7 +289,13 @@ def generate_trace(
             addr_append(NO_VALUE)
         position = (position + 1) % profile.loop_body
         emitted += 1
-    return trace
+
+    state.position = position
+    state.loop_id = loop_id
+    state.chain = chain
+    state.iterations_left = iterations_left
+    state.cursor = cursor
+    state.indirect_pc = indirect_pc
 
 
 def _next_address(

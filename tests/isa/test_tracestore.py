@@ -8,10 +8,13 @@ from repro.errors import InterpreterError
 from repro.isa.trace import Trace, TraceEvent
 from repro.isa.tracestore import (
     TRACE_FORMAT_VERSION,
+    SegmentedTraceReader,
     load_trace,
     load_trace_columnar,
+    open_trace_segments,
     save_trace,
     save_trace_v2,
+    save_trace_v3,
     trace_format,
 )
 from repro.kernels import smith_waterman as sw
@@ -93,7 +96,7 @@ class TestV2Binary:
         assert trace_format(v1) == 1
         columnar = load_trace_columnar(v1)
         save_trace_v2(v2, columnar)
-        assert trace_format(v2) == TRACE_FORMAT_VERSION
+        assert trace_format(v2) == 2
         _assert_events_match(load_trace(v2), trace)
 
     def test_v2_simulates_identically(self, trace, tmp_path):
@@ -170,6 +173,156 @@ class TestV2Errors:
         with pytest.raises((InterpreterError, OSError)):
             trace_format(tmp_path / "nope.trace")
             load_trace(tmp_path / "nope.trace")
+
+
+class TestV3Segmented:
+    def test_round_trips_columnar(self, trace, tmp_path):
+        path = tmp_path / "kernel.trace3"
+        save_trace_v3(path, Trace.from_events(trace), segment_events=64)
+        assert trace_format(path) == 3
+        assert TRACE_FORMAT_VERSION == 3
+        loaded = load_trace(path)
+        assert isinstance(loaded, Trace)
+        _assert_events_match(loaded, trace)
+
+    def test_single_segment_and_event_list(self, trace, tmp_path):
+        path = tmp_path / "one.trace3"
+        save_trace_v3(path, trace)  # default segment size > trace
+        _assert_events_match(load_trace(path), trace)
+        reader = SegmentedTraceReader(path)
+        assert reader.segment_count == 1
+        reader.close()
+
+    def test_lazy_reader_matches_eager_load(self, trace, tmp_path):
+        path = tmp_path / "lazy.trace3"
+        save_trace_v3(path, Trace.from_events(trace), segment_events=50)
+        with SegmentedTraceReader(path) as reader:
+            assert reader.events == len(trace)
+            assert reader.segment_count == -(-len(trace) // 50)
+            streamed = []
+            for segment in reader:
+                assert len(segment) <= 50
+                assert segment.is_view  # read-only
+                streamed.extend(segment.to_events())
+        _assert_events_match(streamed, trace)
+
+    def test_segment_iterator_input_remaps_static_ids(
+        self, trace, tmp_path
+    ):
+        """Per-segment static tables merge into one shared table."""
+        path = tmp_path / "iter.trace3"
+        whole = Trace.from_events(trace)
+
+        def fresh_table_segments():
+            for view in whole.segments(40):
+                yield Trace.from_events(view.to_events())
+
+        save_trace_v3(path, fresh_table_segments())
+        _assert_events_match(load_trace(path), trace)
+
+    def test_v2_to_v3_rewrite_preserves_everything(self, trace, tmp_path):
+        v2 = tmp_path / "kernel.tracebin"
+        v3 = tmp_path / "kernel.trace3"
+        save_trace_v2(v2, Trace.from_events(trace))
+        assert trace_format(v2) == 2
+        save_trace_v3(v3, load_trace_columnar(v2), segment_events=75)
+        assert trace_format(v3) == TRACE_FORMAT_VERSION
+        _assert_events_match(load_trace(v3), trace)
+
+    def test_cache_rewrites_v2_entry_on_read(self, trace, tmp_path):
+        """The engine cache upgrades v1/v2 entries to v3 on first read
+        (same pattern PR 2 used for v1 -> v2)."""
+        from repro.engine.cache import PersistentCache
+
+        cache = PersistentCache(tmp_path / "cache")
+        path = cache.trace_path("blast", "baseline")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        save_trace_v2(path, Trace.from_events(trace))
+        assert trace_format(path) == 2
+        loaded = cache.load_trace("blast", "baseline")
+        _assert_events_match(loaded, trace)
+        assert trace_format(path) == 3
+        # And the lazily streamed view agrees with the eager one.
+        segments = cache.load_trace_segments("blast", "baseline")
+        streamed = [e for seg in segments for e in seg.to_events()]
+        _assert_events_match(streamed, trace)
+
+    def test_open_trace_segments_compat_with_v1_and_v2(
+        self, trace, tmp_path
+    ):
+        v1 = tmp_path / "a.trace"
+        v2 = tmp_path / "b.tracebin"
+        save_trace(v1, trace)
+        save_trace_v2(v2, Trace.from_events(trace))
+        for path in (v1, v2):
+            streamed = [
+                e
+                for seg in open_trace_segments(path, segment_events=33)
+                for e in seg.to_events()
+            ]
+            _assert_events_match(streamed, trace)
+
+    def test_empty_trace(self, tmp_path):
+        path = tmp_path / "empty.trace3"
+        save_trace_v3(path, Trace())
+        assert len(load_trace(path)) == 0
+
+
+class TestV3Errors:
+    @pytest.fixture()
+    def v3_path(self, trace, tmp_path):
+        path = tmp_path / "kernel.trace3"
+        save_trace_v3(path, Trace.from_events(trace), segment_events=60)
+        return path
+
+    def test_truncated_footer(self, v3_path):
+        blob = v3_path.read_bytes()
+        v3_path.write_bytes(blob[: len(blob) - 8])
+        with pytest.raises(InterpreterError):
+            load_trace(v3_path)
+
+    def test_trailing_garbage(self, v3_path):
+        v3_path.write_bytes(v3_path.read_bytes() + b"junk")
+        with pytest.raises(InterpreterError):
+            load_trace(v3_path)
+
+    def test_bitflipped_segment_frame(self, v3_path):
+        blob = bytearray(v3_path.read_bytes())
+        blob[40] ^= 0xFF  # inside the first deflate frame
+        v3_path.write_bytes(bytes(blob))
+        with pytest.raises(InterpreterError, match="CRC"):
+            load_trace(v3_path)
+
+    def test_lazy_reader_detects_bad_frame(self, v3_path):
+        blob = bytearray(v3_path.read_bytes())
+        blob[40] ^= 0xFF
+        v3_path.write_bytes(bytes(blob))
+        # The up-front digest only covers the indexed CRCs, so the
+        # reader opens fine; the flip surfaces when its frame is read.
+        with SegmentedTraceReader(v3_path) as reader:
+            with pytest.raises(InterpreterError, match="CRC"):
+                list(reader.segments())
+
+    def test_lazy_reader_detects_tampered_index(self, v3_path):
+        """Editing an index CRC breaks the footer content digest."""
+        blob = bytearray(v3_path.read_bytes())
+        import struct as _struct
+
+        from repro.isa.tracestore import _FOOTER_V3, _INDEX_V3
+
+        (index_offset,) = _struct.unpack_from(
+            "<Q", blob, len(blob) - _FOOTER_V3.size + 8
+        )
+        blob[index_offset + _INDEX_V3.size - 1] ^= 0xFF  # first CRC
+        v3_path.write_bytes(bytes(blob))
+        with pytest.raises(InterpreterError, match="digest"):
+            SegmentedTraceReader(v3_path)
+
+    def test_truncated_mid_frames(self, v3_path):
+        blob = v3_path.read_bytes()
+        v3_path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(InterpreterError):
+            load_trace(v3_path)
 
 
 class TestErrors:
