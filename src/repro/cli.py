@@ -19,6 +19,10 @@ bpred      branch-prediction lab: compare / rank / sweep predictors
 cache      inspect / clear / gc the persistent simulation cache
 runs       list / prune the durable sweep run journals
 resume     continue an interrupted journaled sweep
+serve      run the sweep-service HTTP front end
+submit     submit a sweep to a running service
+jobs       list / show / cancel / stream service jobs
+work       drain one journaled run as a claim-based worker
 ========== ====================================================
 """
 
@@ -41,6 +45,19 @@ from repro.perf.report import Table, percent
 from repro.uarch.config import power5
 
 _MATRICES = {"blosum62": BLOSUM62, "pam250": PAM250}
+
+
+def _porcelain_row(*fields) -> str:
+    """One tab-separated machine-readable line, fixed arity.
+
+    ``None`` renders as ``-`` so a missing value still occupies its
+    column — porcelain consumers index by position, and a journal
+    written before some record type existed must not shift the fields
+    that come after it.
+    """
+    return "\t".join(
+        "-" if value is None else str(value) for value in fields
+    )
 
 
 def _load(path: str, minimum: int = 1):
@@ -275,13 +292,13 @@ def cmd_bpred(args) -> int:
             # (consistent with `repro runs --porcelain`): kind, branches,
             # mispredictions, rate, mpki.
             for kind, result in results:
-                print("\t".join([
+                print(_porcelain_row(
                     kind,
-                    str(result.branches),
-                    str(result.mispredictions),
+                    result.branches,
+                    result.mispredictions,
                     f"{result.misprediction_rate:.6f}",
                     f"{result.mpki:.3f}",
-                ]))
+                ))
             return 0
         table = Table(
             f"Direction predictors on the {args.app} kernel "
@@ -311,16 +328,16 @@ def cmd_bpred(args) -> int:
             # entropy, transition_rate, mispredictions, mpki.
             for site in sites:
                 profile = site.profile
-                print("\t".join([
-                    str(profile.pc),
+                print(_porcelain_row(
+                    profile.pc,
                     site.location,
-                    str(profile.executions),
+                    profile.executions,
                     f"{profile.taken_rate:.6f}",
                     f"{profile.entropy:.6f}",
                     f"{profile.transition_rate:.6f}",
-                    str(profile.mispredictions),
+                    profile.mispredictions,
                     f"{profile.mpki:.3f}",
-                ]))
+                ))
             return 0
         table = Table(
             f"Hardest branches of the {args.app} kernel "
@@ -362,15 +379,15 @@ def cmd_bpred(args) -> int:
         # kind, table_bits, history_bits, branches, mispredictions,
         # rate, mpki.
         for spec, result in rows:
-            print("\t".join([
+            print(_porcelain_row(
                 spec.kind,
-                str(spec.table_bits),
-                str(spec.history_bits),
-                str(result.branches),
-                str(result.mispredictions),
+                spec.table_bits,
+                spec.history_bits,
+                result.branches,
+                result.mispredictions,
                 f"{result.misprediction_rate:.6f}",
                 f"{result.mpki:.3f}",
-            ]))
+            ))
         return 0
     table = Table(
         f"{args.kind} geometry sweep on the {args.app} kernel "
@@ -461,28 +478,39 @@ def cmd_runs(args) -> int:
             f"{journal.runs_root(cache.root)}"
         )
         return 0
-    states = journal.list_runs(cache.root)
+    import warnings as _warnings
+
+    with _warnings.catch_warnings():
+        # Corrupt neighbours are rendered as rows below; the warning
+        # channel is for library consumers, not the CLI listing.
+        _warnings.simplefilter("ignore", journal.JournalWarning)
+        states = journal.list_runs(cache.root)
     if args.porcelain:
         # One run per line, tab-separated, stable field order — for CI
         # scripts (the interrupt-resume smoke job greps this). New
-        # fields append at the end so positional consumers keep working.
+        # fields append at the end so positional consumers keep
+        # working, and journals predating a record type get padded
+        # zeros in its columns rather than fewer fields.
         for state in states:
-            print("\t".join([
+            print(_porcelain_row(
                 state.run_id,
                 state.status,
-                str(len(state.done)),
-                str(len(state.failed)),
-                str(len(state.unique_keys)),
+                len(state.done),
+                len(state.failed),
+                len(state.unique_keys),
                 f"{state.age_seconds():.0f}",
-                str((state.batch or {}).get("points", 0)),
-            ]))
+                (state.batch or {}).get("points", 0),
+                (state.stream or {}).get("segments_consumed", 0),
+                len(state.workers),
+            ))
         return 0
     if not states:
         print(f"# no run journals under {journal.runs_root(cache.root)}")
         return 0
     table = Table(
         f"Run journals ({journal.runs_root(cache.root)})",
-        ["Run", "Status", "Done", "Failed", "Points", "Batched", "Age"],
+        ["Run", "Status", "Done", "Failed", "Points", "Batched",
+         "Workers", "Age"],
     )
     for state in states:
         batch = state.batch or {}
@@ -495,6 +523,7 @@ def cmd_runs(args) -> int:
             len(state.failed),
             len(state.unique_keys),
             f"{batched} in {groups}" if batched else "-",
+            len(state.workers) or "-",
             _age_label(state.age_seconds()),
         )
     print(table.render())
@@ -537,6 +566,177 @@ def cmd_resume(args) -> int:
         print()
         print(engine.stats.render())
     return 0
+
+
+def cmd_serve(args) -> int:
+    from repro.engine.cache import active_cache, use_cache_dir
+    from repro.service.server import serve
+
+    if args.cache_dir is not None:
+        use_cache_dir(args.cache_dir)
+    cache = active_cache()
+    if not cache.enabled:
+        raise ReproError(
+            "the sweep service journals through the persistent cache "
+            "(REPRO_CACHE=off disables it)"
+        )
+    print(
+        f"# sweep service on http://{args.host}:{args.port} "
+        f"(cache {cache.root}, {args.workers} workers/job, "
+        f"queue<={args.max_queue}, quota {args.tenant_quota}/tenant)"
+    )
+    serve(
+        cache.root,
+        host=args.host,
+        port=args.port,
+        verbose=args.verbose,
+        max_queue=args.max_queue,
+        tenant_quota=args.tenant_quota,
+        workers=args.workers,
+        lease_seconds=args.lease,
+    )
+    return 0
+
+
+def cmd_submit(args) -> int:
+    from repro.engine.serialize import config_to_dict
+    from repro.service.client import ServiceClient
+
+    config = power5().with_fxus(args.fxus)
+    if args.btac:
+        config = config.with_btac()
+    variants = args.variants.split(",") if args.variants else ["baseline"]
+    points = [
+        {"app": app, "variant": variant, "config": config_to_dict(config)}
+        for app in args.apps.split(",")
+        for variant in variants
+    ]
+    client = ServiceClient(args.url)
+    job = client.submit(points, tenant=args.tenant, workers=args.workers)
+    print(
+        f"# job {job['job_id']} {job['state']} "
+        f"({len(points)} points, tenant {job['tenant']})"
+    )
+    if not args.wait:
+        return 0
+    final = client.wait(job["job_id"], timeout=args.timeout)
+    print(f"# job {final['job_id']} {final['state']}")
+    for row in client.results(job["job_id"]):
+        print(_porcelain_row(
+            row["app"],
+            row["variant"],
+            row["config_digest"][:12],
+            row["result_digest"][:12],
+        ))
+    return 0 if final["state"] == "complete" else 1
+
+
+def cmd_jobs(args) -> int:
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    if args.action in ("show", "cancel", "results") and not args.job_id:
+        raise ReproError(f"jobs {args.action}: give a job id")
+
+    if args.action == "stats":
+        stats = client.stats()
+        table = Table(f"Sweep service ({args.url})", ["Field", "Value"])
+        for key in ("queue_depth", "queue_peak", "admitted",
+                    "rejected_queue", "rejected_quota", "completed",
+                    "failed", "cancelled", "interrupted"):
+            table.add_row(key, stats.get(key, 0))
+        print(table.render())
+        for tenant, record in sorted(stats.get("tenants", {}).items()):
+            print(
+                f"# tenant {tenant}: "
+                f"admitted={record.get('admitted', 0)} "
+                f"rejected={record.get('rejected', 0)} "
+                f"completed={record.get('completed', 0)}"
+            )
+        return 0
+    if args.action == "cancel":
+        job = client.cancel(args.job_id)
+        print(f"# job {job['job_id']} {job['state']}")
+        return 0
+    if args.action == "show":
+        job = client.job(args.job_id)
+        progress = job.get("progress", {})
+        print(
+            f"# job {job['job_id']} {job['state']} "
+            f"tenant={job['tenant']} points={job['points']} "
+            f"done={progress.get('done', 0)} "
+            f"failed={progress.get('failed', 0)} "
+            f"workers={','.join(progress.get('workers', [])) or '-'}"
+        )
+        return 0
+    if args.action == "results":
+        for row in client.results(args.job_id, wait=args.wait):
+            print(_porcelain_row(
+                row["app"],
+                row["variant"],
+                row["config_digest"],
+                row["result_digest"],
+            ))
+        return 0
+    jobs = client.jobs()
+    if args.porcelain:
+        for job in jobs:
+            print(_porcelain_row(
+                job["job_id"], job["state"], job["tenant"],
+                job["points"], job["workers"],
+            ))
+        return 0
+    if not jobs:
+        print(f"# no jobs at {args.url}")
+        return 0
+    table = Table(
+        f"Sweep service jobs ({args.url})",
+        ["Job", "State", "Tenant", "Points", "Workers"],
+    )
+    for job in jobs:
+        table.add_row(
+            job["job_id"], job["state"], job["tenant"],
+            job["points"], job["workers"],
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_work(args) -> int:
+    from repro.engine.cache import active_cache, use_cache_dir
+    from repro.service.worker import drain_run
+
+    if args.cache_dir is not None:
+        use_cache_dir(args.cache_dir)
+    cache = active_cache()
+    if not cache.enabled:
+        raise ReproError(
+            "workers journal through the persistent cache "
+            "(REPRO_CACHE=off disables it)"
+        )
+    report = drain_run(
+        cache.root,
+        args.run_id,
+        worker_id=args.worker_id,
+        lease_seconds=args.lease,
+        max_points=args.max_points,
+    )
+    # The worker that drains the last point seals the run (a second
+    # footer from a racing worker is identical and harmless).
+    from repro.engine.journal import RunJournal, load_run
+
+    state = load_run(cache.root, args.run_id)
+    if not state.pending_keys() and not state.complete:
+        with RunJournal.attach(cache.root, args.run_id) as run_journal:
+            run_journal.record_complete(len(state.failed))
+    stats = report.stats
+    print(
+        f"# worker {report.worker_id} drained run {report.run_id}: "
+        f"{len(report.completed)} completed, {len(report.failed)} failed "
+        f"(claims={stats.claims}, conflicts={stats.claim_conflicts}, "
+        f"steals={stats.claim_steals}, heartbeats={stats.heartbeats})"
+    )
+    return 1 if report.failed else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -697,7 +897,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_runs.add_argument("--porcelain", action="store_true",
                         help="tab-separated machine-readable listing: "
                              "run, status, done, failed, points, age, "
-                             "batched points")
+                             "batched points, streamed segments, "
+                             "workers (older journals pad zeros)")
     p_runs.set_defaults(func=cmd_runs)
 
     p_resume = sub.add_parser(
@@ -716,6 +917,93 @@ def build_parser() -> argparse.ArgumentParser:
     p_resume.add_argument("--no-telemetry", action="store_true",
                           help="suppress the engine telemetry table")
     p_resume.set_defaults(func=cmd_resume)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="run the sweep-service HTTP front end (submit / status / "
+             "cancel / stream over local JSON)",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642)
+    p_serve.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/repro-power5)")
+    p_serve.add_argument("--workers", type=int, default=2, metavar="N",
+                         help="drain workers per job (default: 2)")
+    p_serve.add_argument("--max-queue", type=int, default=8, metavar="N",
+                         help="bounded run queue depth (default: 8)")
+    p_serve.add_argument("--tenant-quota", type=int, default=4,
+                         metavar="N",
+                         help="max queued+running jobs per tenant "
+                              "(default: 4)")
+    p_serve.add_argument("--lease", type=float, default=30.0,
+                         metavar="SECONDS",
+                         help="point lease duration (default: 30)")
+    p_serve.add_argument("--verbose", action="store_true",
+                         help="log every request")
+    p_serve.set_defaults(func=cmd_serve)
+
+    p_submit = sub.add_parser(
+        "submit", help="submit a sweep to a running service",
+    )
+    p_submit.add_argument("apps", metavar="APP1,APP2,...",
+                          help="comma-separated applications")
+    p_submit.add_argument("--variants", default=None,
+                          metavar="V1,V2,...",
+                          help="comma-separated variants "
+                               "(default: baseline)")
+    p_submit.add_argument("--fxus", type=int, default=2)
+    p_submit.add_argument("--btac", action="store_true")
+    p_submit.add_argument("--tenant", default="default")
+    p_submit.add_argument("--workers", type=int, default=None,
+                          metavar="N",
+                          help="drain workers for this job "
+                               "(default: the service's setting)")
+    p_submit.add_argument("--url", default="http://127.0.0.1:8642")
+    p_submit.add_argument("--wait", action="store_true",
+                          help="block until the job finishes, then print "
+                               "its per-point digests")
+    p_submit.add_argument("--timeout", type=float, default=600.0,
+                          metavar="SECONDS",
+                          help="--wait only: give up after this long")
+    p_submit.set_defaults(func=cmd_submit)
+
+    p_jobs = sub.add_parser(
+        "jobs",
+        help="list / show / cancel / stream sweep-service jobs",
+    )
+    p_jobs.add_argument("action", nargs="?",
+                        choices=["list", "show", "cancel", "results",
+                                 "stats"],
+                        default="list")
+    p_jobs.add_argument("job_id", nargs="?", default=None)
+    p_jobs.add_argument("--url", default="http://127.0.0.1:8642")
+    p_jobs.add_argument("--wait", action="store_true",
+                        help="results only: follow the stream until the "
+                             "job finishes")
+    p_jobs.add_argument("--porcelain", action="store_true",
+                        help="list only: tab-separated job, state, "
+                             "tenant, points, workers")
+    p_jobs.set_defaults(func=cmd_jobs)
+
+    p_work = sub.add_parser(
+        "work",
+        help="drain one journaled run as a claim-based worker "
+             "(several may share a run)",
+    )
+    p_work.add_argument("run_id", help="run id from 'repro runs'")
+    p_work.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="cache directory holding the journal")
+    p_work.add_argument("--worker-id", default=None, metavar="ID",
+                        help="stable worker identity "
+                             "(default: worker-<pid>)")
+    p_work.add_argument("--lease", type=float, default=30.0,
+                        metavar="SECONDS",
+                        help="point lease duration (default: 30)")
+    p_work.add_argument("--max-points", type=int, default=None,
+                        metavar="N",
+                        help="stop after taking N points")
+    p_work.set_defaults(func=cmd_work)
     return parser
 
 

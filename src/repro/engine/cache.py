@@ -64,6 +64,32 @@ def _is_tmp(path: Path) -> bool:
     return path.name.startswith(".") and ".tmp-" in path.name
 
 
+def _iter_files(root: Path):
+    """Walk the files under ``root``, tolerant of concurrent writers.
+
+    ``Path.rglob`` raises :class:`OSError` if a directory vanishes
+    under the walk (a concurrent ``clear``/``gc``), and its ``is_file``
+    checks race with ``os.replace``. This walker skips whatever
+    vanishes and keeps going — maintenance scans must never fail
+    because another worker is busy.
+    """
+    stack = [root]
+    while stack:
+        directory = stack.pop()
+        try:
+            entries = list(os.scandir(directory))
+        except OSError:
+            continue
+        for entry in entries:
+            try:
+                if entry.is_dir(follow_symlinks=False):
+                    stack.append(Path(entry.path))
+                elif entry.is_file(follow_symlinks=False):
+                    yield Path(entry.path)
+            except OSError:
+                continue
+
+
 def default_cache_dir() -> Path | None:
     """Resolve the cache root from the environment (None = disabled)."""
     if os.environ.get("REPRO_CACHE", "").strip().lower() in _DISABLE_VALUES:
@@ -274,21 +300,20 @@ class PersistentCache:
         """
         traces = results = total_bytes = quarantined = 0
         if self.enabled and self.version_root.exists():
-            for path in self.version_root.rglob("*"):
+            for path in _iter_files(self.version_root):
+                if _is_tmp(path):
+                    continue
                 try:
-                    if not path.is_file() or _is_tmp(path):
-                        continue
                     total_bytes += path.stat().st_size
                 except OSError:
-                    continue
+                    continue  # vanished mid-scan (concurrent os.replace)
                 if path.suffix == ".trace":
                     traces += 1
                 elif path.suffix == ".json":
                     results += 1
         if self.enabled and self.quarantine_root.exists():
             quarantined = sum(
-                1 for path in self.quarantine_root.rglob("*")
-                if path.is_file()
+                1 for _ in _iter_files(self.quarantine_root)
             )
         return {
             "enabled": self.enabled,
@@ -337,12 +362,10 @@ class PersistentCache:
             return report
         now = time.time()
         quarantine_root = self.quarantine_root
-        for path in list(self.root.rglob("*")):
+        for path in list(_iter_files(self.root)):
             if quarantine_root in path.parents:
                 continue
             try:
-                if not path.is_file():
-                    continue
                 if _is_tmp(path):
                     if now - path.stat().st_mtime >= tmp_max_age_seconds:
                         path.unlink()
@@ -350,8 +373,11 @@ class PersistentCache:
                     continue
             except OSError:
                 continue
+            valid = self._entry_is_valid(path)
+            if valid is None:
+                continue  # vanished mid-scan: not an entry, not corrupt
             report["scanned"] += 1
-            if not self._entry_is_valid(path):
+            if not valid:
                 self._quarantine(path)
                 report["quarantined"] += 1
         return report
@@ -369,8 +395,13 @@ class PersistentCache:
             # not fail the simulation that produced the data.
             tmp.unlink(missing_ok=True)
 
-    def _entry_is_valid(self, path: Path) -> bool:
-        """Whether a stored entry deserializes cleanly (for :meth:`gc`)."""
+    def _entry_is_valid(self, path: Path) -> bool | None:
+        """Whether a stored entry deserializes cleanly (for :meth:`gc`).
+
+        ``None`` means the file vanished before it could be judged —
+        a concurrent writer's ``os.replace``/``unlink``, not corruption,
+        so the caller must neither quarantine nor count it.
+        """
         try:
             if path.suffix == ".trace":
                 load_trace_columnar(path)
@@ -380,6 +411,8 @@ class PersistentCache:
                     return False
             return True
         except (ReproError, OSError, ValueError):
+            if not path.exists():
+                return None
             return False
 
     def _quarantine(self, path: Path) -> None:
@@ -426,4 +459,17 @@ def use_cache_dir(root: Path | str | None) -> PersistentCache:
     """Re-point the process-wide cache (None disables persistence)."""
     global _active_cache
     _active_cache = PersistentCache(root)
+    return _active_cache
+
+
+def use_cache(cache: PersistentCache) -> PersistentCache:
+    """Install a specific cache instance process-wide.
+
+    The service layer's :class:`~repro.service.remote.SharedCache` is a
+    ``PersistentCache`` subclass; workers that should read through a
+    remote tier install their instance here so the perf-layer trace
+    store (which persists via :func:`active_cache`) sees it too.
+    """
+    global _active_cache
+    _active_cache = cache
     return _active_cache

@@ -24,14 +24,39 @@ a resume therefore never double-runs a journaled point and never drops
 a completed one. A malformed line *before* the tail marks the journal
 corrupt (something other than an append crash damaged it), which
 ``repro runs`` surfaces instead of silently resuming from bad state.
+
+**Lease records** (the sweep-service work-claiming layer, see
+:mod:`repro.service.claims` and ``docs/service.md``) extend the same
+file so several worker processes can drain one run concurrently:
+
+* ``point_claimed`` — a worker's bid for one point, carrying the
+  worker id, the bid time, and an absolute lease expiry;
+* ``point_heartbeat`` — a lease renewal by the current owner;
+* ``point_released`` — a voluntary give-back (the worker hit an error
+  and wants the point immediately reclaimable);
+* ``worker_stats`` — one worker's claim/steal/heartbeat counters,
+  appended when it finishes draining.
+
+Claim arbitration is **file order**: appends to an ``O_APPEND`` file
+serialize, so every reader replays the records in the same order and
+computes the same owner. A claim wins iff, at its recorded bid time,
+the point had no live lease held by another worker (first-writer wins;
+an expired lease loses to a later bid — that is the crash-recovery
+steal). Heartbeats renew only the current owner's lease; a stale
+heartbeat from a worker that already lost its lease is void. All four
+record types are additive: readers that predate them skip unknown
+records, and the journal schema is unchanged.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
+import threading
 import time
 import uuid
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
 
@@ -51,11 +76,36 @@ RECORD_FAILED = "point_failed"
 RECORD_BATCH = "batch_stats"
 RECORD_STREAM = "stream_stats"
 RECORD_COMPLETE = "run_complete"
+RECORD_CLAIMED = "point_claimed"
+RECORD_HEARTBEAT = "point_heartbeat"
+RECORD_RELEASED = "point_released"
+RECORD_WORKER = "worker_stats"
 
 #: ``RunState.status`` values (also what ``repro runs`` prints).
 STATUS_COMPLETE = "complete"
 STATUS_RESUMABLE = "resumable"
 STATUS_CORRUPT = "corrupt"
+
+
+class JournalWarning(UserWarning):
+    """A journal was damaged or unreadable but listing/pruning went on.
+
+    Emitted (never raised) by :func:`list_runs` and :func:`prune_runs`
+    so batch operations over a runs directory survive one bad file —
+    the corrupt entry is still reported (``repro runs`` renders it as
+    ``corrupt``), it just cannot abort its neighbours.
+    """
+
+
+@dataclass(frozen=True)
+class Lease:
+    """One point's live claim: who owns it and until when."""
+
+    worker: str
+    expires: float
+
+    def live(self, now: float) -> bool:
+        return self.expires > now
 
 
 def runs_root(cache_root: Path | str) -> Path:
@@ -92,6 +142,10 @@ class RunJournal:
         self.path = path
         self.run_id = run_id
         self._handle = handle
+        # A worker's heartbeat thread appends concurrently with its
+        # main loop; one lock keeps each record's write+fsync atomic
+        # within the process (across processes, O_APPEND serializes).
+        self._lock = threading.Lock()
 
     # -- construction ------------------------------------------------------
 
@@ -152,6 +206,19 @@ class RunJournal:
         })
         return journal
 
+    @classmethod
+    def attach(cls, cache_root: Path | str, run_id: str) -> "RunJournal":
+        """Append to an existing journal without any marker record.
+
+        Workers draining a run attach — they are not resuming it, so
+        a ``run_resumed`` marker (which would clear the completion
+        footer) must not be written.
+        """
+        path = journal_path(cache_root, run_id)
+        if not path.exists():
+            raise WorkloadError(f"no journal for run {run_id!r} at {path}")
+        return cls(path, run_id, open(path, "ab"))
+
     # -- records -----------------------------------------------------------
 
     def record_point_done(
@@ -173,6 +240,70 @@ class RunJournal:
             "kind": kind,
             "error_type": error_type,
             "message": message,
+        })
+
+    def record_point_claimed(
+        self,
+        key: tuple[str, str, str],
+        worker: str,
+        lease_seconds: float,
+        now: float | None = None,
+    ) -> float:
+        """Bid for one point; returns the absolute lease expiry.
+
+        Appending is only half the protocol: the bid wins iff a re-read
+        of the journal shows this worker as the owner (file order is
+        the arbiter — see the module docstring and
+        :meth:`RunState.owner_of`).
+        """
+        now = time.time() if now is None else now
+        expires = now + lease_seconds
+        self._append({
+            "record": RECORD_CLAIMED,
+            **_key_fields(key),
+            "worker": worker,
+            "time": now,
+            "expires": expires,
+        })
+        return expires
+
+    def record_point_heartbeat(
+        self,
+        key: tuple[str, str, str],
+        worker: str,
+        lease_seconds: float,
+        now: float | None = None,
+    ) -> float:
+        """Renew a held lease; void if the worker no longer owns it."""
+        now = time.time() if now is None else now
+        expires = now + lease_seconds
+        self._append({
+            "record": RECORD_HEARTBEAT,
+            **_key_fields(key),
+            "worker": worker,
+            "time": now,
+            "expires": expires,
+        })
+        return expires
+
+    def record_point_released(
+        self, key: tuple[str, str, str], worker: str
+    ) -> None:
+        """Voluntarily give a claim back (immediate reclaim, no expiry)."""
+        self._append({
+            "record": RECORD_RELEASED,
+            **_key_fields(key),
+            "worker": worker,
+            "time": time.time(),
+        })
+
+    def record_worker_stats(self, worker: str, stats: dict) -> None:
+        """One worker's drain counters (additive record, schema unchanged)."""
+        self._append({
+            "record": RECORD_WORKER,
+            "run_id": self.run_id,
+            "worker": worker,
+            **{key: int(value) for key, value in stats.items()},
         })
 
     def record_batch_stats(self, stats: dict) -> None:
@@ -227,9 +358,12 @@ class RunJournal:
 
     def _append(self, payload: dict) -> None:
         line = json.dumps(payload, sort_keys=True, separators=(",", ":"))
-        self._handle.write(line.encode("utf-8") + b"\n")
-        self._handle.flush()
-        os.fsync(self._handle.fileno())
+        if self._handle is None:
+            raise WorkloadError(f"journal for run {self.run_id!r} is closed")
+        with self._lock:
+            self._handle.write(line.encode("utf-8") + b"\n")
+            self._handle.flush()
+            os.fsync(self._handle.fileno())
 
 
 @dataclass
@@ -260,10 +394,22 @@ class RunState:
     #: Streaming counters from the last ``stream_stats`` record
     #: (``None`` when the run never streamed / predates streaming).
     stream: dict | None = None
+    #: Live/last lease per claimed point (dropped on ``point_done``).
+    claims: dict[tuple[str, str, str], Lease] = field(default_factory=dict)
+    #: Per-worker drain counters from ``worker_stats`` records.
+    workers: dict[str, dict] = field(default_factory=dict)
+    #: Claim bids that lost the file-order race (void records).
+    claim_conflicts: int = 0
+    #: Claims that took over an expired lease (crash-recovery steals).
+    lease_steals: int = 0
     #: 1 if the final line was truncated mid-record (crash signature).
     torn_tail: int = 0
     #: Set when a record *before* the tail failed to parse.
     corrupt: str | None = None
+    #: The header's schema when it is newer than this reader supports
+    #: (0 otherwise). Such journals read as corrupt but are *never*
+    #: pruned — they belong to a newer build, not to the bit bucket.
+    newer_schema: int = 0
 
     @property
     def status(self) -> str:
@@ -279,11 +425,56 @@ class RunState:
 
     @property
     def unique_keys(self) -> list[tuple[str, str, str]]:
-        """Deduplicated point keys, in first-seen order."""
+        """Deduplicated point keys, in first-seen order.
+
+        Tolerant of a config payload that no longer round-trips (a
+        journal written by a different config schema): such a point
+        gets a deterministic fallback digest derived from the raw
+        payload, so listing a damaged journal still counts its points
+        instead of crashing ``repro runs``.
+        """
         seen: dict[tuple[str, str, str], None] = {}
         for app, variant, config in self.points:
-            seen.setdefault((app, variant, config_digest_of(config)), None)
+            try:
+                digest = config_digest_of(config)
+            except Exception:
+                raw = json.dumps(
+                    config, sort_keys=True, separators=(",", ":"),
+                    default=str,
+                )
+                digest = "raw-" + hashlib.sha256(
+                    raw.encode("utf-8")
+                ).hexdigest()
+            seen.setdefault((app, variant, digest), None)
         return list(seen)
+
+    def pending_keys(self) -> list[tuple[str, str, str]]:
+        """Unique keys not yet done and not recorded as failed."""
+        return [
+            key for key in self.unique_keys
+            if key not in self.done and key not in self.failed
+        ]
+
+    def owner_of(
+        self, key: tuple[str, str, str], now: float | None = None
+    ) -> str | None:
+        """The worker holding a live lease on ``key`` (None if free)."""
+        lease = self.claims.get(key)
+        if lease is None:
+            return None
+        if not lease.live(time.time() if now is None else now):
+            return None
+        return lease.worker
+
+    def claimable_keys(
+        self, now: float | None = None
+    ) -> list[tuple[str, str, str]]:
+        """Pending keys with no live lease, in sweep order."""
+        now = time.time() if now is None else now
+        return [
+            key for key in self.pending_keys()
+            if self.owner_of(key, now) is None
+        ]
 
     def reconstruct_points(self) -> list[tuple[str, str, object]]:
         """The journaled sweep as live ``(app, variant, CoreConfig)``."""
@@ -348,7 +539,16 @@ def load_journal(path: Path | str) -> RunState:
                 state.corrupt = f"malformed record on line {index + 1}"
                 break
             continue
-        _apply_record(state, payload, index)
+        try:
+            _apply_record(state, payload, index)
+        except Exception as error:
+            # A structurally-valid JSON line whose payload violates the
+            # record shape (wrong field types, a newer writer's layout):
+            # corrupt, never an exception out of a listing loop.
+            state.corrupt = (
+                f"malformed {payload.get('record')} record on line "
+                f"{index + 1}: {type(error).__name__}"
+            )
         if state.corrupt is not None:
             break
     return state
@@ -359,6 +559,7 @@ def _apply_record(state: RunState, payload: dict, index: int) -> None:
     if kind == RECORD_START:
         schema = int(payload.get("schema", 0))
         if schema > JOURNAL_SCHEMA:
+            state.newer_schema = schema
             state.corrupt = (
                 f"journal schema {schema} is newer than supported "
                 f"{JOURNAL_SCHEMA}"
@@ -388,6 +589,7 @@ def _apply_record(state: RunState, payload: dict, index: int) -> None:
             state.corrupt = f"malformed point_done on line {index + 1}"
             return
         state.failed.pop(key, None)
+        state.claims.pop(key, None)
     elif kind == RECORD_FAILED:
         try:
             key = (
@@ -399,6 +601,51 @@ def _apply_record(state: RunState, payload: dict, index: int) -> None:
             return
         if key not in state.done:
             state.failed[key] = str(payload.get("kind", "unknown"))
+    elif kind == RECORD_CLAIMED:
+        key = (
+            str(payload["app"]), str(payload["variant"]),
+            str(payload["config_digest"]),
+        )
+        if key in state.done:
+            return  # bid on an already-finished point: void
+        worker = str(payload["worker"])
+        bid_time = float(payload["time"])
+        expires = float(payload["expires"])
+        lease = state.claims.get(key)
+        if lease is None or lease.worker == worker:
+            state.claims[key] = Lease(worker, expires)
+        elif not lease.live(bid_time):
+            # Expired lease loses to a later bid: crash-recovery steal.
+            state.claims[key] = Lease(worker, expires)
+            state.lease_steals += 1
+        else:
+            state.claim_conflicts += 1
+    elif kind == RECORD_HEARTBEAT:
+        key = (
+            str(payload["app"]), str(payload["variant"]),
+            str(payload["config_digest"]),
+        )
+        worker = str(payload["worker"])
+        lease = state.claims.get(key)
+        # Only the current owner renews; a stale heartbeat from a
+        # worker that already lost the lease is void.
+        if lease is not None and lease.worker == worker:
+            state.claims[key] = Lease(worker, float(payload["expires"]))
+    elif kind == RECORD_RELEASED:
+        key = (
+            str(payload["app"]), str(payload["variant"]),
+            str(payload["config_digest"]),
+        )
+        lease = state.claims.get(key)
+        if lease is not None and lease.worker == str(payload["worker"]):
+            del state.claims[key]
+    elif kind == RECORD_WORKER:
+        worker = str(payload["worker"])
+        state.workers[worker] = {
+            key: int(value)
+            for key, value in payload.items()
+            if key not in ("record", "run_id", "worker")
+        }
     elif kind == RECORD_BATCH:
         state.batch = {
             key: int(value)
@@ -445,6 +692,12 @@ def list_runs(cache_root: Path | str) -> list[RunState]:
     states = [
         load_journal(path) for path in sorted(root.glob("*.jsonl"))
     ]
+    for state in states:
+        if state.corrupt is not None:
+            warnings.warn(
+                f"run {state.run_id!r}: {state.corrupt}", JournalWarning,
+                stacklevel=2,
+            )
     states.sort(key=lambda state: (state.created, state.run_id), reverse=True)
     return states
 
@@ -465,6 +718,15 @@ def prune_runs(
     removed = 0
     now = time.time()
     for state in list_runs(cache_root):
+        if state.newer_schema:
+            # A newer build's journal reads as corrupt here, but it is
+            # not garbage — never delete another version's run record.
+            warnings.warn(
+                f"run {state.run_id!r}: schema {state.newer_schema} is "
+                f"newer than supported {JOURNAL_SCHEMA}; not pruning",
+                JournalWarning, stacklevel=2,
+            )
+            continue
         if state.status == STATUS_RESUMABLE and not include_resumable:
             continue
         if state.age_seconds(now) < max_age_seconds:

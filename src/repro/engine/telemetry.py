@@ -121,6 +121,18 @@ class EngineStats:
     stream_handoffs: int = 0
     #: Largest single in-flight segment (packed column bytes).
     stream_peak_segment_bytes: int = 0
+    #: Sweep service (``repro.service``): confirmed lease claims this
+    #: worker/aggregation won.
+    claims: int = 0
+    #: Claim bids that lost the file-order race to another worker.
+    claim_conflicts: int = 0
+    #: Claims that took over another worker's expired lease
+    #: (crash-recovery steals).
+    claim_steals: int = 0
+    #: Lease renewals appended while points simulated.
+    heartbeats: int = 0
+    #: Completions suppressed because ownership was lost mid-compute.
+    lost_leases: int = 0
 
     def record(self, point: PointRecord) -> None:
         self.points.append(point)
@@ -155,6 +167,11 @@ class EngineStats:
         self.stream_peak_segment_bytes = max(
             self.stream_peak_segment_bytes, other.stream_peak_segment_bytes
         )
+        self.claims += other.claims
+        self.claim_conflicts += other.claim_conflicts
+        self.claim_steals += other.claim_steals
+        self.heartbeats += other.heartbeats
+        self.lost_leases += other.lost_leases
         for message in other.notes:
             self.note(message)
 
@@ -192,9 +209,17 @@ class EngineStats:
         """Points simulated inside batched groups (vectorized + fallback)."""
         return sum(self.batch_sizes)
 
+    def merge_service(self, service: dict) -> None:
+        """Fold a worker's journaled ``worker_stats`` counters into this."""
+        self.claims += service.get("claims", 0)
+        self.claim_conflicts += service.get("claim_conflicts", 0)
+        self.claim_steals += service.get("claim_steals", 0)
+        self.heartbeats += service.get("heartbeats", 0)
+        self.lost_leases += service.get("lost_leases", 0)
+
     def to_dict(self) -> dict:
         return {
-            "schema": 5,
+            "schema": 6,
             "jobs": self.jobs,
             "points": [point.to_dict() for point in self.points],
             "failures": [failure.to_dict() for failure in self.failures],
@@ -219,6 +244,13 @@ class EngineStats:
                 "queue_peak": self.stream_queue_peak,
                 "handoffs": self.stream_handoffs,
                 "peak_segment_bytes": self.stream_peak_segment_bytes,
+            },
+            "service": {
+                "claims": self.claims,
+                "claim_conflicts": self.claim_conflicts,
+                "claim_steals": self.claim_steals,
+                "heartbeats": self.heartbeats,
+                "lost_leases": self.lost_leases,
             },
             "totals": {
                 "points": len(self.points),
@@ -285,6 +317,20 @@ class EngineStats:
                 f"{self.stream_peak_segment_bytes / 1024:.1f}",
             )
             blocks.append(stream.render())
+        if self.claims or self.claim_conflicts or self.claim_steals:
+            service = Table(
+                "Sweep service",
+                ["Claims", "Conflicts", "Steals", "Heartbeats",
+                 "Lost leases"],
+            )
+            service.add_row(
+                self.claims,
+                self.claim_conflicts,
+                self.claim_steals,
+                self.heartbeats,
+                self.lost_leases,
+            )
+            blocks.append(service.render())
         if self.notes:
             blocks.append(
                 "\n".join(f"note: {message}" for message in self.notes)

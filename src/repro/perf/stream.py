@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import os
 import queue
+import sys
 import threading
 from dataclasses import dataclass, field
 
@@ -46,6 +47,12 @@ DEFAULT_SEGMENT_EVENTS = 65_536
 #: Default producer/consumer queue depth: one segment being consumed,
 #: up to two queued, one being produced.
 DEFAULT_QUEUE_DEPTH = 2
+
+#: How long an abandoned pipeline waits for its producer thread to die
+#: before declaring it wedged. The producer only ever blocks in 0.1 s
+#: put timeouts, so anything near this bound means a stuck source
+#: iterator, which must surface as an error rather than a silent hang.
+JOIN_TIMEOUT_SECONDS = 30.0
 
 
 def resolve_stream(stream: bool | None = None) -> bool:
@@ -182,6 +189,21 @@ def pipelined(
     local.streams += 1
     channel: queue.Queue = queue.Queue(maxsize=depth)
     abandoned = threading.Event()
+    #: The producer's terminal exception, visible to the close path even
+    #: when the consumer never pulls the poison that carries it.
+    failure: list[BaseException] = []
+    delivered = False
+
+    def offer(item) -> bool:
+        """Put that never outlives abandonment (a plain ``put`` can
+        block forever if the consumer left and the drain slot refilled)."""
+        while not abandoned.is_set():
+            try:
+                channel.put(item, timeout=0.1)
+                return True
+            except queue.Full:
+                continue
+        return False
 
     def produce() -> None:
         try:
@@ -190,17 +212,12 @@ def pipelined(
                 local.peak_segment_bytes = max(
                     local.peak_segment_bytes, _segment_bytes(segment)
                 )
-                while not abandoned.is_set():
-                    try:
-                        channel.put(segment, timeout=0.1)
-                        break
-                    except queue.Full:
-                        continue
-                if abandoned.is_set():
+                if not offer(segment):
                     return
-            channel.put(_Poison())
+            offer(_Poison())
         except BaseException as error:  # re-raised on the consumer side
-            channel.put(_Poison(error))
+            failure.append(error)
+            offer(_Poison(error))
 
     producer = threading.Thread(
         target=produce, name="repro-stream-producer", daemon=True
@@ -212,6 +229,7 @@ def pipelined(
             item = channel.get()
             if isinstance(item, _Poison):
                 if item.error is not None:
+                    delivered = True
                     raise item.error
                 break
             local.segments_consumed += 1
@@ -225,5 +243,17 @@ def pipelined(
                 channel.get_nowait()
             except queue.Empty:
                 break
-        producer.join()
+        producer.join(JOIN_TIMEOUT_SECONDS)
         record_stream(local)
+        if producer.is_alive():
+            raise WorkloadError(
+                "stream producer thread failed to stop within "
+                f"{JOIN_TIMEOUT_SECONDS:g}s of abandonment"
+            )
+        # A producer that died *after* abandonment (its source iterator
+        # raised during wind-down) must not fail silently — but never
+        # mask an exception already propagating on the consumer side.
+        if failure and not delivered:
+            pending = sys.exc_info()[0]
+            if pending is None or pending is GeneratorExit:
+                raise failure[0]

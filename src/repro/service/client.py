@@ -1,0 +1,125 @@
+"""The service's Python/CLI client (urllib, stdlib-only).
+
+Thin and honest: every method is one HTTP round trip; errors come back
+as :class:`~repro.errors.ReproError` (or :class:`AdmissionError` for
+429s) carrying the server's JSON ``error`` message, so CLI users see
+the same diagnostics the server logged.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.errors import ReproError
+from repro.service.jobs import AdmissionError
+
+DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+class ServiceClient:
+    """Talk to one ``repro serve`` instance."""
+
+    def __init__(self, base_url: str = DEFAULT_URL,
+                 timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
+        body = None
+        headers = {"Accept": "application/json"}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        request = urllib.request.Request(
+            f"{self.base_url}{path}", data=body, headers=headers,
+            method=method,
+        )
+        try:
+            return urllib.request.urlopen(request, timeout=self.timeout)
+        except urllib.error.HTTPError as error:
+            raise self._to_error(error) from None
+        except urllib.error.URLError as error:
+            raise ReproError(
+                f"cannot reach sweep service at {self.base_url}: "
+                f"{error.reason}"
+            ) from None
+
+    @staticmethod
+    def _to_error(error: urllib.error.HTTPError) -> ReproError:
+        try:
+            payload = json.loads(error.read().decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            payload = {}
+        message = payload.get("error") or f"HTTP {error.code}"
+        if error.code == 429:
+            return AdmissionError(
+                payload.get("reason", "rejected"), message
+            )
+        return ReproError(message)
+
+    def _json(self, method: str, path: str,
+              payload: dict | None = None) -> dict:
+        with self._request(method, path, payload) as response:
+            return json.loads(response.read().decode("utf-8"))
+
+    # -- surface -----------------------------------------------------------
+
+    def ping(self) -> bool:
+        return bool(self._json("GET", "/v1/ping").get("ok"))
+
+    def stats(self) -> dict:
+        return self._json("GET", "/v1/stats")
+
+    def jobs(self) -> list[dict]:
+        return self._json("GET", "/v1/jobs")["jobs"]
+
+    def job(self, job_id: str) -> dict:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def submit(
+        self,
+        points: list[dict],
+        tenant: str = "default",
+        workers: int | None = None,
+    ) -> dict:
+        """Submit ``[{"app", "variant", "config"?}, ...]``; job dict."""
+        payload: dict = {"points": points, "tenant": tenant}
+        if workers is not None:
+            payload["workers"] = workers
+        return self._json("POST", "/v1/jobs", payload)
+
+    def cancel(self, job_id: str) -> dict:
+        return self._json("POST", f"/v1/jobs/{job_id}/cancel", {})
+
+    def results(self, job_id: str, wait: bool = False):
+        """Yield per-point result descriptors (NDJSON stream)."""
+        suffix = "?wait=1" if wait else ""
+        response = self._request(
+            "GET", f"/v1/jobs/{job_id}/results{suffix}"
+        )
+        with response:
+            for line in response:
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+
+    def wait(self, job_id: str, poll_seconds: float = 0.5,
+             timeout: float = 600.0) -> dict:
+        """Poll until the job reaches a final state; the final dict."""
+        import time
+
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] not in ("queued", "running"):
+                return job
+            if time.monotonic() >= deadline:
+                raise ReproError(
+                    f"job {job_id!r} still {job['state']} after "
+                    f"{timeout:g}s"
+                )
+            time.sleep(poll_seconds)

@@ -1,0 +1,394 @@
+"""Async job manager: admission control, bounded queue, tenant quotas.
+
+A *job* is one journaled run plus lifecycle state. Submission is
+durable-at-admission: :meth:`JobManager.submit` writes the run journal
+header before returning, so an accepted job survives a service restart
+(its journal is the work record; any worker can drain it). The manager
+then runs jobs one at a time through a child process that forks the
+drain workers — one running job keeps the admission story simple and
+the box's cores belong to that job's workers.
+
+Admission control is two gates, checked atomically at submit:
+
+* **bounded queue** — at most ``max_queue`` jobs waiting; beyond that
+  submissions are rejected with ``reason="queue_full"`` (HTTP 429
+  upstream) rather than accepted into an unbounded backlog;
+* **per-tenant quota** — at most ``tenant_quota`` queued+running jobs
+  per tenant, so one tenant cannot occupy the whole queue
+  (``reason="tenant_quota"``).
+
+Cancellation: a queued job flips to ``cancelled`` without running; a
+running job's child process gets SIGTERM, which tears down its drain
+workers and exits with the resumable status — every point journaled
+before the cancel is kept, and the run can be drained again later.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.engine.cache import PersistentCache
+from repro.engine.journal import load_run
+from repro.errors import ReproError, SweepInterrupted
+from repro.service.claims import DEFAULT_LEASE_SECONDS
+from repro.service.runner import create_run, execute_run
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+COMPLETE = "complete"
+FAILED = "failed"
+CANCELLED = "cancelled"
+INTERRUPTED = "interrupted"
+
+_FINAL_STATES = (COMPLETE, FAILED, CANCELLED, INTERRUPTED)
+
+DEFAULT_MAX_QUEUE = 8
+DEFAULT_TENANT_QUOTA = 4
+DEFAULT_TENANT = "default"
+
+
+class AdmissionError(ReproError):
+    """A job submission was rejected at the door.
+
+    ``reason`` is machine-readable: ``queue_full`` (the bounded run
+    queue is at capacity) or ``tenant_quota`` (this tenant already has
+    its quota of queued+running jobs).
+    """
+
+    def __init__(self, reason: str, message: str) -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+@dataclass
+class Job:
+    """One submitted run's lifecycle record."""
+
+    job_id: str  # == the run id; the journal is the durable record
+    tenant: str
+    points: int
+    workers: int
+    state: str = QUEUED
+    submitted: float = 0.0
+    started: float = 0.0
+    finished: float = 0.0
+    error: str = ""
+    pid: int = 0
+    cancel_requested: bool = False
+
+    def as_dict(self) -> dict:
+        return {
+            "job_id": self.job_id,
+            "tenant": self.tenant,
+            "points": self.points,
+            "workers": self.workers,
+            "state": self.state,
+            "submitted": self.submitted,
+            "started": self.started,
+            "finished": self.finished,
+            "error": self.error,
+        }
+
+
+def _job_entry(
+    cache_root: str, run_id: str, workers: int, lease_seconds: float
+) -> None:
+    """Child-process entry for one job (module-level: forkable)."""
+    execute_run(
+        cache_root, run_id, workers, lease_seconds, interruptible=True
+    )
+
+
+class JobManager:
+    """The service's job table, queue, and dispatcher."""
+
+    def __init__(
+        self,
+        cache_root: Path | str,
+        max_queue: int = DEFAULT_MAX_QUEUE,
+        tenant_quota: int = DEFAULT_TENANT_QUOTA,
+        workers: int = 2,
+        lease_seconds: float = DEFAULT_LEASE_SECONDS,
+        auto_start: bool = True,
+    ) -> None:
+        self.cache_root = Path(cache_root)
+        self.max_queue = max_queue
+        self.tenant_quota = tenant_quota
+        self.workers = workers
+        self.lease_seconds = lease_seconds
+        self._jobs: dict[str, Job] = {}
+        self._queue: deque[str] = deque()
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stopping = False
+        self._counters = {
+            "admitted": 0,
+            "rejected_queue": 0,
+            "rejected_quota": 0,
+            "queue_peak": 0,
+            "completed": 0,
+            "failed": 0,
+            "cancelled": 0,
+            "interrupted": 0,
+        }
+        self._tenants: dict[str, dict] = {}
+        self._dispatcher: threading.Thread | None = None
+        if auto_start:
+            self.start()
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        if self._dispatcher is not None and self._dispatcher.is_alive():
+            return
+        self._stopping = False
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop,
+            name="repro-job-dispatcher",
+            daemon=True,
+        )
+        self._dispatcher.start()
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop dispatching; SIGTERM the running job, if any."""
+        self._stopping = True
+        self._wake.set()
+        with self._lock:
+            running = [
+                job for job in self._jobs.values()
+                if job.state == RUNNING and job.pid
+            ]
+        for job in running:
+            try:
+                os.kill(job.pid, signal.SIGTERM)
+            except OSError:
+                pass
+        if self._dispatcher is not None:
+            self._dispatcher.join(timeout)
+
+    # -- admission ---------------------------------------------------------
+
+    def _tenant_load(self, tenant: str) -> int:
+        return sum(
+            1 for job in self._jobs.values()
+            if job.tenant == tenant and job.state in (QUEUED, RUNNING)
+        )
+
+    def submit(
+        self,
+        points,
+        tenant: str = DEFAULT_TENANT,
+        workers: int | None = None,
+    ) -> Job:
+        """Admit a run; journals the header before returning.
+
+        Raises :class:`AdmissionError` when a gate rejects. The journal
+        write happens inside the admission lock — an admitted job is
+        durable (its journal exists) by the time the caller sees it.
+        """
+        workers = workers or self.workers
+        with self._lock:
+            record = self._tenants.setdefault(
+                tenant,
+                {"admitted": 0, "rejected": 0, "completed": 0},
+            )
+            if self._tenant_load(tenant) >= self.tenant_quota:
+                self._counters["rejected_quota"] += 1
+                record["rejected"] += 1
+                raise AdmissionError(
+                    "tenant_quota",
+                    f"tenant {tenant!r} already has "
+                    f"{self.tenant_quota} queued or running jobs",
+                )
+            if len(self._queue) >= self.max_queue:
+                self._counters["rejected_queue"] += 1
+                record["rejected"] += 1
+                raise AdmissionError(
+                    "queue_full",
+                    f"run queue is full ({self.max_queue} jobs waiting)",
+                )
+            run_id = create_run(self.cache_root, points, workers)
+            job = Job(
+                job_id=run_id,
+                tenant=tenant,
+                points=len(points),
+                workers=workers,
+                submitted=time.time(),
+            )
+            self._jobs[run_id] = job
+            self._queue.append(run_id)
+            self._counters["admitted"] += 1
+            self._counters["queue_peak"] = max(
+                self._counters["queue_peak"], len(self._queue)
+            )
+            record["admitted"] += 1
+        self._wake.set()
+        return job
+
+    # -- dispatch ----------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._stopping:
+            with self._lock:
+                job_id = self._queue.popleft() if self._queue else None
+            if job_id is None:
+                self._wake.wait(0.2)
+                self._wake.clear()
+                continue
+            self._run_one(job_id)
+
+    def _run_one(self, job_id: str) -> None:
+        job = self._jobs[job_id]
+        with self._lock:
+            if job.cancel_requested:
+                job.state = CANCELLED
+                job.finished = time.time()
+                self._counters["cancelled"] += 1
+                return
+            job.state = RUNNING
+            job.started = time.time()
+        context = multiprocessing.get_context("fork")
+        process = context.Process(
+            target=_job_entry,
+            args=(str(self.cache_root), job_id, job.workers,
+                  self.lease_seconds),
+            name=f"repro-job-{job_id}",
+        )
+        process.start()
+        with self._lock:
+            job.pid = process.pid or 0
+        process.join()
+        with self._lock:
+            job.finished = time.time()
+            job.pid = 0
+            code = process.exitcode
+            if job.cancel_requested:
+                job.state = CANCELLED
+                self._counters["cancelled"] += 1
+            elif code == 0:
+                job.state = COMPLETE
+                self._counters["completed"] += 1
+                self._tenants[job.tenant]["completed"] += 1
+            elif code == SweepInterrupted.EXIT_STATUS:
+                job.state = INTERRUPTED
+                self._counters["interrupted"] += 1
+            else:
+                job.state = FAILED
+                job.error = f"job process exited with status {code}"
+                self._counters["failed"] += 1
+
+    # -- control -----------------------------------------------------------
+
+    def cancel(self, job_id: str) -> Job:
+        """Cancel a queued or running job (idempotent on final states)."""
+        job = self.job(job_id)
+        with self._lock:
+            if job.state in _FINAL_STATES:
+                return job
+            job.cancel_requested = True
+            if job.state == QUEUED:
+                try:
+                    self._queue.remove(job_id)
+                except ValueError:
+                    pass  # the dispatcher just popped it
+                else:
+                    job.state = CANCELLED
+                    job.finished = time.time()
+                    self._counters["cancelled"] += 1
+                    return job
+            pid = job.pid
+        if pid:
+            try:
+                os.kill(pid, signal.SIGTERM)
+            except OSError:
+                pass
+        return job
+
+    # -- reads -------------------------------------------------------------
+
+    def job(self, job_id: str) -> Job:
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ReproError(f"no job {job_id!r}")
+        return job
+
+    def jobs(self) -> list[Job]:
+        with self._lock:
+            return sorted(
+                self._jobs.values(), key=lambda job: job.submitted
+            )
+
+    def status(self, job_id: str) -> dict:
+        """One job's lifecycle plus live journal progress."""
+        job = self.job(job_id)
+        payload = job.as_dict()
+        state = load_run(self.cache_root, job.job_id)
+        payload["progress"] = {
+            "done": len(state.done),
+            "failed": len(state.failed),
+            "unique_points": len(state.unique_keys),
+            "workers": sorted(state.workers),
+        }
+        return payload
+
+    def results(self, job_id: str) -> list[dict]:
+        """Per-point result descriptors, in journal order."""
+        return list(self.stream_results(job_id, wait=False))
+
+    def stream_results(
+        self, job_id: str, wait: bool = False, poll_seconds: float = 0.2
+    ):
+        """Yield per-point descriptors as they complete (journal order).
+
+        Each item carries the point key and the journaled result
+        digest; the payload itself lives in the content-addressed
+        cache (``repro.service.runner.collect_results`` materialises
+        it). With ``wait`` the generator follows the journal until the
+        job reaches a final state.
+        """
+        job = self.job(job_id)
+        cache = PersistentCache(self.cache_root)
+        emitted: set = set()
+        while True:
+            state = load_run(self.cache_root, job.job_id)
+            for key in state.unique_keys:
+                if key in emitted or key not in state.done:
+                    continue
+                emitted.add(key)
+                app, variant, digest = key
+                yield {
+                    "app": app,
+                    "variant": variant,
+                    "config_digest": digest,
+                    "result_digest": state.done[key],
+                    "cached": cache.load_result_payload(
+                        app, variant, digest
+                    ) is not None,
+                }
+            if not wait or job.state in _FINAL_STATES:
+                return
+            time.sleep(poll_seconds)
+
+    def stats(self) -> dict:
+        """Queue and admission telemetry (the schema 6 service block)."""
+        with self._lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.state] = states.get(job.state, 0) + 1
+            return {
+                "queue_depth": len(self._queue),
+                **dict(self._counters),
+                "states": states,
+                "tenants": {
+                    tenant: dict(record)
+                    for tenant, record in sorted(self._tenants.items())
+                },
+            }

@@ -1,0 +1,220 @@
+"""Shared cache tier: read-through/write-behind over a transport.
+
+Workers on *different* cache roots (different machines, containers,
+CI runners) converge through a remote tier layered over the
+digest-addressed :class:`~repro.engine.cache.PersistentCache`:
+
+* **read-through** — a local miss consults the remote before falling
+  back to simulation; a fetched entry lands atomically (temp +
+  ``os.replace``) so it is indistinguishable from a locally-written
+  one, and every subsequent read is local;
+* **write-behind** — every locally-committed entry is pushed to the
+  remote off the hot path by a background thread (:meth:`flush` joins
+  the queue; disable with ``write_behind=False`` for synchronous
+  pushes).
+
+Entries are content-addressed (digests in the file names, verified by
+the readers above this layer), so replication needs no coherence
+protocol: the same path always holds the same bytes, last-push-wins is
+a no-op, and a torn remote copy is caught by the normal
+corruption-evict path on read.
+
+The transport is pluggable. :class:`FilesystemTransport` — any shared
+path: NFS mount, bind-mounted volume, plain directory in tests — is
+the first implementation; anything with ``fetch``/``push``/``exists``
+slots in (an object-store client, an HTTP artifact cache).
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import shutil
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.engine.cache import PersistentCache
+
+
+@dataclass
+class RemoteCounters:
+    """Process-local remote-tier accounting (joins ``stats()``)."""
+
+    remote_hits: int = 0
+    remote_misses: int = 0
+    pushes: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "remote_hits": self.remote_hits,
+            "remote_misses": self.remote_misses,
+            "pushes": self.pushes,
+        }
+
+
+class FilesystemTransport:
+    """A remote that is just a path (shared mount, test directory)."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+
+    def exists(self, relpath: str) -> bool:
+        return (self.root / relpath).exists()
+
+    def fetch(self, relpath: str, destination: Path) -> bool:
+        """Copy a remote entry to ``destination`` atomically; hit?"""
+        source = self.root / relpath
+        if not source.exists():
+            return False
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        tmp = destination.with_name(
+            f".{destination.name}.tmp-{os.getpid()}"
+        )
+        try:
+            shutil.copyfile(source, tmp)
+            os.replace(tmp, destination)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            return False
+        return True
+
+    def push(self, source: Path, relpath: str) -> None:
+        """Publish a local entry to the remote atomically."""
+        destination = self.root / relpath
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        tmp = destination.with_name(
+            f".{destination.name}.tmp-{os.getpid()}"
+        )
+        try:
+            shutil.copyfile(source, tmp)
+            os.replace(tmp, destination)
+        except OSError:
+            # Pushes are best-effort, exactly like local cache writes:
+            # a full remote must not fail the simulation.
+            tmp.unlink(missing_ok=True)
+
+
+class SharedCache(PersistentCache):
+    """A :class:`PersistentCache` backed by a remote tier.
+
+    Drop-in for the plain cache (``use_cache_dir`` accepts either a
+    path or, via :func:`repro.engine.cache.use_cache`, an instance):
+    reads fall through local -> remote -> miss; writes commit locally
+    first (the worker's correctness never depends on the remote), then
+    replicate.
+    """
+
+    def __init__(
+        self,
+        root: Path | str | None,
+        transport,
+        write_behind: bool = True,
+    ) -> None:
+        super().__init__(root)
+        self.transport = transport
+        self.remote = RemoteCounters()
+        self._queue: queue.Queue | None = (
+            queue.Queue() if write_behind else None
+        )
+        self._pusher: threading.Thread | None = None
+        self._pusher_lock = threading.Lock()
+
+    # -- read-through ------------------------------------------------------
+
+    def _ensure_local(self, path: Path) -> None:
+        if path.exists():
+            return
+        try:
+            relpath = str(path.relative_to(self.root))
+        except ValueError:
+            return
+        if self.transport.fetch(relpath, path):
+            self.remote.remote_hits += 1
+        else:
+            self.remote.remote_misses += 1
+
+    def load_trace(self, app: str, variant: str):
+        if self.enabled:
+            self._ensure_local(self.trace_path(app, variant))
+        return super().load_trace(app, variant)
+
+    def load_trace_segments(self, app: str, variant: str):
+        if self.enabled:
+            self._ensure_local(self.trace_path(app, variant))
+        return super().load_trace_segments(app, variant)
+
+    def load_result_payload(
+        self, app: str, variant: str, config_digest: str
+    ):
+        if self.enabled:
+            self._ensure_local(
+                self.result_path(app, variant, config_digest)
+            )
+        return super().load_result_payload(app, variant, config_digest)
+
+    # -- write-behind ------------------------------------------------------
+
+    def _atomic_write(self, path: Path, write) -> None:
+        super()._atomic_write(path, write)
+        if path.exists():  # the local commit may have been best-effort
+            self._push(path)
+
+    def _push(self, path: Path) -> None:
+        try:
+            relpath = str(path.relative_to(self.root))
+        except ValueError:
+            return
+        if self._queue is None:
+            self.transport.push(path, relpath)
+            self.remote.pushes += 1
+            return
+        self._start_pusher()
+        self._queue.put((path, relpath))
+
+    def _start_pusher(self) -> None:
+        with self._pusher_lock:
+            if self._pusher is not None and self._pusher.is_alive():
+                return
+            self._pusher = threading.Thread(
+                target=self._push_loop,
+                name="repro-cache-pusher",
+                daemon=True,
+            )
+            self._pusher.start()
+
+    def _push_loop(self) -> None:
+        assert self._queue is not None
+        while True:
+            item = self._queue.get()
+            try:
+                if item is None:
+                    return
+                path, relpath = item
+                self.transport.push(path, relpath)
+                self.remote.pushes += 1
+            finally:
+                self._queue.task_done()
+
+    def flush(self) -> None:
+        """Block until every queued push has replicated."""
+        if self._queue is not None:
+            self._queue.join()
+
+    def close(self) -> None:
+        """Flush, then stop the pusher thread."""
+        if self._queue is None:
+            return
+        self.flush()
+        with self._pusher_lock:
+            pusher, self._pusher = self._pusher, None
+        if pusher is not None and pusher.is_alive():
+            self._queue.put(None)
+            pusher.join()
+
+    # -- observability -----------------------------------------------------
+
+    def stats(self) -> dict:
+        report = super().stats()
+        report["remote"] = self.remote.to_dict()
+        return report

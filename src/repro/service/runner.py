@@ -1,0 +1,174 @@
+"""Multi-worker run orchestration: create, execute, collect.
+
+The runner is what turns "a journaled point list" into "N worker
+processes draining it": :func:`create_run` writes the journal header
+(the durable admission record — a run exists the moment its points are
+journaled, whoever ends up draining it), :func:`execute_run` forks the
+workers and writes the completion footer once nothing is pending, and
+:func:`collect_results` re-reads the journal plus the content-addressed
+cache into the same ordered result list a serial
+:meth:`Engine.characterize_many` call would return — re-verifying every
+payload digest against the journal on the way, so a multi-worker run is
+*provably* byte-identical to a single-worker one.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+from pathlib import Path
+
+from repro.engine import serialize
+from repro.engine.cache import PersistentCache
+from repro.engine.digest import result_payload_digest
+from repro.engine.journal import (
+    RunJournal,
+    RunState,
+    config_digest_of,
+    load_run,
+)
+from repro.errors import SweepInterrupted, WorkloadError
+from repro.service.claims import DEFAULT_LEASE_SECONDS
+
+
+def create_run(
+    cache_root: Path | str,
+    points,
+    workers: int = 2,
+    run_id: str | None = None,
+) -> str:
+    """Journal a run header for ``points``; returns the run id.
+
+    ``points`` is the ordered ``(app, variant, CoreConfig)`` request
+    list (duplicates included). Nothing executes — the journal *is* the
+    work queue, and any worker can attach to it afterwards.
+    """
+    journal = RunJournal.create(cache_root, points, jobs=workers,
+                                run_id=run_id)
+    journal.close()
+    return journal.run_id
+
+
+def _drain_entry(
+    cache_root: str,
+    run_id: str,
+    worker_id: str,
+    lease_seconds: float,
+) -> None:
+    """Worker-process entry point (module-level: picklable, forkable)."""
+    from repro.service.worker import drain_run
+
+    # Workers must die on SIGTERM so a cancelled job reclaims them;
+    # never inherit a parent's graceful handler.
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    drain_run(
+        cache_root, run_id,
+        worker_id=worker_id, lease_seconds=lease_seconds,
+    )
+
+
+def execute_run(
+    cache_root: Path | str,
+    run_id: str,
+    workers: int = 2,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    interruptible: bool = False,
+) -> RunState:
+    """Drain a journaled run with ``workers`` processes; final state.
+
+    Forks one process per worker (fork keeps the worker cheap and the
+    entry picklable-free), waits for all of them, and appends the
+    ``run_complete`` footer iff nothing is pending. With
+    ``interruptible`` a SIGTERM tears the workers down and exits with
+    :attr:`SweepInterrupted.EXIT_STATUS` — the journal keeps every
+    completed point, so the run resumes exactly like an interrupted
+    sweep (this is the job manager's cancel path).
+    """
+    if workers < 1:
+        raise WorkloadError(f"need at least one worker, got {workers}")
+    context = multiprocessing.get_context("fork")
+    processes = [
+        context.Process(
+            target=_drain_entry,
+            args=(str(cache_root), run_id, f"worker-{index + 1}",
+                  lease_seconds),
+            name=f"repro-worker-{index + 1}",
+        )
+        for index in range(workers)
+    ]
+    if interruptible:
+        def _stop(signum, frame):
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            # The journal already holds every completed point; exit
+            # with the resumable status, exactly like a sweep SIGTERM.
+            os._exit(SweepInterrupted.EXIT_STATUS)
+        signal.signal(signal.SIGTERM, _stop)
+    for process in processes:
+        process.start()
+    for process in processes:
+        process.join()
+    state = load_run(cache_root, run_id)
+    if not state.pending_keys() and not state.complete:
+        with RunJournal.attach(cache_root, run_id) as journal:
+            journal.record_complete(len(state.failed))
+        state = load_run(cache_root, run_id)
+    return state
+
+
+def run_job(
+    cache_root: Path | str,
+    points,
+    workers: int = 2,
+    lease_seconds: float = DEFAULT_LEASE_SECONDS,
+    run_id: str | None = None,
+) -> RunState:
+    """Create a run and drain it with ``workers`` processes."""
+    run_id = create_run(cache_root, points, workers, run_id=run_id)
+    return execute_run(cache_root, run_id, workers, lease_seconds)
+
+
+def collect_results(cache_root: Path | str, run_id: str):
+    """The run's ordered results, digest-verified against the journal.
+
+    Returns ``list[AppCharacterisation]`` in the journaled request
+    order (duplicates included), loading each payload from the
+    content-addressed cache and re-verifying it against the journaled
+    ``point_done`` digest — the same check :meth:`Engine.resume`
+    applies, so the returned list is byte-identical (as canonical
+    JSON) to what a serial sweep over the same points yields.
+    """
+    state = load_run(cache_root, run_id)
+    if state.corrupt is not None:
+        raise WorkloadError(
+            f"cannot collect run {run_id!r}: {state.corrupt}"
+        )
+    cache = PersistentCache(cache_root)
+    results = []
+    for app, variant, payload in state.points:
+        digest = config_digest_of(payload)
+        key = (app, variant, digest)
+        expected = state.done.get(key)
+        if expected is None:
+            reason = state.failed.get(key, "never completed")
+            raise WorkloadError(
+                f"run {run_id!r} point {app}/{variant}/"
+                f"{digest[:12]} has no result ({reason})"
+            )
+        stored = cache.load_result_payload(app, variant, digest)
+        if stored is None:
+            raise WorkloadError(
+                f"run {run_id!r} point {app}/{variant}/{digest[:12]} "
+                f"journaled done but its cache entry is gone"
+            )
+        actual = result_payload_digest(stored)
+        if actual != expected:
+            raise WorkloadError(
+                f"run {run_id!r} point {app}/{variant}/{digest[:12]} "
+                f"cache payload digest {actual[:12]} != journaled "
+                f"{expected[:12]}"
+            )
+        results.append(serialize.characterisation_from_dict(stored))
+    return results

@@ -1,0 +1,256 @@
+"""The local HTTP/JSON front end: ``repro serve``.
+
+Stdlib-only (``http.server``), bound to localhost by default, threaded
+so a streaming results reader does not block a status poll. The wire
+format is plain JSON; streaming results are NDJSON (one JSON object
+per line), which both ``curl`` and the bundled client parse trivially.
+
+Surface (all under ``/v1``):
+
+=========  ==========================  ========================================
+method     path                        semantics
+=========  ==========================  ========================================
+GET        ``/v1/ping``                liveness: ``{"ok": true}``
+GET        ``/v1/stats``               queue/admission/tenant telemetry
+GET        ``/v1/jobs``                all jobs, oldest first
+POST       ``/v1/jobs``                submit; 201, or 429 with a reason
+GET        ``/v1/jobs/<id>``           lifecycle + journal progress
+POST       ``/v1/jobs/<id>/cancel``    cancel queued/running (idempotent)
+GET        ``/v1/jobs/<id>/results``   NDJSON per-point stream (``?wait=1``
+                                       follows until the job finishes)
+=========  ==========================  ========================================
+
+A submission body is ``{"points": [{"app", "variant", "config"?}...],
+"tenant"?, "workers"?}``; a missing config means the paper's POWER5
+baseline. Unknown apps/variants and malformed bodies are 400s, unknown
+job ids 404s, admission rejections 429s — all with a JSON ``error``
+body carrying a machine-readable ``reason`` where one exists.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from urllib.parse import urlparse
+
+from repro.engine.serialize import config_from_dict
+from repro.errors import ReproError
+from repro.perf.characterize import APP_WORKLOADS, VARIANTS
+from repro.service.jobs import AdmissionError, JobManager
+from repro.uarch.config import power5
+
+DEFAULT_HOST = "127.0.0.1"
+DEFAULT_PORT = 8642
+
+
+class BadRequest(ReproError):
+    """A malformed or semantically invalid request body (HTTP 400)."""
+
+
+def parse_points(raw) -> list:
+    """Validate a submission's point list into live config triples."""
+    if not isinstance(raw, list) or not raw:
+        raise BadRequest("points must be a non-empty list")
+    points = []
+    for index, item in enumerate(raw):
+        if not isinstance(item, dict):
+            raise BadRequest(f"points[{index}] must be an object")
+        app = item.get("app")
+        if app not in APP_WORKLOADS:
+            raise BadRequest(
+                f"points[{index}].app {app!r} unknown; have "
+                f"{sorted(APP_WORKLOADS)}"
+            )
+        variant = item.get("variant", "baseline")
+        if variant not in VARIANTS:
+            raise BadRequest(
+                f"points[{index}].variant {variant!r} unknown; have "
+                f"{list(VARIANTS)}"
+            )
+        payload = item.get("config")
+        if payload is None:
+            config = power5()
+        else:
+            try:
+                config = config_from_dict(payload)
+            except Exception as error:
+                raise BadRequest(
+                    f"points[{index}].config invalid: {error}"
+                ) from None
+        points.append((app, variant, config))
+    return points
+
+
+class ServiceHandler(BaseHTTPRequestHandler):
+    """Routes requests onto the server's :class:`JobManager`."""
+
+    server_version = "repro-sweep-service"
+    protocol_version = "HTTP/1.1"
+
+    @property
+    def manager(self) -> JobManager:
+        return self.server.manager  # type: ignore[attr-defined]
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if getattr(self.server, "verbose", False):
+            super().log_message(format, *args)
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _send_json(self, status: int, payload: dict) -> None:
+        body = json.dumps(payload, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_error_json(
+        self, status: int, message: str, reason: str = ""
+    ) -> None:
+        payload = {"error": message}
+        if reason:
+            payload["reason"] = reason
+        self._send_json(status, payload)
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise BadRequest("request body required")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            raise BadRequest("request body is not valid JSON") from None
+        if not isinstance(payload, dict):
+            raise BadRequest("request body must be a JSON object")
+        return payload
+
+    # -- routing -----------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib name
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["v1", "ping"]:
+                self._send_json(200, {"ok": True})
+            elif parts == ["v1", "stats"]:
+                self._send_json(200, self.manager.stats())
+            elif parts == ["v1", "jobs"]:
+                self._send_json(200, {
+                    "jobs": [job.as_dict() for job in self.manager.jobs()],
+                })
+            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                self._send_json(200, self.manager.status(parts[2]))
+            elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                    and parts[3] == "results"):
+                self._stream_results(parts[2], "wait=1" in (url.query or ""))
+            else:
+                self._send_error_json(404, f"no route {url.path!r}")
+        except BadRequest as error:
+            self._send_error_json(400, str(error))
+        except ReproError as error:
+            self._send_error_json(404, str(error))
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        try:
+            if parts == ["v1", "jobs"]:
+                body = self._read_body()
+                points = parse_points(body.get("points"))
+                tenant = str(body.get("tenant") or "default")
+                workers = body.get("workers")
+                if workers is not None:
+                    workers = int(workers)
+                job = self.manager.submit(
+                    points, tenant=tenant, workers=workers
+                )
+                self._send_json(201, job.as_dict())
+            elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                    and parts[3] == "cancel"):
+                job = self.manager.cancel(parts[2])
+                self._send_json(200, job.as_dict())
+            else:
+                self._send_error_json(404, f"no route {url.path!r}")
+        except BadRequest as error:
+            self._send_error_json(400, str(error))
+        except AdmissionError as error:
+            self._send_error_json(429, str(error), reason=error.reason)
+        except (TypeError, ValueError) as error:
+            self._send_error_json(400, str(error))
+        except ReproError as error:
+            self._send_error_json(404, str(error))
+
+    def _stream_results(self, job_id: str, wait: bool) -> None:
+        stream = self.manager.stream_results(job_id, wait=wait)
+        try:
+            first = next(stream, None)
+        except ReproError as error:
+            self._send_error_json(404, str(error))
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/x-ndjson")
+        # NDJSON streams until the generator ends; no Content-Length.
+        self.send_header("Connection", "close")
+        self.end_headers()
+        if first is not None:
+            for item in _chain_first(first, stream):
+                line = json.dumps(item, sort_keys=True) + "\n"
+                self.wfile.write(line.encode("utf-8"))
+                self.wfile.flush()
+        self.close_connection = True
+
+
+def _chain_first(first, rest):
+    yield first
+    yield from rest
+
+
+class ServiceServer(ThreadingHTTPServer):
+    """A :class:`ThreadingHTTPServer` owning one :class:`JobManager`."""
+
+    daemon_threads = True
+
+    def __init__(self, address, manager: JobManager,
+                 verbose: bool = False) -> None:
+        super().__init__(address, ServiceHandler)
+        self.manager = manager
+        self.verbose = verbose
+
+
+def make_server(
+    cache_root: Path | str,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    verbose: bool = False,
+    **manager_options,
+) -> ServiceServer:
+    """Bind a service (port 0 picks a free port); caller serves/closes."""
+    manager = JobManager(cache_root, **manager_options)
+    return ServiceServer((host, port), manager, verbose=verbose)
+
+
+def serve(
+    cache_root: Path | str,
+    host: str = DEFAULT_HOST,
+    port: int = DEFAULT_PORT,
+    verbose: bool = False,
+    ready: threading.Event | None = None,
+    **manager_options,
+) -> None:
+    """Run the service until interrupted (the ``repro serve`` body)."""
+    server = make_server(
+        cache_root, host, port, verbose=verbose, **manager_options
+    )
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.manager.shutdown()
+        server.server_close()

@@ -343,3 +343,62 @@ class TestSelfHealing:
             if p.is_file()
         )
         assert kept == [b"first corruption", b"second corruption"]
+
+
+class TestConcurrentVanishing:
+    """Satellite fix: maintenance walks tolerate files vanishing under
+    them (a concurrent worker's ``os.replace``/``unlink``) instead of
+    leaking ``FileNotFoundError`` out of ``stats()``/``gc()``."""
+
+    def test_stats_tolerates_file_vanishing_before_stat(
+        self, cache, monkeypatch
+    ):
+        cache.store_result_payload(
+            "fasta", "baseline", config_digest(power5()), {"x": 1}
+        )
+        ghost = cache.version_root / "ghost.json"
+        real_iter = cache_module._iter_files
+
+        def iter_with_ghost(root):
+            yield from real_iter(root)
+            if Path(root) == cache.version_root:
+                yield ghost  # listed by the walk, gone by the stat
+
+        monkeypatch.setattr(cache_module, "_iter_files", iter_with_ghost)
+        stats = cache.stats()
+        assert stats["result_entries"] == 1
+        assert stats["total_bytes"] > 0
+
+    def test_stats_tolerates_unreadable_directory(self, cache):
+        # A root that never existed is just an empty walk.
+        empty = PersistentCache(cache.root / "never-written")
+        stats = empty.stats()
+        assert stats["trace_entries"] == 0
+        assert stats["total_bytes"] == 0
+
+    def test_gc_skips_entry_vanishing_mid_scan(self, cache, monkeypatch):
+        cache.store_result_payload(
+            "fasta", "baseline", config_digest(power5()), {"x": 1}
+        )
+        ghost = cache.version_root / "vanished.json"
+        real_iter = cache_module._iter_files
+
+        def iter_with_ghost(root):
+            yield from real_iter(root)
+            if Path(root) == cache.root:
+                yield ghost
+
+        monkeypatch.setattr(cache_module, "_iter_files", iter_with_ghost)
+        report = cache.gc()
+        # The ghost is neither scanned nor quarantined — it vanished,
+        # it is not corrupt.
+        assert report["scanned"] == 1
+        assert report["quarantined"] == 0
+
+    def test_entry_is_valid_reports_vanished_as_none(self, cache):
+        assert cache._entry_is_valid(
+            cache.version_root / "never-existed.trace"
+        ) is None
+        assert cache._entry_is_valid(
+            cache.version_root / "never-existed.json"
+        ) is None

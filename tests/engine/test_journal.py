@@ -233,3 +233,64 @@ class TestListingAndPruning:
         run_id = make_journal(tmp_path)
         state = load_run(tmp_path, run_id)
         assert 0.0 <= state.age_seconds(time.time()) < 60.0
+
+
+class TestDefensiveListing:
+    """Satellite fix: one damaged journal must not abort ``list_runs``
+    or ``prune_runs`` — the bad entry is reported (as a warning plus a
+    ``corrupt`` row) and its neighbours are processed normally."""
+
+    def test_garbage_schema_value_does_not_abort_listing(self, tmp_path):
+        good = make_journal(tmp_path, run_id="r-good")
+        bad = make_journal(tmp_path, run_id="r-bad")
+        path = journal_path(tmp_path, bad)
+        lines = path.read_bytes().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        header["schema"] = "banana"  # int() raises: structural damage
+        lines[0] = json.dumps(header).encode() + b"\n"
+        path.write_bytes(b"".join(lines))
+        with pytest.warns(journal_module.JournalWarning, match="r-bad"):
+            states = list_runs(tmp_path)
+        by_id = {state.run_id: state for state in states}
+        assert by_id[good].status == STATUS_RESUMABLE
+        assert by_id[bad].status == STATUS_CORRUPT
+        assert "run_start" in by_id[bad].corrupt
+
+    def test_malformed_record_payload_is_corrupt_not_raised(self, tmp_path):
+        run_id = make_journal(tmp_path)
+        path = journal_path(tmp_path, run_id)
+        with open(path, "ab") as handle:
+            # Valid JSON, valid record type, wrong field types — and
+            # padded past the tail so torn-tail tolerance cannot hide it.
+            handle.write(
+                b'{"record":"point_done","app":"blast"}\n'
+            )
+            handle.write(b'{"record":"run_complete","failures":0}\n')
+        state = load_journal(path)
+        assert state.status == STATUS_CORRUPT
+        assert "point_done" in state.corrupt
+
+    def test_newer_schema_journal_is_never_pruned(self, tmp_path):
+        keep = make_journal(
+            tmp_path, done=range(len(POINTS)), complete=True,
+            run_id="r-newer",
+        )
+        path = journal_path(tmp_path, keep)
+        lines = path.read_bytes().splitlines(keepends=True)
+        header = json.loads(lines[0])
+        header["schema"] = journal_module.JOURNAL_SCHEMA + 1
+        lines[0] = json.dumps(header).encode() + b"\n"
+        path.write_bytes(b"".join(lines))
+        drop = make_journal(
+            tmp_path, done=range(len(POINTS)), complete=True,
+            run_id="r-old",
+        )
+        with pytest.warns(journal_module.JournalWarning,
+                          match="not pruning"):
+            removed = prune_runs(
+                tmp_path, max_age_seconds=0.0, include_resumable=True
+            )
+        assert removed == 1
+        remaining = {state.run_id for state in list_runs(tmp_path)}
+        assert keep in remaining
+        assert drop not in remaining

@@ -1,7 +1,7 @@
 """Streaming telemetry: the engine drains pipeline stats into the
-schema-5 ``stream`` block and journals them per sweep, exactly like
-PR 6's ``batch_stats`` — additive counters, max-merged peaks, absent
-when nothing streamed.
+``stream`` block and journals them per sweep, exactly like PR 6's
+``batch_stats`` — additive counters, max-merged peaks, absent when
+nothing streamed.
 """
 
 import pytest
@@ -18,9 +18,9 @@ def _points(fxus=(2, 3)):
 
 
 class TestEngineStatsStreamBlock:
-    def test_schema_5_has_stream_block(self):
+    def test_schema_6_has_stream_block(self):
         payload = EngineStats().to_dict()
-        assert payload["schema"] == 5
+        assert payload["schema"] == 6
         assert payload["stream"] == {
             "streams": 0,
             "segments_produced": 0,

@@ -213,3 +213,61 @@ class TestCharacterizeStreaming:
         monkeypatch.setenv("REPRO_STREAM", "on")
         on = characterize("fasta", "baseline", config)
         assert self._as_dicts(on) == self._as_dicts(off)
+
+
+class TestAbandonedClosePath:
+    """Satellite fix: the pipeline's close path must neither swallow a
+    producer failure the consumer never pulled, nor hang forever on a
+    producer stuck inside its source iterator."""
+
+    def test_producer_error_surfaces_on_close(self):
+        """The producer died after the consumer's last pull; breaking
+        out early must still raise its error, not drop it."""
+        def dies_early():
+            yield 0
+            raise RuntimeError("source exploded")
+
+        stream = pipelined(dies_early())
+        assert next(stream) == 0
+        with pytest.raises(RuntimeError, match="source exploded"):
+            stream.close()
+
+    def test_delivered_error_is_not_raised_twice(self):
+        """An error the consumer already received must not fire again
+        from the close path."""
+        def dies_early():
+            yield 0
+            raise RuntimeError("producer error")
+
+        stream = pipelined(dies_early())
+        assert next(stream) == 0
+        with pytest.raises(RuntimeError, match="producer error"):
+            next(stream)
+        stream.close()  # already delivered: close is clean
+
+    def test_clean_close_raises_nothing(self):
+        stream = pipelined(iter(range(3)))
+        assert next(stream) == 0
+        stream.close()  # no failure, nothing to raise
+
+    def test_wedged_producer_surfaces_as_error(self, monkeypatch):
+        """A source iterator that never returns must turn into a
+        WorkloadError at the join deadline, not a silent hang."""
+        import threading as _threading
+
+        from repro.perf import stream as stream_module
+
+        release = _threading.Event()
+
+        def wedged():
+            yield 0
+            release.wait()  # parked until the test lets it go
+
+        monkeypatch.setattr(stream_module, "JOIN_TIMEOUT_SECONDS", 0.2)
+        stream = stream_module.pipelined(wedged())
+        assert next(stream) == 0
+        try:
+            with pytest.raises(WorkloadError, match="failed to stop"):
+                stream.close()
+        finally:
+            release.set()  # let the daemon thread exit

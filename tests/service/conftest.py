@@ -1,0 +1,18 @@
+"""Service-test isolation: every test here may re-point the process-wide
+cache (``drain_run`` does it on entry, exactly like the scheduler's pool
+workers), so snapshot and restore the singletons around each test.
+"""
+
+import pytest
+
+from repro.engine import cache as cache_module
+from repro.engine import engine as engine_module
+
+
+@pytest.fixture(autouse=True)
+def restore_globals():
+    original_cache = cache_module._active_cache
+    original_engine = engine_module._default_engine
+    yield
+    cache_module._active_cache = original_cache
+    engine_module._default_engine = original_engine

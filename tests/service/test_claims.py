@@ -1,0 +1,247 @@
+"""Lease arbitration: file order decides, expiry reclaims, done seals.
+
+These tests drive the journal's claim records directly (no workers, no
+simulation) so every arbitration rule — first-writer wins, expired
+lease loses to a later bid, heartbeats renew only the owner, release
+frees immediately, ``point_done`` clears the lease — is pinned at the
+record level, including the torn-tail story for lease records.
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.engine.digest import point_key
+from repro.engine.journal import (
+    RunJournal,
+    journal_path,
+    load_run,
+)
+from repro.errors import WorkloadError
+from repro.service.claims import ClaimClient
+from repro.uarch.config import power5
+
+POINTS = [
+    ("blast", "baseline", power5()),
+    ("clustalw", "baseline", power5()),
+    ("fasta", "baseline", power5()),
+    ("hmmer", "baseline", power5()),
+]
+KEYS = [point_key(app, variant, config) for app, variant, config in POINTS]
+
+
+def make_run(root):
+    journal = RunJournal.create(root, POINTS, jobs=2)
+    journal.close()
+    return journal.run_id
+
+
+class TestArbitration:
+    def test_first_bid_wins(self, tmp_path):
+        run_id = make_run(tmp_path)
+        with RunJournal.attach(tmp_path, run_id) as journal:
+            journal.record_point_claimed(KEYS[0], "alice", 30.0)
+            journal.record_point_claimed(KEYS[0], "bob", 30.0)
+        state = load_run(tmp_path, run_id)
+        assert state.owner_of(KEYS[0]) == "alice"
+        assert state.claim_conflicts == 1
+        assert state.lease_steals == 0
+
+    def test_expired_lease_loses_to_later_bid(self, tmp_path):
+        run_id = make_run(tmp_path)
+        now = time.time()
+        with RunJournal.attach(tmp_path, run_id) as journal:
+            journal.record_point_claimed(
+                KEYS[0], "alice", 1.0, now=now - 10.0
+            )
+            journal.record_point_claimed(KEYS[0], "bob", 30.0, now=now)
+        state = load_run(tmp_path, run_id)
+        assert state.owner_of(KEYS[0], now) == "bob"
+        assert state.lease_steals == 1
+        assert state.claim_conflicts == 0
+
+    def test_same_worker_rebid_renews_not_steals(self, tmp_path):
+        run_id = make_run(tmp_path)
+        now = time.time()
+        with RunJournal.attach(tmp_path, run_id) as journal:
+            journal.record_point_claimed(KEYS[0], "alice", 5.0, now=now)
+            journal.record_point_claimed(
+                KEYS[0], "alice", 30.0, now=now + 1.0
+            )
+        state = load_run(tmp_path, run_id)
+        assert state.owner_of(KEYS[0], now + 1.0) == "alice"
+        assert state.lease_steals == 0
+        assert state.claim_conflicts == 0
+
+    def test_heartbeat_renews_only_owner(self, tmp_path):
+        run_id = make_run(tmp_path)
+        now = time.time()
+        with RunJournal.attach(tmp_path, run_id) as journal:
+            journal.record_point_claimed(KEYS[0], "alice", 5.0, now=now)
+            # Bob's heartbeat is void: he never owned the lease.
+            journal.record_point_heartbeat(
+                KEYS[0], "bob", 500.0, now=now
+            )
+            journal.record_point_heartbeat(
+                KEYS[0], "alice", 60.0, now=now + 1.0
+            )
+        state = load_run(tmp_path, run_id)
+        lease = state.claims[KEYS[0]]
+        assert lease.worker == "alice"
+        assert lease.expires == pytest.approx(now + 61.0)
+
+    def test_stale_heartbeat_after_steal_is_void(self, tmp_path):
+        run_id = make_run(tmp_path)
+        now = time.time()
+        with RunJournal.attach(tmp_path, run_id) as journal:
+            journal.record_point_claimed(
+                KEYS[0], "alice", 1.0, now=now - 10.0
+            )
+            journal.record_point_claimed(KEYS[0], "bob", 30.0, now=now)
+            # Alice woke up and heartbeats — but she lost the lease.
+            journal.record_point_heartbeat(
+                KEYS[0], "alice", 500.0, now=now + 1.0
+            )
+        state = load_run(tmp_path, run_id)
+        assert state.owner_of(KEYS[0], now + 2.0) == "bob"
+
+    def test_release_frees_immediately(self, tmp_path):
+        run_id = make_run(tmp_path)
+        with RunJournal.attach(tmp_path, run_id) as journal:
+            journal.record_point_claimed(KEYS[0], "alice", 300.0)
+            journal.record_point_released(KEYS[0], "alice")
+        state = load_run(tmp_path, run_id)
+        assert state.owner_of(KEYS[0]) is None
+        assert KEYS[0] in state.claimable_keys()
+
+    def test_done_clears_lease_and_voids_later_bids(self, tmp_path):
+        run_id = make_run(tmp_path)
+        with RunJournal.attach(tmp_path, run_id) as journal:
+            journal.record_point_claimed(KEYS[0], "alice", 300.0)
+            journal.record_point_done(KEYS[0], "digest-0")
+            journal.record_point_claimed(KEYS[0], "bob", 300.0)
+        state = load_run(tmp_path, run_id)
+        assert KEYS[0] not in state.claims
+        assert KEYS[0] not in state.pending_keys()
+
+    def test_claimable_excludes_done_failed_and_leased(self, tmp_path):
+        run_id = make_run(tmp_path)
+        with RunJournal.attach(tmp_path, run_id) as journal:
+            journal.record_point_done(KEYS[0], "digest-0")
+            journal.record_point_failed(
+                KEYS[1], "exception", "RuntimeError", "injected"
+            )
+            journal.record_point_claimed(KEYS[2], "alice", 300.0)
+        state = load_run(tmp_path, run_id)
+        assert state.claimable_keys() == [KEYS[3]]
+        assert state.pending_keys() == [KEYS[2], KEYS[3]]
+
+
+class TestTornTail:
+    def test_torn_lease_record_is_tolerated(self, tmp_path):
+        """A crash mid-claim-append loses only that bid."""
+        run_id = make_run(tmp_path)
+        with RunJournal.attach(tmp_path, run_id) as journal:
+            journal.record_point_claimed(KEYS[0], "alice", 300.0)
+        path = journal_path(tmp_path, run_id)
+        raw = path.read_bytes()
+        # Re-append a claim record, then tear it at every length.
+        line = json.dumps({
+            "record": "point_claimed", "app": KEYS[1][0],
+            "variant": KEYS[1][1], "config_digest": KEYS[1][2],
+            "worker": "bob", "time": time.time(),
+            "expires": time.time() + 300.0,
+        }).encode("utf-8")
+        for cut in range(1, len(line)):
+            path.write_bytes(raw + line[:cut])
+            state = load_run(tmp_path, run_id)
+            assert state.corrupt is None
+            assert state.torn_tail == 1
+            assert state.owner_of(KEYS[0]) == "alice"
+            assert state.owner_of(KEYS[1]) is None
+
+    def test_garbled_lease_record_before_tail_is_corrupt(self, tmp_path):
+        run_id = make_run(tmp_path)
+        path = journal_path(tmp_path, run_id)
+        bad = json.dumps({
+            "record": "point_claimed", "app": KEYS[0][0],
+            "variant": KEYS[0][1], "config_digest": KEYS[0][2],
+            "worker": "alice", "time": "not-a-time",
+            "expires": 1.0,
+        })
+        with path.open("a") as handle:
+            handle.write(bad + "\n")
+            handle.write(json.dumps({
+                "record": "run_complete", "failures": 0,
+            }) + "\n")
+        state = load_run(tmp_path, run_id)
+        assert state.corrupt is not None
+        assert "point_claimed" in state.corrupt
+
+
+class TestClaimClient:
+    def test_claim_heartbeat_done_round_trip(self, tmp_path):
+        run_id = make_run(tmp_path)
+        with ClaimClient(tmp_path, run_id, "alice", 30.0) as client:
+            assert client.try_claim(KEYS[0]) is True
+            client.heartbeat(KEYS[0])
+            assert client.record_done(KEYS[0], "digest-0") is True
+        state = load_run(tmp_path, run_id)
+        assert state.done[KEYS[0]] == "digest-0"
+        assert state.workers["alice"]["claims"] == 1
+        assert state.workers["alice"]["heartbeats"] == 1
+
+    def test_contended_claim_loses(self, tmp_path):
+        run_id = make_run(tmp_path)
+        alice = ClaimClient(tmp_path, run_id, "alice", 300.0)
+        bob = ClaimClient(tmp_path, run_id, "bob", 300.0)
+        try:
+            assert alice.try_claim(KEYS[0]) is True
+            assert bob.try_claim(KEYS[0]) is False
+            assert bob.stats.claim_conflicts == 1
+            assert bob.try_claim(KEYS[1]) is True
+        finally:
+            alice.finish()
+            bob.finish()
+
+    def test_steal_after_expiry_counts(self, tmp_path):
+        run_id = make_run(tmp_path)
+        alice = ClaimClient(tmp_path, run_id, "alice", 0.05)
+        bob = ClaimClient(tmp_path, run_id, "bob", 300.0)
+        try:
+            assert alice.try_claim(KEYS[0]) is True
+            time.sleep(0.1)  # let the lease lapse
+            assert bob.try_claim(KEYS[0]) is True
+            assert bob.stats.claim_steals == 1
+        finally:
+            alice.finish()
+            bob.finish()
+
+    def test_done_suppressed_after_losing_lease(self, tmp_path):
+        run_id = make_run(tmp_path)
+        alice = ClaimClient(tmp_path, run_id, "alice", 0.05)
+        bob = ClaimClient(tmp_path, run_id, "bob", 300.0)
+        try:
+            assert alice.try_claim(KEYS[0]) is True
+            time.sleep(0.1)
+            assert bob.try_claim(KEYS[0]) is True
+            # Alice finishes her (now stolen) point: must not journal.
+            assert alice.record_done(KEYS[0], "digest-alice") is False
+            assert alice.stats.lost_leases == 1
+            assert bob.record_done(KEYS[0], "digest-bob") is True
+        finally:
+            alice.finish()
+            bob.finish()
+        state = load_run(tmp_path, run_id)
+        assert state.done[KEYS[0]] == "digest-bob"
+        done_records = sum(
+            1 for line in journal_path(tmp_path, run_id)
+            .read_text().splitlines()
+            if json.loads(line).get("record") == "point_done"
+        )
+        assert done_records == 1
+
+    def test_attach_requires_existing_journal(self, tmp_path):
+        with pytest.raises(WorkloadError):
+            ClaimClient(tmp_path, "no-such-run", "alice")

@@ -1,0 +1,115 @@
+"""Job manager: admission gates, durability at submit, lifecycle.
+
+Admission and queue tests run with ``auto_start=False`` so nothing
+actually executes — they pin the gate semantics deterministically.
+One end-to-end lifecycle test pays for a real (tiny) run.
+"""
+
+import time
+
+import pytest
+
+from repro.engine.journal import journal_path, load_run
+from repro.service.jobs import (
+    CANCELLED,
+    COMPLETE,
+    QUEUED,
+    AdmissionError,
+    JobManager,
+)
+from repro.uarch.config import power5
+
+POINT = ("blast", "baseline", power5())
+
+
+def manager(tmp_path, **kwargs):
+    kwargs.setdefault("auto_start", False)
+    return JobManager(tmp_path / "cache", **kwargs)
+
+
+class TestAdmission:
+    def test_submit_is_durable_at_admission(self, tmp_path):
+        jm = manager(tmp_path)
+        job = jm.submit([POINT, POINT])
+        assert job.state == QUEUED
+        # The journal header exists before submit returns: the job
+        # survives a service restart as a drainable run.
+        assert journal_path(jm.cache_root, job.job_id).exists()
+        state = load_run(jm.cache_root, job.job_id)
+        assert state.total_points == 2
+        assert not state.complete
+
+    def test_tenant_quota_rejects(self, tmp_path):
+        jm = manager(tmp_path, tenant_quota=1, max_queue=8)
+        jm.submit([POINT], tenant="alice")
+        with pytest.raises(AdmissionError) as excinfo:
+            jm.submit([POINT], tenant="alice")
+        assert excinfo.value.reason == "tenant_quota"
+        # Another tenant is unaffected.
+        jm.submit([POINT], tenant="bob")
+        stats = jm.stats()
+        assert stats["rejected_quota"] == 1
+        assert stats["tenants"]["alice"]["rejected"] == 1
+        assert stats["tenants"]["bob"]["admitted"] == 1
+
+    def test_queue_bound_rejects(self, tmp_path):
+        jm = manager(tmp_path, max_queue=1, tenant_quota=8)
+        jm.submit([POINT])
+        with pytest.raises(AdmissionError) as excinfo:
+            jm.submit([POINT])
+        assert excinfo.value.reason == "queue_full"
+        assert jm.stats()["rejected_queue"] == 1
+
+    def test_rejected_submission_journals_nothing(self, tmp_path):
+        jm = manager(tmp_path, max_queue=1, tenant_quota=8)
+        jm.submit([POINT])
+        runs_before = sorted(
+            (jm.cache_root / "runs").glob("*.jsonl")
+        )
+        with pytest.raises(AdmissionError):
+            jm.submit([POINT])
+        assert sorted((jm.cache_root / "runs").glob("*.jsonl")) \
+            == runs_before
+
+
+class TestCancel:
+    def test_cancel_queued_job_never_runs(self, tmp_path):
+        jm = manager(tmp_path)
+        job = jm.submit([POINT])
+        cancelled = jm.cancel(job.job_id)
+        assert cancelled.state == CANCELLED
+        assert jm.stats()["queue_depth"] == 0
+        assert jm.stats()["cancelled"] == 1
+        # Cancel is idempotent on final states.
+        assert jm.cancel(job.job_id).state == CANCELLED
+
+    def test_cancel_unknown_job_raises(self, tmp_path):
+        from repro.errors import ReproError
+
+        jm = manager(tmp_path)
+        with pytest.raises(ReproError):
+            jm.cancel("no-such-job")
+
+
+class TestLifecycle:
+    def test_submitted_job_runs_to_complete(self, tmp_path):
+        jm = JobManager(
+            tmp_path / "cache", workers=1, auto_start=True
+        )
+        try:
+            job = jm.submit([POINT])
+            deadline = time.time() + 300.0
+            while job.state in (QUEUED, "running"):
+                assert time.time() < deadline, "job never finished"
+                time.sleep(0.2)
+            assert job.state == COMPLETE
+            status = jm.status(job.job_id)
+            assert status["progress"]["done"] == 1
+            assert status["progress"]["failed"] == 0
+            results = jm.results(job.job_id)
+            assert len(results) == 1
+            assert results[0]["app"] == "blast"
+            assert results[0]["cached"] is True
+            assert jm.stats()["completed"] == 1
+        finally:
+            jm.shutdown()

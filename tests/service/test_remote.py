@@ -1,0 +1,96 @@
+"""Shared cache tier: read-through fetch, write-behind push, counters.
+
+No simulation here — entries are written through the cache API
+directly, so the tests pin the replication semantics (local commit
+first, atomic landings, best-effort remote) without paying for a
+sweep.
+"""
+
+from repro.engine.cache import PersistentCache
+from repro.service.remote import FilesystemTransport, SharedCache
+
+APP, VARIANT = "blast", "baseline"
+DIGEST = "d" * 16
+PAYLOAD = {"app": APP, "variant": VARIANT, "cpi": 1.25}
+
+
+def make_pair(tmp_path, **kwargs):
+    remote = tmp_path / "remote"
+    cache = SharedCache(
+        tmp_path / "local", FilesystemTransport(remote), **kwargs
+    )
+    return cache, remote
+
+
+class TestWriteBehind:
+    def test_store_replicates_to_remote(self, tmp_path):
+        cache, remote = make_pair(tmp_path)
+        cache.store_result_payload(APP, VARIANT, DIGEST, PAYLOAD)
+        cache.close()
+        assert cache.remote.pushes >= 1
+        # A second site on a fresh local root sees the entry.
+        other = SharedCache(
+            tmp_path / "other", FilesystemTransport(remote)
+        )
+        assert other.load_result_payload(APP, VARIANT, DIGEST) == PAYLOAD
+        assert other.remote.remote_hits == 1
+        other.close()
+
+    def test_synchronous_push_without_thread(self, tmp_path):
+        cache, remote = make_pair(tmp_path, write_behind=False)
+        cache.store_result_payload(APP, VARIANT, DIGEST, PAYLOAD)
+        assert cache.remote.pushes >= 1
+        relpath = cache.result_path(APP, VARIANT, DIGEST).relative_to(
+            cache.root
+        )
+        assert (remote / relpath).exists()
+
+    def test_local_read_never_touches_remote(self, tmp_path):
+        cache, _ = make_pair(tmp_path)
+        cache.store_result_payload(APP, VARIANT, DIGEST, PAYLOAD)
+        cache.flush()
+        hits_before = cache.remote.remote_hits
+        assert cache.load_result_payload(APP, VARIANT, DIGEST) == PAYLOAD
+        assert cache.remote.remote_hits == hits_before
+        cache.close()
+
+
+class TestReadThrough:
+    def test_miss_on_both_tiers_counts_remote_miss(self, tmp_path):
+        cache, _ = make_pair(tmp_path)
+        assert cache.load_result_payload(APP, VARIANT, DIGEST) is None
+        assert cache.remote.remote_misses == 1
+        cache.close()
+
+    def test_fetched_entry_becomes_local(self, tmp_path):
+        seed, remote = make_pair(tmp_path)
+        seed.store_result_payload(APP, VARIANT, DIGEST, PAYLOAD)
+        seed.close()
+        reader = SharedCache(
+            tmp_path / "reader", FilesystemTransport(remote)
+        )
+        assert reader.load_result_payload(APP, VARIANT, DIGEST) == PAYLOAD
+        assert reader.result_path(APP, VARIANT, DIGEST).exists()
+        # Second read is local: no further remote traffic.
+        assert reader.load_result_payload(APP, VARIANT, DIGEST) == PAYLOAD
+        assert reader.remote.remote_hits == 1
+        reader.close()
+
+    def test_plain_cache_interops_with_remote_root(self, tmp_path):
+        """The remote is just files: a plain cache pointed there works."""
+        seed, remote = make_pair(tmp_path)
+        seed.store_result_payload(APP, VARIANT, DIGEST, PAYLOAD)
+        seed.close()
+        plain = PersistentCache(remote)
+        assert plain.load_result_payload(APP, VARIANT, DIGEST) == PAYLOAD
+
+
+class TestObservability:
+    def test_stats_gains_remote_block(self, tmp_path):
+        cache, _ = make_pair(tmp_path)
+        cache.store_result_payload(APP, VARIANT, DIGEST, PAYLOAD)
+        cache.flush()
+        report = cache.stats()
+        assert report["remote"]["pushes"] >= 1
+        assert report["result_entries"] == 1
+        cache.close()

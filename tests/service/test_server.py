@@ -1,0 +1,110 @@
+"""HTTP front end on a real (port-0) server, exercised via the client.
+
+Cheap requests dominate: validation 400s, unknown-job 404s, admission
+429s (quota 0 rejects without running anything), ping/stats/jobs reads.
+One submit/wait/stream round trip pays for a single tiny job.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.client import ServiceClient
+from repro.service.jobs import AdmissionError
+from repro.service.server import make_server, parse_points
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server = make_server(tmp_path / "cache", port=0, workers=1)
+    thread = threading.Thread(
+        target=server.serve_forever, name="test-serve", daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[:2]
+    client = ServiceClient(f"http://{host}:{port}", timeout=30.0)
+    yield server, client
+    server.shutdown()
+    server.manager.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+class TestParsePoints:
+    def test_rejects_non_list(self):
+        from repro.service.server import BadRequest
+
+        with pytest.raises(BadRequest):
+            parse_points({"app": "blast"})
+        with pytest.raises(BadRequest):
+            parse_points([])
+
+    def test_rejects_unknown_app_and_variant(self):
+        from repro.service.server import BadRequest
+
+        with pytest.raises(BadRequest, match=r"points\[0\]\.app"):
+            parse_points([{"app": "quake"}])
+        with pytest.raises(BadRequest, match=r"points\[0\]\.variant"):
+            parse_points([{"app": "blast", "variant": "turbo"}])
+
+    def test_defaults_to_power5_baseline(self):
+        from repro.uarch.config import power5
+
+        points = parse_points([{"app": "blast"}])
+        assert points == [("blast", "baseline", power5())]
+
+
+class TestRoutes:
+    def test_ping_and_stats(self, service):
+        _, client = service
+        assert client.ping() is True
+        stats = client.stats()
+        assert stats["queue_depth"] == 0
+        assert stats["admitted"] == 0
+
+    def test_submit_validation_is_http_400(self, service):
+        _, client = service
+        with pytest.raises(ReproError, match="unknown"):
+            client.submit([{"app": "quake"}])
+
+    def test_unknown_job_is_http_404(self, service):
+        _, client = service
+        with pytest.raises(ReproError, match="no job"):
+            client.job("no-such-job")
+        with pytest.raises(ReproError, match="no job"):
+            client.cancel("no-such-job")
+        with pytest.raises(ReproError, match="no job"):
+            list(client.results("no-such-job"))
+
+    def test_unknown_route_is_http_404(self, service):
+        _, client = service
+        with pytest.raises(ReproError, match="no route"):
+            client._json("GET", "/v2/everything")
+
+    def test_admission_rejection_is_http_429(self, service):
+        server, client = service
+        server.manager.tenant_quota = 0
+        try:
+            with pytest.raises(AdmissionError) as excinfo:
+                client.submit([{"app": "blast"}])
+            assert excinfo.value.reason == "tenant_quota"
+        finally:
+            server.manager.tenant_quota = 4
+
+    def test_submit_wait_stream_round_trip(self, service):
+        _, client = service
+        job = client.submit([{"app": "blast"}], tenant="ci")
+        assert job["state"] == "queued"
+        final = client.wait(job["job_id"], timeout=300.0)
+        assert final["state"] == "complete"
+        status = client.job(job["job_id"])
+        assert status["progress"]["done"] == 1
+        rows = list(client.results(job["job_id"]))
+        assert len(rows) == 1
+        assert rows[0]["app"] == "blast"
+        assert rows[0]["result_digest"]
+        assert rows[0]["cached"] is True
+        listed = client.jobs()
+        assert [item["job_id"] for item in listed] == [job["job_id"]]
+        assert client.stats()["tenants"]["ci"]["completed"] == 1

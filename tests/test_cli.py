@@ -242,12 +242,44 @@ class TestRunsCommand:
             ["runs", "--cache-dir", str(root), "--porcelain"]
         ) == 0
         line = capsys.readouterr().out.strip()
-        run, status, done, failed, points, age, batched = line.split("\t")
+        # Stable field order; new fields append at the END so positional
+        # consumers (the CI awk scripts key on $2) keep working.
+        (run, status, done, failed, points, age, batched, streamed,
+         workers) = line.split("\t")
         assert run == run_id
         assert status == "resumable"
         assert (done, failed, points) == ("2", "0", "4")
         assert float(age) >= 0.0
         assert batched == "0"  # never batched: appended field stays 0
+        assert streamed == "0"
+        assert workers == "0"  # no worker_stats records yet
+
+    def test_porcelain_pads_missing_fields(self):
+        from repro.cli import _porcelain_row
+
+        assert _porcelain_row("r", None, 0, "x") == "r\t-\t0\tx"
+
+    def test_corrupt_neighbour_does_not_abort_listing(
+        self, tmp_path, capsys
+    ):
+        """Satellite fix: one damaged journal renders as a ``corrupt``
+        row; its neighbours still list, and no warning leaks to the
+        terminal."""
+        import warnings as _warnings
+
+        root = tmp_path / "cache"
+        good = self.seed_journal(root, done=2, run_id="r-good")
+        bad = (root / "runs" / "r-broken.jsonl")
+        bad.write_bytes(b"{garbage\n{more garbage\n")
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")  # any escape fails the test
+            assert main(
+                ["runs", "--cache-dir", str(root), "--porcelain"]
+            ) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        by_run = {line.split("\t")[0]: line.split("\t") for line in lines}
+        assert by_run[good][1] == "resumable"
+        assert by_run["r-broken"][1] == "corrupt"
 
     def test_empty_listing(self, tmp_path, capsys):
         assert main(["runs", "--cache-dir", str(tmp_path / "cache")]) == 0
@@ -309,5 +341,48 @@ class TestResumeCommand:
         assert main(
             ["resume", "no-such-run",
              "--cache-dir", str(tmp_path / "cache")]
+        ) == 1
+        assert "no journal" in capsys.readouterr().err
+
+
+class TestWorkCommand:
+    @pytest.fixture(autouse=True)
+    def _restore_global_cache(self):
+        from repro.engine import cache as cache_module
+        from repro.engine import engine as engine_module
+
+        original_cache = cache_module._active_cache
+        original_engine = engine_module._default_engine
+        yield
+        cache_module._active_cache = original_cache
+        engine_module._default_engine = original_engine
+
+    def test_work_drains_and_seals_a_run(self, tmp_path, capsys):
+        from repro.service.runner import create_run
+        from repro.uarch.config import power5
+
+        root = tmp_path / "cache"
+        run_id = create_run(
+            root, [("blast", "baseline", power5())], workers=1
+        )
+        assert main(
+            ["work", run_id, "--cache-dir", str(root),
+             "--worker-id", "cli-worker"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "worker cli-worker drained" in out
+        assert "1 completed, 0 failed" in out
+        # The draining worker sealed the run: no longer resumable.
+        assert main(
+            ["runs", "--cache-dir", str(root), "--porcelain"]
+        ) == 0
+        fields = capsys.readouterr().out.strip().split("\t")
+        assert fields[0] == run_id
+        assert fields[1] == "complete"
+        assert fields[8] == "1"  # one worker_stats record
+
+    def test_work_unknown_run_fails(self, tmp_path, capsys):
+        assert main(
+            ["work", "no-such-run", "--cache-dir", str(tmp_path / "c")]
         ) == 1
         assert "no journal" in capsys.readouterr().err
