@@ -580,16 +580,25 @@ def cmd_serve(args) -> int:
             "the sweep service journals through the persistent cache "
             "(REPRO_CACHE=off disables it)"
         )
+    token = args.token
+    if token is None:
+        import os as _os
+
+        from repro.service.remote import ENV_TOKEN
+
+        token = _os.environ.get(ENV_TOKEN) or None
     print(
         f"# sweep service on http://{args.host}:{args.port} "
         f"(cache {cache.root}, {args.workers} workers/job, "
-        f"queue<={args.max_queue}, quota {args.tenant_quota}/tenant)"
+        f"queue<={args.max_queue}, quota {args.tenant_quota}/tenant, "
+        f"auth {'on' if token else 'off'})"
     )
     serve(
         cache.root,
         host=args.host,
         port=args.port,
         verbose=args.verbose,
+        token=token,
         max_queue=args.max_queue,
         tenant_quota=args.tenant_quota,
         workers=args.workers,
@@ -704,7 +713,29 @@ def cmd_jobs(args) -> int:
 
 def cmd_work(args) -> int:
     from repro.engine.cache import active_cache, use_cache_dir
-    from repro.service.worker import drain_run
+    from repro.service.worker import drain_run, drain_run_remote
+
+    if args.url:
+        # Networked worker: claims over the job API, cache entries over
+        # the HTTP transport, resilience layer absorbing the network.
+        report = drain_run_remote(
+            args.url,
+            args.run_id,
+            cache_root=args.cache_dir,
+            worker_id=args.worker_id,
+            lease_seconds=args.lease,
+            max_points=args.max_points,
+            token=args.token,
+        )
+        stats = report.stats
+        print(
+            f"# worker {report.worker_id} drained run {report.run_id} "
+            f"via {args.url}: {len(report.completed)} completed, "
+            f"{len(report.failed)} failed (claims={stats.claims}, "
+            f"heartbeats={stats.heartbeats}, "
+            f"lost_leases={stats.lost_leases})"
+        )
+        return 1 if report.failed else 0
 
     if args.cache_dir is not None:
         use_cache_dir(args.cache_dir)
@@ -939,6 +970,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_serve.add_argument("--lease", type=float, default=30.0,
                          metavar="SECONDS",
                          help="point lease duration (default: 30)")
+    p_serve.add_argument("--token", default=None, metavar="SECRET",
+                         help="require 'Authorization: Bearer SECRET' on "
+                              "every route except /v1/ping (default: "
+                              "REPRO_SERVICE_TOKEN if set)")
     p_serve.add_argument("--verbose", action="store_true",
                          help="log every request")
     p_serve.set_defaults(func=cmd_serve)
@@ -1003,6 +1038,15 @@ def build_parser() -> argparse.ArgumentParser:
     p_work.add_argument("--max-points", type=int, default=None,
                         metavar="N",
                         help="stop after taking N points")
+    p_work.add_argument("--url", default=None, metavar="URL",
+                        help="attach over the network to a 'repro serve' "
+                             "instance instead of a shared directory "
+                             "(claims via the job API, cache entries via "
+                             "HTTP; --cache-dir becomes this worker's "
+                             "local scratch cache)")
+    p_work.add_argument("--token", default=None, metavar="SECRET",
+                        help="bearer token for --url (default: "
+                             "REPRO_SERVICE_TOKEN if set)")
     p_work.set_defaults(func=cmd_work)
     return parser
 

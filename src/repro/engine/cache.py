@@ -58,6 +58,23 @@ from repro.isa.tracestore import (
 
 _DISABLE_VALUES = {"0", "off", "false", "no"}
 
+#: Per-process random disambiguator for atomic-write temp names. The
+#: PID alone is not unique across containers sharing one mount (two
+#: namespaces can both be PID 7), so every writer also carries eight
+#: random hex digits drawn once per process.
+_TMP_RANDOM = os.urandom(4).hex()
+
+
+def tmp_suffix() -> str:
+    """The atomic-write temp suffix for this process.
+
+    Computed per call so the PID stays correct across ``fork()``
+    (forked workers inherit the module but get their own PID); the
+    random component is shared within one machine, where PIDs already
+    disambiguate.
+    """
+    return f".tmp-{os.getpid()}-{_TMP_RANDOM}"
+
 
 def _is_tmp(path: Path) -> bool:
     """Whether ``path`` is an in-flight atomic-write temp file."""
@@ -386,7 +403,7 @@ class PersistentCache:
 
     def _atomic_write(self, path: Path, write) -> None:
         path.parent.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        tmp = path.with_name(f".{path.name}{tmp_suffix()}")
         try:
             write(tmp)
             os.replace(tmp, path)

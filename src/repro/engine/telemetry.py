@@ -133,6 +133,22 @@ class EngineStats:
     heartbeats: int = 0
     #: Completions suppressed because ownership was lost mid-compute.
     lost_leases: int = 0
+    #: Network resilience (``repro.service.resilience``, schema 7):
+    #: remote calls that were retried after a transient failure.
+    net_retries: int = 0
+    #: Times a circuit breaker tripped open.
+    breaker_trips: int = 0
+    #: Total wall time any breaker spent away from ``closed``
+    #: (local-only degraded operation).
+    degraded_seconds: float = 0.0
+    #: Shared-cache remote tier traffic.
+    remote_hits: int = 0
+    remote_misses: int = 0
+    remote_pushes: int = 0
+    #: Pushes still parked for a dead remote when stats were read.
+    queued_pushes: int = 0
+    #: Parked pushes that replicated after the circuit recovered.
+    drained_pushes: int = 0
 
     def record(self, point: PointRecord) -> None:
         self.points.append(point)
@@ -172,6 +188,14 @@ class EngineStats:
         self.claim_steals += other.claim_steals
         self.heartbeats += other.heartbeats
         self.lost_leases += other.lost_leases
+        self.net_retries += other.net_retries
+        self.breaker_trips += other.breaker_trips
+        self.degraded_seconds += other.degraded_seconds
+        self.remote_hits += other.remote_hits
+        self.remote_misses += other.remote_misses
+        self.remote_pushes += other.remote_pushes
+        self.queued_pushes += other.queued_pushes
+        self.drained_pushes += other.drained_pushes
         for message in other.notes:
             self.note(message)
 
@@ -216,10 +240,26 @@ class EngineStats:
         self.claim_steals += service.get("claim_steals", 0)
         self.heartbeats += service.get("heartbeats", 0)
         self.lost_leases += service.get("lost_leases", 0)
+        self.merge_resilience(service)
+
+    def merge_resilience(self, counters: dict) -> None:
+        """Fold a resilience counter payload (networked workers journal
+        one, with ``degraded_ms`` as an integer) into this."""
+        self.net_retries += counters.get("net_retries", 0)
+        self.breaker_trips += counters.get("breaker_trips", 0)
+        if "degraded_ms" in counters:
+            self.degraded_seconds += counters["degraded_ms"] / 1000.0
+        else:
+            self.degraded_seconds += counters.get("degraded_seconds", 0.0)
+        self.remote_hits += counters.get("remote_hits", 0)
+        self.remote_misses += counters.get("remote_misses", 0)
+        self.remote_pushes += counters.get("remote_pushes", 0)
+        self.queued_pushes += counters.get("queued_pushes", 0)
+        self.drained_pushes += counters.get("drained_pushes", 0)
 
     def to_dict(self) -> dict:
         return {
-            "schema": 6,
+            "schema": 7,
             "jobs": self.jobs,
             "points": [point.to_dict() for point in self.points],
             "failures": [failure.to_dict() for failure in self.failures],
@@ -251,6 +291,16 @@ class EngineStats:
                 "claim_steals": self.claim_steals,
                 "heartbeats": self.heartbeats,
                 "lost_leases": self.lost_leases,
+            },
+            "resilience": {
+                "net_retries": self.net_retries,
+                "breaker_trips": self.breaker_trips,
+                "degraded_seconds": self.degraded_seconds,
+                "remote_hits": self.remote_hits,
+                "remote_misses": self.remote_misses,
+                "remote_pushes": self.remote_pushes,
+                "queued_pushes": self.queued_pushes,
+                "drained_pushes": self.drained_pushes,
             },
             "totals": {
                 "points": len(self.points),
@@ -331,6 +381,24 @@ class EngineStats:
                 self.lost_leases,
             )
             blocks.append(service.render())
+        if (self.net_retries or self.breaker_trips or self.remote_hits
+                or self.remote_pushes or self.queued_pushes
+                or self.drained_pushes):
+            resilience = Table(
+                "Resilience",
+                ["Retries", "Breaker trips", "Degraded (s)",
+                 "Remote hits", "Remote pushes", "Queued", "Drained"],
+            )
+            resilience.add_row(
+                self.net_retries,
+                self.breaker_trips,
+                f"{self.degraded_seconds:.2f}",
+                self.remote_hits,
+                self.remote_pushes,
+                self.queued_pushes,
+                self.drained_pushes,
+            )
+            blocks.append(resilience.render())
         if self.notes:
             blocks.append(
                 "\n".join(f"note: {message}" for message in self.notes)

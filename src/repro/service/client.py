@@ -4,48 +4,84 @@ Thin and honest: every method is one HTTP round trip; errors come back
 as :class:`~repro.errors.ReproError` (or :class:`AdmissionError` for
 429s) carrying the server's JSON ``error`` message, so CLI users see
 the same diagnostics the server logged.
+
+Built for unreliable networks: transient failures (connection resets,
+timeouts, HTTP 5xx) ride a :class:`~repro.service.resilience.RetryPolicy`
+— bounded attempts, exponential backoff with deterministic jitter —
+before surfacing. Client errors (4xx) never retry: the request itself
+is wrong, and admission rejections (429) are a scheduling decision,
+not a network fault. With ``token`` set (or ``REPRO_SERVICE_TOKEN`` in
+the environment) every request carries ``Authorization: Bearer``.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import urllib.error
 import urllib.request
 
 from repro.errors import ReproError
 from repro.service.jobs import AdmissionError
+from repro.service.remote import ENV_TOKEN
+from repro.service.resilience import RetryPolicy
 
 DEFAULT_URL = "http://127.0.0.1:8642"
+
+
+def _default_retry() -> RetryPolicy:
+    return RetryPolicy(
+        attempts=4, base_delay=0.1, max_delay=2.0, deadline_seconds=30.0
+    )
 
 
 class ServiceClient:
     """Talk to one ``repro serve`` instance."""
 
     def __init__(self, base_url: str = DEFAULT_URL,
-                 timeout: float = 30.0) -> None:
+                 timeout: float = 30.0,
+                 retry: RetryPolicy | None = None,
+                 token: str | None = None) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retry = retry if retry is not None else _default_retry()
+        self.token = (
+            token if token is not None
+            else os.environ.get(ENV_TOKEN) or None
+        )
 
     # -- plumbing ----------------------------------------------------------
 
-    def _request(self, method: str, path: str, payload: dict | None = None):
+    def _open(self, method: str, path: str, payload: dict | None):
+        """One raw round trip (the seam the retry policy wraps)."""
         body = None
         headers = {"Accept": "application/json"}
         if payload is not None:
             body = json.dumps(payload).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
         request = urllib.request.Request(
             f"{self.base_url}{path}", data=body, headers=headers,
             method=method,
         )
+        return urllib.request.urlopen(request, timeout=self.timeout)
+
+    def _request(self, method: str, path: str, payload: dict | None = None):
         try:
-            return urllib.request.urlopen(request, timeout=self.timeout)
+            return self.retry.call(
+                f"{method} {path}", self._open, method, path, payload
+            )
         except urllib.error.HTTPError as error:
             raise self._to_error(error) from None
         except urllib.error.URLError as error:
             raise ReproError(
                 f"cannot reach sweep service at {self.base_url}: "
                 f"{error.reason}"
+            ) from None
+        except (ConnectionError, TimeoutError, OSError) as error:
+            raise ReproError(
+                f"cannot reach sweep service at {self.base_url}: {error}"
             ) from None
 
     @staticmethod
@@ -109,7 +145,12 @@ class ServiceClient:
 
     def wait(self, job_id: str, poll_seconds: float = 0.5,
              timeout: float = 600.0) -> dict:
-        """Poll until the job reaches a final state; the final dict."""
+        """Poll until the job reaches a final state; the final dict.
+
+        Individual polls ride the retry policy (a mid-wait connection
+        blip is absorbed, not fatal); the overall timeout still bounds
+        the wait and raises naming the job.
+        """
         import time
 
         deadline = time.monotonic() + timeout
@@ -123,3 +164,52 @@ class ServiceClient:
                     f"{timeout:g}s"
                 )
             time.sleep(poll_seconds)
+
+    # -- the networked claim protocol ---------------------------------------
+
+    def run_state(self, run_id: str) -> dict:
+        return self._json("GET", f"/v1/runs/{run_id}")
+
+    def claim(self, run_id: str, worker: str,
+              lease_seconds: float) -> dict:
+        """Bid for the next claimable point; ``{"claimed": ..., "pending"}``.
+
+        ``claimed`` is null when nothing is claimable right now (the
+        worker should poll again until ``pending`` hits zero).
+        """
+        return self._json("POST", f"/v1/runs/{run_id}/claim", {
+            "worker": worker, "lease_seconds": lease_seconds,
+        })
+
+    def heartbeat(self, run_id: str, worker: str,
+                  key: dict, lease_seconds: float) -> dict:
+        return self._json("POST", f"/v1/runs/{run_id}/heartbeat", {
+            "worker": worker, "key": key, "lease_seconds": lease_seconds,
+        })
+
+    def release(self, run_id: str, worker: str, key: dict) -> dict:
+        return self._json("POST", f"/v1/runs/{run_id}/release", {
+            "worker": worker, "key": key,
+        })
+
+    def done(self, run_id: str, worker: str, key: dict,
+             result_digest: str) -> bool:
+        """Journal a completion; False means the lease was lost."""
+        payload = self._json("POST", f"/v1/runs/{run_id}/done", {
+            "worker": worker, "key": key, "result_digest": result_digest,
+        })
+        return bool(payload.get("recorded"))
+
+    def failed(self, run_id: str, worker: str, key: dict,
+               kind: str, error_type: str, message: str) -> dict:
+        return self._json("POST", f"/v1/runs/{run_id}/failed", {
+            "worker": worker, "key": key, "kind": kind,
+            "error_type": error_type, "message": message,
+        })
+
+    def finish_worker(self, run_id: str, worker: str,
+                      stats: dict) -> dict:
+        """Journal this worker's counters; seals the run if drained."""
+        return self._json("POST", f"/v1/runs/{run_id}/finish", {
+            "worker": worker, "stats": stats,
+        })

@@ -19,22 +19,50 @@ protocol: the same path always holds the same bytes, last-push-wins is
 a no-op, and a torn remote copy is caught by the normal
 corruption-evict path on read.
 
-The transport is pluggable. :class:`FilesystemTransport` — any shared
-path: NFS mount, bind-mounted volume, plain directory in tests — is
-the first implementation; anything with ``fetch``/``push``/``exists``
-slots in (an object-store client, an HTTP artifact cache).
+The transport is pluggable:
+
+* :class:`FilesystemTransport` — any shared path: NFS mount,
+  bind-mounted volume, plain directory in tests;
+* :class:`HttpTransport` — the sweep service's digest-addressed
+  ``/v1/cache/<relpath>`` endpoints (GET/PUT/HEAD), content-length
+  checked and digest-verified on both ends, so a torn body is caught
+  on the wire instead of landing.
+
+Every remote call rides the resilience layer
+(:mod:`repro.service.resilience`): transient failures retry with
+deterministic backoff, repeated failure trips a circuit breaker, and
+with the circuit **open the cache degrades gracefully to local-only
+operation** — reads skip the remote (simulation proceeds from local
+state), pushes park in a pending queue, and everything drains once a
+half-open probe finds the remote healthy again. The degradation is
+visible in :meth:`SharedCache.stats` (``remote`` block) and in the
+telemetry ``resilience`` block (schema 7).
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
 import queue
 import shutil
 import threading
+import urllib.error
+import urllib.parse
+import urllib.request
 from dataclasses import dataclass
 from pathlib import Path
 
-from repro.engine.cache import PersistentCache
+from repro.engine.cache import PersistentCache, tmp_suffix
+from repro.errors import ReproError
+from repro.service.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    TransientError,
+)
+
+#: Environment variable holding the shared-secret bearer token for the
+#: HTTP transport and service clients.
+ENV_TOKEN = "REPRO_SERVICE_TOKEN"
 
 
 @dataclass
@@ -44,12 +72,22 @@ class RemoteCounters:
     remote_hits: int = 0
     remote_misses: int = 0
     pushes: int = 0
+    fetch_errors: int = 0
+    push_errors: int = 0
+    degraded_reads: int = 0
+    degraded_pushes: int = 0
+    drained_pushes: int = 0
 
     def to_dict(self) -> dict:
         return {
             "remote_hits": self.remote_hits,
             "remote_misses": self.remote_misses,
             "pushes": self.pushes,
+            "fetch_errors": self.fetch_errors,
+            "push_errors": self.push_errors,
+            "degraded_reads": self.degraded_reads,
+            "degraded_pushes": self.degraded_pushes,
+            "drained_pushes": self.drained_pushes,
         }
 
 
@@ -68,8 +106,10 @@ class FilesystemTransport:
         if not source.exists():
             return False
         destination.parent.mkdir(parents=True, exist_ok=True)
+        # PID + per-process random token: two containers with the same
+        # PID writing through one shared mount must never collide.
         tmp = destination.with_name(
-            f".{destination.name}.tmp-{os.getpid()}"
+            f".{destination.name}{tmp_suffix()}"
         )
         try:
             shutil.copyfile(source, tmp)
@@ -84,7 +124,7 @@ class FilesystemTransport:
         destination = self.root / relpath
         destination.parent.mkdir(parents=True, exist_ok=True)
         tmp = destination.with_name(
-            f".{destination.name}.tmp-{os.getpid()}"
+            f".{destination.name}{tmp_suffix()}"
         )
         try:
             shutil.copyfile(source, tmp)
@@ -95,6 +135,158 @@ class FilesystemTransport:
             tmp.unlink(missing_ok=True)
 
 
+def payload_digest(data: bytes) -> str:
+    """The content digest the HTTP cache endpoints verify."""
+    return hashlib.sha256(data).hexdigest()
+
+
+class HttpTransport:
+    """Digest-addressed cache entries over ``/v1/cache/<relpath>``.
+
+    The service server (:mod:`repro.service.server`) exposes its cache
+    directory as GET/PUT/HEAD on ``/v1/cache/``; this transport is the
+    client half. Integrity is checked on both directions:
+
+    * **fetch** — the response body must match the declared
+      ``Content-Length`` and the ``X-Repro-Digest`` header (a torn or
+      corrupted body raises :class:`TransientError`, which the retry
+      policy re-fetches);
+    * **push** — the request carries the body's SHA-256 in
+      ``X-Repro-Digest``; the server verifies it before the atomic
+      rename, so a torn upload is rejected with 400 instead of landing.
+
+    A genuine remote miss (404) is a clean ``False``; everything
+    network-shaped raises :class:`TransientError` so the resilience
+    layer above can retry or trip the breaker. ``token`` (default: the
+    ``REPRO_SERVICE_TOKEN`` environment variable) is sent as a bearer
+    token when set.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        token: str | None = None,
+        timeout: float = 30.0,
+    ) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.token = (
+            token if token is not None
+            else os.environ.get(ENV_TOKEN) or None
+        )
+        self.timeout = timeout
+
+    # -- plumbing ----------------------------------------------------------
+
+    def _http(
+        self,
+        method: str,
+        relpath: str,
+        body: bytes | None = None,
+        headers: dict | None = None,
+    ) -> tuple[int, dict, bytes]:
+        """One cache-endpoint round trip -> (status, headers, body).
+
+        404 is returned (a miss, not an error); 5xx and anything
+        network-shaped raise :class:`TransientError`; other HTTP errors
+        raise :class:`ReproError` (permanent: bad auth, bad request).
+        This is the single seam the chaos harness wraps.
+        """
+        quoted = urllib.parse.quote(relpath)
+        request = urllib.request.Request(
+            f"{self.base_url}/v1/cache/{quoted}",
+            data=body,
+            headers=self._headers(headers),
+            method=method,
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                data = response.read()
+                return response.status, dict(response.headers), data
+        except urllib.error.HTTPError as error:
+            payload = b""
+            try:
+                payload = error.read()
+            except OSError:
+                pass
+            if error.code == 404:
+                return 404, dict(error.headers), payload
+            if error.code >= 500:
+                raise TransientError(
+                    f"cache {method} {relpath}: HTTP {error.code}"
+                ) from None
+            raise ReproError(
+                f"cache {method} {relpath}: HTTP {error.code} "
+                f"{payload[:200].decode('utf-8', 'replace')}"
+            ) from None
+        except urllib.error.URLError as error:
+            raise TransientError(
+                f"cache {method} {relpath}: {error.reason}"
+            ) from None
+        except (ConnectionError, TimeoutError, OSError) as error:
+            raise TransientError(
+                f"cache {method} {relpath}: {error}"
+            ) from None
+
+    def _headers(self, extra: dict | None) -> dict:
+        headers = {"Accept": "application/octet-stream"}
+        if self.token:
+            headers["Authorization"] = f"Bearer {self.token}"
+        if extra:
+            headers.update(extra)
+        return headers
+
+    # -- the transport surface ---------------------------------------------
+
+    def exists(self, relpath: str) -> bool:
+        status, _, _ = self._http("HEAD", relpath)
+        return status == 200
+
+    def fetch(self, relpath: str, destination: Path) -> bool:
+        status, headers, data = self._http("GET", relpath)
+        if status == 404:
+            return False
+        declared = headers.get("Content-Length")
+        if declared is not None and int(declared) != len(data):
+            raise TransientError(
+                f"cache GET {relpath}: torn body "
+                f"({len(data)} of {declared} bytes)"
+            )
+        expected = headers.get("X-Repro-Digest")
+        if expected and payload_digest(data) != expected:
+            raise TransientError(
+                f"cache GET {relpath}: body digest mismatch"
+            )
+        destination.parent.mkdir(parents=True, exist_ok=True)
+        tmp = destination.with_name(
+            f".{destination.name}{tmp_suffix()}"
+        )
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, destination)
+        except OSError:
+            tmp.unlink(missing_ok=True)
+            return False
+        return True
+
+    def push(self, source: Path, relpath: str) -> None:
+        data = source.read_bytes()
+        status, _, _ = self._http(
+            "PUT",
+            relpath,
+            body=data,
+            headers={
+                "Content-Type": "application/octet-stream",
+                "X-Repro-Digest": payload_digest(data),
+            },
+        )
+        if status not in (200, 201, 204):
+            raise TransientError(
+                f"cache PUT {relpath}: unexpected HTTP {status}"
+            )
+
+
 class SharedCache(PersistentCache):
     """A :class:`PersistentCache` backed by a remote tier.
 
@@ -103,6 +295,13 @@ class SharedCache(PersistentCache):
     reads fall through local -> remote -> miss; writes commit locally
     first (the worker's correctness never depends on the remote), then
     replicate.
+
+    Remote traffic rides ``retry`` (a :class:`RetryPolicy`) inside
+    ``breaker`` (a :class:`CircuitBreaker`). While the breaker is open
+    the cache is **degraded**: reads are local-only, pushes queue in
+    ``_pending``, and simulation proceeds untouched; the first
+    successful call after a half-open probe drains the queue. Nothing
+    is lost — only replication is deferred.
     """
 
     def __init__(
@@ -110,15 +309,129 @@ class SharedCache(PersistentCache):
         root: Path | str | None,
         transport,
         write_behind: bool = True,
+        retry: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
     ) -> None:
         super().__init__(root)
         self.transport = transport
         self.remote = RemoteCounters()
+        self.retry = retry if retry is not None else RetryPolicy(
+            attempts=3, base_delay=0.05, max_delay=1.0,
+            deadline_seconds=30.0,
+        )
+        self.breaker = breaker if breaker is not None else CircuitBreaker(
+            name="shared-cache", reset_timeout=1.0,
+        )
         self._queue: queue.Queue | None = (
             queue.Queue() if write_behind else None
         )
+        self._pending: list[tuple[Path, str]] = []
+        self._pending_lock = threading.Lock()
         self._pusher: threading.Thread | None = None
         self._pusher_lock = threading.Lock()
+
+    # -- resilience plumbing -----------------------------------------------
+
+    def _remote_fetch(self, relpath: str, path: Path) -> bool:
+        """Breaker-guarded, retried fetch; False on miss or degraded."""
+        if not self.breaker.allow():
+            self.remote.degraded_reads += 1
+            return False
+        try:
+            hit = self.retry.call(
+                f"fetch:{relpath}", self.transport.fetch, relpath, path
+            )
+        except Exception:
+            self.breaker.record_failure()
+            self.remote.fetch_errors += 1
+            return False
+        self.breaker.record_success()
+        self._requeue_pending()
+        return bool(hit)
+
+    def _remote_push(self, path: Path, relpath: str) -> bool:
+        """Breaker-guarded, retried push; False parks it in pending."""
+        if not self.breaker.allow():
+            self._park(path, relpath)
+            return False
+        try:
+            self.retry.call(
+                f"push:{relpath}", self.transport.push, path, relpath
+            )
+        except Exception:
+            self.breaker.record_failure()
+            self.remote.push_errors += 1
+            self._park(path, relpath)
+            return False
+        self.breaker.record_success()
+        self.remote.pushes += 1
+        self._requeue_pending()
+        return True
+
+    def _park(self, path: Path, relpath: str) -> None:
+        with self._pending_lock:
+            self._pending.append((path, relpath))
+        self.remote.degraded_pushes += 1
+
+    def _requeue_pending(self) -> None:
+        """Move parked pushes back into the pipeline (post-recovery)."""
+        with self._pending_lock:
+            parked, self._pending = self._pending, []
+        if not parked:
+            return
+        self.remote.drained_pushes += len(parked)
+        for item in parked:
+            if self._queue is not None:
+                self._start_pusher()
+                self._queue.put(item)
+            else:
+                self._remote_push(*item)
+
+    def drain_pending(self) -> int:
+        """Re-attempt every parked push now; how many were parked.
+
+        Called opportunistically after any remote success, and
+        explicitly by :meth:`flush`. If the breaker is still open the
+        items simply park again — nothing is dropped.
+        """
+        with self._pending_lock:
+            count = len(self._pending)
+        if count:
+            self._requeue_pending()
+            if self._queue is not None:
+                self._queue.join()
+        return count
+
+    def replicate_now(
+        self, path: Path, attempts: int = 10, wait_seconds: float = 0.2
+    ) -> None:
+        """Synchronously replicate one entry, waiting out an open
+        circuit.
+
+        Networked workers call this for a point's result payload
+        before journaling ``point_done`` — the digest they journal must
+        be loadable from the service's cache. Raises
+        :class:`ReproError` if the remote stays unreachable for all
+        ``attempts`` breaker windows.
+        """
+        try:
+            relpath = str(path.relative_to(self.root))
+        except ValueError:
+            raise ReproError(f"{path} is not under cache root {self.root}")
+        for _ in range(attempts):
+            if self._remote_push(path, relpath):
+                # _remote_push parks on failure; un-park this entry so
+                # it is not pushed a second time by the drain.
+                with self._pending_lock:
+                    self._pending = [
+                        item for item in self._pending if item[0] != path
+                    ]
+                return
+            self.retry.sleep(wait_seconds)
+        raise ReproError(
+            f"cannot replicate {relpath} to the remote cache "
+            f"(circuit {self.breaker.state} after {attempts} attempts)"
+        )
 
     # -- read-through ------------------------------------------------------
 
@@ -129,7 +442,7 @@ class SharedCache(PersistentCache):
             relpath = str(path.relative_to(self.root))
         except ValueError:
             return
-        if self.transport.fetch(relpath, path):
+        if self._remote_fetch(relpath, path):
             self.remote.remote_hits += 1
         else:
             self.remote.remote_misses += 1
@@ -166,8 +479,7 @@ class SharedCache(PersistentCache):
         except ValueError:
             return
         if self._queue is None:
-            self.transport.push(path, relpath)
-            self.remote.pushes += 1
+            self._remote_push(path, relpath)
             return
         self._start_pusher()
         self._queue.put((path, relpath))
@@ -190,22 +502,26 @@ class SharedCache(PersistentCache):
             try:
                 if item is None:
                     return
-                path, relpath = item
-                self.transport.push(path, relpath)
-                self.remote.pushes += 1
+                self._remote_push(*item)
             finally:
                 self._queue.task_done()
 
     def flush(self) -> None:
-        """Block until every queued push has replicated."""
+        """Block until every *pushable* queued push has replicated.
+
+        Parked (degraded) pushes are re-attempted once; if the circuit
+        is still open they stay parked for the next recovery — flush
+        never blocks on a dead remote.
+        """
         if self._queue is not None:
             self._queue.join()
+        self.drain_pending()
 
     def close(self) -> None:
         """Flush, then stop the pusher thread."""
+        self.flush()
         if self._queue is None:
             return
-        self.flush()
         with self._pusher_lock:
             pusher, self._pusher = self._pusher, None
         if pusher is not None and pusher.is_alive():
@@ -214,7 +530,38 @@ class SharedCache(PersistentCache):
 
     # -- observability -----------------------------------------------------
 
+    @property
+    def degraded(self) -> bool:
+        """Whether the remote tier is currently out of the loop."""
+        return self.breaker.state != "closed"
+
+    def pending_pushes(self) -> int:
+        with self._pending_lock:
+            return len(self._pending)
+
+    def resilience(self) -> dict:
+        """The telemetry ``resilience`` block (schema 7) for this tier."""
+        return {
+            "retries": self.retry.stats.retries,
+            "breaker_trips": self.breaker.stats.trips,
+            "breaker_rejections": self.breaker.stats.rejections,
+            "degraded_seconds": self.breaker.degraded_seconds(),
+            "remote_hits": self.remote.remote_hits,
+            "remote_misses": self.remote.remote_misses,
+            "remote_pushes": self.remote.pushes,
+            "queued_pushes": self.pending_pushes(),
+            "drained_pushes": self.remote.drained_pushes,
+        }
+
     def stats(self) -> dict:
         report = super().stats()
-        report["remote"] = self.remote.to_dict()
+        report["remote"] = {
+            **self.remote.to_dict(),
+            "degraded": self.degraded,
+            "breaker_state": self.breaker.state,
+            "degraded_seconds": self.breaker.degraded_seconds(),
+            "queued_pushes": self.pending_pushes(),
+            "retries": self.retry.stats.retries,
+            "breaker_trips": self.breaker.stats.trips,
+        }
         return report

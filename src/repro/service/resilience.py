@@ -1,0 +1,371 @@
+"""Network-resilience primitives: retry policies and circuit breakers.
+
+Going over the wire (HTTP cache tier, networked workers) means every
+call can time out, tear, or lie. This module supplies the two guards
+every remote call in :mod:`repro.service` rides:
+
+* :class:`RetryPolicy` — bounded retries with exponential backoff,
+  **deterministic** jitter (hashed from a seed + operation + attempt,
+  never ``random``: two runs of the same plan sleep the same amounts),
+  and a per-call deadline so a retry loop can never outlive its
+  caller's patience;
+* :class:`CircuitBreaker` — the classic closed/open/half-open state
+  machine. Failures trip it (consecutive-failure or failure-rate over
+  a sliding window); while open every call is rejected instantly
+  (callers degrade instead of stacking timeouts); after a cooling-off
+  period exactly **one** probe is admitted (half-open) and its outcome
+  either closes the circuit or re-opens it with a longer backoff.
+
+Both are transport-agnostic: they wrap any callable. The shared-cache
+tier (:mod:`repro.service.remote`) composes them — retries inside one
+breaker-accounted call — and exposes the counters through ``stats()``
+and the schema-7 telemetry ``resilience`` block.
+
+Everything is injectable (``clock``, ``sleep``) so the state-machine
+edge cases are unit-testable without real waiting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import http.client
+import threading
+import time
+import urllib.error
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+
+#: Circuit states.
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class TransientError(ReproError):
+    """An operation failed in a way that is safe to retry.
+
+    Transports raise this for network-shaped failures (connection
+    reset, 5xx, torn body) so the retry/breaker layer can distinguish
+    them from permanent errors (bad auth, malformed request) that must
+    surface immediately.
+    """
+
+
+class CircuitOpenError(ReproError):
+    """A call was rejected because the circuit is open (no I/O done)."""
+
+
+def default_transient(error: BaseException) -> bool:
+    """Whether ``error`` is worth retrying.
+
+    Server-side errors (HTTP 5xx) and anything network-shaped
+    (connection reset, timeout, DNS failure, torn HTTP body) are
+    transient; HTTP 4xx — the request itself is wrong — is not.
+    """
+    if isinstance(error, urllib.error.HTTPError):
+        return error.code >= 500
+    return isinstance(
+        error,
+        (
+            TransientError,
+            ConnectionError,
+            TimeoutError,
+            http.client.HTTPException,
+            urllib.error.URLError,
+            OSError,
+        ),
+    )
+
+
+def _fraction(seed: int, operation: str, attempt: int) -> float:
+    """A deterministic jitter fraction in ``[0, 1)``."""
+    digest = hashlib.sha256(
+        f"{seed}:{operation}:{attempt}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / 2.0 ** 64
+
+
+@dataclass
+class RetryStats:
+    """One policy's counters (folded into cache/engine telemetry)."""
+
+    calls: int = 0
+    retries: int = 0
+    giveups: int = 0
+    deadline_giveups: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "calls": self.calls,
+            "retries": self.retries,
+            "giveups": self.giveups,
+            "deadline_giveups": self.deadline_giveups,
+        }
+
+
+class RetryPolicy:
+    """Bounded retries, exponential backoff, deterministic jitter.
+
+    ``attempts`` is the total number of tries (1 = no retry). Delay for
+    attempt *n* (0-based) is ``base_delay * 2**n`` capped at
+    ``max_delay``, stretched by up to ``jitter`` of itself using a
+    hash-derived fraction — deterministic for a given ``seed`` and
+    operation name, so fault-plan replays sleep identically.
+    ``deadline_seconds`` bounds the whole call: a retry that would
+    start after the deadline is abandoned and the last error re-raised.
+    """
+
+    def __init__(
+        self,
+        attempts: int = 4,
+        base_delay: float = 0.05,
+        max_delay: float = 2.0,
+        deadline_seconds: float = 30.0,
+        jitter: float = 0.5,
+        seed: int = 0,
+        transient=default_transient,
+        clock=time.monotonic,
+        sleep=time.sleep,
+    ) -> None:
+        if attempts < 1:
+            raise ReproError(f"attempts must be >= 1, got {attempts}")
+        self.attempts = attempts
+        self.base_delay = base_delay
+        self.max_delay = max_delay
+        self.deadline_seconds = deadline_seconds
+        self.jitter = jitter
+        self.seed = seed
+        self.transient = transient
+        self.clock = clock
+        self.sleep = sleep
+        self.stats = RetryStats()
+
+    def backoff(self, attempt: int, operation: str = "") -> float:
+        """The delay before retry ``attempt + 1`` (deterministic)."""
+        delay = min(self.max_delay, self.base_delay * (2.0 ** attempt))
+        return delay * (
+            1.0 + self.jitter * _fraction(self.seed, operation, attempt)
+        )
+
+    def call(self, operation: str, fn, *args, **kwargs):
+        """Run ``fn`` under this policy; returns its value.
+
+        Non-transient errors propagate immediately. Transient errors
+        are retried up to ``attempts`` times within the deadline; the
+        last one is re-raised when the budget runs out.
+        """
+        self.stats.calls += 1
+        start = self.clock()
+        last: BaseException | None = None
+        for attempt in range(self.attempts):
+            try:
+                return fn(*args, **kwargs)
+            except Exception as error:
+                if not self.transient(error):
+                    raise
+                last = error
+                if attempt + 1 >= self.attempts:
+                    self.stats.giveups += 1
+                    break
+                delay = self.backoff(attempt, operation)
+                elapsed = self.clock() - start
+                if elapsed + delay >= self.deadline_seconds:
+                    self.stats.deadline_giveups += 1
+                    self.stats.giveups += 1
+                    break
+                self.stats.retries += 1
+                self.sleep(delay)
+        assert last is not None
+        raise last
+
+
+@dataclass
+class BreakerStats:
+    """One breaker's counters (folded into cache/engine telemetry)."""
+
+    trips: int = 0
+    rejections: int = 0
+    probes: int = 0
+    recoveries: int = 0
+
+    def as_dict(self) -> dict:
+        return {
+            "trips": self.trips,
+            "rejections": self.rejections,
+            "probes": self.probes,
+            "recoveries": self.recoveries,
+        }
+
+
+class CircuitBreaker:
+    """Closed/open/half-open circuit with failure-rate trip and probes.
+
+    * **closed** — calls flow; outcomes land in a sliding window. The
+      circuit trips open on ``consecutive_failures`` failures in a row,
+      or once the window holds at least ``min_calls`` outcomes with a
+      failure fraction >= ``failure_rate``.
+    * **open** — every :meth:`allow` is rejected (no I/O) until
+      ``reset_timeout`` has passed since the trip.
+    * **half-open** — exactly one caller is admitted as the probe
+      (concurrent callers keep being rejected until its outcome is
+      recorded). Probe success closes the circuit and resets the
+      timeout to its base; probe failure re-opens it with the timeout
+      scaled by ``backoff_factor`` (capped at ``max_reset_timeout``).
+
+    The breaker also keeps the degradation clock: the total time spent
+    away from ``closed`` is :meth:`degraded_seconds`, which feeds the
+    telemetry ``resilience`` block. Thread-safe; ``clock`` is
+    injectable for tests.
+    """
+
+    def __init__(
+        self,
+        name: str = "remote",
+        window: int = 10,
+        min_calls: int = 3,
+        failure_rate: float = 0.5,
+        consecutive_failures: int = 3,
+        reset_timeout: float = 2.0,
+        backoff_factor: float = 2.0,
+        max_reset_timeout: float = 60.0,
+        clock=time.monotonic,
+    ) -> None:
+        self.name = name
+        self.min_calls = min_calls
+        self.failure_rate = failure_rate
+        self.consecutive_failures = consecutive_failures
+        self.base_reset_timeout = reset_timeout
+        self.backoff_factor = backoff_factor
+        self.max_reset_timeout = max_reset_timeout
+        self.clock = clock
+        self.stats = BreakerStats()
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: deque[bool] = deque(maxlen=window)
+        self._consecutive = 0
+        self._opened_at = 0.0
+        self._timeout = reset_timeout
+        self._probe_in_flight = False
+        self._degraded_since: float | None = None
+        self._degraded_total = 0.0
+
+    # -- state -------------------------------------------------------------
+
+    def _state_locked(self) -> str:
+        if (
+            self._state == OPEN
+            and self.clock() - self._opened_at >= self._timeout
+        ):
+            self._state = HALF_OPEN
+            self._probe_in_flight = False
+        return self._state
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked()
+
+    @property
+    def reset_timeout(self) -> float:
+        with self._lock:
+            return self._timeout
+
+    def degraded_seconds(self) -> float:
+        """Total wall time spent away from ``closed`` (live interval
+        included)."""
+        with self._lock:
+            total = self._degraded_total
+            if self._degraded_since is not None:
+                total += self.clock() - self._degraded_since
+            return total
+
+    # -- the protocol ------------------------------------------------------
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        ``True`` in the closed state, and for exactly one caller per
+        half-open period (the probe — that caller *must* report its
+        outcome via :meth:`record_success` / :meth:`record_failure`).
+        """
+        with self._lock:
+            state = self._state_locked()
+            if state == CLOSED:
+                return True
+            if state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                self.stats.probes += 1
+                return True
+            self.stats.rejections += 1
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # Probe succeeded: full recovery, base timeout restored.
+                self._state = CLOSED
+                self._probe_in_flight = False
+                self._outcomes.clear()
+                self._consecutive = 0
+                self._timeout = self.base_reset_timeout
+                self.stats.recoveries += 1
+                if self._degraded_since is not None:
+                    self._degraded_total += (
+                        self.clock() - self._degraded_since
+                    )
+                    self._degraded_since = None
+            elif self._state == CLOSED:
+                self._outcomes.append(True)
+                self._consecutive = 0
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == HALF_OPEN:
+                # Probe failed: re-open, longer cooling-off.
+                self._timeout = min(
+                    self._timeout * self.backoff_factor,
+                    self.max_reset_timeout,
+                )
+                self._trip_locked()
+            elif self._state == CLOSED:
+                self._outcomes.append(False)
+                self._consecutive += 1
+                failures = sum(
+                    1 for outcome in self._outcomes if not outcome
+                )
+                rate_tripped = (
+                    len(self._outcomes) >= self.min_calls
+                    and failures / len(self._outcomes) >= self.failure_rate
+                )
+                if (
+                    self._consecutive >= self.consecutive_failures
+                    or rate_tripped
+                ):
+                    self._trip_locked()
+
+    def _trip_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self.clock()
+        self._probe_in_flight = False
+        self._outcomes.clear()
+        self._consecutive = 0
+        self.stats.trips += 1
+        if self._degraded_since is None:
+            self._degraded_since = self._opened_at
+
+    def call(self, fn, *args, **kwargs):
+        """Run ``fn`` through the breaker (reject, record, propagate)."""
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit {self.name!r} is {self.state} "
+                f"(retry in <= {self.reset_timeout:g}s)"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result

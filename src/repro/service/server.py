@@ -1,52 +1,88 @@
-"""The local HTTP/JSON front end: ``repro serve``.
+"""The HTTP/JSON front end: ``repro serve``.
 
 Stdlib-only (``http.server``), bound to localhost by default, threaded
 so a streaming results reader does not block a status poll. The wire
 format is plain JSON; streaming results are NDJSON (one JSON object
 per line), which both ``curl`` and the bundled client parse trivially.
+Cache entries travel as raw bytes (digest-addressed, integrity-checked).
 
 Surface (all under ``/v1``):
 
-=========  ==========================  ========================================
-method     path                        semantics
-=========  ==========================  ========================================
-GET        ``/v1/ping``                liveness: ``{"ok": true}``
-GET        ``/v1/stats``               queue/admission/tenant telemetry
-GET        ``/v1/jobs``                all jobs, oldest first
-POST       ``/v1/jobs``                submit; 201, or 429 with a reason
-GET        ``/v1/jobs/<id>``           lifecycle + journal progress
-POST       ``/v1/jobs/<id>/cancel``    cancel queued/running (idempotent)
-GET        ``/v1/jobs/<id>/results``   NDJSON per-point stream (``?wait=1``
-                                       follows until the job finishes)
-=========  ==========================  ========================================
+=========  ==============================  ====================================
+method     path                            semantics
+=========  ==============================  ====================================
+GET        ``/v1/ping``                    liveness: ``{"ok": true}``
+GET        ``/v1/stats``                   queue/admission/tenant telemetry
+GET        ``/v1/jobs``                    all jobs, oldest first
+POST       ``/v1/jobs``                    submit; 201, or 429 with a reason
+GET        ``/v1/jobs/<id>``               lifecycle + journal progress
+POST       ``/v1/jobs/<id>/cancel``        cancel queued/running (idempotent)
+GET        ``/v1/jobs/<id>/results``       NDJSON per-point stream (``?wait=1``
+                                           follows until the job finishes)
+GET/HEAD   ``/v1/cache/<relpath>``         digest-addressed cache entry bytes
+PUT        ``/v1/cache/<relpath>``         land an entry (digest-verified,
+                                           atomic temp + ``os.replace``)
+GET        ``/v1/runs/<id>``               run progress (pending/done/failed)
+POST       ``/v1/runs/<id>/claim``         bid for the next claimable point
+POST       ``/v1/runs/<id>/heartbeat``     renew a lease (owner only)
+POST       ``/v1/runs/<id>/release``       give a claim back
+POST       ``/v1/runs/<id>/done``          journal a completion (owner only)
+POST       ``/v1/runs/<id>/failed``        journal a failure
+POST       ``/v1/runs/<id>/finish``        journal worker stats; seal if drained
+=========  ==============================  ====================================
 
 A submission body is ``{"points": [{"app", "variant", "config"?}...],
 "tenant"?, "workers"?}``; a missing config means the paper's POWER5
 baseline. Unknown apps/variants and malformed bodies are 400s, unknown
-job ids 404s, admission rejections 429s — all with a JSON ``error``
-body carrying a machine-readable ``reason`` where one exists.
+job ids 404s, admission rejections 429s, oversized bodies 413s, and
+unhandled handler exceptions JSON 500s — all with a JSON ``error``
+body carrying a machine-readable ``reason`` where one exists. With a
+shared-secret token configured (``--token`` / ``REPRO_SERVICE_TOKEN``)
+every route except ``/v1/ping`` requires ``Authorization: Bearer
+<token>`` and rejects with a 401 (``reason`` ``auth_required`` or
+``bad_token``), so the front end can bind beyond localhost.
 """
 
 from __future__ import annotations
 
+import hmac
 import json
+import os
 import threading
+import urllib.parse
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from pathlib import Path
 from urllib.parse import urlparse
 
+from repro.engine.journal import RunJournal, load_run
 from repro.engine.serialize import config_from_dict
 from repro.errors import ReproError
 from repro.perf.characterize import APP_WORKLOADS, VARIANTS
+from repro.service.claims import DEFAULT_LEASE_SECONDS, ClaimClient
 from repro.service.jobs import AdmissionError, JobManager
+from repro.service.remote import ENV_TOKEN, payload_digest
 from repro.uarch.config import power5
 
 DEFAULT_HOST = "127.0.0.1"
 DEFAULT_PORT = 8642
 
+#: Request-body ceilings. JSON bodies (submissions, claim protocol)
+#: are small; cache entries (trace blobs) can be large but must still
+#: be bounded — an unbounded ``Content-Length`` is a memory DoS.
+MAX_JSON_BODY = 4 * 1024 * 1024
+MAX_CACHE_BODY = 512 * 1024 * 1024
+
 
 class BadRequest(ReproError):
     """A malformed or semantically invalid request body (HTTP 400)."""
+
+    def __init__(self, message: str, reason: str = "") -> None:
+        super().__init__(message)
+        self.reason = reason
+
+
+class PayloadTooLarge(ReproError):
+    """A request body exceeded the configured ceiling (HTTP 413)."""
 
 
 def parse_points(raw) -> list:
@@ -83,6 +119,26 @@ def parse_points(raw) -> list:
     return points
 
 
+def _safe_relpath(parts: list[str]) -> str:
+    """Decode and sanity-check a ``/v1/cache/...`` entry path."""
+    segments = [urllib.parse.unquote(part) for part in parts]
+    if not segments:
+        raise BadRequest("cache path required", reason="bad_path")
+    for segment in segments:
+        if (
+            not segment
+            or segment in (".", "..")
+            or "/" in segment
+            or "\\" in segment
+            or segment.startswith(".tmp-")
+        ):
+            raise BadRequest(
+                f"cache path segment {segment!r} rejected",
+                reason="bad_path",
+            )
+    return "/".join(segments)
+
+
 class ServiceHandler(BaseHTTPRequestHandler):
     """Routes requests onto the server's :class:`JobManager`."""
 
@@ -93,17 +149,24 @@ class ServiceHandler(BaseHTTPRequestHandler):
     def manager(self) -> JobManager:
         return self.server.manager  # type: ignore[attr-defined]
 
+    @property
+    def cache_base(self) -> Path:
+        return Path(self.manager.cache_root)
+
     def log_message(self, format, *args):  # noqa: A002 - stdlib signature
         if getattr(self.server, "verbose", False):
             super().log_message(format, *args)
 
     # -- plumbing ----------------------------------------------------------
 
-    def _send_json(self, status: int, payload: dict) -> None:
+    def _send_json(self, status: int, payload: dict,
+                   extra_headers: dict | None = None) -> None:
         body = json.dumps(payload, sort_keys=True).encode("utf-8")
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
+        for name, value in (extra_headers or {}).items():
+            self.send_header(name, value)
         self.end_headers()
         self.wfile.write(body)
 
@@ -113,11 +176,44 @@ class ServiceHandler(BaseHTTPRequestHandler):
         payload = {"error": message}
         if reason:
             payload["reason"] = reason
-        self._send_json(status, payload)
+        extra = None
+        if status == 401:
+            extra = {"WWW-Authenticate": "Bearer"}
+        self._send_json(status, payload, extra_headers=extra)
 
-    def _read_body(self) -> dict:
-        length = int(self.headers.get("Content-Length") or 0)
-        raw = self.rfile.read(length) if length else b""
+    def _read_exact(self, length: int) -> bytes:
+        """Read exactly ``length`` body bytes (or raise on a torn one).
+
+        ``Content-Length`` is a claim, not a fact: a client that dies
+        mid-upload leaves fewer bytes on the socket. Looping ``read``
+        until the declared length (or EOF) makes the tear detectable
+        instead of landing a prefix as if it were the whole body.
+        """
+        chunks = []
+        remaining = length
+        while remaining > 0:
+            chunk = self.rfile.read(min(remaining, 1 << 20))
+            if not chunk:
+                raise BadRequest(
+                    f"torn request body ({length - remaining} of "
+                    f"{length} bytes)",
+                    reason="torn_body",
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def _read_body(self, limit: int = MAX_JSON_BODY) -> dict:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise BadRequest("Content-Length is not an integer") from None
+        if length > limit:
+            raise PayloadTooLarge(
+                f"request body of {length} bytes exceeds the "
+                f"{limit}-byte limit"
+            )
+        raw = self._read_exact(length) if length > 0 else b""
         if not raw:
             raise BadRequest("request body required")
         try:
@@ -128,61 +224,104 @@ class ServiceHandler(BaseHTTPRequestHandler):
             raise BadRequest("request body must be a JSON object")
         return payload
 
-    # -- routing -----------------------------------------------------------
+    def _authorized(self, parts: list[str]) -> bool:
+        """Enforce bearer-token auth (``/v1/ping`` stays open)."""
+        token = getattr(self.server, "token", None)
+        if not token or parts == ["v1", "ping"]:
+            return True
+        supplied = self.headers.get("Authorization") or ""
+        if not supplied.startswith("Bearer "):
+            self._send_error_json(
+                401, "authorization required (Bearer token)",
+                reason="auth_required",
+            )
+            return False
+        if not hmac.compare_digest(supplied[len("Bearer "):], token):
+            self._send_error_json(
+                401, "bad bearer token", reason="bad_token",
+            )
+            return False
+        return True
 
-    def do_GET(self) -> None:  # noqa: N802 - stdlib name
+    def _dispatch(self, method: str) -> None:
+        """Route one request; every failure becomes a JSON response."""
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
+        if not self._authorized(parts):
+            return
         try:
-            if parts == ["v1", "ping"]:
-                self._send_json(200, {"ok": True})
-            elif parts == ["v1", "stats"]:
-                self._send_json(200, self.manager.stats())
-            elif parts == ["v1", "jobs"]:
-                self._send_json(200, {
-                    "jobs": [job.as_dict() for job in self.manager.jobs()],
-                })
-            elif len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
-                self._send_json(200, self.manager.status(parts[2]))
-            elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
-                    and parts[3] == "results"):
-                self._stream_results(parts[2], "wait=1" in (url.query or ""))
-            else:
-                self._send_error_json(404, f"no route {url.path!r}")
+            self._route(method, url, parts)
+        except PayloadTooLarge as error:
+            self._send_error_json(413, str(error), reason="body_too_large")
         except BadRequest as error:
-            self._send_error_json(400, str(error))
-        except ReproError as error:
-            self._send_error_json(404, str(error))
-
-    def do_POST(self) -> None:  # noqa: N802 - stdlib name
-        url = urlparse(self.path)
-        parts = [part for part in url.path.split("/") if part]
-        try:
-            if parts == ["v1", "jobs"]:
-                body = self._read_body()
-                points = parse_points(body.get("points"))
-                tenant = str(body.get("tenant") or "default")
-                workers = body.get("workers")
-                if workers is not None:
-                    workers = int(workers)
-                job = self.manager.submit(
-                    points, tenant=tenant, workers=workers
-                )
-                self._send_json(201, job.as_dict())
-            elif (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
-                    and parts[3] == "cancel"):
-                job = self.manager.cancel(parts[2])
-                self._send_json(200, job.as_dict())
-            else:
-                self._send_error_json(404, f"no route {url.path!r}")
-        except BadRequest as error:
-            self._send_error_json(400, str(error))
+            self._send_error_json(400, str(error), reason=error.reason)
         except AdmissionError as error:
             self._send_error_json(429, str(error), reason=error.reason)
         except (TypeError, ValueError) as error:
             self._send_error_json(400, str(error))
         except ReproError as error:
             self._send_error_json(404, str(error))
+        except (BrokenPipeError, ConnectionResetError):
+            self.close_connection = True
+        except Exception as error:  # noqa: BLE001 - JSON 500, never HTML
+            try:
+                self._send_error_json(
+                    500,
+                    f"internal error: {type(error).__name__}: {error}",
+                    reason="internal_error",
+                )
+            except OSError:
+                self.close_connection = True
+
+    def _route(self, method: str, url, parts: list[str]) -> None:
+        if parts[:2] == ["v1", "cache"] and len(parts) > 2:
+            relpath = _safe_relpath(parts[2:])
+            if method == "GET":
+                return self._cache_get(relpath, head=False)
+            if method == "HEAD":
+                return self._cache_get(relpath, head=True)
+            if method == "PUT":
+                return self._cache_put(relpath)
+        if method == "GET":
+            if parts == ["v1", "ping"]:
+                return self._send_json(200, {"ok": True})
+            if parts == ["v1", "stats"]:
+                return self._send_json(200, self.manager.stats())
+            if parts == ["v1", "jobs"]:
+                return self._send_json(200, {
+                    "jobs": [job.as_dict() for job in self.manager.jobs()],
+                })
+            if len(parts) == 3 and parts[:2] == ["v1", "jobs"]:
+                return self._send_json(200, self.manager.status(parts[2]))
+            if (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                    and parts[3] == "results"):
+                return self._stream_results(
+                    parts[2], "wait=1" in (url.query or "")
+                )
+            if len(parts) == 3 and parts[:2] == ["v1", "runs"]:
+                return self._run_state(parts[2])
+        elif method == "POST":
+            if parts == ["v1", "jobs"]:
+                return self._submit_job()
+            if (len(parts) == 4 and parts[:2] == ["v1", "jobs"]
+                    and parts[3] == "cancel"):
+                job = self.manager.cancel(parts[2])
+                return self._send_json(200, job.as_dict())
+            if len(parts) == 4 and parts[:2] == ["v1", "runs"]:
+                return self._run_op(parts[2], parts[3])
+        self._send_error_json(404, f"no route {url.path!r}")
+
+    # -- jobs --------------------------------------------------------------
+
+    def _submit_job(self) -> None:
+        body = self._read_body()
+        points = parse_points(body.get("points"))
+        tenant = str(body.get("tenant") or "default")
+        workers = body.get("workers")
+        if workers is not None:
+            workers = int(workers)
+        job = self.manager.submit(points, tenant=tenant, workers=workers)
+        self._send_json(201, job.as_dict())
 
     def _stream_results(self, job_id: str, wait: bool) -> None:
         stream = self.manager.stream_results(job_id, wait=wait)
@@ -203,6 +342,186 @@ class ServiceHandler(BaseHTTPRequestHandler):
                 self.wfile.flush()
         self.close_connection = True
 
+    # -- the cache surface -------------------------------------------------
+
+    def _cache_get(self, relpath: str, head: bool) -> None:
+        path = self.cache_base / relpath
+        try:
+            data = path.read_bytes()
+        except (OSError, ValueError):
+            self._send_error_json(
+                404, f"no cache entry {relpath!r}", reason="not_found",
+            )
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", "application/octet-stream")
+        self.send_header("Content-Length", str(len(data)))
+        self.send_header("X-Repro-Digest", payload_digest(data))
+        self.end_headers()
+        if not head:
+            self.wfile.write(data)
+
+    def _cache_put(self, relpath: str) -> None:
+        limit = getattr(self.server, "max_cache_body", MAX_CACHE_BODY)
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            raise BadRequest("Content-Length is not an integer") from None
+        if length <= 0:
+            raise BadRequest("cache PUT requires a body")
+        if length > limit:
+            raise PayloadTooLarge(
+                f"cache entry of {length} bytes exceeds the "
+                f"{limit}-byte limit"
+            )
+        data = self._read_exact(length)
+        expected = self.headers.get("X-Repro-Digest")
+        if expected and payload_digest(data) != expected:
+            raise BadRequest(
+                f"cache PUT {relpath!r}: body digest mismatch "
+                "(torn or corrupted upload)",
+                reason="digest_mismatch",
+            )
+        path = self.cache_base / relpath
+        path.parent.mkdir(parents=True, exist_ok=True)
+        from repro.engine.cache import tmp_suffix
+
+        tmp = path.with_name(f".{path.name}{tmp_suffix()}")
+        try:
+            tmp.write_bytes(data)
+            os.replace(tmp, path)
+        except OSError as error:
+            tmp.unlink(missing_ok=True)
+            raise ReproError(
+                f"cache PUT {relpath!r} failed to land: {error}"
+            ) from None
+        self._send_json(200, {"stored": True, "bytes": len(data)})
+
+    # -- the networked claim protocol --------------------------------------
+
+    def _run_state(self, run_id: str) -> None:
+        state = load_run(self.cache_base, run_id)
+        if state.corrupt is not None:
+            raise ReproError(f"run {run_id!r} journal: {state.corrupt}")
+        self._send_json(200, {
+            "run_id": run_id,
+            "pending": len(state.pending_keys()),
+            "claimable": len(state.claimable_keys()),
+            "done": len(state.done),
+            "failed": len(state.failed),
+            "complete": state.complete,
+            "workers": sorted(state.workers),
+        })
+
+    def _run_op(self, run_id: str, op: str) -> None:
+        body = self._read_body()
+        worker = str(body.get("worker") or "")
+        if not worker:
+            raise BadRequest("worker id required")
+        lease = float(body.get("lease_seconds") or DEFAULT_LEASE_SECONDS)
+        if op == "finish":
+            return self._run_finish(run_id, worker, body)
+        client = ClaimClient(self.cache_base, run_id, worker, lease)
+        try:
+            if op == "claim":
+                return self._run_claim(client)
+            if op not in ("heartbeat", "release", "done", "failed"):
+                raise ReproError(f"no run operation {op!r}")
+            key = _key_from(body)
+            if op == "heartbeat":
+                client.heartbeat(key)
+                return self._send_json(200, {"ok": True})
+            if op == "release":
+                client.release(key)
+                return self._send_json(200, {"ok": True})
+            if op == "done":
+                digest = str(body.get("result_digest") or "")
+                if not digest:
+                    raise BadRequest("result_digest required")
+                recorded = client.record_done(key, digest)
+                return self._send_json(200, {"recorded": recorded})
+            client.record_failed(
+                key,
+                str(body.get("kind") or "error"),
+                str(body.get("error_type") or "Exception"),
+                str(body.get("message") or ""),
+            )
+            return self._send_json(200, {"ok": True})
+        finally:
+            client.close()
+
+    def _run_claim(self, client: ClaimClient) -> None:
+        from repro.service.worker import _configs_by_key
+
+        state = client.state()
+        if state.corrupt is not None:
+            raise ReproError(
+                f"run {client.run_id!r} journal: {state.corrupt}"
+            )
+        configs = _configs_by_key(state)
+        for key in state.claimable_keys():
+            if key not in configs:
+                continue  # damaged config payload: leave it pending
+            if client.try_claim(key, state):
+                app, variant, digest = key
+                return self._send_json(200, {
+                    "claimed": {
+                        "app": app,
+                        "variant": variant,
+                        "config_digest": digest,
+                        "config": configs[key],
+                    },
+                    "pending": len(state.pending_keys()),
+                })
+        return self._send_json(200, {
+            "claimed": None,
+            "pending": len(state.pending_keys()),
+        })
+
+    def _run_finish(self, run_id: str, worker: str, body: dict) -> None:
+        stats = body.get("stats") or {}
+        if not isinstance(stats, dict):
+            raise BadRequest("stats must be an object")
+        with RunJournal.attach(self.cache_base, run_id) as journal:
+            journal.record_worker_stats(worker, stats)
+        # The worker that drains the last point seals the run (a second
+        # footer from a racing worker is identical and harmless).
+        state = load_run(self.cache_base, run_id)
+        sealed = False
+        if not state.pending_keys() and not state.complete:
+            with RunJournal.attach(self.cache_base, run_id) as journal:
+                journal.record_complete(len(state.failed))
+            sealed = True
+        self._send_json(200, {"ok": True, "sealed": sealed})
+
+    # -- stdlib entry points -----------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib name
+        self._dispatch("GET")
+
+    def do_HEAD(self) -> None:  # noqa: N802 - stdlib name
+        self._dispatch("HEAD")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib name
+        self._dispatch("POST")
+
+    def do_PUT(self) -> None:  # noqa: N802 - stdlib name
+        self._dispatch("PUT")
+
+
+def _key_from(body: dict) -> tuple[str, str, str]:
+    key = body.get("key") or {}
+    if not isinstance(key, dict):
+        raise BadRequest("key must be an object")
+    app = key.get("app")
+    variant = key.get("variant")
+    digest = key.get("config_digest")
+    if not (app and variant and digest):
+        raise BadRequest(
+            "key requires app, variant and config_digest"
+        )
+    return (str(app), str(variant), str(digest))
+
 
 def _chain_first(first, rest):
     yield first
@@ -215,10 +534,17 @@ class ServiceServer(ThreadingHTTPServer):
     daemon_threads = True
 
     def __init__(self, address, manager: JobManager,
-                 verbose: bool = False) -> None:
+                 verbose: bool = False,
+                 token: str | None = None,
+                 max_cache_body: int = MAX_CACHE_BODY) -> None:
         super().__init__(address, ServiceHandler)
         self.manager = manager
         self.verbose = verbose
+        self.token = (
+            token if token is not None
+            else os.environ.get(ENV_TOKEN) or None
+        )
+        self.max_cache_body = max_cache_body
 
 
 def make_server(
@@ -226,11 +552,13 @@ def make_server(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     verbose: bool = False,
+    token: str | None = None,
     **manager_options,
 ) -> ServiceServer:
     """Bind a service (port 0 picks a free port); caller serves/closes."""
     manager = JobManager(cache_root, **manager_options)
-    return ServiceServer((host, port), manager, verbose=verbose)
+    return ServiceServer((host, port), manager, verbose=verbose,
+                         token=token)
 
 
 def serve(
@@ -238,12 +566,14 @@ def serve(
     host: str = DEFAULT_HOST,
     port: int = DEFAULT_PORT,
     verbose: bool = False,
+    token: str | None = None,
     ready: threading.Event | None = None,
     **manager_options,
 ) -> None:
     """Run the service until interrupted (the ``repro serve`` body)."""
     server = make_server(
-        cache_root, host, port, verbose=verbose, **manager_options
+        cache_root, host, port, verbose=verbose, token=token,
+        **manager_options,
     )
     if ready is not None:
         ready.set()

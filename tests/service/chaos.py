@@ -1,0 +1,231 @@
+"""Deterministic network-chaos harness for the sweep service.
+
+Mirrors the PR 3 fault-injection pattern (``tests/engine/faults.py``):
+a fault plan is JSON in an environment variable, so it crosses
+``subprocess`` boundaries untouched, and each fault's occurrence budget
+is claimed through ``O_CREAT | O_EXCL`` token files in a shared
+directory — several worker processes racing one plan still inject each
+fault exactly the planned number of times, in whatever order they
+arrive. No randomness anywhere: a plan replayed against the same run
+injects the same faults and the retry layer sleeps the same
+deterministic backoffs.
+
+Plan format (``REPRO_CHAOS_PLAN``)::
+
+    {"fetch": ["drop", 2], "done": ["5xx", 1], "push": ["torn", 1]}
+
+keyed by operation:
+
+* transport ops — ``fetch`` (cache GET), ``push`` (cache PUT),
+  ``exists`` (cache HEAD);
+* protocol ops — ``claim``, ``heartbeat``, ``release``, ``done``,
+  ``failed``, ``finish``, ``state``, and ``request`` (any client call).
+
+Fault modes:
+
+* ``drop`` — the request never happens (connection refused shape);
+* ``delay`` — the request happens after a short stall;
+* ``5xx`` — a synthetic HTTP 503 *instead of* the request;
+* ``torn`` — the body is truncated: a torn PUT keeps the full-body
+  digest header so the server rejects it (400 ``digest_mismatch``)
+  instead of landing a prefix; a torn GET mutilates the received body
+  so the transport's integrity check trips;
+* ``stale`` — a cache GET answers 404 (a replica that has not seen the
+  entry yet); the reader falls back to simulating locally;
+* ``dupe`` — the request is performed *and then* reported as dropped,
+  so the client retries an operation the server already applied (the
+  duplicate-``done`` case the ownership re-check must absorb).
+
+``REPRO_CHAOS_DIR`` holds the token files; both variables unset means
+no chaos (the harness degrades to pass-through).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import time
+import urllib.error
+from pathlib import Path
+
+from repro.service.client import ServiceClient
+from repro.service.remote import HttpTransport
+from repro.service.resilience import RetryPolicy, TransientError
+
+ENV_PLAN = "REPRO_CHAOS_PLAN"
+ENV_DIR = "REPRO_CHAOS_DIR"
+
+#: How long a ``delay`` fault stalls (short: real time, bounded).
+DELAY_SECONDS = 0.05
+
+
+class FaultPlan:
+    """The decoded plan plus the cross-process occurrence counters."""
+
+    def __init__(self, plan: dict | None = None,
+                 token_dir: str | None = None) -> None:
+        if plan is None:
+            raw = os.environ.get(ENV_PLAN, "")
+            plan = json.loads(raw) if raw else {}
+        self.plan = {
+            op: (str(mode), int(times))
+            for op, (mode, times) in plan.items()
+        }
+        self.token_dir = token_dir or os.environ.get(ENV_DIR) or None
+
+    def claim(self, op: str) -> str | None:
+        """The fault mode to inject for this occurrence of ``op``
+        (None once the budget is spent).
+
+        Each planned occurrence is one token file created with
+        ``O_CREAT | O_EXCL`` — atomic across processes, so two workers
+        racing the same plan split the budget instead of doubling it.
+        """
+        entry = self.plan.get(op)
+        if entry is None:
+            return None
+        mode, times = entry
+        if self.token_dir is None:
+            # In-process fallback: plain countdown.
+            if times <= 0:
+                return None
+            self.plan[op] = (mode, times - 1)
+            return mode
+        for index in range(times):
+            token = Path(self.token_dir) / f"chaos-{op}-{index}"
+            try:
+                fd = os.open(
+                    token, os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                continue
+            os.close(fd)
+            return mode
+        return None
+
+
+def _synthetic_503(op: str) -> urllib.error.HTTPError:
+    return urllib.error.HTTPError(
+        f"chaos://{op}", 503, "chaos: synthetic 503", {},  # type: ignore[arg-type]
+        io.BytesIO(b'{"error": "chaos"}'),
+    )
+
+
+class ChaosHttpTransport(HttpTransport):
+    """An :class:`HttpTransport` with faults injected at the wire seam.
+
+    Wrapping ``_http`` (not ``fetch``/``push``) matters for the torn
+    modes: a torn PUT must truncate the body *after* the caller computed
+    ``X-Repro-Digest`` from the full bytes — exactly what a connection
+    dying mid-upload looks like to the server — and a torn GET must
+    mutilate what arrived, not what was sent.
+    """
+
+    OPS = {"GET": "fetch", "PUT": "push", "HEAD": "exists"}
+
+    def __init__(self, *args, plan: FaultPlan | None = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.plan = plan if plan is not None else FaultPlan()
+
+    def _http(self, method, relpath, body=None, headers=None):
+        op = self.OPS.get(method, "fetch")
+        mode = self.plan.claim(op)
+        if mode == "drop":
+            raise TransientError(f"chaos: dropped cache {method}")
+        if mode == "5xx":
+            raise TransientError(f"chaos: cache {method} HTTP 503")
+        if mode == "delay":
+            time.sleep(DELAY_SECONDS)
+        elif mode == "stale" and method == "GET":
+            return 404, {}, b""
+        elif mode == "torn" and method == "PUT" and body:
+            # Headers (incl. the full-body digest) stay; bytes tear.
+            body = body[: max(1, len(body) // 2)]
+        status, resp_headers, data = super()._http(
+            method, relpath, body=body, headers=headers
+        )
+        if mode == "torn" and method == "GET" and data:
+            data = data[: max(1, len(data) // 2)]
+        return status, resp_headers, data
+
+
+class ChaosServiceClient(ServiceClient):
+    """A :class:`ServiceClient` with faults injected per round trip."""
+
+    def __init__(self, *args, plan: FaultPlan | None = None,
+                 **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.plan = plan if plan is not None else FaultPlan()
+
+    @staticmethod
+    def _op_of(method: str, path: str) -> str:
+        leaf = path.rstrip("/").rsplit("/", 1)[-1]
+        if leaf in ("claim", "heartbeat", "release", "done", "failed",
+                    "finish"):
+            return leaf
+        if method == "GET" and "/runs/" in path:
+            return "state"
+        return "request"
+
+    def _open(self, method, path, payload):
+        op = self._op_of(method, path)
+        mode = self.plan.claim(op)
+        if mode == "drop":
+            raise urllib.error.URLError(f"chaos: dropped {op}")
+        if mode == "5xx":
+            raise _synthetic_503(op)
+        if mode == "delay":
+            time.sleep(DELAY_SECONDS)
+        response = super()._open(method, path, payload)
+        if mode == "dupe":
+            # The server applied the request; the client never hears.
+            response.read()
+            response.close()
+            raise urllib.error.URLError(f"chaos: response lost for {op}")
+        return response
+
+
+def chaos_drain(
+    url: str,
+    run_id: str,
+    worker_id: str,
+    cache_root: str,
+    max_points: int | None = None,
+):
+    """One networked worker draining ``run_id`` under the env fault
+    plan (subprocess entry point for the golden tests)."""
+    from repro.service.worker import drain_run_remote
+
+    plan = FaultPlan()
+    retry = RetryPolicy(
+        attempts=5, base_delay=0.02, max_delay=0.2, deadline_seconds=30.0
+    )
+    return drain_run_remote(
+        url,
+        run_id,
+        cache_root=cache_root,
+        worker_id=worker_id,
+        lease_seconds=10.0,
+        poll_seconds=0.05,
+        max_points=max_points,
+        client=ChaosServiceClient(url, plan=plan, retry=retry),
+        transport=ChaosHttpTransport(url, plan=plan),
+    )
+
+
+def main(argv: list[str]) -> int:
+    url, run_id, worker_id, cache_root = argv[:4]
+    max_points = int(argv[4]) if len(argv) > 4 else None
+    report = chaos_drain(
+        url, run_id, worker_id, cache_root, max_points=max_points
+    )
+    print(json.dumps(report.as_dict(), sort_keys=True))
+    return 1 if report.failed else 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,191 @@
+"""The chaos golden test: networked multi-worker sweeps under injected
+faults merge byte-identical to a serial sweep.
+
+Two worker *processes* attach to a port-0 server over HTTP with a
+deterministic fault plan in their environment (drops, delays, synthetic
+5xx, torn bodies, stale reads, duplicated ``done``) and drain one run.
+For every plan the merged, digest-verified results must equal the
+serial reference record for record, the journal must hold exactly one
+``point_done`` per point, and the run must seal. Faults are injected
+with bounded budgets (token files shared across the processes), so the
+resilience layer must absorb every one of them — a leaked fault shows
+up as a failed point or a missing record, never silently.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.engine import serialize
+from repro.engine.cache import use_cache_dir
+from repro.engine.engine import Engine
+from repro.engine.journal import journal_path, load_run
+from repro.service.runner import collect_results, create_run
+from repro.service.server import make_server
+from repro.uarch.config import power5
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+SRC = REPO_ROOT / "src"
+
+POINTS = [
+    ("blast", "baseline", power5()),
+    ("clustalw", "baseline", power5()),
+    ("fasta", "baseline", power5()),
+    ("blast", "baseline", power5()),  # duplicate: ordered replay matters
+]
+
+#: Every fault plan the golden test must survive. Budgets stay below
+#: the workers' retry attempts so no single call can exhaust its
+#: policy; the harness guarantees each budget is spent at most once
+#: across both worker processes.
+PLANS = {
+    "drops": {"fetch": ["drop", 2], "claim": ["drop", 1]},
+    "delays": {"claim": ["delay", 3], "push": ["delay", 2]},
+    "server-errors": {"done": ["5xx", 1], "heartbeat": ["5xx", 2]},
+    "torn-bodies": {"push": ["torn", 1], "fetch": ["torn", 1]},
+    "stale-and-dupe": {"fetch": ["stale", 2], "done": ["dupe", 1]},
+}
+
+
+def canonical(payload):
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+@pytest.fixture(scope="module")
+def reference(tmp_path_factory):
+    """Canonical JSON per point from a plain single-engine sweep."""
+    root = tmp_path_factory.mktemp("serial")
+    use_cache_dir(root)
+    engine = Engine()
+    rows = [
+        canonical(serialize.characterisation_to_dict(
+            engine.characterize(app, variant, config)
+        ))
+        for app, variant, config in POINTS
+    ]
+    from repro.engine import cache as cache_module
+    from repro.engine import engine as engine_module
+
+    cache_module._active_cache = None
+    engine_module._default_engine = None
+    return rows
+
+
+def worker_env(plan: dict, chaos_dir: Path, token: str | None = None):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in (str(SRC), str(REPO_ROOT), env.get("PYTHONPATH")) if p
+    )
+    env["REPRO_CHAOS_PLAN"] = json.dumps(plan)
+    env["REPRO_CHAOS_DIR"] = str(chaos_dir)
+    if token is not None:
+        env["REPRO_SERVICE_TOKEN"] = token
+    else:
+        env.pop("REPRO_SERVICE_TOKEN", None)
+    return env
+
+
+def run_networked_sweep(tmp_path, plan, token=None):
+    """Two chaos workers drain one run over HTTP; the sealed state."""
+    server_cache = tmp_path / "server-cache"
+    run_id = create_run(server_cache, POINTS, workers=2)
+    server = make_server(server_cache, port=0, workers=1, token=token)
+    thread = threading.Thread(
+        target=server.serve_forever, name="chaos-serve", daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[:2]
+    url = f"http://{host}:{port}"
+    chaos_dir = tmp_path / "chaos-tokens"
+    chaos_dir.mkdir()
+    env = worker_env(plan, chaos_dir, token=token)
+    workers = [
+        subprocess.Popen(
+            [sys.executable, "-m", "tests.service.chaos",
+             url, run_id, f"net-{name}", str(tmp_path / f"scratch-{name}")],
+            env=env, cwd=str(REPO_ROOT),
+            stdout=subprocess.PIPE, stderr=subprocess.PIPE, text=True,
+        )
+        for name in ("alpha", "beta")
+    ]
+    try:
+        for proc in workers:
+            out, err = proc.communicate(timeout=300)
+            assert proc.returncode == 0, (
+                f"worker failed under plan {plan}:\n{out}\n{err}"
+            )
+    finally:
+        for proc in workers:
+            if proc.poll() is None:
+                proc.kill()
+        server.shutdown()
+        server.manager.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+    return server_cache, run_id
+
+
+def assert_golden(server_cache, run_id, reference):
+    state = load_run(server_cache, run_id)
+    assert not state.pending_keys()
+    assert not state.failed
+    assert state.complete
+
+    # Zero duplicate point_done records, one per unique point.
+    done = [
+        record for record in (
+            json.loads(line)
+            for line in journal_path(
+                server_cache, run_id
+            ).read_text().splitlines()
+        )
+        if record.get("record") == "point_done"
+    ]
+    keys = [(r["app"], r["variant"], r["config_digest"]) for r in done]
+    assert sorted(keys) == sorted(set(keys)), "duplicate point_done"
+
+    # Merged, digest-re-verified results byte-identical to serial.
+    merged = [
+        canonical(serialize.characterisation_to_dict(result))
+        for result in collect_results(server_cache, run_id)
+    ]
+    assert merged == reference
+
+
+class TestChaosGolden:
+    @pytest.mark.parametrize("name", sorted(PLANS))
+    def test_networked_sweep_matches_serial_under_faults(
+        self, tmp_path, reference, name
+    ):
+        server_cache, run_id = run_networked_sweep(tmp_path, PLANS[name])
+        assert_golden(server_cache, run_id, reference)
+
+    def test_faults_were_actually_injected_and_absorbed(
+        self, tmp_path, reference
+    ):
+        """The drop plan must leave visible retry marks in the journaled
+        worker stats — proof the harness injected, not skipped."""
+        plan = {"fetch": ["drop", 2], "claim": ["drop", 1]}
+        server_cache, run_id = run_networked_sweep(tmp_path, plan)
+        assert_golden(server_cache, run_id, reference)
+        state = load_run(server_cache, run_id)
+        total_retries = sum(
+            counters.get("net_retries", 0)
+            for counters in state.workers.values()
+        )
+        assert total_retries >= 1
+
+    def test_chaos_composes_with_auth(self, tmp_path, reference):
+        """Faulted workers against a token-protected server still
+        converge (the bearer token rides every retried request)."""
+        plan = {"fetch": ["drop", 1], "done": ["dupe", 1]}
+        server_cache, run_id = run_networked_sweep(
+            tmp_path, plan, token="chaos-secret"
+        )
+        assert_golden(server_cache, run_id, reference)

@@ -1,0 +1,339 @@
+"""The HTTP cache endpoints, bearer-token auth, body caps, JSON 500s,
+and the networked claim protocol — all against a real port-0 server.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.client import ServiceClient
+from repro.service.remote import (
+    HttpTransport,
+    SharedCache,
+    payload_digest,
+)
+from repro.service.resilience import RetryPolicy, TransientError
+from repro.service.server import make_server
+
+APP, VARIANT = "blast", "baseline"
+DIGEST = "d" * 16
+PAYLOAD = {"app": APP, "variant": VARIANT, "cpi": 1.25}
+
+NO_RETRY = dict(retry=RetryPolicy(attempts=1))
+
+
+def start_server(tmp_path, **kwargs):
+    server = make_server(tmp_path / "server-cache", port=0, workers=1,
+                         **kwargs)
+    thread = threading.Thread(
+        target=server.serve_forever, name="test-serve", daemon=True
+    )
+    thread.start()
+    host, port = server.server_address[:2]
+    return server, thread, f"http://{host}:{port}"
+
+
+def stop_server(server, thread):
+    server.shutdown()
+    server.manager.shutdown()
+    server.server_close()
+    thread.join(timeout=10)
+
+
+@pytest.fixture()
+def service(tmp_path):
+    server, thread, url = start_server(tmp_path)
+    yield server, url
+    stop_server(server, thread)
+
+
+@pytest.fixture()
+def secured(tmp_path):
+    server, thread, url = start_server(tmp_path, token="hunter2")
+    yield server, url
+    stop_server(server, thread)
+
+
+def raw(url, method="GET", body=None, headers=None):
+    """One raw round trip -> (status, headers, body bytes)."""
+    request = urllib.request.Request(
+        url, data=body, headers=headers or {}, method=method
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=30) as response:
+            return response.status, dict(response.headers), response.read()
+    except urllib.error.HTTPError as error:
+        return error.code, dict(error.headers), error.read()
+
+
+class TestCacheEndpoints:
+    def test_put_get_head_round_trip(self, tmp_path, service):
+        server, url = service
+        local = SharedCache(
+            tmp_path / "local", HttpTransport(url), write_behind=False,
+        )
+        local.store_result_payload(APP, VARIANT, DIGEST, PAYLOAD)
+        assert local.remote.pushes == 1
+
+        # The server's own cache directory now holds the entry.
+        relpath = local.result_path(APP, VARIANT, DIGEST).relative_to(
+            local.root
+        )
+        assert (tmp_path / "server-cache" / relpath).exists()
+
+        # A second site on a fresh local root reads it through.
+        other = SharedCache(
+            tmp_path / "other", HttpTransport(url), write_behind=False,
+        )
+        assert other.load_result_payload(APP, VARIANT, DIGEST) == PAYLOAD
+        assert other.remote.remote_hits == 1
+        assert other.transport.exists(str(relpath))
+        assert not other.transport.exists("v0/nothing/here.json")
+
+    def test_get_miss_is_404_not_error(self, tmp_path, service):
+        _, url = service
+        transport = HttpTransport(url)
+        assert transport.fetch(
+            "v0/results/nope.json", tmp_path / "landed.json"
+        ) is False
+        assert not (tmp_path / "landed.json").exists()
+
+    def test_put_digest_mismatch_rejected(self, service):
+        _, url = service
+        body = b'{"x": 1}'
+        status, _, data = raw(
+            f"{url}/v1/cache/v0/results/x.json", "PUT", body,
+            {"X-Repro-Digest": "0" * 64},
+        )
+        assert status == 400
+        assert json.loads(data)["reason"] == "digest_mismatch"
+
+    def test_put_verified_digest_lands_bytes_exactly(self, service):
+        server, url = service
+        body = json.dumps(PAYLOAD).encode()
+        status, _, _ = raw(
+            f"{url}/v1/cache/v0/results/x.json", "PUT", body,
+            {"X-Repro-Digest": payload_digest(body)},
+        )
+        assert status == 200
+        status, headers, data = raw(f"{url}/v1/cache/v0/results/x.json")
+        assert status == 200
+        assert data == body
+        assert headers["X-Repro-Digest"] == payload_digest(body)
+        assert int(headers["Content-Length"]) == len(body)
+
+    def test_path_traversal_rejected(self, service):
+        _, url = service
+        for nasty in ("..%2F..%2Fetc%2Fpasswd", "a/../../b", "a/.tmp-1-x",
+                      "a/%2e%2e/b"):
+            status, _, data = raw(f"{url}/v1/cache/{nasty}", "PUT", b"x")
+            assert status == 400, nasty
+            assert json.loads(data)["reason"] == "bad_path"
+
+    def test_torn_get_raises_transient_for_retry(self, tmp_path, service):
+        """A body that fails the digest check must surface transient."""
+        _, url = service
+        body = b'{"x": 1}'
+        raw(
+            f"{url}/v1/cache/v0/results/x.json", "PUT", body,
+            {"X-Repro-Digest": payload_digest(body)},
+        )
+
+        class TearingTransport(HttpTransport):
+            def _http(self, method, relpath, body=None, headers=None):
+                status, resp_headers, data = super()._http(
+                    method, relpath, body=body, headers=headers
+                )
+                return status, resp_headers, data[: len(data) // 2]
+
+        with pytest.raises(TransientError, match="torn|digest"):
+            TearingTransport(url).fetch(
+                "v0/results/x.json", tmp_path / "landed.json"
+            )
+        assert not (tmp_path / "landed.json").exists()
+
+
+class TestHardenedBodies:
+    def test_oversized_json_body_is_413(self, service):
+        _, url = service
+        status, _, data = raw(
+            f"{url}/v1/jobs", "POST", b"x",
+            {"Content-Length": str(64 * 1024 * 1024)},
+        )
+        assert status == 413
+        assert json.loads(data)["reason"] == "body_too_large"
+
+    def test_unhandled_errors_are_json_500s(self, service):
+        server, url = service
+        server.manager.stats = lambda: 1 / 0  # force a handler crash
+        status, headers, data = raw(f"{url}/v1/stats")
+        assert status == 500
+        assert "json" in headers["Content-Type"]
+        assert json.loads(data)["reason"] == "internal_error"
+
+    def test_unknown_route_is_json_404(self, service):
+        _, url = service
+        status, headers, data = raw(f"{url}/v1/nothing")
+        assert status == 404
+        assert "json" in headers["Content-Type"]
+        assert "error" in json.loads(data)
+
+
+class TestAuth:
+    def test_ping_stays_open(self, secured):
+        _, url = secured
+        assert ServiceClient(url, token=None, **NO_RETRY).ping()
+
+    def test_missing_token_is_401_auth_required(self, secured):
+        _, url = secured
+        status, headers, data = raw(f"{url}/v1/stats")
+        assert status == 401
+        assert json.loads(data)["reason"] == "auth_required"
+        assert headers.get("WWW-Authenticate") == "Bearer"
+
+    def test_wrong_token_is_401_bad_token(self, secured):
+        _, url = secured
+        status, _, data = raw(
+            f"{url}/v1/stats", headers={"Authorization": "Bearer nope"}
+        )
+        assert status == 401
+        assert json.loads(data)["reason"] == "bad_token"
+
+    def test_right_token_admits_client_and_transport(
+        self, tmp_path, secured
+    ):
+        _, url = secured
+        client = ServiceClient(url, token="hunter2", **NO_RETRY)
+        assert "queue_depth" in client.stats()
+        cache = SharedCache(
+            tmp_path / "local",
+            HttpTransport(url, token="hunter2"),
+            write_behind=False,
+        )
+        cache.store_result_payload(APP, VARIANT, DIGEST, PAYLOAD)
+        assert cache.remote.pushes == 1
+
+    def test_env_token_is_picked_up(self, secured, monkeypatch):
+        _, url = secured
+        monkeypatch.setenv("REPRO_SERVICE_TOKEN", "hunter2")
+        assert "queue_depth" in ServiceClient(url, **NO_RETRY).stats()
+
+    def test_unauthenticated_transport_fails_permanently(
+        self, tmp_path, secured
+    ):
+        """Bad auth must NOT look transient (no retry storm)."""
+        _, url = secured
+        transport = HttpTransport(url, token="wrong")
+        with pytest.raises(ReproError, match="401"):
+            transport.fetch("v0/results/x.json", tmp_path / "x.json")
+
+
+class TestClientRetry:
+    def test_transient_url_errors_are_retried(self, service):
+        _, url = service
+        client = ServiceClient(
+            url,
+            retry=RetryPolicy(
+                attempts=3, base_delay=0.0, sleep=lambda _: None
+            ),
+        )
+        real_open, blips = client._open, [2]
+
+        def flaky(method, path, payload):
+            if blips[0] > 0:
+                blips[0] -= 1
+                raise urllib.error.URLError("connection reset")
+            return real_open(method, path, payload)
+
+        client._open = flaky
+        assert client.ping()
+        assert client.retry.stats.retries == 2
+
+    def test_retries_exhausted_names_the_service(self):
+        client = ServiceClient(
+            "http://127.0.0.1:1",  # nothing listens on port 1
+            timeout=0.2,
+            retry=RetryPolicy(
+                attempts=2, base_delay=0.0, sleep=lambda _: None
+            ),
+        )
+        with pytest.raises(ReproError, match="cannot reach sweep service"):
+            client.ping()
+        assert client.retry.stats.calls == 1
+
+    def test_wait_timeout_names_the_job(self, service):
+        server, url = service
+        client = ServiceClient(url, **NO_RETRY)
+        job = client.submit([{"app": APP}])
+        try:
+            with pytest.raises(ReproError, match=job["job_id"]):
+                client.wait(job["job_id"], poll_seconds=0.01, timeout=0.05)
+        finally:
+            client.cancel(job["job_id"])
+
+
+class TestRunProtocol:
+    """The networked claim surface, driven point-blank (no worker)."""
+
+    def make_run(self, tmp_path, url):
+        from repro.service.runner import create_run
+        from repro.uarch.config import power5
+
+        run_id = create_run(
+            tmp_path / "server-cache",
+            [(APP, VARIANT, power5())],
+            workers=1,
+        )
+        return run_id, ServiceClient(url, **NO_RETRY)
+
+    def test_claim_done_seals_run(self, tmp_path, service):
+        _, url = service
+        run_id, client = self.make_run(tmp_path, url)
+
+        state = client.run_state(run_id)
+        assert state["pending"] == 1 and not state["complete"]
+
+        bid = client.claim(run_id, "netw", 30.0)
+        key = {
+            "app": bid["claimed"]["app"],
+            "variant": bid["claimed"]["variant"],
+            "config_digest": bid["claimed"]["config_digest"],
+        }
+        assert bid["claimed"]["config"]  # full config payload rides along
+        client.heartbeat(run_id, "netw", key, 30.0)
+
+        # A second worker cannot claim the leased point.
+        rival = client.claim(run_id, "rival", 30.0)
+        assert rival["claimed"] is None
+        assert rival["pending"] == 1
+
+        assert client.done(run_id, "netw", key, "f" * 16) is True
+        # Duplicate done (client retry after lost response): suppressed.
+        assert client.done(run_id, "netw", key, "f" * 16) is False
+
+        sealed = client.finish_worker(run_id, "netw", {"claims": 1})
+        assert sealed["sealed"] is True
+        assert client.run_state(run_id)["complete"] is True
+
+    def test_release_returns_point(self, tmp_path, service):
+        _, url = service
+        run_id, client = self.make_run(tmp_path, url)
+        bid = client.claim(run_id, "netw", 30.0)
+        key = {
+            "app": bid["claimed"]["app"],
+            "variant": bid["claimed"]["variant"],
+            "config_digest": bid["claimed"]["config_digest"],
+        }
+        client.release(run_id, "netw", key)
+        again = client.claim(run_id, "rival", 30.0)
+        assert again["claimed"] is not None
+
+    def test_unknown_run_is_404(self, service):
+        _, url = service
+        client = ServiceClient(url, **NO_RETRY)
+        with pytest.raises(ReproError, match="r-missing|no journal|runs"):
+            client.run_state("r-missing")

@@ -85,6 +85,54 @@ class TestReadThrough:
         assert plain.load_result_payload(APP, VARIANT, DIGEST) == PAYLOAD
 
 
+class TestTempNames:
+    def test_fetch_temp_names_carry_process_random_token(self, tmp_path):
+        """Two containers can share a PID; the per-process random token
+        keeps their in-flight temp files from colliding on one mount."""
+        import os
+
+        from repro.engine.cache import tmp_suffix
+
+        suffix = tmp_suffix()
+        assert f"-{os.getpid()}-" in suffix
+        token = suffix.rsplit("-", 1)[-1]
+        assert len(token) == 8  # 4 random bytes, hex
+        int(token, 16)  # and actually hex
+
+        seen = []
+        transport = FilesystemTransport(tmp_path / "remote")
+        original = os.replace
+
+        def spy(src, dst):
+            seen.append(str(src))
+            return original(src, dst)
+
+        (tmp_path / "remote").mkdir()
+        (tmp_path / "remote" / "entry.json").write_text("{}")
+        try:
+            os.replace = spy
+            assert transport.fetch(
+                "entry.json", tmp_path / "local" / "entry.json"
+            )
+            transport.push(
+                tmp_path / "local" / "entry.json", "copy.json"
+            )
+        finally:
+            os.replace = original
+        assert seen and all(suffix in name for name in seen)
+
+    def test_no_temp_litter_after_fetch_and_push(self, tmp_path):
+        transport = FilesystemTransport(tmp_path / "remote")
+        (tmp_path / "remote").mkdir()
+        (tmp_path / "remote" / "entry.json").write_text("{}")
+        transport.fetch("entry.json", tmp_path / "local" / "entry.json")
+        transport.push(tmp_path / "local" / "entry.json", "copy.json")
+        litter = [
+            p for p in tmp_path.rglob(".*") if ".tmp-" in p.name
+        ]
+        assert litter == []
+
+
 class TestObservability:
     def test_stats_gains_remote_block(self, tmp_path):
         cache, _ = make_pair(tmp_path)

@@ -1,0 +1,337 @@
+"""Retry-policy and circuit-breaker state-machine edges.
+
+Clocks and sleeps are injected, so every timing-dependent transition
+(open -> half-open, probe failure backoff, degraded-interval bookkeeping)
+is tested without real waiting.
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ReproError
+from repro.service.remote import FilesystemTransport, SharedCache
+from repro.service.resilience import (
+    CircuitBreaker,
+    RetryPolicy,
+    TransientError,
+)
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+def make_policy(**kwargs):
+    slept = []
+    defaults = dict(
+        attempts=4, base_delay=0.1, max_delay=10.0,
+        deadline_seconds=100.0, clock=FakeClock(), sleep=slept.append,
+    )
+    defaults.update(kwargs)
+    return RetryPolicy(**defaults), slept
+
+
+class TestRetryPolicy:
+    def test_transient_errors_retry_then_succeed(self):
+        policy, slept = make_policy()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise TransientError("blip")
+            return "ok"
+
+        assert policy.call("op", flaky) == "ok"
+        assert len(calls) == 3
+        assert policy.stats.retries == 2
+        assert len(slept) == 2
+
+    def test_nontransient_raises_immediately(self):
+        policy, slept = make_policy()
+        with pytest.raises(ValueError):
+            policy.call("op", lambda: (_ for _ in ()).throw(
+                ValueError("permanent")
+            ))
+        assert policy.stats.retries == 0
+        assert not slept
+
+    def test_budget_exhaustion_reraises_last_error(self):
+        policy, _ = make_policy(attempts=3)
+
+        def always():
+            raise TransientError("down")
+
+        with pytest.raises(TransientError):
+            policy.call("op", always)
+        assert policy.stats.retries == 2
+        assert policy.stats.giveups == 1
+
+    def test_deadline_abandons_before_sleeping(self):
+        clock = FakeClock()
+        policy, slept = make_policy(
+            attempts=10, deadline_seconds=0.05, clock=clock
+        )
+
+        def always():
+            clock.advance(0.04)
+            raise TransientError("slow")
+
+        with pytest.raises(TransientError):
+            policy.call("op", always)
+        assert policy.stats.deadline_giveups == 1
+        assert not slept  # the first retry would already overshoot
+
+    def test_backoff_is_deterministic_and_exponential(self):
+        policy, _ = make_policy(seed=7)
+        again, _ = make_policy(seed=7)
+        delays = [policy.backoff(n, "fetch") for n in range(4)]
+        assert delays == [again.backoff(n, "fetch") for n in range(4)]
+        # Exponential shape survives the bounded jitter stretch.
+        assert delays[1] > delays[0]
+        assert delays[3] > delays[2]
+        # A different seed jitters differently (same operation).
+        other, _ = make_policy(seed=8)
+        assert delays != [other.backoff(n, "fetch") for n in range(4)]
+
+
+def make_breaker(**kwargs):
+    clock = FakeClock()
+    defaults = dict(
+        window=4, min_calls=3, failure_rate=0.5,
+        consecutive_failures=3, reset_timeout=1.0,
+        backoff_factor=2.0, max_reset_timeout=8.0, clock=clock,
+    )
+    defaults.update(kwargs)
+    return CircuitBreaker("test", **defaults), clock
+
+
+def trip(breaker):
+    while breaker.state == "closed":
+        breaker.record_failure()
+
+
+class TestCircuitBreaker:
+    def test_consecutive_failures_trip_open(self):
+        breaker, _ = make_breaker()
+        for _ in range(3):
+            assert breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.stats.trips == 1
+        assert breaker.stats.rejections == 1
+
+    def test_failure_rate_trips_with_mixed_outcomes(self):
+        breaker, _ = make_breaker(consecutive_failures=100)
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()  # window [T,F,T,F]: rate 0.5 >= 0.5
+        assert breaker.state == "open"
+
+    def test_open_becomes_half_open_after_timeout(self):
+        breaker, clock = make_breaker(reset_timeout=1.0)
+        trip(breaker)
+        assert not breaker.allow()
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        """Concurrent callers during half-open: one probe, rest refused."""
+        breaker, clock = make_breaker()
+        trip(breaker)
+        clock.advance(1.0)
+        admitted = []
+        barrier = threading.Barrier(8)
+
+        def caller():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=caller) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+        assert breaker.stats.probes == 1
+
+    def test_probe_failure_reopens_with_longer_backoff(self):
+        breaker, clock = make_breaker(reset_timeout=1.0, backoff_factor=2.0)
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()  # the probe
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert breaker.reset_timeout == 2.0
+        # Old timeout no longer opens the gate; the doubled one does.
+        clock.advance(1.0)
+        assert breaker.state == "open"
+        clock.advance(1.0)
+        assert breaker.state == "half_open"
+        # Another failed probe doubles again, capped eventually.
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.reset_timeout == 4.0
+
+    def test_backoff_caps_at_max_reset_timeout(self):
+        breaker, clock = make_breaker(
+            reset_timeout=3.0, backoff_factor=4.0, max_reset_timeout=8.0
+        )
+        trip(breaker)
+        clock.advance(3.0)
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.reset_timeout == 8.0
+
+    def test_probe_success_closes_and_resets_timeout(self):
+        breaker, clock = make_breaker(reset_timeout=1.0)
+        trip(breaker)
+        clock.advance(1.0)
+        assert breaker.allow()
+        breaker.record_failure()  # timeout now 2.0
+        clock.advance(2.0)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.reset_timeout == 1.0  # base restored
+        assert breaker.stats.recoveries == 1
+
+    def test_degraded_seconds_tracks_open_interval(self):
+        breaker, clock = make_breaker(reset_timeout=1.0)
+        trip(breaker)
+        clock.advance(0.5)
+        assert breaker.degraded_seconds() == pytest.approx(0.5)
+        clock.advance(0.5)
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.degraded_seconds() == pytest.approx(1.0)
+        clock.advance(5.0)  # closed time does not count
+        assert breaker.degraded_seconds() == pytest.approx(1.0)
+
+
+class FlakyTransport(FilesystemTransport):
+    """A filesystem remote that fails until told to recover."""
+
+    def __init__(self, root) -> None:
+        super().__init__(root)
+        self.down = True
+
+    def _check(self):
+        if self.down:
+            raise TransientError("remote down")
+
+    def exists(self, relpath):
+        self._check()
+        return super().exists(relpath)
+
+    def fetch(self, relpath, destination):
+        self._check()
+        return super().fetch(relpath, destination)
+
+    def push(self, source, relpath):
+        self._check()
+        super().push(source, relpath)
+
+
+def degraded_cache(tmp_path, **breaker_kwargs):
+    transport = FlakyTransport(tmp_path / "remote")
+    defaults = dict(
+        consecutive_failures=1, reset_timeout=0.0, min_calls=1,
+    )
+    defaults.update(breaker_kwargs)
+    cache = SharedCache(
+        tmp_path / "local",
+        transport,
+        write_behind=False,
+        retry=RetryPolicy(attempts=1, base_delay=0.0, sleep=lambda _: None),
+        breaker=CircuitBreaker("test", **defaults),
+    )
+    return cache, transport
+
+
+class TestDegradedSharedCache:
+    """Satellite: circuit-open degradation is observable and lossless."""
+
+    def test_open_circuit_parks_pushes_then_drains_on_recovery(
+        self, tmp_path
+    ):
+        cache, transport = degraded_cache(tmp_path)
+        payload = {"cpi": 1.0}
+        cache.store_result_payload("blast", "baseline", "a" * 16, payload)
+        assert cache.degraded
+        assert cache.pending_pushes() == 1
+        assert cache.stats()["remote"]["degraded"] is True
+
+        # More writes while degraded: parked, not lost, not attempted.
+        cache.store_result_payload("blast", "baseline", "b" * 16, payload)
+        assert cache.pending_pushes() == 2
+        assert cache.remote.degraded_pushes >= 1
+
+        transport.down = False
+        # reset_timeout=0: next touch probes, succeeds, drains the queue.
+        assert cache.drain_pending() == 2
+        assert cache.pending_pushes() == 0
+        assert not cache.degraded
+        other = SharedCache(
+            tmp_path / "other", FilesystemTransport(tmp_path / "remote")
+        )
+        assert other.load_result_payload(
+            "blast", "baseline", "a" * 16
+        ) == payload
+        assert other.load_result_payload(
+            "blast", "baseline", "b" * 16
+        ) == payload
+        other.close()
+
+    def test_degraded_reads_skip_remote_and_count(self, tmp_path):
+        cache, transport = degraded_cache(
+            tmp_path, reset_timeout=1000.0
+        )
+        cache.store_result_payload("blast", "baseline", "a" * 16, {"x": 1})
+        assert cache.degraded
+        fetch_errors = cache.remote.fetch_errors
+        assert cache.load_result_payload("fasta", "baseline", "c" * 16) \
+            is None
+        # The read was answered locally: no new remote attempt.
+        assert cache.remote.fetch_errors == fetch_errors
+        assert cache.remote.degraded_reads >= 1
+
+    def test_replicate_now_waits_out_open_circuit(self, tmp_path):
+        cache, transport = degraded_cache(tmp_path)
+        cache.store_result_payload("blast", "baseline", "a" * 16, {"x": 1})
+        path = cache.result_path("blast", "baseline", "a" * 16)
+        assert cache.degraded
+        transport.down = False
+        cache.replicate_now(path, attempts=3, wait_seconds=0.0)
+        assert cache.pending_pushes() == 0
+        assert (tmp_path / "remote" / path.relative_to(cache.root)).exists()
+
+    def test_replicate_now_raises_when_remote_stays_dead(self, tmp_path):
+        cache, _ = degraded_cache(tmp_path, reset_timeout=1000.0)
+        cache.store_result_payload("blast", "baseline", "a" * 16, {"x": 1})
+        path = cache.result_path("blast", "baseline", "a" * 16)
+        with pytest.raises(ReproError, match="cannot replicate"):
+            cache.replicate_now(path, attempts=2, wait_seconds=0.0)
+
+    def test_resilience_block_shape(self, tmp_path):
+        cache, transport = degraded_cache(tmp_path)
+        cache.store_result_payload("blast", "baseline", "a" * 16, {"x": 1})
+        block = cache.resilience()
+        assert block["breaker_trips"] == 1
+        assert block["queued_pushes"] == 1
+        assert set(block) == {
+            "retries", "breaker_trips", "breaker_rejections",
+            "degraded_seconds", "remote_hits", "remote_misses",
+            "remote_pushes", "queued_pushes", "drained_pushes",
+        }
