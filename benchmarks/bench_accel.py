@@ -1,0 +1,148 @@
+"""Accelerator lab benchmarks (and the CI smoke entry point).
+
+The backends are analytical, so the interesting costs are not device
+models but the plumbing around them:
+
+* ``workload`` — how fast a class batch materialises from its seeded
+  generator (jobs/sec);
+* ``estimate`` — design points priced per second for each backend at
+  class C, including the greedy array assignment (BioSEAL) and the
+  memo-model bookkeeping (ApHMM);
+* ``sweep sharing`` — :func:`repro.accel.estimate_many` pricing a
+  16-config ApHMM sweep against one shared class batch vs 16 naive
+  constructions. Asserted >= 1.5x (it measures higher; for ApHMM the
+  batch construction dominates a single analytical estimate).
+
+Run as a script for the CI smoke check::
+
+    PYTHONPATH=src python benchmarks/bench_accel.py --smoke
+
+which prices both backends at every class A..C, verifies the result
+invariants (positive cycles, fractional shares, monotone batch
+growth), and round-trips one estimate through its store payload.
+"""
+
+import sys
+import time
+from dataclasses import replace
+
+import pytest
+
+from repro.accel import (
+    aphmm,
+    bioseal,
+    estimate,
+    estimate_many,
+    workload_batch,
+)
+from repro.accel.lab import estimate_from_dict, estimate_to_dict
+
+#: (app, backend factory) pairs covering both device families.
+POINTS = (("blast", bioseal), ("hmmer", aphmm))
+
+
+def _best_per_sec(fn, n, reps=5):
+    """Best-of-N wall time -> units/sec (min is the least noisy)."""
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - started)
+    return n / best
+
+
+@pytest.mark.parametrize("app", ("blast", "hmmer"))
+def bench_accel_workload(benchmark, app):
+    """workload_batch: seeded class-C batch constructions/sec."""
+    jobs = len(workload_batch(app, "C").jobs)
+    rate = benchmark.pedantic(
+        lambda: _best_per_sec(lambda: workload_batch(app, "C"), jobs),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n{app}: class-C batch {rate / 1e3:.1f}k jobs/s")
+
+
+@pytest.mark.parametrize("app,factory", POINTS)
+def bench_accel_estimate(benchmark, app, factory):
+    """estimate: class-C design points priced per second."""
+    config = factory().with_class("C")
+    rate = benchmark.pedantic(
+        lambda: _best_per_sec(
+            lambda: estimate(app, "baseline", config), 1, reps=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    print(f"\n{app}/{config.backend}: {rate:.0f} estimates/s")
+
+
+def bench_accel_sweep_sharing(benchmark):
+    """estimate_many vs naive per-config batches (the sharing payoff)."""
+    base = aphmm().with_class("C")
+    configs = [replace(base, pe_count=2 ** n) for n in range(1, 17)]
+    n = len(configs)
+
+    naive_rate = _best_per_sec(
+        lambda: [estimate("hmmer", "baseline", c) for c in configs],
+        n, reps=3,
+    )
+    shared_rate = benchmark.pedantic(
+        lambda: _best_per_sec(
+            lambda: estimate_many("hmmer", "baseline", configs), n, reps=3
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    speedup = shared_rate / naive_rate
+    print(
+        f"\nhmmer sweep x{n}: naive {naive_rate:.0f}/s | shared "
+        f"{shared_rate:.0f}/s | speedup {speedup:.1f}x"
+    )
+    assert speedup >= 1.5, (
+        f"batch sharing only {speedup:.1f}x naive (expected >= 1.5x)"
+    )
+
+
+def _smoke() -> int:
+    """CI smoke: both backends, all classes, invariants + round-trip."""
+    for app, factory in POINTS:
+        base = factory()
+        previous_cells = 0
+        for input_class in ("A", "B", "C"):
+            est = estimate(
+                app, "baseline", base.with_class(input_class)
+            )
+            ok = (
+                est.cycles > 0
+                and est.jobs > 0
+                and est.cells > previous_cells
+                and 0.0 <= est.utilization <= 1.0
+                and 0.0 <= est.overhead_share <= 1.0
+                and 0.0 <= est.transfer_share <= 1.0
+            )
+            if not ok:
+                print(f"FAIL: {app}/{base.backend}/{input_class} broke "
+                      f"an invariant: {est!r}")
+                return 1
+            previous_cells = est.cells
+            print(
+                f"{app:9s} {base.backend:8s} class {input_class}: "
+                f"{est.jobs:3d} jobs {est.cells:9d} cells "
+                f"{est.cycles:9d} host cycles "
+                f"util {est.utilization:5.1%} "
+                f"overhead {est.overhead_share:5.1%}"
+            )
+        rebuilt = estimate_from_dict(estimate_to_dict(est))
+        if rebuilt != est:
+            print(f"FAIL: {app} estimate did not round-trip its payload")
+            return 1
+    print("OK: both backends priced A..C; payload round-trip exact")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--smoke" in sys.argv:
+        sys.exit(_smoke())
+    print("usage: python benchmarks/bench_accel.py --smoke", file=sys.stderr)
+    sys.exit(2)

@@ -1,0 +1,118 @@
+"""ApHMM-style profile-HMM acceleration unit model.
+
+ApHMM (PAPERS.md) accelerates profile-HMM inference (Viterbi/forward
+and Baum-Welch) with a hardware pipeline that exploits two structural
+facts this model keeps:
+
+* **Profile-length parallelism.** ``pe_count`` processing elements
+  update match/insert/delete states in parallel, so each query residue
+  advances the whole profile in ``ceil(states / pe_count)`` passes of
+  ``ops_per_step`` compare-add cycles each, behind a ``pipeline_depth``
+  fill per query.
+* **Memoized transition lookups.** Transition/emission score fetches
+  hit a memo of ``memo_entries`` slots keyed by (state, residue). The
+  distinct working set per model is ``states * ALPHABET_SIZE``; a memo
+  at least that large pays only compulsory misses once per model, a
+  smaller memo captures a proportional fraction of the reuse. Misses
+  stall the pipeline ``lookup_cycles`` each, amortised across PEs.
+* **Batch streaming.** Query residues stream through one unit
+  back-to-back; each model's parameters cross the host link once per
+  scan, each query ships only its residues and reads back a fixed-size
+  score record.
+
+Deliberately omitted: Baum-Welch training (we price the scoring pass
+that dominates hmmpfam), negative-log fixed-point width effects, and
+multi-unit scaling (one pipelined unit serves the batch serially).
+"""
+
+from __future__ import annotations
+
+from repro.accel.base import BackendResult, to_host_cycles
+from repro.accel.config import AccelConfig
+from repro.accel.workload import ALPHABET_SIZE, PROFILE_HMM, WorkloadBatch
+from repro.errors import SimulationError
+
+#: Bytes per profile state shipped at model load: 20 emission scores
+#: plus 7 transitions, 2 bytes each.
+_MODEL_BYTES_PER_STATE = (ALPHABET_SIZE + 7) * 2
+
+#: Score/alignment record read back per query.
+_RESULT_BYTES = 16
+
+
+class ApHmmBackend:
+    """Batch-level timing/energy model of the profile-HMM unit."""
+
+    name = "aphmm"
+
+    def __init__(self, config: AccelConfig) -> None:
+        if config.backend != self.name:
+            raise SimulationError(
+                f"config names backend {config.backend!r}, not aphmm"
+            )
+        self.config = config
+
+    def supports(self, batch: WorkloadBatch) -> bool:
+        return batch.kind == PROFILE_HMM
+
+    def estimate(self, batch: WorkloadBatch) -> BackendResult:
+        if not self.supports(batch):
+            raise SimulationError(
+                f"aphmm backend cannot serve {batch.kind!r} batches"
+            )
+        cfg = self.config
+        device = 0
+        transfer = 0
+        tiles = 0
+        busy_ops = 0
+        total_cells = 0
+        memo_hits = 0
+        memo_misses = 0
+        bytes_moved = 0
+        for job in batch.jobs:
+            passes = -(-job.states // cfg.pe_count)
+            tiles += passes
+            compute = cfg.pipeline_depth + job.query_len * passes * cfg.ops_per_step
+            lookups = job.query_len * job.states
+            distinct = job.states * ALPHABET_SIZE
+            if cfg.memo_entries >= distinct:
+                misses = min(lookups, distinct)
+            else:
+                # A partial memo captures memo_entries/distinct of the
+                # reuse beyond the compulsory first touches.
+                reuse = max(0, lookups - distinct)
+                covered = reuse * cfg.memo_entries // distinct
+                misses = lookups - covered
+            stall = -(-misses * cfg.lookup_cycles // cfg.pe_count)
+            device += compute + stall
+            memo_misses += misses
+            memo_hits += lookups - misses
+            job_bytes = (job.states * _MODEL_BYTES_PER_STATE
+                         + job.query_len + _RESULT_BYTES)
+            transfer += (cfg.transfer_latency
+                         + -(-job_bytes // cfg.transfer_bytes_per_cycle))
+            bytes_moved += job_bytes
+            busy_ops += job.cells * cfg.ops_per_step
+            total_cells += job.cells
+        capacity = cfg.pe_count * device
+        invocation = (cfg.setup_cycles + len(batch.jobs)
+                      * cfg.dispatch_cycles) if batch.jobs else 0
+        host_cycles = to_host_cycles(device, cfg) + transfer + invocation
+        energy = (busy_ops * cfg.op_energy_pj
+                  + memo_misses * cfg.lookup_cycles * cfg.op_energy_pj
+                  + bytes_moved * cfg.byte_energy_pj)
+        return BackendResult(
+            backend=self.name,
+            jobs=len(batch.jobs),
+            cells=total_cells,
+            device_cycles=device,
+            transfer_cycles=transfer,
+            invocation_cycles=invocation,
+            host_cycles=host_cycles,
+            tiles=tiles,
+            memo_hits=memo_hits,
+            memo_misses=memo_misses,
+            busy_ops=busy_ops,
+            capacity_ops=capacity,
+            energy_pj=energy,
+        )

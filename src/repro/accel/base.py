@@ -1,0 +1,111 @@
+"""The common accelerator backend protocol and its result type.
+
+A backend is a batch-level analytical timing model: given a
+:class:`~repro.accel.workload.WorkloadBatch` it returns a
+:class:`BackendResult` pricing the whole batch — device cycles, the
+host-clock equivalent, host↔device transfer overhead, a utilization
+figure, and an integer energy proxy. Backends never execute kernels;
+they price the work the kernels describe, which is what keeps a full
+design-point sweep cheap enough to cache and fan out like core sims.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Protocol
+
+from repro.accel.config import AccelConfig
+from repro.accel.workload import WorkloadBatch
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class BackendResult:
+    """One backend's estimate for one workload batch.
+
+    Cycle fields are exact integers (all model arithmetic is integer),
+    so serialized results round-trip byte-identically. ``host_cycles``
+    is the comparison metric: device time converted to host clocks plus
+    all host-side transfer/dispatch cost.
+    """
+
+    backend: str
+    jobs: int
+    cells: int
+    device_cycles: int      # device-clock compute (incl. layout/stalls)
+    transfer_cycles: int    # host-clock data movement (bursts + bytes)
+    invocation_cycles: int  # host-clock session setup + per-job dispatch
+    host_cycles: int        # host-clock total: scaled device + overheads
+    tiles: int              # bioseal bands / aphmm profile passes
+    memo_hits: int
+    memo_misses: int
+    busy_ops: int           # useful cell-update operations issued
+    capacity_ops: int       # op slots available over the busy window
+    energy_pj: int
+
+    @property
+    def utilization(self) -> float:
+        """Useful ops over available op slots (0.0 on an empty batch)."""
+        return self.busy_ops / self.capacity_ops if self.capacity_ops else 0.0
+
+    @property
+    def transfer_share(self) -> float:
+        """Fraction of host-equivalent time spent moving data."""
+        return (self.transfer_cycles / self.host_cycles
+                if self.host_cycles else 0.0)
+
+    @property
+    def overhead_share(self) -> float:
+        """Fraction of host-equivalent time that is not device compute
+        (data movement plus setup/dispatch) — the amortisation metric
+        the crossover analysis tracks across workload classes."""
+        overhead = self.transfer_cycles + self.invocation_cycles
+        return overhead / self.host_cycles if self.host_cycles else 0.0
+
+    def to_payload(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "BackendResult":
+        fields = set(cls.__dataclass_fields__)
+        extra = set(payload) - fields
+        missing = fields - set(payload)
+        if extra or missing:
+            raise ValueError(
+                f"backend result payload mismatch: extra={sorted(extra)} "
+                f"missing={sorted(missing)}"
+            )
+        return cls(**payload)
+
+
+class Backend(Protocol):
+    """What every accelerator timing model implements."""
+
+    name: str
+
+    def supports(self, batch: WorkloadBatch) -> bool:
+        """Whether this backend can serve the batch's job kind."""
+        ...
+
+    def estimate(self, batch: WorkloadBatch) -> BackendResult:
+        """Price the whole batch."""
+        ...
+
+
+def backend_for(config: AccelConfig) -> Backend:
+    """Instantiate the timing model a config names."""
+    from repro.accel.aphmm import ApHmmBackend
+    from repro.accel.bioseal import BioSealBackend
+
+    if config.backend == "bioseal":
+        return BioSealBackend(config)
+    if config.backend == "aphmm":
+        return ApHmmBackend(config)
+    raise SimulationError(
+        f"unknown accelerator backend {config.backend!r}"
+    )
+
+
+def to_host_cycles(device_cycles: int, config: AccelConfig) -> int:
+    """Device-clock cycles expressed on the host clock (ceiling)."""
+    return -(-device_cycles * config.host_clock_mhz // config.clock_mhz)

@@ -1,0 +1,114 @@
+"""BioSEAL-style associative processing-in-memory alignment model.
+
+BioSEAL (PAPERS.md) executes sequence alignment inside a content
+addressable memory: each DP matrix *row* lives in one CAM row, and the
+whole anti-diagonal advances per step through a row-broadcast of the
+incoming residue followed by a fixed sequence of associative
+compare/write passes. The timing consequences this model keeps:
+
+* **Wavefront parallelism.** A band of ``r`` rows against an ``n``
+  column subject finishes in ``r + n - 1`` anti-diagonal steps — time
+  linear in ``m + n`` where a CPU pays ``m * n``.
+* **Associative step cost.** Each step is ``ops_per_step`` associative
+  passes (match/insert/delete compare-adds plus the max selection),
+  independent of how many rows participate.
+* **Capacity-limited tiling.** A query longer than ``rows`` is split
+  into bands; each band replays the full subject and the boundary
+  column is carried through the host interface.
+* **Row programming.** Loading a band's query residues is a bit-serial
+  CAM write, ``row_write_cycles`` per occupied row.
+* **Host↔PIM transfer.** Per job: a dispatch cost, a burst latency, and
+  sequence payload bytes over a ``transfer_bytes_per_cycle`` link; band
+  boundaries re-cross the link.
+
+Deliberately omitted: bit-level CAM timing, refresh interference,
+exact traceback (scored as a fixed-size result readback), and
+inter-array interconnect contention (arrays are independent and jobs
+are greedily least-loaded balanced across them).
+"""
+
+from __future__ import annotations
+
+from repro.accel.base import BackendResult, to_host_cycles
+from repro.accel.config import AccelConfig
+from repro.accel.workload import ALIGNMENT, WorkloadBatch
+from repro.errors import SimulationError
+
+#: Result readback per job: best score, end coordinates, band summary.
+_RESULT_BYTES = 32
+
+
+class BioSealBackend:
+    """Batch-level timing/energy model of the associative PIM array."""
+
+    name = "bioseal"
+
+    def __init__(self, config: AccelConfig) -> None:
+        if config.backend != self.name:
+            raise SimulationError(
+                f"config names backend {config.backend!r}, not bioseal"
+            )
+        self.config = config
+
+    def supports(self, batch: WorkloadBatch) -> bool:
+        return batch.kind == ALIGNMENT
+
+    def estimate(self, batch: WorkloadBatch) -> BackendResult:
+        if not self.supports(batch):
+            raise SimulationError(
+                f"bioseal backend cannot serve {batch.kind!r} batches"
+            )
+        cfg = self.config
+        loads = [0] * cfg.arrays  # device cycles committed per array
+        transfer = 0
+        tiles = 0
+        busy_ops = 0
+        total_cells = 0
+        bytes_moved = 0
+        for job in batch.jobs:
+            # The shorter sequence occupies CAM rows; the longer one
+            # streams as the broadcast subject.
+            m = min(job.query_len, job.subject_len)
+            n = max(job.query_len, job.subject_len)
+            bands = -(-m // cfg.rows)
+            tiles += bands
+            compute = 0
+            for band in range(bands):
+                rows_used = min(cfg.rows, m - band * cfg.rows)
+                steps = rows_used + n - 1
+                compute += steps * cfg.ops_per_step
+            layout = m * cfg.row_write_cycles
+            # Greedy least-loaded assignment; stable tie-break on index.
+            target = min(range(cfg.arrays), key=loads.__getitem__)
+            loads[target] += compute + layout
+            # Host side: one burst, sequence payload out, result back;
+            # each extra band carries its boundary column across the
+            # link again.
+            job_bytes = (job.query_len + job.subject_len + _RESULT_BYTES
+                         + (bands - 1) * 2 * n)
+            transfer += (cfg.transfer_latency
+                         + -(-job_bytes // cfg.transfer_bytes_per_cycle))
+            bytes_moved += job_bytes
+            busy_ops += job.cells * cfg.ops_per_step
+            total_cells += job.cells
+        device_cycles = max(loads) if batch.jobs else 0
+        capacity = cfg.arrays * cfg.rows * device_cycles
+        invocation = (cfg.setup_cycles + len(batch.jobs)
+                      * cfg.dispatch_cycles) if batch.jobs else 0
+        host_cycles = to_host_cycles(device_cycles, cfg) + transfer + invocation
+        energy = busy_ops * cfg.op_energy_pj + bytes_moved * cfg.byte_energy_pj
+        return BackendResult(
+            backend=self.name,
+            jobs=len(batch.jobs),
+            cells=total_cells,
+            device_cycles=device_cycles,
+            transfer_cycles=transfer,
+            invocation_cycles=invocation,
+            host_cycles=host_cycles,
+            tiles=tiles,
+            memo_hits=0,
+            memo_misses=0,
+            busy_ops=busy_ops,
+            capacity_ops=capacity,
+            energy_pj=energy,
+        )

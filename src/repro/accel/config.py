@@ -1,0 +1,115 @@
+"""Accelerator design-point configuration.
+
+:class:`AccelConfig` is the offload analogue of
+:class:`repro.uarch.config.CoreConfig`: a frozen dataclass naming one
+accelerator design point. The engine digests it through the same
+``config_digest`` path as core configs — the digest embeds the dataclass
+*type name*, so accelerator digests can never collide with core digests
+even for coincidentally equal field values — which is what lets
+accelerator runs be cached, journaled, swept, and resumed exactly like
+core simulations.
+
+All fields are ints or strings so journal/cache round-trips are exact
+(no float re-parsing ambiguity). Energy knobs are integer picojoules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.errors import SimulationError
+
+#: The modelled accelerator families, in presentation order.
+BACKENDS = ("bioseal", "aphmm")
+
+#: Workload classes an accelerator point can target (class D is served
+#: by the same batch builder; it is simply a larger job list).
+INPUT_CLASSES = ("A", "B", "C", "D")
+
+
+@dataclass(frozen=True)
+class AccelConfig:
+    """One accelerator design point.
+
+    ``backend`` selects the timing model; ``input_class`` names the
+    workload batch the estimate covers, making the batch part of the
+    design point (and therefore of the cache key). Shared knobs apply
+    to both backends; the ``bioseal_``/``aphmm_`` groups are ignored by
+    the other backend but still participate in the digest, keeping one
+    config shape for the whole subsystem.
+    """
+
+    backend: str = "bioseal"
+    input_class: str = "C"
+
+    # -- shared host/link model -------------------------------------
+    clock_mhz: int = 250           # device clock (PIM sits in the DRAM domain)
+    host_clock_mhz: int = 2000     # POWER5-class host core
+    setup_cycles: int = 700_000    # per-batch session setup (context,
+                                   # program/config load, scratch alloc)
+    dispatch_cycles: int = 50_000  # per-job offload invocation (driver
+                                   # call, DMA mapping, completion)
+    transfer_latency: int = 400    # host cycles per transfer burst
+    transfer_bytes_per_cycle: int = 4
+
+    # -- BioSEAL-style associative PIM array ------------------------
+    arrays: int = 4               # independent associative arrays
+    rows: int = 2048              # CAM rows per array (one cell row each)
+    ops_per_step: int = 6         # associative passes per anti-diagonal step
+    row_write_cycles: int = 24    # bit-serial CAM row programming, per row
+
+    # -- ApHMM-style profile-HMM unit -------------------------------
+    pe_count: int = 32            # processing elements across the profile
+    pipeline_depth: int = 8       # per-query pipeline fill
+    lookup_cycles: int = 12       # transition-table fetch on memo miss
+    memo_entries: int = 4096      # memoized (state, residue) score slots
+
+    # -- energy proxy (integer picojoules) --------------------------
+    op_energy_pj: int = 1
+    byte_energy_pj: int = 8
+
+    def __post_init__(self) -> None:
+        if self.backend not in BACKENDS:
+            raise SimulationError(
+                f"unknown accelerator backend {self.backend!r}; "
+                f"have {BACKENDS}"
+            )
+        if self.input_class not in INPUT_CLASSES:
+            raise SimulationError(
+                f"unknown input class {self.input_class!r}; "
+                f"have {INPUT_CLASSES}"
+            )
+        positive = (
+            "clock_mhz", "host_clock_mhz", "transfer_bytes_per_cycle",
+            "arrays", "rows", "ops_per_step", "pe_count",
+        )
+        for name in positive:
+            if getattr(self, name) < 1:
+                raise SimulationError(f"{name} must be >= 1, got "
+                                  f"{getattr(self, name)}")
+        non_negative = (
+            "setup_cycles", "dispatch_cycles", "transfer_latency",
+            "row_write_cycles",
+            "pipeline_depth", "lookup_cycles", "memo_entries",
+            "op_energy_pj", "byte_energy_pj",
+        )
+        for name in non_negative:
+            if getattr(self, name) < 0:
+                raise SimulationError(f"{name} must be >= 0, got "
+                                  f"{getattr(self, name)}")
+
+    def with_class(self, input_class: str) -> "AccelConfig":
+        """The same design point aimed at a different workload class."""
+        return replace(self, input_class=input_class)
+
+
+def bioseal(input_class: str = "C", **overrides) -> AccelConfig:
+    """A BioSEAL-style associative-PIM design point."""
+    return AccelConfig(backend="bioseal", input_class=input_class,
+                       **overrides)
+
+
+def aphmm(input_class: str = "C", **overrides) -> AccelConfig:
+    """An ApHMM-style profile-HMM-unit design point."""
+    return AccelConfig(backend="aphmm", input_class=input_class,
+                       **overrides)

@@ -1,0 +1,126 @@
+"""Offload workload batches derived from the BioPerf-style specs.
+
+The accelerator models are batch-level: they price a whole class-sized
+job list, not one kernel invocation. The job lists here are derived
+deterministically from the same :data:`repro.bio.workloads.CLASS_C_SPECS`
+× :data:`~repro.bio.workloads.CLASS_SCALES` shapes that size the
+synthetic inputs — so a class-C accelerator estimate and a class-C CPU
+characterisation describe the *same* amount of alignment/HMM work, which
+is what makes the CPU-tweaks-vs-offload comparison a matched one.
+
+Only job *dimensions* are generated (lengths, state counts); no residues
+are sampled. Dimensions get a small seeded jitter so batches are not
+degenerate uniform grids, and the seed is a function of (app, class)
+alone, so batches are stable across processes and platforms.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.bio.workloads import CLASS_C_SPECS, _scaled
+from repro.errors import WorkloadError
+
+#: Batch kinds a backend can claim support for.
+ALIGNMENT = "alignment"
+PROFILE_HMM = "profile_hmm"
+
+#: Alphabet size the profile-HMM memo model assumes (protein residues).
+ALPHABET_SIZE = 20
+
+
+@dataclass(frozen=True)
+class AlignmentJob:
+    """One pairwise DP problem: a query row dimension x a subject
+    column dimension."""
+
+    query_len: int
+    subject_len: int
+
+    @property
+    def cells(self) -> int:
+        return self.query_len * self.subject_len
+
+
+@dataclass(frozen=True)
+class HmmJob:
+    """One profile-HMM scan: a model of ``states`` match states against
+    a query of ``query_len`` residues."""
+
+    states: int
+    query_len: int
+
+    @property
+    def cells(self) -> int:
+        """DP cell count (state updates) — the work measure."""
+        return self.states * self.query_len
+
+
+@dataclass(frozen=True)
+class WorkloadBatch:
+    """A class-sized offload job list for one application."""
+
+    app: str
+    input_class: str
+    kind: str  # ALIGNMENT or PROFILE_HMM
+    jobs: tuple
+
+    @property
+    def total_cells(self) -> int:
+        return sum(job.cells for job in self.jobs)
+
+    @property
+    def total_residues(self) -> int:
+        """Residues shipped to the device (sequence payload bytes)."""
+        if self.kind == PROFILE_HMM:
+            return sum(job.query_len for job in self.jobs)
+        return sum(job.query_len + job.subject_len for job in self.jobs)
+
+
+def _jitter(rng: random.Random, value: int) -> int:
+    """±10% deterministic length jitter, floored at 8."""
+    return max(8, int(value * (0.9 + 0.2 * rng.random())))
+
+
+def workload_batch(app: str, input_class: str = "C") -> WorkloadBatch:
+    """The deterministic offload batch for one (app, class) pair."""
+    if app not in CLASS_C_SPECS:
+        raise WorkloadError(
+            f"unknown application {app!r}; have {sorted(CLASS_C_SPECS)}"
+        )
+    spec = _scaled(CLASS_C_SPECS[app], input_class)
+    rng = random.Random(f"accel:{app}:{input_class}")
+    jobs: list = []
+    if app in ("blast", "fasta"):
+        # One query extended/aligned against every database sequence.
+        for _ in range(spec.database_sequences):
+            jobs.append(AlignmentJob(
+                query_len=_jitter(rng, spec.query_length),
+                subject_len=_jitter(rng, spec.database_length),
+            ))
+        kind = ALIGNMENT
+    elif app == "clustalw":
+        # Progressive alignment's dominant cost: the all-pairs distance
+        # matrix of forward passes over the family.
+        size = spec.family_size
+        lengths = [_jitter(rng, spec.query_length) for _ in range(size)]
+        for i in range(size):
+            for j in range(i + 1, size):
+                jobs.append(AlignmentJob(lengths[i], lengths[j]))
+        kind = ALIGNMENT
+    elif app == "hmmer":
+        # hmmpfam: the query scanned against every model in the
+        # database (one model per family, as hmmer_input builds it).
+        n_models = max(3, spec.database_sequences // max(1, spec.family_size))
+        for _ in range(n_models):
+            jobs.append(HmmJob(
+                states=_jitter(rng, spec.database_length),
+                query_len=_jitter(rng, spec.query_length),
+            ))
+        kind = PROFILE_HMM
+    else:  # pragma: no cover - CLASS_C_SPECS gate above
+        raise WorkloadError(f"unknown application {app!r}")
+    return WorkloadBatch(
+        app=app, input_class=input_class, kind=kind, jobs=tuple(jobs),
+    )

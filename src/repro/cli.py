@@ -16,6 +16,7 @@ asm        print a kernel's mini-ISA assembly per variant
 trace      dump a kernel trace / re-simulate a saved one
 experiments reproduce the paper's tables/figures (engine-backed)
 bpred      branch-prediction lab: compare / rank / sweep predictors
+accel      accelerator lab: compare offload classes, sweep design knobs
 cache      inspect / clear / gc the persistent simulation cache
 runs       list / prune the durable sweep run journals
 resume     continue an interrupted journaled sweep
@@ -401,6 +402,129 @@ def cmd_bpred(args) -> int:
             result.mispredictions,
             percent(result.misprediction_rate),
             f"{result.mpki:.2f}",
+        )
+    print(table.render())
+    return 0
+
+
+def cmd_accel(args) -> int:
+    from dataclasses import fields as dataclass_fields
+    from dataclasses import replace
+
+    from repro.accel import AccelConfig, aphmm, bioseal, supported_backends
+    from repro.engine.cache import use_cache_dir
+    from repro.engine.engine import default_engine
+
+    if args.cache_dir is not None:
+        use_cache_dir(args.cache_dir)
+    engine = default_engine()
+
+    backend = args.backend
+    if backend == "auto":
+        backend = supported_backends(args.app)[0]
+    base = bioseal() if backend == "bioseal" else aphmm()
+
+    if args.action == "compare":
+        classes = args.classes.split(",")
+        points = [
+            (args.app, args.variant, base.with_class(cls))
+            for cls in classes
+        ]
+        engine.prefetch(points, jobs=args.jobs)
+        rows = [
+            (cls, engine.characterize(args.app, args.variant, config))
+            for (_, _, config), cls in zip(points, classes)
+        ]
+        if args.porcelain:
+            # One class per line, tab-separated, stable field order
+            # (consistent with `repro bpred --porcelain`): class,
+            # backend, jobs, cells, host cycles, device cycles,
+            # transfer cycles, invocation cycles, utilization,
+            # overhead share, energy.
+            for cls, est in rows:
+                print(_porcelain_row(
+                    cls,
+                    est.backend,
+                    est.jobs,
+                    est.cells,
+                    est.cycles,
+                    est.result.device_cycles,
+                    est.result.transfer_cycles,
+                    est.result.invocation_cycles,
+                    f"{est.utilization:.6f}",
+                    f"{est.overhead_share:.6f}",
+                    est.energy_pj,
+                ))
+            return 0
+        table = Table(
+            f"{backend} offload of the {args.app} kernels "
+            f"({args.variant} workloads)",
+            ["Class", "Jobs", "DP cells", "Host cycles", "Device cycles",
+             "Utilization", "Overhead", "Energy (pJ)"],
+        )
+        for cls, est in rows:
+            table.add_row(
+                cls,
+                est.jobs,
+                est.cells,
+                est.cycles,
+                est.result.device_cycles,
+                percent(est.utilization),
+                percent(est.overhead_share),
+                est.energy_pj,
+            )
+        print(table.render())
+        return 0
+
+    # sweep: one integer design knob across values at a fixed class.
+    sweepable = {
+        field.name for field in dataclass_fields(AccelConfig)
+        if field.name not in ("backend", "input_class")
+    }
+    if args.param not in sweepable:
+        raise ReproError(
+            f"accel sweep: unknown knob {args.param!r}; "
+            f"have {', '.join(sorted(sweepable))}"
+        )
+    values = [int(value) for value in args.values.split(",")]
+    anchored = base.with_class(args.input_class)
+    configs = [
+        replace(anchored, **{args.param: value}) for value in values
+    ]
+    points = [(args.app, args.variant, config) for config in configs]
+    engine.characterize_many(points, jobs=args.jobs)
+    rows = [
+        (value, engine.characterize(args.app, args.variant, config))
+        for value, config in zip(values, configs)
+    ]
+    if args.porcelain:
+        # param, value, host cycles, device cycles, utilization,
+        # overhead share, energy.
+        for value, est in rows:
+            print(_porcelain_row(
+                args.param,
+                value,
+                est.cycles,
+                est.result.device_cycles,
+                f"{est.utilization:.6f}",
+                f"{est.overhead_share:.6f}",
+                est.energy_pj,
+            ))
+        return 0
+    table = Table(
+        f"{backend} {args.param} sweep on the {args.app} kernels "
+        f"(class {args.input_class})",
+        [args.param, "Host cycles", "Device cycles", "Utilization",
+         "Overhead", "Energy (pJ)"],
+    )
+    for value, est in rows:
+        table.add_row(
+            value,
+            est.cycles,
+            est.result.device_cycles,
+            percent(est.utilization),
+            percent(est.overhead_share),
+            est.energy_pj,
         )
     print(table.render())
     return 0
@@ -892,6 +1016,44 @@ def build_parser() -> argparse.ArgumentParser:
                          help="cache directory (default: REPRO_CACHE_DIR "
                               "or ~/.cache/repro-power5)")
     p_bpred.set_defaults(func=cmd_bpred)
+
+    p_accel = sub.add_parser(
+        "accel",
+        help="accelerator lab: compare offload workload classes, sweep "
+             "design knobs",
+    )
+    p_accel.add_argument("action", choices=["compare", "sweep"])
+    p_accel.add_argument("app", choices=["blast", "clustalw", "fasta",
+                                         "hmmer"])
+    p_accel.add_argument("--variant", default="baseline",
+                         choices=list(VARIANTS),
+                         help="result-slot variant the estimates file "
+                              "under (estimates are variant-independent)")
+    p_accel.add_argument("--backend", default="auto",
+                         choices=["auto", "bioseal", "aphmm"],
+                         help="timing model (default: the one serving "
+                              "this app's kernel batches)")
+    p_accel.add_argument("--classes", default="A,B,C", metavar="C1,C2,...",
+                         help="compare only: workload classes "
+                              "(default: A,B,C)")
+    p_accel.add_argument("--class", dest="input_class", default="C",
+                         choices=["A", "B", "C", "D"],
+                         help="sweep only: workload class (default: C)")
+    p_accel.add_argument("--param", default="arrays", metavar="KNOB",
+                         help="sweep only: AccelConfig knob to sweep "
+                              "(default: arrays)")
+    p_accel.add_argument("--values", default="1,2,4,8", metavar="V1,V2,...",
+                         help="sweep only: knob values (default: 1,2,4,8)")
+    p_accel.add_argument("--jobs", "-j", type=int, default=None,
+                         metavar="N",
+                         help="worker processes for design-point fan-out")
+    p_accel.add_argument("--porcelain", action="store_true",
+                         help="tab-separated machine-readable output "
+                              "(stable field order per action)")
+    p_accel.add_argument("--cache-dir", default=None, metavar="DIR",
+                         help="cache directory (default: REPRO_CACHE_DIR "
+                              "or ~/.cache/repro-power5)")
+    p_accel.set_defaults(func=cmd_accel)
 
     p_cache = sub.add_parser(
         "cache",

@@ -29,7 +29,9 @@ from repro.uarch.config import CoreConfig
 #: 3: ``CoreConfig.predictor`` is a :class:`PredictorSpec` (kind +
 #:    geometry), so every config digest — and the journaled configs
 #:    they address — changed shape.
-CACHE_SCHEMA_VERSION = 3
+#: 4: accelerator result slots (``<variant>~accel``) joined the result
+#:    store and ``repro.accel`` sources joined the source digest.
+CACHE_SCHEMA_VERSION = 4
 
 #: Packages/modules (relative to the ``repro`` package) whose source
 #: participates in trace/result generation.
@@ -40,6 +42,7 @@ _SIM_SOURCE_ROOTS = (
     "bio",
     "uarch",
     "bpred",
+    "accel",
     "perf/characterize.py",
 )
 
@@ -50,9 +53,14 @@ _source_digest_cache: str | None = None
 
 
 def config_digest(config: CoreConfig) -> str:
-    """Canonical digest of a core configuration."""
+    """Canonical digest of a configuration dataclass.
+
+    The payload embeds the dataclass type name, so a
+    :class:`~repro.accel.config.AccelConfig` digest can never collide
+    with a :class:`CoreConfig` digest, even for equal field values.
+    """
     if not is_dataclass(config):
-        raise TypeError(f"expected a CoreConfig, got {type(config)!r}")
+        raise TypeError(f"expected a config dataclass, got {type(config)!r}")
     payload = json.dumps(
         {"type": type(config).__name__, "config": asdict(config)},
         sort_keys=True,

@@ -26,6 +26,13 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
+from repro.accel.config import AccelConfig
+from repro.accel.lab import (
+    AccelEstimate,
+    accel_slot,
+    estimate_many as accel_estimate_many,
+    estimate_to_dict,
+)
 from repro.engine import serialize
 from repro.engine.cache import PersistentCache, active_cache
 from repro.engine.digest import (
@@ -74,7 +81,14 @@ class Engine:
         variant: str = "baseline",
         config: CoreConfig | None = None,
     ) -> AppCharacterisation:
-        """One design point, through memo -> disk -> simulation."""
+        """One design point, through memo -> disk -> simulation.
+
+        ``config`` may be a :class:`CoreConfig` (a core simulation) or
+        an :class:`~repro.accel.config.AccelConfig` (an accelerator
+        estimate, persisted under the ``<variant>~accel`` result slot).
+        Both flow through the same memo, telemetry, journal and
+        scheduler machinery.
+        """
         config = config or power5()
         digest = config_digest(config)
         key = (app, variant, digest)
@@ -84,16 +98,30 @@ class Engine:
             return cached
 
         started = time.perf_counter()
-        result = self._load_persistent(app, variant, digest)
-        source = SOURCE_DISK
-        if result is None:
-            result = characterize(app, variant, config)
-            self.cache.store_result_payload(
-                app, variant, digest,
-                serialize.characterisation_to_dict(result),
-            )
-            source = SOURCE_SIMULATED
-            self._drain_stream()
+        if isinstance(config, AccelConfig):
+            slot = accel_slot(variant)
+            result = self._load_persistent_accel(app, variant, digest)
+            source = SOURCE_DISK
+            if result is None:
+                from repro.accel.lab import estimate as accel_estimate
+
+                result = accel_estimate(app, variant, config)
+                self.cache.store_result_payload(
+                    app, slot, digest, estimate_to_dict(result),
+                )
+                source = SOURCE_SIMULATED
+            self._note_accel(result)
+        else:
+            result = self._load_persistent(app, variant, digest)
+            source = SOURCE_DISK
+            if result is None:
+                result = characterize(app, variant, config)
+                self.cache.store_result_payload(
+                    app, variant, digest,
+                    serialize.characterisation_to_dict(result),
+                )
+                source = SOURCE_SIMULATED
+                self._drain_stream()
         wall = time.perf_counter() - started
 
         self._memo[key] = result
@@ -122,8 +150,35 @@ class Engine:
         points that do need simulation run through
         :func:`repro.perf.characterize.characterize_batched`, so their
         shared workload trace is decoded and frontend-walked once.
+
+        Accelerator configs in the list are peeled off and served
+        through :func:`repro.accel.lab.estimate_many` (one workload
+        batch construction per input class); core and accelerator
+        points may mix freely in one call.
         """
         from repro.perf.characterize import characterize_batched
+
+        accel_indices = [
+            index for index, config in enumerate(configs)
+            if isinstance(config, AccelConfig)
+        ]
+        if accel_indices:
+            results = [None] * len(configs)
+            accel_set = set(accel_indices)
+            core_indices = [
+                index for index in range(len(configs))
+                if index not in accel_set
+            ]
+            if core_indices:
+                for index, result in zip(core_indices, self.characterize_batch(
+                        app, variant,
+                        [configs[index] for index in core_indices])):
+                    results[index] = result
+            for index, result in zip(accel_indices, self._accel_batch(
+                    app, variant,
+                    [configs[index] for index in accel_indices])):
+                results[index] = result
+            return results
 
         results: list[AppCharacterisation | None] = [None] * len(configs)
         digests = [config_digest(config) for config in configs]
@@ -179,6 +234,107 @@ class Engine:
             self.stats.batch_fallback += info["fallback"]
             self._drain_stream()
         return results
+
+    def _accel_batch(
+        self,
+        app: str,
+        variant: str,
+        configs: list[AccelConfig],
+    ) -> list[AccelEstimate]:
+        """Accelerator side of :meth:`characterize_batch`.
+
+        Same per-point memo/disk/store discipline as the core path; the
+        points that do need estimation share one workload-batch
+        construction per input class through
+        :func:`repro.accel.lab.estimate_many`.
+        """
+        slot = accel_slot(variant)
+        results: list[AccelEstimate | None] = [None] * len(configs)
+        digests = [config_digest(config) for config in configs]
+        pending: list[int] = []
+        for index, digest in enumerate(digests):
+            key = (app, variant, digest)
+            cached = self._memo.get(key)
+            if cached is not None:
+                self.stats.memo_hits += 1
+                results[index] = cached
+                continue
+            started = time.perf_counter()
+            disk = self._load_persistent_accel(app, variant, digest)
+            if disk is not None:
+                self._memo[key] = disk
+                self._note_accel(disk)
+                self.stats.record(PointRecord(
+                    app=app,
+                    variant=variant,
+                    config_digest=digest[:SHORT_DIGEST],
+                    wall_seconds=time.perf_counter() - started,
+                    instructions=disk.merged.instructions,
+                    source=SOURCE_DISK,
+                ))
+                results[index] = disk
+                continue
+            pending.append(index)
+        if pending:
+            started = time.perf_counter()
+            estimates, info = accel_estimate_many(
+                app, variant, [configs[index] for index in pending]
+            )
+            wall = (time.perf_counter() - started) / len(pending)
+            for index, est in zip(pending, estimates):
+                digest = digests[index]
+                self.cache.store_result_payload(
+                    app, slot, digest, estimate_to_dict(est),
+                )
+                self._memo[(app, variant, digest)] = est
+                self._note_accel(est)
+                self.stats.record(PointRecord(
+                    app=app,
+                    variant=variant,
+                    config_digest=digest[:SHORT_DIGEST],
+                    wall_seconds=wall,
+                    instructions=est.merged.instructions,
+                    source=SOURCE_SIMULATED,
+                ))
+                results[index] = est
+            self.stats.accel_batched += info["shared"]
+        return results
+
+    def _load_persistent_accel(
+        self, app: str, variant: str, digest: str
+    ) -> AccelEstimate | None:
+        """Load one accelerator estimate from its ``~accel`` slot.
+
+        Strict like :meth:`_load_persistent`, plus an addressing check:
+        an entry that decodes but describes a different point (or is not
+        an accelerator payload at all) is corruption, evicted the same
+        way a malformed one is.
+        """
+        slot = accel_slot(variant)
+        payload = self.cache.load_result_payload(app, slot, digest)
+        if payload is None:
+            return None
+        try:
+            result = serialize.characterisation_from_dict(payload)
+            if (not isinstance(result, AccelEstimate)
+                    or result.app != app or result.variant != variant
+                    or config_digest(result.config) != digest):
+                raise ValueError("accel entry addresses a different point")
+        except (KeyError, TypeError, ValueError):
+            self.cache.evict_result(app, slot, digest)
+            return None
+        return result
+
+    def _note_accel(self, est: AccelEstimate) -> None:
+        """Fold one served accelerator estimate into the telemetry."""
+        stats = self.stats
+        stats.accel_points += 1
+        if est.backend == "bioseal":
+            stats.accel_bioseal_points += 1
+        elif est.backend == "aphmm":
+            stats.accel_aphmm_points += 1
+        stats.accel_offload_cycles += est.result.host_cycles
+        stats.accel_transfer_cycles += est.result.transfer_cycles
 
     def _drain_stream(self) -> None:
         """Fold finished streaming pipelines into this engine's stats."""
@@ -297,6 +453,15 @@ class Engine:
             )
         points = state.reconstruct_points()
         unique_keys = state.unique_keys
+        # Accelerator results persist under the ``<variant>~accel``
+        # slot; map each journaled key to the slot its payload lives in.
+        slots = {
+            (papp, pvariant, config_digest(pconfig)): (
+                accel_slot(pvariant)
+                if isinstance(pconfig, AccelConfig) else pvariant
+            )
+            for papp, pvariant, pconfig in points
+        }
         source_changed = state.source_digest != sim_source_digest()
         replayed = 0
         if source_changed:
@@ -314,23 +479,26 @@ class Engine:
                     replayed += 1
                     continue
                 app, variant, digest = key
+                slot = slots.get(key, variant)
                 started = time.perf_counter()
                 payload = self.cache.load_result_payload(
-                    app, variant, digest
+                    app, slot, digest
                 )
                 if payload is None:
                     continue
                 if result_payload_digest(payload) != recorded_digest:
                     # The cache diverged from what the journal saw:
                     # quarantine the entry and re-simulate the point.
-                    self.cache.evict_result(app, variant, digest)
+                    self.cache.evict_result(app, slot, digest)
                     continue
                 try:
                     result = serialize.characterisation_from_dict(payload)
                 except (KeyError, TypeError, ValueError):
-                    self.cache.evict_result(app, variant, digest)
+                    self.cache.evict_result(app, slot, digest)
                     continue
                 self._memo[key] = result
+                if isinstance(result, AccelEstimate):
+                    self._note_accel(result)
                 self.stats.record(PointRecord(
                     app=app,
                     variant=variant,

@@ -75,6 +75,7 @@ RECORD_DONE = "point_done"
 RECORD_FAILED = "point_failed"
 RECORD_BATCH = "batch_stats"
 RECORD_STREAM = "stream_stats"
+RECORD_ACCEL = "accel_stats"
 RECORD_COMPLETE = "run_complete"
 RECORD_CLAIMED = "point_claimed"
 RECORD_HEARTBEAT = "point_heartbeat"
@@ -333,6 +334,20 @@ class RunJournal:
             **{key: int(value) for key, value in stats.items()},
         })
 
+    def record_accel_stats(self, stats: dict) -> None:
+        """Accelerator-offload summary for this attempt (additive).
+
+        ``stats`` carries the accel counters accumulated during the
+        sweep (points, batched, per-backend counts, offload/transfer
+        cycles). Older readers skip the record; the journal schema is
+        unchanged.
+        """
+        self._append({
+            "record": RECORD_ACCEL,
+            "run_id": self.run_id,
+            **{key: int(value) for key, value in stats.items()},
+        })
+
     def record_complete(self, failures: int) -> None:
         self._append({
             "record": RECORD_COMPLETE,
@@ -394,6 +409,10 @@ class RunState:
     #: Streaming counters from the last ``stream_stats`` record
     #: (``None`` when the run never streamed / predates streaming).
     stream: dict | None = None
+    #: Accelerator counters from the last ``accel_stats`` record
+    #: (``None`` when the run never offloaded / predates the accel
+    #: subsystem).
+    accel: dict | None = None
     #: Live/last lease per claimed point (dropped on ``point_done``).
     claims: dict[tuple[str, str, str], Lease] = field(default_factory=dict)
     #: Per-worker drain counters from ``worker_stats`` records.
@@ -654,6 +673,12 @@ def _apply_record(state: RunState, payload: dict, index: int) -> None:
         }
     elif kind == RECORD_STREAM:
         state.stream = {
+            key: int(value)
+            for key, value in payload.items()
+            if key not in ("record", "run_id")
+        }
+    elif kind == RECORD_ACCEL:
+        state.accel = {
             key: int(value)
             for key, value in payload.items()
             if key not in ("record", "run_id")

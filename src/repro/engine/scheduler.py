@@ -204,9 +204,18 @@ def _prewarm_traces(tasks, engine) -> None:
     variant must surface later as that *point's* failure, not abort the
     sweep during warming.
     """
+    from repro.accel.config import AccelConfig
     from repro.perf.characterize import background_trace, kernel_trace
 
     for (app, variant), group in group_by_trace(tasks).items():
+        # Accelerator points never replay a workload trace — warming
+        # one for them would pay the decode for nothing.
+        group = [
+            task for task in group
+            if not isinstance(task.point[2], AccelConfig)
+        ]
+        if not group:
+            continue
         try:
             kernel_trace(app, variant)
             background_trace(app)
@@ -479,6 +488,23 @@ def _stream_counters(engine) -> dict:
 _STREAM_ADDITIVE = (
     "streams", "segments_produced", "segments_consumed", "handoffs",
 )
+
+
+def _accel_counters(engine) -> dict:
+    """Snapshot of the engine's accelerator-offload telemetry counters.
+
+    Taken before and after a sweep so the run journal records only this
+    sweep's contribution (every counter is additive).
+    """
+    stats = engine.stats
+    return {
+        "points": stats.accel_points,
+        "batched": stats.accel_batched,
+        "bioseal_points": stats.accel_bioseal_points,
+        "aphmm_points": stats.accel_aphmm_points,
+        "offload_cycles": stats.accel_offload_cycles,
+        "transfer_cycles": stats.accel_transfer_cycles,
+    }
 
 
 def _journal_failed(journal, key, failure) -> None:
@@ -886,6 +912,7 @@ def fan_out(
     failures: dict = {}
     before = _batch_counters(engine)
     stream_before = _stream_counters(engine)
+    accel_before = _accel_counters(engine)
     try:
         if pending:
             tasks = list(pending.values())
@@ -931,6 +958,13 @@ def fan_out(
                     stream_after["peak_segment_bytes"]
                 )
                 journal_obj.record_stream_stats(stream_delta)
+            accel_after = _accel_counters(engine)
+            accel_delta = {
+                key: accel_after[key] - accel_before[key]
+                for key in accel_after
+            }
+            if any(accel_delta.values()):
+                journal_obj.record_accel_stats(accel_delta)
             journal_obj.record_complete(len(failures))
     except _Interrupted as stop:
         unique = list(dict.fromkeys(keys))

@@ -92,12 +92,21 @@ def config_to_dict(config: CoreConfig) -> dict:
     return asdict(config)
 
 
-def config_from_dict(payload: dict) -> CoreConfig:
-    """Rebuild a :class:`CoreConfig` (nested blocks included).
+def config_from_dict(payload: dict):
+    """Rebuild a journaled config (core or accelerator).
 
-    Strict like the result schema: unknown shapes raise ``KeyError`` /
-    ``TypeError``, which journal consumers surface as corruption.
+    Accelerator configs are discriminated by their ``backend`` field —
+    no :class:`CoreConfig` payload has one. Strict like the result
+    schema: unknown shapes raise ``KeyError`` / ``TypeError``, which
+    journal consumers surface as corruption.
     """
+    if "backend" in payload:
+        from repro.accel.config import AccelConfig
+
+        return AccelConfig(**{
+            key: value if key in ("backend", "input_class") else int(value)
+            for key, value in payload.items()
+        })
     btac = payload["btac"]
     return CoreConfig(
         **{name: int(payload[name]) for name in _CORE_INT_FIELDS},
@@ -120,7 +129,18 @@ def config_from_dict(payload: dict) -> CoreConfig:
     )
 
 
-def characterisation_to_dict(result: AppCharacterisation) -> dict:
+def characterisation_to_dict(result) -> dict:
+    """Canonical payload for a characterisation or accelerator estimate.
+
+    Accelerator estimates serialize through :mod:`repro.accel.lab`;
+    their payloads carry a ``backend`` key no
+    :class:`AppCharacterisation` payload has, which is what
+    :func:`characterisation_from_dict` dispatches on.
+    """
+    from repro.accel.lab import AccelEstimate, estimate_to_dict
+
+    if isinstance(result, AccelEstimate):
+        return estimate_to_dict(result)
     return {
         "app": result.app,
         "variant": result.variant,
@@ -137,7 +157,11 @@ def characterisation_to_dict(result: AppCharacterisation) -> dict:
     }
 
 
-def characterisation_from_dict(payload: dict) -> AppCharacterisation:
+def characterisation_from_dict(payload: dict):
+    if "backend" in payload:
+        from repro.accel.lab import estimate_from_dict
+
+        return estimate_from_dict(payload)
     return AppCharacterisation(
         app=str(payload["app"]),
         variant=str(payload["variant"]),

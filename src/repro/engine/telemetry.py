@@ -149,6 +149,19 @@ class EngineStats:
     queued_pushes: int = 0
     #: Parked pushes that replicated after the circuit recovered.
     drained_pushes: int = 0
+    #: Accelerator offload (``repro.accel``, schema 8): estimates served
+    #: (disk, simulated, or journal-replayed — memo hits excluded, same
+    #: as core points).
+    accel_points: int = 0
+    #: Accelerator estimates that shared a workload-batch construction
+    #: inside ``estimate_many`` (the accel analogue of batched sims).
+    accel_batched: int = 0
+    accel_bioseal_points: int = 0
+    accel_aphmm_points: int = 0
+    #: Host-equivalent cycles the served estimates priced.
+    accel_offload_cycles: int = 0
+    #: Host cycles of that total spent on host<->device data movement.
+    accel_transfer_cycles: int = 0
 
     def record(self, point: PointRecord) -> None:
         self.points.append(point)
@@ -196,6 +209,12 @@ class EngineStats:
         self.remote_pushes += other.remote_pushes
         self.queued_pushes += other.queued_pushes
         self.drained_pushes += other.drained_pushes
+        self.accel_points += other.accel_points
+        self.accel_batched += other.accel_batched
+        self.accel_bioseal_points += other.accel_bioseal_points
+        self.accel_aphmm_points += other.accel_aphmm_points
+        self.accel_offload_cycles += other.accel_offload_cycles
+        self.accel_transfer_cycles += other.accel_transfer_cycles
         for message in other.notes:
             self.note(message)
 
@@ -242,6 +261,20 @@ class EngineStats:
         self.lost_leases += service.get("lost_leases", 0)
         self.merge_resilience(service)
 
+    def merge_accel(self, counters: dict) -> None:
+        """Fold a journaled ``accel_stats`` payload into this.
+
+        Tolerant of missing keys the same way the other journal folds
+        are: a journal written before the accelerator subsystem simply
+        contributes nothing.
+        """
+        self.accel_points += counters.get("points", 0)
+        self.accel_batched += counters.get("batched", 0)
+        self.accel_bioseal_points += counters.get("bioseal_points", 0)
+        self.accel_aphmm_points += counters.get("aphmm_points", 0)
+        self.accel_offload_cycles += counters.get("offload_cycles", 0)
+        self.accel_transfer_cycles += counters.get("transfer_cycles", 0)
+
     def merge_resilience(self, counters: dict) -> None:
         """Fold a resilience counter payload (networked workers journal
         one, with ``degraded_ms`` as an integer) into this."""
@@ -259,7 +292,7 @@ class EngineStats:
 
     def to_dict(self) -> dict:
         return {
-            "schema": 7,
+            "schema": 8,
             "jobs": self.jobs,
             "points": [point.to_dict() for point in self.points],
             "failures": [failure.to_dict() for failure in self.failures],
@@ -291,6 +324,14 @@ class EngineStats:
                 "claim_steals": self.claim_steals,
                 "heartbeats": self.heartbeats,
                 "lost_leases": self.lost_leases,
+            },
+            "accel": {
+                "points": self.accel_points,
+                "batched": self.accel_batched,
+                "bioseal_points": self.accel_bioseal_points,
+                "aphmm_points": self.accel_aphmm_points,
+                "offload_cycles": self.accel_offload_cycles,
+                "transfer_cycles": self.accel_transfer_cycles,
             },
             "resilience": {
                 "net_retries": self.net_retries,
@@ -367,6 +408,21 @@ class EngineStats:
                 f"{self.stream_peak_segment_bytes / 1024:.1f}",
             )
             blocks.append(stream.render())
+        if self.accel_points:
+            accel = Table(
+                "Accelerator offload",
+                ["Estimates", "Batched", "BioSEAL", "ApHMM",
+                 "Host cycles", "Transfer cycles"],
+            )
+            accel.add_row(
+                self.accel_points,
+                self.accel_batched,
+                self.accel_bioseal_points,
+                self.accel_aphmm_points,
+                self.accel_offload_cycles,
+                self.accel_transfer_cycles,
+            )
+            blocks.append(accel.render())
         if self.claims or self.claim_conflicts or self.claim_steals:
             service = Table(
                 "Sweep service",

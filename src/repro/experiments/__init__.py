@@ -14,6 +14,7 @@ module           reproduces
 ``ext_phylip``   §VIII extension — parsimony kernel predication
 ``ext_cmp_llc``  §VII extension — shared vs private LLC (ref. [26])
 ``ext_bpred``    §III/§VI extension — predictor zoo vs predication
+``ext_accel``    offload extension — BioSEAL/ApHMM backends vs tuned CPU
 ``ablations``    design-decision sweeps (BTAC size/threshold, ...)
 ================ ==============================================
 
@@ -22,6 +23,7 @@ Run from the command line: ``python -m repro.experiments fig3``.
 
 from repro.experiments import (
     ablations,
+    ext_accel,
     ext_bpred,
     ext_cmp_llc,
     ext_phylip,
@@ -54,6 +56,7 @@ EXPERIMENTS = {
     "ext_phylip": ext_phylip.run,
     "ext_cmp_llc": ext_cmp_llc.run,
     "ext_bpred": ext_bpred.run,
+    "ext_accel": ext_accel.run,
     "ablations": ablations.run,
 }
 
@@ -74,5 +77,6 @@ __all__ = [
     "ext_phylip",
     "ext_cmp_llc",
     "ext_bpred",
+    "ext_accel",
     "ablations",
 ]

@@ -173,6 +173,28 @@ def _kernel_inputs(app: str):
     raise WorkloadError(f"unknown application {app!r}")
 
 
+def kernel_dimensions(app: str) -> tuple[tuple[int, int], ...]:
+    """DP extents of the kernel inputs behind :func:`kernel_trace`.
+
+    One ``(rows, cols)`` pair per DP problem the kernel solves — the
+    sequence pair for the alignment kernels, ``(model states, query
+    length)`` per query for hmmer. The accelerator layer
+    (:mod:`repro.accel`) uses these to turn a characterised kernel's
+    cycle count into a per-cell host cost, so CPU and offload estimates
+    are calibrated from the *same* kernel inputs and traces.
+    """
+    if app == "hmmer":
+        model, queries = _kernel_inputs(app)
+        return tuple((model.length, len(query)) for query in queries)
+    a, b = _kernel_inputs(app)
+    return ((len(a), len(b)),)
+
+
+def kernel_cell_count(app: str) -> int:
+    """Total DP cells the app's kernel inputs induce."""
+    return sum(rows * cols for rows, cols in kernel_dimensions(app))
+
+
 def _generate_kernel_trace(app: str, variant: str) -> Trace:
     """Interpret the app's kernel and collect its dynamic trace."""
     trace = Trace()
@@ -408,12 +430,23 @@ class AppCharacterisation:
         """Baseline instructions / this variant's cycles.
 
         Constant-work IPC: the paper's Figure 3/6 metric, comparable
-        across code variants because the numerator is fixed.
+        across code variants because the numerator is fixed. An empty
+        run (zero cycles) yields 0.0 — the same convention as
+        :attr:`SimResult.ipc` and the PMU-derived metrics — rather
+        than a ZeroDivisionError.
         """
+        if self.cycles == 0:
+            return 0.0
         return self.baseline_instructions / self.cycles
 
     def speedup_over(self, other: "AppCharacterisation") -> float:
-        """Performance improvement of self vs ``other`` (same work)."""
+        """Performance improvement of self vs ``other`` (same work).
+
+        Zero-cycle runs follow the 0.0 convention of the derived
+        metrics: no work measured means no speedup claim.
+        """
+        if self.cycles == 0:
+            return 0.0
         return other.cycles / self.cycles - 1.0
 
 

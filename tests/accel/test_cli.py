@@ -1,0 +1,113 @@
+"""`repro accel`: porcelain contracts and argument validation."""
+
+import pytest
+
+from repro.cli import main
+from repro.engine import engine as engine_module
+
+
+@pytest.fixture(autouse=True)
+def fresh_default_engine(restore_globals):
+    """Each CLI invocation builds its engine at the test's --cache-dir
+    (the process-wide engine would otherwise leak memoised points
+    between tests and mask journaling)."""
+    engine_module._default_engine = None
+    yield
+
+
+def porcelain_rows(out: str) -> list[list[str]]:
+    return [line.split("\t") for line in out.strip().splitlines()]
+
+
+class TestCompare:
+    def test_table_renders(self, tmp_path, capsys):
+        assert main([
+            "accel", "compare", "hmmer", "--classes", "A,B",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "aphmm" in out
+        assert "Host cycles" in out
+
+    def test_porcelain_round_trip(self, tmp_path, capsys):
+        assert main([
+            "accel", "compare", "blast", "--porcelain",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        rows = porcelain_rows(capsys.readouterr().out)
+        assert [row[0] for row in rows] == ["A", "B", "C"]
+        for row in rows:
+            assert len(row) == 11
+            (cls, backend, jobs, cells, host, device, transfer,
+             invocation, utilization, overhead, energy) = row
+            assert backend == "bioseal"
+            assert int(jobs) > 0 and int(cells) > 0
+            assert int(host) > int(device) // 8  # clock ratio sanity
+            assert int(transfer) > 0 and int(invocation) > 0
+            assert 0.0 < float(utilization) <= 1.0
+            assert 0.0 < float(overhead) < 1.0
+            assert int(energy) > 0
+        # Cells grow with the class — the porcelain is ordered.
+        cells = [int(row[3]) for row in rows]
+        assert cells == sorted(cells)
+
+    def test_porcelain_is_deterministic(self, tmp_path, capsys):
+        args = [
+            "accel", "compare", "fasta", "--porcelain",
+            "--cache-dir", str(tmp_path),
+        ]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0  # second run: served from cache
+        assert capsys.readouterr().out == first
+
+    def test_backend_can_be_forced(self, tmp_path, capsys):
+        assert main([
+            "accel", "compare", "hmmer", "--backend", "aphmm",
+            "--classes", "A", "--porcelain", "--cache-dir", str(tmp_path),
+        ]) == 0
+        rows = porcelain_rows(capsys.readouterr().out)
+        assert rows[0][1] == "aphmm"
+
+
+class TestSweep:
+    def test_porcelain_round_trip(self, tmp_path, capsys):
+        assert main([
+            "accel", "sweep", "blast", "--param", "arrays",
+            "--values", "1,2,4", "--class", "A", "--porcelain",
+            "--cache-dir", str(tmp_path),
+        ]) == 0
+        rows = porcelain_rows(capsys.readouterr().out)
+        assert [row[0] for row in rows] == ["arrays"] * 3
+        assert [int(row[1]) for row in rows] == [1, 2, 4]
+        host = [int(row[2]) for row in rows]
+        assert host == sorted(host, reverse=True)  # more arrays, never slower
+
+    def test_unknown_knob_fails_with_inventory(self, tmp_path, capsys):
+        assert main([
+            "accel", "sweep", "blast", "--param", "bogus",
+            "--cache-dir", str(tmp_path),
+        ]) == 1
+        err = capsys.readouterr().err
+        assert "unknown knob 'bogus'" in err
+        assert "arrays" in err and "pe_count" in err
+
+    def test_addressing_knobs_not_sweepable(self, tmp_path, capsys):
+        assert main([
+            "accel", "sweep", "blast", "--param", "backend",
+            "--cache-dir", str(tmp_path),
+        ]) == 1
+        assert "unknown knob" in capsys.readouterr().err
+
+
+class TestJournaling:
+    def test_accel_commands_journal_runs(self, tmp_path, capsys):
+        assert main([
+            "accel", "compare", "hmmer", "--classes", "A",
+            "--porcelain", "--cache-dir", str(tmp_path),
+        ]) == 0
+        capsys.readouterr()
+        assert main(["runs", "--porcelain",
+                     "--cache-dir", str(tmp_path)]) == 0
+        rows = porcelain_rows(capsys.readouterr().out)
+        assert rows and rows[0][1] == "complete"

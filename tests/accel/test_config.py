@@ -1,0 +1,76 @@
+"""AccelConfig: validation, derivation, and digest addressing."""
+
+import dataclasses
+
+import pytest
+
+from repro.accel import AccelConfig, aphmm, bioseal
+from repro.engine.digest import config_digest
+from repro.errors import SimulationError
+from repro.uarch.config import power5
+
+
+class TestValidation:
+    def test_defaults_are_valid(self):
+        assert bioseal().backend == "bioseal"
+        assert aphmm().backend == "aphmm"
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SimulationError, match="backend"):
+            AccelConfig(backend="tpu")
+
+    def test_unknown_input_class_rejected(self):
+        with pytest.raises(SimulationError, match="class"):
+            AccelConfig(input_class="E")
+
+    @pytest.mark.parametrize("knob", [
+        "clock_mhz", "host_clock_mhz", "transfer_bytes_per_cycle",
+        "arrays", "rows", "ops_per_step", "pe_count",
+    ])
+    def test_rate_knobs_must_be_positive(self, knob):
+        with pytest.raises(SimulationError, match=knob):
+            dataclasses.replace(bioseal(), **{knob: 0})
+        with pytest.raises(SimulationError, match=knob):
+            dataclasses.replace(bioseal(), **{knob: -1})
+
+    @pytest.mark.parametrize("knob", [
+        "setup_cycles", "dispatch_cycles", "transfer_latency",
+        "pipeline_depth", "memo_entries", "op_energy_pj",
+    ])
+    def test_additive_knobs_may_be_zero(self, knob):
+        dataclasses.replace(bioseal(), **{knob: 0})  # no raise
+        with pytest.raises(SimulationError, match=knob):
+            dataclasses.replace(bioseal(), **{knob: -1})
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            bioseal().arrays = 8
+
+    def test_with_class(self):
+        original = bioseal()
+        config = original.with_class("B")
+        assert config.input_class == "B"
+        assert config.backend == "bioseal"
+        assert original.input_class == "C"  # derivation, not mutation
+
+
+class TestDigest:
+    def test_digest_is_stable(self):
+        assert config_digest(bioseal()) == config_digest(bioseal())
+
+    def test_backends_digest_differently(self):
+        assert config_digest(bioseal()) != config_digest(aphmm())
+
+    def test_classes_digest_differently(self):
+        assert config_digest(bioseal()) != config_digest(
+            bioseal().with_class("A")
+        )
+
+    def test_accel_never_collides_with_core(self):
+        # The digest payload carries the config class name, so even a
+        # field-compatible CoreConfig could not alias an AccelConfig.
+        assert config_digest(bioseal()) != config_digest(power5())
+
+    def test_non_config_rejected(self):
+        with pytest.raises(TypeError, match="config dataclass"):
+            config_digest({"backend": "bioseal"})

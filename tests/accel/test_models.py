@@ -1,0 +1,171 @@
+"""Backend timing models: scaling laws, memo behaviour, invariants."""
+
+import dataclasses
+
+import pytest
+
+from repro.accel import (
+    WorkloadBatch,
+    aphmm,
+    backend_for,
+    bioseal,
+    workload_batch,
+)
+from repro.accel.base import BackendResult, to_host_cycles
+from repro.accel.workload import ALIGNMENT, PROFILE_HMM
+from repro.errors import SimulationError, WorkloadError
+
+APPS = ("blast", "clustalw", "fasta", "hmmer")
+
+
+class TestWorkloads:
+    @pytest.mark.parametrize("app", APPS)
+    def test_batches_are_deterministic(self, app):
+        assert workload_batch(app, "B") == workload_batch(app, "B")
+
+    @pytest.mark.parametrize("app", APPS)
+    def test_classes_grow_monotonically(self, app):
+        cells = [
+            workload_batch(app, cls).total_cells
+            for cls in ("A", "B", "C", "D")
+        ]
+        assert cells == sorted(cells)
+        assert cells[0] > 0 and cells[0] < cells[-1]
+
+    def test_kinds(self):
+        assert workload_batch("blast", "A").kind == ALIGNMENT
+        assert workload_batch("clustalw", "A").kind == ALIGNMENT
+        assert workload_batch("hmmer", "A").kind == PROFILE_HMM
+
+    def test_unknown_app_rejected(self):
+        with pytest.raises(WorkloadError, match="phylip"):
+            workload_batch("phylip", "A")
+
+
+class TestSupport:
+    def test_bioseal_serves_alignment_only(self):
+        backend = backend_for(bioseal())
+        assert backend.supports(workload_batch("blast", "A"))
+        assert not backend.supports(workload_batch("hmmer", "A"))
+
+    def test_aphmm_serves_hmm_only(self):
+        backend = backend_for(aphmm())
+        assert backend.supports(workload_batch("hmmer", "A"))
+        assert not backend.supports(workload_batch("fasta", "A"))
+
+
+def _result(config, app, cls="B"):
+    return backend_for(config).estimate(workload_batch(app, cls))
+
+
+class TestInvariants:
+    @pytest.mark.parametrize("app,config", [
+        ("blast", bioseal()), ("clustalw", bioseal()),
+        ("fasta", bioseal()), ("hmmer", aphmm()),
+    ])
+    def test_result_shape(self, app, config):
+        result = _result(config, app)
+        batch = workload_batch(app, "B")
+        assert result.jobs == len(batch.jobs)
+        assert result.cells == batch.total_cells
+        assert result.device_cycles > 0
+        assert result.host_cycles >= to_host_cycles(
+            result.device_cycles, config
+        )
+        assert 0.0 < result.utilization <= 1.0
+        assert 0.0 < result.transfer_share < 1.0
+        assert 0.0 < result.overhead_share < 1.0
+        assert result.transfer_share <= result.overhead_share
+        assert result.energy_pj > 0
+
+    def test_empty_batch_prices_to_overheads_only(self):
+        empty = WorkloadBatch(
+            app="blast", input_class="A", kind=ALIGNMENT, jobs=(),
+        )
+        result = backend_for(bioseal()).estimate(empty)
+        assert result.jobs == 0
+        assert result.cells == 0
+        assert result.device_cycles == 0
+        assert result.utilization == 0.0
+
+    def test_host_cycle_rounding_is_ceiling(self):
+        config = bioseal()  # 250 MHz device, 2000 MHz host -> x8
+        assert to_host_cycles(1, config) == 8
+        assert to_host_cycles(0, config) == 0
+        odd = dataclasses.replace(config, clock_mhz=3, host_clock_mhz=10)
+        assert to_host_cycles(1, odd) == 4  # ceil(10/3)
+
+
+class TestBioSealScaling:
+    def test_more_arrays_never_slower(self):
+        cycles = [
+            _result(bioseal(arrays=n), "blast").device_cycles
+            for n in (1, 2, 4, 8)
+        ]
+        assert cycles == sorted(cycles, reverse=True)
+        assert cycles[0] > cycles[-1]  # parallelism actually helps
+
+    def test_faster_steps_reduce_device_time(self):
+        slow = _result(bioseal(ops_per_step=12), "fasta").device_cycles
+        fast = _result(bioseal(ops_per_step=3), "fasta").device_cycles
+        assert fast < slow
+
+    def test_row_capacity_bounds_banding(self):
+        # Fewer rows than the query dimension forces multi-band tiling.
+        wide = _result(bioseal(rows=4096), "clustalw")
+        narrow = _result(bioseal(rows=32), "clustalw")
+        assert narrow.tiles > wide.tiles
+        assert narrow.device_cycles > wide.device_cycles
+
+
+class TestApHmmScaling:
+    def test_more_pes_never_slower(self):
+        cycles = [
+            _result(aphmm(pe_count=n), "hmmer").device_cycles
+            for n in (4, 16, 64)
+        ]
+        assert cycles == sorted(cycles, reverse=True)
+        assert cycles[0] > cycles[-1]
+
+    def test_bigger_memo_means_fewer_misses(self):
+        small = _result(aphmm(memo_entries=64), "hmmer")
+        large = _result(aphmm(memo_entries=1 << 20), "hmmer")
+        assert small.memo_misses > large.memo_misses
+        assert small.device_cycles >= large.device_cycles
+        # Hits + misses account for every parameter lookup in both.
+        assert (small.memo_hits + small.memo_misses
+                == large.memo_hits + large.memo_misses)
+
+    def test_free_lookups_remove_stall_sensitivity(self):
+        free = aphmm(lookup_cycles=0)
+        small = backend_for(
+            dataclasses.replace(free, memo_entries=64)
+        ).estimate(workload_batch("hmmer", "B"))
+        large = backend_for(
+            dataclasses.replace(free, memo_entries=1 << 20)
+        ).estimate(workload_batch("hmmer", "B"))
+        assert small.device_cycles == large.device_cycles
+
+
+class TestPayloadStrictness:
+    def test_round_trip(self):
+        result = _result(bioseal(), "blast")
+        assert BackendResult.from_payload(result.to_payload()) == result
+
+    def test_missing_field_rejected(self):
+        payload = _result(bioseal(), "blast").to_payload()
+        payload.pop("host_cycles")
+        with pytest.raises(ValueError, match="host_cycles"):
+            BackendResult.from_payload(payload)
+
+    def test_extra_field_rejected(self):
+        payload = _result(bioseal(), "blast").to_payload()
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            BackendResult.from_payload(payload)
+
+    def test_unknown_backend_config_rejected(self):
+        config = bioseal()
+        object.__setattr__(config, "backend", "quantum")
+        with pytest.raises(SimulationError, match="quantum"):
+            backend_for(config)

@@ -22,7 +22,8 @@ class TestRegistry:
     def test_all_experiments_registered(self):
         assert set(EXPERIMENTS) == {
             "table1", "fig1", "fig2", "fig3", "table2", "fig4", "fig5",
-            "fig6", "ext_phylip", "ext_cmp_llc", "ext_bpred", "ablations",
+            "fig6", "ext_phylip", "ext_cmp_llc", "ext_bpred", "ext_accel",
+            "ablations",
         }
 
 

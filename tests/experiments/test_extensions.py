@@ -70,3 +70,49 @@ class TestExtCmpLlc:
         result = ext_cmp_llc.run(workers=2)
         assert result.data["ratio"] > 1.5
         assert result.data["private_misses"] > result.data["shared_misses"]
+
+
+class TestExtAccel:
+    @pytest.fixture(scope="class")
+    def result(self):
+        from repro.experiments import ext_accel
+
+        return ext_accel.run()
+
+    def test_claim_holds_as_data(self, result):
+        """The scenario pack's verdict is data, not prose: offload
+        loses class A and wins by class C on every app,
+        monotonically in both ratio and overhead share."""
+        data = result.data
+        assert data["claim_holds"] is True
+        for app, entry in data["apps"].items():
+            ratios = [
+                entry["classes"][cls]["ratio"] for cls in ("A", "B", "C")
+            ]
+            assert ratios[0] < 1.0 < ratios[-1], app
+            assert ratios == sorted(ratios), app
+            assert entry["crossover_class"] in ("B", "C"), app
+
+    def test_fasta_crosses_over_earliest(self, result):
+        """The most cell-heavy workload per job amortises the offload
+        overheads first."""
+        crossovers = {
+            app: entry["crossover_class"]
+            for app, entry in result.data["apps"].items()
+        }
+        assert crossovers["fasta"] == "B"
+        assert all(c == "C" for app, c in crossovers.items()
+                   if app != "fasta")
+
+    def test_overhead_share_falls_with_class(self, result):
+        for app, entry in result.data["apps"].items():
+            shares = [
+                entry["classes"][cls]["overhead_share"]
+                for cls in ("A", "B", "C")
+            ]
+            assert shares == sorted(shares, reverse=True), app
+
+    def test_tables_render(self, result):
+        text = result.render()
+        assert "Crossover" in text
+        assert "tuned CPU vs offload" in text

@@ -108,3 +108,64 @@ class TestInterleaved:
             "fasta", "baseline", power5(), interleaved=True
         )
         assert mixed.merged.instructions == separate.merged.instructions
+
+
+class TestZeroWorkConventions:
+    """Degenerate characterisations follow the 0.0 convention.
+
+    Every derived rate on an empty run returns 0.0 — the same
+    convention the PMU-style :class:`SimResult` properties use —
+    rather than raising ZeroDivisionError. Regression tests for the
+    audit that unified ``work_ipc`` and ``speedup_over`` with it.
+    """
+
+    @pytest.fixture()
+    def empty(self):
+        from repro.perf.characterize import AppCharacterisation
+        from repro.uarch.core import SimResult
+
+        return AppCharacterisation(
+            app="fasta", variant="baseline",
+            kernel=None, background=None,
+            merged=SimResult(), baseline_instructions=0,
+        )
+
+    def test_empty_sim_result_ipc_is_zero(self):
+        from repro.uarch.core import SimResult
+
+        assert SimResult().ipc == 0.0
+
+    def test_empty_characterisation_rates_are_zero(self, empty):
+        assert empty.cycles == 0
+        assert empty.ipc == 0.0
+        assert empty.work_ipc == 0.0
+
+    def test_speedup_over_with_zero_cycles_is_zero(self, empty):
+        real = characterize("fasta", "baseline", power5())
+        assert empty.speedup_over(real) == 0.0
+        assert empty.speedup_over(empty) == 0.0
+        # The well-defined direction still works: a real run against a
+        # zero-cycle reference claims no speedup over nothing... but it
+        # must not raise either.
+        assert real.speedup_over(empty) == pytest.approx(-1.0)
+
+
+class TestKernelGeometry:
+    """The DP extents that calibrate CPU-vs-offload comparisons."""
+
+    def test_cell_count_is_product_of_dimensions(self):
+        from repro.perf.characterize import (
+            kernel_cell_count,
+            kernel_dimensions,
+        )
+
+        for app in sorted(APP_WORKLOADS):
+            dims = kernel_dimensions(app)
+            assert dims and all(r > 0 and c > 0 for r, c in dims)
+            assert kernel_cell_count(app) == sum(r * c for r, c in dims)
+
+    def test_hmmer_has_one_pair_per_query(self):
+        from repro.perf.characterize import kernel_dimensions
+
+        assert len(kernel_dimensions("hmmer")) >= 2  # multiple queries
+        assert len(kernel_dimensions("fasta")) == 1  # one pair

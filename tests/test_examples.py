@@ -13,7 +13,7 @@ EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
 # tests they share code with.
 FAST_EXAMPLES = [
     "quickstart.py", "clustalw_pipeline.py", "gene_hunt.py",
-    "branch_lab.py",
+    "branch_lab.py", "accel_compare.py",
 ]
 
 
@@ -33,7 +33,7 @@ def test_all_examples_present():
     expected = {
         "quickstart.py", "protein_search.py", "hmm_scan.py",
         "clustalw_pipeline.py", "design_space.py", "gene_hunt.py",
-        "paper_figures.py", "branch_lab.py",
+        "paper_figures.py", "branch_lab.py", "accel_compare.py",
     }
     present = {path.name for path in EXAMPLES.glob("*.py")}
     assert expected <= present
